@@ -1,0 +1,24 @@
+# Convenience targets; everything works without make too.
+
+.PHONY: install test bench figures figures-paper smoke lint
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+smoke:
+	python -m repro.bench --scale smoke
+
+figures:
+	python -m repro.bench --scale quick
+
+figures-paper:
+	python -m repro.bench --scale paper --markdown
+
+lint:
+	python -m compileall -q src tests benchmarks examples

@@ -1,0 +1,102 @@
+"""Ablation benchmarks: the design choices the paper calls out.
+
+* range query via depth-bounds test vs two-clause EvalCNF (section 4.2)
+* Accumulator bit test via alpha test vs in-program KIL (section 4.3.3)
+* bitonic sort (future work) measured on the real multi-pass pipeline
+"""
+
+import numpy as np
+import pytest
+
+from conftest import attach_gpu_times
+from repro.core import aggregates
+from repro.core.predicates import And, Between, Comparison
+from repro.data import range_for_selectivity
+from repro.ext.bitonic_sort import sort_values
+from repro.gpu.types import CompareFunc
+
+
+@pytest.fixture(scope="module")
+def range_bounds(relation):
+    values = relation.column("data_count").values
+    return range_for_selectivity(values, 0.6)
+
+
+@pytest.mark.benchmark(group="ablation-range-path")
+def test_range_via_depth_bounds(benchmark, gpu, range_bounds):
+    low, high = range_bounds
+    result = benchmark(gpu.select, Between("data_count", low, high))
+    attach_gpu_times(benchmark, gpu, result)
+
+
+@pytest.mark.benchmark(group="ablation-range-path")
+def test_range_via_cnf(benchmark, gpu, range_bounds):
+    low, high = range_bounds
+    predicate = And(
+        Comparison("data_count", CompareFunc.GEQUAL, low),
+        Comparison("data_count", CompareFunc.LEQUAL, high),
+    )
+    result = benchmark(gpu.select, predicate)
+    attach_gpu_times(benchmark, gpu, result)
+
+
+def test_range_paths_agree_and_bounds_path_cheaper(gpu, range_bounds):
+    low, high = range_bounds
+    fast = gpu.select(Between("data_count", low, high))
+    slow = gpu.select(
+        And(
+            Comparison("data_count", CompareFunc.GEQUAL, low),
+            Comparison("data_count", CompareFunc.LEQUAL, high),
+        )
+    )
+    assert fast.count == slow.count
+    assert gpu.time_ms(fast) < gpu.time_ms(slow)
+
+
+@pytest.mark.benchmark(group="ablation-testbit")
+@pytest.mark.parametrize("use_alpha_test", [True, False],
+                         ids=["alpha-test", "kil"])
+def test_accumulator_bit_test_variants(
+    benchmark, gpu, use_alpha_test
+):
+    texture, _scale, channel = gpu.column_texture("data_count")
+    bits = gpu.relation.column("data_count").bits
+
+    def run():
+        gpu.device.stats.reset()
+        total = aggregates.accumulate(
+            gpu.device,
+            texture,
+            bits,
+            channel=channel,
+            use_alpha_test=use_alpha_test,
+        )
+        return total, gpu.device.stats.snapshot()
+
+    total, window = benchmark(run)
+    benchmark.extra_info["simulated_gpu_ms"] = round(
+        gpu.cost_model.time(window).total_ms, 4
+    )
+    values = gpu.relation.column("data_count").values
+    assert total == int(values.astype(np.int64).sum())
+
+
+@pytest.mark.benchmark(group="ablation-sort")
+@pytest.mark.parametrize("count", [1_024, 4_096])
+def test_bitonic_sort(benchmark, count):
+    rng = np.random.default_rng(count)
+    values = rng.integers(0, 1 << 19, count)
+
+    def run():
+        return sort_values(values)
+
+    sorted_values, device = benchmark(run)
+    assert np.array_equal(
+        sorted_values.astype(np.int64), np.sort(values)
+    )
+    from repro.gpu.cost import GpuCostModel
+
+    benchmark.extra_info["simulated_gpu_ms"] = round(
+        GpuCostModel().time(device.stats).total_ms, 4
+    )
+    benchmark.extra_info["passes"] = device.stats.num_passes

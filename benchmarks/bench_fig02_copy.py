@@ -1,0 +1,49 @@
+"""Figure 2: copying attribute values from a texture to the depth buffer.
+
+Paper claim: copy time grows almost linearly with the record count and
+is a significant fraction of several operations (~2.8 ms per million
+records on the FX 5900's slow depth path).
+"""
+
+import pytest
+
+from repro.core.compare import copy_to_depth
+
+
+@pytest.mark.benchmark(group="fig2-copy")
+def test_copy_to_depth(benchmark, gpu):
+    texture, scale, channel = gpu.column_texture("data_count")
+
+    def run():
+        gpu.device.stats.reset()
+        copy_to_depth(gpu.device, texture, scale, channel=channel)
+        return gpu.device.stats.snapshot()
+
+    window = benchmark(run)
+    benchmark.extra_info["records"] = texture.count
+    benchmark.extra_info["simulated_gpu_ms"] = round(
+        gpu.cost_model.time(window).total_ms, 4
+    )
+
+
+@pytest.mark.benchmark(group="fig2-copy")
+@pytest.mark.parametrize("records", [16_384, 65_536])
+def test_copy_scales_linearly(benchmark, records):
+    """The linearity claim itself: simulated time per record is flat."""
+    from repro.core import GpuEngine
+    from repro.data import make_tcpip
+
+    engine = GpuEngine(make_tcpip(records, seed=1))
+    texture, scale, channel = engine.column_texture("data_count")
+
+    def run():
+        engine.device.stats.reset()
+        copy_to_depth(engine.device, texture, scale, channel=channel)
+        return engine.device.stats.snapshot()
+
+    window = benchmark(run)
+    time_ms = engine.cost_model.time(window).total_ms
+    benchmark.extra_info["records"] = records
+    benchmark.extra_info["simulated_us_per_record"] = round(
+        time_ms * 1e3 / records, 6
+    )

@@ -1,0 +1,38 @@
+"""Figure 3: single-predicate evaluation at 60% selectivity.
+
+Paper claim: GPU ~3x faster end-to-end, ~20x compute-only, vs the
+compiler-vectorized CPU scan.
+"""
+
+import pytest
+
+from conftest import attach_cpu_time, attach_gpu_times
+from repro.core.predicates import Comparison
+from repro.data import threshold_for_selectivity
+from repro.gpu.types import CompareFunc
+
+
+@pytest.fixture(scope="module")
+def predicate(relation):
+    values = relation.column("data_count").values
+    threshold = threshold_for_selectivity(
+        values, 0.6, CompareFunc.GEQUAL
+    )
+    return Comparison("data_count", CompareFunc.GEQUAL, threshold)
+
+
+@pytest.mark.benchmark(group="fig3-predicate")
+def test_gpu_predicate(benchmark, gpu, predicate):
+    result = benchmark(gpu.select, predicate)
+    attach_gpu_times(benchmark, gpu, result)
+    benchmark.extra_info["selectivity"] = round(result.selectivity, 3)
+
+
+@pytest.mark.benchmark(group="fig3-predicate")
+def test_cpu_predicate(benchmark, cpu, predicate):
+    result = benchmark(cpu.select, predicate)
+    attach_cpu_time(benchmark, result)
+
+
+def test_answers_agree(gpu, cpu, predicate):
+    assert gpu.select(predicate).count == cpu.select(predicate).count

@@ -1,0 +1,35 @@
+"""Figure 4: range query at 60% selectivity via the depth-bounds test.
+
+Paper claim: GPU ~5.5x faster end-to-end, ~40x compute-only — the range
+costs about as much as a single predicate despite containing two.
+"""
+
+import pytest
+
+from conftest import attach_cpu_time, attach_gpu_times
+from repro.core.predicates import Between
+from repro.data import range_for_selectivity
+
+
+@pytest.fixture(scope="module")
+def predicate(relation):
+    values = relation.column("data_count").values
+    low, high = range_for_selectivity(values, 0.6)
+    return Between("data_count", low, high)
+
+
+@pytest.mark.benchmark(group="fig4-range")
+def test_gpu_range(benchmark, gpu, predicate):
+    result = benchmark(gpu.select, predicate)
+    attach_gpu_times(benchmark, gpu, result)
+    benchmark.extra_info["selectivity"] = round(result.selectivity, 3)
+
+
+@pytest.mark.benchmark(group="fig4-range")
+def test_cpu_range(benchmark, cpu, predicate):
+    result = benchmark(cpu.select, predicate)
+    attach_cpu_time(benchmark, result)
+
+
+def test_answers_agree(gpu, cpu, predicate):
+    assert gpu.select(predicate).count == cpu.select(predicate).count

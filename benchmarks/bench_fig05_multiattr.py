@@ -1,0 +1,50 @@
+"""Figure 5: multi-attribute AND queries with 1-4 attributes.
+
+Paper claim: GPU ~2x faster end-to-end (~20x compute-only); both sides
+scale linearly with the attribute count (Time_k).
+"""
+
+import pytest
+
+from conftest import attach_cpu_time, attach_gpu_times
+from repro.core.predicates import And, Comparison
+from repro.data import threshold_for_selectivity
+from repro.data.tcpip import ATTRIBUTES
+from repro.gpu.types import CompareFunc
+
+
+def _predicate(relation, num_attributes):
+    terms = []
+    for name in ATTRIBUTES[:num_attributes]:
+        values = relation.column(name).values
+        threshold = threshold_for_selectivity(
+            values, 0.6, CompareFunc.GEQUAL
+        )
+        terms.append(Comparison(name, CompareFunc.GEQUAL, threshold))
+    return terms[0] if len(terms) == 1 else And(*terms)
+
+
+@pytest.mark.benchmark(group="fig5-multiattr")
+@pytest.mark.parametrize("num_attributes", [1, 2, 3, 4])
+def test_gpu_multi_attribute(benchmark, gpu, relation, num_attributes):
+    predicate = _predicate(relation, num_attributes)
+    result = benchmark(gpu.select, predicate)
+    attach_gpu_times(benchmark, gpu, result)
+    benchmark.extra_info["attributes"] = num_attributes
+
+
+@pytest.mark.benchmark(group="fig5-multiattr")
+@pytest.mark.parametrize("num_attributes", [1, 4])
+def test_cpu_multi_attribute(benchmark, cpu, relation, num_attributes):
+    predicate = _predicate(relation, num_attributes)
+    result = benchmark(cpu.select, predicate)
+    attach_cpu_time(benchmark, result)
+    benchmark.extra_info["attributes"] = num_attributes
+
+
+def test_answers_agree(gpu, cpu, relation):
+    for num_attributes in range(1, 5):
+        predicate = _predicate(relation, num_attributes)
+        assert (
+            gpu.select(predicate).count == cpu.select(predicate).count
+        )

@@ -1,0 +1,46 @@
+"""Figure 6: semi-linear query over all four attributes.
+
+Paper claim: GPU almost one order of magnitude (~9x) faster — the best
+case, since the dot product runs on the vector units and needs no depth
+copy at all.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import attach_cpu_time, attach_gpu_times
+from repro.core.predicates import SemiLinear
+from repro.data.tcpip import ATTRIBUTES
+from repro.gpu.types import CompareFunc
+
+
+@pytest.fixture(scope="module")
+def predicate(relation):
+    rng = np.random.default_rng(42)
+    coefficients = rng.uniform(-1.0, 1.0, size=4)
+    stacked = np.stack(
+        [relation.column(name).values for name in ATTRIBUTES], axis=1
+    )
+    constant = float(
+        np.median(stacked @ coefficients.astype(np.float32))
+    )
+    return SemiLinear(
+        ATTRIBUTES, coefficients, CompareFunc.GEQUAL, constant
+    )
+
+
+@pytest.mark.benchmark(group="fig6-semilinear")
+def test_gpu_semilinear(benchmark, gpu, predicate):
+    result = benchmark(gpu.select, predicate)
+    attach_gpu_times(benchmark, gpu, result)
+    assert result.copy.num_passes == 0  # no depth copy in this path
+
+
+@pytest.mark.benchmark(group="fig6-semilinear")
+def test_cpu_semilinear(benchmark, cpu, predicate):
+    result = benchmark(cpu.select, predicate)
+    attach_cpu_time(benchmark, result)
+
+
+def test_answers_agree(gpu, cpu, predicate):
+    assert gpu.select(predicate).count == cpu.select(predicate).count

@@ -1,0 +1,42 @@
+"""Figure 7: k-th largest number for varying k (fixed record count).
+
+Paper claim: GPU ``KthLargest`` time is constant irrespective of k
+(b_max passes always); ~2x faster than QuickSelect on average.
+"""
+
+import pytest
+
+from conftest import attach_cpu_time, attach_gpu_times
+
+K_SWEEP = [1, 64, 4_096, 32_768, 65_536]
+
+
+@pytest.mark.benchmark(group="fig7-kth")
+@pytest.mark.parametrize("k", K_SWEEP)
+def test_gpu_kth_largest(benchmark, gpu, k):
+    result = benchmark(gpu.kth_largest, "data_count", k)
+    attach_gpu_times(benchmark, gpu, result)
+    benchmark.extra_info["k"] = k
+
+
+@pytest.mark.benchmark(group="fig7-kth")
+@pytest.mark.parametrize("k", [1, 32_768])
+def test_cpu_quickselect(benchmark, cpu, k):
+    result = benchmark(cpu.kth_largest, "data_count", k)
+    attach_cpu_time(benchmark, result)
+    benchmark.extra_info["k"] = k
+
+
+def test_answers_agree(gpu, cpu):
+    for k in K_SWEEP:
+        assert (
+            gpu.kth_largest("data_count", k).value
+            == cpu.kth_largest("data_count", k).value
+        )
+
+
+def test_gpu_pass_count_independent_of_k(gpu):
+    windows = [
+        gpu.kth_largest("data_count", k).compute for k in (1, 65_536)
+    ]
+    assert windows[0].num_passes == windows[1].num_passes

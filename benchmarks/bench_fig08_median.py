@@ -1,0 +1,40 @@
+"""Figure 8: median (KthLargest vs QuickSelect) for varying records.
+
+Paper claim: GPU ~2x faster end-to-end, ~2.5x compute-only; both sides
+linear in the record count.
+"""
+
+import pytest
+
+from conftest import attach_cpu_time, attach_gpu_times
+from repro.core import CpuEngine, GpuEngine
+from repro.data import make_tcpip
+
+SIZES = [16_384, 65_536]
+
+
+@pytest.mark.benchmark(group="fig8-median")
+@pytest.mark.parametrize("records", SIZES)
+def test_gpu_median(benchmark, records):
+    engine = GpuEngine(make_tcpip(records, seed=2))
+    result = benchmark(engine.median, "data_count")
+    attach_gpu_times(benchmark, engine, result)
+    benchmark.extra_info["records"] = records
+
+
+@pytest.mark.benchmark(group="fig8-median")
+@pytest.mark.parametrize("records", SIZES)
+def test_cpu_median(benchmark, records):
+    engine = CpuEngine(make_tcpip(records, seed=2))
+    result = benchmark(engine.median, "data_count")
+    attach_cpu_time(benchmark, result)
+    benchmark.extra_info["records"] = records
+
+
+def test_answers_agree():
+    for records in SIZES:
+        relation = make_tcpip(records, seed=2)
+        assert (
+            GpuEngine(relation).median("data_count").value
+            == CpuEngine(relation).median("data_count").value
+        )

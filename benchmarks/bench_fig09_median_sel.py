@@ -1,0 +1,67 @@
+"""Figure 9: median at 80% selectivity.
+
+Paper claim: GPU ``KthLargest`` over a selection takes *exactly* the
+same time as over all records (the stencil mask is free); the CPU must
+first compact the selected values into a dense array.
+"""
+
+import pytest
+
+from conftest import attach_cpu_time, attach_gpu_times
+from repro.core.predicates import Comparison
+from repro.data import threshold_for_selectivity
+from repro.gpu.types import CompareFunc
+
+
+@pytest.fixture(scope="module")
+def predicate(relation):
+    values = relation.column("data_count").values
+    threshold = threshold_for_selectivity(
+        values, 0.8, CompareFunc.GEQUAL
+    )
+    return Comparison("data_count", CompareFunc.GEQUAL, threshold)
+
+
+@pytest.mark.benchmark(group="fig9-median-selectivity")
+def test_gpu_median_at_80pct(benchmark, gpu, predicate):
+    result = benchmark(gpu.median, "data_count", predicate)
+    attach_gpu_times(benchmark, gpu, result)
+
+
+@pytest.mark.benchmark(group="fig9-median-selectivity")
+def test_gpu_median_at_100pct(benchmark, gpu):
+    result = benchmark(gpu.median, "data_count")
+    attach_gpu_times(benchmark, gpu, result)
+
+
+@pytest.mark.benchmark(group="fig9-median-selectivity")
+def test_cpu_median_at_80pct(benchmark, cpu, predicate):
+    result = benchmark(cpu.median, "data_count", predicate)
+    attach_cpu_time(benchmark, result)
+
+
+def test_answers_agree(gpu, cpu, predicate):
+    assert (
+        gpu.median("data_count", predicate).value
+        == cpu.median("data_count", predicate).value
+    )
+
+
+def test_kth_phase_pass_structure_identical(gpu, predicate):
+    """The paper's exact claim: the KthLargest phase issues the same
+    passes whether 80% or 100% of records are valid."""
+    masked = gpu.median("data_count", predicate)
+    full = gpu.median("data_count")
+    masked_kth = [
+        (p.program, p.fragments)
+        for p in masked.compute.passes
+        if p.program is None
+    ]
+    full_kth = [
+        (p.program, p.fragments)
+        for p in full.compute.passes
+        if p.program is None
+    ]
+    # The masked run has extra selection passes; its kth comparison
+    # passes (fixed-function quads) must match the unmasked run's.
+    assert masked_kth[-len(full_kth):] == full_kth

@@ -1,0 +1,34 @@
+"""Figure 10: SUM — GPU Accumulator vs CPU SIMD accumulation.
+
+Paper claim: the GPU algorithm is nearly 20x SLOWER (one pass per bit
+with a 5-instruction program; 2004 fragment units had no integer ALU).
+"""
+
+import pytest
+
+from conftest import attach_cpu_time, attach_gpu_times
+
+
+@pytest.mark.benchmark(group="fig10-sum")
+def test_gpu_accumulator(benchmark, gpu):
+    result = benchmark(gpu.sum, "data_count")
+    attach_gpu_times(benchmark, gpu, result)
+    bits = gpu.relation.column("data_count").bits
+    benchmark.extra_info["passes"] = bits
+
+
+@pytest.mark.benchmark(group="fig10-sum")
+def test_cpu_simd_sum(benchmark, cpu):
+    result = benchmark(cpu.sum, "data_count")
+    attach_cpu_time(benchmark, result)
+
+
+def test_answers_agree(gpu, cpu):
+    assert gpu.sum("data_count").value == cpu.sum("data_count").value
+
+
+def test_simulated_slowdown_matches_paper(gpu, cpu):
+    """The figure's headline: GPU ~20x slower in simulated time."""
+    gpu_ms = gpu.time_ms(gpu.sum("data_count"))
+    cpu_ms = cpu.sum("data_count").modeled_ms
+    assert gpu_ms / cpu_ms > 5.0

@@ -1,0 +1,50 @@
+"""Section 5.11: selectivity analysis via occlusion queries.
+
+Paper claim: the count of selected records comes back with the query
+itself — no extra rendering pass, within 0.25 ms.
+"""
+
+import pytest
+
+from conftest import attach_gpu_times
+from repro.core.predicates import Between, Comparison
+from repro.data import range_for_selectivity, threshold_for_selectivity
+from repro.gpu.types import CompareFunc
+
+
+@pytest.mark.benchmark(group="sec511-selectivity")
+def test_selection_with_count(benchmark, gpu, relation):
+    values = relation.column("data_count").values
+    threshold = threshold_for_selectivity(
+        values, 0.6, CompareFunc.GEQUAL
+    )
+    predicate = Comparison("data_count", CompareFunc.GEQUAL, threshold)
+    result = benchmark(gpu.select, predicate)
+    attach_gpu_times(benchmark, gpu, result)
+    # The count readback is the only synchronous stall.
+    assert result.compute.occlusion_results == 1
+
+
+@pytest.mark.benchmark(group="sec511-selectivity")
+def test_range_selection_with_count(benchmark, gpu, relation):
+    values = relation.column("data_count").values
+    low, high = range_for_selectivity(values, 0.6)
+    result = benchmark(gpu.select, Between("data_count", low, high))
+    attach_gpu_times(benchmark, gpu, result)
+
+
+def test_count_overhead_within_paper_bound(gpu, relation):
+    values = relation.column("data_count").values
+    threshold = threshold_for_selectivity(
+        values, 0.6, CompareFunc.GEQUAL
+    )
+    result = gpu.select(
+        Comparison("data_count", CompareFunc.GEQUAL, threshold)
+    )
+    window = result.compute
+    with_count = gpu.cost_model.time(window).total_ms
+    stalls = window.occlusion_results
+    window.occlusion_results = 0
+    without_count = gpu.cost_model.time(window).total_ms
+    window.occlusion_results = stalls
+    assert (with_count - without_count) <= 0.25

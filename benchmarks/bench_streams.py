@@ -1,0 +1,70 @@
+"""Streaming continuous queries (the section 7 extension).
+
+Measures one steady-state tick: a batch append (partial texture
+uploads) plus re-evaluation of a registered query panel over the
+sliding window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import Comparison
+from repro.gpu.types import CompareFunc
+from repro.streams import ContinuousQuery, StreamEngine
+
+WINDOW = 32_768
+
+
+def _engine_with_panel():
+    engine = StreamEngine(
+        [("data_count", 19), ("data_loss", 10)], capacity=WINDOW
+    )
+    engine.register(ContinuousQuery("flows", "count"))
+    engine.register(
+        ContinuousQuery(
+            "heavy",
+            "count",
+            predicate=Comparison(
+                "data_count", CompareFunc.GEQUAL, 300_000
+            ),
+        )
+    )
+    engine.register(
+        ContinuousQuery("median", "median", column="data_count")
+    )
+    return engine
+
+
+@pytest.mark.benchmark(group="streams")
+@pytest.mark.parametrize("batch", [512, 8_192])
+def test_stream_tick(benchmark, batch):
+    engine = _engine_with_panel()
+    rng = np.random.default_rng(batch)
+    payload = {
+        "data_count": rng.integers(0, 1 << 19, batch),
+        "data_loss": rng.integers(0, 1 << 10, batch),
+    }
+    engine.append(payload)  # warm the window
+
+    tick = benchmark(engine.append, payload)
+    benchmark.extra_info["batch"] = batch
+    benchmark.extra_info["simulated_gpu_ms"] = round(tick.gpu_ms, 4)
+    benchmark.extra_info["simulated_records_per_s"] = int(
+        batch / (tick.gpu_ms / 1e3)
+    )
+
+
+def test_tick_results_match_host():
+    engine = _engine_with_panel()
+    rng = np.random.default_rng(0)
+    history = []
+    for _ in range(3):
+        payload = {
+            "data_count": rng.integers(0, 1 << 19, 4_096),
+            "data_loss": rng.integers(0, 1 << 10, 4_096),
+        }
+        history.append(payload["data_count"])
+        tick = engine.append(payload)
+    window = np.concatenate(history)[-WINDOW:]
+    assert tick.results["flows"] == window.size
+    assert tick.results["heavy"] == int((window >= 300_000).sum())

@@ -1,0 +1,65 @@
+"""Shared benchmark fixtures.
+
+Benchmarks measure two things at once:
+
+* **wall-clock** of the simulator executing the real multi-pass
+  algorithm (the number pytest-benchmark reports), and
+* **simulated GeForce-FX / dual-Xeon milliseconds** from the calibrated
+  cost models, attached as ``extra_info`` so results files carry the
+  paper-comparable figures.
+
+Sizes are kept moderate (64K records) so each benchmark round runs in
+milliseconds; the figure-regeneration harness (``python -m repro.bench
+--scale paper``) is the tool for paper-size sweeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CpuEngine, GpuEngine
+from repro.cpu.cost import CpuCostModel
+from repro.data import make_tcpip
+from repro.gpu.cost import GpuCostModel
+
+#: Default record count for benchmark relations.
+BENCH_RECORDS = 65_536
+
+
+@pytest.fixture(scope="session")
+def relation():
+    return make_tcpip(BENCH_RECORDS, seed=2004)
+
+
+@pytest.fixture(scope="session")
+def gpu(relation):
+    engine = GpuEngine(relation, GpuCostModel())
+    # Warm every texture the benchmarks touch so uploads happen once.
+    for name in relation.column_names:
+        engine.column_texture(name)
+    engine.packed_texture(tuple(relation.column_names))
+    return engine
+
+
+@pytest.fixture(scope="session")
+def cpu(relation):
+    return CpuEngine(relation, CpuCostModel())
+
+
+def attach_gpu_times(benchmark, engine, result):
+    """Record simulated milliseconds alongside the measured wall-clock."""
+    model = engine.cost_model
+    benchmark.extra_info["simulated_gpu_total_ms"] = round(
+        result.total_time(model).total_ms, 4
+    )
+    benchmark.extra_info["simulated_gpu_compute_ms"] = round(
+        result.compute_time(model).total_ms, 4
+    )
+    benchmark.extra_info["simulated_gpu_copy_ms"] = round(
+        result.copy_time(model).total_ms, 4
+    )
+
+
+def attach_cpu_time(benchmark, result):
+    benchmark.extra_info["simulated_cpu_ms"] = round(
+        result.modeled_ms, 4
+    )

@@ -1,0 +1,76 @@
+"""Selectivity analysis for query optimization — section 5.11 in action.
+
+The paper's selectivity analysis exists to feed query optimizers
+(it cites selectivity-estimation work for join ordering).  This example
+plays the optimizer's side of that conversation, three ways:
+
+1. **exact, batched** — probe many candidate predicates with
+   ``engine.selectivities``, sharing depth copies (the paper's count
+   readbacks at <= 0.25 ms each);
+2. **estimated** — a histogram-based ``SelectivityEstimator`` answers
+   the same questions without touching the data again;
+3. **applied** — the SQL planner's explain output and automatic
+   GPU/CPU routing, which those estimates exist to serve.
+
+Run:  python examples/query_optimizer.py
+"""
+
+import numpy as np
+
+from repro.core import GpuEngine, SelectivityEstimator, col
+from repro.data import make_tcpip
+from repro.sql import Database
+
+NUM_RECORDS = 150_000
+
+print(f"TCP/IP trace, {NUM_RECORDS} flows\n")
+trace = make_tcpip(NUM_RECORDS)
+gpu = GpuEngine(trace)
+
+# --- 1. Exact batched selectivity analysis ------------------------------
+thresholds = [2_000, 8_000, 32_000, 128_000, 400_000]
+candidates = [col("data_count") >= t for t in thresholds]
+candidates += [
+    col("flow_rate").between(10_000, 50_000),
+    (col("data_loss") >= 512) & (col("retransmissions") >= 128),
+]
+result = gpu.selectivities(candidates)
+print("exact selectivities (one batched sweep, "
+      f"{result.copy.num_passes} depth copies for "
+      f"{len(candidates)} predicates, "
+      f"{gpu.time_ms(result):.2f} simulated ms):")
+for predicate, count in zip(candidates, result.value):
+    print(f"  {count / NUM_RECORDS:7.2%}  {predicate}")
+
+# --- 2. Histogram-based estimation ---------------------------------------
+estimator = SelectivityEstimator.build(gpu, buckets=48)
+print("\nestimated vs exact (48-bucket histograms, no further passes):")
+print(f"  {'estimate':>9} {'exact':>9}  predicate")
+for predicate, count in zip(candidates, result.value):
+    estimate = estimator.estimate(predicate)
+    print(
+        f"  {estimate:9.2%} {count / NUM_RECORDS:9.2%}  {predicate}"
+    )
+
+# --- 3. What the optimizer does with it -----------------------------------
+db = Database()
+db.register(trace)
+print("\nplanner explain for a selective vs an unselective query:")
+for sql in (
+    "SELECT MEDIAN(data_count) FROM tcpip "
+    "WHERE data_count >= 400000",
+    "SELECT MEDIAN(data_count) FROM tcpip WHERE data_count >= 2000",
+):
+    plan = db.plan(sql)
+    selectivity = estimator.estimate(plan.statement.where)
+    print(f"\n  {sql}")
+    print(f"  estimated selectivity: {selectivity:.1%}")
+    for line in plan.explain().splitlines():
+        print(f"    {line}")
+
+# Everything cross-checked.
+reference = [
+    int(np.count_nonzero(p.mask(trace))) for p in candidates
+]
+assert result.value == reference
+print("\nall exact counts verified against host-side evaluation.")

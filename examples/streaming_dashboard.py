@@ -1,0 +1,106 @@
+"""Continuous queries over a network stream — the paper's section 7
+future work, running.
+
+Simulates a network-monitoring dashboard: flow records arrive in
+batches, the GPU keeps a sliding window of the newest 50 000 flows in
+textures, and a panel of registered continuous queries (throughput,
+loss percentile, heavy-hitter counts) is refreshed after every batch
+with the usual rendering-pass machinery.  Appends cost bus bandwidth
+proportional to the batch — not the window — thanks to partial texture
+updates.
+
+Run:  python examples/streaming_dashboard.py
+"""
+
+import numpy as np
+
+from repro.core import col
+from repro.streams import ContinuousQuery, StreamEngine
+
+WINDOW = 50_000
+BATCH = 5_000
+TICKS = 8
+
+rng = np.random.default_rng(2004)
+
+engine = StreamEngine(
+    [("data_count", 19), ("data_loss", 10), ("flow_rate", 16)],
+    capacity=WINDOW,
+)
+
+engine.register(ContinuousQuery("flows", "count"))
+engine.register(
+    ContinuousQuery(
+        "heavy", "count", predicate=col("data_count") >= 300_000
+    )
+)
+engine.register(
+    ContinuousQuery(
+        "lossy_share",
+        "selectivity",
+        predicate=(col("data_loss") >= 512)
+        & (col("flow_rate") < 20_000),
+    )
+)
+engine.register(
+    ContinuousQuery("p50_count", "median", column="data_count")
+)
+engine.register(
+    ContinuousQuery(
+        "p99_loss", "kth_largest", column="data_loss",
+        k=max(1, WINDOW // 100),
+    )
+)
+engine.register(
+    ContinuousQuery("bytes_total", "sum", column="data_count")
+)
+
+print(
+    f"window {WINDOW} flows, batches of {BATCH}; "
+    f"{len(engine.queries)} continuous queries\n"
+)
+print(
+    f"{'tick':>4} {'window':>7} {'heavy':>6} {'lossy%':>7} "
+    f"{'p50(count)':>11} {'p99(loss)':>10} {'GB seen':>8} "
+    f"{'gpu ms':>7}"
+)
+
+for tick_number in range(1, TICKS + 1):
+    # Traffic intensity drifts over time.
+    intensity = 1.0 + 0.15 * tick_number
+    batch = {
+        "data_count": np.minimum(
+            (rng.pareto(1.3, BATCH) + 1) * 4_000 * intensity,
+            (1 << 19) - 1,
+        ).astype(np.int64),
+        "data_loss": rng.integers(0, 1 << 10, BATCH),
+        "flow_rate": rng.integers(0, 1 << 16, BATCH),
+    }
+    tick = engine.append(batch)
+    results = tick.results
+    print(
+        f"{tick_number:>4} {tick.window_size:>7} "
+        f"{results['heavy']:>6} "
+        f"{results['lossy_share'] * 100:>6.2f}% "
+        f"{results['p50_count']:>11} {results['p99_loss']:>10} "
+        f"{results['bytes_total'] / 1e9:>8.2f} "
+        f"{tick.gpu_ms:>7.2f}"
+    )
+
+# Sustainable rate: how many such ticks per second the FX 5900 absorbs.
+per_tick_s = tick.gpu_ms / 1e3
+print(
+    f"\nsimulated cost per tick: {tick.gpu_ms:.2f} ms "
+    f"-> ~{1 / per_tick_s:.0f} ticks/s "
+    f"= ~{BATCH / per_tick_s / 1e6:.1f} M flows/s sustained"
+)
+
+# Ad-hoc drill-down on the live window, verified on the host.
+window = engine.window_relation()
+heavy_mask = window.column("data_count").values >= 300_000
+assert int(heavy_mask.sum()) == tick.results["heavy"]
+print(
+    f"drill-down: the {tick.results['heavy']} heavy flows lose "
+    f"{window.column('data_loss').values[heavy_mask].mean():.0f} "
+    "units on average (host-verified)"
+)

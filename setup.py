@@ -1,0 +1,12 @@
+"""Offline-install shim: `python setup.py develop` works without the
+`wheel` package that pip's PEP-517 editable path requires."""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": [
+            "repro-bench = repro.bench.cli:main",
+        ],
+    }
+)

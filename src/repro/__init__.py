@@ -1,0 +1,50 @@
+"""repro — reproduction of Govindaraju et al., "Fast Computation of
+Database Operations using Graphics Processors" (SIGMOD 2004).
+
+Layering:
+
+* :mod:`repro.gpu`  — software simulator of a GeForce-FX-class GPU
+  (textures, depth/stencil buffers, fragment-program ISA, occlusion
+  queries, video memory, cost model).
+* :mod:`repro.cpu`  — the optimized CPU baselines the paper compares
+  against (SIMD-style scans, QuickSelect) plus a Xeon cost model.
+* :mod:`repro.core` — the paper's contribution: predicates, boolean CNF
+  combinations, range and semi-linear queries, and aggregations, all
+  executed as rendering passes.  :class:`repro.core.GpuEngine` is the
+  main public entry point.
+* :mod:`repro.sql`  — a small SQL front-end over both engines.
+* :mod:`repro.ext`  — the paper's future-work items: bitonic sorting and
+  a selectivity-guided join.
+* :mod:`repro.streams` — continuous queries over streams (section 7).
+* :mod:`repro.olap` — data-cube roll-up / drill-down (section 7).
+* :mod:`repro.data` — synthetic TCP/IP and census workload generators.
+* :mod:`repro.bench`— the harness that regenerates every figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import errors
+from .core import (
+    Column,
+    CpuEngine,
+    GpuEngine,
+    Relation,
+    col,
+)
+from .olap import DataCube
+from .sql import Database
+from .streams import ContinuousQuery, StreamEngine
+
+__all__ = [
+    "Column",
+    "ContinuousQuery",
+    "CpuEngine",
+    "DataCube",
+    "Database",
+    "GpuEngine",
+    "Relation",
+    "StreamEngine",
+    "__version__",
+    "col",
+    "errors",
+]

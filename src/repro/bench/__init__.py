@@ -1,0 +1,36 @@
+"""Benchmark harness: one experiment per paper figure / claim / ablation.
+
+``python -m repro.bench`` (or ``repro-bench``) regenerates everything;
+see :data:`repro.bench.runner.DEFAULT_ORDER` for the experiment list.
+"""
+
+from .registry import (
+    REGISTRY,
+    SCALES,
+    Experiment,
+    ExperimentResult,
+    Scale,
+    Series,
+    get_experiment,
+    get_scale,
+)
+from .report import render_markdown, render_series_csv, render_table
+from .runner import DEFAULT_ORDER, experiment_ids, run_all, run_experiment
+
+__all__ = [
+    "DEFAULT_ORDER",
+    "Experiment",
+    "ExperimentResult",
+    "REGISTRY",
+    "SCALES",
+    "Scale",
+    "Series",
+    "experiment_ids",
+    "get_experiment",
+    "get_scale",
+    "render_markdown",
+    "render_series_csv",
+    "render_table",
+    "run_all",
+    "run_experiment",
+]

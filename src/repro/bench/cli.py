@@ -1,0 +1,98 @@
+"""Command-line entry point: ``python -m repro.bench`` / ``repro-bench``.
+
+Examples::
+
+    repro-bench                       # every experiment, quick scale
+    repro-bench fig3 fig4             # just those figures
+    repro-bench --scale paper fig7    # paper-size sweep (slow)
+    repro-bench --markdown            # EXPERIMENTS.md-style output
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import time
+
+from .registry import REGISTRY
+from .report import render_markdown, render_series_csv, render_table
+from .runner import experiment_ids, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the figures of 'Fast Computation of Database "
+            "Operations using Graphics Processors' (SIGMOD 2004) on "
+            "the simulated GeForce FX 5900."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=(
+            "experiment ids to run (default: all); "
+            "use --list to see them"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=("smoke", "quick", "paper"),
+        help="sweep sizes (paper = up to 10^6 records, slow)",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit Markdown sections instead of tables",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list experiment ids and exit",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write one CSV per series into DIR (for plotting)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for eid in experiment_ids():
+            experiment = REGISTRY[eid]
+            print(f"{eid:20s} {experiment.title}")
+        return 0
+    targets = args.experiments or experiment_ids()
+    renderer = render_markdown if args.markdown else render_table
+    for eid in targets:
+        started = time.perf_counter()
+        result = run_experiment(eid, scale=args.scale)
+        elapsed = time.perf_counter() - started
+        print(renderer(result))
+        if args.csv:
+            _write_csv(args.csv, result)
+        if not args.markdown:
+            print(f"  (harness wall-clock: {elapsed:.1f} s)")
+        print()
+    return 0
+
+
+def _write_csv(directory: str, result) -> None:
+    out = pathlib.Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    for series in result.series:
+        slug = re.sub(r"[^A-Za-z0-9]+", "-", series.name).strip("-")
+        path = out / f"{result.experiment_id}_{slug}.csv"
+        path.write_text(render_series_csv(series) + "\n")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

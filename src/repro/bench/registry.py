@@ -1,0 +1,126 @@
+"""Experiment registry: one entry per paper figure / claim / ablation.
+
+Each experiment produces an :class:`ExperimentResult` — named series of
+simulated milliseconds over a swept parameter, plus the headline ratios
+the paper reports, so `EXPERIMENTS.md` can juxtapose paper-claimed vs
+model-reproduced numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from ..errors import BenchmarkError
+
+
+@dataclasses.dataclass
+class Scale:
+    """How big to run the sweeps.
+
+    ``paper`` matches the paper's dataset sizes (up to 10^6 records —
+    minutes of wall-clock in the simulator); ``quick`` keeps the same
+    shapes at sizes that run in seconds; ``smoke`` is for tests.
+    """
+
+    name: str
+    record_counts: tuple[int, ...]
+    kth_records: int
+    k_sweep: tuple[int, ...]
+
+    @property
+    def max_records(self) -> int:
+        return max(self.record_counts)
+
+
+SCALES = {
+    "smoke": Scale(
+        name="smoke",
+        record_counts=(2_000, 5_000, 10_000),
+        kth_records=5_000,
+        k_sweep=(1, 10, 100, 2_500, 5_000),
+    ),
+    "quick": Scale(
+        name="quick",
+        record_counts=(25_000, 50_000, 100_000, 200_000),
+        kth_records=100_000,
+        k_sweep=(1, 10, 100, 1_000, 10_000, 50_000, 100_000),
+    ),
+    "paper": Scale(
+        name="paper",
+        record_counts=(125_000, 250_000, 500_000, 750_000, 1_000_000),
+        kth_records=250_000,
+        k_sweep=(1, 10, 100, 1_000, 10_000, 100_000, 250_000),
+    ),
+}
+
+
+@dataclasses.dataclass
+class Series:
+    """One line of a figure: label + x values + milliseconds."""
+
+    name: str
+    x: list
+    y_ms: list
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    experiment_id: str
+    title: str
+    x_label: str
+    series: list[Series]
+    #: Headline numbers: label -> value (ratios, overheads, errors).
+    headlines: dict
+    #: The paper's corresponding claim, for side-by-side reporting.
+    paper_claim: str
+    notes: str = ""
+
+
+@dataclasses.dataclass
+class Experiment:
+    id: str
+    title: str
+    paper_claim: str
+    runner: Callable[[Scale], ExperimentResult]
+
+
+REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str, paper_claim: str):
+    """Decorator registering an experiment runner."""
+
+    def wrap(func: Callable[[Scale], ExperimentResult]):
+        if experiment_id in REGISTRY:
+            raise BenchmarkError(
+                f"duplicate experiment id {experiment_id!r}"
+            )
+        REGISTRY[experiment_id] = Experiment(
+            id=experiment_id,
+            title=title,
+            paper_claim=paper_claim,
+            runner=func,
+        )
+        return func
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(REGISTRY)}"
+        ) from None
+
+
+def get_scale(name: str) -> Scale:
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown scale {name!r}; available: {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,99 @@
+"""Rendering of experiment results: terminal tables and Markdown.
+
+The terminal renderer prints the rows/series a figure would plot; the
+Markdown renderer produces the per-experiment sections EXPERIMENTS.md is
+assembled from.
+"""
+
+from __future__ import annotations
+
+from .registry import ExperimentResult, Series
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _format_x(value) -> str:
+    if isinstance(value, int) and value >= 10_000:
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Fixed-width table: one row per x value, one column per series."""
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    lines.append(f"paper: {result.paper_claim}")
+    lines.append("")
+    xs = result.series[0].x if result.series else []
+    headers = [result.x_label] + [s.name for s in result.series]
+    rows = []
+    for index, x in enumerate(xs):
+        row = [_format_x(x)]
+        for series in result.series:
+            row.append(f"{series.y_ms[index]:.3f}")
+        rows.append(row)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines.append(
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    lines.append("")
+    for label, value in result.headlines.items():
+        lines.append(f"  {label}: {_format_value(value)}")
+    if result.notes:
+        lines.append(f"  note: {result.notes}")
+    return "\n".join(lines)
+
+
+def render_markdown(result: ExperimentResult) -> str:
+    """A Markdown section for EXPERIMENTS.md."""
+    lines = [f"### {result.experiment_id} — {result.title}", ""]
+    lines.append(f"**Paper claim.** {result.paper_claim}")
+    lines.append("")
+    headers = [result.x_label] + [
+        f"{s.name} (ms)" for s in result.series
+    ]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "---|" * len(headers))
+    xs = result.series[0].x if result.series else []
+    for index, x in enumerate(xs):
+        cells = [_format_x(x)] + [
+            f"{s.y_ms[index]:.3f}" for s in result.series
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    lines.append("**Measured headlines.**")
+    lines.append("")
+    for label, value in result.headlines.items():
+        lines.append(f"- {label}: {_format_value(value)}")
+    if result.notes:
+        lines.append(f"- note: {result.notes}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_series_csv(series: Series) -> str:
+    """One series as CSV (x,ms) — for external plotting."""
+    lines = [f"x,{series.name}"]
+    for x, y in zip(series.x, series.y_ms):
+        lines.append(f"{x},{y:.6f}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Experiment execution.
+
+Importing this module loads every registered experiment (figures and
+analyses); :func:`run_experiment` / :func:`run_all` execute them at a
+chosen scale.
+"""
+
+from __future__ import annotations
+
+from . import analyses as _analyses  # noqa: F401 - registers experiments
+from . import figures as _figures  # noqa: F401 - registers experiments
+from .registry import (
+    REGISTRY,
+    ExperimentResult,
+    Scale,
+    get_experiment,
+    get_scale,
+)
+
+#: Paper-evaluation order for run_all / EXPERIMENTS.md.
+DEFAULT_ORDER = (
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "sec511",
+    "util",
+    "stream",
+    "ablation_range",
+    "ablation_copyshare",
+    "ablation_testbit",
+    "ablation_occlusion",
+    "ablation_earlyz",
+    "ablation_mipmap",
+    "ablation_sort",
+)
+
+
+def experiment_ids() -> list[str]:
+    ordered = [eid for eid in DEFAULT_ORDER if eid in REGISTRY]
+    extras = sorted(set(REGISTRY) - set(ordered))
+    return ordered + extras
+
+
+def run_experiment(
+    experiment_id: str, scale: str | Scale = "quick"
+) -> ExperimentResult:
+    if isinstance(scale, str):
+        scale = get_scale(scale)
+    experiment = get_experiment(experiment_id)
+    return experiment.runner(scale)
+
+
+def run_all(scale: str | Scale = "quick") -> list[ExperimentResult]:
+    if isinstance(scale, str):
+        scale = get_scale(scale)
+    return [
+        get_experiment(eid).runner(scale) for eid in experiment_ids()
+    ]

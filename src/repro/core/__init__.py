@@ -1,0 +1,66 @@
+"""The paper's contribution: database operations as rendering passes.
+
+Public entry points:
+
+* :class:`Relation` / :class:`Column` — data model,
+* :func:`col` and the predicate classes — query construction,
+* :class:`GpuEngine` — GPU execution with simulated FX-5900 costing,
+* :class:`CpuEngine` — the optimized CPU baseline behind the same API.
+"""
+
+from .aggregates import mipmap_sum
+from .column import Column
+from .cpu_engine import CpuEngine, CpuOpResult, CpuSelection, predicate_terms
+from .engine import GpuEngine, GpuOpResult, Selection, TopK, split_copy_stats
+from .estimate import ColumnHistogram, SelectivityEstimator
+from .polynomial import Polynomial, polynomial_program
+from .predicates import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    SemiLinear,
+    SimplePredicate,
+    attr_compare,
+    col,
+    is_simple,
+    to_cnf,
+    to_dnf,
+)
+from .relation import Relation
+
+__all__ = [
+    "And",
+    "Between",
+    "Column",
+    "ColumnHistogram",
+    "ColumnRef",
+    "Comparison",
+    "CpuEngine",
+    "CpuOpResult",
+    "CpuSelection",
+    "GpuEngine",
+    "GpuOpResult",
+    "Not",
+    "Or",
+    "Polynomial",
+    "Predicate",
+    "Relation",
+    "Selection",
+    "SelectivityEstimator",
+    "SemiLinear",
+    "SimplePredicate",
+    "TopK",
+    "attr_compare",
+    "col",
+    "is_simple",
+    "mipmap_sum",
+    "polynomial_program",
+    "predicate_terms",
+    "split_copy_stats",
+    "to_cnf",
+    "to_dnf",
+]

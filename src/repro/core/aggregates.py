@@ -1,0 +1,323 @@
+"""Section 4.3: aggregations — COUNT, MIN, MAX, k-th largest, SUM, AVG.
+
+All of these reduce to *counting with occlusion queries*:
+
+* ``COUNT`` is one occlusion-counted selection pass.
+* ``KthLargest`` (routine 4.5) binary-searches the value bit by bit:
+  pass ``i`` counts the records ``>= x + 2**i`` and Lemma 1 decides the
+  bit.  ``b_max`` passes, no data rearrangement, constant in ``k``.
+* ``Accumulator`` (routine 4.6) sums by bit-slicing:
+  ``sum = Σ_i 2**i · #{records with bit i set}``, where the per-bit count
+  comes from the ``TestBit`` fragment program + alpha test + occlusion
+  query.  Exact for any integer data — unlike float mipmap reduction
+  (:func:`mipmap_sum`), which is kept as the paper's inexact strawman.
+
+Each routine accepts an optional ``valid_stencil`` so it aggregates only
+records selected by an earlier query: the stencil test rejects
+non-selected fragments and, with all stencil ops ``KEEP``, the selection
+mask survives unchanged (paper sections 4.3.3 and 5.9 test 3).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import QueryError
+from ..gpu.pipeline import Device
+from ..gpu.programs import test_bit_kil_program, test_bit_program
+from ..gpu.texture import Texture
+from ..gpu.types import CompareFunc, StencilOp
+from .compare import compare_pass, copy_to_depth
+
+
+def _configure_valid_stencil(device: Device, valid_stencil: int | None):
+    """Restrict all subsequent passes to records whose stencil equals
+    ``valid_stencil``, without modifying the mask."""
+    stencil = device.state.stencil
+    if valid_stencil is None:
+        stencil.enabled = False
+        return
+    stencil.enabled = True
+    stencil.func = CompareFunc.EQUAL
+    stencil.reference = valid_stencil
+    stencil.sfail = StencilOp.KEEP
+    stencil.zfail = StencilOp.KEEP
+    stencil.zpass = StencilOp.KEEP
+
+
+def count_valid(
+    device: Device, count: int, valid_stencil: int | None = None
+) -> int:
+    """COUNT: one occlusion-counted full-screen pass over the selection
+    (section 4.3.1)."""
+    device.state.color_mask = (False, False, False, False)
+    _configure_valid_stencil(device, valid_stencil)
+    device.state.depth.enabled = False
+    device.state.depth_bounds.enabled = False
+    device.state.alpha.enabled = False
+    query = device.begin_query()
+    device.render_quad(0.0, count=count)
+    device.end_query()
+    return query.result(synchronous=True)
+
+
+def kth_largest(
+    device: Device,
+    texture: Texture,
+    bits: int,
+    k: int,
+    scale: float,
+    channel: int = 0,
+    valid_stencil: int | None = None,
+) -> int:
+    """Routine 4.5: the k-th largest value of a ``bits``-bit integer
+    attribute, via ``bits`` counting passes (MSB first).
+
+    Returns the integer value.  ``k`` counts from 1 (the maximum).
+    The attribute is copied to the depth buffer once; each pass renders
+    one comparison quad at the tentative value and retrieves its
+    occlusion count synchronously (the next bit depends on it).
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    device.state.color_mask = (False, False, False, False)
+    copy_to_depth(device, texture, scale, channel=channel)
+    _configure_valid_stencil(device, valid_stencil)
+
+    denominator = float(1 << bits)
+    x = 0
+    for i in range(bits - 1, -1, -1):
+        tentative = x + (1 << i)
+        query = device.begin_query()
+        # attribute >= tentative  <=>  tentative <= attribute
+        compare_pass(
+            device, CompareFunc.GEQUAL, tentative / denominator,
+            texture.count,
+        )
+        device.end_query()
+        # Lemma 1: count > k-1  =>  tentative <= v_k, keep the bit.
+        if query.result(synchronous=True) > k - 1:
+            x = tentative
+    return x
+
+
+def kth_largest_multi(
+    device: Device,
+    texture: Texture,
+    bits: int,
+    ks: list[int],
+    scale: float,
+    channel: int = 0,
+    valid_stencil: int | None = None,
+) -> list[int]:
+    """Routine 4.5 for several k at once, sharing one depth copy.
+
+    The attribute is copied to the depth buffer once; each k then costs
+    only its ``bits`` comparison passes.  This is how quantile ladders
+    (p50/p90/p99...) amortize the paper's dominant copy cost.
+    """
+    if not ks:
+        raise QueryError("kth_largest_multi() needs at least one k")
+    if any(k < 1 for k in ks):
+        raise QueryError(f"every k must be >= 1, got {ks}")
+    device.state.color_mask = (False, False, False, False)
+    copy_to_depth(device, texture, scale, channel=channel)
+    _configure_valid_stencil(device, valid_stencil)
+
+    denominator = float(1 << bits)
+    results = []
+    for k in ks:
+        x = 0
+        for i in range(bits - 1, -1, -1):
+            tentative = x + (1 << i)
+            query = device.begin_query()
+            compare_pass(
+                device,
+                CompareFunc.GEQUAL,
+                tentative / denominator,
+                texture.count,
+            )
+            device.end_query()
+            if query.result(synchronous=True) > k - 1:
+                x = tentative
+        results.append(x)
+    return results
+
+
+def kth_smallest(
+    device: Device,
+    texture: Texture,
+    bits: int,
+    k: int,
+    scale: float,
+    valid_count: int,
+    channel: int = 0,
+    valid_stencil: int | None = None,
+) -> int:
+    """The k-th smallest value: the (n - k + 1)-th largest, which is
+    duplicate-safe (the paper inverts the comparison; complementing k is
+    the equivalent order-statistics identity)."""
+    if not 1 <= k <= valid_count:
+        raise QueryError(f"k={k} outside [1, {valid_count}]")
+    return kth_largest(
+        device,
+        texture,
+        bits,
+        valid_count - k + 1,
+        scale,
+        channel=channel,
+        valid_stencil=valid_stencil,
+    )
+
+
+def maximum(device, texture, bits, scale, channel=0, valid_stencil=None):
+    """MAX = the 1st largest (section 4.3.2)."""
+    return kth_largest(
+        device, texture, bits, 1, scale,
+        channel=channel, valid_stencil=valid_stencil,
+    )
+
+
+def minimum(
+    device, texture, bits, scale, valid_count, channel=0, valid_stencil=None
+):
+    """MIN = the ``valid_count``-th largest."""
+    return kth_largest(
+        device, texture, bits, valid_count, scale,
+        channel=channel, valid_stencil=valid_stencil,
+    )
+
+
+def median(
+    device, texture, bits, scale, valid_count, channel=0, valid_stencil=None
+):
+    """The ceil(n/2)-th largest value (the paper's median convention for
+    figures 8 and 9)."""
+    if valid_count < 1:
+        raise QueryError("median of an empty selection")
+    k = (valid_count + 1) // 2
+    return kth_largest(
+        device, texture, bits, k, scale,
+        channel=channel, valid_stencil=valid_stencil,
+    )
+
+
+@lru_cache(maxsize=8)
+def _test_bit(channel: int):
+    return test_bit_program(channel)
+
+
+@lru_cache(maxsize=8)
+def _test_bit_kil(channel: int):
+    return test_bit_kil_program(channel)
+
+
+def accumulate(
+    device: Device,
+    texture: Texture,
+    bits: int,
+    channel: int = 0,
+    valid_stencil: int | None = None,
+    use_alpha_test: bool = True,
+) -> int:
+    """Routine 4.6: ``Accumulator`` — exact integer SUM by bit slicing.
+
+    One pass per bit: the ``TestBit`` program moves
+    ``frac(value / 2**(i+1))`` into alpha and the alpha test
+    (``>= 0.5``) lets exactly the bit-set fragments through to the
+    occlusion counter.  Queries are issued back to back and only the
+    final result synchronizes, matching the paper's observation that
+    occlusion queries pipeline (section 5.3).
+
+    ``use_alpha_test=False`` switches to the ``KIL``-based rejection the
+    paper found slower (ablation).
+    """
+    texture.assert_integer_exact()
+    state = device.state
+    state.color_mask = (False, False, False, False)
+    state.depth.enabled = False
+    state.depth_bounds.enabled = False
+    _configure_valid_stencil(device, valid_stencil)
+    if use_alpha_test:
+        device.set_program(_test_bit(channel))
+        state.alpha.enabled = True
+        state.alpha.func = CompareFunc.GEQUAL
+        state.alpha.reference = 0.5
+    else:
+        device.set_program(_test_bit_kil(channel))
+        state.alpha.enabled = False
+
+    queries = []
+    for i in range(bits):
+        device.set_program_parameter(0, 1.0 / float(1 << (i + 1)))
+        query = device.begin_query()
+        device.render_textured_quad(texture)
+        device.end_query()
+        queries.append(query)
+
+    device.set_program(None)
+    state.alpha.enabled = False
+
+    total = 0
+    for i, query in enumerate(queries):
+        # Only the last retrieval waits on the pipeline; earlier results
+        # are already available by then (asynchronous queries).
+        synchronous = i == len(queries) - 1
+        total += query.result(synchronous=synchronous) << i
+    return total
+
+
+def average(
+    device: Device,
+    texture: Texture,
+    bits: int,
+    channel: int = 0,
+    valid_stencil: int | None = None,
+) -> float:
+    """AVG = SUM / COUNT (section 4.3.3)."""
+    selected = count_valid(
+        device, texture.count, valid_stencil=valid_stencil
+    )
+    if selected == 0:
+        raise QueryError("AVG of an empty selection")
+    total = accumulate(
+        device, texture, bits, channel=channel, valid_stencil=valid_stencil
+    )
+    return total / selected
+
+
+def mipmap_sum(texture: Texture, channel: int = 0) -> tuple[float, int]:
+    """The float-mipmap SUM the paper argues against (section 4.3.3):
+    repeated 2x2 float32 averaging down to one texel, then
+    ``average * texel_count``.
+
+    Returns ``(approximate_sum, levels)``.  Unlike :func:`accumulate`
+    this loses precision once partial averages exceed float32's 24-bit
+    significand; tests and the ablation benchmark quantify the error.
+    """
+    if not 0 <= channel < texture.channels:
+        raise QueryError(
+            f"channel {channel} out of range for "
+            f"{texture.channels}-channel texture"
+        )
+    level = texture.data[:, :, channel].astype(np.float32)
+    levels = 0
+    while level.size > 1:
+        height, width = level.shape
+        padded_h = height + (height % 2)
+        padded_w = width + (width % 2)
+        if (padded_h, padded_w) != (height, width):
+            padded = np.zeros((padded_h, padded_w), dtype=np.float32)
+            padded[:height, :width] = level
+            level = padded
+        # One mipmap level: average each 2x2 block in float32.
+        blocks = level.reshape(
+            padded_h // 2, 2, padded_w // 2, 2
+        )
+        level = blocks.mean(axis=(1, 3), dtype=np.float32).astype(np.float32)
+        levels += 1
+    # Each 2x2 average divides the running sum by 4 (zero padding adds
+    # nothing), so the root holds total_sum / 4**levels.
+    return float(level[0, 0]) * float(4 ** levels), levels

@@ -1,0 +1,182 @@
+"""Routine 4.3: ``EvalCNF`` — boolean combinations in the stencil buffer.
+
+A CNF ``A1 AND A2 AND ... AND Ak`` (each ``Ai`` a disjunction of simple
+predicates) is evaluated clause by clause with three stencil values:
+
+* ``0`` — permanently invalid,
+* ``1`` / ``2`` — "valid so far", ping-ponged between odd and even
+  clauses.
+
+For an odd clause the valid value is 1: every satisfying disjunct
+``INCR``s matching pixels to 2 (and, because the stencil test then fails
+for them, at most once per record even if several disjuncts match); a
+cleanup pass zeroes pixels still at 1.  Even clauses mirror this with
+``DECR`` and valid value 2.  After the last clause, non-zero stencil
+marks exactly the records satisfying the whole CNF.
+
+The occlusion counts of the *last* clause's predicate passes sum to the
+CNF's selectivity count — no extra pass needed (paper section 5.11).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..gpu.pipeline import Device
+from ..gpu.types import STENCIL_MAX, CompareFunc, StencilOp
+from .predicates import Predicate
+
+#: ``execute_simple(device, predicate, query)``: render the pass(es) that
+#: make exactly the satisfying fragments reach the stencil zpass stage,
+#: under the stencil configuration already installed by ``eval_cnf``.
+#: When ``query`` is true, the effectful pass must run inside an
+#: occlusion query whose count is returned.
+SimpleExecutor = Callable[[Device, Predicate, bool], int | None]
+
+
+def eval_cnf(
+    device: Device,
+    clauses: list[list[Predicate]],
+    execute_simple: SimpleExecutor,
+    count: int,
+) -> tuple[int, int]:
+    """Evaluate a CNF and return ``(valid_stencil_value, match_count)``.
+
+    After the call the stencil buffer holds ``valid_stencil_value`` for
+    records satisfying the CNF and 0 elsewhere.
+    """
+    device.state.color_mask = (False, False, False, False)
+    device.clear_stencil(1)
+    if not clauses:
+        # Empty conjunction: everything matches; stencil already 1.
+        return 1, count
+
+    matched = 0
+    last = len(clauses)
+    for clause_index, clause in enumerate(clauses, start=1):
+        odd = bool(clause_index % 2)
+        valid = 1 if odd else 2
+        grow = StencilOp.INCR if odd else StencilOp.DECR
+
+        stencil = device.state.stencil
+        stencil.enabled = True
+        stencil.func = CompareFunc.EQUAL
+        stencil.reference = valid
+        stencil.sfail = StencilOp.KEEP
+        stencil.zfail = StencilOp.KEEP
+        stencil.zpass = grow
+
+        is_last = clause_index == last
+        for predicate in clause:
+            result = execute_simple(device, predicate, is_last)
+            if is_last:
+                matched += int(result or 0)
+
+        # Cleanup: records still at the stale valid value satisfied the
+        # previous clauses but no disjunct of this one -> invalidate.
+        stencil.func = CompareFunc.EQUAL
+        stencil.reference = valid
+        stencil.zpass = StencilOp.ZERO
+        device.state.depth.enabled = False
+        device.state.depth_bounds.enabled = False
+        device.render_quad(0.0, count=count)
+
+    final_valid = 2 if last % 2 else 1
+    return final_valid, matched
+
+
+#: Stencil bit planes used by the DNF evaluator.
+_DNF_WORK_MASK = 0x3  # per-clause EvalCNF counter
+_DNF_ACCEPT_BIT = 0x4  # sticky "some clause matched" flag
+#: Final stencil value marking DNF-selected records.
+DNF_VALID_STENCIL = _DNF_ACCEPT_BIT
+
+
+def eval_dnf(
+    device: Device,
+    clauses: list[list[Predicate]],
+    execute_simple: SimpleExecutor,
+    count: int,
+) -> tuple[int, int]:
+    """Evaluate a DNF (OR of AND-clauses): the paper's "easily
+    modified" variant of routine 4.3.
+
+    Uses two stencil bit planes (via the glStencilMask write mask):
+    bits 0-1 run the regular EvalCNF ping-pong for one AND-clause at a
+    time, and bit 2 stickily accumulates acceptance across clauses.
+    Returns ``(DNF_VALID_STENCIL, match_count)`` with the stencil
+    normalized to {0, DNF_VALID_STENCIL}.
+    """
+    device.state.color_mask = (False, False, False, False)
+    device.clear_stencil(0)
+    stencil = device.state.stencil
+    if not clauses:
+        # Empty disjunction: nothing matches; stencil already 0.
+        return DNF_VALID_STENCIL, 0
+
+    matched = 0
+    for conjunction in clauses:
+        # Re-arm the working plane to 1 on every pixel (the accept bit
+        # is outside the write mask and survives).
+        stencil.enabled = True
+        stencil.func = CompareFunc.ALWAYS
+        stencil.mask = STENCIL_MAX
+        stencil.write_mask = _DNF_WORK_MASK
+        stencil.reference = 1
+        stencil.sfail = StencilOp.KEEP
+        stencil.zfail = StencilOp.KEEP
+        stencil.zpass = StencilOp.REPLACE
+        device.state.depth.enabled = False
+        device.state.depth_bounds.enabled = False
+        device.render_quad(0.0, count=count)
+
+        # Run EvalCNF's clause loop inside the working plane: the
+        # conjunction is a CNF whose clauses are singletons.
+        for index, predicate in enumerate(conjunction, start=1):
+            odd = bool(index % 2)
+            valid = 1 if odd else 2
+            stencil.func = CompareFunc.EQUAL
+            stencil.mask = _DNF_WORK_MASK
+            stencil.write_mask = _DNF_WORK_MASK
+            stencil.reference = valid
+            stencil.zpass = (
+                StencilOp.INCR if odd else StencilOp.DECR
+            )
+            execute_simple(device, predicate, False)
+            # Invalidate records still at the stale working value.
+            stencil.zpass = StencilOp.ZERO
+            device.state.depth.enabled = False
+            device.state.depth_bounds.enabled = False
+            device.render_quad(0.0, count=count)
+
+        # Accept newly-satisfying records: working plane holds the
+        # final valid value AND the accept bit is still clear (the
+        # comparison spans all three bits, so already-accepted records
+        # are not re-counted).  INVERT through the accept-bit write
+        # mask flips exactly that bit from 0 to 1.
+        final_valid = 2 if len(conjunction) % 2 else 1
+        stencil.func = CompareFunc.EQUAL
+        stencil.mask = _DNF_WORK_MASK | _DNF_ACCEPT_BIT
+        stencil.write_mask = _DNF_ACCEPT_BIT
+        stencil.reference = final_valid  # accept bit clear in ref
+        stencil.zpass = StencilOp.INVERT
+        device.state.depth.enabled = False
+        device.state.depth_bounds.enabled = False
+        query = device.begin_query()
+        device.render_quad(0.0, count=count)
+        device.end_query()
+        matched += query.result(synchronous=True)
+
+    # Normalize to {0, DNF_VALID_STENCIL}: clear the working plane on
+    # accepted pixels, zero everything else.
+    stencil.func = CompareFunc.EQUAL
+    stencil.mask = _DNF_ACCEPT_BIT
+    stencil.reference = _DNF_ACCEPT_BIT
+    stencil.write_mask = _DNF_WORK_MASK
+    stencil.zpass = StencilOp.ZERO
+    device.render_quad(0.0, count=count)
+    stencil.func = CompareFunc.NOTEQUAL
+    stencil.write_mask = STENCIL_MAX
+    device.render_quad(0.0, count=count)
+    stencil.mask = STENCIL_MAX
+    return DNF_VALID_STENCIL, matched

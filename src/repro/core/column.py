@@ -1,0 +1,299 @@
+"""Typed attribute columns.
+
+A :class:`Column` is one attribute of a relation plus the metadata the
+GPU algorithms need:
+
+* its **bit width** — the paper's ``b_max`` (e.g. 19 bits for the
+  TCP/IP ``data_count`` attribute, section 5.9), which bounds the pass
+  counts of ``KthLargest`` and ``Accumulator``;
+* its **depth normalization** — the affine map into [0, 1] used when the
+  attribute is copied into the depth buffer.  For integer columns the
+  map is ``v / 2**bits``, which is *exact* under 24-bit depth
+  quantization; for floating-point columns it is a monotonic min/max
+  map, exact to one part in 2**24 of the range (precisely the precision
+  a real 24-bit depth buffer offers — paper section 6.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import DataError
+from ..gpu.types import DEPTH_BITS, MAX_EXACT_INT
+
+
+class Column:
+    """A named attribute vector.  Use :meth:`integer` or :meth:`floating`
+    to construct one."""
+
+    def __init__(
+        self,
+        name: str,
+        values: np.ndarray,
+        is_integer: bool,
+        bits: int,
+        lo: float,
+        hi: float,
+        fraction_bits: int = 0,
+    ):
+        self.name = name
+        self.values = values
+        self.is_integer = is_integer
+        self.bits = bits
+        self.lo = lo
+        self.hi = hi
+        #: For fixed-point columns: the number of fractional bits.  The
+        #: stored representation is ``value * 2**fraction_bits`` (an
+        #: integer), which is what the bit-sliced aggregates operate on.
+        self.fraction_bits = fraction_bits
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def integer(
+        cls, name: str, values, bits: int | None = None
+    ) -> "Column":
+        """A non-negative integer attribute of at most 24 bits.
+
+        ``bits`` defaults to the smallest width that holds the data; it
+        may be widened explicitly (e.g. to fix pass counts across
+        datasets) but never narrowed below the data.
+        """
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise DataError(f"column {name!r}: values must be 1-D")
+        if array.size and (
+            np.any(array < 0) or np.any(array != np.floor(array))
+        ):
+            raise DataError(
+                f"column {name!r}: integer columns need non-negative "
+                "integer values"
+            )
+        top = int(array.max()) if array.size else 0
+        if top >= MAX_EXACT_INT:
+            raise DataError(
+                f"column {name!r}: values must be < 2**{DEPTH_BITS} "
+                "for exact float32/depth representation"
+            )
+        needed = max(1, top.bit_length())
+        if bits is None:
+            bits = needed
+        if not needed <= bits <= DEPTH_BITS:
+            raise DataError(
+                f"column {name!r}: bits={bits} outside "
+                f"[{needed}, {DEPTH_BITS}]"
+            )
+        return cls(
+            name,
+            array.astype(np.float32),
+            is_integer=True,
+            bits=bits,
+            lo=0.0,
+            hi=float(1 << bits),
+        )
+
+    @classmethod
+    def fixed_point(
+        cls,
+        name: str,
+        values,
+        fraction_bits: int,
+        bits: int | None = None,
+    ) -> "Column":
+        """A non-negative fixed-point attribute with ``fraction_bits``
+        fractional bits (the extension the paper's section 4.3.3
+        mentions for ``Accumulator``).
+
+        Values are quantized to multiples of ``2**-fraction_bits``; the
+        stored integer ``value * 2**fraction_bits`` must fit in 24 bits.
+        All depth normalizations stay powers of two, so comparisons and
+        bit-sliced aggregation remain exact on the quantized values.
+        """
+        if not 1 <= fraction_bits <= DEPTH_BITS - 1:
+            raise DataError(
+                f"column {name!r}: fraction_bits={fraction_bits} "
+                f"outside [1, {DEPTH_BITS - 1}]"
+            )
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 1:
+            raise DataError(f"column {name!r}: values must be 1-D")
+        if array.size and np.any(array < 0):
+            raise DataError(
+                f"column {name!r}: fixed-point columns need "
+                "non-negative values"
+            )
+        stored = np.round(array * float(1 << fraction_bits))
+        top = int(stored.max()) if stored.size else 0
+        if top >= MAX_EXACT_INT:
+            raise DataError(
+                f"column {name!r}: values * 2**{fraction_bits} must be "
+                f"< 2**{DEPTH_BITS}"
+            )
+        needed = max(1, top.bit_length())
+        if bits is None:
+            bits = max(needed, fraction_bits + 1)
+        if not needed <= bits <= DEPTH_BITS:
+            raise DataError(
+                f"column {name!r}: bits={bits} outside "
+                f"[{needed}, {DEPTH_BITS}]"
+            )
+        quantized = (stored / float(1 << fraction_bits)).astype(
+            np.float32
+        )
+        return cls(
+            name,
+            quantized,
+            is_integer=False,
+            bits=bits,
+            lo=0.0,
+            hi=float(1 << bits) / float(1 << fraction_bits),
+            fraction_bits=fraction_bits,
+        )
+
+    @classmethod
+    def floating(
+        cls,
+        name: str,
+        values,
+        lo: float | None = None,
+        hi: float | None = None,
+    ) -> "Column":
+        """A float attribute with a known (or inferred) value range used
+        for depth normalization."""
+        array = np.asarray(values, dtype=np.float32)
+        if array.ndim != 1:
+            raise DataError(f"column {name!r}: values must be 1-D")
+        if not np.all(np.isfinite(array)):
+            raise DataError(f"column {name!r}: values must be finite")
+        if lo is None:
+            lo = float(array.min()) if array.size else 0.0
+        if hi is None:
+            hi = float(array.max()) if array.size else 1.0
+        if hi <= lo:
+            hi = lo + 1.0
+        if array.size and (
+            float(array.min()) < lo or float(array.max()) > hi
+        ):
+            raise DataError(
+                f"column {name!r}: values outside the declared range "
+                f"[{lo}, {hi}]"
+            )
+        return cls(
+            name,
+            array,
+            is_integer=False,
+            bits=DEPTH_BITS,
+            lo=lo,
+            hi=hi,
+        )
+
+    # -- geometry ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.values.size
+
+    @property
+    def num_records(self) -> int:
+        return self.values.size
+
+    @property
+    def is_fixed_point(self) -> bool:
+        return self.fraction_bits > 0
+
+    @property
+    def supports_bit_slicing(self) -> bool:
+        """True when KthLargest/Accumulator apply: integer or
+        fixed-point columns (exact power-of-two stored domain)."""
+        return self.is_integer or self.is_fixed_point
+
+    def stored_values(self) -> np.ndarray:
+        """The integer representation the bit-sliced aggregates see:
+        raw values for integer columns, ``value * 2**fraction_bits``
+        for fixed-point columns."""
+        if self.is_integer:
+            return self.values
+        if self.is_fixed_point:
+            return np.round(
+                self.values.astype(np.float64)
+                * float(1 << self.fraction_bits)
+            ).astype(np.float32)
+        raise DataError(
+            f"column {self.name!r} has no integer representation"
+        )
+
+    def from_stored(self, stored):
+        """Map a stored-domain integer result back to value units."""
+        if self.is_integer:
+            return stored
+        if self.is_fixed_point:
+            return stored / float(1 << self.fraction_bits)
+        raise DataError(
+            f"column {self.name!r} has no integer representation"
+        )
+
+    # -- depth normalization ------------------------------------------------------
+
+    @property
+    def depth_scale(self) -> float:
+        """Multiplier applied by the copy-to-depth fragment program."""
+        return 1.0 / (self.hi - self.lo)
+
+    @property
+    def depth_offset(self) -> float:
+        return self.lo
+
+    def normalize(self, value) -> np.ndarray | float:
+        """Map attribute value(s) into the [0, 1] depth range."""
+        result = (np.asarray(value, dtype=np.float64) - self.lo) / (
+            self.hi - self.lo
+        )
+        clipped = np.clip(result, 0.0, 1.0)
+        return float(clipped) if np.ndim(value) == 0 else clipped
+
+    def denormalize(self, depth) -> np.ndarray | float:
+        result = np.asarray(depth, dtype=np.float64) * (
+            self.hi - self.lo
+        ) + self.lo
+        return float(result) if np.ndim(depth) == 0 else result
+
+    def normalized_values(self) -> np.ndarray:
+        """Pre-normalized values, used when offset != 0 requires host-side
+        preparation (float columns with a non-zero lower bound)."""
+        return ((self.values.astype(np.float64) - self.lo)
+                * self.depth_scale).astype(np.float32)
+
+    def clamp_to_domain(self, value: float) -> float:
+        """Clamp a query constant to the representable domain so that
+        out-of-domain constants degrade to always-true/false comparisons
+        instead of wrapping."""
+        return float(min(max(value, self.lo), self.hi))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "int" if self.is_integer else "float"
+        return (
+            f"Column({self.name!r}, {kind}, n={self.num_records}, "
+            f"bits={self.bits})"
+        )
+
+
+def bits_for_max(max_value: int) -> int:
+    """Smallest bit width holding ``max_value`` (at least 1)."""
+    if max_value < 0:
+        raise DataError("max_value must be non-negative")
+    return max(1, int(max_value).bit_length())
+
+
+def bits_for_sum_passes(bits: int) -> int:
+    """Number of Accumulator passes for a column of ``bits`` bits
+    (routine 4.6 iterates i = 0 .. b_max)."""
+    if not 1 <= bits <= DEPTH_BITS:
+        raise DataError(f"bits={bits} outside [1, {DEPTH_BITS}]")
+    return bits
+
+
+def log2_ceil(n: int) -> int:
+    if n <= 0:
+        raise DataError("log2_ceil needs a positive argument")
+    return math.ceil(math.log2(n))

@@ -1,0 +1,397 @@
+"""CPU query engine: the paper's optimized baseline behind the same API.
+
+:class:`CpuEngine` mirrors :class:`~repro.core.engine.GpuEngine` method
+for method, so integration tests can assert both engines agree on every
+answer, and the benchmark harness can price both sides of each figure.
+
+Answers come from the vectorized scans in :mod:`repro.cpu`; simulated
+dual-Xeon timings come from :class:`~repro.cpu.cost.CpuCostModel` driven
+by the *structure* of the query (records scanned, predicate terms,
+selection compaction), mirroring how the GPU side is priced from
+pipeline counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..cpu import aggregate as cpu_aggregate
+from ..cpu.quickselect import partition_select
+from ..cpu.quickselect import quickselect as hoare_quickselect
+from ..cpu.cost import CpuCostModel
+from ..errors import QueryError
+from .polynomial import Polynomial
+from .predicates import (
+    And,
+    Between,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    SemiLinear,
+)
+from .relation import Relation
+
+
+def predicate_terms(predicate: Predicate, model: CpuCostModel) -> float:
+    """Equivalent simple-predicate terms a fused CPU scan evaluates per
+    record for this predicate (figure 5's linear-in-attributes cost)."""
+    if isinstance(predicate, Comparison):
+        return 1.0
+    if isinstance(predicate, Between):
+        return model.range_term_factor
+    if isinstance(predicate, SemiLinear):
+        return model.semilinear_ns_per_record / model.predicate_ns_per_record
+    if isinstance(predicate, Polynomial):
+        # A multiply per exponent step on top of the semi-linear scan.
+        multiplies = sum(max(p - 1, 0) for p in predicate.exponents)
+        base = model.semilinear_ns_per_record / model.predicate_ns_per_record
+        return base + 0.15 * multiplies
+    if isinstance(predicate, Not):
+        return predicate_terms(predicate.child, model)
+    if isinstance(predicate, (And, Or)):
+        return sum(
+            predicate_terms(child, model) for child in predicate.children
+        )
+    raise QueryError(
+        f"cannot price predicate of type {type(predicate).__name__}"
+    )
+
+
+@dataclasses.dataclass
+class CpuOpResult:
+    """Answer plus simulated CPU seconds."""
+
+    value: object
+    modeled_s: float
+
+    @property
+    def modeled_ms(self) -> float:
+        return self.modeled_s * 1e3
+
+
+@dataclasses.dataclass
+class CpuSelection(CpuOpResult):
+    mask: np.ndarray = None
+    total_records: int = 0
+
+    @property
+    def count(self) -> int:
+        return int(self.value)
+
+    @property
+    def selectivity(self) -> float:
+        if self.total_records == 0:
+            return 0.0
+        return self.count / self.total_records
+
+    def record_ids(self) -> np.ndarray:
+        return np.flatnonzero(self.mask)
+
+
+class CpuEngine:
+    """CPU-backed query engine over one relation."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        cost_model: CpuCostModel | None = None,
+        faithful_quickselect: bool = False,
+    ):
+        self.relation = relation
+        self.cost_model = cost_model or CpuCostModel()
+        #: Use the pure-Python Hoare FIND (paper-faithful but slow to
+        #: *actually run*) instead of numpy.partition.  Identical values.
+        self.faithful_quickselect = faithful_quickselect
+
+    # -- selection ---------------------------------------------------------------
+
+    def select(self, predicate: Predicate) -> CpuSelection:
+        records = self.relation.num_records
+        mask = predicate.mask(self.relation)
+        terms = predicate_terms(predicate, self.cost_model)
+        modeled = self.cost_model.predicate_scan_s(records, terms)
+        return CpuSelection(
+            value=int(np.count_nonzero(mask)),
+            modeled_s=modeled,
+            mask=mask,
+            total_records=records,
+        )
+
+    def count(self, predicate: Predicate | None = None) -> CpuOpResult:
+        if predicate is not None:
+            return self.select(predicate)
+        records = self.relation.num_records
+        return CpuOpResult(
+            value=records, modeled_s=self.cost_model.count_s(records)
+        )
+
+    def selectivity(self, predicate: Predicate) -> float:
+        return self.select(predicate).selectivity
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _column_values(
+        self, column_name: str, predicate: Predicate | None
+    ) -> tuple[np.ndarray, float, int]:
+        """Selected values, the selectivity, and total records scanned.
+
+        Bit-sliceable columns (integer / fixed-point) are returned in
+        their *stored* integer domain so order statistics and sums use
+        exactly the arithmetic the GPU's bit-sliced algorithms use;
+        callers map results back with ``_from_stored``.
+        """
+        column = self.relation.column(column_name)
+        if column.supports_bit_slicing:
+            values = column.stored_values()
+        else:
+            values = column.values
+        if predicate is None:
+            return values, 1.0, self.relation.num_records
+        selection = self.select(predicate)
+        return (
+            values[selection.mask],
+            selection.selectivity,
+            self.relation.num_records,
+        )
+
+    def _from_stored(self, column_name: str, stored):
+        column = self.relation.column(column_name)
+        if column.supports_bit_slicing:
+            return column.from_stored(stored)
+        return stored
+
+    def _select_kth(self, values: np.ndarray, k: int) -> float:
+        if self.faithful_quickselect:
+            return hoare_quickselect(values, k)
+        return partition_select(values, k)
+
+    def _order_statistic_cost(
+        self,
+        records: int,
+        selectivity: float,
+        predicate: Predicate | None,
+        k: int | None = None,
+    ) -> float:
+        if predicate is None:
+            return self.cost_model.quickselect_s(records, k)
+        # Selection scan + compaction + QuickSelect over survivors
+        # (paper section 5.9 test 3: the CPU must copy valid data out).
+        terms = predicate_terms(predicate, self.cost_model)
+        return self.cost_model.predicate_scan_s(
+            records, terms
+        ) + self.cost_model.quickselect_with_selection_s(
+            records, selectivity, k
+        )
+
+    # -- order statistics ------------------------------------------------------------------
+
+    def kth_largest(
+        self, column_name: str, k: int, predicate: Predicate | None = None
+    ) -> CpuOpResult:
+        values, selectivity, records = self._column_values(
+            column_name, predicate
+        )
+        if not 1 <= k <= values.size:
+            raise QueryError(f"k={k} outside [1, {values.size}]")
+        value = self._select_kth(values, k)
+        return CpuOpResult(
+            value=self._from_stored(column_name, int(value)),
+            modeled_s=self._order_statistic_cost(
+                records, selectivity, predicate, k
+            ),
+        )
+
+    def kth_smallest(
+        self, column_name: str, k: int, predicate: Predicate | None = None
+    ) -> CpuOpResult:
+        values, selectivity, records = self._column_values(
+            column_name, predicate
+        )
+        if not 1 <= k <= values.size:
+            raise QueryError(f"k={k} outside [1, {values.size}]")
+        value = self._select_kth(values, values.size - k + 1)
+        return CpuOpResult(
+            value=self._from_stored(column_name, int(value)),
+            modeled_s=self._order_statistic_cost(
+                records, selectivity, predicate, k
+            ),
+        )
+
+    def maximum(self, column_name, predicate=None) -> CpuOpResult:
+        values, _sel, records = self._column_values(column_name, predicate)
+        if values.size == 0:
+            raise QueryError("MAX of an empty selection")
+        return CpuOpResult(
+            value=self._from_stored(
+                column_name, int(cpu_aggregate.maximum(values))
+            ),
+            modeled_s=self.cost_model.sum_s(records),
+        )
+
+    def minimum(self, column_name, predicate=None) -> CpuOpResult:
+        values, _sel, records = self._column_values(column_name, predicate)
+        if values.size == 0:
+            raise QueryError("MIN of an empty selection")
+        return CpuOpResult(
+            value=self._from_stored(
+                column_name, int(cpu_aggregate.minimum(values))
+            ),
+            modeled_s=self.cost_model.sum_s(records),
+        )
+
+    def median(self, column_name, predicate=None) -> CpuOpResult:
+        values, selectivity, records = self._column_values(
+            column_name, predicate
+        )
+        if values.size == 0:
+            raise QueryError("median of an empty selection")
+        k = (values.size + 1) // 2
+        value = self._select_kth(values, k)
+        return CpuOpResult(
+            value=self._from_stored(column_name, int(value)),
+            modeled_s=self._order_statistic_cost(
+                records, selectivity, predicate
+            ),
+        )
+
+    def top_k(
+        self, column_name: str, k: int, predicate: Predicate | None = None
+    ) -> CpuOpResult:
+        """Record ids of the k largest values, ties included — mirrors
+        :meth:`repro.core.engine.GpuEngine.top_k`.  ``value`` has
+        ``threshold`` and ``record_ids`` attributes."""
+        from .engine import TopK
+
+        column = self.relation.column(column_name)
+        if column.supports_bit_slicing:
+            values = column.stored_values()
+        else:
+            values = column.values
+        if predicate is None:
+            mask = np.ones(values.size, dtype=bool)
+            selectivity = 1.0
+        else:
+            selection = self.select(predicate)
+            mask = selection.mask
+            selectivity = selection.selectivity
+        selected = values[mask]
+        if not 1 <= k <= selected.size:
+            raise QueryError(f"k={k} outside [1, {selected.size}]")
+        threshold = int(self._select_kth(selected, k))
+        ids = np.flatnonzero(mask & (values >= threshold))
+        return CpuOpResult(
+            value=TopK(
+                threshold=self._from_stored(column_name, threshold),
+                record_ids=ids,
+            ),
+            modeled_s=self._order_statistic_cost(
+                self.relation.num_records, selectivity, predicate, k
+            ),
+        )
+
+    def quantiles(
+        self,
+        column_name: str,
+        fractions: list[float],
+        predicate: Predicate | None = None,
+    ) -> CpuOpResult:
+        """Quantile ladder (CPU twin of
+        :meth:`~repro.core.engine.GpuEngine.quantiles`)."""
+        import math
+
+        values, selectivity, records = self._column_values(
+            column_name, predicate
+        )
+        if not fractions:
+            raise QueryError("quantiles() needs at least one fraction")
+        if any(not 0.0 <= q <= 1.0 for q in fractions):
+            raise QueryError(
+                f"fractions must lie in [0, 1], got {fractions}"
+            )
+        if values.size == 0:
+            raise QueryError("quantiles of an empty selection")
+        out = []
+        modeled = 0.0
+        for q in fractions:
+            k = min(
+                max(math.ceil((1.0 - q) * values.size), 1), values.size
+            )
+            out.append(
+                self._from_stored(
+                    column_name, int(self._select_kth(values, k))
+                )
+            )
+            modeled += self._order_statistic_cost(
+                records, selectivity, predicate, k
+            )
+        return CpuOpResult(value=out, modeled_s=modeled)
+
+    def selectivities(self, predicates) -> CpuOpResult:
+        """Batched selectivity analysis (CPU twin of
+        :meth:`~repro.core.engine.GpuEngine.selectivities`)."""
+        if not predicates:
+            raise QueryError(
+                "selectivities() needs at least one predicate"
+            )
+        counts = [self.select(p).count for p in predicates]
+        modeled = sum(
+            self.cost_model.predicate_scan_s(
+                self.relation.num_records,
+                predicate_terms(p, self.cost_model),
+            )
+            for p in predicates
+        )
+        return CpuOpResult(value=counts, modeled_s=modeled)
+
+    def histogram(
+        self, column_name: str, buckets: int = 32
+    ) -> CpuOpResult:
+        """Bucketed value counts with the same integer edges as the GPU
+        histogram.  ``value`` is ``(edges, counts)``."""
+        column = self.relation.column(column_name)
+        if not column.is_integer:
+            raise QueryError("histogram requires an integer column")
+        if buckets < 1:
+            raise QueryError(f"need at least one bucket, got {buckets}")
+        hi = (1 << column.bits) - 1
+        edges = np.unique(
+            np.floor(np.linspace(0, hi + 1, buckets + 1)).astype(
+                np.int64
+            )
+        )
+        if edges[-1] != hi + 1:
+            edges[-1] = hi + 1
+        counts, _bins = np.histogram(
+            column.values.astype(np.int64), bins=edges
+        )
+        records = self.relation.num_records
+        return CpuOpResult(
+            value=(edges, counts.astype(np.int64)),
+            modeled_s=self.cost_model.predicate_scan_s(records),
+        )
+
+    # -- aggregation -----------------------------------------------------------------------
+
+    def sum(self, column_name, predicate=None) -> CpuOpResult:
+        values, _sel, records = self._column_values(column_name, predicate)
+        return CpuOpResult(
+            value=self._from_stored(
+                column_name, cpu_aggregate.exact_sum(values)
+            ),
+            modeled_s=self.cost_model.sum_s(records),
+        )
+
+    def average(self, column_name, predicate=None) -> CpuOpResult:
+        values, _sel, records = self._column_values(column_name, predicate)
+        if values.size == 0:
+            raise QueryError("AVG of an empty selection")
+        return CpuOpResult(
+            value=self._from_stored(
+                column_name, cpu_aggregate.exact_sum(values)
+            )
+            / values.size,
+            modeled_s=self.cost_model.sum_s(records),
+        )

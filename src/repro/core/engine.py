@@ -1,0 +1,647 @@
+"""The public GPU query engine.
+
+:class:`GpuEngine` wraps one relation: it sizes a simulated device so the
+relation's records line up texel-per-pixel, caches the attribute
+textures, and exposes the paper's operations as methods.  Every method
+returns a result object carrying the answer *and* the measured pipeline
+statistics split into the paper's two phases:
+
+* ``copy``    — the copy-to-depth passes (the overhead the paper reports
+  separately in figures 3-5),
+* ``compute`` — everything else (comparison quads, fragment programs,
+  occlusion stalls).
+
+Costing those windows with a :class:`~repro.gpu.cost.GpuCostModel` gives
+the simulated GeForce-FX timings the benchmark harness reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import QueryError
+from ..gpu.cost import GpuCostModel, GpuTime
+from ..gpu.counters import PipelineStats
+from ..gpu.memory import VideoMemory
+from ..gpu.pipeline import Device
+from ..gpu.texture import Texture, texture_shape_for
+from . import aggregates
+from .predicates import Predicate
+from .relation import Relation
+from .select import SelectionOutcome, execute_selection
+
+_COPY_PREFIX = "copy-to-depth"
+
+
+def split_copy_stats(
+    window: PipelineStats,
+) -> tuple[PipelineStats, PipelineStats]:
+    """Split a stats window into (copy passes, everything else)."""
+    copy = PipelineStats()
+    compute = PipelineStats()
+    for p in window.passes:
+        if p.program is not None and p.program.startswith(_COPY_PREFIX):
+            copy.record_pass(p)
+        else:
+            compute.record_pass(p)
+    compute.bytes_uploaded = window.bytes_uploaded
+    compute.bytes_read_back = window.bytes_read_back
+    compute.occlusion_results = window.occlusion_results
+    compute.clears = window.clears
+    return copy, compute
+
+
+@dataclasses.dataclass
+class TopK:
+    """Result payload of a top-k query."""
+
+    #: The k-th largest value (the inclusion threshold).
+    threshold: int
+    #: Ids of records with value >= threshold (may exceed k on ties).
+    record_ids: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.record_ids.size)
+
+
+@dataclasses.dataclass
+class GpuOpResult:
+    """Answer plus measured statistics for one engine operation."""
+
+    value: object
+    copy: PipelineStats
+    compute: PipelineStats
+
+    def copy_time(self, model: GpuCostModel) -> GpuTime:
+        return model.time(self.copy)
+
+    def compute_time(self, model: GpuCostModel) -> GpuTime:
+        return model.time(self.compute)
+
+    def total_time(self, model: GpuCostModel) -> GpuTime:
+        return self.copy_time(model) + self.compute_time(model)
+
+
+@dataclasses.dataclass
+class Selection(GpuOpResult):
+    """Result of a selection query.  ``value`` is the match count."""
+
+    valid_stencil: int = 1
+    total_records: int = 0
+    engine: "GpuEngine | None" = None
+
+    @property
+    def count(self) -> int:
+        return int(self.value)
+
+    @property
+    def selectivity(self) -> float:
+        if self.total_records == 0:
+            return 0.0
+        return self.count / self.total_records
+
+    def record_ids(self) -> np.ndarray:
+        """Read the stencil mask back and return the selected record
+        indices (a costed readback — GPUs return results via the bus)."""
+        if self.engine is None:
+            raise QueryError("selection is detached from its engine")
+        stencil = self.engine.device.read_stencil()
+        ids = np.flatnonzero(stencil == self.valid_stencil)
+        return ids[ids < self.total_records]
+
+    def records(self) -> Relation:
+        """Materialize the selected rows as a new relation."""
+        if self.engine is None:
+            raise QueryError("selection is detached from its engine")
+        return self.engine.relation.take(self.record_ids())
+
+
+class GpuEngine:
+    """GPU-backed query engine over one relation."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        cost_model: GpuCostModel | None = None,
+        video_memory: VideoMemory | None = None,
+        layout: str = "planar",
+    ):
+        """``video_memory`` overrides the default 256 MB pool — pass a
+        smaller :class:`~repro.gpu.memory.VideoMemory` to exercise the
+        out-of-core texture swapping of paper section 6.1.
+
+        ``layout`` picks the paper's section-3.3 record representation:
+
+        * ``"planar"`` — one single-channel texture per attribute
+          ("the same texel location in multiple textures");
+        * ``"packed"`` — groups of four attributes share the RGBA
+          channels of one texture ("multiple channels of a single
+          texel"); the copy-to-depth program then selects the
+          attribute's channel with a swizzle.
+
+        Results are identical; the layouts trade texture count against
+        channel addressing.
+        """
+        if layout not in ("planar", "packed"):
+            raise QueryError(
+                f"layout must be 'planar' or 'packed', got {layout!r}"
+            )
+        self.relation = relation
+        self.layout = layout
+        self.shape = texture_shape_for(relation.num_records)
+        self.device = Device(*self.shape, video_memory=video_memory)
+        self.cost_model = cost_model or GpuCostModel()
+        self._column_textures: dict[str, Texture] = {}
+        self._stored_textures: dict[str, Texture] = {}
+        self._packed_textures: dict[tuple[str, ...], Texture] = {}
+        self._layout_groups: dict[str, tuple[tuple[str, ...], int]] = {}
+        if layout == "packed":
+            names = relation.column_names
+            for start in range(0, len(names), 4):
+                group = tuple(names[start:start + 4])
+                for channel, name in enumerate(group):
+                    self._layout_groups[name] = (group, channel)
+
+    # -- TextureProvider protocol ------------------------------------------------
+
+    def column_texture(self, name: str) -> tuple[Texture, float, int]:
+        """Texture + depth scale + channel for one column.
+
+        Planar layout: a single-channel texture per attribute.  Packed
+        layout: the attribute's RGBA group texture plus its channel
+        index (the copy program swizzles the channel out).  Integer and
+        fixed-point columns upload raw values (the copy program's
+        power-of-two scale keeps the depth mapping exact); float
+        columns upload pre-normalized values with scale 1.
+        """
+        column = self.relation.column(name)
+        if self.layout == "packed" and not column.is_fixed_point:
+            return self._packed_column_texture(name, column)
+        texture = self._column_textures.get(name)
+        if texture is None:
+            if column.is_integer or column.is_fixed_point:
+                # Raw values; the copy program's power-of-two scale
+                # keeps the depth mapping exact.
+                values = column.values
+            else:
+                values = column.normalized_values()
+            texture = Texture.from_values(values, shape=self.shape)
+            self._warm(texture)
+            self._column_textures[name] = texture
+        if column.is_integer or column.is_fixed_point:
+            scale = column.depth_scale
+        else:
+            scale = 1.0
+        return texture, scale, 0
+
+    def _packed_column_texture(self, name: str, column):
+        """Packed layout: locate the attribute's RGBA group + channel.
+
+        Float columns are packed pre-normalized (their per-column
+        affine maps differ, so normalization cannot ride on the shared
+        copy scale); integer columns are packed raw and rely on the
+        power-of-two copy scale.  Mixed groups therefore pack the
+        normalized representation for floats and raw for integers —
+        each attribute still gets its own (scale, channel) pair.
+        """
+        group, channel = self._layout_groups[name]
+        texture = self._packed_textures.get(("layout",) + group)
+        if texture is None:
+            columns = []
+            for member in group:
+                member_column = self.relation.column(member)
+                if member_column.is_integer:
+                    columns.append(member_column.values)
+                else:
+                    columns.append(member_column.normalized_values())
+            while len(columns) < 4:
+                columns.append(
+                    np.zeros(self.relation.num_records, dtype=np.float32)
+                )
+            texture = Texture.from_columns(columns, shape=self.shape)
+            self._warm(texture)
+            self._packed_textures[("layout",) + group] = texture
+        scale = column.depth_scale if column.is_integer else 1.0
+        return texture, scale, channel
+
+    def stored_texture(self, name: str) -> tuple[Texture, int]:
+        """Integer-domain ``(texture, channel)`` for bit-sliced
+        aggregation: raw values for integer columns (their regular
+        texture, honoring the packed layout's channel), or
+        ``value * 2**fraction_bits`` for fixed-point columns."""
+        column = self.relation.column(name)
+        if column.is_integer:
+            texture, _scale, channel = self.column_texture(name)
+            return texture, channel
+        texture = self._stored_textures.get(name)
+        if texture is None:
+            texture = Texture.from_values(
+                column.stored_values(), shape=self.shape
+            )
+            self._warm(texture)
+            self._stored_textures[name] = texture
+        return texture, 0
+
+    def packed_texture(self, names: tuple[str, ...]) -> Texture:
+        """Raw attribute values packed into the channels of one texture
+        (the semi-linear layout, paper section 3.3)."""
+        names = tuple(names)
+        texture = self._packed_textures.get(names)
+        if texture is None:
+            columns = [self.relation.column(name).values for name in names]
+            # Always pack a full RGBA texture: with fewer channels the
+            # texture-fetch fill convention (LUMINANCE replication, alpha
+            # = 1) would leak into the DP4 coefficients.
+            while len(columns) < 4:
+                columns.append(
+                    np.zeros(self.relation.num_records, dtype=np.float32)
+                )
+            texture = Texture.from_columns(columns, shape=self.shape)
+            self._warm(texture)
+            self._packed_textures[names] = texture
+        return texture
+
+    def _warm(self, texture: Texture) -> None:
+        """Upload a texture outside the measured window.
+
+        The paper's measurements assume resident attribute textures
+        (256 MB of video memory holds "more than 50 attributes",
+        section 5.1); one-time AGP uploads are setup, not query cost.
+        ``total_uploaded`` on the device's memory manager still records
+        them for out-of-core analyses.
+        """
+        before = self.device.stats.bytes_uploaded
+        self.device.bind_texture(0, texture)
+        self.device.stats.bytes_uploaded = before
+
+    # -- measurement helpers -------------------------------------------------------
+
+    def _begin(self) -> None:
+        self.device.stats.reset()
+
+    def _finish(self, value) -> GpuOpResult:
+        copy, compute = split_copy_stats(self.device.stats.snapshot())
+        self.device.stats.reset()
+        return GpuOpResult(value=value, copy=copy, compute=compute)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def select(self, predicate: Predicate) -> Selection:
+        """Evaluate a WHERE clause; leaves the selection mask in the
+        stencil buffer and returns count + statistics."""
+        self._begin()
+        outcome: SelectionOutcome = execute_selection(
+            self.device, self.relation, self, predicate
+        )
+        result = self._finish(outcome.count)
+        return Selection(
+            value=outcome.count,
+            copy=result.copy,
+            compute=result.compute,
+            valid_stencil=outcome.valid_stencil,
+            total_records=self.relation.num_records,
+            engine=self,
+        )
+
+    def count(self, predicate: Predicate | None = None) -> GpuOpResult:
+        """COUNT(*) [WHERE predicate]."""
+        if predicate is not None:
+            return self.select(predicate)
+        self._begin()
+        value = aggregates.count_valid(
+            self.device, self.relation.num_records
+        )
+        return self._finish(value)
+
+    def selectivity(self, predicate: Predicate) -> float:
+        return self.select(predicate).selectivity
+
+    # -- aggregates -----------------------------------------------------------------------
+
+    def _integer_column(self, name: str):
+        column = self.relation.column(name)
+        if not column.supports_bit_slicing:
+            raise QueryError(
+                f"bit-slicing aggregates need an integer or fixed-point "
+                f"column; {name!r} is floating-point"
+            )
+        return column
+
+    def _selection_stencil(
+        self, predicate: Predicate | None
+    ) -> tuple[int | None, int]:
+        """Run the selection (if any); return (valid_stencil, valid_count).
+
+        The selection's passes land in the current stats window, so the
+        caller's result includes the selection cost — matching the
+        paper's figure 9 protocol.
+        """
+        if predicate is None:
+            return None, self.relation.num_records
+        outcome = execute_selection(
+            self.device, self.relation, self, predicate
+        )
+        return outcome.valid_stencil, outcome.count
+
+    def kth_largest(
+        self,
+        column_name: str,
+        k: int,
+        predicate: Predicate | None = None,
+    ) -> GpuOpResult:
+        """Routine 4.5 over the whole column or a selection."""
+        column = self._integer_column(column_name)
+        texture, scale, channel = self.column_texture(column_name)
+        self._begin()
+        valid, valid_count = self._selection_stencil(predicate)
+        if not 1 <= k <= valid_count:
+            raise QueryError(
+                f"k={k} outside [1, {valid_count}] valid records"
+            )
+        value = aggregates.kth_largest(
+            self.device, texture, column.bits, k, scale,
+            channel=channel, valid_stencil=valid,
+        )
+        return self._finish(column.from_stored(value))
+
+    def kth_smallest(
+        self,
+        column_name: str,
+        k: int,
+        predicate: Predicate | None = None,
+    ) -> GpuOpResult:
+        column = self._integer_column(column_name)
+        texture, scale, channel = self.column_texture(column_name)
+        self._begin()
+        valid, valid_count = self._selection_stencil(predicate)
+        value = aggregates.kth_smallest(
+            self.device, texture, column.bits, k, scale, valid_count,
+            channel=channel, valid_stencil=valid,
+        )
+        return self._finish(column.from_stored(value))
+
+    def maximum(self, column_name, predicate=None) -> GpuOpResult:
+        return self.kth_largest(column_name, 1, predicate)
+
+    def minimum(self, column_name, predicate=None) -> GpuOpResult:
+        column = self._integer_column(column_name)
+        texture, scale, channel = self.column_texture(column_name)
+        self._begin()
+        valid, valid_count = self._selection_stencil(predicate)
+        if valid_count == 0:
+            raise QueryError("MIN of an empty selection")
+        value = aggregates.minimum(
+            self.device, texture, column.bits, scale, valid_count,
+            channel=channel, valid_stencil=valid,
+        )
+        return self._finish(column.from_stored(value))
+
+    def median(self, column_name, predicate=None) -> GpuOpResult:
+        """The ceil(n/2)-th largest value (figures 8 and 9)."""
+        column = self._integer_column(column_name)
+        texture, scale, channel = self.column_texture(column_name)
+        self._begin()
+        valid, valid_count = self._selection_stencil(predicate)
+        if valid_count == 0:
+            raise QueryError("median of an empty selection")
+        value = aggregates.median(
+            self.device, texture, column.bits, scale, valid_count,
+            channel=channel, valid_stencil=valid,
+        )
+        return self._finish(column.from_stored(value))
+
+    def sum(self, column_name, predicate=None) -> GpuOpResult:
+        """Routine 4.6 (exact integer / fixed-point SUM)."""
+        column = self._integer_column(column_name)
+        texture, channel = self.stored_texture(column_name)
+        self._begin()
+        valid, _valid_count = self._selection_stencil(predicate)
+        value = aggregates.accumulate(
+            self.device, texture, column.bits,
+            channel=channel, valid_stencil=valid,
+        )
+        return self._finish(column.from_stored(value))
+
+    def average(self, column_name, predicate=None) -> GpuOpResult:
+        column = self._integer_column(column_name)
+        texture, channel = self.stored_texture(column_name)
+        self._begin()
+        valid, valid_count = self._selection_stencil(predicate)
+        if valid_count == 0:
+            raise QueryError("AVG of an empty selection")
+        total = aggregates.accumulate(
+            self.device, texture, column.bits,
+            channel=channel, valid_stencil=valid,
+        )
+        return self._finish(column.from_stored(total) / valid_count)
+
+    def top_k(
+        self,
+        column_name: str,
+        k: int,
+        predicate: Predicate | None = None,
+    ) -> GpuOpResult:
+        """Record ids of the k largest values (ties included).
+
+        Runs ``KthLargest`` for the threshold, then one more comparison
+        pass that bumps matching records' stencil values, and reads the
+        mask back.  With duplicate values at the threshold the result
+        may contain more than ``k`` ids — the standard top-k-with-ties
+        semantics.  ``value`` is a ``TopK`` with ``threshold`` and
+        ``record_ids``.
+        """
+        from ..gpu.types import CompareFunc, StencilOp
+        from . import aggregates
+        from .compare import compare_pass
+
+        column = self._integer_column(column_name)
+        texture, scale, channel = self.column_texture(column_name)
+        self._begin()
+        valid, valid_count = self._selection_stencil(predicate)
+        if valid is None:
+            self.device.clear_stencil(1)
+            valid = 1
+        if not 1 <= k <= valid_count:
+            raise QueryError(
+                f"k={k} outside [1, {valid_count}] valid records"
+            )
+        threshold = aggregates.kth_largest(
+            self.device, texture, column.bits, k, scale,
+            channel=channel, valid_stencil=valid,
+        )
+        threshold_value = column.from_stored(threshold)
+        # Mark records (valid AND value >= threshold): valid -> valid+1.
+        stencil = self.device.state.stencil
+        stencil.enabled = True
+        stencil.func = CompareFunc.EQUAL
+        stencil.reference = valid
+        stencil.sfail = StencilOp.KEEP
+        stencil.zfail = StencilOp.KEEP
+        stencil.zpass = StencilOp.INCR
+        compare_pass(
+            self.device,
+            CompareFunc.GEQUAL,
+            column.normalize(threshold_value),
+            texture.count,
+        )
+        mask = self.device.read_stencil()
+        ids = np.flatnonzero(mask == valid + 1)
+        ids = ids[ids < self.relation.num_records]
+        return self._finish(
+            TopK(threshold=threshold_value, record_ids=ids)
+        )
+
+    def quantiles(
+        self,
+        column_name: str,
+        fractions: list[float],
+        predicate: Predicate | None = None,
+    ) -> GpuOpResult:
+        """A quantile ladder (e.g. p50/p90/p99) from one depth copy.
+
+        Each fraction ``q`` maps to the ``ceil((1 - q) * n)``-th largest
+        value (``q = 0.5`` matches the engine's median convention).
+        All quantiles share a single copy-to-depth pass; each costs its
+        ``bits`` comparison passes.  ``value`` is the list of quantile
+        values aligned with ``fractions``.
+        """
+        import math
+
+        column = self._integer_column(column_name)
+        texture, scale, channel = self.column_texture(column_name)
+        if not fractions:
+            raise QueryError("quantiles() needs at least one fraction")
+        if any(not 0.0 <= q <= 1.0 for q in fractions):
+            raise QueryError(
+                f"fractions must lie in [0, 1], got {fractions}"
+            )
+        self._begin()
+        valid, valid_count = self._selection_stencil(predicate)
+        if valid_count == 0:
+            raise QueryError("quantiles of an empty selection")
+        ks = [
+            min(max(math.ceil((1.0 - q) * valid_count), 1), valid_count)
+            for q in fractions
+        ]
+        values = aggregates.kth_largest_multi(
+            self.device, texture, column.bits, ks, scale,
+            channel=channel, valid_stencil=valid,
+        )
+        return self._finish(
+            [column.from_stored(value) for value in values]
+        )
+
+    def selectivities(
+        self, predicates: list[Predicate]
+    ) -> GpuOpResult:
+        """Batched selectivity analysis: counts for many predicates in
+        one sweep, sharing depth copies between consecutive predicates
+        on the same attribute.
+
+        This is the section 5.11 workload — a join optimizer probing
+        many candidate predicates — where the per-attribute copy would
+        otherwise dominate.  Returns ``value`` as a list of counts
+        aligned with ``predicates``.  Only the *last* predicate's mask
+        survives in the stencil buffer.
+        """
+        from .compare import compare_pass, copy_to_depth
+        from .predicates import Between, Comparison
+        from .range_query import range_pass
+
+        if not predicates:
+            raise QueryError(
+                "selectivities() needs at least one predicate"
+            )
+        self._begin()
+        counts: list[int] = []
+        depth_holds: str | None = None
+        self.device.state.color_mask = (False, False, False, False)
+        self.device.state.stencil.enabled = False
+        for predicate in predicates:
+            if isinstance(predicate, (Comparison, Between)):
+                column = self.relation.column(predicate.column)
+                texture, scale, channel = self.column_texture(
+                    predicate.column
+                )
+                if depth_holds != predicate.column:
+                    copy_to_depth(
+                        self.device, texture, scale, channel=channel
+                    )
+                    depth_holds = predicate.column
+                query = self.device.begin_query()
+                if isinstance(predicate, Comparison):
+                    compare_pass(
+                        self.device,
+                        predicate.op,
+                        column.normalize(
+                            column.clamp_to_domain(predicate.value)
+                        ),
+                        texture.count,
+                    )
+                else:
+                    range_pass(
+                        self.device,
+                        column.normalize(
+                            column.clamp_to_domain(predicate.low)
+                        ),
+                        column.normalize(
+                            column.clamp_to_domain(predicate.high)
+                        ),
+                        texture.count,
+                    )
+                self.device.end_query()
+                counts.append(query.result(synchronous=True))
+            else:
+                # General predicates run the full selection machinery
+                # (which owns the stencil buffer and depth state).
+                outcome = execute_selection(
+                    self.device, self.relation, self, predicate
+                )
+                counts.append(outcome.count)
+                self.device.state.stencil.enabled = False
+                depth_holds = None
+        return self._finish(counts)
+
+    def histogram(
+        self, column_name: str, buckets: int = 32
+    ) -> GpuOpResult:
+        """Bucketed value counts via one depth-bounds range pass plus an
+        occlusion query per bucket — GPU-side selectivity estimation
+        (the primitive behind the paper's section 5.11 and the join
+        extension).  ``value`` is ``(edges, counts)``."""
+        from .predicates import Between
+
+        column = self._integer_column(column_name)
+        if buckets < 1:
+            raise QueryError(f"need at least one bucket, got {buckets}")
+        hi = (1 << column.bits) - 1
+        edges = np.unique(
+            np.floor(np.linspace(0, hi + 1, buckets + 1)).astype(
+                np.int64
+            )
+        )
+        if edges[-1] != hi + 1:
+            edges[-1] = hi + 1
+        self._begin()
+        counts = np.zeros(edges.size - 1, dtype=np.int64)
+        for index in range(edges.size - 1):
+            outcome = execute_selection(
+                self.device,
+                self.relation,
+                self,
+                Between(
+                    column_name,
+                    int(edges[index]),
+                    int(edges[index + 1] - 1),
+                ),
+            )
+            counts[index] = outcome.count
+        return self._finish((edges, counts))
+
+    # -- cost shortcuts ------------------------------------------------------------------
+
+    def time_ms(self, result: GpuOpResult) -> float:
+        """Total simulated GPU milliseconds for an operation."""
+        return result.total_time(self.cost_model).total_ms

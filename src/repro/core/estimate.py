@@ -1,0 +1,163 @@
+"""Histogram-based selectivity estimation.
+
+Section 5.11 motivates fast selectivity *analysis* with join-ordering
+work that relies on selectivity *estimation* ([7, 10]).  This module
+closes the loop: per-column histograms — built on the GPU with one
+depth-bounds range pass per bucket — feed a classical estimator
+(uniform-within-bucket interpolation, attribute-independence for
+boolean combinations) so a planner can predict a predicate's
+selectivity without running it.
+
+Estimates are approximations by design; the tests bound their error on
+uniform and skewed data rather than asserting exactness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import QueryError
+from .polynomial import Polynomial
+from .predicates import (
+    And,
+    Between,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    SemiLinear,
+)
+from ..gpu.types import CompareFunc
+
+#: Fallback selectivity for predicates a 1-D histogram cannot model
+#: (semi-linear / polynomial combinations of attributes) — the classic
+#: "1/3" planner guess.
+DEFAULT_COMPLEX_SELECTIVITY = 1.0 / 3.0
+
+
+class ColumnHistogram:
+    """Equi-width bucket counts for one integer column."""
+
+    def __init__(self, edges: np.ndarray, counts: np.ndarray):
+        edges = np.asarray(edges, dtype=np.float64)
+        counts = np.asarray(counts, dtype=np.float64)
+        if edges.size != counts.size + 1:
+            raise QueryError(
+                f"{edges.size} edges do not delimit {counts.size} buckets"
+            )
+        self.edges = edges
+        self.counts = counts
+        self.total = float(counts.sum())
+
+    def fraction_leq(self, value: float) -> float:
+        """Estimated fraction of records with ``column <= value``."""
+        if self.total == 0:
+            return 0.0
+        # Bucket i covers the half-open value range [edges[i], edges[i+1]).
+        if value < self.edges[0]:
+            return 0.0
+        if value >= self.edges[-1] - 1:
+            return 1.0
+        index = int(
+            np.searchsorted(self.edges, value, side="right") - 1
+        )
+        index = min(max(index, 0), self.counts.size - 1)
+        below = float(self.counts[:index].sum())
+        lo, hi = self.edges[index], self.edges[index + 1]
+        # Uniform-within-bucket: include the <= value share of the
+        # bucket's integer domain [lo, hi - 1].
+        width = hi - lo
+        inside = (value - lo + 1.0) / width if width > 0 else 1.0
+        inside = min(max(inside, 0.0), 1.0)
+        return (below + inside * float(self.counts[index])) / self.total
+
+    def fraction_between(self, low: float, high: float) -> float:
+        if high < low:
+            return 0.0
+        below_low = self.fraction_leq(low - 1.0)
+        below_high = self.fraction_leq(high)
+        return max(0.0, below_high - below_low)
+
+    def fraction_equal(self, value: float) -> float:
+        return self.fraction_between(value, value)
+
+
+class SelectivityEstimator:
+    """Estimates predicate selectivities from per-column histograms."""
+
+    def __init__(self, histograms: dict[str, ColumnHistogram]):
+        self.histograms = histograms
+
+    @classmethod
+    def build(cls, engine, buckets: int = 32) -> "SelectivityEstimator":
+        """Build from an engine (GPU or CPU) exposing
+        ``histogram(column, buckets)``; float columns are skipped and
+        estimated with the complex-predicate default."""
+        histograms = {}
+        for name in engine.relation.column_names:
+            column = engine.relation.column(name)
+            if not column.is_integer:
+                continue
+            edges, counts = engine.histogram(name, buckets).value
+            histograms[name] = ColumnHistogram(edges, counts)
+        return cls(histograms)
+
+    # -- estimation --------------------------------------------------------
+
+    def estimate(self, predicate: Predicate) -> float:
+        """Estimated selectivity in [0, 1]."""
+        return min(max(self._walk(predicate), 0.0), 1.0)
+
+    def estimate_count(self, predicate: Predicate, records: int) -> int:
+        return int(round(self.estimate(predicate) * records))
+
+    def _walk(self, predicate: Predicate) -> float:
+        if isinstance(predicate, Comparison):
+            return self._comparison(predicate)
+        if isinstance(predicate, Between):
+            histogram = self.histograms.get(predicate.column)
+            if histogram is None:
+                return DEFAULT_COMPLEX_SELECTIVITY
+            return histogram.fraction_between(
+                predicate.low, predicate.high
+            )
+        if isinstance(predicate, (SemiLinear, Polynomial)):
+            return DEFAULT_COMPLEX_SELECTIVITY
+        if isinstance(predicate, Not):
+            return 1.0 - self._walk(predicate.child)
+        if isinstance(predicate, And):
+            # Attribute-independence assumption.
+            product = 1.0
+            for child in predicate.children:
+                product *= self._walk(child)
+            return product
+        if isinstance(predicate, Or):
+            # Inclusion-exclusion under independence:
+            # P(A or B) = 1 - prod(1 - P(child)).
+            miss = 1.0
+            for child in predicate.children:
+                miss *= 1.0 - self._walk(child)
+            return 1.0 - miss
+        raise QueryError(
+            f"cannot estimate predicate of type "
+            f"{type(predicate).__name__}"
+        )
+
+    def _comparison(self, predicate: Comparison) -> float:
+        histogram = self.histograms.get(predicate.column)
+        if histogram is None:
+            return DEFAULT_COMPLEX_SELECTIVITY
+        value = predicate.value
+        op = predicate.op
+        if op is CompareFunc.LEQUAL:
+            return histogram.fraction_leq(value)
+        if op is CompareFunc.LESS:
+            return histogram.fraction_leq(value - 1.0)
+        if op is CompareFunc.GEQUAL:
+            return 1.0 - histogram.fraction_leq(value - 1.0)
+        if op is CompareFunc.GREATER:
+            return 1.0 - histogram.fraction_leq(value)
+        if op is CompareFunc.EQUAL:
+            return histogram.fraction_equal(value)
+        # NOTEQUAL
+        return 1.0 - histogram.fraction_equal(value)

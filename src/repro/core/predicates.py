@@ -1,0 +1,403 @@
+"""Predicate AST and CNF normalization.
+
+The paper's WHERE clauses (section 4) are boolean combinations of simple
+predicates ``a_i op constant`` and ``a_i op a_j``, evaluated on the GPU
+after rewriting into conjunctive normal form with NOT operators folded
+into the comparison operators (section 4.2: "If a simple predicate ...
+has a NOT operator, we can invert the comparison operation").
+
+Simple predicate kinds:
+
+* :class:`Comparison` — attribute vs constant (depth-test path),
+* :class:`Between`    — range predicate (depth-bounds-test path),
+* :class:`SemiLinear` — ``dot(s, a) op b`` (fragment-program path);
+  attribute-vs-attribute comparisons are the special case
+  ``a_i - a_j op 0`` (section 4.1.2), built by :func:`attr_compare`.
+
+Every predicate also knows how to evaluate itself on the host
+(:meth:`Predicate.mask`) *with the same 24-bit depth quantization the
+GPU applies*, so the reference semantics and the hardware semantics are
+identical by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..errors import QueryError
+from ..gpu.framebuffer import depth_to_code
+from ..gpu.types import CompareFunc
+from .relation import Relation
+
+#: Safety limit on CNF clause blowup during distribution.
+MAX_CNF_CLAUSES = 256
+
+
+class Predicate:
+    """Base class for all predicates."""
+
+    def mask(self, relation: Relation) -> np.ndarray:
+        """Reference evaluation: boolean mask over the relation's records,
+        using the same quantized semantics as the GPU."""
+        raise NotImplementedError
+
+    def negated(self) -> "Predicate":
+        """The logical complement, with NOT pushed all the way down."""
+        raise NotImplementedError
+
+    # Operator sugar so predicates compose readably:
+    #   (col("a") > 5) & ~(col("b") <= 3)
+    def __and__(self, other: "Predicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return self.negated()
+
+
+class SimplePredicate(Predicate):
+    """Marker base for predicates the GPU evaluates in a single
+    routine (one clause member of a CNF): comparisons, ranges,
+    semi-linear and polynomial terms."""
+
+
+class Comparison(SimplePredicate):
+    """``column op constant``."""
+
+    def __init__(self, column: str, op: CompareFunc, value: float):
+        if op in (CompareFunc.NEVER, CompareFunc.ALWAYS):
+            raise QueryError(
+                "comparisons require a value operator, not NEVER/ALWAYS"
+            )
+        self.column = column
+        self.op = op
+        self.value = float(value)
+
+    def mask(self, relation: Relation) -> np.ndarray:
+        column = relation.column(self.column)
+        codes = depth_to_code(column.normalize(column.values))
+        reference = depth_to_code(
+            column.normalize(column.clamp_to_domain(self.value))
+        )
+        return self.op.apply(codes, reference)
+
+    def negated(self) -> "Comparison":
+        return Comparison(self.column, self.op.negate(), self.value)
+
+    def __repr__(self) -> str:
+        return f"({self.column} {self.op.value} {self.value:g})"
+
+
+class Between(SimplePredicate):
+    """``low <= column <= high`` (inclusive both ends, like SQL BETWEEN)."""
+
+    def __init__(self, column: str, low: float, high: float):
+        if low > high:
+            raise QueryError(f"BETWEEN bounds inverted: [{low}, {high}]")
+        self.column = column
+        self.low = float(low)
+        self.high = float(high)
+
+    def mask(self, relation: Relation) -> np.ndarray:
+        column = relation.column(self.column)
+        codes = depth_to_code(column.normalize(column.values))
+        low = depth_to_code(
+            column.normalize(column.clamp_to_domain(self.low))
+        )
+        high = depth_to_code(
+            column.normalize(column.clamp_to_domain(self.high))
+        )
+        return (codes >= low) & (codes <= high)
+
+    def negated(self) -> "Or":
+        return Or(
+            Comparison(self.column, CompareFunc.LESS, self.low),
+            Comparison(self.column, CompareFunc.GREATER, self.high),
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.column} BETWEEN {self.low:g} AND {self.high:g})"
+
+
+class SemiLinear(SimplePredicate):
+    """``sum_i s_i * a_i  op  b`` over up to four attributes
+    (routine 4.2), evaluated in float32 like the fragment pipeline."""
+
+    def __init__(
+        self,
+        columns,
+        coefficients,
+        op: CompareFunc,
+        constant: float,
+    ):
+        columns = tuple(columns)
+        coefficients = tuple(float(c) for c in coefficients)
+        if not 1 <= len(columns) <= 4:
+            raise QueryError(
+                f"semi-linear predicates take 1-4 attributes, "
+                f"got {len(columns)}"
+            )
+        if len(columns) != len(coefficients):
+            raise QueryError(
+                f"{len(columns)} columns vs {len(coefficients)} coefficients"
+            )
+        if op in (CompareFunc.NEVER, CompareFunc.ALWAYS):
+            raise QueryError(
+                "semi-linear predicates require a value operator"
+            )
+        self.columns = columns
+        self.coefficients = coefficients
+        self.op = op
+        self.constant = float(constant)
+
+    def mask(self, relation: Relation) -> np.ndarray:
+        total = np.zeros(relation.num_records, dtype=np.float32)
+        for name, coefficient in zip(self.columns, self.coefficients):
+            total += relation.column(name).values * np.float32(coefficient)
+        return self.op.apply(total, np.float32(self.constant))
+
+    def negated(self) -> "SemiLinear":
+        return SemiLinear(
+            self.columns, self.coefficients, self.op.negate(), self.constant
+        )
+
+    def __repr__(self) -> str:
+        terms = " + ".join(
+            f"{c:g}*{name}"
+            for c, name in zip(self.coefficients, self.columns)
+        )
+        return f"({terms} {self.op.value} {self.constant:g})"
+
+
+def attr_compare(left: str, op: CompareFunc, right: str) -> SemiLinear:
+    """``a_i op a_j`` rewritten as the semi-linear query
+    ``a_i - a_j op 0`` (paper section 4.1.2)."""
+    return SemiLinear((left, right), (1.0, -1.0), op, 0.0)
+
+
+class And(Predicate):
+    def __init__(self, *children: Predicate):
+        if not children:
+            raise QueryError("AND needs at least one operand")
+        flat: list[Predicate] = []
+        for child in children:
+            if isinstance(child, And):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        self.children = tuple(flat)
+
+    def mask(self, relation: Relation) -> np.ndarray:
+        result = self.children[0].mask(relation)
+        for child in self.children[1:]:
+            result = result & child.mask(relation)
+        return result
+
+    def negated(self) -> "Or":
+        return Or(*[child.negated() for child in self.children])
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.children)) + ")"
+
+
+class Or(Predicate):
+    def __init__(self, *children: Predicate):
+        if not children:
+            raise QueryError("OR needs at least one operand")
+        flat: list[Predicate] = []
+        for child in children:
+            if isinstance(child, Or):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        self.children = tuple(flat)
+
+    def mask(self, relation: Relation) -> np.ndarray:
+        result = self.children[0].mask(relation)
+        for child in self.children[1:]:
+            result = result | child.mask(relation)
+        return result
+
+    def negated(self) -> "And":
+        return And(*[child.negated() for child in self.children])
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.children)) + ")"
+
+
+class Not(Predicate):
+    """Explicit negation node; eliminated by :func:`to_cnf`."""
+
+    def __init__(self, child: Predicate):
+        self.child = child
+
+    def mask(self, relation: Relation) -> np.ndarray:
+        return ~self.child.mask(relation)
+
+    def negated(self) -> Predicate:
+        return self.child
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.child!r})"
+
+
+def is_simple(predicate: Predicate) -> bool:
+    return isinstance(predicate, SimplePredicate)
+
+
+def _push_not(predicate: Predicate) -> Predicate:
+    """Eliminate Not nodes by pushing negation onto simple predicates."""
+    if isinstance(predicate, Not):
+        return _push_not(predicate.child.negated())
+    if isinstance(predicate, And):
+        return And(*[_push_not(child) for child in predicate.children])
+    if isinstance(predicate, Or):
+        return Or(*[_push_not(child) for child in predicate.children])
+    return predicate
+
+
+def to_cnf(predicate: Predicate) -> list[list[Predicate]]:
+    """Rewrite into CNF: a list of clauses, each a list of simple
+    predicates joined by OR; clauses are joined by AND.
+
+    NOT is folded into comparison operators first (Between negation
+    expands into two comparisons).  Distribution of OR over AND bounds
+    the blowup at :data:`MAX_CNF_CLAUSES` clauses.
+    """
+    predicate = _push_not(predicate)
+    clauses = _cnf_clauses(predicate)
+    if len(clauses) > MAX_CNF_CLAUSES:
+        raise QueryError(
+            f"CNF conversion produced {len(clauses)} clauses "
+            f"(limit {MAX_CNF_CLAUSES}); simplify the query"
+        )
+    return clauses
+
+
+def _cnf_clauses(predicate: Predicate) -> list[list[Predicate]]:
+    if is_simple(predicate):
+        return [[predicate]]
+    if isinstance(predicate, And):
+        clauses: list[list[Predicate]] = []
+        for child in predicate.children:
+            clauses.extend(_cnf_clauses(child))
+        return clauses
+    if isinstance(predicate, Or):
+        # OR over children: cross-product of the children's clauses.
+        child_clause_lists = [
+            _cnf_clauses(child) for child in predicate.children
+        ]
+        total = 1
+        for clause_list in child_clause_lists:
+            total *= len(clause_list)
+            if total > MAX_CNF_CLAUSES:
+                raise QueryError(
+                    f"CNF conversion exceeds {MAX_CNF_CLAUSES} clauses; "
+                    "simplify the query"
+                )
+        clauses = []
+        for combo in itertools.product(*child_clause_lists):
+            merged: list[Predicate] = []
+            for clause in combo:
+                merged.extend(clause)
+            clauses.append(merged)
+        return clauses
+    raise QueryError(
+        f"cannot normalize predicate of type {type(predicate).__name__}"
+    )
+
+
+def to_dnf(predicate: Predicate) -> list[list[Predicate]]:
+    """Rewrite into DNF: a list of clauses, each a list of simple
+    predicates joined by AND; clauses are joined by OR.
+
+    The dual of :func:`to_cnf`; the selection executor picks whichever
+    normal form yields fewer passes (the paper notes EvalCNF "can
+    easily" handle DNF as well).
+    """
+    predicate = _push_not(predicate)
+    clauses = _dnf_clauses(predicate)
+    if len(clauses) > MAX_CNF_CLAUSES:
+        raise QueryError(
+            f"DNF conversion produced {len(clauses)} clauses "
+            f"(limit {MAX_CNF_CLAUSES}); simplify the query"
+        )
+    return clauses
+
+
+def _dnf_clauses(predicate: Predicate) -> list[list[Predicate]]:
+    if is_simple(predicate):
+        return [[predicate]]
+    if isinstance(predicate, Or):
+        clauses: list[list[Predicate]] = []
+        for child in predicate.children:
+            clauses.extend(_dnf_clauses(child))
+        return clauses
+    if isinstance(predicate, And):
+        # AND over children: cross-product of the children's clauses.
+        child_clause_lists = [
+            _dnf_clauses(child) for child in predicate.children
+        ]
+        total = 1
+        for clause_list in child_clause_lists:
+            total *= len(clause_list)
+            if total > MAX_CNF_CLAUSES:
+                raise QueryError(
+                    f"DNF conversion exceeds {MAX_CNF_CLAUSES} clauses; "
+                    "simplify the query"
+                )
+        clauses = []
+        for combo in itertools.product(*child_clause_lists):
+            merged: list[Predicate] = []
+            for clause in combo:
+                merged.extend(clause)
+            clauses.append(merged)
+        return clauses
+    raise QueryError(
+        f"cannot normalize predicate of type {type(predicate).__name__}"
+    )
+
+
+class ColumnRef:
+    """Fluent predicate builder: ``col('flow_rate') >= 100``."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __lt__(self, value) -> Predicate:
+        return self._build(CompareFunc.LESS, value)
+
+    def __le__(self, value) -> Predicate:
+        return self._build(CompareFunc.LEQUAL, value)
+
+    def __gt__(self, value) -> Predicate:
+        return self._build(CompareFunc.GREATER, value)
+
+    def __ge__(self, value) -> Predicate:
+        return self._build(CompareFunc.GEQUAL, value)
+
+    def __eq__(self, value) -> Predicate:  # type: ignore[override]
+        return self._build(CompareFunc.EQUAL, value)
+
+    def __ne__(self, value) -> Predicate:  # type: ignore[override]
+        return self._build(CompareFunc.NOTEQUAL, value)
+
+    def __hash__(self):
+        return hash(self.name)
+
+    def between(self, low: float, high: float) -> Between:
+        return Between(self.name, low, high)
+
+    def _build(self, op: CompareFunc, value) -> Predicate:
+        if isinstance(value, ColumnRef):
+            return attr_compare(self.name, op, value.name)
+        return Comparison(self.name, op, value)
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand constructor for fluent predicates."""
+    return ColumnRef(name)

@@ -1,0 +1,116 @@
+"""Relations: named collections of equal-length columns.
+
+The in-memory relational table (paper section 4: "a relational table T
+of m attributes").  A relation is engine-agnostic; the GPU engine turns
+its columns into textures, the CPU engine scans them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import DataError, QueryError
+from .column import Column
+
+
+class Relation:
+    """An ordered, named set of columns with a common record count."""
+
+    def __init__(self, name: str, columns: Iterable[Column]):
+        columns = list(columns)
+        if not columns:
+            raise DataError(f"relation {name!r} needs at least one column")
+        lengths = {column.num_records for column in columns}
+        if len(lengths) != 1:
+            raise DataError(
+                f"relation {name!r}: column lengths differ: {sorted(lengths)}"
+            )
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise DataError(
+                f"relation {name!r}: duplicate column names in {names}"
+            )
+        self.name = name
+        self._columns = {column.name: column for column in columns}
+        self._order = names
+        self.num_records = lengths.pop()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        arrays: Mapping[str, np.ndarray],
+        integer: bool = True,
+    ) -> "Relation":
+        """Build a relation from a name -> array mapping.  ``integer``
+        selects the column type for every array; mix types by building
+        :class:`Column` objects directly."""
+        builder = Column.integer if integer else Column.floating
+        return cls(
+            name,
+            [builder(key, value) for key, value in arrays.items()],
+        )
+
+    # -- access ----------------------------------------------------------------
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._order)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._order)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise QueryError(
+                f"relation {self.name!r} has no column {name!r}; "
+                f"available: {self._order}"
+            ) from None
+
+    def columns(self, names: Iterable[str] | None = None) -> list[Column]:
+        if names is None:
+            names = self._order
+        return [self.column(name) for name in names]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    def row(self, index: int) -> dict[str, float]:
+        """One record as a dict (for examples and debugging)."""
+        if not 0 <= index < self.num_records:
+            raise QueryError(
+                f"row {index} out of range (0..{self.num_records - 1})"
+            )
+        return {
+            name: self._columns[name].values[index].item()
+            for name in self._order
+        }
+
+    def take(self, indices: np.ndarray) -> "Relation":
+        """A new relation containing only the given record indices
+        (used to materialize selection results)."""
+        out = []
+        for name in self._order:
+            source = self._columns[name]
+            values = source.values[np.asarray(indices, dtype=np.int64)]
+            if source.is_integer:
+                out.append(Column.integer(name, values, bits=source.bits))
+            else:
+                out.append(
+                    Column.floating(name, values, lo=source.lo, hi=source.hi)
+                )
+        return Relation(self.name, out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Relation({self.name!r}, {self.num_records} records, "
+            f"columns={self._order})"
+        )

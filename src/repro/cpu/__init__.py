@@ -1,0 +1,47 @@
+"""Optimized CPU baselines (the paper's comparison implementations).
+
+SIMD-style vectorized scans, Hoare's QuickSelect, aggregation reductions,
+and the dual-Xeon cost model that prices them.
+"""
+
+from .aggregate import (
+    average,
+    count,
+    exact_sum,
+    float_sum,
+    maximum,
+    minimum,
+)
+from .cost import CpuCostModel
+from .quickselect import median, partition_select, quickselect
+from .scan import (
+    compact,
+    conjunctive_mask,
+    predicate_count,
+    predicate_mask,
+    predicate_mask_scalar,
+    range_mask,
+    range_mask_scalar,
+    semilinear_mask,
+)
+
+__all__ = [
+    "CpuCostModel",
+    "average",
+    "compact",
+    "conjunctive_mask",
+    "count",
+    "exact_sum",
+    "float_sum",
+    "maximum",
+    "median",
+    "minimum",
+    "partition_select",
+    "predicate_count",
+    "predicate_mask",
+    "predicate_mask_scalar",
+    "quickselect",
+    "range_mask",
+    "range_mask_scalar",
+    "semilinear_mask",
+]

@@ -1,0 +1,106 @@
+"""CPU baseline scans.
+
+The paper compares against CPU implementations compiled with the Intel
+compiler at full optimization — vectorized (SIMD), multi-threaded, and
+inlined (section 5.2).  NumPy's vectorized kernels are the present-day
+equivalent of that code generation, so these scans are the honest
+baseline: same algorithms, same single-pass structure.
+
+A deliberately branchy scalar variant of each scan is also provided; it
+is the code shape whose branch mispredictions the paper's section 6.2.1
+discusses, and it anchors the CPU cost model's misprediction term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import QueryError
+from ..gpu.types import CompareFunc
+
+
+def predicate_mask(
+    values: np.ndarray, op: CompareFunc, constant: float
+) -> np.ndarray:
+    """Vectorized evaluation of ``values op constant`` -> boolean mask."""
+    values = np.asarray(values)
+    return op.apply(values, constant)
+
+
+def predicate_count(
+    values: np.ndarray, op: CompareFunc, constant: float
+) -> int:
+    return int(np.count_nonzero(predicate_mask(values, op, constant)))
+
+
+def range_mask(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    """``low <= values <= high`` in one fused pass."""
+    values = np.asarray(values)
+    return (values >= low) & (values <= high)
+
+
+def conjunctive_mask(
+    columns: list[np.ndarray],
+    ops: list[CompareFunc],
+    constants: list[float],
+) -> np.ndarray:
+    """AND of simple predicates, one per attribute (the paper's
+    multi-attribute query, figure 5)."""
+    if not columns or len(columns) != len(ops) or len(ops) != len(constants):
+        raise QueryError("columns, ops and constants must align and be non-empty")
+    mask = predicate_mask(columns[0], ops[0], constants[0])
+    for values, op, constant in zip(columns[1:], ops[1:], constants[1:]):
+        mask &= predicate_mask(values, op, constant)
+    return mask
+
+
+def semilinear_mask(
+    columns: list[np.ndarray],
+    coefficients: np.ndarray,
+    op: CompareFunc,
+    constant: float,
+) -> np.ndarray:
+    """``dot(s, a) op b`` per record, accumulated in float32 to match the
+    GPU's single-precision pipeline."""
+    coefficients = np.asarray(coefficients, dtype=np.float32).ravel()
+    if len(columns) != coefficients.size:
+        raise QueryError(
+            f"{len(columns)} columns but {coefficients.size} coefficients"
+        )
+    total = np.zeros(np.asarray(columns[0]).shape, dtype=np.float32)
+    for values, coefficient in zip(columns, coefficients):
+        total += np.asarray(values, dtype=np.float32) * coefficient
+    return op.apply(total, np.float32(constant))
+
+
+# -- branchy scalar references ------------------------------------------------
+
+
+def predicate_mask_scalar(
+    values: np.ndarray, op: CompareFunc, constant: float
+) -> np.ndarray:
+    """Per-element branchy scan: the code shape that suffers branch
+    mispredictions on the CPU (paper section 6.2.1).  Reference/teaching
+    implementation — identical output to :func:`predicate_mask`."""
+    out = np.zeros(len(values), dtype=bool)
+    for index, value in enumerate(values):
+        if op.apply(np.asarray(value), constant):
+            out[index] = True
+    return out
+
+
+def range_mask_scalar(
+    values: np.ndarray, low: float, high: float
+) -> np.ndarray:
+    out = np.zeros(len(values), dtype=bool)
+    for index, value in enumerate(values):
+        if low <= value <= high:
+            out[index] = True
+    return out
+
+
+def compact(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Copy the selected values into a dense array — the step the CPU must
+    perform before running order statistics on a selected subset (paper
+    section 5.9 test 3), and which the GPU avoids entirely."""
+    return np.asarray(values)[np.asarray(mask, dtype=bool)].copy()

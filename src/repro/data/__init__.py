@@ -1,0 +1,39 @@
+"""Synthetic workloads standing in for the paper's datasets.
+
+``make_tcpip`` and ``make_census`` replace the private TCP/IP trace and
+the Census CPS extract with seeded generators that match the properties
+the experiments depend on (cardinality, bit widths, variance, correlated
+attributes); ``selectivity`` calibrates query constants to the paper's
+fixed selectivities.
+"""
+
+from .census import make_census
+from .retail import make_retail
+from .distributions import (
+    correlated_ints,
+    heavy_tail_ints,
+    lognormal_ints,
+    uniform_ints,
+)
+from .selectivity import (
+    achieved_selectivity,
+    range_for_selectivity,
+    threshold_for_selectivity,
+)
+from .tcpip import ATTRIBUTES, DATA_COUNT_BITS, PAPER_NUM_RECORDS, make_tcpip
+
+__all__ = [
+    "ATTRIBUTES",
+    "DATA_COUNT_BITS",
+    "PAPER_NUM_RECORDS",
+    "achieved_selectivity",
+    "correlated_ints",
+    "heavy_tail_ints",
+    "lognormal_ints",
+    "make_census",
+    "make_retail",
+    "make_tcpip",
+    "range_for_selectivity",
+    "threshold_for_selectivity",
+    "uniform_ints",
+]

@@ -1,0 +1,84 @@
+"""Seeded synthetic value distributions.
+
+Building blocks for the workload generators.  Everything is integer
+(< 2**24) and deterministic given a seed, because the paper's bit-sliced
+algorithms and pass counts depend on value ranges and bit widths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from ..gpu.types import MAX_EXACT_INT
+
+
+def _check(n: int, bits: int) -> None:
+    if n < 0:
+        raise DataError(f"record count must be non-negative, got {n}")
+    if not 1 <= bits <= 24:
+        raise DataError(f"bits={bits} outside [1, 24]")
+
+
+def uniform_ints(n: int, bits: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform integers spanning the full ``bits``-bit range."""
+    _check(n, bits)
+    return rng.integers(0, 1 << bits, size=n, dtype=np.int64)
+
+
+def heavy_tail_ints(
+    n: int,
+    bits: int,
+    rng: np.random.Generator,
+    shape: float = 1.3,
+) -> np.ndarray:
+    """Heavy-tailed (Pareto-like) integers clipped to ``bits`` bits.
+
+    Matches traffic-measurement attributes such as byte counts: most
+    records small, a long tail of large flows, high variance — the
+    profile the paper describes for the TCP/IP ``data_count`` attribute
+    (section 5.9: "19 bits ... and has a high variance").
+    """
+    _check(n, bits)
+    raw = rng.pareto(shape, size=n) + 1.0
+    top = float(1 << bits) - 1.0
+    scaled = np.minimum(raw * (top / 50.0), top)
+    return np.floor(scaled).astype(np.int64)
+
+
+def lognormal_ints(
+    n: int,
+    rng: np.random.Generator,
+    mean: float = 7.5,
+    sigma: float = 0.6,
+    cap_bits: int = 20,
+) -> np.ndarray:
+    """Log-normal integers (income-like distributions)."""
+    _check(n, cap_bits)
+    raw = rng.lognormal(mean, sigma, size=n)
+    top = float((1 << cap_bits) - 1)
+    return np.floor(np.minimum(raw, top)).astype(np.int64)
+
+
+def correlated_ints(
+    base: np.ndarray,
+    bits: int,
+    rng: np.random.Generator,
+    correlation: float = 0.6,
+) -> np.ndarray:
+    """Integers positively correlated with ``base`` (e.g. retransmissions
+    track data volume), clipped to ``bits`` bits."""
+    if not 0.0 <= correlation <= 1.0:
+        raise DataError(f"correlation {correlation} outside [0, 1]")
+    _check(base.size, bits)
+    top = float((1 << bits) - 1)
+    base_max = float(base.max()) if base.size and base.max() > 0 else 1.0
+    signal = (base.astype(np.float64) / base_max) * top
+    noise = rng.uniform(0.0, top, size=base.size)
+    mixed = correlation * signal + (1.0 - correlation) * noise
+    return np.floor(np.clip(mixed, 0.0, top)).astype(np.int64)
+
+
+def clipped_to_exact(values: np.ndarray) -> np.ndarray:
+    """Clip to the float32-exact integer range (defensive helper)."""
+    return np.clip(values, 0, MAX_EXACT_INT - 1)

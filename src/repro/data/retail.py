@@ -1,0 +1,95 @@
+"""Synthetic retail workload: a two-relation schema for join demos.
+
+Neither of the paper's datasets has a foreign-key relationship, so the
+join extension and the SQL ``JOIN`` path get their own workload: an
+``orders`` fact table referencing a ``customers`` dimension, with a
+skewed order distribution (a few customers generate most orders) and a
+controllable fraction of dangling references (orders whose customer
+churned), so joins exercise both fan-out and misses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.column import Column
+from ..core.relation import Relation
+from ..errors import DataError
+
+
+def make_retail(
+    num_orders: int = 50_000,
+    num_customers: int = 2_000,
+    dangling_fraction: float = 0.05,
+    seed: int = 77,
+) -> tuple[Relation, Relation]:
+    """Build ``(orders, customers)``.
+
+    ``orders``: ``customer_id`` (Zipf-skewed over the customer domain),
+    ``amount`` (heavy-tailed, 16 bits), ``items`` (1-99).
+    ``customers``: ``id`` (dense 0..n-1), ``tier`` (0-3, few platinum),
+    ``region`` (0-7).
+
+    ``dangling_fraction`` of orders reference ids beyond the customer
+    table (churned accounts): those orders match nothing in an
+    equi-join.
+    """
+    if num_orders < 1 or num_customers < 1:
+        raise DataError("need at least one order and one customer")
+    if not 0.0 <= dangling_fraction < 1.0:
+        raise DataError(
+            f"dangling_fraction {dangling_fraction} outside [0, 1)"
+        )
+    id_bits = max(1, int(num_customers * 2 - 1).bit_length())
+    if id_bits > 24:
+        raise DataError("customer domain exceeds 24 bits")
+    rng = np.random.default_rng(seed)
+
+    # Zipf-skewed customer ids: rank r gets weight 1/(r+1).
+    ranks = np.arange(num_customers, dtype=np.float64)
+    weights = 1.0 / (ranks + 1.0)
+    weights /= weights.sum()
+    customer_id = rng.choice(
+        num_customers, size=num_orders, p=weights
+    ).astype(np.int64)
+    dangling = rng.random(num_orders) < dangling_fraction
+    # Churned ids live just past the live domain.
+    churned_ids = num_customers + rng.integers(
+        0, max(1, num_customers // 10), size=num_orders
+    )
+    customer_id = np.where(dangling, churned_ids, customer_id)
+    customer_id = np.minimum(customer_id, (1 << id_bits) - 1)
+
+    amount = np.minimum(
+        np.floor((rng.pareto(1.5, num_orders) + 1) * 500),
+        (1 << 16) - 1,
+    ).astype(np.int64)
+    items = rng.integers(1, 100, num_orders)
+
+    orders = Relation(
+        "orders",
+        [
+            Column.integer("customer_id", customer_id, bits=id_bits),
+            Column.integer("amount", amount, bits=16),
+            Column.integer("items", items, bits=7),
+        ],
+    )
+    customers = Relation(
+        "customers",
+        [
+            Column.integer(
+                "id", np.arange(num_customers), bits=id_bits
+            ),
+            # Tiers 0-3 with few platinum (3) accounts.
+            Column.integer(
+                "tier",
+                rng.choice(4, size=num_customers,
+                           p=[0.55, 0.3, 0.12, 0.03]),
+                bits=2,
+            ),
+            Column.integer(
+                "region", rng.integers(0, 8, num_customers), bits=3
+            ),
+        ],
+    )
+    return orders, customers

@@ -1,0 +1,79 @@
+"""Selectivity calibration.
+
+The paper pins every selection experiment to a fixed selectivity
+("a predicate evaluation with 60% selectivity", figures 3-5; "we set the
+valid range of values between the 20th percentile and 80th percentile",
+section 5.6).  These helpers derive the constants that achieve a target
+selectivity on a concrete dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from ..gpu.types import CompareFunc
+
+
+def _validate(selectivity: float) -> None:
+    if not 0.0 < selectivity < 1.0:
+        raise DataError(
+            f"selectivity {selectivity} must be strictly inside (0, 1)"
+        )
+
+
+def threshold_for_selectivity(
+    values: np.ndarray,
+    selectivity: float,
+    op: CompareFunc = CompareFunc.GEQUAL,
+) -> float:
+    """A constant ``c`` such that ``values op c`` holds for roughly the
+    requested fraction of records.
+
+    Exact selectivity is unattainable with duplicated values; the
+    returned threshold is the appropriate order statistic, which is what
+    the paper's percentile-based setup does.
+    """
+    _validate(selectivity)
+    values = np.asarray(values)
+    if values.size == 0:
+        raise DataError("cannot calibrate selectivity on empty data")
+    if op in (CompareFunc.GEQUAL, CompareFunc.GREATER):
+        quantile = 1.0 - selectivity
+    elif op in (CompareFunc.LEQUAL, CompareFunc.LESS):
+        quantile = selectivity
+    else:
+        raise DataError(
+            f"selectivity calibration needs an ordering operator, "
+            f"got {op.name}"
+        )
+    return float(np.quantile(values, quantile, method="nearest"))
+
+
+def range_for_selectivity(
+    values: np.ndarray, selectivity: float, center: float = 0.5
+) -> tuple[float, float]:
+    """Bounds ``[low, high]`` capturing roughly ``selectivity`` of the
+    records, centered on the ``center`` quantile.
+
+    The paper's 60% range query uses the 20th..80th percentiles — i.e.
+    ``selectivity=0.6, center=0.5``.
+    """
+    _validate(selectivity)
+    values = np.asarray(values)
+    if values.size == 0:
+        raise DataError("cannot calibrate selectivity on empty data")
+    half = selectivity / 2.0
+    lo_q = min(max(center - half, 0.0), 1.0 - selectivity)
+    hi_q = lo_q + selectivity
+    low = float(np.quantile(values, lo_q, method="nearest"))
+    high = float(np.quantile(values, hi_q, method="nearest"))
+    return low, high
+
+
+def achieved_selectivity(mask: np.ndarray) -> float:
+    """The fraction of records a boolean mask selects."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.size == 0:
+        return 0.0
+    return float(np.count_nonzero(mask)) / mask.size

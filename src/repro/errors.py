@@ -1,0 +1,87 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GpuError(ReproError):
+    """Base class for errors raised by the GPU simulator substrate."""
+
+
+class TextureError(GpuError):
+    """Invalid texture construction, format, or access."""
+
+
+class FramebufferError(GpuError):
+    """Invalid framebuffer configuration or buffer access."""
+
+
+class RenderStateError(GpuError):
+    """Invalid render-state configuration (tests, masks, references)."""
+
+
+class AssemblyError(GpuError):
+    """A fragment program failed to assemble.
+
+    Carries the 1-based source line where assembly failed, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class ProgramExecutionError(GpuError):
+    """A fragment program failed while executing (bad bindings, registers)."""
+
+
+class OcclusionQueryError(GpuError):
+    """Occlusion query misuse (nested begin, result before end, ...)."""
+
+
+class VideoMemoryError(GpuError):
+    """Video memory exhaustion or invalid allocation."""
+
+
+class DataError(ReproError):
+    """Invalid column/relation data (out-of-range values, shape mismatch)."""
+
+
+class QueryError(ReproError):
+    """Invalid query construction (bad predicate, unknown column)."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text failed to lex or parse.
+
+    Carries the position (offset into the source text) when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"at offset {position}: {message}"
+        super().__init__(message)
+        self.position = position
+
+
+class SqlPlanError(SqlError):
+    """The query parsed but cannot be planned (unsupported shape, unknown
+    table or column)."""
+
+
+class BenchmarkError(ReproError):
+    """Benchmark harness misuse (unknown experiment id, bad parameters)."""

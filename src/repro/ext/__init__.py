@@ -1,0 +1,34 @@
+"""Extensions: the paper's future-work items built on the reproduced
+primitives — multi-pass bitonic sorting (section 2.2 / conclusions) and
+a selectivity-guided join with GPU histograms (sections 5.11 / 7).
+"""
+
+from .bitonic_sort import (
+    SENTINEL,
+    bitonic_sort_texture,
+    num_sort_passes,
+    sort_stage_program,
+    sort_values,
+)
+from .join import (
+    Histogram,
+    JoinResult,
+    band_join,
+    gpu_histogram,
+    hash_equi_join,
+    nested_loop_join,
+)
+
+__all__ = [
+    "Histogram",
+    "JoinResult",
+    "SENTINEL",
+    "band_join",
+    "bitonic_sort_texture",
+    "gpu_histogram",
+    "hash_equi_join",
+    "nested_loop_join",
+    "num_sort_passes",
+    "sort_stage_program",
+    "sort_values",
+]

@@ -1,0 +1,189 @@
+"""Bitonic merge sort as multi-pass fragment rendering.
+
+The paper lists sorting as future work and cites Purcell et al.'s
+bitonic merge sort, "implemented as a fragment program [where] each
+stage of the sorting algorithm is performed as one rendering pass" —
+and notes it "can be quite slow for database operations on large
+databases" (section 2.2).  This module implements exactly that design
+so the claim can be measured.
+
+Every stage ``(k, j)`` of the bitonic network runs one full-screen pass
+of a fragment program that, per fragment:
+
+1. reconstructs its linear element index ``i`` from the window position,
+2. extracts the bits ``i & j`` and ``i & k`` with exact power-of-two
+   float arithmetic (``floor``/``frac`` — no integer ops in 2004),
+3. computes its partner's texture coordinates (``i XOR j``),
+4. fetches both elements and keeps ``min`` or ``max`` per the network.
+
+The output is written to the color buffer and copied back into a
+texture (``glCopyTexSubImage2D``) for the next pass — the render-to-
+texture idiom of the era.  ``log2(N) * (log2(N)+1) / 2`` passes total.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GpuError
+from ..gpu.assembler import FragmentProgram, assemble
+from ..gpu.pipeline import Device
+from ..gpu.texture import MAX_TEXTURE_SIZE, Texture
+from ..gpu.types import MAX_EXACT_INT
+
+#: Padding value appended to reach a power-of-two element count.  Equal
+#: to the largest representable value, so pads sort to the tail (ties
+#: with real maxima are harmless: equal keys are interchangeable).
+SENTINEL = float(MAX_EXACT_INT - 1)
+
+_SORT_PROGRAM_SOURCE = """!!FP1.0
+# Reconstruct the linear element index i = y * W + x from WPOS.
+FLR R0, f[WPOS];
+MAD R0.x, R0.y, p[2].x, R0.x;
+# t = bit(i, j):  frac(floor(i / j) / 2) * 2
+MUL R1.x, R0.x, p[1].x;
+FLR R1.x, R1.x;
+MUL R1.x, R1.x, {0.5};
+FRC R1.x, R1.x;
+ADD R1.x, R1.x, R1.x;
+# u = bit(i, k)
+MUL R2.x, R0.x, p[1].y;
+FLR R2.x, R2.x;
+MUL R2.x, R2.x, {0.5};
+FRC R2.x, R2.x;
+ADD R2.x, R2.x, R2.x;
+# take_max = t XOR u = t + u - 2 t u
+MUL R3.x, R1.x, R2.x;
+ADD R4.x, R1.x, R2.x;
+MAD R4.x, R3.x, {-2}, R4.x;
+# partner = i + j * (1 - 2 t)
+MAD R5.x, R1.x, {-2}, {1};
+MUL R5.x, R5.x, p[1].z;
+ADD R5.x, R5.x, R0.x;
+# partner texcoords: py = floor(partner / W), px = partner - py * W
+MUL R6.x, R5.x, p[2].y;
+FLR R7.x, R6.x;
+MAD R8.x, R7.x, -p[2].x, R5.x;
+ADD R9.x, R8.x, {0.5};
+MUL R9.x, R9.x, p[2].y;
+ADD R9.y, R7.x, {0.5};
+MUL R9.y, R9.y, p[2].w;
+# fetch partner and self
+TEX R10, R9, TEX0, 2D;
+TEX R11, f[TEX0], TEX0, 2D;
+# out = min + take_max * (max - min)
+MIN R1, R10, R11;
+MAX R2, R10, R11;
+SUB R2, R2, R1;
+MAD R1, R2, R4.x, R1;
+MOV o[COLR], R1;
+END
+"""
+
+
+def sort_stage_program() -> FragmentProgram:
+    """The per-stage compare-and-swap program.
+
+    Parameters at bind time: ``p[1] = (1/j, 1/k, j, 0)``,
+    ``p[2] = (W, 1/W, H, 1/H)``.
+    """
+    return assemble(_SORT_PROGRAM_SOURCE, name="bitonic-stage")
+
+
+def _pow2_shape(count: int) -> tuple[int, int]:
+    """Smallest power-of-two (height, width) texture holding ``count``
+    elements with both sides powers of two (required so every bitonic
+    segment is texel-row aligned)."""
+    if count < 1:
+        raise GpuError("cannot sort zero elements")
+    total = 1
+    while total < count:
+        total *= 2
+    width = 1
+    while width * width < total:
+        width *= 2
+    height = total // width
+    if width > MAX_TEXTURE_SIZE or height > MAX_TEXTURE_SIZE:
+        raise GpuError(
+            f"{count} elements exceed the maximum sortable texture"
+        )
+    return height, width
+
+
+def bitonic_sort_texture(device: Device, texture: Texture) -> Texture:
+    """Sort a power-of-two texture ascending in row-major linear order.
+
+    Ping-pongs between the input texture and the framebuffer: each stage
+    renders into the color buffer and copies the result back.  Returns
+    the same texture object, now sorted.
+    """
+    height, width = texture.shape
+    if height & (height - 1) or width & (width - 1):
+        raise GpuError(
+            f"bitonic sort needs power-of-two texture sides, "
+            f"got {width}x{height}"
+        )
+    if texture.shape != (device.framebuffer.height, device.framebuffer.width):
+        raise GpuError("texture must match the framebuffer size")
+
+    total = height * width
+    program = sort_stage_program()
+    state = device.state
+    state.reset()
+    state.color_mask = (True, True, True, True)
+    device.set_program(program)
+    device.set_program_parameter(
+        2, (float(width), 1.0 / width, float(height), 1.0 / height)
+    )
+
+    k = 2
+    while k <= total:
+        j = k // 2
+        while j >= 1:
+            device.set_program_parameter(
+                1, (1.0 / j, 1.0 / k, float(j), 0.0)
+            )
+            device.bind_texture(0, texture)
+            device.render_quad(0.0)
+            device.copy_color_to_texture(texture)
+            j //= 2
+        k *= 2
+    device.set_program(None)
+    return texture
+
+
+def num_sort_passes(count: int) -> int:
+    """Rendering passes a bitonic sort of ``count`` elements needs
+    (stages only; each stage also performs one framebuffer copy)."""
+    height, width = _pow2_shape(count)
+    total = height * width
+    log2n = total.bit_length() - 1
+    return log2n * (log2n + 1) // 2
+
+
+def sort_values(values: np.ndarray, device: Device | None = None):
+    """Sort a 1-D array of non-negative integers (< 2**24) on the GPU.
+
+    Returns ``(sorted_values, device)`` — the device is exposed so
+    callers can inspect pipeline statistics or price the run.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        raise GpuError("cannot sort zero elements")
+    height, width = _pow2_shape(values.size)
+    padded = np.full(height * width, SENTINEL, dtype=np.float32)
+    padded[: values.size] = values
+    texture = Texture(padded.reshape(height, width), count=values.size)
+    texture.assert_integer_exact()
+    if device is None:
+        device = Device(height, width)
+    elif (device.framebuffer.height, device.framebuffer.width) != (
+        height,
+        width,
+    ):
+        raise GpuError(
+            f"device framebuffer must be {width}x{height} for this sort"
+        )
+    bitonic_sort_texture(device, texture)
+    sorted_all = texture.linear_view()[:, 0]
+    return sorted_all[: values.size].copy(), device

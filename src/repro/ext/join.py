@@ -1,0 +1,218 @@
+"""Selectivity-guided join (the paper's future-work direction).
+
+The paper cites selectivity estimation as the enabler for efficient
+joins ([7, 10], section 5.11) and leaves joins as future work.  This
+module builds the natural hybrid on top of the reproduced primitives:
+
+1. **GPU histograms** — the value domain is split into buckets and each
+   bucket's population is counted with one depth-bounds range pass plus
+   an occlusion query (:func:`gpu_histogram`).  This is selectivity
+   estimation at bucket granularity, entirely on the GPU.
+2. **Bucket pruning** — only bucket pairs whose value ranges can satisfy
+   the join condition survive; empty buckets cost nothing.
+3. **GPU bucket extraction** — surviving buckets are materialized with
+   range selections (stencil mask + readback).
+4. **CPU refinement** — candidate pairs inside surviving bucket pairs
+   are verified exactly.
+
+Supports equi-joins (``R.a = S.b``) and band joins
+(``|R.a - S.b| <= band``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.engine import GpuEngine
+from ..core.predicates import Between
+from ..errors import QueryError
+
+
+@dataclasses.dataclass
+class Histogram:
+    """Bucketed value counts with shared, inclusive integer bounds."""
+
+    edges: np.ndarray  # bucket i covers [edges[i], edges[i+1] - 1]
+    counts: np.ndarray
+
+    @property
+    def num_buckets(self) -> int:
+        return self.counts.size
+
+    def bucket_bounds(self, index: int) -> tuple[int, int]:
+        return int(self.edges[index]), int(self.edges[index + 1] - 1)
+
+
+def _bucket_edges(lo: int, hi: int, buckets: int) -> np.ndarray:
+    """Integer bucket edges covering [lo, hi] inclusively."""
+    if buckets < 1:
+        raise QueryError(f"need at least one bucket, got {buckets}")
+    if hi < lo:
+        raise QueryError(f"empty domain [{lo}, {hi}]")
+    edges = np.linspace(lo, hi + 1, buckets + 1)
+    edges = np.unique(np.floor(edges).astype(np.int64))
+    if edges[-1] != hi + 1:
+        edges[-1] = hi + 1
+    return edges
+
+
+def gpu_histogram(
+    engine: GpuEngine, column_name: str, buckets: int = 32
+) -> Histogram:
+    """Histogram a column on the GPU: one depth-bounds range pass plus
+    one occlusion readback per bucket (delegates to
+    :meth:`~repro.core.engine.GpuEngine.histogram`)."""
+    edges, counts = engine.histogram(column_name, buckets).value
+    return Histogram(edges=edges, counts=counts)
+
+
+@dataclasses.dataclass
+class JoinResult:
+    """Matched index pairs plus pruning diagnostics."""
+
+    pairs: np.ndarray  # shape (m, 2): (left_id, right_id)
+    bucket_pairs_total: int
+    bucket_pairs_survived: int
+    candidates_checked: int
+
+    @property
+    def num_matches(self) -> int:
+        return self.pairs.shape[0]
+
+
+def band_join(
+    left: GpuEngine,
+    right: GpuEngine,
+    left_column: str,
+    right_column: str,
+    band: int = 0,
+    buckets: int = 32,
+) -> JoinResult:
+    """``|left.a - right.b| <= band`` join (``band=0`` is an equi-join).
+
+    GPU histograms prune bucket pairs; surviving buckets are extracted
+    with GPU range selections and refined exactly on the CPU.
+    """
+    if band < 0:
+        raise QueryError(f"band must be non-negative, got {band}")
+    left_hist = gpu_histogram(left, left_column, buckets)
+    right_hist = gpu_histogram(right, right_column, buckets)
+
+    left_ids_by_bucket = _extract_buckets(left, left_column, left_hist)
+    right_ids_by_bucket = _extract_buckets(right, right_column, right_hist)
+    left_values = left.relation.column(left_column).values
+    right_values = right.relation.column(right_column).values
+
+    pairs: list[np.ndarray] = []
+    total = left_hist.num_buckets * right_hist.num_buckets
+    survived = 0
+    candidates = 0
+    for li in range(left_hist.num_buckets):
+        if left_hist.counts[li] == 0:
+            continue
+        l_lo, l_hi = left_hist.bucket_bounds(li)
+        for ri in range(right_hist.num_buckets):
+            if right_hist.counts[ri] == 0:
+                continue
+            r_lo, r_hi = right_hist.bucket_bounds(ri)
+            # Prune: closest approach of the two bucket ranges > band.
+            if r_lo - l_hi > band or l_lo - r_hi > band:
+                continue
+            survived += 1
+            l_ids = left_ids_by_bucket[li]
+            r_ids = right_ids_by_bucket[ri]
+            candidates += l_ids.size * r_ids.size
+            matched = _refine(
+                left_values[l_ids], right_values[r_ids], band
+            )
+            if matched[0].size:
+                pairs.append(
+                    np.column_stack(
+                        (l_ids[matched[0]], r_ids[matched[1]])
+                    )
+                )
+    if pairs:
+        result = np.vstack(pairs)
+        # Deterministic order for tests and reproducibility.
+        order = np.lexsort((result[:, 1], result[:, 0]))
+        result = result[order]
+    else:
+        result = np.empty((0, 2), dtype=np.int64)
+    return JoinResult(
+        pairs=result,
+        bucket_pairs_total=total,
+        bucket_pairs_survived=survived,
+        candidates_checked=candidates,
+    )
+
+
+def _extract_buckets(
+    engine: GpuEngine, column_name: str, histogram: Histogram
+) -> list[np.ndarray]:
+    """Record ids per non-empty bucket, via GPU range selections."""
+    ids: list[np.ndarray] = []
+    for index in range(histogram.num_buckets):
+        if histogram.counts[index] == 0:
+            ids.append(np.empty(0, dtype=np.int64))
+            continue
+        low, high = histogram.bucket_bounds(index)
+        selection = engine.select(Between(column_name, low, high))
+        ids.append(selection.record_ids())
+    return ids
+
+
+def _refine(
+    left_values: np.ndarray, right_values: np.ndarray, band: int
+):
+    """Exact pairwise check within a bucket pair."""
+    diff = np.abs(
+        left_values[:, None].astype(np.int64)
+        - right_values[None, :].astype(np.int64)
+    )
+    return np.nonzero(diff <= band)
+
+
+def hash_equi_join(
+    left_values: np.ndarray, right_values: np.ndarray
+) -> np.ndarray:
+    """CPU baseline equi-join: sort-and-probe (the in-memory hash-join
+    stand-in).  Returns ``(m, 2)`` index pairs in the same deterministic
+    (left, right) order as :func:`nested_loop_join` with ``band=0``."""
+    left_values = np.asarray(left_values)
+    right_values = np.asarray(right_values)
+    if left_values.size == 0 or right_values.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    order = np.argsort(right_values, kind="stable")
+    sorted_right = right_values[order]
+    starts = np.searchsorted(sorted_right, left_values, side="left")
+    stops = np.searchsorted(sorted_right, left_values, side="right")
+    counts = stops - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    left_ids = np.repeat(
+        np.arange(left_values.size, dtype=np.int64), counts
+    )
+    # Gather the matching right positions per left record, in order.
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    right_ids = np.empty(total, dtype=np.int64)
+    for index in np.flatnonzero(counts):
+        right_ids[offsets[index]:offsets[index + 1]] = np.sort(
+            order[starts[index]:stops[index]]
+        )
+    return np.column_stack((left_ids, right_ids))
+
+
+def nested_loop_join(
+    left_values: np.ndarray, right_values: np.ndarray, band: int = 0
+) -> np.ndarray:
+    """Reference join for correctness tests: all ``(i, j)`` with
+    ``|left[i] - right[j]| <= band``, sorted."""
+    matched = _refine(
+        np.asarray(left_values), np.asarray(right_values), band
+    )
+    pairs = np.column_stack(matched).astype(np.int64)
+    order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    return pairs[order]

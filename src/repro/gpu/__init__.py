@@ -1,0 +1,103 @@
+"""Software simulator of a GeForce-FX-class programmable GPU.
+
+This subpackage is the substrate the paper's database algorithms run on:
+float textures, a 24-bit depth buffer, an 8-bit stencil buffer, an
+ARB-style fragment-program ISA with assembler and vectorized interpreter,
+the fixed-function alpha/stencil/depth/depth-bounds tests, occlusion
+queries, an LRU-managed video memory, and a calibrated cost model.
+
+Quick example::
+
+    from repro.gpu import Device, Texture, CompareFunc
+
+    device = Device(1000, 1000)
+    tex = Texture.from_values(values, shape=(1000, 1000))
+    ...
+"""
+
+from .assembler import FragmentProgram, assemble
+from .cost import GpuCostModel, GpuTime, ZERO_TIME
+from .counters import PassStats, PipelineStats
+from .framebuffer import (
+    ColorBuffer,
+    DepthBuffer,
+    FrameBuffer,
+    StencilBuffer,
+    code_to_depth,
+    depth_to_code,
+)
+from .memory import DEFAULT_CAPACITY_BYTES, VideoMemory
+from .occlusion import OcclusionQuery
+from .pipeline import Device
+from .programs import (
+    copy_to_depth_program,
+    passthrough_program,
+    semilinear_program,
+    test_bit_kil_program,
+    test_bit_program,
+)
+from .raster import Rect, full_screen, rects_for_count
+from .state import (
+    AlphaTestState,
+    DepthBoundsState,
+    DepthTestState,
+    RenderState,
+    StencilTestState,
+)
+from .texture import MAX_TEXTURE_SIZE, Texture, texture_shape_for
+from .types import (
+    DEPTH_BITS,
+    DEPTH_MAX_CODE,
+    MAX_EXACT_INT,
+    STENCIL_BITS,
+    STENCIL_MAX,
+    Channel,
+    CompareFunc,
+    StencilOp,
+    TextureFormat,
+)
+
+__all__ = [
+    "AlphaTestState",
+    "Channel",
+    "ColorBuffer",
+    "CompareFunc",
+    "DEFAULT_CAPACITY_BYTES",
+    "DEPTH_BITS",
+    "DEPTH_MAX_CODE",
+    "DepthBoundsState",
+    "DepthBuffer",
+    "DepthTestState",
+    "Device",
+    "FragmentProgram",
+    "FrameBuffer",
+    "full_screen",
+    "GpuCostModel",
+    "GpuTime",
+    "MAX_EXACT_INT",
+    "MAX_TEXTURE_SIZE",
+    "OcclusionQuery",
+    "PassStats",
+    "PipelineStats",
+    "Rect",
+    "RenderState",
+    "STENCIL_BITS",
+    "STENCIL_MAX",
+    "StencilBuffer",
+    "StencilOp",
+    "StencilTestState",
+    "Texture",
+    "TextureFormat",
+    "VideoMemory",
+    "ZERO_TIME",
+    "assemble",
+    "code_to_depth",
+    "copy_to_depth_program",
+    "depth_to_code",
+    "passthrough_program",
+    "rects_for_count",
+    "semilinear_program",
+    "test_bit_kil_program",
+    "test_bit_program",
+    "texture_shape_for",
+]

@@ -1,0 +1,362 @@
+"""Assembler for ``!!FP1.0``-style fragment programs.
+
+The paper generated its fragment programs with NVIDIA's Cg compiler and
+then hand-tuned the emitted assembly (section 5.3).  We model that level
+directly: programs are written in a small assembly dialect and assembled
+into :class:`FragmentProgram` objects executed by the interpreter.
+
+Example — the paper's three-instruction copy-to-depth program
+(section 5.4):
+
+.. code-block:: text
+
+    !!FP1.0
+    # fetch the attribute value
+    TEX R0, f[TEX0], TEX0, 2D;
+    # normalize into valid depth range [0, 1]
+    MUL R0, R0, p[0];
+    # copy to fragment depth
+    MOV o[DEPR].z, R0.x;
+    END
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AssemblyError
+from .isa import (
+    NUM_PARAMETERS,
+    NUM_TEMPORARIES,
+    NUM_TEXTURE_UNITS,
+    DestOperand,
+    FragmentAttrib,
+    Instruction,
+    Opcode,
+    OutputRegister,
+    RegisterFile,
+    SourceOperand,
+    Swizzle,
+    WriteMask,
+)
+
+_HEADER = "!!FP1.0"
+_FOOTER = "END"
+
+_TEMP_RE = re.compile(r"^R(\d+)(?:\.([xyzw]{1,4}))?$")
+_FRAG_RE = re.compile(r"^f\[(\w+)\](?:\.([xyzw]{1,4}))?$")
+_PARAM_RE = re.compile(r"^p\[(\d+)\](?:\.([xyzw]{1,4}))?$")
+_OUTPUT_RE = re.compile(r"^o\[(\w+)\](?:\.([xyzw]{1,4}))?$")
+_LITERAL_RE = re.compile(r"^\{(.*)\}(?:\.([xyzw]{1,4}))?$")
+_TEXUNIT_RE = re.compile(r"^TEX(\d)$")
+
+
+class FragmentProgram:
+    """An assembled fragment program.
+
+    Attributes
+    ----------
+    instructions:
+        The instruction sequence in execution order.
+    source:
+        The original assembly text (for diagnostics).
+    name:
+        Optional human-readable name (defaults to ``fragment-program``).
+    """
+
+    def __init__(
+        self,
+        instructions: list[Instruction],
+        source: str,
+        name: str = "fragment-program",
+    ):
+        self.instructions = instructions
+        self.source = source
+        self.name = name
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def writes_depth(self) -> bool:
+        """True when the program writes ``o[DEPR]`` — such programs defeat
+        early depth culling and pay the depth-write penalty (section 5.4)."""
+        return any(
+            ins.dest is not None
+            and ins.dest.output is OutputRegister.DEPR
+            for ins in self.instructions
+        )
+
+    @property
+    def writes_color(self) -> bool:
+        return any(
+            ins.dest is not None
+            and ins.dest.output is OutputRegister.COLR
+            for ins in self.instructions
+        )
+
+    @property
+    def uses_kil(self) -> bool:
+        return any(ins.opcode is Opcode.KIL for ins in self.instructions)
+
+    @property
+    def texture_units(self) -> set[int]:
+        """Texture units the program samples from."""
+        return {
+            ins.texture_unit
+            for ins in self.instructions
+            if ins.texture_unit is not None
+        }
+
+    def describe(self) -> str:
+        lines = [_HEADER]
+        lines.extend(ins.describe() for ins in self.instructions)
+        lines.append(_FOOTER)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FragmentProgram({self.name!r}, "
+            f"{self.num_instructions} instructions)"
+        )
+
+
+def assemble(source: str, name: str = "fragment-program") -> FragmentProgram:
+    """Assemble program text into a :class:`FragmentProgram`.
+
+    Raises :class:`~repro.errors.AssemblyError` with a line number on any
+    syntax or semantic problem.
+    """
+    lines = source.splitlines()
+    statements = _strip_comments(lines)
+    if not statements:
+        raise AssemblyError("empty program")
+    first_line, first_text = statements[0]
+    if first_text != _HEADER:
+        raise AssemblyError(
+            f"program must start with {_HEADER}", line=first_line
+        )
+    last_line, last_text = statements[-1]
+    if last_text != _FOOTER:
+        raise AssemblyError(f"program must end with {_FOOTER}", line=last_line)
+    instructions = []
+    for line_number, text in statements[1:-1]:
+        instructions.append(_parse_instruction(text, line_number))
+    if not instructions:
+        raise AssemblyError("program has no instructions")
+    return FragmentProgram(instructions, source, name=name)
+
+
+def _strip_comments(lines: list[str]) -> list[tuple[int, str]]:
+    """Return (1-based line number, stripped text) for non-empty lines."""
+    statements = []
+    for number, raw in enumerate(lines, start=1):
+        text = raw.split("#", 1)[0].strip()
+        if text:
+            statements.append((number, text))
+    return statements
+
+
+def _parse_instruction(text: str, line: int) -> Instruction:
+    if text.endswith(";"):
+        text = text[:-1].rstrip()
+    match = re.match(r"^([A-Za-z0-9]+)\s*(.*)$", text)
+    if match is None:
+        raise AssemblyError(f"cannot parse instruction {text!r}", line=line)
+    try:
+        opcode = Opcode.from_mnemonic(match.group(1))
+    except AssemblyError as exc:
+        raise AssemblyError(str(exc), line=line) from None
+    operand_text = match.group(2)
+    operands = _split_operands(operand_text, line)
+
+    if opcode is Opcode.KIL:
+        if len(operands) != 1:
+            raise AssemblyError("KIL takes exactly one source", line=line)
+        return Instruction(
+            opcode, dest=None, sources=(_parse_source(operands[0], line),)
+        )
+
+    if opcode is Opcode.TEX:
+        return _parse_tex(operands, line)
+
+    expected = 1 + opcode.num_sources
+    if len(operands) != expected:
+        raise AssemblyError(
+            f"{opcode.mnemonic} expects {expected} operands, "
+            f"got {len(operands)}",
+            line=line,
+        )
+    dest = _parse_dest(operands[0], line)
+    sources = tuple(_parse_source(op, line) for op in operands[1:])
+    return Instruction(opcode, dest=dest, sources=sources)
+
+
+def _parse_tex(operands: list[str], line: int) -> Instruction:
+    """``TEX dst, coord, TEX<unit>, 2D``"""
+    if len(operands) != 4:
+        raise AssemblyError(
+            "TEX expects: dst, coord, TEX<unit>, 2D", line=line
+        )
+    dest = _parse_dest(operands[0], line)
+    coord = _parse_source(operands[1], line)
+    unit_match = _TEXUNIT_RE.match(operands[2])
+    if unit_match is None:
+        raise AssemblyError(
+            f"bad texture unit {operands[2]!r} (expected TEX0..TEX"
+            f"{NUM_TEXTURE_UNITS - 1})",
+            line=line,
+        )
+    unit = int(unit_match.group(1))
+    if unit >= NUM_TEXTURE_UNITS:
+        raise AssemblyError(
+            f"texture unit {unit} out of range "
+            f"(0..{NUM_TEXTURE_UNITS - 1})",
+            line=line,
+        )
+    if operands[3] != "2D":
+        raise AssemblyError(
+            f"only 2D texture targets supported, got {operands[3]!r}",
+            line=line,
+        )
+    return Instruction(
+        Opcode.TEX, dest=dest, sources=(coord,), texture_unit=unit
+    )
+
+
+def _split_operands(text: str, line: int) -> list[str]:
+    """Split on commas outside ``{...}`` literals."""
+    operands = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                raise AssemblyError("unbalanced '}' in operands", line=line)
+        if ch == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise AssemblyError("unbalanced '{' in operands", line=line)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return [op for op in operands if op]
+
+
+def _parse_dest(text: str, line: int) -> DestOperand:
+    match = _TEMP_RE.match(text)
+    if match is not None:
+        index = int(match.group(1))
+        if index >= NUM_TEMPORARIES:
+            raise AssemblyError(
+                f"temporary R{index} out of range "
+                f"(0..{NUM_TEMPORARIES - 1})",
+                line=line,
+            )
+        try:
+            mask = WriteMask.parse(match.group(2) or "")
+        except AssemblyError as exc:
+            raise AssemblyError(str(exc), line=line) from None
+        return DestOperand(RegisterFile.TEMPORARY, index=index, mask=mask)
+    match = _OUTPUT_RE.match(text)
+    if match is not None:
+        try:
+            output = OutputRegister[match.group(1)]
+        except KeyError:
+            raise AssemblyError(
+                f"unknown output register o[{match.group(1)}]", line=line
+            ) from None
+        try:
+            mask = WriteMask.parse(match.group(2) or "")
+        except AssemblyError as exc:
+            raise AssemblyError(str(exc), line=line) from None
+        return DestOperand(RegisterFile.OUTPUT, output=output, mask=mask)
+    raise AssemblyError(f"bad destination operand {text!r}", line=line)
+
+
+def _parse_source(text: str, line: int) -> SourceOperand:
+    negate = False
+    if text.startswith("-"):
+        negate = True
+        text = text[1:].strip()
+
+    match = _TEMP_RE.match(text)
+    if match is not None:
+        index = int(match.group(1))
+        if index >= NUM_TEMPORARIES:
+            raise AssemblyError(
+                f"temporary R{index} out of range "
+                f"(0..{NUM_TEMPORARIES - 1})",
+                line=line,
+            )
+        return SourceOperand(
+            RegisterFile.TEMPORARY,
+            index=index,
+            swizzle=_swizzle(match.group(2), line),
+            negate=negate,
+        )
+    match = _PARAM_RE.match(text)
+    if match is not None:
+        index = int(match.group(1))
+        if index >= NUM_PARAMETERS:
+            raise AssemblyError(
+                f"parameter p[{index}] out of range "
+                f"(0..{NUM_PARAMETERS - 1})",
+                line=line,
+            )
+        return SourceOperand(
+            RegisterFile.PARAMETER,
+            index=index,
+            swizzle=_swizzle(match.group(2), line),
+            negate=negate,
+        )
+    match = _FRAG_RE.match(text)
+    if match is not None:
+        try:
+            attrib = FragmentAttrib[match.group(1)]
+        except KeyError:
+            raise AssemblyError(
+                f"unknown fragment attribute f[{match.group(1)}]", line=line
+            ) from None
+        return SourceOperand(
+            RegisterFile.FRAGMENT,
+            attrib=attrib,
+            swizzle=_swizzle(match.group(2), line),
+            negate=negate,
+        )
+    match = _LITERAL_RE.match(text)
+    if match is not None:
+        body = match.group(1).strip()
+        parts = [p.strip() for p in body.split(",")] if body else []
+        try:
+            values = [float(p) for p in parts]
+        except ValueError:
+            raise AssemblyError(f"bad literal {text!r}", line=line) from None
+        if len(values) == 1:
+            values = values * 4
+        if len(values) != 4:
+            raise AssemblyError(
+                f"literal must have 1 or 4 components, got {len(values)}",
+                line=line,
+            )
+        return SourceOperand(
+            RegisterFile.LITERAL,
+            literal=tuple(values),
+            swizzle=_swizzle(match.group(2), line),
+            negate=negate,
+        )
+    raise AssemblyError(f"bad source operand {text!r}", line=line)
+
+
+def _swizzle(text: str | None, line: int) -> Swizzle:
+    try:
+        return Swizzle.parse(text or "")
+    except AssemblyError as exc:
+        raise AssemblyError(str(exc), line=line) from None

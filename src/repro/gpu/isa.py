@@ -1,0 +1,250 @@
+"""Fragment-program instruction set.
+
+Models the ARB/NV fragment-program ISA of the GeForce FX generation —
+the programmable pixel engine the paper's fragment programs (Cg-compiled
+``CopyToDepth``, ``SemilinearFP``, ``TestBit``) ran on.  Deliberately a
+*2004-feature-level* machine: vec4 float registers, swizzles, write
+masks, no integer arithmetic, no data-dependent branching, and ``KIL``
+as the only control flow (paper sections 6.1 "No Branching" / "Integer
+Arithmetic Instructions").
+
+An instruction has one destination, up to three sources, and executes on
+every fragment of a pass in SIMD fashion.
+
+Register files
+--------------
+* ``R0`` .. ``R11``            — read/write temporaries (vec4)
+* ``f[TEX0]`` .. ``f[TEX3]``   — interpolated texture coordinates
+* ``f[WPOS]``                  — window position (x, y, z=depth, w=1)
+* ``f[COL0]``                  — interpolated primary color
+* ``p[0]`` .. ``p[15]``        — program parameters (constants)
+* ``o[COLR]``                  — output color (write-only)
+* ``o[DEPR]``                  — output depth (write-only; ``.z`` is used,
+  matching NV_fragment_program)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..errors import AssemblyError
+
+NUM_TEMPORARIES = 12
+NUM_PARAMETERS = 16
+NUM_TEXTURE_UNITS = 4
+
+_COMPONENTS = "xyzw"
+
+
+class Opcode(enum.Enum):
+    """Supported operations with their source-operand counts."""
+
+    MOV = ("MOV", 1)
+    ABS = ("ABS", 1)
+    FLR = ("FLR", 1)
+    FRC = ("FRC", 1)
+    RCP = ("RCP", 1)
+    EX2 = ("EX2", 1)
+    LG2 = ("LG2", 1)
+    ADD = ("ADD", 2)
+    SUB = ("SUB", 2)
+    MUL = ("MUL", 2)
+    MIN = ("MIN", 2)
+    MAX = ("MAX", 2)
+    SLT = ("SLT", 2)
+    SGE = ("SGE", 2)
+    DP3 = ("DP3", 2)
+    DP4 = ("DP4", 2)
+    MAD = ("MAD", 3)
+    CMP = ("CMP", 3)
+    LRP = ("LRP", 3)
+    TEX = ("TEX", 1)  # plus texture unit + target
+    KIL = ("KIL", 1)  # no destination
+
+    def __init__(self, mnemonic: str, num_sources: int):
+        self.mnemonic = mnemonic
+        self.num_sources = num_sources
+
+    @classmethod
+    def from_mnemonic(cls, mnemonic: str) -> "Opcode":
+        try:
+            return cls[mnemonic.upper()]
+        except KeyError:
+            raise AssemblyError(f"unknown opcode {mnemonic!r}") from None
+
+
+class RegisterFile(enum.Enum):
+    """Which register bank an operand addresses."""
+
+    TEMPORARY = "R"
+    FRAGMENT = "f"
+    PARAMETER = "p"
+    OUTPUT = "o"
+    LITERAL = "literal"
+
+
+class FragmentAttrib(enum.Enum):
+    """Named interpolated inputs in the ``f[...]`` file."""
+
+    TEX0 = "TEX0"
+    TEX1 = "TEX1"
+    TEX2 = "TEX2"
+    TEX3 = "TEX3"
+    WPOS = "WPOS"
+    COL0 = "COL0"
+
+
+class OutputRegister(enum.Enum):
+    """Named write-only outputs in the ``o[...]`` file."""
+
+    COLR = "COLR"
+    DEPR = "DEPR"
+
+
+@dataclasses.dataclass(frozen=True)
+class Swizzle:
+    """Source-component selection, e.g. ``.xyzw``, ``.x`` (replicated),
+    ``.wzyx``."""
+
+    components: tuple[int, int, int, int]
+
+    IDENTITY: "Swizzle" = None  # assigned after class creation
+
+    @classmethod
+    def parse(cls, text: str) -> "Swizzle":
+        if not text:
+            return cls.IDENTITY
+        if len(text) == 1:
+            try:
+                index = _COMPONENTS.index(text)
+            except ValueError:
+                raise AssemblyError(f"bad swizzle component {text!r}") from None
+            return cls((index,) * 4)
+        if len(text) != 4:
+            raise AssemblyError(
+                f"swizzle must have 1 or 4 components, got {text!r}"
+            )
+        try:
+            return cls(tuple(_COMPONENTS.index(ch) for ch in text))
+        except ValueError:
+            raise AssemblyError(f"bad swizzle {text!r}") from None
+
+    def __str__(self) -> str:
+        if len(set(self.components)) == 1:
+            return "." + _COMPONENTS[self.components[0]]
+        return "." + "".join(_COMPONENTS[i] for i in self.components)
+
+
+Swizzle.IDENTITY = Swizzle((0, 1, 2, 3))
+
+
+@dataclasses.dataclass(frozen=True)
+class WriteMask:
+    """Destination-component enable flags, e.g. ``.xy``; components must
+    appear in xyzw order (ARB rule)."""
+
+    flags: tuple[bool, bool, bool, bool]
+
+    ALL: "WriteMask" = None  # assigned after class creation
+
+    @classmethod
+    def parse(cls, text: str) -> "WriteMask":
+        if not text:
+            return cls.ALL
+        flags = [False] * 4
+        last = -1
+        for ch in text:
+            try:
+                index = _COMPONENTS.index(ch)
+            except ValueError:
+                raise AssemblyError(
+                    f"bad write-mask component {ch!r}"
+                ) from None
+            if index <= last:
+                raise AssemblyError(
+                    f"write mask {text!r} must be in xyzw order "
+                    "without repeats"
+                )
+            flags[index] = True
+            last = index
+        return cls(tuple(flags))
+
+    def __str__(self) -> str:
+        if all(self.flags):
+            return ""
+        return "." + "".join(
+            _COMPONENTS[i] for i in range(4) if self.flags[i]
+        )
+
+
+WriteMask.ALL = WriteMask((True, True, True, True))
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceOperand:
+    """A readable operand: register (+ optional index), swizzle, negation,
+    or an inline vec4 literal."""
+
+    file: RegisterFile
+    index: int = 0
+    attrib: FragmentAttrib | None = None
+    swizzle: Swizzle = Swizzle.IDENTITY
+    negate: bool = False
+    literal: tuple[float, float, float, float] | None = None
+
+    def describe(self) -> str:
+        sign = "-" if self.negate else ""
+        if self.file is RegisterFile.LITERAL:
+            body = "{" + ", ".join(f"{v:g}" for v in self.literal) + "}"
+        elif self.file is RegisterFile.TEMPORARY:
+            body = f"R{self.index}"
+        elif self.file is RegisterFile.PARAMETER:
+            body = f"p[{self.index}]"
+        else:
+            body = f"f[{self.attrib.value}]"
+        swiz = "" if self.swizzle == Swizzle.IDENTITY else str(self.swizzle)
+        return f"{sign}{body}{swiz}"
+
+
+@dataclasses.dataclass(frozen=True)
+class DestOperand:
+    """A writable operand: a temporary or an output register, with an
+    optional write mask."""
+
+    file: RegisterFile
+    index: int = 0
+    output: OutputRegister | None = None
+    mask: WriteMask = WriteMask.ALL
+
+    def describe(self) -> str:
+        if self.file is RegisterFile.TEMPORARY:
+            body = f"R{self.index}"
+        else:
+            body = f"o[{self.output.value}]"
+        return f"{body}{self.mask}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction.
+
+    ``texture_unit`` is only meaningful for ``TEX``; ``KIL`` has no
+    destination.
+    """
+
+    opcode: Opcode
+    dest: DestOperand | None
+    sources: tuple[SourceOperand, ...]
+    texture_unit: int | None = None
+
+    def describe(self) -> str:
+        parts = [self.opcode.mnemonic]
+        operands = []
+        if self.dest is not None:
+            operands.append(self.dest.describe())
+        operands.extend(src.describe() for src in self.sources)
+        if self.texture_unit is not None:
+            operands.append(f"TEX{self.texture_unit}")
+            operands.append("2D")
+        return parts[0] + " " + ", ".join(operands) + ";"

@@ -1,0 +1,104 @@
+"""Video memory management.
+
+The GeForce FX 5900 Ultra has 256 MB of video memory; the paper
+(section 5.1) computes that this fits more than 50 attribute textures of
+1000x1000 texels.  For larger databases the paper prescribes out-of-core
+operation: "we would use out-of-core techniques and swap textures in and
+out of video memory" over the AGP 8x bus (section 6.1).
+
+:class:`VideoMemory` implements exactly that: an LRU-managed pool of
+texture residencies.  Binding a non-resident texture uploads it (counted
+as AGP traffic by the device statistics), evicting least-recently-used
+textures when the pool is full.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import VideoMemoryError
+from .texture import Texture
+
+#: Default pool size: 256 MB, as on the paper's GeForce FX 5900 Ultra.
+DEFAULT_CAPACITY_BYTES = 256 * 1024 * 1024
+
+
+class VideoMemory:
+    """An LRU pool of resident textures with upload accounting."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES):
+        if capacity_bytes <= 0:
+            raise VideoMemoryError(
+                f"capacity must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        #: texture id -> size in bytes, in LRU order (oldest first).
+        self._resident: OrderedDict[int, int] = OrderedDict()
+        self._pinned: set[int] = set()
+        #: Cumulative bytes uploaded over the bus (includes re-uploads
+        #: after eviction — the cost of working out-of-core).
+        self.total_uploaded = 0
+        #: Number of evictions performed.
+        self.evictions = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._resident.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def is_resident(self, texture: Texture) -> bool:
+        return texture.id in self._resident
+
+    def ensure_resident(self, texture: Texture) -> int:
+        """Make ``texture`` resident; return bytes uploaded (0 if it was
+        already resident).
+
+        Raises :class:`VideoMemoryError` if the texture alone exceeds the
+        pool or if every other resident texture is pinned.
+        """
+        if texture.id in self._resident:
+            self._resident.move_to_end(texture.id)
+            return 0
+        size = texture.nbytes
+        if size > self.capacity_bytes:
+            raise VideoMemoryError(
+                f"texture of {size} bytes exceeds video memory capacity "
+                f"{self.capacity_bytes}"
+            )
+        while self.used_bytes + size > self.capacity_bytes:
+            self._evict_one()
+        self._resident[texture.id] = size
+        self.total_uploaded += size
+        return size
+
+    def pin(self, texture: Texture) -> None:
+        """Protect a resident texture from eviction (e.g. while bound)."""
+        if texture.id not in self._resident:
+            raise VideoMemoryError(
+                f"cannot pin non-resident texture {texture.id}"
+            )
+        self._pinned.add(texture.id)
+
+    def unpin(self, texture: Texture) -> None:
+        self._pinned.discard(texture.id)
+
+    def evict(self, texture: Texture) -> None:
+        """Explicitly drop a texture from the pool."""
+        if texture.id in self._pinned:
+            raise VideoMemoryError(
+                f"cannot evict pinned texture {texture.id}"
+            )
+        self._resident.pop(texture.id, None)
+
+    def _evict_one(self) -> None:
+        for texture_id in self._resident:
+            if texture_id not in self._pinned:
+                del self._resident[texture_id]
+                self.evictions += 1
+                return
+        raise VideoMemoryError(
+            "video memory full and every resident texture is pinned"
+        )

@@ -1,0 +1,63 @@
+"""Occlusion queries (NV_occlusion_query semantics).
+
+An occlusion query counts the fragments that pass *all* per-fragment
+tests between ``begin`` and ``end`` (paper section 3.2).  The paper uses
+these as the counting primitive behind COUNT, selectivity analysis,
+``KthLargest``, and ``Accumulator``.
+
+The paper notes that the queries "can be performed asynchronously and
+often do not add any additional overhead" (section 5.3): retrieving a
+result *synchronously* stalls for the readback latency, while batched
+retrieval overlaps with rendering.  The cost model distinguishes the two
+via the ``synchronous`` flag recorded at retrieval time.
+"""
+
+from __future__ import annotations
+
+from ..errors import OcclusionQueryError
+
+
+class OcclusionQuery:
+    """A single pixel-pass counter.
+
+    Life cycle: created by :meth:`repro.gpu.pipeline.Device.begin_query`,
+    accumulates counts during rendering, closed by ``end_query``, then
+    read with :meth:`result`.
+    """
+
+    def __init__(self, device):
+        self._device = device
+        self._count = 0
+        self._active = True
+        self._retrieved = False
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def _add(self, samples: int) -> None:
+        if not self._active:
+            raise OcclusionQueryError(
+                "internal: sample added to an ended query"
+            )
+        self._count += samples
+
+    def _end(self) -> None:
+        self._active = False
+
+    def result(self, synchronous: bool = True) -> int:
+        """The number of fragments that passed while the query was active.
+
+        ``synchronous=True`` models an immediate ``glGetQueryObjectuiv``
+        (stalls the pipeline; charged the readback latency by the cost
+        model).  ``synchronous=False`` models polling an already-finished
+        asynchronous query, which is free.
+        """
+        if self._active:
+            raise OcclusionQueryError(
+                "query result requested before end_query()"
+            )
+        if not self._retrieved:
+            self._retrieved = True
+            self._device.stats.occlusion_results += 1 if synchronous else 0
+        return self._count

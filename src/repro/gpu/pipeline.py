@@ -1,0 +1,425 @@
+"""The simulated GPU device: rendering passes and per-fragment tests.
+
+:class:`Device` is the top of the substrate — the software stand-in for
+the GeForce FX 5900 Ultra plus its OpenGL driver.  It owns the frame
+buffer, the render state, the bound textures and fragment program, video
+memory, and the statistics the cost model consumes.
+
+A rendering pass (``render_quad`` / ``render_textured_quad``) runs the
+per-fragment stages in the fixed-function order the paper relies on
+(sections 3.1, 3.4):
+
+1. fragment program (or fixed-function passthrough), including ``KIL``
+2. alpha test
+3. stencil test (failing fragments run the ``sfail`` stencil op)
+4. depth-bounds test on the *stored* depth (failing fragments are
+   discarded with no buffer updates — EXT_depth_bounds_test)
+5. depth test (``zfail``/``zpass`` stencil ops; depth write on pass)
+6. occlusion-query counting and color write
+
+There are deliberately **no random-access writes**: every buffer update
+flows through this pipeline, which is the architectural constraint that
+shapes all of the paper's algorithms (section 6.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GpuError, OcclusionQueryError, RenderStateError
+from .assembler import FragmentProgram
+from .counters import PassStats, PipelineStats
+from .framebuffer import FrameBuffer, depth_to_code
+from .interpreter import FragmentAttrib, ProgramInterpreter
+from .isa import NUM_PARAMETERS, NUM_TEXTURE_UNITS
+from .memory import VideoMemory
+from .occlusion import OcclusionQuery
+from .raster import Rect, full_screen, rasterize_rect, rects_for_count
+from .state import RenderState
+from .texture import Texture
+from .types import StencilOp
+
+
+class Device:
+    """A simulated programmable GPU with a ``width x height`` framebuffer."""
+
+    def __init__(
+        self,
+        height: int,
+        width: int,
+        video_memory: VideoMemory | None = None,
+    ):
+        self.framebuffer = FrameBuffer(height, width)
+        self.state = RenderState()
+        self.memory = video_memory if video_memory is not None else VideoMemory()
+        self.stats = PipelineStats()
+        self._textures: dict[int, Texture] = {}
+        self._program: FragmentProgram | None = None
+        self._parameters = np.zeros((NUM_PARAMETERS, 4), dtype=np.float32)
+        self._active_query: OcclusionQuery | None = None
+        self._pass_counter = 0
+
+    # -- resource binding ----------------------------------------------------
+
+    def bind_texture(self, unit: int, texture: Texture | None) -> None:
+        """Bind ``texture`` to a texture unit, uploading it to video memory
+        if it is not already resident (AGP traffic is recorded)."""
+        if not 0 <= unit < NUM_TEXTURE_UNITS:
+            raise GpuError(
+                f"texture unit {unit} out of range (0..{NUM_TEXTURE_UNITS - 1})"
+            )
+        previous = self._textures.get(unit)
+        if previous is not None:
+            self.memory.unpin(previous)
+        if texture is None:
+            self._textures.pop(unit, None)
+            return
+        uploaded = self.memory.ensure_resident(texture)
+        self.stats.bytes_uploaded += uploaded
+        self.memory.pin(texture)
+        self._textures[unit] = texture
+
+    def set_program(self, program: FragmentProgram | None) -> None:
+        self._program = program
+
+    @property
+    def program(self) -> FragmentProgram | None:
+        return self._program
+
+    def set_program_parameter(self, index: int, value) -> None:
+        """Set program parameter ``p[index]``; scalars are splatted."""
+        if not 0 <= index < NUM_PARAMETERS:
+            raise GpuError(
+                f"parameter index {index} out of range "
+                f"(0..{NUM_PARAMETERS - 1})"
+            )
+        value = np.asarray(value, dtype=np.float32).ravel()
+        if value.size == 1:
+            value = np.repeat(value, 4)
+        if value.size != 4:
+            raise GpuError(
+                f"parameter must have 1 or 4 components, got {value.size}"
+            )
+        self._parameters[index] = value
+
+    # -- framebuffer operations ----------------------------------------------
+
+    def clear(self, color=(0, 0, 0, 0), depth: float = 1.0, stencil: int = 0):
+        self.framebuffer.clear(color=color, depth=depth, stencil=stencil)
+        self.stats.clears += 1
+
+    def clear_stencil(self, value: int) -> None:
+        self.framebuffer.stencil.clear(value)
+        self.stats.clears += 1
+
+    def clear_depth(self, depth: float = 1.0) -> None:
+        self.framebuffer.depth.clear(depth)
+        self.stats.clears += 1
+
+    # -- readbacks (bus traffic back to the CPU) -------------------------------
+
+    def read_stencil(self) -> np.ndarray:
+        self.stats.bytes_read_back += self.framebuffer.stencil.values.nbytes
+        return self.framebuffer.stencil.values.copy()
+
+    def read_depth(self) -> np.ndarray:
+        self.stats.bytes_read_back += self.framebuffer.depth.codes.nbytes
+        return self.framebuffer.depth.as_depths()
+
+    def read_color(self) -> np.ndarray:
+        self.stats.bytes_read_back += self.framebuffer.color.data.nbytes
+        return self.framebuffer.color.data.copy()
+
+    def upload_texels(
+        self, texture: Texture, start: int, values
+    ) -> None:
+        """glTexSubImage2D: update a contiguous texel range of a
+        resident texture, paying AGP traffic for just those bytes.
+
+        This is the streaming-update path: appending a batch of records
+        to a window costs bandwidth proportional to the batch, not the
+        window (paper section 7's continuous-query direction).
+        """
+        uploaded = self.memory.ensure_resident(texture)
+        self.stats.bytes_uploaded += uploaded
+        self.stats.bytes_uploaded += texture.write_texels(start, values)
+
+    def copy_color_to_texture(self, texture: Texture) -> None:
+        """glCopyTexSubImage2D: copy the color buffer into a texture.
+
+        This is the render-to-texture path of 2004-era multi-pass GPGPU
+        algorithms (each bitonic-sort stage reads the previous stage's
+        output this way).  A GPU-internal transfer: costed as one
+        fixed-function pass over the copied texels, no bus traffic.
+        """
+        fb = self.framebuffer
+        if texture.shape != (fb.height, fb.width):
+            raise GpuError(
+                f"texture {texture.shape} does not match the framebuffer "
+                f"{(fb.height, fb.width)} for a color copy"
+            )
+        channels = texture.channels
+        texture.data[:] = fb.color.data[:, :channels].reshape(
+            fb.height, fb.width, channels
+        )
+        self.stats.record_pass(
+            PassStats(
+                index=self._pass_counter,
+                fragments=fb.num_pixels,
+                program="framebuffer-copy",
+                program_length=1,
+                instructions_executed=fb.num_pixels,
+                instructions_after_early_z=fb.num_pixels,
+                color_writes=fb.num_pixels * channels,
+            )
+        )
+        self._pass_counter += 1
+
+    # -- occlusion queries -----------------------------------------------------
+
+    def begin_query(self) -> OcclusionQuery:
+        if self._active_query is not None and self._active_query.active:
+            raise OcclusionQueryError(
+                "an occlusion query is already active (queries do not nest)"
+            )
+        query = OcclusionQuery(self)
+        self._active_query = query
+        return query
+
+    def end_query(self) -> OcclusionQuery:
+        if self._active_query is None or not self._active_query.active:
+            raise OcclusionQueryError("end_query() without an active query")
+        query = self._active_query
+        query._end()
+        return query
+
+    # -- drawing ----------------------------------------------------------------
+
+    def render_quad(
+        self,
+        depth: float,
+        color=(1.0, 1.0, 1.0, 1.0),
+        rect: Rect | None = None,
+        count: int | None = None,
+    ) -> None:
+        """Render a screen-aligned quad at the given depth.
+
+        ``rect`` restricts the quad to a pixel rectangle; ``count``
+        restricts it to the first *count* pixels in row-major order
+        (realized as at most two rects — hardware cannot rasterize
+        arbitrary pixel sets).
+        """
+        if rect is not None and count is not None:
+            raise GpuError("pass either rect or count, not both")
+        if not 0.0 <= depth <= 1.0:
+            raise RenderStateError(
+                f"quad depth {depth} outside the valid range [0, 1]"
+            )
+        fb = self.framebuffer
+        if count is not None:
+            rects = rects_for_count(count, fb.width, fb.height)
+        elif rect is not None:
+            rects = [rect]
+        else:
+            rects = [full_screen(fb.height, fb.width)]
+        # The (up to two) rects covering a record range are drawn in one
+        # pass: same state, back-to-back draw calls, one pipeline drain.
+        stats = PassStats(index=self._pass_counter, fragments=0)
+        self._pass_counter += 1
+        for r in rects:
+            self._draw(r, depth, color, stats)
+        self.stats.record_pass(stats)
+
+    def render_textured_quad(
+        self,
+        texture: Texture | None = None,
+        depth: float = 0.0,
+        color=(1.0, 1.0, 1.0, 1.0),
+        cover_valid_only: bool = True,
+    ) -> None:
+        """Render a quad with ``texture`` bound to unit 0, sized so texels
+        align one-to-one with pixels (the paper's section 3.3 setup).
+
+        With ``cover_valid_only`` the quad covers only the texture's valid
+        texels (its ``count``), so padding never reaches the pipeline.
+        """
+        if texture is not None:
+            self.bind_texture(0, texture)
+        bound = self._textures.get(0)
+        if bound is None:
+            raise GpuError("render_textured_quad requires a bound texture")
+        if bound.shape != (self.framebuffer.height, self.framebuffer.width):
+            raise GpuError(
+                f"texture {bound.shape} does not match the framebuffer "
+                f"{(self.framebuffer.height, self.framebuffer.width)}; "
+                "texels must align with pixels"
+            )
+        count = bound.count if cover_valid_only else bound.num_texels
+        self.render_quad(depth, color=color, count=count)
+
+    # -- the per-fragment pipeline ------------------------------------------------
+
+    def _draw(
+        self, rect: Rect, depth: float, color, stats: PassStats
+    ) -> None:
+        self.state.validate()
+        fb = self.framebuffer
+        indices, batch = rasterize_rect(
+            rect, fb.width, fb.height, depth, tuple(color)
+        )
+        stats.fragments += batch.count
+
+        # Stage 1: fragment program (or fixed-function passthrough).
+        if self._program is not None:
+            interpreter = ProgramInterpreter(self._textures, self._parameters)
+            result = interpreter.run(self._program, batch)
+            frag_color = result.color
+            if result.depth is not None:
+                frag_depth = result.depth
+            else:
+                frag_depth = batch.attributes[FragmentAttrib.WPOS][:, 2]
+            alive = ~result.killed
+            stats.program = self._program.name
+            stats.program_length = self._program.num_instructions
+            stats.instructions_executed += result.instructions_executed
+            stats.writes_depth_from_program = self._program.writes_depth
+            stats.killed += int(np.count_nonzero(result.killed))
+        else:
+            frag_color = batch.attributes[FragmentAttrib.COL0]
+            frag_depth = batch.attributes[FragmentAttrib.WPOS][:, 2]
+            alive = np.ones(batch.count, dtype=bool)
+
+        state = self.state
+
+        # Stage 2: alpha test.
+        if state.alpha.enabled:
+            alpha_pass = state.alpha.func.apply(
+                frag_color[:, 3], np.float32(state.alpha.reference)
+            )
+            stats.alpha_failed += int(np.count_nonzero(alive & ~alpha_pass))
+            alive = alive & alpha_pass
+
+        # Stage 3: stencil test.  GL convention: the test passes when
+        # ``(ref & mask) func (stencil & mask)``.
+        stencil_values = fb.stencil.read(indices)
+        if state.stencil.enabled:
+            masked_ref = np.full(
+                batch.count,
+                state.stencil.reference & state.stencil.mask,
+                dtype=np.int64,
+            )
+            masked_stored = (
+                stencil_values.astype(np.int64) & state.stencil.mask
+            )
+            stencil_pass = state.stencil.func.apply(masked_ref, masked_stored)
+            sfail = alive & ~stencil_pass
+            stats.stencil_failed += int(np.count_nonzero(sfail))
+            self._apply_stencil_op(
+                state.stencil.sfail, indices, sfail, stats
+            )
+            alive = alive & stencil_pass
+
+        # Stage 4: depth-bounds test against the *stored* depth
+        # (EXT_depth_bounds_test).  Failures are discarded outright.
+        if state.depth_bounds.enabled:
+            stored = fb.depth.read_codes(indices)
+            low = depth_to_code(state.depth_bounds.zmin)
+            high = depth_to_code(state.depth_bounds.zmax)
+            bounds_pass = (stored >= low) & (stored <= high)
+            stats.depth_bounds_failed += int(
+                np.count_nonzero(alive & ~bounds_pass)
+            )
+            alive = alive & bounds_pass
+
+        # Stage 5: depth test.
+        frag_codes = depth_to_code(frag_depth)
+        early_z_survivors: int | None = None
+        if state.depth.enabled:
+            stored = fb.depth.read_codes(indices)
+            depth_pass = state.depth.func.apply(frag_codes, stored)
+            # Early-z hardware would evaluate this same comparison before
+            # shading; capture it pre-write for the cost model.
+            early_z_survivors = int(np.count_nonzero(depth_pass))
+            zfail = alive & ~depth_pass
+            stats.depth_failed += int(np.count_nonzero(zfail))
+            if state.stencil.enabled:
+                self._apply_stencil_op(
+                    state.stencil.zfail, indices, zfail, stats
+                )
+            alive = alive & depth_pass
+            if state.depth.write:
+                writers = np.flatnonzero(alive)
+                fb.depth.write_codes(indices[writers], frag_codes[writers])
+                stats.depth_writes += writers.size
+        if state.stencil.enabled:
+            self._apply_stencil_op(state.stencil.zpass, indices, alive, stats)
+
+        # Stage 6: occlusion counting and color write.
+        passed = int(np.count_nonzero(alive))
+        stats.passed += passed
+        if self._active_query is not None and self._active_query.active:
+            self._active_query._add(passed)
+        if any(state.color_mask):
+            writers = np.flatnonzero(alive)
+            fb.color.write(
+                indices[writers], frag_color[writers], state.color_mask
+            )
+            stats.color_writes += writers.size * sum(state.color_mask)
+
+        self._accumulate_early_z(stats, early_z_survivors, batch.count)
+
+    def _apply_stencil_op(
+        self,
+        op: StencilOp,
+        indices: np.ndarray,
+        mask: np.ndarray,
+        stats: PassStats,
+    ) -> None:
+        if op is StencilOp.KEEP:
+            return
+        targets = np.flatnonzero(mask)
+        if targets.size == 0:
+            return
+        fb = self.framebuffer
+        current = fb.stencil.read(indices[targets])
+        updated = op.apply(current, self.state.stencil.reference)
+        write_mask = self.state.stencil.write_mask
+        if write_mask != 0xFF:
+            # glStencilMask: only the masked bits change.
+            keep_bits = np.uint8(0xFF & ~write_mask)
+            updated = (current & keep_bits) | (
+                updated & np.uint8(write_mask)
+            )
+        fb.stencil.write(indices[targets], updated)
+        stats.stencil_writes += targets.size
+
+    def _accumulate_early_z(
+        self,
+        stats: PassStats,
+        early_z_survivors: int | None,
+        fragments: int,
+    ) -> None:
+        """Record whether early depth culling could have skipped program
+        execution, and how many instructions survive it (cost model input).
+
+        Hardware disables early-z when the program writes depth or uses
+        KIL, or when the alpha test is enabled (any of these makes the
+        depth outcome depend on the program's output).
+        """
+        program = self._program
+        state = self.state
+        eligible = (
+            program is not None
+            and state.depth.enabled
+            and early_z_survivors is not None
+            and not program.writes_depth
+            and not program.uses_kil
+            and not state.alpha.enabled
+        )
+        stats.early_z_eligible = eligible
+        if not eligible:
+            stats.instructions_after_early_z = stats.instructions_executed
+            return
+        stats.instructions_after_early_z += (
+            stats.program_length * early_z_survivors
+        )

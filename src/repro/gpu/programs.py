@@ -1,0 +1,157 @@
+"""Stock fragment programs used by the paper's algorithms.
+
+Each factory returns assembled :class:`FragmentProgram` objects mirroring
+the Cg-compiled, hand-tuned assembly the paper describes:
+
+* :func:`copy_to_depth_program` — the three-instruction texture-to-depth
+  copy of section 5.4 (fetch, normalize, copy to fragment depth).
+* :func:`semilinear_program` — ``SemilinearFP`` of routine 4.2: dot
+  product against the coefficient vector, compare with the constant,
+  ``KIL`` fragments that fail.
+* :func:`test_bit_program` — ``TestBit`` of routine 4.6: move
+  ``frac(value / 2**(i+1))`` into alpha for the alpha test (the paper
+  notes this costs "at least 5 instructions" absent integer arithmetic,
+  section 6.2.3).
+* :func:`test_bit_kil_program` — the ablation variant that rejects
+  fragments directly in the program, which the paper found *slower* than
+  the alpha test (section 4.3.3).
+
+Programs select the attribute's channel with a swizzle, so a record's
+attribute may live in any channel of an RGBA texture.
+"""
+
+from __future__ import annotations
+
+from ..errors import GpuError
+from .assembler import FragmentProgram, assemble
+from .types import CompareFunc
+
+_CHANNEL_NAMES = "xyzw"
+
+
+def _channel(channel: int) -> str:
+    if not 0 <= channel <= 3:
+        raise GpuError(f"channel {channel} out of range (0..3)")
+    return _CHANNEL_NAMES[channel]
+
+
+def copy_to_depth_program(channel: int = 0) -> FragmentProgram:
+    """The paper's 3-instruction copy program (section 5.4).
+
+    ``p[0]`` must hold the normalization scale ``1 / 2**bits`` that maps
+    attribute values into the valid depth range [0, 1].
+    """
+    c = _channel(channel)
+    source = f"""!!FP1.0
+# 1. Texture fetch: the attribute value for this fragment.
+TEX R0, f[TEX0], TEX0, 2D;
+# 2. Normalization: map the value into the valid depth range [0, 1].
+MUL R0, R0, p[0];
+# 3. Copy to depth: route the value out as the fragment depth.
+MOV o[DEPR].z, R0.{c};
+END
+"""
+    return assemble(source, name=f"copy-to-depth.{c}")
+
+
+def semilinear_program(op: CompareFunc) -> FragmentProgram:
+    """``SemilinearFP``: evaluate ``dot(p[0], texel) op p[1].x`` and KIL
+    fragments for which the comparison FAILS (routine 4.2: surviving
+    fragments satisfy the query).
+
+    ``p[0]`` holds the coefficient vector ``s``; ``p[1]`` holds the
+    constant ``b`` splatted across all components.
+
+    ``KIL`` discards when any source component is negative, so each
+    comparison operator compiles to a small arithmetic prelude that makes
+    exactly the failing fragments negative.
+    """
+    head = "!!FP1.0\nTEX R0, f[TEX0], TEX0, 2D;\nDP4 R0, R0, p[0];\n"
+    if op is CompareFunc.GEQUAL:
+        # fail: d - b < 0
+        body = "SUB R1, R0, p[1];\nKIL R1.x;\n"
+    elif op is CompareFunc.GREATER:
+        # fail: d <= b  <=>  b >= d
+        body = "SGE R1, p[1], R0;\nKIL -R1.x;\n"
+    elif op is CompareFunc.LESS:
+        # fail: d >= b
+        body = "SGE R1, R0, p[1];\nKIL -R1.x;\n"
+    elif op is CompareFunc.LEQUAL:
+        # fail: d > b  <=>  b < d
+        body = "SLT R1, p[1], R0;\nKIL -R1.x;\n"
+    elif op is CompareFunc.EQUAL:
+        # fail: d != b; eq = (d >= b) * (b >= d); kill when eq == 0.
+        body = (
+            "SGE R1, R0, p[1];\n"
+            "SGE R2, p[1], R0;\n"
+            "MUL R1, R1, R2;\n"
+            "SUB R1, R1, {0.5};\n"
+            "KIL R1.x;\n"
+        )
+    elif op is CompareFunc.NOTEQUAL:
+        # fail: d == b; kill when eq == 1.
+        body = (
+            "SGE R1, R0, p[1];\n"
+            "SGE R2, p[1], R0;\n"
+            "MUL R1, R1, R2;\n"
+            "SUB R1, {0.5}, R1;\n"
+            "KIL R1.x;\n"
+        )
+    else:
+        raise GpuError(
+            f"semi-linear queries need a value comparison, got {op.name}"
+        )
+    return assemble(head + body + "END\n", name=f"semilinear.{op.name.lower()}")
+
+
+def test_bit_program(channel: int = 0) -> FragmentProgram:
+    """``TestBit``: put ``frac(value / 2**(i+1))`` into fragment alpha.
+
+    ``p[0]`` must hold ``1 / 2**(i+1)``.  The alpha test (``>= 0.5``)
+    then passes exactly the fragments whose bit ``i`` is set.  Five
+    instructions, as the paper laments (section 6.2.3): fetch, scale,
+    fraction, move to alpha, and a color passthrough because fragment
+    programs must produce a color.
+    """
+    c = _channel(channel)
+    source = f"""!!FP1.0
+TEX R0, f[TEX0], TEX0, 2D;
+# v / 2^(i+1): p[0] carries the reciprocal power of two (exact).
+MUL R1, R0, p[0];
+FRC R1, R1;
+MOV o[COLR].xyz, R0;
+MOV o[COLR].w, R1.{c};
+END
+"""
+    return assemble(source, name=f"test-bit.{c}")
+
+
+def test_bit_kil_program(channel: int = 0) -> FragmentProgram:
+    """Ablation: reject bit-unset fragments with ``KIL`` inside the
+    program instead of via the alpha test.
+
+    The paper observes "it is faster in practice to use the alpha test"
+    (section 4.3.3); the cost model reproduces that because the KIL
+    variant cannot use the dedicated alpha-test hardware.
+    """
+    c = _channel(channel)
+    source = f"""!!FP1.0
+TEX R0, f[TEX0], TEX0, 2D;
+MUL R1, R0, p[0];
+FRC R1, R1;
+SUB R1, R1, {{0.5}};
+KIL R1.{c};
+MOV o[COLR], R0;
+END
+"""
+    return assemble(source, name=f"test-bit-kil.{c}")
+
+
+def passthrough_program() -> FragmentProgram:
+    """Write the interpolated color unchanged (used by tests and by the
+    sort/join extensions as a data-movement pass)."""
+    source = """!!FP1.0
+MOV o[COLR], f[COL0];
+END
+"""
+    return assemble(source, name="passthrough")

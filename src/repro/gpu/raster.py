@@ -1,0 +1,140 @@
+"""Rasterization of screen-aligned quadrilaterals.
+
+The paper's computation model renders a "single quadrilateral that covers
+the window" so that texels line up one-to-one with pixels (section 3.3).
+This module turns such a quad into a :class:`FragmentBatch`: linear pixel
+indices plus interpolated attributes (window position, texture
+coordinates at texel centers, primary color).
+
+Hardware rasterizes rectangles, not arbitrary index sets, so a relation
+whose record count does not fill its texture exactly is covered by *two*
+rects (the full rows plus the partial last row) — see
+:func:`rects_for_count`.  This keeps the simulator honest about the
+"no random access" constraint (section 6.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import GpuError
+from .interpreter import FragmentBatch
+from .isa import FragmentAttrib
+
+
+@dataclasses.dataclass(frozen=True)
+class Rect:
+    """A half-open pixel rectangle ``[x0, x1) x [y0, y1)``."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self):
+        if self.x0 < 0 or self.y0 < 0 or self.x1 < self.x0 or self.y1 < self.y0:
+            raise GpuError(f"invalid rect {self}")
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def num_pixels(self) -> int:
+        return self.width * self.height
+
+
+def full_screen(height: int, width: int) -> Rect:
+    return Rect(0, 0, width, height)
+
+
+def rects_for_count(count: int, width: int, height: int) -> list[Rect]:
+    """Rectangles covering exactly the first ``count`` pixels in row-major
+    order of a ``height x width`` screen.
+
+    At most two rects: the block of complete rows, then the partial row.
+    """
+    if count < 0 or count > width * height:
+        raise GpuError(
+            f"count {count} outside [0, {width * height}] for "
+            f"{width}x{height} screen"
+        )
+    full_rows, remainder = divmod(count, width)
+    rects = []
+    if full_rows:
+        rects.append(Rect(0, 0, width, full_rows))
+    if remainder:
+        rects.append(Rect(0, full_rows, remainder, full_rows + 1))
+    return rects
+
+
+def rasterize_rect(
+    rect: Rect,
+    screen_width: int,
+    screen_height: int,
+    depth: float,
+    color: tuple[float, float, float, float],
+    tex_size: tuple[int, int] | None = None,
+) -> tuple[np.ndarray, FragmentBatch]:
+    """Generate fragments for a screen-aligned quad over ``rect``.
+
+    Returns ``(pixel_indices, batch)`` where ``pixel_indices`` are linear
+    row-major framebuffer indices.
+
+    Texture coordinates are generated at *texel centers* assuming the
+    textured quad maps the screen rect one-to-one onto the same rect of a
+    texture sized like the screen (the paper's alignment contract).  All
+    four texcoord sets (TEX0..TEX3) receive identical coordinates, which
+    is how multi-texture passes address the same record in several
+    attribute textures.
+    """
+    if rect.x1 > screen_width or rect.y1 > screen_height:
+        raise GpuError(
+            f"rect {rect} exceeds the {screen_width}x{screen_height} screen"
+        )
+    xs = np.arange(rect.x0, rect.x1, dtype=np.int64)
+    ys = np.arange(rect.y0, rect.y1, dtype=np.int64)
+    grid_y, grid_x = np.meshgrid(ys, xs, indexing="ij")
+    pixel_x = grid_x.ravel()
+    pixel_y = grid_y.ravel()
+    indices = pixel_y * screen_width + pixel_x
+    count = indices.size
+
+    centers_x = pixel_x.astype(np.float32) + np.float32(0.5)
+    centers_y = pixel_y.astype(np.float32) + np.float32(0.5)
+
+    wpos = np.empty((count, 4), dtype=np.float32)
+    wpos[:, 0] = centers_x
+    wpos[:, 1] = centers_y
+    wpos[:, 2] = np.float32(depth)
+    wpos[:, 3] = 1.0
+
+    # Texcoords normalized against the texture (defaults to screen) size.
+    if tex_size is None:
+        tex_height, tex_width = screen_height, screen_width
+    else:
+        tex_height, tex_width = tex_size
+    texcoord = np.empty((count, 4), dtype=np.float32)
+    texcoord[:, 0] = centers_x / np.float32(tex_width)
+    texcoord[:, 1] = centers_y / np.float32(tex_height)
+    texcoord[:, 2] = 0.0
+    texcoord[:, 3] = 1.0
+
+    col0 = np.empty((count, 4), dtype=np.float32)
+    col0[:] = np.asarray(color, dtype=np.float32)
+
+    attributes = {
+        FragmentAttrib.WPOS: wpos,
+        FragmentAttrib.TEX0: texcoord,
+        FragmentAttrib.TEX1: texcoord,
+        FragmentAttrib.TEX2: texcoord,
+        FragmentAttrib.TEX3: texcoord,
+        FragmentAttrib.COL0: col0,
+    }
+    return indices, FragmentBatch(count=count, attributes=attributes)

@@ -1,0 +1,130 @@
+"""Render state: the fixed-function test configuration.
+
+Groups everything that ``glEnable``/``glAlphaFunc``/``glStencilFunc``/
+``glStencilOp``/``glDepthFunc``/``glDepthBoundsEXT`` and the write masks
+would configure on real hardware.  The pipeline consults a single
+:class:`RenderState` object per pass.
+
+The depth-bounds test follows ``GL_EXT_depth_bounds_test`` semantics
+exactly: it tests the depth value *already stored in the depth buffer* at
+the fragment's pixel — not the incoming fragment depth — which is what
+makes the paper's single-pass ``Range`` query (routine 4.4) work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import RenderStateError
+from .types import STENCIL_MAX, CompareFunc, StencilOp
+
+
+@dataclasses.dataclass
+class AlphaTestState:
+    """Alpha test: compare the fragment's alpha to a reference value."""
+
+    enabled: bool = False
+    func: CompareFunc = CompareFunc.ALWAYS
+    reference: float = 0.0
+
+
+@dataclasses.dataclass
+class StencilTestState:
+    """Stencil test plus the three update operations.
+
+    ``reference op (stencil & mask)`` passes — note the OpenGL operand
+    order: the reference is on the *left*.
+    """
+
+    enabled: bool = False
+    func: CompareFunc = CompareFunc.ALWAYS
+    reference: int = 0
+    #: Comparison mask (glStencilFunc's mask operand).
+    mask: int = STENCIL_MAX
+    #: Write mask (glStencilMask): stencil ops only modify these bits,
+    #: so disjoint bit planes can carry independent values — the
+    #: mechanism behind the DNF evaluator's accepted-flag plane.
+    write_mask: int = STENCIL_MAX
+    #: Op when a fragment fails the stencil test.
+    sfail: StencilOp = StencilOp.KEEP
+    #: Op when stencil passes but the depth test fails.
+    zfail: StencilOp = StencilOp.KEEP
+    #: Op when both stencil and depth tests pass.
+    zpass: StencilOp = StencilOp.KEEP
+
+    def validate(self) -> None:
+        if not 0 <= self.reference <= STENCIL_MAX:
+            raise RenderStateError(
+                f"stencil reference {self.reference} outside "
+                f"[0, {STENCIL_MAX}]"
+            )
+        if not 0 <= self.mask <= STENCIL_MAX:
+            raise RenderStateError(
+                f"stencil mask {self.mask:#x} outside [0, {STENCIL_MAX:#x}]"
+            )
+        if not 0 <= self.write_mask <= STENCIL_MAX:
+            raise RenderStateError(
+                f"stencil write mask {self.write_mask:#x} outside "
+                f"[0, {STENCIL_MAX:#x}]"
+            )
+
+
+@dataclasses.dataclass
+class DepthTestState:
+    """Depth test: compare fragment depth to the stored depth."""
+
+    enabled: bool = False
+    func: CompareFunc = CompareFunc.LESS
+    #: When false, passing fragments do not update the depth buffer
+    #: (glDepthMask).  The paper's query passes keep this off so the
+    #: attribute values copied into the depth buffer survive.
+    write: bool = True
+
+
+@dataclasses.dataclass
+class DepthBoundsState:
+    """GL_EXT_depth_bounds_test: reject fragments whose pixel's *stored*
+    depth lies outside ``[zmin, zmax]``."""
+
+    enabled: bool = False
+    zmin: float = 0.0
+    zmax: float = 1.0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.zmin <= 1.0 or not 0.0 <= self.zmax <= 1.0:
+            raise RenderStateError(
+                f"depth bounds [{self.zmin}, {self.zmax}] must lie in [0, 1]"
+            )
+        if self.zmin > self.zmax:
+            raise RenderStateError(
+                f"depth bounds zmin {self.zmin} > zmax {self.zmax}"
+            )
+
+
+@dataclasses.dataclass
+class RenderState:
+    """Complete fixed-function state consulted during one rendering pass."""
+
+    alpha: AlphaTestState = dataclasses.field(default_factory=AlphaTestState)
+    stencil: StencilTestState = dataclasses.field(
+        default_factory=StencilTestState
+    )
+    depth: DepthTestState = dataclasses.field(default_factory=DepthTestState)
+    depth_bounds: DepthBoundsState = dataclasses.field(
+        default_factory=DepthBoundsState
+    )
+    #: Per-channel color write mask (glColorMask).  Query passes disable
+    #: all color writes — only depth/stencil/occlusion side effects matter.
+    color_mask: tuple[bool, bool, bool, bool] = (True, True, True, True)
+
+    def validate(self) -> None:
+        self.stencil.validate()
+        self.depth_bounds.validate()
+
+    def reset(self) -> None:
+        """Return every test to its freshly-created (disabled) default."""
+        self.alpha = AlphaTestState()
+        self.stencil = StencilTestState()
+        self.depth = DepthTestState()
+        self.depth_bounds = DepthBoundsState()
+        self.color_mask = (True, True, True, True)

@@ -1,0 +1,291 @@
+"""OLAP data cubes — roll-up and drill-down on GPU aggregates.
+
+The paper's conclusions list "OLAP and data mining tasks such as data
+cube roll up and drill-down" as future work (section 7).  This module
+builds them on the reproduced primitives:
+
+* the **base cuboid** (the finest group-by) is computed on the GPU: one
+  masked selection + aggregation sweep per occupied dimension-value
+  combination, exactly like the SQL GROUP BY path;
+* **coarser cuboids** are derived from the base by marginalization —
+  COUNT and SUM add, MIN/MAX fold — which is the standard cube-lattice
+  computation and costs no further rendering passes;
+* **roll-up / drill-down / slice** navigate the lattice.
+
+Measures: ``count`` (always present) plus ``sum`` / ``min`` / ``max``
+over integer or fixed-point columns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .core.predicates import And, Comparison, Predicate
+from .errors import QueryError
+from .gpu.types import CompareFunc
+
+#: Guard against building cubes with absurd base-cuboid sizes.
+MAX_BASE_CELLS = 4096
+
+#: Supported measure aggregations (COUNT is implicit).
+MEASURE_FUNCS = ("sum", "min", "max")
+
+
+@dataclasses.dataclass
+class CubeCell:
+    """One cell of a cuboid: coordinates plus measure values."""
+
+    #: Dimension name -> value for the cell's group.
+    coordinates: dict
+    count: int
+    #: "func(column)" -> value, e.g. ``{"sum(amount)": 1234}``.
+    measures: dict
+
+
+class DataCube:
+    """A data cube over low-cardinality integer dimensions.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.core.engine.GpuEngine` (or the CPU twin — any
+        object with ``count`` / ``sum`` / ``minimum`` / ``maximum`` and
+        a ``relation``).
+    dimensions:
+        1-3 integer column names to group by.
+    measures:
+        ``(func, column)`` pairs with ``func`` in ``MEASURE_FUNCS``.
+    """
+
+    def __init__(
+        self,
+        engine,
+        dimensions: Sequence[str],
+        measures: Sequence[tuple[str, str]] = (),
+        where: Predicate | None = None,
+    ):
+        if not 1 <= len(dimensions) <= 3:
+            raise QueryError(
+                f"cubes take 1-3 dimensions, got {len(dimensions)}"
+            )
+        relation = engine.relation
+        for name in dimensions:
+            if name not in relation:
+                raise QueryError(f"unknown dimension {name!r}")
+            if not relation.column(name).is_integer:
+                raise QueryError(
+                    f"dimension {name!r} must be an integer column"
+                )
+        for func, column in measures:
+            if func not in MEASURE_FUNCS:
+                raise QueryError(
+                    f"unknown measure {func!r}; supported: "
+                    f"{MEASURE_FUNCS}"
+                )
+            if column not in relation:
+                raise QueryError(f"unknown measure column {column!r}")
+        self.engine = engine
+        self.dimensions = tuple(dimensions)
+        self.measures = tuple(measures)
+        self.where = where
+        self._base = self._build_base_cuboid()
+
+    # -- base cuboid (GPU) ---------------------------------------------------
+
+    def _observed_combinations(self) -> list[tuple[int, ...]]:
+        relation = self.engine.relation
+        stacked = np.stack(
+            [
+                relation.column(name).values.astype(np.int64)
+                for name in self.dimensions
+            ],
+            axis=1,
+        )
+        combos = np.unique(stacked, axis=0)
+        if combos.shape[0] > MAX_BASE_CELLS:
+            raise QueryError(
+                f"base cuboid has {combos.shape[0]} cells "
+                f"(limit {MAX_BASE_CELLS}); reduce dimensionality"
+            )
+        return [tuple(int(v) for v in row) for row in combos]
+
+    def _cell_predicate(self, combo: tuple[int, ...]) -> Predicate:
+        terms = [
+            Comparison(name, CompareFunc.EQUAL, float(value))
+            for name, value in zip(self.dimensions, combo)
+        ]
+        if self.where is not None:
+            terms.append(self.where)
+        return terms[0] if len(terms) == 1 else And(*terms)
+
+    def _build_base_cuboid(self) -> dict:
+        base: dict[tuple[int, ...], CubeCell] = {}
+        for combo in self._observed_combinations():
+            predicate = self._cell_predicate(combo)
+            count = self.engine.count(predicate).value
+            if count == 0:
+                continue  # the WHERE clause emptied this cell
+            values = {}
+            for func, column in self.measures:
+                if func == "sum":
+                    value = self.engine.sum(column, predicate).value
+                elif func == "min":
+                    value = self.engine.minimum(
+                        column, predicate
+                    ).value
+                else:
+                    value = self.engine.maximum(
+                        column, predicate
+                    ).value
+                values[f"{func}({column})"] = value
+            base[combo] = CubeCell(
+                coordinates=dict(zip(self.dimensions, combo)),
+                count=int(count),
+                measures=values,
+            )
+        return base
+
+    # -- lattice navigation -----------------------------------------------------
+
+    @property
+    def base_cells(self) -> list[CubeCell]:
+        """The finest-granularity cells (one per occupied combination)."""
+        return [self._base[key] for key in sorted(self._base)]
+
+    def rollup(self, dimensions: Sequence[str]) -> list[CubeCell]:
+        """The cuboid grouped by a subset of the dimensions (order
+        follows the cube's dimension order).  Passing all dimensions
+        returns the base cuboid; passing none returns the grand total.
+
+        Derived from the base cuboid by marginalization: COUNT/SUM add,
+        MIN/MAX fold — no further GPU passes.
+        """
+        keep = tuple(dimensions)
+        unknown = set(keep) - set(self.dimensions)
+        if unknown:
+            raise QueryError(
+                f"unknown roll-up dimensions {sorted(unknown)}"
+            )
+        indices = [self.dimensions.index(name) for name in keep]
+        merged: dict[tuple[int, ...], CubeCell] = {}
+        for combo, cell in self._base.items():
+            key = tuple(combo[index] for index in indices)
+            into = merged.get(key)
+            if into is None:
+                merged[key] = CubeCell(
+                    coordinates=dict(zip(keep, key)),
+                    count=cell.count,
+                    measures=dict(cell.measures),
+                )
+                continue
+            into.count += cell.count
+            for label, value in cell.measures.items():
+                if label.startswith("sum("):
+                    into.measures[label] += value
+                elif label.startswith("min("):
+                    into.measures[label] = min(
+                        into.measures[label], value
+                    )
+                else:
+                    into.measures[label] = max(
+                        into.measures[label], value
+                    )
+        return [merged[key] for key in sorted(merged)]
+
+    def grand_total(self) -> CubeCell:
+        """The apex cuboid (no grouping)."""
+        cells = self.rollup(())
+        if not cells:
+            return CubeCell(coordinates={}, count=0, measures={})
+        return cells[0]
+
+    def slice(
+        self, fixed: Mapping[str, int], dimensions: Sequence[str] = ()
+    ) -> list[CubeCell]:
+        """Fix some dimensions to values, group by the remaining ones
+        (drill-down within a slice)."""
+        unknown = set(fixed) - set(self.dimensions)
+        if unknown:
+            raise QueryError(f"unknown slice dimensions {sorted(unknown)}")
+        keep = tuple(dimensions) or tuple(
+            name for name in self.dimensions if name not in fixed
+        )
+        cells = self.rollup(tuple(fixed) + keep)
+        prefix = tuple(fixed[name] for name in fixed)
+        out = []
+        for cell in cells:
+            if all(
+                cell.coordinates[name] == value
+                for name, value in fixed.items()
+            ):
+                trimmed = {
+                    name: cell.coordinates[name] for name in keep
+                }
+                out.append(
+                    CubeCell(
+                        coordinates=trimmed,
+                        count=cell.count,
+                        measures=cell.measures,
+                    )
+                )
+        del prefix
+        return out
+
+    def drill_down(
+        self, coarse: Sequence[str], finer: str
+    ) -> list[CubeCell]:
+        """From a roll-up over ``coarse``, descend one level by adding
+        ``finer`` to the grouping."""
+        if finer not in self.dimensions:
+            raise QueryError(f"unknown dimension {finer!r}")
+        if finer in coarse:
+            raise QueryError(f"{finer!r} is already in the grouping")
+        return self.rollup(tuple(coarse) + (finer,))
+
+    # -- presentation --------------------------------------------------------------
+
+    def table(self, cells: Sequence[CubeCell] | None = None) -> str:
+        """Cells as a fixed-width text table (for examples and REPLs)."""
+        if cells is None:
+            cells = self.base_cells
+        if not cells:
+            return "(empty cuboid)"
+        dim_names = list(cells[0].coordinates)
+        measure_names = ["count"] + list(cells[0].measures)
+        headers = dim_names + measure_names
+        rows = []
+        for cell in cells:
+            row = [str(cell.coordinates[name]) for name in dim_names]
+            row.append(str(cell.count))
+            row.extend(
+                str(cell.measures[name])
+                for name in measure_names[1:]
+            )
+            rows.append(row)
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows))
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines += [
+            "  ".join(c.rjust(w) for c, w in zip(row, widths))
+            for row in rows
+        ]
+        return "\n".join(lines)
+
+
+def cube_lattice(dimensions: Sequence[str]) -> list[tuple[str, ...]]:
+    """Every grouping in the cube lattice (the CUBE operator's 2^d
+    cuboids), coarsest last."""
+    names = tuple(dimensions)
+    lattice: list[tuple[str, ...]] = []
+    for size in range(len(names), -1, -1):
+        lattice.extend(itertools.combinations(names, size))
+    return lattice

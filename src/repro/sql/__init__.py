@@ -1,0 +1,33 @@
+"""SQL front-end: the paper's ``SELECT A FROM T WHERE C`` query shape
+(section 4) parsed, planned across the two devices, and executed.
+"""
+
+from .ast import (
+    AggregateFunc,
+    AggregateItem,
+    ColumnItem,
+    SelectStatement,
+    StarItem,
+)
+from .executor import Database, QueryResult
+from .lexer import Token, TokenType, tokenize
+from .parser import parse
+from .planner import DeviceChoice, Planner, QueryPlan, predicate_columns
+
+__all__ = [
+    "AggregateFunc",
+    "AggregateItem",
+    "ColumnItem",
+    "Database",
+    "DeviceChoice",
+    "Planner",
+    "QueryPlan",
+    "QueryResult",
+    "SelectStatement",
+    "StarItem",
+    "Token",
+    "TokenType",
+    "parse",
+    "predicate_columns",
+    "tokenize",
+]

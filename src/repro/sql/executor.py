@@ -1,0 +1,382 @@
+"""SQL execution over the GPU and CPU engines.
+
+:class:`Database` is the user-facing entry point::
+
+    db = Database()
+    db.register(make_tcpip(100_000))
+    result = db.query(
+        "SELECT COUNT(*), MAX(data_count) FROM tcpip "
+        "WHERE data_loss > 100 AND flow_rate BETWEEN 1000 AND 60000"
+    )
+
+Queries run on whichever device the planner picks (GPU for selections
+and order statistics at scale, CPU for SUM/AVG — the paper's
+co-processor split) unless ``device=`` forces one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.cpu_engine import CpuEngine
+from ..core.engine import GpuEngine
+from ..core.relation import Relation
+from ..cpu.cost import CpuCostModel
+from ..errors import SqlPlanError
+from ..gpu.cost import GpuCostModel
+from .ast import (
+    AggregateFunc,
+    AggregateItem,
+    ColumnItem,
+    SelectStatement,
+    StarItem,
+)
+from .parser import parse
+from .planner import DeviceChoice, Planner, QueryPlan
+
+
+@dataclasses.dataclass
+class QueryResult:
+    """Rows plus provenance: which device ran it and the plan."""
+
+    columns: list[str]
+    rows: list[tuple]
+    device: DeviceChoice
+    plan: QueryPlan
+
+    @property
+    def scalar(self):
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SqlPlanError(
+                f"result is {len(self.rows)}x{len(self.columns)}, "
+                "not scalar"
+            )
+        return self.rows[0][0]
+
+    def column(self, label: str) -> list:
+        try:
+            index = self.columns.index(label)
+        except ValueError:
+            raise SqlPlanError(
+                f"no result column {label!r}; have {self.columns}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Database:
+    """A named collection of relations with lazily-built engines."""
+
+    def __init__(
+        self,
+        gpu_cost: GpuCostModel | None = None,
+        cpu_cost: CpuCostModel | None = None,
+    ):
+        self.gpu_cost = gpu_cost or GpuCostModel()
+        self.cpu_cost = cpu_cost or CpuCostModel()
+        self.planner = Planner(self.gpu_cost, self.cpu_cost)
+        self._relations: dict[str, Relation] = {}
+        self._gpu_engines: dict[str, GpuEngine] = {}
+        self._cpu_engines: dict[str, CpuEngine] = {}
+
+    def register(self, relation: Relation) -> None:
+        self._relations[relation.name] = relation
+        self._gpu_engines.pop(relation.name, None)
+        self._cpu_engines.pop(relation.name, None)
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SqlPlanError(
+                f"unknown table {name!r}; registered: "
+                f"{sorted(self._relations)}"
+            ) from None
+
+    def gpu_engine(self, name: str) -> GpuEngine:
+        engine = self._gpu_engines.get(name)
+        if engine is None:
+            engine = GpuEngine(self.relation(name), self.gpu_cost)
+            self._gpu_engines[name] = engine
+        return engine
+
+    def cpu_engine(self, name: str) -> CpuEngine:
+        engine = self._cpu_engines.get(name)
+        if engine is None:
+            engine = CpuEngine(self.relation(name), self.cpu_cost)
+            self._cpu_engines[name] = engine
+        return engine
+
+    # -- entry points ------------------------------------------------------------
+
+    def plan(self, sql: str, device: str = "auto") -> QueryPlan:
+        statement = parse(sql)
+        relation = self.relation(statement.table)
+        right = None
+        if statement.join is not None:
+            right = self.relation(statement.join.right_table)
+        return self.planner.plan(
+            statement,
+            relation,
+            DeviceChoice(device),
+            right_relation=right,
+        )
+
+    def query(self, sql: str, device: str = "auto") -> QueryResult:
+        plan = self.plan(sql, device=device)
+        chosen = plan.chosen_device
+        if plan.statement.join is not None:
+            rows, columns = self._execute_join(plan.statement, chosen)
+        elif chosen is DeviceChoice.GPU:
+            rows, columns = self._execute_gpu(plan.statement)
+        else:
+            rows, columns = self._execute_cpu(plan.statement)
+        return QueryResult(
+            columns=columns, rows=rows, device=chosen, plan=plan
+        )
+
+    # -- execution ------------------------------------------------------------------
+
+    def _execute_join(
+        self, statement: SelectStatement, device: DeviceChoice
+    ):
+        """Equi-join: GPU-histogram-pruned band join or CPU sort-probe.
+
+        Both paths produce identical, deterministically ordered pairs.
+        """
+        join = statement.join
+        left = self.relation(statement.table)
+        right = self.relation(join.right_table)
+        if device is DeviceChoice.GPU:
+            from ..ext.join import band_join
+
+            result = band_join(
+                self.gpu_engine(statement.table),
+                self.gpu_engine(join.right_table),
+                join.left_column,
+                join.right_column,
+                band=0,
+            )
+            pairs = result.pairs
+        else:
+            from ..ext.join import hash_equi_join
+
+            pairs = hash_equi_join(
+                left.column(join.left_column).values,
+                right.column(join.right_column).values,
+            )
+        return self._project_join(statement, left, right, pairs)
+
+    def _project_join(self, statement, left, right, pairs):
+        items = statement.items
+        if statement.is_aggregate:
+            labels = [item.label for item in items]
+            if len(items) != 1:
+                raise SqlPlanError(
+                    "JOIN aggregate queries support a single COUNT(*)"
+                )
+            return [(int(pairs.shape[0]),)], labels
+        specs = []  # (side, column_name, label)
+        for item in items:
+            if isinstance(item, StarItem):
+                for name in left.column_names:
+                    specs.append(("left", name, f"{left.name}.{name}"))
+                for name in right.column_names:
+                    specs.append(
+                        ("right", name, f"{right.name}.{name}")
+                    )
+            else:
+                side = "left" if item.table == left.name else "right"
+                specs.append((side, item.column, item.label))
+        labels = [label for _side, _name, label in specs]
+        arrays = []
+        for side, name, _label in specs:
+            relation = left if side == "left" else right
+            ids = pairs[:, 0] if side == "left" else pairs[:, 1]
+            column = relation.column(name)
+            values = column.values[ids]
+            if column.is_integer:
+                values = values.astype(np.int64)
+            arrays.append(values)
+        rows = [
+            tuple(array[i].item() for array in arrays)
+            for i in range(pairs.shape[0])
+        ]
+        return rows, labels
+
+    def _execute_gpu(self, statement: SelectStatement):
+        engine = self.gpu_engine(statement.table)
+        predicate = statement.where
+        if statement.group_by is not None:
+            return self._execute_grouped(
+                statement, engine, self._gpu_aggregate
+            )
+        if statement.is_aggregate:
+            empty = (
+                predicate is not None
+                and engine.count(predicate).value == 0
+            )
+            row = []
+            labels = []
+            for item in statement.items:
+                labels.append(item.label)
+                row.append(
+                    self._aggregate_or_null(
+                        engine, item, predicate, empty,
+                        self._gpu_aggregate,
+                    )
+                )
+            return [tuple(row)], labels
+        return self._project(
+            engine.relation,
+            self._gpu_selected_ids(engine, predicate),
+            statement.items,
+        )
+
+    def _gpu_selected_ids(self, engine: GpuEngine, predicate):
+        if predicate is None:
+            return np.arange(engine.relation.num_records)
+        return engine.select(predicate).record_ids()
+
+    @staticmethod
+    def _aggregate_or_null(engine, item, predicate, empty, aggregate):
+        """SQL semantics over empty selections: COUNT(*) is 0, every
+        other aggregate is NULL (None)."""
+        if empty and isinstance(item, AggregateItem):
+            if item.func is AggregateFunc.COUNT:
+                return 0
+            return None
+        return aggregate(engine, item, predicate)
+
+    def _gpu_aggregate(self, engine: GpuEngine, item, predicate):
+        if not isinstance(item, AggregateItem):
+            raise SqlPlanError(
+                "mixing aggregates with plain columns is not supported "
+                "(aggregate queries return one row per group)"
+            )
+        func = item.func
+        if func is AggregateFunc.COUNT:
+            return engine.count(predicate).value
+        if func is AggregateFunc.SUM:
+            return engine.sum(item.column, predicate).value
+        if func is AggregateFunc.AVG:
+            return engine.average(item.column, predicate).value
+        if func is AggregateFunc.MIN:
+            return engine.minimum(item.column, predicate).value
+        if func is AggregateFunc.MAX:
+            return engine.maximum(item.column, predicate).value
+        return engine.median(item.column, predicate).value
+
+    def _execute_cpu(self, statement: SelectStatement):
+        engine = self.cpu_engine(statement.table)
+        predicate = statement.where
+        if statement.group_by is not None:
+            return self._execute_grouped(
+                statement, engine, self._cpu_aggregate
+            )
+        if statement.is_aggregate:
+            empty = (
+                predicate is not None
+                and engine.count(predicate).value == 0
+            )
+            row = []
+            labels = []
+            for item in statement.items:
+                labels.append(item.label)
+                row.append(
+                    self._aggregate_or_null(
+                        engine, item, predicate, empty,
+                        self._cpu_aggregate,
+                    )
+                )
+            return [tuple(row)], labels
+        if predicate is None:
+            ids = np.arange(engine.relation.num_records)
+        else:
+            ids = engine.select(predicate).record_ids()
+        return self._project(engine.relation, ids, statement.items)
+
+    def _cpu_aggregate(self, engine: CpuEngine, item, predicate):
+        if not isinstance(item, AggregateItem):
+            raise SqlPlanError(
+                "mixing aggregates with plain columns is not supported "
+                "(aggregate queries return one row per group)"
+            )
+        func = item.func
+        if func is AggregateFunc.COUNT:
+            return engine.count(predicate).value
+        if func is AggregateFunc.SUM:
+            return engine.sum(item.column, predicate).value
+        if func is AggregateFunc.AVG:
+            return engine.average(item.column, predicate).value
+        if func is AggregateFunc.MIN:
+            return engine.minimum(item.column, predicate).value
+        if func is AggregateFunc.MAX:
+            return engine.maximum(item.column, predicate).value
+        return engine.median(item.column, predicate).value
+
+    def _execute_grouped(self, statement: SelectStatement, engine,
+                         aggregate):
+        """GROUP BY: one masked aggregation sweep per distinct group
+        value, using the engine's stencil/mask selection machinery."""
+        from ..core.predicates import And, Comparison
+        from ..gpu.types import CompareFunc
+
+        group_column = statement.group_by
+        relation = engine.relation
+        keys = np.unique(
+            relation.column(group_column).values.astype(np.int64)
+        )
+        labels = [group_column] + [
+            item.label for item in statement.items
+        ]
+        rows = []
+        for key in keys:
+            group_predicate = Comparison(
+                group_column, CompareFunc.EQUAL, float(key)
+            )
+            if statement.where is not None:
+                predicate = And(statement.where, group_predicate)
+            else:
+                predicate = group_predicate
+            if engine.count(predicate).value == 0:
+                continue  # the WHERE clause emptied this group
+            row = [int(key)]
+            for item in statement.items:
+                row.append(aggregate(engine, item, predicate))
+            rows.append(tuple(row))
+        return rows, labels
+
+    @staticmethod
+    def _project(relation: Relation, ids: np.ndarray, items):
+        names: list[str] = []
+        labels: list[str] = []
+        for item in items:
+            if isinstance(item, StarItem):
+                names.extend(relation.column_names)
+                labels.extend(relation.column_names)
+            elif isinstance(item, ColumnItem):
+                names.append(item.column)
+                labels.append(item.label)
+            else:
+                raise SqlPlanError(
+                    "mixing aggregates with plain columns is not "
+                    "supported (aggregate queries return one row per group)"
+                )
+        columns = [relation.column(name) for name in names]
+        arrays = [
+            column.values[ids].astype(np.int64)
+            if column.is_integer
+            else column.values[ids]
+            for column in columns
+        ]
+        rows = [
+            tuple(array[i].item() for array in arrays)
+            for i in range(ids.size)
+        ]
+        return rows, labels

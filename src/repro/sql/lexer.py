@@ -1,0 +1,155 @@
+"""SQL lexer for the supported query subset.
+
+Tokenizes the paper's query shape (section 4):
+
+    SELECT A FROM T WHERE C
+
+with aggregates in ``A`` and boolean predicate combinations in ``C``.
+Case-insensitive keywords, ``--`` line comments, integer and decimal
+literals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "BETWEEN",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "MEDIAN",
+    "AS",
+    "GROUP",
+    "BY",
+    "JOIN",
+    "ON",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    OPERATOR = "operator"  # = != <> < <= > >=
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    STAR = "*"
+    EOF = "eof"
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word
+
+
+_OPERATOR_STARTS = "=<>!"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens, ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if source.startswith("--", i):
+            newline = source.find("\n", i)
+            i = length if newline < 0 else newline + 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, ch, i))
+            i += 1
+        elif ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ch, i))
+            i += 1
+        elif ch == ",":
+            tokens.append(Token(TokenType.COMMA, ch, i))
+            i += 1
+        elif ch == "." and not (
+            i + 1 < length and source[i + 1].isdigit()
+        ):
+            tokens.append(Token(TokenType.DOT, ch, i))
+            i += 1
+        elif ch == "*":
+            tokens.append(Token(TokenType.STAR, ch, i))
+            i += 1
+        elif ch in _OPERATOR_STARTS:
+            text, width = _lex_operator(source, i)
+            tokens.append(Token(TokenType.OPERATOR, text, i))
+            i += width
+        elif ch.isdigit() or (
+            ch in "+-." and i + 1 < length and source[i + 1].isdigit()
+        ):
+            text, width = _lex_number(source, i)
+            tokens.append(Token(TokenType.NUMBER, text, i))
+            i += width
+        elif ch.isalpha() or ch == "_":
+            text, width = _lex_word(source, i)
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, text, i))
+            i += width
+        else:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _lex_operator(source: str, start: int) -> tuple[str, int]:
+    two = source[start : start + 2]
+    if two in ("<=", ">=", "!=", "<>"):
+        return ("!=" if two == "<>" else two), 2
+    one = source[start]
+    if one in ("=", "<", ">"):
+        return one, 1
+    raise SqlSyntaxError(f"bad operator {one!r}", position=start)
+
+
+def _lex_number(source: str, start: int) -> tuple[str, int]:
+    i = start
+    if source[i] in "+-":
+        i += 1
+    seen_digit = seen_dot = False
+    while i < len(source):
+        ch = source[i]
+        if ch.isdigit():
+            seen_digit = True
+        elif ch == "." and not seen_dot:
+            seen_dot = True
+        else:
+            break
+        i += 1
+    if not seen_digit:
+        raise SqlSyntaxError("malformed number", position=start)
+    return source[start:i], i - start
+
+
+def _lex_word(source: str, start: int) -> tuple[str, int]:
+    i = start
+    while i < len(source) and (source[i].isalnum() or source[i] == "_"):
+        i += 1
+    return source[start:i], i - start

@@ -1,0 +1,285 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar::
+
+    statement  := SELECT items FROM ident
+                  [JOIN ident ON qualified '=' qualified]
+                  [WHERE condition] [GROUP BY ident]
+    qualified  := ident '.' ident
+    items      := '*' | item (',' item)*
+    item       := agg '(' (ident | '*') ')' [AS ident] | ident [AS ident]
+    agg        := COUNT | SUM | AVG | MIN | MAX | MEDIAN
+    condition  := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | primary
+    primary    := '(' condition ')' | predicate
+    predicate  := ident op (number | ident)
+                | ident [NOT] BETWEEN number AND number
+    op         := '=' | '!=' | '<' | '<=' | '>' | '>='
+
+WHERE conditions map directly onto :mod:`repro.core.predicates`
+(attribute-vs-attribute comparisons become semi-linear predicates, as in
+paper section 4.1.2).
+"""
+
+from __future__ import annotations
+
+from ..core.predicates import (
+    And,
+    Between,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    attr_compare,
+)
+from ..errors import SqlSyntaxError
+from ..gpu.types import CompareFunc
+from .ast import (
+    AggregateFunc,
+    AggregateItem,
+    ColumnItem,
+    JoinClause,
+    SelectItem,
+    SelectStatement,
+    StarItem,
+)
+from .lexer import Token, TokenType, tokenize
+
+_OPERATORS = {
+    "=": CompareFunc.EQUAL,
+    "!=": CompareFunc.NOTEQUAL,
+    "<": CompareFunc.LESS,
+    "<=": CompareFunc.LEQUAL,
+    ">": CompareFunc.GREATER,
+    ">=": CompareFunc.GEQUAL,
+}
+
+_AGGREGATES = {f.value for f in AggregateFunc}
+
+
+def parse(source: str) -> SelectStatement:
+    """Parse one SELECT statement."""
+    return _Parser(tokenize(source)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- cursor helpers -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.current
+        if not token.is_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word}, found {token.text or 'end of input'!r}",
+                position=token.position,
+            )
+        return self.advance()
+
+    def expect(self, token_type: TokenType) -> Token:
+        token = self.current
+        if token.type is not token_type:
+            raise SqlSyntaxError(
+                f"expected {token_type.value}, found "
+                f"{token.text or 'end of input'!r}",
+                position=token.position,
+            )
+        return self.advance()
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_statement(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        items = self._parse_items()
+        self.expect_keyword("FROM")
+        table = self.expect(TokenType.IDENT).text
+        join = None
+        if self.current.is_keyword("JOIN"):
+            join = self._parse_join(table)
+        where = None
+        if self.current.is_keyword("WHERE"):
+            self.advance()
+            where = self._parse_condition()
+        group_by = None
+        if self.current.is_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            group_by = self.expect(TokenType.IDENT).text
+        trailing = self.current
+        if trailing.type is not TokenType.EOF:
+            raise SqlSyntaxError(
+                f"unexpected trailing input {trailing.text!r}",
+                position=trailing.position,
+            )
+        return SelectStatement(
+            items=tuple(items),
+            table=table,
+            where=where,
+            group_by=group_by,
+            join=join,
+        )
+
+    def _parse_join(self, left_table: str) -> JoinClause:
+        self.expect_keyword("JOIN")
+        right_table = self.expect(TokenType.IDENT).text
+        if right_table == left_table:
+            raise SqlSyntaxError(
+                "self-joins are not supported (no table aliases)"
+            )
+        self.expect_keyword("ON")
+        first_table, first_column = self._parse_qualified()
+        operator = self.expect(TokenType.OPERATOR)
+        if operator.text != "=":
+            raise SqlSyntaxError(
+                "only equi-joins (=) are supported",
+                position=operator.position,
+            )
+        second_table, second_column = self._parse_qualified()
+        sides = {first_table: first_column, second_table: second_column}
+        if set(sides) != {left_table, right_table}:
+            raise SqlSyntaxError(
+                f"JOIN condition must reference {left_table!r} and "
+                f"{right_table!r}, got {sorted(sides)}"
+            )
+        return JoinClause(
+            right_table=right_table,
+            left_column=sides[left_table],
+            right_column=sides[right_table],
+        )
+
+    def _parse_qualified(self) -> tuple[str, str]:
+        table = self.expect(TokenType.IDENT).text
+        self.expect(TokenType.DOT)
+        column = self.expect(TokenType.IDENT).text
+        return table, column
+
+    def _parse_items(self) -> list[SelectItem]:
+        if self.current.type is TokenType.STAR:
+            self.advance()
+            return [StarItem()]
+        items = [self._parse_item()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            items.append(self._parse_item())
+        return items
+
+    def _parse_item(self) -> SelectItem:
+        token = self.current
+        if token.type is TokenType.KEYWORD and token.text in _AGGREGATES:
+            self.advance()
+            func = AggregateFunc(token.text)
+            self.expect(TokenType.LPAREN)
+            if self.current.type is TokenType.STAR:
+                if func is not AggregateFunc.COUNT:
+                    raise SqlSyntaxError(
+                        f"{func.value}(*) is not supported",
+                        position=self.current.position,
+                    )
+                self.advance()
+                column = None
+            else:
+                column = self.expect(TokenType.IDENT).text
+            self.expect(TokenType.RPAREN)
+            return AggregateItem(
+                func=func, column=column, alias=self._parse_alias()
+            )
+        if token.type is TokenType.IDENT:
+            self.advance()
+            if self.current.type is TokenType.DOT:
+                self.advance()
+                column = self.expect(TokenType.IDENT).text
+                return ColumnItem(
+                    column=column,
+                    alias=self._parse_alias(),
+                    table=token.text,
+                )
+            return ColumnItem(column=token.text, alias=self._parse_alias())
+        raise SqlSyntaxError(
+            f"expected a select item, found {token.text!r}",
+            position=token.position,
+        )
+
+    def _parse_alias(self) -> str | None:
+        if self.current.is_keyword("AS"):
+            self.advance()
+            return self.expect(TokenType.IDENT).text
+        return None
+
+    # -- conditions -------------------------------------------------------------
+
+    def _parse_condition(self) -> Predicate:
+        left = self._parse_and()
+        terms = [left]
+        while self.current.is_keyword("OR"):
+            self.advance()
+            terms.append(self._parse_and())
+        return terms[0] if len(terms) == 1 else Or(*terms)
+
+    def _parse_and(self) -> Predicate:
+        terms = [self._parse_not()]
+        while self.current.is_keyword("AND"):
+            self.advance()
+            terms.append(self._parse_not())
+        return terms[0] if len(terms) == 1 else And(*terms)
+
+    def _parse_not(self) -> Predicate:
+        if self.current.is_keyword("NOT"):
+            self.advance()
+            return Not(self._parse_not())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Predicate:
+        if self.current.type is TokenType.LPAREN:
+            self.advance()
+            inner = self._parse_condition()
+            self.expect(TokenType.RPAREN)
+            return inner
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Predicate:
+        column = self.expect(TokenType.IDENT).text
+        token = self.current
+        if token.is_keyword("NOT"):
+            self.advance()
+            between = self._parse_between(column)
+            return Not(between)
+        if token.is_keyword("BETWEEN"):
+            return self._parse_between(column)
+        if token.type is not TokenType.OPERATOR:
+            raise SqlSyntaxError(
+                f"expected a comparison operator, found {token.text!r}",
+                position=token.position,
+            )
+        self.advance()
+        op = _OPERATORS[token.text]
+        value = self.current
+        if value.type is TokenType.NUMBER:
+            self.advance()
+            return Comparison(column, op, float(value.text))
+        if value.type is TokenType.IDENT:
+            self.advance()
+            return attr_compare(column, op, value.text)
+        raise SqlSyntaxError(
+            f"expected a number or column, found {value.text!r}",
+            position=value.position,
+        )
+
+    def _parse_between(self, column: str) -> Between:
+        self.expect_keyword("BETWEEN")
+        low = float(self.expect(TokenType.NUMBER).text)
+        self.expect_keyword("AND")
+        high = float(self.expect(TokenType.NUMBER).text)
+        return Between(column, low, high)

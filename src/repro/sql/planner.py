@@ -1,0 +1,368 @@
+"""Query planner: validate, and pick the execution device.
+
+The paper's conclusion is that the GPU is "an effective co-processor"
+for *some* operations — selections, semi-linear queries, order
+statistics — while others (SUM/AVG via ``Accumulator``) stay on the CPU
+(sections 6.2.1-6.2.3).  The planner encodes exactly that: for each
+query it prices both devices with the calibrated cost models and routes
+accordingly, unless the caller forces a device.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+from ..core.cpu_engine import predicate_terms
+from ..core.predicates import (
+    And,
+    Between,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    SemiLinear,
+    to_cnf,
+)
+from ..core.relation import Relation
+from ..cpu.cost import CpuCostModel
+from ..errors import SqlPlanError
+from ..gpu.cost import GpuCostModel
+from .ast import (
+    AggregateFunc,
+    AggregateItem,
+    ColumnItem,
+    SelectStatement,
+    StarItem,
+)
+
+
+class DeviceChoice(enum.Enum):
+    GPU = "gpu"
+    CPU = "cpu"
+    AUTO = "auto"
+
+
+def predicate_columns(predicate: Predicate) -> set[str]:
+    """All column names referenced by a predicate."""
+    if isinstance(predicate, Comparison):
+        return {predicate.column}
+    if isinstance(predicate, Between):
+        return {predicate.column}
+    if isinstance(predicate, SemiLinear):
+        return set(predicate.columns)
+    if isinstance(predicate, Not):
+        return predicate_columns(predicate.child)
+    if isinstance(predicate, (And, Or)):
+        names: set[str] = set()
+        for child in predicate.children:
+            names |= predicate_columns(child)
+        return names
+    raise SqlPlanError(
+        f"unsupported predicate type {type(predicate).__name__}"
+    )
+
+
+@dataclasses.dataclass
+class QueryPlan:
+    """A validated statement plus per-device cost estimates."""
+
+    statement: SelectStatement
+    relation: Relation
+    device: DeviceChoice
+    estimated_gpu_s: float
+    estimated_cpu_s: float
+
+    @property
+    def chosen_device(self) -> DeviceChoice:
+        if self.device is not DeviceChoice.AUTO:
+            return self.device
+        if self.estimated_gpu_s <= self.estimated_cpu_s:
+            return DeviceChoice.GPU
+        return DeviceChoice.CPU
+
+    def explain(self) -> str:
+        lines = [
+            f"table: {self.relation.name} "
+            f"({self.relation.num_records} records)",
+            f"items: {[item.label for item in self.statement.items]}",
+            f"where: {self.statement.where!r}",
+            f"estimated gpu: {self.estimated_gpu_s * 1e3:.3f} ms",
+            f"estimated cpu: {self.estimated_cpu_s * 1e3:.3f} ms",
+            f"device: {self.chosen_device.value}",
+        ]
+        return "\n".join(lines)
+
+
+class Planner:
+    """Validates statements against a relation and prices both devices."""
+
+    def __init__(
+        self,
+        gpu_cost: GpuCostModel | None = None,
+        cpu_cost: CpuCostModel | None = None,
+    ):
+        self.gpu_cost = gpu_cost or GpuCostModel()
+        self.cpu_cost = cpu_cost or CpuCostModel()
+
+    def plan(
+        self,
+        statement: SelectStatement,
+        relation: Relation,
+        device: DeviceChoice = DeviceChoice.AUTO,
+        right_relation: Relation | None = None,
+    ) -> QueryPlan:
+        if statement.join is not None:
+            if right_relation is None:
+                raise SqlPlanError(
+                    "join plans need the right-hand relation"
+                )
+            self._validate_join(statement, relation, right_relation)
+            gpu_s, cpu_s = self._estimate_join(relation, right_relation)
+        else:
+            self._validate(statement, relation)
+            gpu_s, cpu_s = self._estimate(statement, relation)
+        return QueryPlan(
+            statement=statement,
+            relation=relation,
+            device=device,
+            estimated_gpu_s=gpu_s,
+            estimated_cpu_s=cpu_s,
+        )
+
+    def _validate_join(
+        self,
+        statement: SelectStatement,
+        left: Relation,
+        right: Relation,
+    ) -> None:
+        join = statement.join
+        if statement.where is not None:
+            raise SqlPlanError(
+                "WHERE clauses on JOIN queries are not supported"
+            )
+        if statement.group_by is not None:
+            raise SqlPlanError(
+                "GROUP BY on JOIN queries is not supported"
+            )
+        for relation, column in (
+            (left, join.left_column),
+            (right, join.right_column),
+        ):
+            if column not in relation:
+                raise SqlPlanError(
+                    f"unknown join column {column!r} in table "
+                    f"{relation.name!r}"
+                )
+            if not relation.column(column).is_integer:
+                raise SqlPlanError(
+                    "join columns must be integer (bucketed GPU "
+                    "histogram pruning)"
+                )
+        tables = {left.name, right.name}
+        for item in statement.items:
+            if isinstance(item, AggregateItem):
+                if item.func is not AggregateFunc.COUNT:
+                    raise SqlPlanError(
+                        "JOIN queries support COUNT(*) and projected "
+                        "qualified columns only"
+                    )
+                continue
+            if isinstance(item, StarItem):
+                continue
+            if item.table is None:
+                raise SqlPlanError(
+                    f"join projections must qualify columns "
+                    f"(got {item.column!r})"
+                )
+            if item.table not in tables:
+                raise SqlPlanError(
+                    f"unknown table {item.table!r} in select list"
+                )
+            target = left if item.table == left.name else right
+            if item.column not in target:
+                raise SqlPlanError(
+                    f"unknown column {item.column!r} in table "
+                    f"{item.table!r}"
+                )
+
+    def _estimate_join(
+        self, left: Relation, right: Relation
+    ) -> tuple[float, float]:
+        gpu_model, cpu_model = self.gpu_cost, self.cpu_cost
+        buckets = 32
+        gpu = 0.0
+        for relation in (left, right):
+            records = relation.num_records
+            copy = gpu_model.quad_pass_time_s(records, instructions=3)
+            copy += (
+                records
+                * gpu_model.depth_write_penalty_clocks
+                / gpu_model.fragments_per_second
+            )
+            # Histogram + extraction: two bucket sweeps.
+            gpu += 2 * buckets * (
+                copy / buckets + gpu_model.quad_pass_time_s(records)
+                + gpu_model.occlusion_sync_latency_s
+            )
+            gpu += records / gpu_model.readback_bandwidth
+        # Sort-probe equi-join: ~30 ns/record on both inputs.
+        cpu = (left.num_records + right.num_records) * 30e-9
+        return gpu, cpu
+
+    # -- validation ---------------------------------------------------------
+
+    def _validate(
+        self, statement: SelectStatement, relation: Relation
+    ) -> None:
+        for item in statement.items:
+            if isinstance(item, StarItem):
+                continue
+            column = item.column
+            if isinstance(item, AggregateItem) and column is None:
+                continue
+            if column not in relation:
+                raise SqlPlanError(
+                    f"unknown column {column!r} in table "
+                    f"{relation.name!r}"
+                )
+            if isinstance(item, AggregateItem):
+                target = relation.column(column)
+                needs_integer = item.func in (
+                    AggregateFunc.SUM,
+                    AggregateFunc.AVG,
+                    AggregateFunc.MIN,
+                    AggregateFunc.MAX,
+                    AggregateFunc.MEDIAN,
+                )
+                if needs_integer and not target.supports_bit_slicing:
+                    raise SqlPlanError(
+                        f"{item.func.value}({column}) requires an integer "
+                        "or fixed-point column (bit-sliced GPU "
+                        "aggregation)"
+                    )
+        if statement.where is not None:
+            unknown = predicate_columns(statement.where) - set(
+                relation.column_names
+            )
+            if unknown:
+                raise SqlPlanError(
+                    f"unknown columns in WHERE: {sorted(unknown)}"
+                )
+            # Surface CNF blowup at plan time rather than execution time.
+            to_cnf(statement.where)
+        if statement.group_by is not None:
+            self._validate_group_by(statement, relation)
+
+    #: Largest group count a GROUP BY loop will expand to (one masked
+    #: aggregation sweep per group).
+    MAX_GROUPS = 256
+
+    def _validate_group_by(
+        self, statement: SelectStatement, relation: Relation
+    ) -> None:
+        name = statement.group_by
+        if name not in relation:
+            raise SqlPlanError(
+                f"unknown GROUP BY column {name!r} in table "
+                f"{relation.name!r}"
+            )
+        column = relation.column(name)
+        if not column.is_integer:
+            raise SqlPlanError(
+                "GROUP BY requires an integer (categorical) column"
+            )
+        if not statement.is_aggregate:
+            raise SqlPlanError(
+                "GROUP BY queries must select aggregates"
+            )
+        for item in statement.items:
+            if not isinstance(item, AggregateItem):
+                raise SqlPlanError(
+                    "GROUP BY select lists may only contain aggregates"
+                )
+        groups = np.unique(column.values).size
+        if groups > self.MAX_GROUPS:
+            raise SqlPlanError(
+                f"GROUP BY over {groups} distinct values exceeds the "
+                f"{self.MAX_GROUPS}-group limit"
+            )
+
+    # -- cost estimation -----------------------------------------------------
+
+    def _estimate(
+        self, statement: SelectStatement, relation: Relation
+    ) -> tuple[float, float]:
+        records = relation.num_records
+        gpu = self._estimate_selection_gpu(statement.where, records)
+        cpu = 0.0
+        if statement.where is not None:
+            cpu += self.cpu_cost.predicate_scan_s(
+                records, predicate_terms(statement.where, self.cpu_cost)
+            )
+        for item in statement.items:
+            gpu_item, cpu_item = self._estimate_item(
+                item, relation, statement.where is not None
+            )
+            gpu += gpu_item
+            cpu += cpu_item
+        return gpu, cpu
+
+    def _estimate_selection_gpu(
+        self, predicate: Predicate | None, records: int
+    ) -> float:
+        if predicate is None:
+            return 0.0
+        model = self.gpu_cost
+        total = 0.0
+        for clause in to_cnf(predicate):
+            for simple in clause:
+                if isinstance(simple, SemiLinear):
+                    total += model.quad_pass_time_s(records, instructions=4)
+                else:
+                    # copy pass (3-instruction program + slow depth path)
+                    copy = model.quad_pass_time_s(records, instructions=3)
+                    copy += (
+                        records
+                        * model.depth_write_penalty_clocks
+                        / model.fragments_per_second
+                    )
+                    total += copy + model.quad_pass_time_s(records)
+            total += model.quad_pass_time_s(records)  # clause cleanup
+        total += model.occlusion_sync_latency_s
+        return total
+
+    def _estimate_item(
+        self, item, relation: Relation, has_where: bool
+    ) -> tuple[float, float]:
+        records = relation.num_records
+        gpu_model, cpu_model = self.gpu_cost, self.cpu_cost
+        if isinstance(item, (ColumnItem, StarItem)):
+            # Projection: the GPU must read the stencil mask back.
+            readback = records / gpu_model.readback_bandwidth
+            return readback, 0.0
+        assert isinstance(item, AggregateItem)
+        if item.func is AggregateFunc.COUNT:
+            return (
+                gpu_model.occlusion_sync_latency_s,
+                cpu_model.count_s(records) if not has_where else 0.0,
+            )
+        bits = relation.column(item.column).bits
+        if item.func in (AggregateFunc.SUM, AggregateFunc.AVG):
+            passes = bits
+            gpu = passes * gpu_model.quad_pass_time_s(
+                records, instructions=5
+            ) + gpu_model.occlusion_sync_latency_s
+            return gpu, cpu_model.sum_s(records)
+        # MIN / MAX / MEDIAN: bit-search order statistics.
+        gpu = bits * (
+            gpu_model.quad_pass_time_s(records)
+            + gpu_model.occlusion_sync_latency_s
+        )
+        gpu += gpu_model.quad_pass_time_s(records, instructions=3)
+        cpu = cpu_model.quickselect_s(records)
+        if item.func in (AggregateFunc.MIN, AggregateFunc.MAX):
+            cpu = cpu_model.sum_s(records)  # single SIMD min/max pass
+        return gpu, cpu

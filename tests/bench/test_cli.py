@@ -1,0 +1,54 @@
+"""The repro-bench command-line interface."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "fig10" in out
+
+    def test_single_experiment_table(self, capsys):
+        assert main(["fig2", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Copy time vs number of records" in out
+        assert "harness wall-clock" in out
+
+    def test_markdown_mode(self, capsys):
+        assert main(["fig2", "--scale", "smoke", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("### fig2")
+        assert "| records |" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "fig2",
+                    "--scale",
+                    "smoke",
+                    "--csv",
+                    str(tmp_path / "csv"),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        files = list((tmp_path / "csv").glob("fig2_*.csv"))
+        assert files
+        content = files[0].read_text()
+        assert content.startswith("x,")
+
+    def test_unknown_scale_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--scale", "galactic"])
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            main(["fig99", "--scale", "smoke"])

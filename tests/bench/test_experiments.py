@@ -1,0 +1,142 @@
+"""The benchmark harness: every experiment runs and reproduces its
+paper-claimed shape at smoke scale."""
+
+import pytest
+
+from repro.bench import (
+    get_scale,
+    render_markdown,
+    render_series_csv,
+    render_table,
+    run_experiment,
+)
+from repro.bench.runner import DEFAULT_ORDER, experiment_ids
+from repro.errors import BenchmarkError
+
+SCALE = get_scale("smoke")
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once at smoke scale and share the results."""
+    return {
+        eid: run_experiment(eid, SCALE) for eid in experiment_ids()
+    }
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        for eid in (
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "sec511",
+            "util",
+        ):
+            assert eid in DEFAULT_ORDER
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(BenchmarkError):
+            run_experiment("fig99", SCALE)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(BenchmarkError):
+            get_scale("galactic")
+
+
+class TestExperimentStructure:
+    def test_every_experiment_produces_series(self, results):
+        for eid, result in results.items():
+            assert result.experiment_id == eid
+            assert result.series, eid
+            assert result.paper_claim, eid
+            for series in result.series:
+                assert len(series.x) == len(series.y_ms)
+                assert all(y >= 0 for y in series.y_ms), eid
+
+    def test_renderers_accept_every_result(self, results):
+        for result in results.values():
+            table = render_table(result)
+            assert result.experiment_id in table
+            markdown = render_markdown(result)
+            assert markdown.startswith("###")
+            csv = render_series_csv(result.series[0])
+            assert csv.count("\n") == len(result.series[0].x)
+
+
+class TestPaperShapes:
+    def test_fig2_copy_is_linear(self, results):
+        assert results["fig2"].headlines[
+            "linearity (r^2 of linear fit)"
+        ] > 0.99
+
+    def test_fig5_gpu_time_grows_with_attribute_count(self, results):
+        series = {s.name: s for s in results["fig5"].series}
+        final = [
+            series[f"GPU k={k}"].y_ms[-1] for k in range(1, 5)
+        ]
+        assert final == sorted(final)
+        assert final[3] > 2.5 * final[0]
+
+    def test_fig7_gpu_flat_in_k(self, results):
+        flatness = results["fig7"].headlines[
+            "GPU time max/min over k (flatness)"
+        ]
+        assert flatness < 1.01
+
+    def test_fig8_both_sides_grow_with_records(self, results):
+        for series in results["fig8"].series:
+            assert series.y_ms[-1] > series.y_ms[0]
+
+    def test_fig9_masked_kth_costs_same_as_unmasked(self, results):
+        ratio = results["fig9"].headlines[
+            "KthLargest 80% / 100% time ratio"
+        ]
+        assert ratio == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig10_gpu_loses_sum(self, results):
+        assert results["fig10"].headlines[
+            "GPU slowdown (at max records)"
+        ] > 3.0
+
+    def test_sec511_overhead_within_bound(self, results):
+        headlines = results["sec511"].headlines
+        assert headlines["within paper bound"] is True
+        assert headlines["extra rendering passes"] == 0
+
+    def test_ablation_range_cnf_slower(self, results):
+        assert results["ablation_range"].headlines[
+            "CNF / depth-bounds time"
+        ] > 1.2
+
+    def test_ablation_testbit_kil_slower(self, results):
+        assert results["ablation_testbit"].headlines[
+            "KIL / alpha-test time"
+        ] > 1.0
+
+    def test_ablation_occlusion_async_faster(self, results):
+        fraction = results["ablation_occlusion"].headlines[
+            "stall fraction of compute"
+        ]
+        assert 0.0 < fraction < 1.0
+
+    def test_ablation_earlyz_paper_ops_never_eligible(self, results):
+        headlines = results["ablation_earlyz"].headlines
+        assert headlines["eligible passes in paper's own ops"] == 0
+        assert headlines["speedup from early-z"] >= 1.0
+
+    def test_ablation_mipmap_exactness_contrast(self, results):
+        headlines = results["ablation_mipmap"].headlines
+        assert headlines["accumulator error"] == 0.0
+        assert headlines["mipmap relative error"] >= 0.0
+
+    def test_ablation_sort_gpu_much_slower(self, results):
+        assert results["ablation_sort"].headlines[
+            "GPU slowdown (at max records)"
+        ] > 10.0

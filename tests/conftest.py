@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic relations and engines."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, CpuEngine, GpuEngine, Relation
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20040613)
+
+
+@pytest.fixture(scope="session")
+def small_relation():
+    """A 2000-record, 4-attribute integer relation (TCP/IP-shaped)."""
+    generator = np.random.default_rng(7)
+    return Relation(
+        "tcpip",
+        [
+            Column.integer(
+                "data_count", generator.integers(0, 1 << 19, 2000), bits=19
+            ),
+            Column.integer(
+                "data_loss", generator.integers(0, 1 << 10, 2000), bits=10
+            ),
+            Column.integer(
+                "flow_rate", generator.integers(0, 1 << 16, 2000), bits=16
+            ),
+            Column.integer(
+                "retransmissions",
+                generator.integers(0, 1 << 8, 2000),
+                bits=8,
+            ),
+        ],
+    )
+
+
+@pytest.fixture()
+def gpu_engine(small_relation):
+    return GpuEngine(small_relation)
+
+
+@pytest.fixture()
+def cpu_engine(small_relation):
+    return CpuEngine(small_relation)

@@ -1,0 +1,131 @@
+"""Column typing, bit widths, depth normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Column
+from repro.errors import DataError
+from repro.core.column import bits_for_max, bits_for_sum_passes, log2_ceil
+from repro.gpu.framebuffer import depth_to_code
+
+
+class TestIntegerColumn:
+    def test_bits_inferred(self):
+        column = Column.integer("a", [0, 5, 1000])
+        assert column.bits == 10
+        assert column.is_integer
+
+    def test_bits_widened_explicitly(self):
+        column = Column.integer("a", [3], bits=19)
+        assert column.bits == 19
+
+    def test_bits_cannot_be_narrowed(self):
+        with pytest.raises(DataError):
+            Column.integer("a", [1024], bits=10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataError):
+            Column.integer("a", [-1])
+
+    def test_fractional_rejected(self):
+        with pytest.raises(DataError):
+            Column.integer("a", [1.5])
+
+    def test_25_bit_rejected(self):
+        with pytest.raises(DataError):
+            Column.integer("a", [1 << 24])
+
+    def test_2d_rejected(self):
+        with pytest.raises(DataError):
+            Column.integer("a", np.zeros((2, 2)))
+
+    def test_empty_column_allowed(self):
+        column = Column.integer("a", [])
+        assert column.num_records == 0
+        assert column.bits == 1
+
+    @given(
+        value=st.integers(0, 2**19 - 1),
+        bits=st.integers(19, 24),
+    )
+    def test_normalization_is_depth_exact(self, value, bits):
+        """normalize() composed with depth quantization reproduces the
+        integer exactly — the Compare correctness contract."""
+        column = Column.integer("a", [value], bits=bits)
+        code = depth_to_code(column.normalize(value))
+        assert int(code) == value << (24 - bits)
+
+    def test_denormalize_inverts(self):
+        column = Column.integer("a", [100], bits=10)
+        assert column.denormalize(column.normalize(100)) == 100.0
+
+    def test_clamp_to_domain(self):
+        column = Column.integer("a", [100], bits=10)
+        assert column.clamp_to_domain(-5) == 0.0
+        assert column.clamp_to_domain(5000) == 1024.0
+        assert column.clamp_to_domain(77) == 77.0
+
+
+class TestFloatingColumn:
+    def test_range_inferred(self):
+        column = Column.floating("f", [1.0, 2.0, 5.0])
+        assert column.lo == 1.0
+        assert column.hi == 5.0
+        assert not column.is_integer
+
+    def test_values_outside_declared_range_rejected(self):
+        with pytest.raises(DataError):
+            Column.floating("f", [0.0, 10.0], lo=1.0, hi=5.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataError):
+            Column.floating("f", [float("nan")])
+
+    def test_degenerate_range_widened(self):
+        column = Column.floating("f", [3.0, 3.0])
+        assert column.hi > column.lo
+
+    def test_normalized_values_in_unit_interval(self):
+        column = Column.floating("f", [-10.0, 0.0, 10.0])
+        normalized = column.normalized_values()
+        assert normalized.min() >= 0.0
+        assert normalized.max() <= 1.0
+
+    @given(
+        st.lists(
+            st.floats(-1000, 1000, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_normalization_is_monotonic(self, values):
+        column = Column.floating("f", values)
+        normalized = column.normalize(np.asarray(values))
+        order = np.argsort(values, kind="stable")
+        assert np.all(np.diff(normalized[order]) >= -1e-12)
+
+
+class TestHelpers:
+    def test_bits_for_max(self):
+        assert bits_for_max(0) == 1
+        assert bits_for_max(1) == 1
+        assert bits_for_max(255) == 8
+        assert bits_for_max(256) == 9
+        with pytest.raises(DataError):
+            bits_for_max(-1)
+
+    def test_bits_for_sum_passes(self):
+        assert bits_for_sum_passes(19) == 19
+        with pytest.raises(DataError):
+            bits_for_sum_passes(0)
+        with pytest.raises(DataError):
+            bits_for_sum_passes(25)
+
+    def test_log2_ceil(self):
+        assert log2_ceil(1) == 0
+        assert log2_ceil(2) == 1
+        assert log2_ceil(1000) == 10
+        with pytest.raises(DataError):
+            log2_ceil(0)

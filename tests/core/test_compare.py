@@ -1,0 +1,133 @@
+"""Routine 4.1 (Compare) against NumPy, including boundary constants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compare import compare, compare_pass, copy_to_depth
+from repro.errors import QueryError
+from repro.gpu import CompareFunc, Device, StencilOp, Texture
+
+VALUE_OPS = [
+    CompareFunc.LESS,
+    CompareFunc.LEQUAL,
+    CompareFunc.GREATER,
+    CompareFunc.GEQUAL,
+    CompareFunc.EQUAL,
+    CompareFunc.NOTEQUAL,
+]
+
+BITS = 10
+SCALE = 1.0 / (1 << BITS)
+
+
+def _setup(values):
+    values = np.asarray(values)
+    side = int(np.ceil(np.sqrt(values.size)))
+    device = Device(side, side)
+    texture = Texture.from_values(values, shape=(side, side))
+    return device, texture
+
+
+def _count(device, texture, op, constant):
+    # Copy first, then wrap only the comparison quad in the query —
+    # an open occlusion query would count the copy pass's fragments too.
+    copy_to_depth(device, texture, SCALE)
+    query = device.begin_query()
+    compare_pass(device, op, constant * SCALE, texture.count)
+    device.end_query()
+    return query.result()
+
+
+class TestCompare:
+    @pytest.mark.parametrize("op", VALUE_OPS)
+    def test_all_operators(self, op):
+        values = np.random.default_rng(2).integers(0, 1 << BITS, 200)
+        device, texture = _setup(values)
+        got = _count(device, texture, op, 500)
+        expected = int(np.count_nonzero(op.apply(values, 500)))
+        assert got == expected
+
+    @pytest.mark.parametrize("constant", [0, 1, 1023])
+    def test_boundary_constants(self, constant):
+        values = np.array([0, 0, 1, 511, 1022, 1023, 1023])
+        device, texture = _setup(values)
+        for op in VALUE_OPS:
+            got = _count(device, texture, op, constant)
+            expected = int(np.count_nonzero(op.apply(values, constant)))
+            assert got == expected, (op, constant)
+
+    @given(
+        values=st.lists(
+            st.integers(0, (1 << BITS) - 1), min_size=1, max_size=100
+        ),
+        constant=st.integers(0, (1 << BITS) - 1),
+        op=st.sampled_from(VALUE_OPS),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_numpy(self, values, constant, op):
+        device, texture = _setup(np.array(values))
+        got = _count(device, texture, op, constant)
+        expected = int(
+            np.count_nonzero(op.apply(np.array(values), constant))
+        )
+        assert got == expected
+
+    def test_compare_pass_rejects_never_always(self):
+        device, texture = _setup(np.zeros(4))
+        with pytest.raises(QueryError):
+            compare_pass(device, CompareFunc.ALWAYS, 0.5, 4)
+
+
+class TestCopyToDepth:
+    def test_depth_holds_normalized_values(self):
+        values = np.array([0, 1, 512, 1023])
+        device, texture = _setup(values)
+        copy_to_depth(device, texture, SCALE)
+        codes = device.framebuffer.depth.codes[: values.size]
+        assert np.array_equal(
+            codes.astype(np.int64), values << (24 - BITS)
+        )
+
+    def test_stencil_enabled_flag_restored_in_place(self):
+        device, texture = _setup(np.zeros(4))
+        stencil = device.state.stencil
+        stencil.enabled = True
+        stencil.zpass = StencilOp.INCR
+        copy_to_depth(device, texture, SCALE)
+        # Same object, same configuration, still enabled.
+        assert device.state.stencil is stencil
+        assert stencil.enabled
+        assert stencil.zpass is StencilOp.INCR
+
+    def test_copy_does_not_disturb_stencil_values(self):
+        device, texture = _setup(np.arange(4))
+        device.clear_stencil(7)
+        device.state.stencil.enabled = True
+        copy_to_depth(device, texture, SCALE)
+        assert np.all(device.framebuffer.stencil.values == 7)
+
+    def test_leaves_depth_writes_off(self):
+        device, texture = _setup(np.arange(4))
+        copy_to_depth(device, texture, SCALE)
+        assert not device.state.depth.write
+        assert device.state.depth.enabled
+
+    def test_channel_selection(self):
+        # Channel indices follow the RGBA fetch layout, so pack a full
+        # 4-channel texture (as the engine does) before selecting one.
+        columns = [
+            np.array([1.0, 2.0]),
+            np.array([3.0, 4.0]),
+            np.zeros(2),
+            np.zeros(2),
+        ]
+        device = Device(2, 1)
+        texture = Texture.from_columns(columns, shape=(2, 1))
+        copy_to_depth(device, texture, 1.0 / 8, channel=1)
+        codes = device.framebuffer.depth.codes
+        assert np.array_equal(
+            codes.astype(np.int64),
+            (np.array([3, 4]) << (24 - 3)),
+        )

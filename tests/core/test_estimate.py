@@ -1,0 +1,170 @@
+"""Histogram-based selectivity estimation accuracy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Column, CpuEngine, GpuEngine, Relation, col
+from repro.core.estimate import (
+    DEFAULT_COMPLEX_SELECTIVITY,
+    ColumnHistogram,
+    SelectivityEstimator,
+)
+from repro.errors import QueryError
+
+
+def _uniform_relation(records=5000, seed=0):
+    rng = np.random.default_rng(seed)
+    return Relation(
+        "u",
+        [
+            Column.integer("a", rng.integers(0, 1 << 10, records),
+                           bits=10),
+            Column.integer("b", rng.integers(0, 1 << 8, records),
+                           bits=8),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def setup():
+    relation = _uniform_relation()
+    engine = GpuEngine(relation)
+    estimator = SelectivityEstimator.build(engine, buckets=32)
+    cpu = CpuEngine(relation)
+    return relation, engine, estimator, cpu
+
+
+def _actual(relation, predicate):
+    return float(predicate.mask(relation).mean())
+
+
+class TestColumnHistogram:
+    def test_edge_count_validated(self):
+        with pytest.raises(QueryError):
+            ColumnHistogram(np.array([0, 10]), np.array([5, 5]))
+
+    def test_fraction_leq_bounds(self):
+        histogram = ColumnHistogram(
+            np.array([0, 10, 20]), np.array([10, 10])
+        )
+        assert histogram.fraction_leq(-1) == 0.0
+        assert histogram.fraction_leq(19) == 1.0
+        assert histogram.fraction_leq(100) == 1.0
+        assert 0.4 < histogram.fraction_leq(9) <= 0.55
+
+    def test_empty_histogram(self):
+        histogram = ColumnHistogram(
+            np.array([0, 10]), np.array([0])
+        )
+        assert histogram.fraction_leq(5) == 0.0
+
+
+class TestEstimates:
+    @pytest.mark.parametrize(
+        "threshold", [0, 100, 512, 900, 1023]
+    )
+    def test_comparison_close_on_uniform_data(self, setup, threshold):
+        relation, _engine, estimator, _cpu = setup
+        for predicate in (
+            col("a") >= threshold,
+            col("a") < threshold,
+            col("a") <= threshold,
+            col("a") > threshold,
+        ):
+            estimate = estimator.estimate(predicate)
+            actual = _actual(relation, predicate)
+            assert abs(estimate - actual) < 0.05, predicate
+
+    def test_between(self, setup):
+        relation, _engine, estimator, _cpu = setup
+        predicate = col("a").between(200, 700)
+        assert abs(
+            estimator.estimate(predicate)
+            - _actual(relation, predicate)
+        ) < 0.05
+
+    def test_equality_small(self, setup):
+        relation, _engine, estimator, _cpu = setup
+        estimate = estimator.estimate(col("a") == 512)
+        assert 0.0 < estimate < 0.01
+
+    def test_boolean_combinations_under_independence(self, setup):
+        relation, _engine, estimator, _cpu = setup
+        and_predicate = (col("a") >= 512) & (col("b") < 128)
+        or_predicate = (col("a") >= 512) | (col("b") < 128)
+        not_predicate = ~(col("a") >= 512)
+        # a and b are independent by construction.
+        assert abs(
+            estimator.estimate(and_predicate)
+            - _actual(relation, and_predicate)
+        ) < 0.05
+        assert abs(
+            estimator.estimate(or_predicate)
+            - _actual(relation, or_predicate)
+        ) < 0.05
+        assert abs(
+            estimator.estimate(not_predicate)
+            - _actual(relation, not_predicate)
+        ) < 0.05
+
+    def test_estimate_count(self, setup):
+        relation, _engine, estimator, _cpu = setup
+        predicate = col("a") >= 512
+        count = estimator.estimate_count(
+            predicate, relation.num_records
+        )
+        actual = int(np.count_nonzero(predicate.mask(relation)))
+        assert abs(count - actual) < 0.05 * relation.num_records
+
+    def test_complex_predicates_use_default(self, setup):
+        _relation, _engine, estimator, _cpu = setup
+        assert estimator.estimate(
+            col("a") > col("b")
+        ) == DEFAULT_COMPLEX_SELECTIVITY
+
+    def test_cpu_built_estimator_matches_gpu_built(self, setup):
+        relation, _engine, gpu_estimator, cpu = setup
+        cpu_estimator = SelectivityEstimator.build(cpu, buckets=32)
+        predicate = col("a").between(100, 900)
+        assert gpu_estimator.estimate(
+            predicate
+        ) == pytest.approx(cpu_estimator.estimate(predicate))
+
+    def test_skewed_data_stays_bounded(self):
+        rng = np.random.default_rng(5)
+        skewed = np.minimum(
+            np.floor((rng.pareto(1.2, 20_000) + 1) * 40), 1023
+        ).astype(np.int64)
+        relation = Relation(
+            "s", [Column.integer("v", skewed, bits=10)]
+        )
+        estimator = SelectivityEstimator.build(
+            GpuEngine(relation), buckets=64
+        )
+        for threshold in (50, 100, 400, 900):
+            predicate = col("v") >= threshold
+            estimate = estimator.estimate(predicate)
+            actual = _actual(relation, predicate)
+            assert abs(estimate - actual) < 0.12, threshold
+
+    @given(
+        low=st.integers(0, 1023),
+        span=st.integers(0, 1023),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_estimates_in_unit_interval(self, low, span):
+        relation = _uniform_relation(records=500, seed=3)
+        estimator = SelectivityEstimator.build(
+            CpuEngine(relation), buckets=16
+        )
+        high = min(low + span, 1023)
+        for predicate in (
+            col("a") >= low,
+            col("a").between(low, high),
+            (col("a") >= low) & (col("b") < 64),
+            ~(col("a") >= low),
+        ):
+            estimate = estimator.estimate(predicate)
+            assert 0.0 <= estimate <= 1.0

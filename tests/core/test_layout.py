@@ -1,0 +1,157 @@
+"""Record layouts: planar (texture per attribute) vs packed (RGBA
+channels of a single texel) — paper section 3.3 offers both."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Column, CpuEngine, GpuEngine, Relation, col
+from repro.errors import QueryError
+
+
+def _relation(seed=9, records=1500):
+    rng = np.random.default_rng(seed)
+    return Relation(
+        "t",
+        [
+            Column.integer("a", rng.integers(0, 1 << 19, records),
+                           bits=19),
+            Column.integer("b", rng.integers(0, 1 << 10, records),
+                           bits=10),
+            Column.integer("c", rng.integers(0, 1 << 16, records),
+                           bits=16),
+            Column.integer("d", rng.integers(0, 1 << 8, records),
+                           bits=8),
+            # A fifth column forces a second packed group.
+            Column.integer("e", rng.integers(0, 1 << 6, records),
+                           bits=6),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def engines():
+    relation = _relation()
+    return (
+        relation,
+        GpuEngine(relation),
+        GpuEngine(relation, layout="packed"),
+        CpuEngine(relation),
+    )
+
+
+class TestLayoutEquivalence:
+    def test_invalid_layout_rejected(self):
+        with pytest.raises(QueryError):
+            GpuEngine(_relation(records=10), layout="diagonal")
+
+    def test_channels_assigned_in_groups_of_four(self, engines):
+        _relation_, _planar, packed, _cpu = engines
+        channels = {
+            name: packed.column_texture(name)[2]
+            for name in ("a", "b", "c", "d", "e")
+        }
+        assert channels == {"a": 0, "b": 1, "c": 2, "d": 3, "e": 0}
+        # a..d share one texture; e lives in the next group.
+        assert (
+            packed.column_texture("a")[0]
+            is packed.column_texture("d")[0]
+        )
+        assert (
+            packed.column_texture("a")[0]
+            is not packed.column_texture("e")[0]
+        )
+
+    def test_selections_agree(self, engines):
+        relation, planar, packed, cpu = engines
+        predicates = [
+            col("a") >= 100_000,
+            col("b").between(100, 800),
+            (col("a") >= 100_000) & (col("c") < 30_000),
+            (col("d") >= 128) | (col("e") < 10),
+            col("d") > col("e"),
+        ]
+        for predicate in predicates:
+            counts = {
+                planar.select(predicate).count,
+                packed.select(predicate).count,
+                cpu.select(predicate).count,
+            }
+            assert len(counts) == 1, predicate
+            assert np.array_equal(
+                planar.select(predicate).record_ids(),
+                packed.select(predicate).record_ids(),
+            )
+
+    def test_aggregates_agree(self, engines):
+        _relation_, planar, packed, _cpu = engines
+        for name in ("a", "b", "c", "d", "e"):
+            assert planar.sum(name).value == packed.sum(name).value
+            assert (
+                planar.median(name).value == packed.median(name).value
+            )
+            assert (
+                planar.maximum(name).value
+                == packed.maximum(name).value
+            )
+
+    def test_masked_aggregates_agree(self, engines):
+        _relation_, planar, packed, _cpu = engines
+        predicate = col("b") >= 512
+        assert (
+            planar.sum("c", predicate).value
+            == packed.sum("c", predicate).value
+        )
+        assert (
+            planar.median("a", predicate).value
+            == packed.median("a", predicate).value
+        )
+
+    def test_packed_uses_fewer_texture_objects(self, engines):
+        relation, planar, packed, _cpu = engines
+        for name in relation.column_names:
+            planar.column_texture(name)
+            packed.column_texture(name)
+        packed_groups = {
+            id(packed.column_texture(name)[0])
+            for name in relation.column_names
+        }
+        assert len(packed_groups) == 2  # ceil(5 / 4)
+        assert len(planar._column_textures) == 5
+
+    @given(
+        seed=st.integers(0, 20),
+        threshold=st.integers(0, (1 << 10) - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_layouts_identical(self, seed, threshold):
+        relation = _relation(seed=seed, records=200)
+        planar = GpuEngine(relation)
+        packed = GpuEngine(relation, layout="packed")
+        predicate = col("b") >= threshold
+        assert (
+            planar.select(predicate).count
+            == packed.select(predicate).count
+        )
+
+    def test_fixed_point_columns_work_in_packed_engines(self):
+        rng = np.random.default_rng(3)
+        relation = Relation(
+            "m",
+            [
+                Column.integer(
+                    "n", rng.integers(0, 256, 300), bits=8
+                ),
+                Column.fixed_point(
+                    "p", rng.integers(0, 1000, 300) / 4.0, 2
+                ),
+            ],
+        )
+        planar = GpuEngine(relation)
+        packed = GpuEngine(relation, layout="packed")
+        assert planar.sum("p").value == packed.sum("p").value
+        assert (
+            planar.select(col("p") >= 100.25).count
+            == packed.select(col("p") >= 100.25).count
+        )

@@ -1,0 +1,111 @@
+"""Out-of-core operation: querying with insufficient video memory.
+
+Paper section 6.1: "due to the limited video memory, we may not be able
+to copy very large databases ... we would use out-of-core techniques and
+swap textures in and out of video memory."
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, CpuEngine, GpuEngine, Relation, col
+from repro.gpu.memory import VideoMemory
+
+
+def _relation(records=2000, columns=4):
+    rng = np.random.default_rng(1)
+    return Relation(
+        "wide",
+        [
+            Column.integer(
+                f"c{i}", rng.integers(0, 1 << 10, records), bits=10
+            )
+            for i in range(columns)
+        ],
+    )
+
+
+def _texture_bytes(engine):
+    height, width = engine.shape
+    return height * width * 4
+
+
+class TestOutOfCore:
+    def test_tight_memory_forces_evictions(self):
+        relation = _relation()
+        probe = GpuEngine(relation)
+        capacity = 2 * _texture_bytes(probe)  # room for two columns
+        engine = GpuEngine(
+            relation, video_memory=VideoMemory(capacity)
+        )
+        for name in relation.column_names:
+            engine.select(col(name) >= 512)
+        # Cycle again: everything was evicted in the meantime.
+        for name in relation.column_names:
+            engine.select(col(name) >= 512)
+        assert engine.device.memory.evictions > 0
+        assert engine.device.memory.total_uploaded > capacity
+
+    def test_answers_unaffected_by_memory_pressure(self):
+        relation = _relation()
+        probe = GpuEngine(relation)
+        tight = GpuEngine(
+            relation,
+            video_memory=VideoMemory(2 * _texture_bytes(probe)),
+        )
+        roomy = GpuEngine(relation)
+        cpu = CpuEngine(relation)
+        for name in relation.column_names:
+            predicate = col(name).between(100, 800)
+            counts = {
+                tight.select(predicate).count,
+                roomy.select(predicate).count,
+                cpu.select(predicate).count,
+            }
+            assert len(counts) == 1
+
+    def test_swap_traffic_charged_to_queries(self):
+        relation = _relation()
+        probe = GpuEngine(relation)
+        engine = GpuEngine(
+            relation,
+            video_memory=VideoMemory(2 * _texture_bytes(probe)),
+        )
+        # Warm all columns (uploads excluded from query windows), which
+        # also evicts the earlier ones.
+        for name in relation.column_names:
+            engine.column_texture(name)
+        # Querying an evicted column re-uploads it inside the window.
+        result = engine.select(col("c0") >= 0)
+        assert result.compute.bytes_uploaded > 0
+        upload_time = result.compute_time(engine.cost_model).upload_s
+        assert upload_time > 0
+
+    def test_resident_textures_cost_nothing_extra(self):
+        relation = _relation(columns=2)
+        engine = GpuEngine(relation)  # default 256 MB: everything fits
+        engine.select(col("c0") >= 0)
+        result = engine.select(col("c0") >= 0)
+        assert result.compute.bytes_uploaded == 0
+        assert engine.device.memory.evictions == 0
+
+    def test_paper_scale_memory_arithmetic(self):
+        # Section 5.1: 256 MB holds "more than 50 attributes" of
+        # 1000x1000 float texels.
+        memory = VideoMemory()
+        texture_bytes = 1000 * 1000 * 4
+        assert memory.capacity_bytes // texture_bytes > 50
+
+
+class TestMemoryExhaustion:
+    def test_oversized_relation_surfaces_video_memory_error(self):
+        from repro.errors import VideoMemoryError
+
+        relation = _relation(records=2000, columns=1)
+        probe = GpuEngine(relation)
+        too_small = VideoMemory(
+            capacity_bytes=_texture_bytes(probe) // 2
+        )
+        engine = GpuEngine(relation, video_memory=too_small)
+        with pytest.raises(VideoMemoryError, match="exceeds"):
+            engine.select(col("c0") >= 0)

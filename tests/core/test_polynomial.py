@@ -1,0 +1,179 @@
+"""Polynomial queries (the section 4.1.2 extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Column, CpuEngine, GpuEngine, Polynomial, Relation, col
+from repro.core.polynomial import MAX_EXPONENT, polynomial_program
+from repro.errors import QueryError
+from repro.gpu.types import CompareFunc
+
+VALUE_OPS = [
+    CompareFunc.LESS,
+    CompareFunc.LEQUAL,
+    CompareFunc.GREATER,
+    CompareFunc.GEQUAL,
+    CompareFunc.EQUAL,
+    CompareFunc.NOTEQUAL,
+]
+
+
+def _relation(seed=3, records=300, bits=6):
+    rng = np.random.default_rng(seed)
+    return Relation(
+        "t",
+        [
+            Column.integer("a", rng.integers(0, 1 << bits, records),
+                           bits=bits),
+            Column.integer("b", rng.integers(0, 1 << bits, records),
+                           bits=bits),
+        ],
+    )
+
+
+class TestProgramGeneration:
+    def test_exponent_cost_structure(self):
+        # exponent p costs p-1 extra MULs; linear matches semi-linear.
+        linear = polynomial_program((1,), CompareFunc.GEQUAL)
+        square = polynomial_program((2,), CompareFunc.GEQUAL)
+        cube = polynomial_program((3,), CompareFunc.GEQUAL)
+        assert square.num_instructions == linear.num_instructions + 1
+        assert cube.num_instructions == linear.num_instructions + 2
+        assert linear.uses_kil
+
+    def test_exponent_zero_is_constant_term(self):
+        program = polynomial_program((0,), CompareFunc.GEQUAL)
+        assert program.num_instructions < polynomial_program(
+            (1,), CompareFunc.GEQUAL
+        ).num_instructions
+
+    @pytest.mark.parametrize("op", VALUE_OPS)
+    def test_all_operators_compile(self, op):
+        program = polynomial_program((2, 1), op)
+        assert program.uses_kil
+        assert not program.writes_depth
+
+    def test_exponent_bounds(self):
+        with pytest.raises(QueryError):
+            polynomial_program((MAX_EXPONENT + 1,), CompareFunc.LESS)
+        with pytest.raises(QueryError):
+            polynomial_program((-1,), CompareFunc.LESS)
+        with pytest.raises(QueryError):
+            polynomial_program((), CompareFunc.LESS)
+
+
+class TestValidation:
+    def test_arity_checks(self):
+        with pytest.raises(QueryError):
+            Polynomial(("a",), (1.0, 2.0), (1,), CompareFunc.LESS, 0)
+        with pytest.raises(QueryError):
+            Polynomial((), (), (), CompareFunc.LESS, 0)
+        with pytest.raises(QueryError):
+            Polynomial(
+                ("a",), (1.0,), (1,), CompareFunc.ALWAYS, 0
+            )
+        with pytest.raises(QueryError):
+            Polynomial(
+                ("a",), (1.0,), (MAX_EXPONENT + 1,),
+                CompareFunc.LESS, 0,
+            )
+
+    def test_negation_flips_operator(self):
+        predicate = Polynomial(
+            ("a",), (1.0,), (2,), CompareFunc.LESS, 100
+        )
+        negated = predicate.negated()
+        assert negated.op is CompareFunc.GEQUAL
+        relation = _relation()
+        assert np.array_equal(
+            negated.mask(relation), ~predicate.mask(relation)
+        )
+
+
+class TestExecution:
+    @pytest.mark.parametrize("op", VALUE_OPS)
+    def test_gpu_matches_reference(self, op):
+        relation = _relation()
+        gpu = GpuEngine(relation)
+        predicate = Polynomial(
+            ("a", "b"), (1.0, -2.0), (2, 1), op, 500.0
+        )
+        assert gpu.select(predicate).count == int(
+            np.count_nonzero(predicate.mask(relation))
+        )
+
+    def test_quadratic_reference_semantics(self):
+        relation = _relation()
+        a = relation.column("a").values.astype(np.float64)
+        b = relation.column("b").values.astype(np.float64)
+        predicate = Polynomial(
+            ("a", "b"), (1.0, -2.0), (2, 1), CompareFunc.GEQUAL, 500.0
+        )
+        # Small integers: float32 evaluation is exact, so the plain
+        # polynomial is the ground truth.
+        expected = a * a - 2 * b >= 500.0
+        assert np.array_equal(predicate.mask(relation), expected)
+
+    @given(
+        seed=st.integers(0, 30),
+        exponents=st.tuples(
+            st.integers(0, 3), st.integers(0, 3)
+        ),
+        coefficients=st.tuples(
+            st.integers(-4, 4).map(float),
+            st.integers(-4, 4).map(float),
+        ),
+        constant=st.integers(-500, 4000).map(float),
+        op=st.sampled_from(VALUE_OPS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_gpu_cpu_parity(
+        self, seed, exponents, coefficients, constant, op
+    ):
+        relation = _relation(seed=seed, records=120)
+        gpu = GpuEngine(relation)
+        cpu = CpuEngine(relation)
+        predicate = Polynomial(
+            ("a", "b"), coefficients, exponents, op, constant
+        )
+        gpu_result = gpu.select(predicate)
+        cpu_result = cpu.select(predicate)
+        assert gpu_result.count == cpu_result.count
+        assert np.array_equal(
+            gpu_result.record_ids(), cpu_result.record_ids()
+        )
+
+    def test_inside_boolean_combination(self):
+        relation = _relation()
+        gpu = GpuEngine(relation)
+        cpu = CpuEngine(relation)
+        quadratic = Polynomial(
+            ("a",), (1.0,), (2,), CompareFunc.GEQUAL, 1000.0
+        )
+        combined = quadratic & (col("b") < 32)
+        assert (
+            gpu.select(combined).count == cpu.select(combined).count
+        )
+
+    def test_no_copy_passes(self):
+        relation = _relation()
+        gpu = GpuEngine(relation)
+        predicate = Polynomial(
+            ("a",), (1.0,), (3,), CompareFunc.GEQUAL, 0.0
+        )
+        result = gpu.select(predicate)
+        assert result.copy.num_passes == 0
+
+    def test_feeds_aggregates(self):
+        relation = _relation()
+        gpu = GpuEngine(relation)
+        cpu = CpuEngine(relation)
+        predicate = Polynomial(
+            ("a", "b"), (1.0, 1.0), (2, 2), CompareFunc.GEQUAL, 2000.0
+        )
+        assert (
+            gpu.median("a", predicate).value
+            == cpu.median("a", predicate).value
+        )

@@ -1,0 +1,282 @@
+"""Predicate AST, reference masks, and CNF conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Column, Relation
+from repro.core.predicates import (
+    MAX_CNF_CLAUSES,
+    And,
+    Between,
+    Comparison,
+    Not,
+    Or,
+    SemiLinear,
+    attr_compare,
+    col,
+    is_simple,
+    to_cnf,
+)
+from repro.errors import QueryError
+from repro.gpu.types import CompareFunc
+
+
+@pytest.fixture(scope="module")
+def relation():
+    rng = np.random.default_rng(11)
+    return Relation(
+        "t",
+        [
+            Column.integer("a", rng.integers(0, 256, 400), bits=8),
+            Column.integer("b", rng.integers(0, 256, 400), bits=8),
+            Column.integer("c", rng.integers(0, 64, 400), bits=6),
+        ],
+    )
+
+
+VALUE_OPS = [
+    CompareFunc.LESS,
+    CompareFunc.LEQUAL,
+    CompareFunc.GREATER,
+    CompareFunc.GEQUAL,
+    CompareFunc.EQUAL,
+    CompareFunc.NOTEQUAL,
+]
+
+
+def comparisons():
+    return st.builds(
+        Comparison,
+        st.sampled_from(["a", "b", "c"]),
+        st.sampled_from(VALUE_OPS),
+        st.integers(0, 255).map(float),
+    )
+
+
+def betweens():
+    return st.tuples(
+        st.sampled_from(["a", "b"]),
+        st.integers(0, 255),
+        st.integers(0, 255),
+    ).map(
+        lambda t: Between(t[0], min(t[1], t[2]), max(t[1], t[2]))
+    )
+
+
+def semilinears():
+    return st.builds(
+        SemiLinear,
+        st.just(("a", "b")),
+        st.tuples(
+            st.integers(-3, 3).map(float),
+            st.integers(-3, 3).map(float),
+        ),
+        st.sampled_from(
+            [CompareFunc.GEQUAL, CompareFunc.LESS, CompareFunc.GREATER]
+        ),
+        st.integers(-200, 400).map(float),
+    )
+
+
+def predicates(max_leaves=6):
+    simple = st.one_of(comparisons(), betweens(), semilinears())
+    return st.recursive(
+        simple,
+        lambda children: st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda cs: And(*cs)
+            ),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda cs: Or(*cs)
+            ),
+            children.map(Not),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+class TestSimplePredicates:
+    def test_comparison_mask(self, relation):
+        mask = Comparison("a", CompareFunc.LESS, 100).mask(relation)
+        assert np.array_equal(
+            mask, relation.column("a").values < 100
+        )
+
+    def test_comparison_rejects_never_always(self):
+        with pytest.raises(QueryError):
+            Comparison("a", CompareFunc.ALWAYS, 0)
+
+    def test_between_mask_inclusive(self, relation):
+        values = relation.column("a").values
+        mask = Between("a", 10, 20).mask(relation)
+        assert np.array_equal(mask, (values >= 10) & (values <= 20))
+
+    def test_between_inverted_bounds_rejected(self):
+        with pytest.raises(QueryError):
+            Between("a", 10, 5)
+
+    def test_semilinear_mask_float32(self, relation):
+        predicate = SemiLinear(
+            ("a", "b"), (1.0, -1.0), CompareFunc.GREATER, 0.0
+        )
+        a = relation.column("a").values
+        b = relation.column("b").values
+        assert np.array_equal(predicate.mask(relation), a - b > 0)
+
+    def test_semilinear_validation(self):
+        with pytest.raises(QueryError):
+            SemiLinear((), (), CompareFunc.LESS, 0)
+        with pytest.raises(QueryError):
+            SemiLinear(("a",), (1.0, 2.0), CompareFunc.LESS, 0)
+        with pytest.raises(QueryError):
+            SemiLinear(("a",), (1.0,), CompareFunc.NEVER, 0)
+
+    def test_attr_compare_is_semilinear(self):
+        predicate = attr_compare("a", CompareFunc.LESS, "b")
+        assert isinstance(predicate, SemiLinear)
+        assert predicate.coefficients == (1.0, -1.0)
+        assert predicate.constant == 0.0
+
+    def test_constant_clamping_out_of_domain(self, relation):
+        # Out-of-domain constants degrade to all/none, never wrap.
+        everything = Comparison("a", CompareFunc.LEQUAL, 10_000)
+        nothing = Comparison("a", CompareFunc.GREATER, 10_000)
+        assert everything.mask(relation).all()
+        assert not nothing.mask(relation).any()
+
+
+class TestBooleanOperators:
+    def test_and_or_not_masks(self, relation):
+        a = relation.column("a").values
+        b = relation.column("b").values
+        predicate = And(
+            Comparison("a", CompareFunc.GEQUAL, 50),
+            Or(
+                Comparison("b", CompareFunc.LESS, 100),
+                Not(Comparison("a", CompareFunc.LESS, 200)),
+            ),
+        )
+        expected = (a >= 50) & ((b < 100) | ~(a < 200))
+        assert np.array_equal(predicate.mask(relation), expected)
+
+    def test_nested_flattening(self):
+        inner = And(
+            Comparison("a", CompareFunc.LESS, 1),
+            Comparison("b", CompareFunc.LESS, 2),
+        )
+        outer = And(inner, Comparison("c", CompareFunc.LESS, 3))
+        assert len(outer.children) == 3
+
+    def test_empty_operands_rejected(self):
+        with pytest.raises(QueryError):
+            And()
+        with pytest.raises(QueryError):
+            Or()
+
+    def test_operator_sugar(self, relation):
+        sugar = (col("a") >= 50) & ~(col("b") == 10)
+        explicit = And(
+            Comparison("a", CompareFunc.GEQUAL, 50),
+            Comparison("b", CompareFunc.NOTEQUAL, 10),
+        )
+        assert np.array_equal(
+            sugar.mask(relation), explicit.mask(relation)
+        )
+
+    def test_column_ref_vs_column_ref(self):
+        predicate = col("a") < col("b")
+        assert isinstance(predicate, SemiLinear)
+
+    def test_between_sugar(self, relation):
+        assert np.array_equal(
+            col("a").between(5, 9).mask(relation),
+            Between("a", 5, 9).mask(relation),
+        )
+
+
+class TestCnf:
+    def test_simple_predicate_is_single_clause(self):
+        clauses = to_cnf(Comparison("a", CompareFunc.LESS, 5))
+        assert len(clauses) == 1
+        assert len(clauses[0]) == 1
+
+    def test_not_folds_into_operator(self):
+        clauses = to_cnf(Not(Comparison("a", CompareFunc.LESS, 5)))
+        predicate = clauses[0][0]
+        assert isinstance(predicate, Comparison)
+        assert predicate.op is CompareFunc.GEQUAL
+
+    def test_not_between_expands_to_disjunction(self):
+        clauses = to_cnf(Not(Between("a", 5, 9)))
+        assert len(clauses) == 1
+        assert len(clauses[0]) == 2
+
+    def test_double_negation(self, relation):
+        predicate = Not(Not(Comparison("a", CompareFunc.LESS, 5)))
+        clauses = to_cnf(predicate)
+        assert clauses[0][0].op is CompareFunc.LESS
+
+    def test_or_of_ands_distributes(self):
+        predicate = Or(
+            And(
+                Comparison("a", CompareFunc.LESS, 1),
+                Comparison("b", CompareFunc.LESS, 2),
+            ),
+            Comparison("c", CompareFunc.LESS, 3),
+        )
+        clauses = to_cnf(predicate)
+        assert len(clauses) == 2
+        assert all(len(clause) == 2 for clause in clauses)
+
+    def test_blowup_guard(self):
+        # OR of many ANDs: clause count multiplies to > MAX_CNF_CLAUSES.
+        ands = [
+            And(
+                Comparison("a", CompareFunc.LESS, i),
+                Comparison("b", CompareFunc.LESS, i),
+                Comparison("c", CompareFunc.LESS, i),
+            )
+            for i in range(6)
+        ]
+        with pytest.raises(QueryError, match="clauses"):
+            to_cnf(Or(*ands))
+        assert 3**6 > MAX_CNF_CLAUSES
+
+    def test_clauses_contain_only_simple_predicates(self, relation):
+        predicate = Not(
+            Or(
+                And(
+                    Comparison("a", CompareFunc.LESS, 100),
+                    Between("b", 5, 250),
+                ),
+                Not(SemiLinear(("a", "b"), (1, 1), CompareFunc.LESS, 99)),
+            )
+        )
+        for clause in to_cnf(predicate):
+            for simple in clause:
+                assert is_simple(simple)
+
+    @given(predicates())
+    @settings(max_examples=120, deadline=None)
+    def test_cnf_preserves_semantics(self, predicate):
+        """The key property: CNF conversion never changes the mask."""
+        rng = np.random.default_rng(5)
+        relation = Relation(
+            "t",
+            [
+                Column.integer("a", rng.integers(0, 256, 100), bits=8),
+                Column.integer("b", rng.integers(0, 256, 100), bits=8),
+                Column.integer("c", rng.integers(0, 64, 100), bits=6),
+            ],
+        )
+        original = predicate.mask(relation)
+        clauses = to_cnf(predicate)
+        rebuilt = np.ones(relation.num_records, dtype=bool)
+        for clause in clauses:
+            clause_mask = np.zeros(relation.num_records, dtype=bool)
+            for simple in clause:
+                clause_mask |= simple.mask(relation)
+            rebuilt &= clause_mask
+        assert np.array_equal(original, rebuilt)

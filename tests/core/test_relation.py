@@ -1,0 +1,85 @@
+"""Relation data model."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, Relation
+from repro.errors import DataError, QueryError
+
+
+def _relation():
+    return Relation(
+        "t",
+        [
+            Column.integer("a", [1, 2, 3]),
+            Column.integer("b", [10, 20, 30]),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        relation = _relation()
+        assert relation.num_records == 3
+        assert relation.num_columns == 2
+        assert relation.column_names == ["a", "b"]
+        assert len(relation) == 3
+        assert "a" in relation
+        assert "z" not in relation
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            Relation("t", [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            Relation(
+                "t",
+                [
+                    Column.integer("a", [1]),
+                    Column.integer("b", [1, 2]),
+                ],
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DataError):
+            Relation(
+                "t",
+                [Column.integer("a", [1]), Column.integer("a", [2])],
+            )
+
+    def test_from_arrays(self):
+        relation = Relation.from_arrays(
+            "t", {"x": np.array([1, 2]), "y": np.array([3, 4])}
+        )
+        assert relation.column("y").values[1] == 4
+
+
+class TestAccess:
+    def test_unknown_column_rejected(self):
+        with pytest.raises(QueryError, match="available"):
+            _relation().column("zzz")
+
+    def test_columns_subset(self):
+        columns = _relation().columns(["b"])
+        assert [c.name for c in columns] == ["b"]
+
+    def test_row(self):
+        assert _relation().row(1) == {"a": 2.0, "b": 20.0}
+        with pytest.raises(QueryError):
+            _relation().row(3)
+
+    def test_take_preserves_column_metadata(self):
+        relation = Relation(
+            "t",
+            [
+                Column.integer("a", [1, 2, 3], bits=19),
+                Column.floating("f", [0.5, 1.5, 2.5], lo=0.0, hi=3.0),
+            ],
+        )
+        subset = relation.take(np.array([2, 0]))
+        assert subset.num_records == 2
+        assert np.array_equal(subset.column("a").values, [3, 1])
+        assert subset.column("a").bits == 19
+        assert subset.column("f").lo == 0.0
+        assert subset.column("f").hi == 3.0

@@ -1,0 +1,95 @@
+"""Batched selectivity analysis (section 5.11's optimizer workload)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Column, CpuEngine, GpuEngine, Relation, col
+from repro.errors import QueryError
+
+
+def _engines(seed=14, records=1200):
+    rng = np.random.default_rng(seed)
+    relation = Relation(
+        "t",
+        [
+            Column.integer("a", rng.integers(0, 1 << 10, records),
+                           bits=10),
+            Column.integer("b", rng.integers(0, 1 << 8, records),
+                           bits=8),
+        ],
+    )
+    return relation, GpuEngine(relation), CpuEngine(relation)
+
+
+class TestSelectivities:
+    def test_counts_match_individual_selects(self):
+        relation, gpu, cpu = _engines()
+        predicates = [
+            col("a") >= 100,
+            col("a") < 800,
+            col("a").between(200, 600),
+            col("b") == 7,
+            (col("a") >= 500) | (col("b") < 32),
+        ]
+        batched = gpu.selectivities(predicates).value
+        individual = [gpu.select(p).count for p in predicates]
+        assert batched == individual
+        assert batched == cpu.selectivities(predicates).value
+
+    def test_copy_sharing_on_same_attribute(self):
+        _relation, gpu, _cpu = _engines()
+        predicates = [col("a") >= t for t in range(0, 1000, 100)]
+        result = gpu.selectivities(predicates)
+        # Ten predicates on one attribute: exactly one depth copy.
+        assert result.copy.num_passes == 1
+        assert len(result.value) == 10
+
+    def test_attribute_switch_recopies(self):
+        _relation, gpu, _cpu = _engines()
+        predicates = [
+            col("a") >= 1,
+            col("b") >= 1,
+            col("a") >= 2,  # back to a: needs a fresh copy
+        ]
+        result = gpu.selectivities(predicates)
+        assert result.copy.num_passes == 3
+
+    def test_batched_cheaper_than_individual(self):
+        _relation, gpu, _cpu = _engines()
+        predicates = [col("a") >= t for t in range(0, 1000, 50)]
+        batched = gpu.selectivities(predicates)
+        batched_ms = gpu.time_ms(batched)
+        individual_ms = sum(
+            gpu.time_ms(gpu.select(p)) for p in predicates
+        )
+        assert batched_ms < individual_ms
+
+    def test_monotone_thresholds_give_monotone_counts(self):
+        _relation, gpu, _cpu = _engines()
+        predicates = [col("a") >= t for t in range(0, 1024, 64)]
+        counts = gpu.selectivities(predicates).value
+        assert counts == sorted(counts, reverse=True)
+
+    def test_empty_list_rejected(self):
+        _relation, gpu, cpu = _engines()
+        with pytest.raises(QueryError):
+            gpu.selectivities([])
+        with pytest.raises(QueryError):
+            cpu.selectivities([])
+
+    @given(
+        seed=st.integers(0, 20),
+        thresholds=st.lists(
+            st.integers(0, 1023), min_size=1, max_size=8
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_parity(self, seed, thresholds):
+        relation, gpu, cpu = _engines(seed=seed, records=200)
+        predicates = [col("a") >= t for t in thresholds]
+        assert (
+            gpu.selectivities(predicates).value
+            == cpu.selectivities(predicates).value
+        )

@@ -1,0 +1,129 @@
+"""Routine 4.2 (semi-linear queries on the fragment processors)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semilinear import semilinear_count, semilinear_pass
+from repro.errors import QueryError
+from repro.gpu import CompareFunc, Device, Texture
+
+VALUE_OPS = [
+    CompareFunc.LESS,
+    CompareFunc.LEQUAL,
+    CompareFunc.GREATER,
+    CompareFunc.GEQUAL,
+    CompareFunc.EQUAL,
+    CompareFunc.NOTEQUAL,
+]
+
+
+def _setup(columns):
+    size = len(columns[0])
+    side = int(np.ceil(np.sqrt(size)))
+    device = Device(side, side)
+    padded = list(columns)
+    while len(padded) < 4:
+        padded.append(np.zeros(size))
+    texture = Texture.from_columns(padded, shape=(side, side))
+    return device, texture
+
+
+def _reference(columns, coefficients, op, constant):
+    total = np.zeros(len(columns[0]), dtype=np.float32)
+    for values, coefficient in zip(columns, coefficients):
+        total += np.asarray(values, dtype=np.float32) * np.float32(
+            coefficient
+        )
+    return int(np.count_nonzero(op.apply(total, np.float32(constant))))
+
+
+class TestSemilinearCount:
+    @pytest.mark.parametrize("op", VALUE_OPS)
+    def test_all_operators(self, op):
+        rng = np.random.default_rng(6)
+        columns = [rng.integers(0, 100, 150) for _ in range(4)]
+        coefficients = [0.5, -1.0, 2.0, 0.25]
+        device, texture = _setup(columns)
+        got = semilinear_count(device, texture, coefficients, op, 30.0)
+        assert got == _reference(columns, coefficients, op, 30.0)
+
+    def test_equality_on_exact_integers(self):
+        columns = [np.array([1.0, 2.0, 3.0]), np.array([1.0, 1.0, 3.0])]
+        device, texture = _setup(columns)
+        got = semilinear_count(
+            device, texture, [1.0, -1.0], CompareFunc.EQUAL, 0.0
+        )
+        assert got == 2
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(0, 255),
+                st.integers(0, 255),
+                st.integers(0, 255),
+                st.integers(0, 255),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        op=st.sampled_from(VALUE_OPS),
+        constant=st.integers(-500, 500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_float32_reference(
+        self, rows, op, constant
+    ):
+        columns = [
+            np.array([row[i] for row in rows]) for i in range(4)
+        ]
+        coefficients = [1.0, -0.5, 0.25, -2.0]
+        device, texture = _setup(columns)
+        got = semilinear_count(
+            device, texture, coefficients, op, float(constant)
+        )
+        assert got == _reference(
+            columns, coefficients, op, float(constant)
+        )
+
+    def test_single_pass_no_copy(self):
+        columns = [np.arange(9.0)] * 4
+        device, texture = _setup(columns)
+        device.stats.reset()
+        semilinear_count(
+            device, texture, [1, 1, 1, 1], CompareFunc.GEQUAL, 5.0
+        )
+        assert device.stats.num_passes == 1
+        assert device.stats.total_depth_writes == 0
+
+
+class TestValidation:
+    def test_too_many_coefficients(self):
+        device, texture = _setup([np.zeros(4)])
+        with pytest.raises(QueryError):
+            semilinear_pass(
+                device, texture, [1] * 5, CompareFunc.LESS, 0.0
+            )
+
+    def test_more_coefficients_than_channels(self):
+        device = Device(2, 2)
+        texture = Texture.from_columns([np.zeros(4)], shape=(2, 2))
+        with pytest.raises(QueryError):
+            semilinear_pass(
+                device, texture, [1, 1], CompareFunc.LESS, 0.0
+            )
+
+    def test_alpha_coefficient_needs_four_channels(self):
+        device = Device(2, 2)
+        texture = Texture.from_columns(
+            [np.zeros(4), np.zeros(4)], shape=(2, 2)
+        )
+        with pytest.raises(QueryError):
+            semilinear_pass(
+                device,
+                texture,
+                [0.0, 0.0, 0.0, 1.0],
+                CompareFunc.LESS,
+                0.0,
+            )

@@ -1,0 +1,120 @@
+"""top_k and histogram engine operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Column, CpuEngine, GpuEngine, Relation, col
+from repro.errors import QueryError
+
+
+def _engines(seed=0, records=800, bits=10):
+    rng = np.random.default_rng(seed)
+    relation = Relation(
+        "t",
+        [
+            Column.integer(
+                "v", rng.integers(0, 1 << bits, records), bits=bits
+            ),
+            Column.integer("g", rng.integers(0, 4, records), bits=2),
+        ],
+    )
+    return relation, GpuEngine(relation), CpuEngine(relation)
+
+
+class TestTopK:
+    def test_matches_cpu_and_numpy(self):
+        relation, gpu, cpu = _engines()
+        values = relation.column("v").values
+        for k in (1, 5, 50, 799):
+            g = gpu.top_k("v", k).value
+            c = cpu.top_k("v", k).value
+            assert g.threshold == c.threshold
+            assert np.array_equal(g.record_ids, c.record_ids)
+            assert g.threshold == int(np.sort(values)[::-1][k - 1])
+            assert len(g) >= k
+            assert np.all(values[g.record_ids] >= g.threshold)
+
+    def test_ties_included(self):
+        relation = Relation(
+            "t", [Column.integer("v", [9, 9, 9, 1, 2], bits=4)]
+        )
+        gpu = GpuEngine(relation)
+        result = gpu.top_k("v", 2).value
+        assert result.threshold == 9
+        assert np.array_equal(result.record_ids, [0, 1, 2])
+
+    def test_with_predicate(self):
+        relation, gpu, cpu = _engines(seed=5)
+        predicate = col("g") == 2
+        g = gpu.top_k("v", 7, predicate).value
+        c = cpu.top_k("v", 7, predicate).value
+        assert g.threshold == c.threshold
+        assert np.array_equal(g.record_ids, c.record_ids)
+        mask = predicate.mask(relation)
+        assert np.all(mask[g.record_ids])
+
+    def test_k_validation(self):
+        _relation, gpu, cpu = _engines()
+        for engine in (gpu, cpu):
+            with pytest.raises(QueryError):
+                engine.top_k("v", 0)
+            with pytest.raises(QueryError):
+                engine.top_k("v", 10**6)
+
+    @given(
+        seed=st.integers(0, 20),
+        k=st.integers(1, 60),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_parity(self, seed, k):
+        relation, gpu, cpu = _engines(seed=seed, records=60 + k)
+        g = gpu.top_k("v", k).value
+        c = cpu.top_k("v", k).value
+        assert g.threshold == c.threshold
+        assert np.array_equal(g.record_ids, c.record_ids)
+
+
+class TestHistogram:
+    def test_matches_cpu(self):
+        relation, gpu, cpu = _engines()
+        for buckets in (1, 4, 16, 100):
+            g_edges, g_counts = gpu.histogram("v", buckets).value
+            c_edges, c_counts = cpu.histogram("v", buckets).value
+            assert np.array_equal(g_edges, c_edges)
+            assert np.array_equal(g_counts, c_counts)
+            assert g_counts.sum() == relation.num_records
+
+    def test_counts_match_numpy(self):
+        relation, gpu, _cpu = _engines(seed=9)
+        values = relation.column("v").values.astype(np.int64)
+        edges, counts = gpu.histogram("v", 8).value
+        for index in range(counts.size):
+            low, high = edges[index], edges[index + 1] - 1
+            assert counts[index] == int(
+                np.count_nonzero((values >= low) & (values <= high))
+            )
+
+    def test_one_pass_per_bucket(self):
+        _relation, gpu, _cpu = _engines()
+        result = gpu.histogram("v", 8)
+        non_copy = [
+            p
+            for p in result.compute.passes
+            if not (p.program or "").startswith("copy-to-depth")
+        ]
+        assert len(non_copy) == 8
+
+    def test_validation(self):
+        _relation, gpu, cpu = _engines()
+        for engine in (gpu, cpu):
+            with pytest.raises(QueryError):
+                engine.histogram("v", 0)
+        float_relation = Relation(
+            "f", [Column.floating("x", [0.5, 1.5])]
+        )
+        with pytest.raises(QueryError):
+            GpuEngine(float_relation).histogram("x")
+        with pytest.raises(QueryError):
+            CpuEngine(float_relation).histogram("x")

@@ -1,0 +1,63 @@
+"""CPU aggregation baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.aggregate import (
+    average,
+    count,
+    exact_sum,
+    float_sum,
+    maximum,
+    minimum,
+)
+from repro.errors import QueryError
+
+
+class TestExactSum:
+    @given(st.lists(st.integers(0, 2**24 - 1), max_size=300))
+    def test_matches_python_bigint(self, values):
+        assert exact_sum(np.array(values, dtype=np.float32)) == sum(
+            int(v) for v in values
+        )
+
+    def test_masked(self):
+        values = np.array([1, 2, 3, 4])
+        mask = np.array([True, False, True, False])
+        assert exact_sum(values, mask) == 4
+
+    def test_float_sum_can_drift_on_large_data(self):
+        # The reason the paper's Accumulator exists: float32
+        # accumulation of many 24-bit values loses low-order bits.
+        values = np.full(200_000, (1 << 24) - 1, dtype=np.float32)
+        exact = exact_sum(values)
+        drifted = float_sum(values)
+        assert drifted != exact
+
+
+class TestMinMaxAvgCount:
+    def test_basic(self):
+        values = np.array([4, 1, 7, 7, 2])
+        assert maximum(values) == 7
+        assert minimum(values) == 1
+        assert average(values) == 21 / 5
+        assert count(values > 2) == 3
+
+    def test_masked(self):
+        values = np.array([4, 1, 7, 7, 2])
+        mask = values < 5
+        assert maximum(values, mask) == 4
+        assert minimum(values, mask) == 1
+        assert average(values, mask) == 7 / 3
+
+    def test_empty_selection_rejected(self):
+        values = np.array([1.0])
+        empty = np.array([False])
+        with pytest.raises(QueryError):
+            maximum(values, empty)
+        with pytest.raises(QueryError):
+            minimum(values, empty)
+        with pytest.raises(QueryError):
+            average(values, empty)

@@ -1,0 +1,87 @@
+"""CPU cost model: structure and calibration sanity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.cost import CpuCostModel
+
+
+@pytest.fixture()
+def model():
+    return CpuCostModel()
+
+
+class TestScans:
+    def test_linear_in_records(self, model):
+        assert model.predicate_scan_s(2_000_000) == pytest.approx(
+            2 * model.predicate_scan_s(1_000_000)
+        )
+
+    def test_linear_in_terms(self, model):
+        # Figure 5: multi-attribute CPU time grows with attribute count.
+        one = model.predicate_scan_s(1_000_000, terms=1)
+        four = model.predicate_scan_s(1_000_000, terms=4)
+        assert four == pytest.approx(4 * one)
+
+    def test_range_cheaper_than_two_predicates(self, model):
+        # A fused range scan beats two independent scans.
+        assert model.range_scan_s(1000) < 2 * model.predicate_scan_s(1000)
+        assert model.range_scan_s(1000) > model.predicate_scan_s(1000)
+
+    def test_semilinear_scales_with_attributes(self, model):
+        assert model.semilinear_scan_s(
+            1000, attributes=2
+        ) == pytest.approx(model.semilinear_scan_s(1000, 4) / 2)
+
+
+class TestQuickSelectModel:
+    def test_median_visits_is_classical_3_39(self, model):
+        visits = model.quickselect_visits_per_element(None, 10**6)
+        assert 3.35 < visits < 3.42
+
+    def test_extreme_k_visits_approach_2(self, model):
+        visits = model.quickselect_visits_per_element(1, 10**6)
+        assert 2.0 <= visits < 2.1
+
+    @given(st.integers(1, 999_999))
+    def test_median_is_worst_case(self, k):
+        model = CpuCostModel()
+        records = 1_000_000
+        assert model.quickselect_visits_per_element(
+            k, records
+        ) <= model.quickselect_visits_per_element(None, records) + 1e-9
+
+    def test_misprediction_term_present(self, model):
+        # Section 6.2.1: 17-cycle penalty at ~50% mispredict rate.
+        base = CpuCostModel(quickselect_miss_rate=0.0)
+        assert model.quickselect_cycles_per_visit() > (
+            base.quickselect_cycles_per_visit()
+        )
+        delta = (
+            model.quickselect_cycles_per_visit()
+            - base.quickselect_cycles_per_visit()
+        )
+        assert delta == pytest.approx(0.5 * 17.0)
+
+    def test_selection_adds_compaction(self, model):
+        plain = model.quickselect_s(800_000)
+        with_selection = model.quickselect_with_selection_s(
+            1_000_000, 0.8
+        )
+        assert with_selection > plain
+
+    def test_small_inputs_do_not_crash(self, model):
+        assert model.quickselect_s(1) >= 0
+        assert model.quickselect_visits_per_element(1, 1) == 2.0
+
+
+class TestAggregationAndSort:
+    def test_sum_much_cheaper_than_scan(self, model):
+        # SIMD accumulation beats predicate scans (figure 10's winner).
+        assert model.sum_s(10**6) < model.predicate_scan_s(10**6)
+
+    def test_sort_superlinear(self, model):
+        assert model.sort_s(2_000_000) > 2 * model.sort_s(1_000_000)
+        assert model.sort_s(1) == 0.0
+        assert model.sort_s(0) == 0.0

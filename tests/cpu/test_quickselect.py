@@ -1,0 +1,74 @@
+"""QuickSelect / partition_select correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.quickselect import (
+    median,
+    partition_select,
+    quickselect,
+)
+from repro.errors import QueryError
+
+
+class TestQuickSelect:
+    @given(
+        st.lists(st.integers(0, 1000), min_size=1, max_size=200),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sorted_order(self, values, data):
+        k = data.draw(st.integers(1, len(values)))
+        expected = sorted(values, reverse=True)[k - 1]
+        assert quickselect(np.array(values), k) == expected
+        assert partition_select(np.array(values), k) == expected
+
+    def test_k_one_is_maximum(self):
+        values = np.array([5, 1, 9, 3])
+        assert quickselect(values, 1) == 9
+        assert partition_select(values, 1) == 9
+
+    def test_k_n_is_minimum(self):
+        values = np.array([5, 1, 9, 3])
+        assert quickselect(values, 4) == 1
+
+    def test_duplicates(self):
+        values = np.array([7, 7, 7, 7])
+        for k in range(1, 5):
+            assert quickselect(values, k) == 7
+
+    def test_input_not_rearranged(self):
+        values = np.array([3, 1, 2])
+        quickselect(values, 2)
+        assert np.array_equal(values, [3, 1, 2])
+
+    def test_k_out_of_range(self):
+        values = np.array([1, 2, 3])
+        for bad_k in (0, 4, -1):
+            with pytest.raises(QueryError):
+                quickselect(values, bad_k)
+            with pytest.raises(QueryError):
+                partition_select(values, bad_k)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            quickselect(np.array([]), 1)
+
+
+class TestMedian:
+    def test_paper_convention_single_order_statistic(self):
+        # ceil(n/2)-th largest, no averaging.
+        assert median(np.array([1, 2, 3, 4])) == 3
+        assert median(np.array([1, 2, 3, 4, 5])) == 3
+
+    def test_faithful_variant_agrees(self):
+        values = np.random.default_rng(0).integers(0, 99, 101)
+        assert median(values, vectorized=True) == median(
+            values, vectorized=False
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            median(np.array([]))

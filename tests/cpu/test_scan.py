@@ -1,0 +1,143 @@
+"""CPU scan baselines vs NumPy ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.scan import (
+    compact,
+    conjunctive_mask,
+    predicate_count,
+    predicate_mask,
+    predicate_mask_scalar,
+    range_mask,
+    range_mask_scalar,
+    semilinear_mask,
+)
+from repro.errors import QueryError
+from repro.gpu.types import CompareFunc
+
+VALUE_OPS = [
+    CompareFunc.LESS,
+    CompareFunc.LEQUAL,
+    CompareFunc.GREATER,
+    CompareFunc.GEQUAL,
+    CompareFunc.EQUAL,
+    CompareFunc.NOTEQUAL,
+]
+
+
+@pytest.fixture(scope="module")
+def values():
+    return np.random.default_rng(3).integers(0, 1000, 500)
+
+
+class TestPredicate:
+    @pytest.mark.parametrize("op", VALUE_OPS)
+    def test_matches_numpy(self, values, op):
+        mask = predicate_mask(values, op, 500)
+        assert np.array_equal(mask, op.apply(values, 500))
+
+    def test_count(self, values):
+        assert predicate_count(
+            values, CompareFunc.LESS, 500
+        ) == int(np.count_nonzero(values < 500))
+
+    @pytest.mark.parametrize("op", VALUE_OPS)
+    def test_scalar_variant_identical(self, op):
+        values = np.random.default_rng(1).integers(0, 50, 80)
+        vectorized = predicate_mask(values, op, 25)
+        scalar = predicate_mask_scalar(values, op, 25)
+        assert np.array_equal(vectorized, scalar)
+
+
+class TestRange:
+    def test_inclusive_bounds(self):
+        values = np.array([1, 2, 3, 4, 5])
+        assert np.array_equal(
+            range_mask(values, 2, 4), [False, True, True, True, False]
+        )
+
+    def test_scalar_variant_identical(self, values):
+        assert np.array_equal(
+            range_mask(values, 100, 600),
+            range_mask_scalar(values, 100, 600),
+        )
+
+    @given(
+        low=st.integers(0, 1000),
+        span=st.integers(0, 1000),
+    )
+    def test_range_equals_two_predicates(self, low, span):
+        values = np.arange(0, 2000, 7)
+        high = low + span
+        combined = predicate_mask(
+            values, CompareFunc.GEQUAL, low
+        ) & predicate_mask(values, CompareFunc.LEQUAL, high)
+        assert np.array_equal(range_mask(values, low, high), combined)
+
+
+class TestConjunctive:
+    def test_multi_column_and(self, values):
+        other = values[::-1].copy()
+        mask = conjunctive_mask(
+            [values, other],
+            [CompareFunc.GEQUAL, CompareFunc.LESS],
+            [200, 700],
+        )
+        assert np.array_equal(mask, (values >= 200) & (other < 700))
+
+    def test_misaligned_inputs_rejected(self, values):
+        with pytest.raises(QueryError):
+            conjunctive_mask([values], [CompareFunc.LESS], [1, 2])
+        with pytest.raises(QueryError):
+            conjunctive_mask([], [], [])
+
+
+class TestSemilinear:
+    def test_float32_dot(self):
+        columns = [
+            np.array([1.0, 2.0]),
+            np.array([3.0, 4.0]),
+        ]
+        mask = semilinear_mask(
+            columns, [2.0, -1.0], CompareFunc.GREATER, 0.0
+        )
+        # 2*1-3 = -1; 2*2-4 = 0
+        assert np.array_equal(mask, [False, False])
+
+    def test_coefficient_count_enforced(self):
+        with pytest.raises(QueryError):
+            semilinear_mask(
+                [np.zeros(3)], [1.0, 2.0], CompareFunc.LESS, 0.0
+            )
+
+    @given(
+        st.lists(
+            st.integers(0, 2**16),
+            min_size=4,
+            max_size=4,
+        )
+    )
+    def test_matches_float32_reference(self, row):
+        columns = [np.array([v], dtype=np.float32) for v in row]
+        coefficients = np.array(
+            [0.5, -0.25, 1.0, -1.0], dtype=np.float32
+        )
+        mask = semilinear_mask(
+            columns, coefficients, CompareFunc.GEQUAL, 10.0
+        )
+        total = np.float32(0.0)
+        for value, coefficient in zip(row, coefficients):
+            total += np.float32(value) * coefficient
+        assert mask[0] == bool(total >= np.float32(10.0))
+
+
+class TestCompact:
+    def test_copies_selected(self, values):
+        mask = values > 500
+        dense = compact(values, mask)
+        assert np.array_equal(dense, values[mask])
+        dense[:] = -1  # must be a copy
+        assert not np.any(values < 0)

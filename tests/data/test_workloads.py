@@ -1,0 +1,244 @@
+"""Workload generators and selectivity calibration."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    achieved_selectivity,
+    make_census,
+    make_tcpip,
+    range_for_selectivity,
+    threshold_for_selectivity,
+)
+from repro.data.distributions import (
+    correlated_ints,
+    heavy_tail_ints,
+    lognormal_ints,
+    uniform_ints,
+)
+from repro.data.tcpip import ATTRIBUTES, DATA_COUNT_BITS
+from repro.errors import DataError
+from repro.gpu.types import CompareFunc
+
+
+class TestTcpip:
+    def test_schema(self):
+        relation = make_tcpip(5000)
+        assert relation.column_names == list(ATTRIBUTES)
+        assert relation.num_records == 5000
+
+    def test_deterministic_given_seed(self):
+        first = make_tcpip(2000, seed=5)
+        second = make_tcpip(2000, seed=5)
+        for name in ATTRIBUTES:
+            assert np.array_equal(
+                first.column(name).values, second.column(name).values
+            )
+        third = make_tcpip(2000, seed=6)
+        assert not np.array_equal(
+            first.column("data_count").values,
+            third.column("data_count").values,
+        )
+
+    def test_data_count_spans_19_bits(self):
+        # Section 5.9: data_count needs 19 bits; pass counts depend on it.
+        relation = make_tcpip(10_000)
+        column = relation.column("data_count")
+        assert column.bits == DATA_COUNT_BITS
+        assert column.values.max() >= (1 << (DATA_COUNT_BITS - 1))
+
+    def test_data_count_heavy_tail(self):
+        values = make_tcpip(50_000).column("data_count").values
+        assert np.median(values) < values.mean()  # right-skewed
+
+    def test_retransmissions_correlate_with_loss(self):
+        relation = make_tcpip(50_000)
+        loss = relation.column("data_loss").values
+        retrans = relation.column("retransmissions").values
+        correlation = np.corrcoef(loss, retrans)[0, 1]
+        assert correlation > 0.3
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(DataError):
+            make_tcpip(0)
+
+
+class TestCensus:
+    def test_schema_and_ranges(self):
+        relation = make_census(5000)
+        assert relation.num_records == 5000
+        age = relation.column("age").values
+        assert age.min() >= 16 and age.max() <= 99
+        education = relation.column("education_years").values
+        assert education.max() <= 20
+
+    def test_income_education_premium(self):
+        relation = make_census(40_000)
+        income = relation.column("monthly_income").values
+        education = relation.column("education_years").values
+        low = income[education <= 10].mean()
+        high = income[education >= 16].mean()
+        assert high > low
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(DataError):
+            make_census(-1)
+
+
+class TestDistributions:
+    def test_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        values = uniform_ints(10_000, 8, rng)
+        assert values.min() >= 0 and values.max() < 256
+
+    def test_heavy_tail_clipped(self):
+        rng = np.random.default_rng(0)
+        values = heavy_tail_ints(10_000, 10, rng)
+        assert values.max() <= 1023
+
+    def test_lognormal_cap(self):
+        rng = np.random.default_rng(0)
+        values = lognormal_ints(10_000, rng, cap_bits=12)
+        assert values.max() < 4096
+
+    def test_correlated_validation(self):
+        rng = np.random.default_rng(0)
+        base = uniform_ints(100, 8, rng)
+        with pytest.raises(DataError):
+            correlated_ints(base, 8, rng, correlation=1.5)
+
+    def test_bits_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataError):
+            uniform_ints(10, 25, rng)
+        with pytest.raises(DataError):
+            uniform_ints(-1, 8, rng)
+
+
+class TestSelectivityCalibration:
+    def test_threshold_geq(self):
+        values = np.arange(10_000)
+        threshold = threshold_for_selectivity(
+            values, 0.6, CompareFunc.GEQUAL
+        )
+        achieved = achieved_selectivity(values >= threshold)
+        assert abs(achieved - 0.6) < 0.01
+
+    def test_threshold_less(self):
+        values = np.arange(10_000)
+        threshold = threshold_for_selectivity(
+            values, 0.25, CompareFunc.LESS
+        )
+        achieved = achieved_selectivity(values < threshold)
+        assert abs(achieved - 0.25) < 0.01
+
+    def test_range_60_percent_is_20th_to_80th(self):
+        # The paper's figure 4 protocol.
+        values = np.arange(10_000)
+        low, high = range_for_selectivity(values, 0.6)
+        assert abs(low - np.quantile(values, 0.2)) <= 1
+        assert abs(high - np.quantile(values, 0.8)) <= 1
+        achieved = achieved_selectivity(
+            (values >= low) & (values <= high)
+        )
+        assert abs(achieved - 0.6) < 0.01
+
+    def test_center_shifts_window(self):
+        values = np.arange(10_000)
+        low, high = range_for_selectivity(values, 0.2, center=0.9)
+        assert low > np.quantile(values, 0.5)
+        assert high <= values.max()
+
+    def test_skewed_data_still_calibrates(self):
+        rng = np.random.default_rng(1)
+        values = heavy_tail_ints(50_000, 19, rng)
+        threshold = threshold_for_selectivity(
+            values, 0.6, CompareFunc.GEQUAL
+        )
+        achieved = achieved_selectivity(values >= threshold)
+        assert abs(achieved - 0.6) < 0.05
+
+    def test_validation(self):
+        values = np.arange(10)
+        with pytest.raises(DataError):
+            threshold_for_selectivity(values, 0.0)
+        with pytest.raises(DataError):
+            threshold_for_selectivity(values, 1.0)
+        with pytest.raises(DataError):
+            threshold_for_selectivity(
+                values, 0.5, CompareFunc.EQUAL
+            )
+        with pytest.raises(DataError):
+            threshold_for_selectivity(np.array([]), 0.5)
+        with pytest.raises(DataError):
+            range_for_selectivity(np.array([]), 0.5)
+
+    def test_achieved_selectivity_empty(self):
+        assert achieved_selectivity(np.array([])) == 0.0
+
+
+class TestRetail:
+    def test_schema_and_referential_shape(self):
+        from repro.data import make_retail
+
+        orders, customers = make_retail(5000, 300, seed=1)
+        assert orders.num_records == 5000
+        assert customers.num_records == 300
+        ids = customers.column("id").values.astype(int)
+        assert np.array_equal(ids, np.arange(300))
+        # Same bit width on both sides of the join key.
+        assert (
+            orders.column("customer_id").bits
+            == customers.column("id").bits
+        )
+
+    def test_dangling_fraction_controls_misses(self):
+        from repro.data import make_retail
+
+        orders, customers = make_retail(
+            8000, 400, dangling_fraction=0.2, seed=2
+        )
+        cid = orders.column("customer_id").values
+        dangling = float((cid >= 400).mean())
+        assert 0.15 < dangling < 0.25
+
+        clean_orders, _ = make_retail(
+            8000, 400, dangling_fraction=0.0, seed=2
+        )
+        assert clean_orders.column("customer_id").values.max() < 400
+
+    def test_zipf_skew(self):
+        from repro.data import make_retail
+
+        orders, _ = make_retail(
+            30_000, 500, dangling_fraction=0.0, seed=3
+        )
+        cid = orders.column("customer_id").values.astype(int)
+        counts = np.bincount(cid, minlength=500)
+        top_share = np.sort(counts)[::-1][:50].sum() / counts.sum()
+        assert top_share > 0.4  # head customers dominate
+
+    def test_validation(self):
+        from repro.data import make_retail
+
+        with pytest.raises(DataError):
+            make_retail(0, 10)
+        with pytest.raises(DataError):
+            make_retail(10, 10, dangling_fraction=1.5)
+
+    def test_join_roundtrip_through_sql(self):
+        from repro.data import make_retail
+        from repro.sql import Database
+
+        orders, customers = make_retail(2000, 150, seed=4)
+        db = Database()
+        db.register(orders)
+        db.register(customers)
+        sql = (
+            "SELECT COUNT(*) FROM orders JOIN customers "
+            "ON orders.customer_id = customers.id"
+        )
+        gpu = db.query(sql, device="gpu").scalar
+        cpu = db.query(sql, device="cpu").scalar
+        live = orders.column("customer_id").values < 150
+        assert gpu == cpu == int(live.sum())

@@ -1,0 +1,107 @@
+"""Bitonic merge sort on the simulated GPU."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GpuError
+from repro.ext.bitonic_sort import (
+    SENTINEL,
+    bitonic_sort_texture,
+    num_sort_passes,
+    sort_stage_program,
+    sort_values,
+)
+from repro.gpu import Device, Texture
+
+
+class TestSortValues:
+    @given(
+        st.lists(
+            st.integers(0, 2**20), min_size=1, max_size=256
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sorts_any_input(self, values):
+        got, _device = sort_values(np.array(values))
+        assert np.array_equal(
+            got.astype(np.int64), np.sort(np.array(values))
+        )
+
+    def test_non_power_of_two_padded_with_sentinel(self):
+        values = np.array([5, 3, 9])
+        got, _device = sort_values(values)
+        assert np.array_equal(got.astype(int), [3, 5, 9])
+
+    def test_values_equal_to_sentinel_survive(self):
+        values = np.array([int(SENTINEL), 0, int(SENTINEL)])
+        got, _device = sort_values(values)
+        assert np.array_equal(
+            got.astype(np.int64), np.sort(values)
+        )
+
+    def test_already_sorted_and_reversed(self):
+        ascending = np.arange(64)
+        got, _device = sort_values(ascending)
+        assert np.array_equal(got.astype(int), ascending)
+        got, _device = sort_values(ascending[::-1].copy())
+        assert np.array_equal(got.astype(int), ascending)
+
+    def test_all_duplicates(self):
+        values = np.full(32, 7)
+        got, _device = sort_values(values)
+        assert np.array_equal(got.astype(int), values)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GpuError):
+            sort_values(np.array([]))
+
+    def test_wrong_device_shape_rejected(self):
+        with pytest.raises(GpuError, match="framebuffer"):
+            sort_values(np.arange(64), device=Device(2, 2))
+
+
+class TestSortTexture:
+    def test_non_power_of_two_texture_rejected(self):
+        device = Device(3, 3)
+        texture = Texture(np.zeros((3, 3), dtype=np.float32))
+        with pytest.raises(GpuError, match="power-of-two"):
+            bitonic_sort_texture(device, texture)
+
+    def test_texture_framebuffer_mismatch_rejected(self):
+        device = Device(4, 4)
+        texture = Texture(np.zeros((2, 2), dtype=np.float32))
+        with pytest.raises(GpuError, match="match"):
+            bitonic_sort_texture(device, texture)
+
+    def test_row_major_linear_order(self):
+        device = Device(2, 4)
+        data = np.array(
+            [[7, 3, 5, 1], [8, 2, 6, 4]], dtype=np.float32
+        )
+        texture = Texture(data)
+        bitonic_sort_texture(device, texture)
+        assert np.array_equal(
+            texture.linear_view()[:, 0], np.arange(1, 9)
+        )
+
+
+class TestCostStructure:
+    def test_pass_counts(self):
+        # log2(N) * (log2(N) + 1) / 2 stages.
+        assert num_sort_passes(2) == 1
+        assert num_sort_passes(4) == 3
+        assert num_sort_passes(1024) == 55
+        assert num_sort_passes(3) == 3  # padded to 4
+
+    def test_stage_program_within_register_budget(self):
+        program = sort_stage_program()
+        assert program.num_instructions >= 20  # genuinely expensive
+        assert not program.writes_depth
+
+    def test_each_stage_records_two_passes(self):
+        values = np.arange(16)[::-1].copy()
+        _got, device = sort_values(values)
+        # One render + one framebuffer copy per stage.
+        assert device.stats.num_passes == 2 * num_sort_passes(16)

@@ -1,0 +1,153 @@
+"""GPU-histogram joins vs the nested-loop reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Column, GpuEngine, Relation
+from repro.errors import QueryError
+from repro.ext.join import (
+    band_join,
+    gpu_histogram,
+    nested_loop_join,
+)
+
+
+def _engine(name, values, bits):
+    return GpuEngine(
+        Relation(name, [Column.integer("v", values, bits=bits)])
+    )
+
+
+@pytest.fixture(scope="module")
+def engines():
+    rng = np.random.default_rng(17)
+    left = rng.integers(0, 512, 250)
+    right = rng.integers(0, 512, 180)
+    return (
+        _engine("L", left, 9),
+        _engine("R", right, 9),
+        left,
+        right,
+    )
+
+
+class TestHistogram:
+    def test_counts_sum_to_records(self, engines):
+        left, _right, values, _rv = engines
+        histogram = gpu_histogram(left, "v", buckets=16)
+        assert histogram.counts.sum() == values.size
+
+    def test_counts_match_numpy(self, engines):
+        left, _right, values, _rv = engines
+        histogram = gpu_histogram(left, "v", buckets=8)
+        for index in range(histogram.num_buckets):
+            low, high = histogram.bucket_bounds(index)
+            expected = int(
+                np.count_nonzero((values >= low) & (values <= high))
+            )
+            assert histogram.counts[index] == expected
+
+    def test_buckets_cover_domain_without_overlap(self, engines):
+        left, _right, _values, _rv = engines
+        histogram = gpu_histogram(left, "v", buckets=10)
+        assert histogram.edges[0] == 0
+        assert histogram.edges[-1] == 512
+        assert np.all(np.diff(histogram.edges) > 0)
+
+    def test_float_column_rejected(self):
+        engine = GpuEngine(
+            Relation("f", [Column.floating("v", [0.5, 1.5])])
+        )
+        with pytest.raises(QueryError):
+            gpu_histogram(engine, "v")
+
+    def test_bad_bucket_count(self, engines):
+        left = engines[0]
+        from repro.ext.join import _bucket_edges
+
+        with pytest.raises(QueryError):
+            _bucket_edges(0, 10, 0)
+        with pytest.raises(QueryError):
+            _bucket_edges(10, 0, 4)
+
+
+class TestBandJoin:
+    @pytest.mark.parametrize("band", [0, 1, 10, 100])
+    def test_matches_nested_loop(self, engines, band):
+        left, right, lv, rv = engines
+        result = band_join(left, right, "v", "v", band=band)
+        reference = nested_loop_join(lv, rv, band)
+        assert np.array_equal(result.pairs, reference)
+
+    def test_pruning_actually_prunes(self, engines):
+        left, right, _lv, _rv = engines
+        result = band_join(left, right, "v", "v", band=0, buckets=16)
+        assert result.bucket_pairs_survived < result.bucket_pairs_total
+        assert result.candidates_checked < 250 * 180
+
+    def test_no_matches(self):
+        left = _engine("L", np.array([0, 1, 2]), 9)
+        right = _engine("R", np.array([500, 501]), 9)
+        result = band_join(left, right, "v", "v", band=0)
+        assert result.num_matches == 0
+        assert result.pairs.shape == (0, 2)
+
+    def test_negative_band_rejected(self, engines):
+        left, right, _lv, _rv = engines
+        with pytest.raises(QueryError):
+            band_join(left, right, "v", "v", band=-1)
+
+    @given(
+        lv=st.lists(st.integers(0, 63), min_size=1, max_size=40),
+        rv=st.lists(st.integers(0, 63), min_size=1, max_size=40),
+        band=st.integers(0, 8),
+        buckets=st.integers(1, 12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_reference(self, lv, rv, band, buckets):
+        left = _engine("L", np.array(lv), 6)
+        right = _engine("R", np.array(rv), 6)
+        result = band_join(
+            left, right, "v", "v", band=band, buckets=buckets
+        )
+        reference = nested_loop_join(np.array(lv), np.array(rv), band)
+        assert np.array_equal(result.pairs, reference)
+
+
+class TestHashEquiJoin:
+    def test_empty_inputs(self):
+        from repro.ext import hash_equi_join
+
+        assert hash_equi_join(np.array([]), np.array([1])).shape == (
+            0,
+            2,
+        )
+        assert hash_equi_join(np.array([1]), np.array([])).shape == (
+            0,
+            2,
+        )
+
+    @given(
+        lv=st.lists(st.integers(0, 20), min_size=0, max_size=50),
+        rv=st.lists(st.integers(0, 20), min_size=0, max_size=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_nested_loop(self, lv, rv):
+        from repro.ext import hash_equi_join
+
+        got = hash_equi_join(np.array(lv), np.array(rv))
+        if not lv or not rv:
+            assert got.shape == (0, 2)
+            return
+        expected = nested_loop_join(np.array(lv), np.array(rv), 0)
+        assert np.array_equal(got, expected)
+
+    def test_duplicate_fanout(self):
+        from repro.ext import hash_equi_join
+
+        pairs = hash_equi_join(
+            np.array([5, 5]), np.array([5, 5, 5])
+        )
+        assert pairs.shape == (6, 2)

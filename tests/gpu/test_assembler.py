@@ -1,0 +1,229 @@
+"""Fragment-program assembler: parsing, validation, diagnostics."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.gpu.assembler import assemble
+from repro.gpu.isa import Opcode, OutputRegister, Swizzle, WriteMask
+from repro.gpu.programs import (
+    copy_to_depth_program,
+    passthrough_program,
+    semilinear_program,
+)
+from repro.gpu.programs import test_bit_kil_program as bit_kil_program
+from repro.gpu.programs import test_bit_program as bit_program
+from repro.gpu.types import CompareFunc
+
+
+def _assemble_lines(*lines):
+    return assemble("\n".join(("!!FP1.0",) + lines + ("END",)))
+
+
+class TestBasicParsing:
+    def test_minimal_program(self):
+        program = _assemble_lines("MOV o[COLR], f[COL0];")
+        assert program.num_instructions == 1
+        assert program.instructions[0].opcode is Opcode.MOV
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble(
+            "!!FP1.0\n"
+            "# a comment\n"
+            "\n"
+            "MOV o[COLR], f[COL0]; # trailing comment\n"
+            "END\n"
+        )
+        assert program.num_instructions == 1
+
+    def test_missing_header(self):
+        with pytest.raises(AssemblyError, match="FP1.0"):
+            assemble("MOV o[COLR], f[COL0];\nEND")
+
+    def test_missing_footer(self):
+        with pytest.raises(AssemblyError, match="END"):
+            assemble("!!FP1.0\nMOV o[COLR], f[COL0];")
+
+    def test_empty_program(self):
+        with pytest.raises(AssemblyError, match="no instructions"):
+            assemble("!!FP1.0\nEND")
+        with pytest.raises(AssemblyError, match="empty"):
+            assemble("   \n  # only a comment\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("!!FP1.0\nMOV R0, f[COL0];\nBOGUS R0, R1;\nEND")
+
+    def test_semicolon_optional(self):
+        program = _assemble_lines("MOV o[COLR], f[COL0]")
+        assert program.num_instructions == 1
+
+
+class TestOperands:
+    def test_swizzles(self):
+        program = _assemble_lines("MOV R0, R1.wzyx;", "MOV R1, R0.x;")
+        # Need R1 initialized; parse-level check only.
+        assert program.instructions[0].sources[0].swizzle == Swizzle(
+            (3, 2, 1, 0)
+        )
+        assert program.instructions[1].sources[0].swizzle == Swizzle(
+            (0, 0, 0, 0)
+        )
+
+    def test_bad_swizzle_length(self):
+        with pytest.raises(AssemblyError, match="swizzle"):
+            _assemble_lines("MOV R0, R1.xy;")
+
+    def test_write_mask_order_enforced(self):
+        program = _assemble_lines("MOV R0.xz, f[COL0];")
+        assert program.instructions[0].dest.mask == WriteMask(
+            (True, False, True, False)
+        )
+        with pytest.raises(AssemblyError, match="xyzw order"):
+            _assemble_lines("MOV R0.zx, f[COL0];")
+
+    def test_negation(self):
+        program = _assemble_lines("MOV R0, -f[COL0];")
+        assert program.instructions[0].sources[0].negate
+
+    def test_literals(self):
+        program = _assemble_lines("ADD R0, f[COL0], {1, 2, 3, 4};")
+        assert program.instructions[0].sources[1].literal == (1, 2, 3, 4)
+
+    def test_scalar_literal_splats(self):
+        program = _assemble_lines("ADD R0, f[COL0], {0.5};")
+        assert program.instructions[0].sources[1].literal == (
+            0.5,
+            0.5,
+            0.5,
+            0.5,
+        )
+
+    def test_bad_literal_arity(self):
+        with pytest.raises(AssemblyError, match="literal"):
+            _assemble_lines("ADD R0, f[COL0], {1, 2};")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(AssemblyError, match="unbalanced"):
+            _assemble_lines("ADD R0, f[COL0], {1, 2, 3, 4;")
+
+    def test_register_range_checks(self):
+        with pytest.raises(AssemblyError, match="R12"):
+            _assemble_lines("MOV R12, f[COL0];")
+        with pytest.raises(AssemblyError, match="p\\[16\\]"):
+            _assemble_lines("MOV R0, p[16];")
+
+    def test_unknown_fragment_attribute(self):
+        with pytest.raises(AssemblyError, match="NOPE"):
+            _assemble_lines("MOV R0, f[NOPE];")
+
+    def test_unknown_output(self):
+        with pytest.raises(AssemblyError, match="o\\[BAD\\]"):
+            _assemble_lines("MOV o[BAD], f[COL0];")
+
+    def test_output_not_readable(self):
+        with pytest.raises(AssemblyError, match="source"):
+            _assemble_lines("MOV R0, o[COLR];")
+
+    def test_operand_count_enforced(self):
+        with pytest.raises(AssemblyError, match="expects 3 operands"):
+            _assemble_lines("ADD R0, f[COL0];")
+        with pytest.raises(AssemblyError, match="expects 4 operands"):
+            _assemble_lines("MAD R0, R0, R0;")
+
+
+class TestTexAndKil:
+    def test_tex_form(self):
+        program = _assemble_lines("TEX R0, f[TEX0], TEX2, 2D;")
+        instruction = program.instructions[0]
+        assert instruction.texture_unit == 2
+        assert program.texture_units == {2}
+
+    def test_tex_unit_range(self):
+        with pytest.raises(AssemblyError, match="texture unit"):
+            _assemble_lines("TEX R0, f[TEX0], TEX9, 2D;")
+
+    def test_tex_target_must_be_2d(self):
+        with pytest.raises(AssemblyError, match="2D"):
+            _assemble_lines("TEX R0, f[TEX0], TEX0, 3D;")
+
+    def test_tex_operand_count(self):
+        with pytest.raises(AssemblyError, match="TEX expects"):
+            _assemble_lines("TEX R0, f[TEX0];")
+
+    def test_kil_has_no_dest(self):
+        program = _assemble_lines("KIL f[COL0];")
+        assert program.instructions[0].dest is None
+        assert program.uses_kil
+
+    def test_kil_single_source(self):
+        with pytest.raises(AssemblyError, match="KIL"):
+            _assemble_lines("KIL R0, R1;")
+
+
+class TestProgramProperties:
+    def test_copy_program_is_three_instructions(self):
+        # The paper's section 5.4 copy program: fetch, normalize, copy.
+        program = copy_to_depth_program()
+        assert program.num_instructions == 3
+        assert program.writes_depth
+        assert not program.uses_kil
+
+    def test_copy_program_channel_variants(self):
+        for channel in range(4):
+            program = copy_to_depth_program(channel)
+            assert program.writes_depth
+
+    def test_test_bit_is_five_instructions(self):
+        # Section 6.2.3: "a fragment program with at least 5 instructions".
+        program = bit_program()
+        assert program.num_instructions == 5
+        assert program.writes_color
+        assert not program.writes_depth
+
+    def test_test_bit_kil_is_longer_than_alpha_variant(self):
+        # The reason the alpha test wins (section 4.3.3).
+        assert (
+            bit_kil_program().num_instructions
+            > bit_program().num_instructions
+        )
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            CompareFunc.LESS,
+            CompareFunc.LEQUAL,
+            CompareFunc.GREATER,
+            CompareFunc.GEQUAL,
+            CompareFunc.EQUAL,
+            CompareFunc.NOTEQUAL,
+        ],
+    )
+    def test_semilinear_programs_assemble(self, op):
+        program = semilinear_program(op)
+        assert program.uses_kil
+        assert not program.writes_depth
+
+    def test_semilinear_rejects_never_always(self):
+        from repro.errors import GpuError
+
+        with pytest.raises(GpuError):
+            semilinear_program(CompareFunc.ALWAYS)
+
+    def test_describe_round_trips(self):
+        for program in (
+            copy_to_depth_program(),
+            bit_program(),
+            semilinear_program(CompareFunc.GEQUAL),
+            passthrough_program(),
+        ):
+            text = program.describe()
+            reassembled = assemble(text, name="round-trip")
+            assert (
+                reassembled.num_instructions == program.num_instructions
+            )
+            assert reassembled.describe() == text
+
+    def test_writes_depth_detection(self):
+        program = _assemble_lines("MOV o[DEPR].z, f[COL0].x;")
+        assert program.writes_depth
+        assert program.instructions[0].dest.output is OutputRegister.DEPR

@@ -1,0 +1,126 @@
+"""GPU cost model: calibration anchors and pricing rules."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.gpu import CompareFunc, Device, GpuCostModel, Texture
+from repro.gpu.cost import ZERO_TIME, GpuTime
+from repro.gpu.counters import PassStats, PipelineStats
+from repro.gpu.programs import copy_to_depth_program
+from repro.gpu.programs import test_bit_program as bit_program
+
+
+@pytest.fixture()
+def model():
+    return GpuCostModel()
+
+
+class TestCalibrationAnchors:
+    def test_million_fragment_quad_is_0_278_ms(self, model):
+        """Paper section 6.2.2: 'we can render a single quad of size
+        1000x1000 in 0.278 ms' (fill-rate only; pass overhead added)."""
+        time = model.quad_pass_time_s(1_000_000)
+        assert (
+            abs(time - model.pass_overhead_s - 0.278e-3) < 0.002e-3
+        )
+
+    def test_nineteen_passes_near_observed_6_6_ms(self, model):
+        """Paper: 19 quads ideal 5.28 ms, observed 6.6 ms."""
+        total = sum(
+            model.quad_pass_time_s(1_000_000) for _ in range(19)
+        )
+        assert 5.28e-3 < total < 7.5e-3
+
+    def test_copy_pass_near_2_8_ms_per_million(self, model):
+        """The slow depth path: ~2.8 ms to copy 10^6 records."""
+        stats = PipelineStats()
+        stats.record_pass(
+            PassStats(
+                index=0,
+                fragments=1_000_000,
+                program="copy-to-depth.x",
+                program_length=3,
+                instructions_executed=3_000_000,
+                instructions_after_early_z=3_000_000,
+                writes_depth_from_program=True,
+            )
+        )
+        time = model.time(stats)
+        assert 2.4e-3 < time.total_s < 3.2e-3
+
+    def test_occlusion_within_paper_bound(self, model):
+        assert model.occlusion_sync_latency_s <= 0.25e-3
+
+
+class TestPricingRules:
+    def test_fixed_function_pass_costs_one_clock_per_fragment(
+        self, model
+    ):
+        stats = PipelineStats()
+        stats.record_pass(PassStats(index=0, fragments=3_600_000))
+        time = model.time(stats)
+        assert abs(
+            time.shading_s - 3_600_000 / model.fragments_per_second
+        ) < 1e-12
+
+    def test_uploads_and_readbacks_priced(self, model):
+        stats = PipelineStats()
+        stats.bytes_uploaded = int(2.1e9)
+        stats.bytes_read_back = int(266e6)
+        time = model.time(stats)
+        assert abs(time.upload_s - 1.0) < 1e-9
+        assert abs(time.readback_s - 1.0) < 1e-9
+
+    def test_clears_priced(self, model):
+        stats = PipelineStats()
+        stats.clears = 5
+        assert (
+            model.time(stats).clear_s == 5 * model.clear_overhead_s
+        )
+
+    def test_gpu_time_addition(self):
+        one = GpuTime(1, 2, 3, 4, 5, 6, 7)
+        total = one + one
+        assert total.total_s == 2 * one.total_s
+        assert (one + ZERO_TIME).total_s == one.total_s
+        assert total.total_ms == total.total_s * 1e3
+
+
+class TestEarlyZ:
+    def _window_with_shaded_pass(self):
+        """A real pass where early-z rejects half the fragments."""
+        device = Device(4, 4)
+        values = np.arange(16, dtype=np.float64)
+        texture = Texture.from_values(values, shape=(4, 4))
+        device.set_program(copy_to_depth_program())
+        device.set_program_parameter(0, 1.0 / 16)
+        device.state.depth.enabled = True
+        device.state.depth.func = CompareFunc.ALWAYS
+        device.state.depth.write = True
+        device.render_textured_quad(texture)
+        device.set_program(bit_program())
+        device.set_program_parameter(0, 0.5)
+        device.state.depth.func = CompareFunc.LEQUAL
+        device.state.depth.write = False
+        device.stats.reset()
+        device.render_quad(8.0 / 16)  # half the stored depths pass
+        return device.stats.snapshot()
+
+    def test_early_z_reduces_instruction_pricing(self):
+        window = self._window_with_shaded_pass()
+        p = window.passes[0]
+        assert p.early_z_eligible
+        assert (
+            p.instructions_after_early_z < p.instructions_executed
+        )
+        with_early = GpuCostModel(early_z=True).time(window)
+        without_early = GpuCostModel(early_z=False).time(window)
+        assert with_early.shading_s < without_early.shading_s
+
+    def test_early_z_disabled_by_model_flag(self):
+        window = self._window_with_shaded_pass()
+        model = dataclasses.replace(GpuCostModel(), early_z=False)
+        baseline = GpuCostModel(early_z=False).time(window)
+        assert model.time(window).total_s == baseline.total_s

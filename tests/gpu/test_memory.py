@@ -1,0 +1,104 @@
+"""Video memory: LRU residency, pinning, out-of-core accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoMemoryError
+from repro.gpu.memory import VideoMemory
+from repro.gpu.texture import Texture
+
+
+def _texture(texels: int) -> Texture:
+    side = int(np.ceil(np.sqrt(texels)))
+    return Texture(np.zeros((side, side), dtype=np.float32))
+
+
+class TestResidency:
+    def test_upload_counted_once(self):
+        memory = VideoMemory(capacity_bytes=1 << 20)
+        texture = _texture(100)
+        first = memory.ensure_resident(texture)
+        second = memory.ensure_resident(texture)
+        assert first == texture.nbytes
+        assert second == 0
+        assert memory.total_uploaded == texture.nbytes
+
+    def test_capacity_tracking(self):
+        memory = VideoMemory(capacity_bytes=10_000)
+        texture = _texture(100)
+        memory.ensure_resident(texture)
+        assert memory.used_bytes == texture.nbytes
+        assert memory.free_bytes == 10_000 - texture.nbytes
+
+    def test_oversized_texture_rejected(self):
+        memory = VideoMemory(capacity_bytes=100)
+        with pytest.raises(VideoMemoryError):
+            memory.ensure_resident(_texture(1000))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(VideoMemoryError):
+            VideoMemory(capacity_bytes=0)
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        memory = VideoMemory(capacity_bytes=1000)
+        a = _texture(7)  # 9 texels = 36 bytes... use 3x3
+        b = _texture(7)
+        c = _texture(7)
+        # Shrink capacity so only two fit.
+        memory = VideoMemory(capacity_bytes=a.nbytes + b.nbytes)
+        memory.ensure_resident(a)
+        memory.ensure_resident(b)
+        memory.ensure_resident(a)  # refresh a; b is now oldest
+        memory.ensure_resident(c)
+        assert memory.is_resident(a)
+        assert not memory.is_resident(b)
+        assert memory.is_resident(c)
+        assert memory.evictions == 1
+
+    def test_reupload_after_eviction_is_out_of_core_traffic(self):
+        a = _texture(7)
+        b = _texture(7)
+        memory = VideoMemory(capacity_bytes=max(a.nbytes, b.nbytes))
+        memory.ensure_resident(a)
+        memory.ensure_resident(b)
+        memory.ensure_resident(a)
+        assert memory.total_uploaded == 2 * a.nbytes + b.nbytes
+        assert memory.evictions == 2
+
+
+class TestPinning:
+    def test_pinned_textures_survive_pressure(self):
+        a = _texture(7)
+        b = _texture(7)
+        memory = VideoMemory(capacity_bytes=a.nbytes + b.nbytes)
+        memory.ensure_resident(a)
+        memory.pin(a)
+        memory.ensure_resident(b)
+        memory.ensure_resident(_texture(7))
+        assert memory.is_resident(a)
+
+    def test_pin_nonresident_rejected(self):
+        memory = VideoMemory(capacity_bytes=1000)
+        with pytest.raises(VideoMemoryError):
+            memory.pin(_texture(4))
+
+    def test_all_pinned_pool_full_rejected(self):
+        a = _texture(7)
+        memory = VideoMemory(capacity_bytes=a.nbytes)
+        memory.ensure_resident(a)
+        memory.pin(a)
+        with pytest.raises(VideoMemoryError, match="pinned"):
+            memory.ensure_resident(_texture(7))
+
+    def test_evict_pinned_rejected(self):
+        a = _texture(7)
+        memory = VideoMemory(capacity_bytes=1000)
+        memory.ensure_resident(a)
+        memory.pin(a)
+        with pytest.raises(VideoMemoryError):
+            memory.evict(a)
+        memory.unpin(a)
+        memory.evict(a)
+        assert not memory.is_resident(a)

@@ -1,0 +1,74 @@
+"""Partial texture updates (glTexSubImage2D path)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TextureError
+from repro.gpu import Device, Texture
+
+
+class TestWriteTexels:
+    def test_contiguous_overwrite(self):
+        texture = Texture.from_values(np.zeros(9), shape=(3, 3))
+        written = texture.write_texels(2, np.array([7.0, 8.0, 9.0]))
+        assert written == 3 * 4
+        assert np.array_equal(
+            texture.linear_view()[:, 0],
+            [0, 0, 7, 8, 9, 0, 0, 0, 0],
+        )
+
+    def test_multichannel(self):
+        texture = Texture(np.zeros((2, 2, 4), dtype=np.float32))
+        texture.write_texels(
+            1, np.array([[1, 2, 3, 4], [5, 6, 7, 8]], dtype=np.float32)
+        )
+        assert np.array_equal(texture.linear_view()[1], [1, 2, 3, 4])
+        assert np.array_equal(texture.linear_view()[2], [5, 6, 7, 8])
+
+    def test_bounds_checked(self):
+        texture = Texture.from_values(np.zeros(4), shape=(2, 2))
+        with pytest.raises(TextureError):
+            texture.write_texels(3, np.array([1.0, 2.0]))
+        with pytest.raises(TextureError):
+            texture.write_texels(-1, np.array([1.0]))
+
+    def test_channel_mismatch_rejected(self):
+        texture = Texture(np.zeros((2, 2, 4), dtype=np.float32))
+        with pytest.raises(TextureError):
+            texture.write_texels(0, np.array([[1.0, 2.0]]))
+
+
+class TestDeviceUploadTexels:
+    def test_traffic_proportional_to_update(self):
+        device = Device(10, 10)
+        texture = Texture.from_values(np.zeros(100), shape=(10, 10))
+        device.bind_texture(0, texture)
+        device.stats.reset()
+        device.upload_texels(texture, 0, np.ones(5))
+        assert device.stats.bytes_uploaded == 5 * 4
+        device.upload_texels(texture, 50, np.ones(50))
+        assert device.stats.bytes_uploaded == 55 * 4
+
+    def test_nonresident_texture_costs_full_upload(self):
+        device = Device(4, 4)
+        texture = Texture.from_values(np.zeros(16), shape=(4, 4))
+        device.stats.reset()
+        device.upload_texels(texture, 0, np.ones(2))
+        # Full residency upload + the 2-texel update.
+        assert device.stats.bytes_uploaded == texture.nbytes + 2 * 4
+
+    def test_updated_values_visible_to_passes(self):
+        from repro.gpu import CompareFunc
+        from repro.core.compare import compare_pass, copy_to_depth
+
+        device = Device(4, 4)
+        values = np.zeros(16)
+        texture = Texture.from_values(values, shape=(4, 4))
+        device.upload_texels(texture, 8, np.full(8, 200.0))
+        copy_to_depth(device, texture, 1.0 / 256)
+        query = device.begin_query()
+        compare_pass(
+            device, CompareFunc.GEQUAL, 100 / 256, texture.count
+        )
+        device.end_query()
+        assert query.result() == 8

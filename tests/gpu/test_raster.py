@@ -1,0 +1,120 @@
+"""Quad rasterization: pixel coverage and attribute interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GpuError
+from repro.gpu.isa import FragmentAttrib
+from repro.gpu.raster import (
+    Rect,
+    full_screen,
+    rasterize_rect,
+    rects_for_count,
+)
+
+
+class TestRect:
+    def test_geometry(self):
+        rect = Rect(1, 2, 4, 7)
+        assert rect.width == 3
+        assert rect.height == 5
+        assert rect.num_pixels == 15
+
+    def test_invalid_rejected(self):
+        with pytest.raises(GpuError):
+            Rect(-1, 0, 2, 2)
+        with pytest.raises(GpuError):
+            Rect(3, 0, 2, 2)
+
+    def test_full_screen(self):
+        rect = full_screen(10, 20)
+        assert rect.num_pixels == 200
+
+
+class TestRectsForCount:
+    @given(
+        count=st.integers(0, 500),
+        width=st.integers(1, 25),
+    )
+    def test_covers_exactly_first_count_pixels(self, count, width):
+        height = 30
+        if count > width * height:
+            count = width * height
+        rects = rects_for_count(count, width, height)
+        covered = set()
+        for rect in rects:
+            for y in range(rect.y0, rect.y1):
+                for x in range(rect.x0, rect.x1):
+                    index = y * width + x
+                    assert index not in covered, "overlap"
+                    covered.add(index)
+        assert covered == set(range(count))
+
+    def test_at_most_two_rects(self):
+        for count in (0, 1, 7, 10, 15, 100):
+            assert len(rects_for_count(count, 10, 10)) <= 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GpuError):
+            rects_for_count(101, 10, 10)
+        with pytest.raises(GpuError):
+            rects_for_count(-1, 10, 10)
+
+
+class TestRasterize:
+    def test_linear_indices_row_major(self):
+        indices, batch = rasterize_rect(
+            Rect(0, 0, 3, 2), 3, 2, 0.5, (1, 1, 1, 1)
+        )
+        assert np.array_equal(indices, [0, 1, 2, 3, 4, 5])
+        assert batch.count == 6
+
+    def test_wpos_at_pixel_centers(self):
+        indices, batch = rasterize_rect(
+            Rect(1, 1, 2, 2), 4, 4, 0.25, (1, 1, 1, 1)
+        )
+        wpos = batch.attributes[FragmentAttrib.WPOS]
+        assert np.allclose(wpos[0], [1.5, 1.5, 0.25, 1.0])
+
+    def test_texcoords_align_texels_with_pixels(self):
+        indices, batch = rasterize_rect(
+            Rect(0, 0, 2, 2), 2, 2, 0.0, (1, 1, 1, 1)
+        )
+        texcoord = batch.attributes[FragmentAttrib.TEX0]
+        # Texel centers of a 2x2 texture: 0.25 and 0.75.
+        assert np.allclose(
+            texcoord[:, :2],
+            [[0.25, 0.25], [0.75, 0.25], [0.25, 0.75], [0.75, 0.75]],
+        )
+
+    def test_all_texcoord_units_identical(self):
+        _indices, batch = rasterize_rect(
+            Rect(0, 0, 2, 1), 2, 1, 0.0, (1, 1, 1, 1)
+        )
+        t0 = batch.attributes[FragmentAttrib.TEX0]
+        for attrib in (
+            FragmentAttrib.TEX1,
+            FragmentAttrib.TEX2,
+            FragmentAttrib.TEX3,
+        ):
+            assert np.array_equal(batch.attributes[attrib], t0)
+
+    def test_color_constant(self):
+        _indices, batch = rasterize_rect(
+            Rect(0, 0, 2, 1), 2, 1, 0.0, (0.1, 0.2, 0.3, 0.4)
+        )
+        col0 = batch.attributes[FragmentAttrib.COL0]
+        assert np.allclose(col0, [0.1, 0.2, 0.3, 0.4])
+
+    def test_rect_outside_screen_rejected(self):
+        with pytest.raises(GpuError):
+            rasterize_rect(Rect(0, 0, 5, 1), 4, 4, 0.0, (1, 1, 1, 1))
+
+    def test_custom_texture_size(self):
+        _indices, batch = rasterize_rect(
+            Rect(0, 0, 1, 1), 4, 4, 0.0, (1, 1, 1, 1), tex_size=(8, 8)
+        )
+        texcoord = batch.attributes[FragmentAttrib.TEX0]
+        assert np.allclose(texcoord[0, :2], [0.5 / 8, 0.5 / 8])

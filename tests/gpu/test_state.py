@@ -1,0 +1,107 @@
+"""RenderState configuration objects."""
+
+import pytest
+
+from repro.errors import RenderStateError
+from repro.gpu import CompareFunc, Device, StencilOp
+from repro.gpu.state import (
+    AlphaTestState,
+    DepthBoundsState,
+    DepthTestState,
+    RenderState,
+    StencilTestState,
+)
+
+
+class TestDefaults:
+    def test_everything_disabled_initially(self):
+        state = RenderState()
+        assert not state.alpha.enabled
+        assert not state.stencil.enabled
+        assert not state.depth.enabled
+        assert not state.depth_bounds.enabled
+        assert state.color_mask == (True, True, True, True)
+
+    def test_default_ops_are_keep(self):
+        stencil = StencilTestState()
+        assert stencil.sfail is StencilOp.KEEP
+        assert stencil.zfail is StencilOp.KEEP
+        assert stencil.zpass is StencilOp.KEEP
+
+    def test_depth_defaults(self):
+        depth = DepthTestState()
+        assert depth.func is CompareFunc.LESS
+        assert depth.write
+
+    def test_alpha_defaults(self):
+        alpha = AlphaTestState()
+        assert alpha.func is CompareFunc.ALWAYS
+        assert alpha.reference == 0.0
+
+
+class TestReset:
+    def test_reset_restores_defaults(self):
+        state = RenderState()
+        state.alpha.enabled = True
+        state.stencil.enabled = True
+        state.stencil.zpass = StencilOp.INCR
+        state.stencil.write_mask = 0x3
+        state.depth.enabled = True
+        state.depth.write = False
+        state.depth_bounds.enabled = True
+        state.color_mask = (False, False, False, False)
+        state.reset()
+        assert not state.alpha.enabled
+        assert not state.stencil.enabled
+        assert state.stencil.zpass is StencilOp.KEEP
+        assert state.stencil.write_mask == 0xFF
+        assert not state.depth.enabled
+        assert state.depth.write
+        assert not state.depth_bounds.enabled
+        assert state.color_mask == (True, True, True, True)
+
+    def test_reset_replaces_objects(self):
+        # Reset installs fresh state objects; stale references see the
+        # old configuration, not the new one.
+        state = RenderState()
+        old_stencil = state.stencil
+        old_stencil.enabled = True
+        state.reset()
+        assert state.stencil is not old_stencil
+
+
+class TestValidation:
+    def test_stencil_bounds(self):
+        stencil = StencilTestState(reference=-1)
+        with pytest.raises(RenderStateError):
+            stencil.validate()
+        stencil = StencilTestState(mask=0x1FF)
+        with pytest.raises(RenderStateError):
+            stencil.validate()
+
+    def test_depth_bounds_ranges(self):
+        bounds = DepthBoundsState(zmin=-0.1)
+        with pytest.raises(RenderStateError):
+            bounds.validate()
+        bounds = DepthBoundsState(zmin=0.9, zmax=0.1)
+        with pytest.raises(RenderStateError):
+            bounds.validate()
+        DepthBoundsState(zmin=0.1, zmax=0.9).validate()
+
+    def test_device_validates_before_drawing(self):
+        device = Device(1, 1)
+        device.state.stencil.enabled = False
+        device.state.stencil.reference = 999
+        # Validation runs regardless of the enable flag.
+        with pytest.raises(RenderStateError):
+            device.render_quad(0.5)
+
+
+class TestStateIsolationAcrossEngines:
+    def test_devices_do_not_share_state(self):
+        first = Device(1, 1)
+        second = Device(1, 1)
+        first.state.depth.enabled = True
+        assert not second.state.depth.enabled
+        first.set_program_parameter(0, 1.0)
+        assert second._parameters[0][0] == 0.0

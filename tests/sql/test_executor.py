@@ -1,0 +1,162 @@
+"""End-to-end SQL execution on both devices."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, Relation
+from repro.errors import SqlPlanError
+from repro.sql import Database
+
+
+@pytest.fixture(scope="module")
+def database():
+    rng = np.random.default_rng(21)
+    relation = Relation(
+        "t",
+        [
+            Column.integer("a", rng.integers(0, 1 << 12, 3000),
+                           bits=12),
+            Column.integer("b", rng.integers(0, 256, 3000), bits=8),
+        ],
+    )
+    db = Database()
+    db.register(relation)
+    return db
+
+
+class TestQueries:
+    def test_count_where(self, database):
+        relation = database.relation("t")
+        expected = int(
+            np.count_nonzero(relation.column("a").values >= 2048)
+        )
+        for device in ("gpu", "cpu", "auto"):
+            result = database.query(
+                "SELECT COUNT(*) FROM t WHERE a >= 2048",
+                device=device,
+            )
+            assert result.scalar == expected
+
+    def test_multiple_aggregates_one_row(self, database):
+        result = database.query(
+            "SELECT COUNT(*), MIN(b), MAX(b), SUM(b) FROM t "
+            "WHERE a BETWEEN 1000 AND 3000",
+            device="gpu",
+        )
+        relation = database.relation("t")
+        a = relation.column("a").values
+        b = relation.column("b").values.astype(np.int64)
+        mask = (a >= 1000) & (a <= 3000)
+        assert result.rows == [
+            (
+                int(mask.sum()),
+                int(b[mask].min()),
+                int(b[mask].max()),
+                int(b[mask].sum()),
+            )
+        ]
+        assert result.columns == [
+            "COUNT(*)",
+            "MIN(b)",
+            "MAX(b)",
+            "SUM(b)",
+        ]
+
+    def test_devices_agree_on_every_aggregate(self, database):
+        sql = (
+            "SELECT COUNT(*), SUM(b), AVG(b), MIN(b), MAX(b), "
+            "MEDIAN(b) FROM t WHERE a >= 1024 AND b < 200"
+        )
+        gpu = database.query(sql, device="gpu")
+        cpu = database.query(sql, device="cpu")
+        for left, right in zip(gpu.rows[0], cpu.rows[0]):
+            assert left == pytest.approx(right)
+
+    def test_projection_rows(self, database):
+        result = database.query(
+            "SELECT a, b FROM t WHERE a >= 4000", device="gpu"
+        )
+        relation = database.relation("t")
+        mask = relation.column("a").values >= 4000
+        assert len(result) == int(mask.sum())
+        expected_a = relation.column("a").values[mask].astype(int)
+        assert result.column("a") == list(expected_a)
+        assert all(isinstance(v, int) for v in result.column("a"))
+
+    def test_star_projection(self, database):
+        result = database.query(
+            "SELECT * FROM t WHERE a = 0", device="cpu"
+        )
+        assert result.columns == ["a", "b"]
+
+    def test_projection_without_where(self, database):
+        result = database.query("SELECT b FROM t", device="cpu")
+        assert len(result) == 3000
+
+    def test_alias_in_result_columns(self, database):
+        result = database.query(
+            "SELECT COUNT(*) AS n FROM t", device="cpu"
+        )
+        assert result.columns == ["n"]
+        assert result.scalar == 3000
+
+    def test_semilinear_where(self, database):
+        relation = database.relation("t")
+        a = relation.column("a").values
+        b = relation.column("b").values
+        expected = int(np.count_nonzero(a > b))
+        result = database.query(
+            "SELECT COUNT(*) FROM t WHERE a > b", device="gpu"
+        )
+        assert result.scalar == expected
+
+
+class TestErrors:
+    def test_unknown_table(self, database):
+        with pytest.raises(SqlPlanError, match="unknown table"):
+            database.query("SELECT * FROM missing")
+
+    def test_mixed_aggregate_and_column_rejected(self, database):
+        with pytest.raises(SqlPlanError, match="mixing aggregates"):
+            database.query("SELECT COUNT(*), a FROM t", device="cpu")
+        with pytest.raises(SqlPlanError, match="mixing aggregates"):
+            database.query("SELECT COUNT(*), a FROM t", device="gpu")
+
+    def test_scalar_on_multi_column_result(self, database):
+        result = database.query(
+            "SELECT COUNT(*), SUM(b) FROM t", device="cpu"
+        )
+        with pytest.raises(SqlPlanError, match="scalar"):
+            result.scalar
+
+    def test_missing_result_column(self, database):
+        result = database.query("SELECT COUNT(*) FROM t", device="cpu")
+        with pytest.raises(SqlPlanError, match="no result column"):
+            result.column("zzz")
+
+    def test_register_replaces_engines(self, database):
+        # Re-registering a table must invalidate cached engines.
+        relation = Relation(
+            "tmp", [Column.integer("x", [1, 2, 3])]
+        )
+        database.register(relation)
+        assert database.query(
+            "SELECT COUNT(*) FROM tmp", device="cpu"
+        ).scalar == 3
+        replacement = Relation(
+            "tmp", [Column.integer("x", [1, 2, 3, 4])]
+        )
+        database.register(replacement)
+        assert database.query(
+            "SELECT COUNT(*) FROM tmp", device="cpu"
+        ).scalar == 4
+
+
+class TestPlanSurface:
+    def test_plan_exposed_on_result(self, database):
+        result = database.query(
+            "SELECT COUNT(*) FROM t WHERE a > 100", device="auto"
+        )
+        assert result.plan.estimated_gpu_s > 0
+        assert result.plan.estimated_cpu_s > 0
+        assert result.device is result.plan.chosen_device

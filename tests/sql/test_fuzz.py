@@ -1,0 +1,175 @@
+"""Grammar-driven SQL fuzzing: random valid queries parse, plan, and
+return device-identical answers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Column, Relation
+from repro.errors import SqlError
+from repro.sql import Database
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+
+COLUMNS = ("a", "b", "g")
+
+
+@pytest.fixture(scope="module")
+def database():
+    rng = np.random.default_rng(99)
+    relation = Relation(
+        "t",
+        [
+            Column.integer("a", rng.integers(0, 1 << 10, 800),
+                           bits=10),
+            Column.integer("b", rng.integers(0, 1 << 8, 800), bits=8),
+            Column.integer("g", rng.integers(0, 6, 800), bits=3),
+        ],
+    )
+    db = Database()
+    db.register(relation)
+    return db
+
+
+def comparisons():
+    return st.builds(
+        lambda column, op, value: f"{column} {op} {value}",
+        st.sampled_from(COLUMNS),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        st.integers(0, 1100),
+    )
+
+
+def betweens():
+    return st.builds(
+        lambda column, low, span: (
+            f"{column} BETWEEN {low} AND {low + span}"
+        ),
+        st.sampled_from(COLUMNS),
+        st.integers(0, 900),
+        st.integers(0, 200),
+    )
+
+
+def attr_comparisons():
+    return st.builds(
+        lambda left, op, right: f"{left} {op} {right}",
+        st.sampled_from(COLUMNS),
+        st.sampled_from(["<", ">", "<=", ">="]),
+        st.sampled_from(COLUMNS),
+    )
+
+
+def conditions(depth=2):
+    simple = st.one_of(comparisons(), betweens(), attr_comparisons())
+    if depth == 0:
+        return simple
+    sub = conditions(depth - 1)
+    return st.one_of(
+        simple,
+        st.builds(lambda a, b: f"({a} AND {b})", sub, sub),
+        st.builds(lambda a, b: f"({a} OR {b})", sub, sub),
+        st.builds(lambda a: f"NOT {a}", sub),
+    )
+
+
+def aggregate_lists():
+    single = st.sampled_from(
+        [
+            "COUNT(*)",
+            "SUM(a)",
+            "AVG(b)",
+            "MIN(a)",
+            "MAX(b)",
+            "MEDIAN(a)",
+        ]
+    )
+    return st.lists(single, min_size=1, max_size=3, unique=True).map(
+        ", ".join
+    )
+
+
+class TestFuzz:
+    @given(condition=conditions())
+    @settings(max_examples=80, deadline=None)
+    def test_where_clauses_parse_and_agree(self, database, condition):
+        sql = f"SELECT COUNT(*) FROM t WHERE {condition}"
+        try:
+            gpu = database.query(sql, device="gpu").scalar
+        except SqlError:
+            # Structurally valid but semantically rejected (e.g. CNF
+            # blowup) — must be rejected identically on both devices.
+            with pytest.raises(SqlError):
+                database.query(sql, device="cpu")
+            return
+        cpu = database.query(sql, device="cpu").scalar
+        assert gpu == cpu
+        assert 0 <= gpu <= 800
+
+    @given(items=aggregate_lists(), condition=conditions(depth=1))
+    @settings(max_examples=40, deadline=None)
+    def test_aggregate_lists_agree(self, database, items, condition):
+        sql = f"SELECT {items} FROM t WHERE {condition}"
+        try:
+            gpu = database.query(sql, device="gpu")
+        except SqlError:
+            with pytest.raises(SqlError):
+                database.query(sql, device="cpu")
+            return
+        cpu = database.query(sql, device="cpu")
+        assert gpu.columns == cpu.columns
+        for left, right in zip(gpu.rows[0], cpu.rows[0]):
+            assert left == pytest.approx(right)
+
+    @given(condition=conditions(depth=1))
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_agrees(self, database, condition):
+        sql = (
+            f"SELECT COUNT(*), SUM(a) FROM t WHERE {condition} "
+            "GROUP BY g"
+        )
+        try:
+            gpu = database.query(sql, device="gpu")
+        except SqlError:
+            with pytest.raises(SqlError):
+                database.query(sql, device="cpu")
+            return
+        cpu = database.query(sql, device="cpu")
+        assert gpu.rows == cpu.rows
+
+    @given(condition=conditions())
+    @settings(max_examples=60, deadline=None)
+    def test_parse_is_deterministic(self, condition):
+        sql = f"SELECT COUNT(*) FROM t WHERE {condition}"
+        first = parse(sql)
+        second = parse(sql)
+        assert repr(first.where) == repr(second.where)
+
+    @given(
+        text=st.text(
+            alphabet="SELECT FROMWHERE()*,.<>=!0123456789abct_ ",
+            max_size=60,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_garbage_never_crashes_uncontrolled(self, database, text):
+        """Arbitrary token soup either parses or raises SqlError —
+        nothing else escapes."""
+        try:
+            database.query(text, device="cpu")
+        except SqlError:
+            pass
+
+    @given(
+        text=st.text(
+            alphabet="SELECT FROMWHERE()*,.<>=!0123456789abct_ ",
+            max_size=60,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_lexer_total_on_its_alphabet(self, text):
+        try:
+            tokenize(text)
+        except SqlError:
+            pass

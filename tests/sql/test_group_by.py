@@ -1,0 +1,156 @@
+"""GROUP BY support in the SQL front-end."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, Relation
+from repro.errors import SqlPlanError, SqlSyntaxError
+from repro.sql import Database
+from repro.sql.parser import parse
+
+
+@pytest.fixture(scope="module")
+def database():
+    rng = np.random.default_rng(31)
+    relation = Relation(
+        "t",
+        [
+            Column.integer("g", rng.integers(0, 5, 2500), bits=3),
+            Column.integer("a", rng.integers(0, 1 << 10, 2500),
+                           bits=10),
+        ],
+    )
+    db = Database()
+    db.register(relation)
+    return db
+
+
+class TestParsing:
+    def test_group_by_clause(self):
+        statement = parse("SELECT COUNT(*) FROM t GROUP BY g")
+        assert statement.group_by == "g"
+
+    def test_group_by_after_where(self):
+        statement = parse(
+            "SELECT SUM(a) FROM t WHERE a > 10 GROUP BY g"
+        )
+        assert statement.group_by == "g"
+        assert statement.where is not None
+
+    def test_missing_by_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="BY"):
+            parse("SELECT COUNT(*) FROM t GROUP g")
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT COUNT(*) FROM t GROUP BY")
+
+
+class TestValidation:
+    def test_unknown_group_column(self, database):
+        with pytest.raises(SqlPlanError, match="zzz"):
+            database.query("SELECT COUNT(*) FROM t GROUP BY zzz")
+
+    def test_non_aggregate_items_rejected(self, database):
+        with pytest.raises(SqlPlanError, match="aggregates"):
+            database.query("SELECT a FROM t GROUP BY g")
+        with pytest.raises(SqlPlanError, match="aggregates"):
+            database.query("SELECT * FROM t GROUP BY g")
+
+    def test_float_group_column_rejected(self):
+        relation = Relation(
+            "f",
+            [
+                Column.floating("x", [0.5, 1.5]),
+                Column.integer("a", [1, 2]),
+            ],
+        )
+        db = Database()
+        db.register(relation)
+        with pytest.raises(SqlPlanError, match="integer"):
+            db.query("SELECT COUNT(*) FROM f GROUP BY x")
+
+    def test_too_many_groups_rejected(self):
+        relation = Relation(
+            "wide",
+            [Column.integer("k", np.arange(3000) % 2048, bits=11)],
+        )
+        db = Database()
+        db.register(relation)
+        with pytest.raises(SqlPlanError, match="group limit"):
+            db.query("SELECT COUNT(*) FROM wide GROUP BY k")
+
+
+class TestExecution:
+    def test_devices_agree(self, database):
+        sql = "SELECT COUNT(*), SUM(a), MIN(a), MAX(a) FROM t GROUP BY g"
+        gpu = database.query(sql, device="gpu")
+        cpu = database.query(sql, device="cpu")
+        assert gpu.columns == cpu.columns == [
+            "g",
+            "COUNT(*)",
+            "SUM(a)",
+            "MIN(a)",
+            "MAX(a)",
+        ]
+        assert gpu.rows == cpu.rows
+
+    def test_matches_numpy_reference(self, database):
+        relation = database.relation("t")
+        groups = relation.column("g").values.astype(np.int64)
+        values = relation.column("a").values.astype(np.int64)
+        result = database.query(
+            "SELECT COUNT(*), SUM(a) FROM t GROUP BY g", device="gpu"
+        )
+        assert len(result) == np.unique(groups).size
+        for key, count, total in result.rows:
+            mask = groups == key
+            assert count == int(mask.sum())
+            assert total == int(values[mask].sum())
+
+    def test_where_filters_groups(self, database):
+        relation = database.relation("t")
+        groups = relation.column("g").values.astype(np.int64)
+        values = relation.column("a").values.astype(np.int64)
+        result = database.query(
+            "SELECT COUNT(*) FROM t WHERE a >= 900 GROUP BY g",
+            device="gpu",
+        )
+        for key, count in result.rows:
+            assert count == int(
+                np.count_nonzero((groups == key) & (values >= 900))
+            )
+
+    def test_groups_emptied_by_where_are_dropped(self):
+        relation = Relation(
+            "s",
+            [
+                Column.integer("g", [0, 0, 1, 1], bits=1),
+                Column.integer("a", [1, 2, 100, 200], bits=8),
+            ],
+        )
+        db = Database()
+        db.register(relation)
+        result = db.query(
+            "SELECT COUNT(*) FROM s WHERE a >= 50 GROUP BY g",
+            device="gpu",
+        )
+        assert result.rows == [(1, 2)]
+
+    def test_group_keys_sorted(self, database):
+        result = database.query(
+            "SELECT COUNT(*) FROM t GROUP BY g", device="gpu"
+        )
+        keys = [row[0] for row in result.rows]
+        assert keys == sorted(keys)
+
+    def test_median_per_group(self, database):
+        relation = database.relation("t")
+        groups = relation.column("g").values.astype(np.int64)
+        values = relation.column("a").values.astype(np.int64)
+        result = database.query(
+            "SELECT MEDIAN(a) FROM t GROUP BY g", device="gpu"
+        )
+        for key, med in result.rows:
+            selected = np.sort(values[groups == key])[::-1]
+            assert med == int(selected[(selected.size + 1) // 2 - 1])

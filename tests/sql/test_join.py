@@ -1,0 +1,185 @@
+"""SQL equi-join support (over the ext.join machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, Relation
+from repro.errors import SqlPlanError, SqlSyntaxError
+from repro.ext import nested_loop_join
+from repro.sql import Database
+from repro.sql.parser import parse
+
+
+@pytest.fixture(scope="module")
+def database():
+    rng = np.random.default_rng(8)
+    orders = Relation(
+        "orders",
+        [
+            Column.integer("cid", rng.integers(0, 50, 400), bits=6),
+            Column.integer(
+                "amount", rng.integers(0, 1000, 400), bits=10
+            ),
+        ],
+    )
+    customers = Relation(
+        "customers",
+        [
+            # Not all ids exist and some repeat: exercises fan-out.
+            Column.integer(
+                "id", rng.integers(0, 64, 45), bits=6
+            ),
+            Column.integer("tier", rng.integers(0, 4, 45), bits=2),
+        ],
+    )
+    db = Database()
+    db.register(orders)
+    db.register(customers)
+    return db
+
+
+class TestParsing:
+    def test_join_clause(self):
+        statement = parse(
+            "SELECT COUNT(*) FROM a JOIN b ON a.x = b.y"
+        )
+        assert statement.join.right_table == "b"
+        assert statement.join.left_column == "x"
+        assert statement.join.right_column == "y"
+
+    def test_side_order_irrelevant(self):
+        statement = parse(
+            "SELECT COUNT(*) FROM a JOIN b ON b.y = a.x"
+        )
+        assert statement.join.left_column == "x"
+        assert statement.join.right_column == "y"
+
+    def test_non_equi_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="equi"):
+            parse("SELECT COUNT(*) FROM a JOIN b ON a.x < b.y")
+
+    def test_self_join_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="self-join"):
+            parse("SELECT COUNT(*) FROM a JOIN a ON a.x = a.y")
+
+    def test_condition_must_reference_both_tables(self):
+        with pytest.raises(SqlSyntaxError, match="reference"):
+            parse("SELECT COUNT(*) FROM a JOIN b ON c.x = a.y")
+
+    def test_qualified_items(self):
+        statement = parse("SELECT a.x, b.y FROM a JOIN b ON a.x = b.y")
+        assert statement.items[0].table == "a"
+        assert statement.items[1].label == "b.y"
+
+
+class TestValidation:
+    def test_where_rejected(self, database):
+        with pytest.raises(SqlPlanError, match="WHERE"):
+            database.query(
+                "SELECT COUNT(*) FROM orders JOIN customers "
+                "ON orders.cid = customers.id WHERE amount > 1"
+            )
+
+    def test_group_by_rejected(self, database):
+        with pytest.raises(SqlPlanError, match="GROUP BY"):
+            database.query(
+                "SELECT COUNT(*) FROM orders JOIN customers "
+                "ON orders.cid = customers.id GROUP BY cid"
+            )
+
+    def test_unknown_join_column(self, database):
+        with pytest.raises(SqlPlanError, match="zzz"):
+            database.query(
+                "SELECT COUNT(*) FROM orders JOIN customers "
+                "ON orders.zzz = customers.id"
+            )
+
+    def test_unqualified_projection_rejected(self, database):
+        with pytest.raises(SqlPlanError, match="qualify"):
+            database.query(
+                "SELECT amount FROM orders JOIN customers "
+                "ON orders.cid = customers.id"
+            )
+
+    def test_non_count_aggregate_rejected(self, database):
+        with pytest.raises(SqlPlanError, match="COUNT"):
+            database.query(
+                "SELECT SUM(amount) FROM orders JOIN customers "
+                "ON orders.cid = customers.id"
+            )
+
+
+class TestExecution:
+    SQL = (
+        "SELECT COUNT(*) FROM orders JOIN customers "
+        "ON orders.cid = customers.id"
+    )
+
+    def _expected_pairs(self, database):
+        left = database.relation("orders").column("cid").values
+        right = database.relation("customers").column("id").values
+        return nested_loop_join(left, right, 0)
+
+    def test_count_matches_nested_loop(self, database):
+        expected = self._expected_pairs(database).shape[0]
+        for device in ("gpu", "cpu", "auto"):
+            assert (
+                database.query(self.SQL, device=device).scalar
+                == expected
+            )
+
+    def test_projection_devices_agree(self, database):
+        sql = (
+            "SELECT orders.amount, customers.tier FROM orders "
+            "JOIN customers ON orders.cid = customers.id"
+        )
+        gpu = database.query(sql, device="gpu")
+        cpu = database.query(sql, device="cpu")
+        assert gpu.columns == cpu.columns
+        assert gpu.rows == cpu.rows
+        assert len(gpu) == self._expected_pairs(database).shape[0]
+
+    def test_projection_values_correct(self, database):
+        sql = (
+            "SELECT orders.cid, customers.id FROM orders "
+            "JOIN customers ON orders.cid = customers.id"
+        )
+        result = database.query(sql, device="gpu")
+        for left_value, right_value in result.rows:
+            assert left_value == right_value
+
+    def test_star_projection_prefixes_columns(self, database):
+        sql = (
+            "SELECT * FROM orders JOIN customers "
+            "ON orders.cid = customers.id"
+        )
+        result = database.query(sql, device="cpu")
+        assert result.columns == [
+            "orders.cid",
+            "orders.amount",
+            "customers.id",
+            "customers.tier",
+        ]
+
+    def test_empty_join(self):
+        left = Relation(
+            "l", [Column.integer("a", [1, 2, 3], bits=6)]
+        )
+        right = Relation(
+            "r", [Column.integer("b", [40, 50], bits=6)]
+        )
+        db = Database()
+        db.register(left)
+        db.register(right)
+        assert (
+            db.query(
+                "SELECT COUNT(*) FROM l JOIN r ON l.a = r.b",
+                device="gpu",
+            ).scalar
+            == 0
+        )
+
+    def test_plan_carries_join_estimates(self, database):
+        plan = database.plan(self.SQL)
+        assert plan.estimated_gpu_s > 0
+        assert plan.estimated_cpu_s > 0

@@ -1,0 +1,85 @@
+"""SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def _types(source):
+    return [t.type for t in tokenize(source)]
+
+
+def _texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokenize:
+    def test_basic_statement(self):
+        tokens = tokenize("SELECT COUNT(*) FROM t WHERE a >= 10")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == [
+            "SELECT",
+            "COUNT",
+            "(",
+            "*",
+            ")",
+            "FROM",
+            "t",
+            "WHERE",
+            "a",
+            ">=",
+            "10",
+        ]
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Sum(x) from T")
+        assert tokens[0].is_keyword("SELECT")
+        assert tokens[1].is_keyword("SUM")
+        # Identifiers keep their case.
+        assert tokens[3].text == "x"
+        assert tokens[6].text == "T"
+
+    def test_operators(self):
+        assert _texts("a = b != c <> d < e <= f > g >= h") == [
+            "a", "=", "b", "!=", "c", "!=", "d", "<", "e", "<=",
+            "f", ">", "g", ">=", "h",
+        ]
+
+    def test_numbers(self):
+        assert _texts("1 2.5 -3 +4.25 0.5") == [
+            "1",
+            "2.5",
+            "-3",
+            "+4.25",
+            "0.5",
+        ]
+
+    def test_line_comments_stripped(self):
+        tokens = tokenize(
+            "SELECT a -- trailing comment\nFROM t -- another"
+        )
+        assert [t.text for t in tokens[:-1]] == [
+            "SELECT",
+            "a",
+            "FROM",
+            "t",
+        ]
+
+    def test_underscore_identifiers(self):
+        assert _texts("data_count _x a1") == ["data_count", "_x", "a1"]
+
+    def test_bad_character_rejected_with_position(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("SELECT $ FROM t")
+        assert excinfo.value.position == 7
+
+    def test_bare_bang_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a ! b")
+
+    def test_empty_source(self):
+        tokens = tokenize("   \n  ")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF

@@ -1,0 +1,131 @@
+"""SQL parser: statement shapes, precedence, diagnostics."""
+
+import pytest
+
+from repro.core.predicates import (
+    And,
+    Between,
+    Comparison,
+    Not,
+    Or,
+    SemiLinear,
+)
+from repro.errors import SqlSyntaxError
+from repro.gpu.types import CompareFunc
+from repro.sql.ast import (
+    AggregateFunc,
+    AggregateItem,
+    ColumnItem,
+    StarItem,
+)
+from repro.sql.parser import parse
+
+
+class TestSelectList:
+    def test_star(self):
+        statement = parse("SELECT * FROM t")
+        assert isinstance(statement.items[0], StarItem)
+        assert statement.table == "t"
+        assert statement.where is None
+        assert not statement.is_aggregate
+
+    def test_columns_with_aliases(self):
+        statement = parse("SELECT a, b AS bee FROM t")
+        assert isinstance(statement.items[0], ColumnItem)
+        assert statement.items[1].alias == "bee"
+        assert statement.items[1].label == "bee"
+
+    def test_aggregates(self):
+        statement = parse(
+            "SELECT COUNT(*), SUM(a), AVG(a), MIN(a), MAX(a), "
+            "MEDIAN(a) FROM t"
+        )
+        funcs = [item.func for item in statement.items]
+        assert funcs == list(AggregateFunc)
+        assert statement.is_aggregate
+        assert statement.items[0].column is None
+        assert statement.items[0].label == "COUNT(*)"
+
+    def test_aggregate_alias(self):
+        statement = parse("SELECT SUM(a) AS total FROM t")
+        assert statement.items[0].label == "total"
+
+    def test_star_inside_non_count_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="SUM"):
+            parse("SELECT SUM(*) FROM t")
+
+
+class TestWhere:
+    def test_simple_comparison(self):
+        statement = parse("SELECT * FROM t WHERE a >= 10")
+        predicate = statement.where
+        assert isinstance(predicate, Comparison)
+        assert predicate.op is CompareFunc.GEQUAL
+        assert predicate.value == 10.0
+
+    def test_attr_vs_attr_becomes_semilinear(self):
+        predicate = parse("SELECT * FROM t WHERE a < b").where
+        assert isinstance(predicate, SemiLinear)
+        assert predicate.columns == ("a", "b")
+
+    def test_between(self):
+        predicate = parse(
+            "SELECT * FROM t WHERE a BETWEEN 5 AND 10"
+        ).where
+        assert isinstance(predicate, Between)
+        assert (predicate.low, predicate.high) == (5.0, 10.0)
+
+    def test_not_between(self):
+        predicate = parse(
+            "SELECT * FROM t WHERE a NOT BETWEEN 5 AND 10"
+        ).where
+        assert isinstance(predicate, Not)
+        assert isinstance(predicate.child, Between)
+
+    def test_and_binds_tighter_than_or(self):
+        predicate = parse(
+            "SELECT * FROM t WHERE a < 1 OR b < 2 AND c < 3"
+        ).where
+        assert isinstance(predicate, Or)
+        assert isinstance(predicate.children[0], Comparison)
+        assert isinstance(predicate.children[1], And)
+
+    def test_parentheses_override_precedence(self):
+        predicate = parse(
+            "SELECT * FROM t WHERE (a < 1 OR b < 2) AND c < 3"
+        ).where
+        assert isinstance(predicate, And)
+        assert isinstance(predicate.children[0], Or)
+
+    def test_not_chains(self):
+        predicate = parse(
+            "SELECT * FROM t WHERE NOT NOT a = 5"
+        ).where
+        assert isinstance(predicate, Not)
+        assert isinstance(predicate.child, Not)
+
+    def test_inequality_operator_aliases(self):
+        left = parse("SELECT * FROM t WHERE a != 5").where
+        right = parse("SELECT * FROM t WHERE a <> 5").where
+        assert left.op is right.op is CompareFunc.NOTEQUAL
+
+
+class TestDiagnostics:
+    @pytest.mark.parametrize(
+        "sql, fragment",
+        [
+            ("FROM t", "SELECT"),
+            ("SELECT * t", "FROM"),
+            ("SELECT * FROM", "ident"),
+            ("SELECT * FROM t WHERE", "ident"),
+            ("SELECT * FROM t WHERE a", "operator"),
+            ("SELECT * FROM t WHERE a >", "number or column"),
+            ("SELECT * FROM t WHERE a BETWEEN 1", "AND"),
+            ("SELECT * FROM t extra", "trailing"),
+            ("SELECT COUNT(* FROM t", "\\)"),
+            ("SELECT , FROM t", "select item"),
+        ],
+    )
+    def test_syntax_errors(self, sql, fragment):
+        with pytest.raises(SqlSyntaxError, match=fragment):
+            parse(sql)

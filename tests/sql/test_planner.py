@@ -1,0 +1,131 @@
+"""Query planner: validation and device routing."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, Relation
+from repro.core.predicates import And, Comparison, Not, Or, SemiLinear
+from repro.errors import SqlPlanError
+from repro.gpu.types import CompareFunc
+from repro.sql.parser import parse
+from repro.sql.planner import DeviceChoice, Planner, predicate_columns
+
+
+@pytest.fixture(scope="module")
+def relation():
+    rng = np.random.default_rng(0)
+    return Relation(
+        "t",
+        [
+            Column.integer("a", rng.integers(0, 256, 1000), bits=8),
+            Column.integer("b", rng.integers(0, 256, 1000), bits=8),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def big_relation():
+    rng = np.random.default_rng(0)
+    return Relation(
+        "big",
+        [Column.integer("a", rng.integers(0, 256, 600_000), bits=8)],
+    )
+
+
+@pytest.fixture()
+def planner():
+    return Planner()
+
+
+class TestValidation:
+    def test_unknown_select_column(self, planner, relation):
+        with pytest.raises(SqlPlanError, match="zzz"):
+            planner.plan(parse("SELECT zzz FROM t"), relation)
+
+    def test_unknown_where_column(self, planner, relation):
+        with pytest.raises(SqlPlanError, match="zzz"):
+            planner.plan(
+                parse("SELECT * FROM t WHERE zzz > 1"), relation
+            )
+
+    def test_aggregate_on_float_column_rejected(self, planner):
+        relation = Relation(
+            "f", [Column.floating("x", [0.5, 1.5])]
+        )
+        with pytest.raises(SqlPlanError, match="integer"):
+            planner.plan(parse("SELECT SUM(x) FROM f"), relation)
+
+    def test_count_star_always_fine(self, planner, relation):
+        plan = planner.plan(parse("SELECT COUNT(*) FROM t"), relation)
+        assert plan.estimated_cpu_s >= 0
+
+    def test_cnf_blowup_surfaces_at_plan_time(self, planner, relation):
+        clause = "(a < 1 AND a < 2 AND a < 3)"
+        sql = "SELECT COUNT(*) FROM t WHERE " + " OR ".join(
+            [clause] * 6
+        )
+        with pytest.raises(Exception, match="clauses"):
+            planner.plan(parse(sql), relation)
+
+
+class TestDeviceRouting:
+    def test_forced_device_wins(self, planner, relation):
+        statement = parse("SELECT COUNT(*) FROM t WHERE a > 10")
+        for choice in (DeviceChoice.GPU, DeviceChoice.CPU):
+            plan = planner.plan(statement, relation, choice)
+            assert plan.chosen_device is choice
+
+    def test_small_table_selection_goes_cpu(self, planner, relation):
+        plan = planner.plan(
+            parse("SELECT COUNT(*) FROM t WHERE a > 10"), relation
+        )
+        assert plan.chosen_device is DeviceChoice.CPU
+
+    def test_large_table_selection_goes_gpu(
+        self, planner, big_relation
+    ):
+        plan = planner.plan(
+            parse("SELECT COUNT(*) FROM big WHERE a > 10"),
+            big_relation,
+        )
+        assert plan.chosen_device is DeviceChoice.GPU
+
+    def test_sum_stays_on_cpu_even_at_scale(
+        self, planner, big_relation
+    ):
+        # The paper's figure-10 conclusion: Accumulator loses to SIMD.
+        plan = planner.plan(
+            parse("SELECT SUM(a) FROM big"), big_relation
+        )
+        assert plan.chosen_device is DeviceChoice.CPU
+
+    def test_median_goes_gpu_at_scale(self, planner, big_relation):
+        plan = planner.plan(
+            parse("SELECT MEDIAN(a) FROM big"), big_relation
+        )
+        assert plan.chosen_device is DeviceChoice.GPU
+
+    def test_explain_mentions_device_and_costs(
+        self, planner, relation
+    ):
+        plan = planner.plan(
+            parse("SELECT COUNT(*) FROM t WHERE a > 10"), relation
+        )
+        text = plan.explain()
+        assert "estimated gpu" in text
+        assert "estimated cpu" in text
+        assert "device:" in text
+
+
+class TestPredicateColumns:
+    def test_collects_all_names(self):
+        predicate = Not(
+            Or(
+                And(
+                    Comparison("a", CompareFunc.LESS, 1),
+                    SemiLinear(("b", "c"), (1, 1), CompareFunc.LESS, 0),
+                ),
+                Comparison("d", CompareFunc.GEQUAL, 2),
+            )
+        )
+        assert predicate_columns(predicate) == {"a", "b", "c", "d"}

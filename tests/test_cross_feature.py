@@ -1,0 +1,205 @@
+"""Cross-feature integration: the features compose.
+
+Each test combines several subsystems (layouts, normal forms,
+fixed-point, masks, cubes, streams) and checks the composition against
+host-side ground truth — the kind of interaction coverage unit tests
+miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Column,
+    CpuEngine,
+    GpuEngine,
+    Polynomial,
+    Relation,
+    SelectivityEstimator,
+    col,
+)
+from repro.core.predicates import And, Comparison, Or
+from repro.gpu.types import CompareFunc
+from repro.olap import DataCube
+from repro.streams import ContinuousQuery, StreamEngine
+
+
+@pytest.fixture(scope="module")
+def relation():
+    rng = np.random.default_rng(77)
+    return Relation(
+        "mix",
+        [
+            Column.integer("a", rng.integers(0, 1 << 12, 2500),
+                           bits=12),
+            Column.integer("b", rng.integers(0, 1 << 8, 2500), bits=8),
+            Column.integer("g", rng.integers(0, 5, 2500), bits=3),
+            Column.fixed_point(
+                "price", rng.integers(0, 8000, 2500) / 4.0, 2
+            ),
+        ],
+    )
+
+
+class TestComposition:
+    def test_packed_layout_with_dnf_selection(self, relation):
+        packed = GpuEngine(relation, layout="packed")
+        cpu = CpuEngine(relation)
+        # OR-of-ANDs forces the DNF path; attributes live in channels.
+        predicate = Or(
+            And(
+                Comparison("a", CompareFunc.GEQUAL, 2000),
+                Comparison("b", CompareFunc.LESS, 100),
+            ),
+            And(
+                Comparison("g", CompareFunc.EQUAL, 3),
+                Comparison("a", CompareFunc.LESS, 500),
+            ),
+        )
+        gpu_result = packed.select(predicate)
+        cpu_result = cpu.select(predicate)
+        assert gpu_result.count == cpu_result.count
+        assert np.array_equal(
+            gpu_result.record_ids(), cpu_result.record_ids()
+        )
+
+    def test_dnf_selection_feeds_quantiles(self, relation):
+        gpu = GpuEngine(relation)
+        cpu = CpuEngine(relation)
+        predicate = Or(
+            And(
+                Comparison("a", CompareFunc.GEQUAL, 1000),
+                Comparison("b", CompareFunc.LESS, 200),
+            ),
+            Comparison("g", CompareFunc.EQUAL, 0),
+        )
+        assert (
+            gpu.quantiles("a", [0.5, 0.9], predicate).value
+            == cpu.quantiles("a", [0.5, 0.9], predicate).value
+        )
+
+    def test_polynomial_feeds_top_k(self, relation):
+        gpu = GpuEngine(relation)
+        cpu = CpuEngine(relation)
+        quadratic = Polynomial(
+            ("b",), (1.0,), (2,), CompareFunc.GEQUAL, 10_000.0
+        )
+        g = gpu.top_k("a", 12, quadratic).value
+        c = cpu.top_k("a", 12, quadratic).value
+        assert g.threshold == c.threshold
+        assert np.array_equal(g.record_ids, c.record_ids)
+
+    def test_fixed_point_in_cube_measures(self, relation):
+        # Cube dimensions are integer; measures may be fixed-point.
+        cube = DataCube(
+            GpuEngine(relation),
+            dimensions=("g",),
+            measures=(("sum", "price"), ("max", "price")),
+        )
+        groups = relation.column("g").values.astype(np.int64)
+        price = relation.column("price").values
+        stored = np.round(price * 4).astype(np.int64)
+        for cell in cube.base_cells:
+            mask = groups == cell.coordinates["g"]
+            assert cell.measures["sum(price)"] == float(
+                stored[mask].sum()
+            ) / 4
+            assert cell.measures["max(price)"] == float(
+                price[mask].max()
+            )
+
+    def test_estimator_on_packed_engine(self, relation):
+        packed = GpuEngine(relation, layout="packed")
+        estimator = SelectivityEstimator.build(packed, buckets=32)
+        predicate = col("a") >= 2048
+        estimate = estimator.estimate(predicate)
+        actual = float(predicate.mask(relation).mean())
+        assert abs(estimate - actual) < 0.06
+
+    def test_batched_selectivities_after_aggregates(self, relation):
+        # Interleaving ops must not leak state between them.
+        gpu = GpuEngine(relation)
+        cpu = CpuEngine(relation)
+        gpu.median("a")
+        gpu.sum("b")
+        predicates = [
+            col("a") >= 1000,
+            col("b").between(50, 200),
+            col("g") == 2,
+        ]
+        assert (
+            gpu.selectivities(predicates).value
+            == cpu.selectivities(predicates).value
+        )
+        # And a selection after the batch still leaves a clean mask.
+        selection = gpu.select(col("g") == 2)
+        assert np.array_equal(
+            selection.record_ids(),
+            np.flatnonzero((col("g") == 2).mask(relation)),
+        )
+
+    def test_stream_window_into_engine_workflow(self):
+        # Stream a while, then snapshot the window into a full engine
+        # for ad-hoc analysis (cube over the live window).
+        rng = np.random.default_rng(5)
+        stream = StreamEngine(
+            [("v", 10), ("g", 2)], capacity=300
+        )
+        stream.register(ContinuousQuery("n", "count"))
+        for _ in range(4):
+            stream.append(
+                {
+                    "v": rng.integers(0, 1 << 10, 120),
+                    "g": rng.integers(0, 4, 120),
+                }
+            )
+        window = stream.window_relation()
+        assert window.num_records == 300
+        cube = DataCube(
+            GpuEngine(window),
+            dimensions=("g",),
+            measures=(("sum", "v"),),
+        )
+        values = window.column("v").values.astype(np.int64)
+        assert cube.grand_total().measures["sum(v)"] == int(
+            values.sum()
+        )
+
+    def test_sql_over_fixed_point_group_by(self, relation):
+        from repro.sql import Database
+
+        db = Database()
+        db.register(relation)
+        sql = "SELECT SUM(price), MAX(price) FROM mix GROUP BY g"
+        gpu_rows = db.query(sql, device="gpu").rows
+        cpu_rows = db.query(sql, device="cpu").rows
+        assert gpu_rows == cpu_rows
+        groups = relation.column("g").values.astype(np.int64)
+        stored = np.round(
+            relation.column("price").values * 4
+        ).astype(np.int64)
+        for key, total, biggest in gpu_rows:
+            mask = groups == key
+            assert total == float(stored[mask].sum()) / 4
+            assert biggest == float(stored[mask].max()) / 4
+
+    def test_out_of_core_packed_dnf_combo(self, relation):
+        from repro.gpu.memory import VideoMemory
+
+        probe = GpuEngine(relation)
+        height, width = probe.shape
+        group_texture_bytes = height * width * 4 * 4  # RGBA group
+        tight = GpuEngine(
+            relation,
+            layout="packed",
+            video_memory=VideoMemory(2 * group_texture_bytes),
+        )
+        predicate = Or(
+            And(
+                Comparison("a", CompareFunc.GEQUAL, 100),
+                Comparison("b", CompareFunc.LESS, 200),
+            ),
+            Comparison("g", CompareFunc.EQUAL, 1),
+        )
+        expected = int(np.count_nonzero(predicate.mask(relation)))
+        assert tight.select(predicate).count == expected

@@ -1,0 +1,287 @@
+"""OLAP data cubes (section 7 future work): roll-up, drill-down, slice."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, CpuEngine, GpuEngine, Relation, col
+from repro.errors import QueryError
+from repro.olap import DataCube, cube_lattice
+
+
+def _relation(seed=19, records=1500):
+    rng = np.random.default_rng(seed)
+    return Relation(
+        "sales",
+        [
+            Column.integer("region", rng.integers(0, 4, records),
+                           bits=2),
+            Column.integer("tier", rng.integers(0, 3, records),
+                           bits=2),
+            Column.integer("amount", rng.integers(0, 1 << 10, records),
+                           bits=10),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def cube():
+    relation = _relation()
+    engine = GpuEngine(relation)
+    return relation, DataCube(
+        engine,
+        dimensions=("region", "tier"),
+        measures=(("sum", "amount"), ("max", "amount"),
+                  ("min", "amount")),
+    )
+
+
+def _reference_groupby(relation, dims):
+    """NumPy group-by reference: key -> (count, sum, max, min)."""
+    arrays = [
+        relation.column(name).values.astype(np.int64) for name in dims
+    ]
+    amount = relation.column("amount").values.astype(np.int64)
+    out = {}
+    keys = list(zip(*arrays)) if arrays else [()] * len(amount)
+    for index, key in enumerate(keys):
+        entry = out.setdefault(
+            tuple(key), [0, 0, -1, 1 << 30]
+        )
+        entry[0] += 1
+        entry[1] += int(amount[index])
+        entry[2] = max(entry[2], int(amount[index]))
+        entry[3] = min(entry[3], int(amount[index]))
+    return out
+
+
+class TestBaseCuboid:
+    def test_cells_match_numpy_groupby(self, cube):
+        relation, data_cube = cube
+        reference = _reference_groupby(relation, ("region", "tier"))
+        assert len(data_cube.base_cells) == len(reference)
+        for cell in data_cube.base_cells:
+            key = (
+                cell.coordinates["region"],
+                cell.coordinates["tier"],
+            )
+            count, total, biggest, smallest = reference[key]
+            assert cell.count == count
+            assert cell.measures["sum(amount)"] == total
+            assert cell.measures["max(amount)"] == biggest
+            assert cell.measures["min(amount)"] == smallest
+
+    def test_counts_cover_relation(self, cube):
+        relation, data_cube = cube
+        assert (
+            sum(cell.count for cell in data_cube.base_cells)
+            == relation.num_records
+        )
+
+
+class TestRollup:
+    def test_rollup_marginalizes(self, cube):
+        relation, data_cube = cube
+        reference = _reference_groupby(relation, ("region",))
+        cells = data_cube.rollup(("region",))
+        assert len(cells) == len(reference)
+        for cell in cells:
+            count, total, biggest, smallest = reference[
+                (cell.coordinates["region"],)
+            ]
+            assert cell.count == count
+            assert cell.measures["sum(amount)"] == total
+            assert cell.measures["max(amount)"] == biggest
+            assert cell.measures["min(amount)"] == smallest
+
+    def test_grand_total(self, cube):
+        relation, data_cube = cube
+        apex = data_cube.grand_total()
+        amount = relation.column("amount").values.astype(np.int64)
+        assert apex.count == relation.num_records
+        assert apex.measures["sum(amount)"] == int(amount.sum())
+        assert apex.measures["max(amount)"] == int(amount.max())
+
+    def test_rollup_unknown_dimension_rejected(self, cube):
+        _relation_, data_cube = cube
+        with pytest.raises(QueryError):
+            data_cube.rollup(("bogus",))
+
+    def test_rollup_consistency_across_lattice(self, cube):
+        # Every cuboid's totals must equal the apex totals.
+        _relation_, data_cube = cube
+        apex = data_cube.grand_total()
+        for grouping in cube_lattice(("region", "tier")):
+            cells = data_cube.rollup(grouping)
+            assert (
+                sum(cell.count for cell in cells) == apex.count
+            )
+            assert (
+                sum(
+                    cell.measures["sum(amount)"] for cell in cells
+                )
+                == apex.measures["sum(amount)"]
+            )
+
+
+class TestNavigation:
+    def test_slice(self, cube):
+        relation, data_cube = cube
+        cells = data_cube.slice({"region": 2})
+        regions = relation.column("region").values.astype(np.int64)
+        tiers = relation.column("tier").values.astype(np.int64)
+        for cell in cells:
+            tier = cell.coordinates["tier"]
+            assert cell.count == int(
+                np.count_nonzero((regions == 2) & (tiers == tier))
+            )
+        with pytest.raises(QueryError):
+            data_cube.slice({"bogus": 1})
+
+    def test_drill_down(self, cube):
+        _relation_, data_cube = cube
+        fine = data_cube.drill_down(("region",), "tier")
+        assert {tuple(c.coordinates) for c in fine} == {
+            ("region", "tier")
+        }
+        with pytest.raises(QueryError):
+            data_cube.drill_down(("region",), "region")
+        with pytest.raises(QueryError):
+            data_cube.drill_down(("region",), "bogus")
+
+    def test_table_rendering(self, cube):
+        _relation_, data_cube = cube
+        text = data_cube.table()
+        assert "region" in text and "sum(amount)" in text
+        assert data_cube.table([]) == "(empty cuboid)"
+
+
+class TestConstructionAndParity:
+    def test_validation(self):
+        relation = _relation(records=100)
+        engine = GpuEngine(relation)
+        with pytest.raises(QueryError):
+            DataCube(engine, dimensions=())
+        with pytest.raises(QueryError):
+            DataCube(engine, dimensions=("bogus",))
+        with pytest.raises(QueryError):
+            DataCube(
+                engine,
+                dimensions=("region",),
+                measures=(("mode", "amount"),),
+            )
+        with pytest.raises(QueryError):
+            DataCube(
+                engine,
+                dimensions=("region",),
+                measures=(("sum", "bogus"),),
+            )
+
+    def test_too_many_cells_rejected(self):
+        rng = np.random.default_rng(0)
+        wide = Relation(
+            "w",
+            [
+                Column.integer(
+                    "k", np.arange(6000) % 5000, bits=13
+                )
+            ],
+        )
+        with pytest.raises(QueryError, match="cells"):
+            DataCube(GpuEngine(wide), dimensions=("k",))
+
+    def test_where_clause_filters_cube(self):
+        relation = _relation(records=800)
+        engine = GpuEngine(relation)
+        data_cube = DataCube(
+            engine,
+            dimensions=("region",),
+            measures=(("sum", "amount"),),
+            where=col("amount") >= 512,
+        )
+        regions = relation.column("region").values.astype(np.int64)
+        amount = relation.column("amount").values.astype(np.int64)
+        for cell in data_cube.base_cells:
+            mask = (regions == cell.coordinates["region"]) & (
+                amount >= 512
+            )
+            assert cell.count == int(mask.sum())
+            assert cell.measures["sum(amount)"] == int(
+                amount[mask].sum()
+            )
+
+    def test_gpu_cpu_cubes_identical(self):
+        relation = _relation(records=600)
+        gpu_cube = DataCube(
+            GpuEngine(relation),
+            dimensions=("region", "tier"),
+            measures=(("sum", "amount"),),
+        )
+        cpu_cube = DataCube(
+            CpuEngine(relation),
+            dimensions=("region", "tier"),
+            measures=(("sum", "amount"),),
+        )
+        for left, right in zip(
+            gpu_cube.base_cells, cpu_cube.base_cells
+        ):
+            assert left.coordinates == right.coordinates
+            assert left.count == right.count
+            assert left.measures == right.measures
+
+
+class TestLattice:
+    def test_lattice_enumerates_all_cuboids(self):
+        lattice = cube_lattice(("a", "b"))
+        assert lattice == [("a", "b"), ("a",), ("b",), ()]
+        assert len(cube_lattice(("a", "b", "c"))) == 8
+
+
+class TestThreeDimensions:
+    def test_three_dim_cube_and_lattice_consistency(self):
+        rng = np.random.default_rng(23)
+        relation = Relation(
+            "s3",
+            [
+                Column.integer("a", rng.integers(0, 3, 900), bits=2),
+                Column.integer("b", rng.integers(0, 3, 900), bits=2),
+                Column.integer("c", rng.integers(0, 2, 900), bits=1),
+                Column.integer(
+                    "v", rng.integers(0, 1 << 8, 900), bits=8
+                ),
+            ],
+        )
+        cube3 = DataCube(
+            GpuEngine(relation),
+            dimensions=("a", "b", "c"),
+            measures=(("sum", "v"),),
+        )
+        apex = cube3.grand_total()
+        values = relation.column("v").values.astype(np.int64)
+        assert apex.count == 900
+        assert apex.measures["sum(v)"] == int(values.sum())
+        for grouping in cube_lattice(("a", "b", "c")):
+            cells = cube3.rollup(grouping)
+            assert sum(cell.count for cell in cells) == 900
+            assert (
+                sum(cell.measures["sum(v)"] for cell in cells)
+                == apex.measures["sum(v)"]
+            )
+        # Mid-lattice cuboid matches a direct group-by.
+        ab = {
+            (cell.coordinates["a"], cell.coordinates["b"]): cell
+            for cell in cube3.rollup(("a", "b"))
+        }
+        a = relation.column("a").values.astype(np.int64)
+        b = relation.column("b").values.astype(np.int64)
+        for key, cell in ab.items():
+            mask = (a == key[0]) & (b == key[1])
+            assert cell.count == int(mask.sum())
+            assert cell.measures["sum(v)"] == int(values[mask].sum())
+
+    def test_four_dimensions_rejected(self):
+        relation = _relation(records=50)
+        with pytest.raises(QueryError):
+            DataCube(
+                GpuEngine(relation),
+                dimensions=("region", "tier", "amount", "region"),
+            )

@@ -1,0 +1,38 @@
+"""Guard against documentation rot: README code blocks must run.
+
+Extracts every ```python block from README.md and executes them in one
+shared namespace (later blocks may reference earlier ones), so the
+quickstart can never drift from the actual API.
+"""
+
+import pathlib
+import re
+
+README = pathlib.Path(__file__).resolve().parents[1] / "README.md"
+
+
+def _python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_has_python_blocks(self):
+        blocks = _python_blocks(README.read_text())
+        assert len(blocks) >= 2
+
+    def test_python_blocks_execute(self):
+        namespace: dict = {}
+        for block in _python_blocks(README.read_text()):
+            exec(compile(block, str(README), "exec"), namespace)
+        # The quickstart block leaves a live engine behind.
+        assert "gpu" in namespace
+
+    def test_documented_files_exist(self):
+        root = README.parent
+        text = README.read_text()
+        for relative in re.findall(r"examples/\w+\.py", text):
+            assert (root / relative).exists(), relative
+        for name in ("DESIGN.md", "EXPERIMENTS.md",
+                     "docs/PIPELINE.md", "docs/CALIBRATION.md"):
+            assert name in text
+            assert (root / name).exists(), name

@@ -1,0 +1,257 @@
+"""Continuous queries over streams (the section 7 extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import col
+from repro.errors import DataError, QueryError
+from repro.streams import ContinuousQuery, StreamEngine
+
+
+def _engine(capacity=100):
+    return StreamEngine([("v", 8), ("g", 3)], capacity=capacity)
+
+
+def _batch(rng, size):
+    return {
+        "v": rng.integers(0, 256, size),
+        "g": rng.integers(0, 8, size),
+    }
+
+
+class TestConstruction:
+    def test_schema_validation(self):
+        with pytest.raises(DataError):
+            StreamEngine([], capacity=10)
+        with pytest.raises(DataError):
+            StreamEngine([("v", 8)], capacity=0)
+        with pytest.raises(DataError):
+            StreamEngine([("v", 25)], capacity=10)
+        with pytest.raises(DataError):
+            StreamEngine([("v", 8), ("v", 8)], capacity=10)
+
+    def test_query_validation(self):
+        engine = _engine()
+        with pytest.raises(QueryError):
+            ContinuousQuery("q", "bogus")
+        with pytest.raises(QueryError):
+            ContinuousQuery("q", "sum")  # needs a column
+        with pytest.raises(QueryError):
+            ContinuousQuery("q", "kth_largest", column="v")  # needs k
+        with pytest.raises(QueryError):
+            engine.register(
+                ContinuousQuery("q", "sum", column="missing")
+            )
+        with pytest.raises(QueryError):
+            engine.register(
+                ContinuousQuery(
+                    "q", "count", predicate=col("missing") > 1
+                )
+            )
+
+    def test_register_unregister(self):
+        engine = _engine()
+        engine.register(ContinuousQuery("a", "count"))
+        engine.register(ContinuousQuery("b", "sum", column="v"))
+        assert engine.queries == ["a", "b"]
+        engine.unregister("a")
+        assert engine.queries == ["b"]
+
+
+class TestBatchValidation:
+    def test_missing_column(self):
+        engine = _engine()
+        with pytest.raises(DataError, match="missing"):
+            engine.append({"v": np.array([1])})
+
+    def test_length_mismatch(self):
+        engine = _engine()
+        with pytest.raises(DataError, match="equal length"):
+            engine.append(
+                {"v": np.array([1, 2]), "g": np.array([1])}
+            )
+
+    def test_out_of_domain_values(self):
+        engine = _engine()
+        with pytest.raises(DataError, match="outside"):
+            engine.append(
+                {"v": np.array([256]), "g": np.array([0])}
+            )
+        with pytest.raises(DataError, match="outside"):
+            engine.append(
+                {"v": np.array([-1]), "g": np.array([0])}
+            )
+
+    def test_empty_batch_is_a_tick(self):
+        engine = _engine()
+        engine.register(ContinuousQuery("n", "count"))
+        tick = engine.append(
+            {"v": np.array([]), "g": np.array([])}
+        )
+        assert tick.window_size == 0
+        assert tick.results["n"] is None
+
+    def test_oversized_batch_keeps_newest(self):
+        engine = _engine(capacity=10)
+        engine.register(ContinuousQuery("mx", "maximum", column="v"))
+        values = np.arange(30) % 256
+        tick = engine.append(
+            {"v": values, "g": np.zeros(30, dtype=np.int64)}
+        )
+        assert tick.window_size == 10
+        window = engine.window_relation().column("v").values
+        assert set(window.astype(int)) == set(range(20, 30))
+
+
+class TestSlidingWindow:
+    def test_matches_reference_across_wraps(self):
+        rng = np.random.default_rng(1)
+        engine = _engine(capacity=100)
+        engine.register(ContinuousQuery("n", "count"))
+        engine.register(
+            ContinuousQuery("hot", "count", predicate=col("v") >= 200)
+        )
+        engine.register(ContinuousQuery("med", "median", column="v"))
+        engine.register(ContinuousQuery("sum", "sum", column="v"))
+        engine.register(
+            ContinuousQuery("mn", "minimum", column="v")
+        )
+        history = []
+        for _ in range(7):
+            batch = _batch(rng, 37)
+            history.append(batch["v"])
+            tick = engine.append(batch)
+            window = np.concatenate(history)[-100:]
+            descending = np.sort(window)[::-1]
+            assert tick.results["n"] == window.size
+            assert tick.results["hot"] == int((window >= 200).sum())
+            assert tick.results["sum"] == int(window.sum())
+            assert tick.results["mn"] == int(window.min())
+            assert tick.results["med"] == int(
+                descending[(window.size + 1) // 2 - 1]
+            )
+
+    def test_boolean_predicates_on_stream(self):
+        rng = np.random.default_rng(2)
+        engine = _engine(capacity=80)
+        predicate = (col("v") >= 100) & (col("g") < 4)
+        engine.register(
+            ContinuousQuery("sel", "selectivity", predicate=predicate)
+        )
+        history_v, history_g = [], []
+        for _ in range(4):
+            batch = _batch(rng, 30)
+            history_v.append(batch["v"])
+            history_g.append(batch["g"])
+            tick = engine.append(batch)
+            v = np.concatenate(history_v)[-80:]
+            g = np.concatenate(history_g)[-80:]
+            expected = ((v >= 100) & (g < 4)).sum() / v.size
+            assert tick.results["sel"] == pytest.approx(expected)
+
+    def test_predicated_aggregate_over_window(self):
+        rng = np.random.default_rng(3)
+        engine = _engine(capacity=60)
+        engine.register(
+            ContinuousQuery(
+                "avg_hot",
+                "average",
+                column="v",
+                predicate=col("g") == 1,
+            )
+        )
+        history_v, history_g = [], []
+        for _ in range(5):
+            batch = _batch(rng, 25)
+            history_v.append(batch["v"])
+            history_g.append(batch["g"])
+            tick = engine.append(batch)
+            v = np.concatenate(history_v)[-60:]
+            g = np.concatenate(history_g)[-60:]
+            selected = v[g == 1]
+            if selected.size == 0:
+                assert tick.results["avg_hot"] is None
+            else:
+                assert tick.results["avg_hot"] == pytest.approx(
+                    selected.mean()
+                )
+
+    def test_kth_larger_than_window_returns_none(self):
+        engine = _engine(capacity=50)
+        engine.register(
+            ContinuousQuery("k", "kth_largest", column="v", k=10)
+        )
+        tick = engine.append(
+            {"v": np.arange(5), "g": np.zeros(5, dtype=np.int64)}
+        )
+        assert tick.results["k"] is None
+
+    @given(
+        batches=st.lists(
+            st.lists(st.integers(0, 255), min_size=1, max_size=20),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_sum_tracks_window(self, batches):
+        engine = StreamEngine([("v", 8)], capacity=30)
+        engine.register(ContinuousQuery("s", "sum", column="v"))
+        history = []
+        for values in batches:
+            history.extend(values)
+            tick = engine.append({"v": np.array(values)})
+            assert tick.results["s"] == sum(history[-30:])
+
+
+class TestCostAccounting:
+    def test_appends_pay_batch_proportional_upload(self):
+        engine = StreamEngine([("v", 8)], capacity=10_000)
+        engine.register(ContinuousQuery("n", "count"))
+        small = engine.append({"v": np.zeros(10, dtype=np.int64)})
+        large = engine.append(
+            {"v": np.zeros(5_000, dtype=np.int64)}
+        )
+        assert large.gpu_time.upload_s > small.gpu_time.upload_s
+
+    def test_tick_cost_positive(self):
+        engine = _engine()
+        engine.register(ContinuousQuery("m", "median", column="v"))
+        tick = engine.append(
+            {
+                "v": np.arange(50) % 256,
+                "g": np.zeros(50, dtype=np.int64),
+            }
+        )
+        assert tick.gpu_ms > 0
+
+    def test_semilinear_query_on_stream(self):
+        from repro.core.predicates import SemiLinear
+        from repro.gpu.types import CompareFunc
+
+        rng = np.random.default_rng(4)
+        engine = _engine(capacity=40)
+        predicate = SemiLinear(
+            ("v", "g"), (1.0, -10.0), CompareFunc.GEQUAL, 50.0
+        )
+        engine.register(
+            ContinuousQuery("sl", "count", predicate=predicate)
+        )
+        history_v, history_g = [], []
+        for _ in range(3):
+            batch = _batch(rng, 20)
+            history_v.append(batch["v"])
+            history_g.append(batch["g"])
+            tick = engine.append(batch)
+            v = np.concatenate(history_v)[-40:].astype(np.float32)
+            g = np.concatenate(history_g)[-40:].astype(np.float32)
+            expected = int((v - 10 * g >= 50).sum())
+            # Ring placement reorders records but not counts.
+            assert tick.results["sl"] == expected
+
+    def test_window_relation_empty_rejected(self):
+        engine = _engine()
+        with pytest.raises(QueryError):
+            engine.window_relation()
