@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too.
 
-.PHONY: install test bench figures figures-paper smoke lint
+.PHONY: install test bench figures figures-paper smoke lint trace-demo
 
 install:
 	python setup.py develop
@@ -22,3 +22,9 @@ figures-paper:
 
 lint:
 	python -m compileall -q src tests benchmarks examples
+
+# Trace the figure-9 workload (selection + masked median) per pass;
+# writes traces/fig9.txt (pass tree) and traces/fig9.json (load in
+# chrome://tracing or https://ui.perfetto.dev).
+trace-demo:
+	python -m repro.bench fig9 --scale smoke --trace traces

@@ -1,0 +1,88 @@
+"""Per-figure rendering-pass-count baselines.
+
+The paper's performance model is pass-count arithmetic: Compare is one
+copy plus one comparison quad (section 4.2), EvalCNF is three passes per
+clause (section 4.3), KthLargest is one copy plus ``b`` occlusion-query
+passes (section 4.5), Accumulator is one TestBit pass per bit
+(section 4.6).  These formulas pin that structure down per benchmark
+figure so a regression that silently adds or drops passes fails loudly.
+
+``expected_pass_count`` answers "how many rendering passes should this
+figure's core GPU operation issue for a ``bits``-bit column and ``k``
+CNF clauses"; the tests compare it against counts *measured* through the
+tracer.
+"""
+
+from __future__ import annotations
+
+from ..errors import BenchmarkError
+
+#: Copy-to-depth passes per attribute copy (section 4.1).
+COPY_PASSES = 1
+#: Stencil passes per CNF clause: copy + comparison + cleanup
+#: (section 4.3.1's three-stencil-op dance).
+CNF_PASSES_PER_CLAUSE = 3
+
+
+def select_passes(num_clauses: int = 1) -> int:
+    """Passes for a selection.
+
+    A single simple predicate (comparison or range) is a copy plus one
+    test quad; a ``k``-clause CNF pays three passes per clause.
+    """
+    if num_clauses < 1:
+        raise BenchmarkError(
+            f"a selection needs at least one clause, got {num_clauses}"
+        )
+    if num_clauses == 1:
+        return COPY_PASSES + 1
+    return CNF_PASSES_PER_CLAUSE * num_clauses
+
+
+def kth_largest_passes(bits: int) -> int:
+    """One copy plus one occlusion-query pass per bit (section 4.5)."""
+    return COPY_PASSES + bits
+
+
+def accumulator_passes(bits: int) -> int:
+    """One TestBit pass per bit; no depth copy (section 4.6)."""
+    return bits
+
+
+#: experiment id -> expected passes of the figure's core GPU operation,
+#: as a function of (bits, cnf clause count k).
+_FORMULAS = {
+    # One copy-to-depth pass, measured in isolation.
+    "fig2": lambda bits, k: COPY_PASSES,
+    # Single predicate: copy + comparison quad.
+    "fig3": lambda bits, k: select_passes(1),
+    # Range: copy + one depth-bounds quad (not two comparisons).
+    "fig4": lambda bits, k: select_passes(1),
+    # k-clause CNF: three stencil passes per clause.
+    "fig5": lambda bits, k: select_passes(k),
+    # Semi-linear: no copy at all, one SemilinearFP quad.
+    "fig6": lambda bits, k: 1,
+    # KthLargest: copy + b occlusion-query passes, independent of k.
+    "fig7": lambda bits, k: kth_largest_passes(bits),
+    # Median is KthLargest at k = ceil(n/2).
+    "fig8": lambda bits, k: kth_largest_passes(bits),
+    # Selection (copy + test) then masked KthLargest (copy + b).
+    "fig9": lambda bits, k: select_passes(1) + kth_largest_passes(bits),
+    # Accumulator: one TestBit pass per bit.
+    "fig10": lambda bits, k: accumulator_passes(bits),
+}
+
+
+def expected_pass_count(
+    experiment_id: str, bits: int, num_clauses: int = 1
+) -> int:
+    """Baseline rendering-pass count for one run of the figure's core
+    GPU operation over a ``bits``-bit column."""
+    try:
+        formula = _FORMULAS[experiment_id]
+    except KeyError:
+        raise BenchmarkError(
+            f"no pass-count baseline for {experiment_id!r}; have "
+            f"{sorted(_FORMULAS)}"
+        ) from None
+    return formula(bits, num_clauses)

@@ -60,6 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write one CSV per series into DIR (for plotting)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        help=(
+            "trace every rendering pass; writes a plain-text pass tree "
+            "(<experiment>.txt) and a Chrome-trace JSON "
+            "(<experiment>.json, load in chrome://tracing or Perfetto) "
+            "per experiment into DIR"
+        ),
+    )
     return parser
 
 
@@ -73,12 +83,19 @@ def main(argv: list[str] | None = None) -> int:
     targets = args.experiments or experiment_ids()
     renderer = render_markdown if args.markdown else render_table
     for eid in targets:
+        tracer = None
+        if args.trace:
+            from ..trace import Tracer
+
+            tracer = Tracer()
         started = time.perf_counter()
-        result = run_experiment(eid, scale=args.scale)
+        result = run_experiment(eid, scale=args.scale, tracer=tracer)
         elapsed = time.perf_counter() - started
         print(renderer(result))
         if args.csv:
             _write_csv(args.csv, result)
+        if tracer is not None:
+            _write_trace(args.trace, eid, tracer)
         if not args.markdown:
             print(f"  (harness wall-clock: {elapsed:.1f} s)")
         print()
@@ -92,6 +109,22 @@ def _write_csv(directory: str, result) -> None:
         slug = re.sub(r"[^A-Za-z0-9]+", "-", series.name).strip("-")
         path = out / f"{result.experiment_id}_{slug}.csv"
         path.write_text(render_series_csv(series) + "\n")
+
+
+def _write_trace(directory: str, experiment_id: str, tracer) -> None:
+    from ..trace import render_text, write_chrome_trace
+
+    out = pathlib.Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    trace = tracer.finish()
+    text_path = out / f"{experiment_id}.txt"
+    text_path.write_text(render_text(trace) + "\n")
+    json_path = out / f"{experiment_id}.json"
+    write_chrome_trace(trace, json_path)
+    print(
+        f"  (trace: {trace.num_passes} passes -> "
+        f"{text_path} / {json_path})"
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -48,12 +48,26 @@ def experiment_ids() -> list[str]:
 
 
 def run_experiment(
-    experiment_id: str, scale: str | Scale = "quick"
+    experiment_id: str,
+    scale: str | Scale = "quick",
+    tracer=None,
 ) -> ExperimentResult:
+    """Run one experiment.  Passing a :class:`~repro.trace.Tracer`
+    installs it process-wide for the run (engines the experiment builds
+    pick it up) and wraps the run in an experiment span."""
     if isinstance(scale, str):
         scale = get_scale(scale)
     experiment = get_experiment(experiment_id)
-    return experiment.runner(scale)
+    if tracer is None:
+        return experiment.runner(scale)
+    from ..trace import use_tracer
+
+    with use_tracer(tracer):
+        with tracer.span(
+            experiment_id, category="experiment",
+            title=experiment.title,
+        ):
+            return experiment.runner(scale)
 
 
 def run_all(scale: str | Scale = "quick") -> list[ExperimentResult]:

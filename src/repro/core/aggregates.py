@@ -160,7 +160,9 @@ def kth_smallest(
     duplicate-safe (the paper inverts the comparison; complementing k is
     the equivalent order-statistics identity)."""
     if not 1 <= k <= valid_count:
-        raise QueryError(f"k={k} outside [1, {valid_count}]")
+        raise QueryError(
+            f"k={k} outside [1, {valid_count}] valid records"
+        )
     return kth_largest(
         device,
         texture,

@@ -37,6 +37,7 @@ class Column:
         lo: float,
         hi: float,
         fraction_bits: int = 0,
+        bias: int = 0,
     ):
         self.name = name
         self.values = values
@@ -48,6 +49,12 @@ class Column:
         #: stored representation is ``value * 2**fraction_bits`` (an
         #: integer), which is what the bit-sliced aggregates operate on.
         self.fraction_bits = fraction_bits
+        #: Offset encoding for signed integer columns: the stored
+        #: (GPU-side) representation is ``value + bias``, a non-negative
+        #: integer.  The depth mapping stays a power-of-two scale, so
+        #: comparisons and bit-sliced aggregation remain exact;
+        #: ``from_stored`` / ``sum_from_stored`` un-bias results.
+        self.bias = bias
 
     # -- constructors ---------------------------------------------------------
 
@@ -55,27 +62,32 @@ class Column:
     def integer(
         cls, name: str, values, bits: int | None = None
     ) -> "Column":
-        """A non-negative integer attribute of at most 24 bits.
+        """A signed or unsigned integer attribute of at most 24 bits.
 
-        ``bits`` defaults to the smallest width that holds the data; it
-        may be widened explicitly (e.g. to fix pass counts across
-        datasets) but never narrowed below the data.
+        Negative values are handled with offset (bias) encoding: the
+        GPU-side stored representation is ``value - min(values)``, so
+        the depth normalization keeps its exact power-of-two scale and
+        every bit-sliced aggregate works unchanged; results are
+        un-biased on the way out (``from_stored``).
+
+        ``bits`` defaults to the smallest width that holds the *stored*
+        data; it may be widened explicitly (e.g. to fix pass counts
+        across datasets) but never narrowed below the data.
         """
         array = np.asarray(values)
         if array.ndim != 1:
             raise DataError(f"column {name!r}: values must be 1-D")
-        if array.size and (
-            np.any(array < 0) or np.any(array != np.floor(array))
-        ):
+        if array.size and np.any(array != np.floor(array)):
             raise DataError(
-                f"column {name!r}: integer columns need non-negative "
-                "integer values"
+                f"column {name!r}: integer columns need integer values"
             )
-        top = int(array.max()) if array.size else 0
+        bottom = int(array.min()) if array.size else 0
+        bias = -bottom if bottom < 0 else 0
+        top = (int(array.max()) if array.size else 0) + bias
         if top >= MAX_EXACT_INT:
             raise DataError(
-                f"column {name!r}: values must be < 2**{DEPTH_BITS} "
-                "for exact float32/depth representation"
+                f"column {name!r}: the value span must be < "
+                f"2**{DEPTH_BITS} for exact float32/depth representation"
             )
         needed = max(1, top.bit_length())
         if bits is None:
@@ -90,8 +102,9 @@ class Column:
             array.astype(np.float32),
             is_integer=True,
             bits=bits,
-            lo=0.0,
-            hi=float(1 << bits),
+            lo=float(-bias),
+            hi=float((1 << bits) - bias),
+            bias=bias,
         )
 
     @classmethod
@@ -209,11 +222,14 @@ class Column:
         return self.is_integer or self.is_fixed_point
 
     def stored_values(self) -> np.ndarray:
-        """The integer representation the bit-sliced aggregates see:
-        raw values for integer columns, ``value * 2**fraction_bits``
-        for fixed-point columns."""
+        """The non-negative integer representation the bit-sliced
+        aggregates (and the depth copy) see: ``value + bias`` for
+        integer columns, ``value * 2**fraction_bits`` for fixed-point
+        columns."""
         if self.is_integer:
-            return self.values
+            if self.bias == 0:
+                return self.values
+            return self.values + np.float32(self.bias)
         if self.is_fixed_point:
             return np.round(
                 self.values.astype(np.float64)
@@ -226,9 +242,27 @@ class Column:
     def from_stored(self, stored):
         """Map a stored-domain integer result back to value units."""
         if self.is_integer:
-            return stored
+            if self.bias == 0:
+                return stored
+            return stored - self.bias
         if self.is_fixed_point:
             return stored / float(1 << self.fraction_bits)
+        raise DataError(
+            f"column {self.name!r} has no integer representation"
+        )
+
+    def sum_from_stored(self, total, count: int):
+        """Map a stored-domain SUM over ``count`` records back to value
+        units.
+
+        Unlike the per-value map, the bias does not distribute over a
+        sum: ``Σ(v + bias) = Σv + count * bias``, so the whole
+        accumulated bias is subtracted at once.
+        """
+        if self.is_integer:
+            return total - count * self.bias
+        if self.is_fixed_point:
+            return total / float(1 << self.fraction_bits)
         raise DataError(
             f"column {self.name!r} has no integer representation"
         )

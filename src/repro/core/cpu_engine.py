@@ -22,6 +22,7 @@ from ..cpu.quickselect import partition_select
 from ..cpu.quickselect import quickselect as hoare_quickselect
 from ..cpu.cost import CpuCostModel
 from ..errors import QueryError
+from ..trace import current_tracer
 from .polynomial import Polynomial
 from .predicates import (
     And,
@@ -99,34 +100,60 @@ class CpuEngine:
         relation: Relation,
         cost_model: CpuCostModel | None = None,
         faithful_quickselect: bool = False,
+        tracer=None,
     ):
         self.relation = relation
         self.cost_model = cost_model or CpuCostModel()
         #: Use the pure-Python Hoare FIND (paper-faithful but slow to
         #: *actually run*) instead of numpy.partition.  Identical values.
         self.faithful_quickselect = faithful_quickselect
+        #: Optional :class:`~repro.trace.Tracer` — each operation
+        #: becomes a span (no pass events; the CPU has no passes).
+        #: Defaults to the process-wide tracer, usually ``None``.
+        self.tracer = tracer if tracer is not None else current_tracer()
+
+    # -- measurement helpers -----------------------------------------------------
+
+    def _begin(self, op: str, **attrs):
+        if self.tracer is None:
+            return None
+        return self.tracer.begin(op, **attrs)
+
+    def _finish(self, span, result: CpuOpResult) -> CpuOpResult:
+        if span is not None:
+            self.tracer.end(span, modeled_ms=result.modeled_ms)
+        return result
+
+    @staticmethod
+    def _validate_k(k: int, valid_count: int) -> None:
+        if not 1 <= k <= valid_count:
+            raise QueryError(
+                f"k={k} outside [1, {valid_count}] valid records"
+            )
 
     # -- selection ---------------------------------------------------------------
 
     def select(self, predicate: Predicate) -> CpuSelection:
+        span = self._begin("select", predicate=str(predicate))
         records = self.relation.num_records
         mask = predicate.mask(self.relation)
         terms = predicate_terms(predicate, self.cost_model)
         modeled = self.cost_model.predicate_scan_s(records, terms)
-        return CpuSelection(
+        return self._finish(span, CpuSelection(
             value=int(np.count_nonzero(mask)),
             modeled_s=modeled,
             mask=mask,
             total_records=records,
-        )
+        ))
 
     def count(self, predicate: Predicate | None = None) -> CpuOpResult:
         if predicate is not None:
             return self.select(predicate)
+        span = self._begin("count")
         records = self.relation.num_records
-        return CpuOpResult(
+        return self._finish(span, CpuOpResult(
             value=records, modeled_s=self.cost_model.count_s(records)
-        )
+        ))
 
     def selectivity(self, predicate: Predicate) -> float:
         return self.select(predicate).selectivity
@@ -191,58 +218,63 @@ class CpuEngine:
     def kth_largest(
         self, column_name: str, k: int, predicate: Predicate | None = None
     ) -> CpuOpResult:
+        self._validate_k(k, self.relation.num_records)
+        span = self._begin("kth_largest", column=column_name, k=k)
         values, selectivity, records = self._column_values(
             column_name, predicate
         )
-        if not 1 <= k <= values.size:
-            raise QueryError(f"k={k} outside [1, {values.size}]")
+        self._validate_k(k, values.size)
         value = self._select_kth(values, k)
-        return CpuOpResult(
+        return self._finish(span, CpuOpResult(
             value=self._from_stored(column_name, int(value)),
             modeled_s=self._order_statistic_cost(
                 records, selectivity, predicate, k
             ),
-        )
+        ))
 
     def kth_smallest(
         self, column_name: str, k: int, predicate: Predicate | None = None
     ) -> CpuOpResult:
+        self._validate_k(k, self.relation.num_records)
+        span = self._begin("kth_smallest", column=column_name, k=k)
         values, selectivity, records = self._column_values(
             column_name, predicate
         )
-        if not 1 <= k <= values.size:
-            raise QueryError(f"k={k} outside [1, {values.size}]")
+        self._validate_k(k, values.size)
         value = self._select_kth(values, values.size - k + 1)
-        return CpuOpResult(
+        return self._finish(span, CpuOpResult(
             value=self._from_stored(column_name, int(value)),
             modeled_s=self._order_statistic_cost(
                 records, selectivity, predicate, k
             ),
-        )
+        ))
 
     def maximum(self, column_name, predicate=None) -> CpuOpResult:
+        span = self._begin("maximum", column=column_name)
         values, _sel, records = self._column_values(column_name, predicate)
         if values.size == 0:
             raise QueryError("MAX of an empty selection")
-        return CpuOpResult(
+        return self._finish(span, CpuOpResult(
             value=self._from_stored(
                 column_name, int(cpu_aggregate.maximum(values))
             ),
             modeled_s=self.cost_model.sum_s(records),
-        )
+        ))
 
     def minimum(self, column_name, predicate=None) -> CpuOpResult:
+        span = self._begin("minimum", column=column_name)
         values, _sel, records = self._column_values(column_name, predicate)
         if values.size == 0:
             raise QueryError("MIN of an empty selection")
-        return CpuOpResult(
+        return self._finish(span, CpuOpResult(
             value=self._from_stored(
                 column_name, int(cpu_aggregate.minimum(values))
             ),
             modeled_s=self.cost_model.sum_s(records),
-        )
+        ))
 
     def median(self, column_name, predicate=None) -> CpuOpResult:
+        span = self._begin("median", column=column_name)
         values, selectivity, records = self._column_values(
             column_name, predicate
         )
@@ -250,12 +282,12 @@ class CpuEngine:
             raise QueryError("median of an empty selection")
         k = (values.size + 1) // 2
         value = self._select_kth(values, k)
-        return CpuOpResult(
+        return self._finish(span, CpuOpResult(
             value=self._from_stored(column_name, int(value)),
             modeled_s=self._order_statistic_cost(
                 records, selectivity, predicate
             ),
-        )
+        ))
 
     def top_k(
         self, column_name: str, k: int, predicate: Predicate | None = None
@@ -266,6 +298,8 @@ class CpuEngine:
         from .engine import TopK
 
         column = self.relation.column(column_name)
+        self._validate_k(k, self.relation.num_records)
+        span = self._begin("top_k", column=column_name, k=k)
         if column.supports_bit_slicing:
             values = column.stored_values()
         else:
@@ -278,11 +312,10 @@ class CpuEngine:
             mask = selection.mask
             selectivity = selection.selectivity
         selected = values[mask]
-        if not 1 <= k <= selected.size:
-            raise QueryError(f"k={k} outside [1, {selected.size}]")
+        self._validate_k(k, selected.size)
         threshold = int(self._select_kth(selected, k))
         ids = np.flatnonzero(mask & (values >= threshold))
-        return CpuOpResult(
+        return self._finish(span, CpuOpResult(
             value=TopK(
                 threshold=self._from_stored(column_name, threshold),
                 record_ids=ids,
@@ -290,7 +323,7 @@ class CpuEngine:
             modeled_s=self._order_statistic_cost(
                 self.relation.num_records, selectivity, predicate, k
             ),
-        )
+        ))
 
     def quantiles(
         self,
@@ -302,6 +335,9 @@ class CpuEngine:
         :meth:`~repro.core.engine.GpuEngine.quantiles`)."""
         import math
 
+        span = self._begin(
+            "quantiles", column=column_name, fractions=list(fractions)
+        )
         values, selectivity, records = self._column_values(
             column_name, predicate
         )
@@ -327,7 +363,9 @@ class CpuEngine:
             modeled += self._order_statistic_cost(
                 records, selectivity, predicate, k
             )
-        return CpuOpResult(value=out, modeled_s=modeled)
+        return self._finish(
+            span, CpuOpResult(value=out, modeled_s=modeled)
+        )
 
     def selectivities(self, predicates) -> CpuOpResult:
         """Batched selectivity analysis (CPU twin of
@@ -336,6 +374,9 @@ class CpuEngine:
             raise QueryError(
                 "selectivities() needs at least one predicate"
             )
+        span = self._begin(
+            "selectivities", num_predicates=len(predicates)
+        )
         counts = [self.select(p).count for p in predicates]
         modeled = sum(
             self.cost_model.predicate_scan_s(
@@ -344,7 +385,9 @@ class CpuEngine:
             )
             for p in predicates
         )
-        return CpuOpResult(value=counts, modeled_s=modeled)
+        return self._finish(
+            span, CpuOpResult(value=counts, modeled_s=modeled)
+        )
 
     def histogram(
         self, column_name: str, buckets: int = 32
@@ -356,42 +399,57 @@ class CpuEngine:
             raise QueryError("histogram requires an integer column")
         if buckets < 1:
             raise QueryError(f"need at least one bucket, got {buckets}")
-        hi = (1 << column.bits) - 1
+        span = self._begin("histogram", column=column_name,
+                           buckets=buckets)
+        # Same value-domain edges as the GPU histogram: [lo, lo+2**bits)
+        # (lo = -bias for bias-encoded signed columns).
+        lo = int(column.lo)
+        top = lo + (1 << column.bits)
         edges = np.unique(
-            np.floor(np.linspace(0, hi + 1, buckets + 1)).astype(
+            np.floor(np.linspace(lo, top, buckets + 1)).astype(
                 np.int64
             )
         )
-        if edges[-1] != hi + 1:
-            edges[-1] = hi + 1
+        if edges[-1] != top:
+            edges[-1] = top
         counts, _bins = np.histogram(
             column.values.astype(np.int64), bins=edges
         )
         records = self.relation.num_records
-        return CpuOpResult(
+        return self._finish(span, CpuOpResult(
             value=(edges, counts.astype(np.int64)),
             modeled_s=self.cost_model.predicate_scan_s(records),
-        )
+        ))
 
     # -- aggregation -----------------------------------------------------------------------
 
+    def _sum_from_stored(self, column_name: str, total, count: int):
+        """Map a stored-domain SUM back to value units (the per-value
+        bias does not distribute over a sum)."""
+        column = self.relation.column(column_name)
+        if column.supports_bit_slicing:
+            return column.sum_from_stored(total, count)
+        return total
+
     def sum(self, column_name, predicate=None) -> CpuOpResult:
+        span = self._begin("sum", column=column_name)
         values, _sel, records = self._column_values(column_name, predicate)
-        return CpuOpResult(
-            value=self._from_stored(
-                column_name, cpu_aggregate.exact_sum(values)
+        return self._finish(span, CpuOpResult(
+            value=self._sum_from_stored(
+                column_name, cpu_aggregate.exact_sum(values), values.size
             ),
             modeled_s=self.cost_model.sum_s(records),
-        )
+        ))
 
     def average(self, column_name, predicate=None) -> CpuOpResult:
+        span = self._begin("average", column=column_name)
         values, _sel, records = self._column_values(column_name, predicate)
         if values.size == 0:
             raise QueryError("AVG of an empty selection")
-        return CpuOpResult(
-            value=self._from_stored(
-                column_name, cpu_aggregate.exact_sum(values)
+        return self._finish(span, CpuOpResult(
+            value=self._sum_from_stored(
+                column_name, cpu_aggregate.exact_sum(values), values.size
             )
             / values.size,
             modeled_s=self.cost_model.sum_s(records),
-        )
+        ))

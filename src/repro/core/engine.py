@@ -21,12 +21,13 @@ import dataclasses
 
 import numpy as np
 
-from ..errors import QueryError
+from ..errors import QueryError, StaleSelectionError
 from ..gpu.cost import GpuCostModel, GpuTime
 from ..gpu.counters import PipelineStats
 from ..gpu.memory import VideoMemory
 from ..gpu.pipeline import Device
 from ..gpu.texture import Texture, texture_shape_for
+from ..trace import current_tracer
 from . import aggregates
 from .predicates import Predicate
 from .relation import Relation
@@ -86,11 +87,27 @@ class GpuOpResult:
 
 @dataclasses.dataclass
 class Selection(GpuOpResult):
-    """Result of a selection query.  ``value`` is the match count."""
+    """Result of a selection query.  ``value`` is the match count.
+
+    The selection mask lives in the engine's stencil buffer, and the
+    device holds exactly **one** such buffer: the next stencil-writing
+    query (another ``select``, ``top_k``, ...) overwrites it.  The
+    selection snapshots the device's stencil generation at creation;
+    reading ``record_ids()`` / ``records()`` after the mask was
+    overwritten raises :class:`~repro.errors.StaleSelectionError`
+    instead of silently returning the *other* query's records.  Call
+    :meth:`materialize` while the selection is live to keep the ids
+    across later queries.
+    """
 
     valid_stencil: int = 1
     total_records: int = 0
     engine: "GpuEngine | None" = None
+    #: Device stencil generation at creation time (staleness check).
+    generation: int = 0
+    _cached_ids: np.ndarray | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def count(self) -> int:
@@ -102,12 +119,41 @@ class Selection(GpuOpResult):
             return 0.0
         return self.count / self.total_records
 
+    @property
+    def is_stale(self) -> bool:
+        """True when a later query overwrote this selection's stencil
+        mask (unmaterialized reads would raise)."""
+        if self.engine is None or self._cached_ids is not None:
+            return False
+        return self.engine.device.stencil_generation != self.generation
+
+    def materialize(self) -> "Selection":
+        """Read the mask back now and cache the record ids, so they
+        survive later stencil-writing queries.  Returns ``self``."""
+        if self._cached_ids is None:
+            self._cached_ids = self._read_ids()
+        return self
+
     def record_ids(self) -> np.ndarray:
-        """Read the stencil mask back and return the selected record
-        indices (a costed readback — GPUs return results via the bus)."""
+        """The selected record indices, from the cached snapshot when
+        :meth:`materialize` was called, otherwise via a stencil readback
+        (a costed readback — GPUs return results via the bus)."""
+        if self._cached_ids is not None:
+            return self._cached_ids
+        return self._read_ids()
+
+    def _read_ids(self) -> np.ndarray:
         if self.engine is None:
             raise QueryError("selection is detached from its engine")
-        stencil = self.engine.device.read_stencil()
+        device = self.engine.device
+        if device.stencil_generation != self.generation:
+            raise StaleSelectionError(
+                "selection is stale: a later query overwrote the "
+                f"stencil mask (generation {device.stencil_generation} "
+                f"!= {self.generation}); call materialize() while the "
+                "selection is live, or re-run select()"
+            )
+        stencil = device.read_stencil()
         ids = np.flatnonzero(stencil == self.valid_stencil)
         return ids[ids < self.total_records]
 
@@ -127,10 +173,17 @@ class GpuEngine:
         cost_model: GpuCostModel | None = None,
         video_memory: VideoMemory | None = None,
         layout: str = "planar",
+        tracer=None,
     ):
         """``video_memory`` overrides the default 256 MB pool — pass a
         smaller :class:`~repro.gpu.memory.VideoMemory` to exercise the
         out-of-core texture swapping of paper section 6.1.
+
+        ``tracer`` attaches a :class:`~repro.trace.Tracer`: every engine
+        operation becomes a span and every rendering pass a
+        :class:`~repro.trace.PassEvent`.  Defaults to the process-wide
+        tracer installed by :func:`repro.trace.use_tracer` (usually
+        ``None`` — the zero-overhead fast path).
 
         ``layout`` picks the paper's section-3.3 record representation:
 
@@ -151,8 +204,13 @@ class GpuEngine:
         self.relation = relation
         self.layout = layout
         self.shape = texture_shape_for(relation.num_records)
-        self.device = Device(*self.shape, video_memory=video_memory)
+        self.device = Device(
+            *self.shape,
+            video_memory=video_memory,
+            tracer=tracer if tracer is not None else current_tracer(),
+        )
         self.cost_model = cost_model or GpuCostModel()
+        self._op_span = None
         self._column_textures: dict[str, Texture] = {}
         self._stored_textures: dict[str, Texture] = {}
         self._packed_textures: dict[tuple[str, ...], Texture] = {}
@@ -163,6 +221,15 @@ class GpuEngine:
                 group = tuple(names[start:start + 4])
                 for channel, name in enumerate(group):
                     self._layout_groups[name] = (group, channel)
+
+    @property
+    def tracer(self):
+        """The attached tracer (``None`` = tracing disabled)."""
+        return self.device.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.device.tracer = value
 
     # -- TextureProvider protocol ------------------------------------------------
 
@@ -181,9 +248,13 @@ class GpuEngine:
             return self._packed_column_texture(name, column)
         texture = self._column_textures.get(name)
         if texture is None:
-            if column.is_integer or column.is_fixed_point:
-                # Raw values; the copy program's power-of-two scale
-                # keeps the depth mapping exact.
+            if column.is_integer:
+                # Stored (bias-encoded) values; the copy program's
+                # power-of-two scale keeps the depth mapping exact.
+                values = column.stored_values()
+            elif column.is_fixed_point:
+                # Raw quantized values; depth_scale folds in the
+                # fraction-bit shift.
                 values = column.values
             else:
                 values = column.normalized_values()
@@ -213,7 +284,7 @@ class GpuEngine:
             for member in group:
                 member_column = self.relation.column(member)
                 if member_column.is_integer:
-                    columns.append(member_column.values)
+                    columns.append(member_column.stored_values())
                 else:
                     columns.append(member_column.normalized_values())
             while len(columns) < 4:
@@ -278,20 +349,46 @@ class GpuEngine:
 
     # -- measurement helpers -------------------------------------------------------
 
-    def _begin(self) -> None:
+    def _begin(self, op: str | None = None, **attrs) -> None:
+        """Start a fresh stats window (and, when tracing, an op span)."""
         self.device.stats.reset()
+        tracer = self.device.tracer
+        if tracer is not None:
+            if self._op_span is not None and self._op_span.end_s is None:
+                # The previous op raised mid-span; close it so this
+                # op's span does not nest under a dead one.
+                tracer.end(self._op_span)
+            self._op_span = tracer.begin(op or "op", **attrs)
+        else:
+            self._op_span = None
+
+    def _validate_k(self, k: int, valid_count: int) -> None:
+        """Order statistics need 1 <= k <= (record count after any
+        predicate); one message format across engines and entry points."""
+        if not 1 <= k <= valid_count:
+            raise QueryError(
+                f"k={k} outside [1, {valid_count}] valid records"
+            )
 
     def _finish(self, value) -> GpuOpResult:
         copy, compute = split_copy_stats(self.device.stats.snapshot())
         self.device.stats.reset()
-        return GpuOpResult(value=value, copy=copy, compute=compute)
+        result = GpuOpResult(value=value, copy=copy, compute=compute)
+        tracer = self.device.tracer
+        if tracer is not None and self._op_span is not None:
+            tracer.end(
+                self._op_span,
+                modeled_ms=result.total_time(self.cost_model).total_ms,
+            )
+            self._op_span = None
+        return result
 
     # -- queries ----------------------------------------------------------------------
 
     def select(self, predicate: Predicate) -> Selection:
         """Evaluate a WHERE clause; leaves the selection mask in the
         stencil buffer and returns count + statistics."""
-        self._begin()
+        self._begin("select", predicate=str(predicate))
         outcome: SelectionOutcome = execute_selection(
             self.device, self.relation, self, predicate
         )
@@ -303,13 +400,14 @@ class GpuEngine:
             valid_stencil=outcome.valid_stencil,
             total_records=self.relation.num_records,
             engine=self,
+            generation=self.device.stencil_generation,
         )
 
     def count(self, predicate: Predicate | None = None) -> GpuOpResult:
         """COUNT(*) [WHERE predicate]."""
         if predicate is not None:
             return self.select(predicate)
-        self._begin()
+        self._begin("count")
         value = aggregates.count_valid(
             self.device, self.relation.num_records
         )
@@ -353,13 +451,11 @@ class GpuEngine:
     ) -> GpuOpResult:
         """Routine 4.5 over the whole column or a selection."""
         column = self._integer_column(column_name)
+        self._validate_k(k, self.relation.num_records)
         texture, scale, channel = self.column_texture(column_name)
-        self._begin()
+        self._begin("kth_largest", column=column_name, k=k)
         valid, valid_count = self._selection_stencil(predicate)
-        if not 1 <= k <= valid_count:
-            raise QueryError(
-                f"k={k} outside [1, {valid_count}] valid records"
-            )
+        self._validate_k(k, valid_count)
         value = aggregates.kth_largest(
             self.device, texture, column.bits, k, scale,
             channel=channel, valid_stencil=valid,
@@ -373,9 +469,11 @@ class GpuEngine:
         predicate: Predicate | None = None,
     ) -> GpuOpResult:
         column = self._integer_column(column_name)
+        self._validate_k(k, self.relation.num_records)
         texture, scale, channel = self.column_texture(column_name)
-        self._begin()
+        self._begin("kth_smallest", column=column_name, k=k)
         valid, valid_count = self._selection_stencil(predicate)
+        self._validate_k(k, valid_count)
         value = aggregates.kth_smallest(
             self.device, texture, column.bits, k, scale, valid_count,
             channel=channel, valid_stencil=valid,
@@ -388,7 +486,7 @@ class GpuEngine:
     def minimum(self, column_name, predicate=None) -> GpuOpResult:
         column = self._integer_column(column_name)
         texture, scale, channel = self.column_texture(column_name)
-        self._begin()
+        self._begin("minimum", column=column_name)
         valid, valid_count = self._selection_stencil(predicate)
         if valid_count == 0:
             raise QueryError("MIN of an empty selection")
@@ -402,7 +500,7 @@ class GpuEngine:
         """The ceil(n/2)-th largest value (figures 8 and 9)."""
         column = self._integer_column(column_name)
         texture, scale, channel = self.column_texture(column_name)
-        self._begin()
+        self._begin("median", column=column_name)
         valid, valid_count = self._selection_stencil(predicate)
         if valid_count == 0:
             raise QueryError("median of an empty selection")
@@ -416,18 +514,18 @@ class GpuEngine:
         """Routine 4.6 (exact integer / fixed-point SUM)."""
         column = self._integer_column(column_name)
         texture, channel = self.stored_texture(column_name)
-        self._begin()
-        valid, _valid_count = self._selection_stencil(predicate)
+        self._begin("sum", column=column_name)
+        valid, valid_count = self._selection_stencil(predicate)
         value = aggregates.accumulate(
             self.device, texture, column.bits,
             channel=channel, valid_stencil=valid,
         )
-        return self._finish(column.from_stored(value))
+        return self._finish(column.sum_from_stored(value, valid_count))
 
     def average(self, column_name, predicate=None) -> GpuOpResult:
         column = self._integer_column(column_name)
         texture, channel = self.stored_texture(column_name)
-        self._begin()
+        self._begin("average", column=column_name)
         valid, valid_count = self._selection_stencil(predicate)
         if valid_count == 0:
             raise QueryError("AVG of an empty selection")
@@ -435,7 +533,9 @@ class GpuEngine:
             self.device, texture, column.bits,
             channel=channel, valid_stencil=valid,
         )
-        return self._finish(column.from_stored(total) / valid_count)
+        return self._finish(
+            column.sum_from_stored(total, valid_count) / valid_count
+        )
 
     def top_k(
         self,
@@ -457,16 +557,14 @@ class GpuEngine:
         from .compare import compare_pass
 
         column = self._integer_column(column_name)
+        self._validate_k(k, self.relation.num_records)
         texture, scale, channel = self.column_texture(column_name)
-        self._begin()
+        self._begin("top_k", column=column_name, k=k)
         valid, valid_count = self._selection_stencil(predicate)
+        self._validate_k(k, valid_count)
         if valid is None:
             self.device.clear_stencil(1)
             valid = 1
-        if not 1 <= k <= valid_count:
-            raise QueryError(
-                f"k={k} outside [1, {valid_count}] valid records"
-            )
         threshold = aggregates.kth_largest(
             self.device, texture, column.bits, k, scale,
             channel=channel, valid_stencil=valid,
@@ -517,7 +615,9 @@ class GpuEngine:
             raise QueryError(
                 f"fractions must lie in [0, 1], got {fractions}"
             )
-        self._begin()
+        self._begin(
+            "quantiles", column=column_name, fractions=list(fractions)
+        )
         valid, valid_count = self._selection_stencil(predicate)
         if valid_count == 0:
             raise QueryError("quantiles of an empty selection")
@@ -554,7 +654,7 @@ class GpuEngine:
             raise QueryError(
                 "selectivities() needs at least one predicate"
             )
-        self._begin()
+        self._begin("selectivities", num_predicates=len(predicates))
         counts: list[int] = []
         depth_holds: str | None = None
         self.device.state.color_mask = (False, False, False, False)
@@ -616,15 +716,18 @@ class GpuEngine:
         column = self._integer_column(column_name)
         if buckets < 1:
             raise QueryError(f"need at least one bucket, got {buckets}")
-        hi = (1 << column.bits) - 1
+        # Bucket the value domain [lo, lo + 2**bits): for bias-encoded
+        # signed columns lo = -bias, so edges land on actual values.
+        lo = int(column.lo) if column.is_integer else 0
+        top = lo + (1 << column.bits)
         edges = np.unique(
-            np.floor(np.linspace(0, hi + 1, buckets + 1)).astype(
+            np.floor(np.linspace(lo, top, buckets + 1)).astype(
                 np.int64
             )
         )
-        if edges[-1] != hi + 1:
-            edges[-1] = hi + 1
-        self._begin()
+        if edges[-1] != top:
+            edges[-1] = top
+        self._begin("histogram", column=column_name, buckets=buckets)
         counts = np.zeros(edges.size - 1, dtype=np.int64)
         for index in range(edges.size - 1):
             outcome = execute_selection(

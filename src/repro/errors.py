@@ -61,6 +61,16 @@ class QueryError(ReproError):
     """Invalid query construction (bad predicate, unknown column)."""
 
 
+class StaleSelectionError(QueryError):
+    """A :class:`~repro.core.engine.Selection` was read after a later
+    query overwrote the engine's stencil buffer.
+
+    The stencil buffer holds exactly one live selection mask; call
+    ``materialize()`` (or ``record_ids()``) before issuing the next
+    stencil-writing query, or re-run ``select()``.
+    """
+
+
 class SqlError(ReproError):
     """Base class for SQL front-end errors."""
 

@@ -24,6 +24,8 @@ shapes all of the paper's algorithms (section 6.1).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..errors import GpuError, OcclusionQueryError, RenderStateError
@@ -48,11 +50,20 @@ class Device:
         height: int,
         width: int,
         video_memory: VideoMemory | None = None,
+        tracer=None,
     ):
         self.framebuffer = FrameBuffer(height, width)
         self.state = RenderState()
         self.memory = video_memory if video_memory is not None else VideoMemory()
         self.stats = PipelineStats()
+        #: Optional :class:`repro.trace.Tracer`; None disables tracing
+        #: (the only cost is one attribute check per pass).
+        self.tracer = tracer
+        #: Monotonic counter bumped on every stencil-buffer mutation
+        #: (clears and stencil-op writes).  Consumers holding a stencil
+        #: mask — e.g. :class:`repro.core.engine.Selection` — snapshot it
+        #: to detect that a later pass overwrote their mask.
+        self.stencil_generation = 0
         self._textures: dict[int, Texture] = {}
         self._program: FragmentProgram | None = None
         self._parameters = np.zeros((NUM_PARAMETERS, 4), dtype=np.float32)
@@ -106,10 +117,12 @@ class Device:
 
     def clear(self, color=(0, 0, 0, 0), depth: float = 1.0, stencil: int = 0):
         self.framebuffer.clear(color=color, depth=depth, stencil=stencil)
+        self.stencil_generation += 1
         self.stats.clears += 1
 
     def clear_stencil(self, value: int) -> None:
         self.framebuffer.stencil.clear(value)
+        self.stencil_generation += 1
         self.stats.clears += 1
 
     def clear_depth(self, depth: float = 1.0) -> None:
@@ -162,18 +175,21 @@ class Device:
         texture.data[:] = fb.color.data[:, :channels].reshape(
             fb.height, fb.width, channels
         )
-        self.stats.record_pass(
-            PassStats(
-                index=self._pass_counter,
-                fragments=fb.num_pixels,
-                program="framebuffer-copy",
-                program_length=1,
-                instructions_executed=fb.num_pixels,
-                instructions_after_early_z=fb.num_pixels,
-                color_writes=fb.num_pixels * channels,
-            )
+        stats = PassStats(
+            index=self._pass_counter,
+            fragments=fb.num_pixels,
+            program="framebuffer-copy",
+            program_length=1,
+            instructions_executed=fb.num_pixels,
+            instructions_after_early_z=fb.num_pixels,
+            color_writes=fb.num_pixels * channels,
         )
+        self.stats.record_pass(stats)
         self._pass_counter += 1
+        if self.tracer is not None:
+            self.tracer.record_pass(
+                stats, rects=((fb.width, fb.height),)
+            )
 
     # -- occlusion queries -----------------------------------------------------
 
@@ -226,9 +242,21 @@ class Device:
         # pass: same state, back-to-back draw calls, one pipeline drain.
         stats = PassStats(index=self._pass_counter, fragments=0)
         self._pass_counter += 1
+        stats.query_active = (
+            self._active_query is not None and self._active_query.active
+        )
+        tracer = self.tracer
+        started = time.perf_counter() if tracer is not None else 0.0
         for r in rects:
             self._draw(r, depth, color, stats)
         self.stats.record_pass(stats)
+        if tracer is not None:
+            tracer.record_pass(
+                stats,
+                wall_s=time.perf_counter() - started,
+                rects=tuple((r.width, r.height) for r in rects),
+                query_active=stats.query_active,
+            )
 
     def render_textured_quad(
         self,
@@ -391,6 +419,7 @@ class Device:
                 updated & np.uint8(write_mask)
             )
         fb.stencil.write(indices[targets], updated)
+        self.stencil_generation += 1
         stats.stencil_writes += targets.size
 
     def _accumulate_early_z(

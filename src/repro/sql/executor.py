@@ -26,6 +26,7 @@ from ..core.relation import Relation
 from ..cpu.cost import CpuCostModel
 from ..errors import SqlPlanError
 from ..gpu.cost import GpuCostModel
+from ..trace import Trace, Tracer
 from .ast import (
     AggregateFunc,
     AggregateItem,
@@ -45,6 +46,8 @@ class QueryResult:
     rows: list[tuple]
     device: DeviceChoice
     plan: QueryPlan
+    #: Per-pass execution trace, when the query ran with ``trace=True``.
+    trace: Trace | None = None
 
     @property
     def scalar(self):
@@ -83,6 +86,9 @@ class Database:
         self._relations: dict[str, Relation] = {}
         self._gpu_engines: dict[str, GpuEngine] = {}
         self._cpu_engines: dict[str, CpuEngine] = {}
+        #: Tracer of the in-flight traced query, threaded into engines
+        #: built lazily while it runs.
+        self._query_tracer: Tracer | None = None
 
     def register(self, relation: Relation) -> None:
         self._relations[relation.name] = relation
@@ -101,14 +107,22 @@ class Database:
     def gpu_engine(self, name: str) -> GpuEngine:
         engine = self._gpu_engines.get(name)
         if engine is None:
-            engine = GpuEngine(self.relation(name), self.gpu_cost)
+            engine = GpuEngine(
+                self.relation(name),
+                self.gpu_cost,
+                tracer=self._query_tracer,
+            )
             self._gpu_engines[name] = engine
         return engine
 
     def cpu_engine(self, name: str) -> CpuEngine:
         engine = self._cpu_engines.get(name)
         if engine is None:
-            engine = CpuEngine(self.relation(name), self.cpu_cost)
+            engine = CpuEngine(
+                self.relation(name),
+                self.cpu_cost,
+                tracer=self._query_tracer,
+            )
             self._cpu_engines[name] = engine
         return engine
 
@@ -127,18 +141,70 @@ class Database:
             right_relation=right,
         )
 
-    def query(self, sql: str, device: str = "auto") -> QueryResult:
+    def query(
+        self, sql: str, device: str = "auto", trace: bool = False
+    ) -> QueryResult:
+        """Parse, plan and execute ``sql``.
+
+        ``trace=True`` records every engine operation and rendering
+        pass of this query into a :class:`~repro.trace.Trace`
+        (``result.trace``); render it with
+        :func:`repro.trace.render_text` or export it with
+        :func:`repro.trace.write_chrome_trace`.
+        """
         plan = self.plan(sql, device=device)
         chosen = plan.chosen_device
-        if plan.statement.join is not None:
-            rows, columns = self._execute_join(plan.statement, chosen)
-        elif chosen is DeviceChoice.GPU:
-            rows, columns = self._execute_gpu(plan.statement)
-        else:
-            rows, columns = self._execute_cpu(plan.statement)
-        return QueryResult(
-            columns=columns, rows=rows, device=chosen, plan=plan
+        if not trace:
+            rows, columns = self._execute(plan, chosen)
+            return QueryResult(
+                columns=columns, rows=rows, device=chosen, plan=plan
+            )
+        tracer = Tracer(cost_model=self.gpu_cost)
+        # Attach the tracer to every cached engine (engines built while
+        # it is installed pick it up through the cache accessors), and
+        # restore the previous tracers afterwards.
+        previous = [
+            (engine, engine.tracer)
+            for engine in (
+                list(self._gpu_engines.values())
+                + list(self._cpu_engines.values())
+            )
+        ]
+        for engine, _old in previous:
+            engine.tracer = tracer
+        self._query_tracer = tracer
+        span = tracer.begin(
+            "query", category="query", sql=sql, device=chosen.value
         )
+        try:
+            rows, columns = self._execute(plan, chosen)
+        finally:
+            tracer.end(span)
+            self._query_tracer = None
+            restored = set()
+            for engine, old in previous:
+                engine.tracer = old
+                restored.add(id(engine))
+            for engine in (
+                list(self._gpu_engines.values())
+                + list(self._cpu_engines.values())
+            ):
+                if id(engine) not in restored:
+                    engine.tracer = None  # built during this query
+        return QueryResult(
+            columns=columns,
+            rows=rows,
+            device=chosen,
+            plan=plan,
+            trace=tracer.finish(),
+        )
+
+    def _execute(self, plan: QueryPlan, chosen: DeviceChoice):
+        if plan.statement.join is not None:
+            return self._execute_join(plan.statement, chosen)
+        if chosen is DeviceChoice.GPU:
+            return self._execute_gpu(plan.statement)
+        return self._execute_cpu(plan.statement)
 
     # -- execution ------------------------------------------------------------------
 

@@ -1,0 +1,68 @@
+"""Per-pass tracing and query profiling.
+
+Quick start::
+
+    from repro.trace import Tracer, render_text
+
+    tracer = Tracer()
+    engine = GpuEngine(relation, tracer=tracer)
+    engine.median("data_count", col("data_loss") < 100)
+    print(render_text(tracer.finish()))
+
+or through SQL::
+
+    result = db.query("SELECT MEDIAN(a) FROM t WHERE ...", trace=True)
+    print(render_text(result.trace))
+
+A process-wide tracer (picked up by engines constructed while it is
+installed — this is how ``repro-bench --trace`` works)::
+
+    with use_tracer(Tracer()) as tracer:
+        run_experiment("fig9", scale="smoke", tracer=tracer)
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from .export import chrome_trace, render_text, write_chrome_trace
+from .tracer import PassEvent, Span, Trace, Tracer
+
+__all__ = [
+    "PassEvent",
+    "Span",
+    "Trace",
+    "Tracer",
+    "chrome_trace",
+    "current_tracer",
+    "render_text",
+    "set_tracer",
+    "use_tracer",
+    "write_chrome_trace",
+]
+
+#: The process-wide tracer, or None.  Engines read this at construction
+#: time; a running engine is switched by assigning ``engine.tracer``.
+_CURRENT: Tracer | None = None
+
+
+def current_tracer() -> Tracer | None:
+    """The installed process-wide tracer, or None when tracing is off."""
+    return _CURRENT
+
+
+def set_tracer(tracer: Tracer | None) -> None:
+    """Install (or, with None, remove) the process-wide tracer."""
+    global _CURRENT
+    _CURRENT = tracer
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer):
+    """Install ``tracer`` process-wide for the duration of the block."""
+    previous = _CURRENT
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

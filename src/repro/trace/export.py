@@ -1,0 +1,161 @@
+"""Trace exporters: plain-text pass tree and Chrome-trace JSON.
+
+``render_text`` prints the span tree with per-pass stage accounting —
+the shape the paper's tables 5-6 reason about.  ``chrome_trace``
+produces the Trace Event Format consumed by ``chrome://tracing`` and
+Perfetto (https://ui.perfetto.dev): host-side spans on one track and a
+second "simulated GPU" track where every rendering pass is laid out
+sequentially with its *modeled* GeForce-FX duration.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .tracer import PassEvent, Span, Trace
+
+#: Chrome-trace track ids.
+_HOST_TID = 1
+_GPU_TID = 2
+
+
+def render_text(trace: Trace, show_passes: bool = True) -> str:
+    """An indented pass tree, one line per span and per pass."""
+    lines: list[str] = []
+    for root in trace.roots:
+        _render_span(root, 0, lines, show_passes)
+    return "\n".join(lines)
+
+
+def _render_span(
+    span: Span, depth: int, lines: list[str], show_passes: bool
+) -> None:
+    indent = "  " * depth
+    modeled = (
+        f" modeled={span.modeled_ms:.3f}ms"
+        if span.modeled_ms is not None
+        else ""
+    )
+    attrs = "".join(
+        f" {key}={value}" for key, value in sorted(span.attrs.items())
+    )
+    lines.append(
+        f"{indent}{span.name} [{span.category}] "
+        f"passes={span.num_passes}{modeled} "
+        f"wall={span.wall_ms:.3f}ms{attrs}"
+    )
+    if show_passes:
+        for event in span.passes:
+            lines.append(_render_pass(event, depth + 1))
+    for child in span.children:
+        _render_span(child, depth + 1, lines, show_passes)
+
+
+def _render_pass(event: PassEvent, depth: int) -> str:
+    indent = "  " * depth
+    rects = "+".join(f"{w}x{h}" for w, h in event.rects) or "-"
+    stages = []
+    for label, count in (
+        ("kil", event.killed),
+        ("alpha", event.alpha_failed),
+        ("stencil", event.stencil_failed),
+        ("zbounds", event.depth_bounds_failed),
+        ("depth", event.depth_failed),
+    ):
+        if count:
+            stages.append(f"{label}-{count}")
+    killed = " ".join(stages) or "none"
+    query = " occ" if event.query_active else ""
+    return (
+        f"{indent}pass#{event.index} {event.program} rect={rects} "
+        f"frags={event.fragments} killed=[{killed}] "
+        f"passed={event.passed}{query} "
+        f"modeled={event.modeled_ms:.4f}ms"
+    )
+
+
+def chrome_trace(trace: Trace) -> dict:
+    """The trace as a Chrome Trace Event Format object.
+
+    Track 1 carries the span tree on the host wall-clock; track 2 lays
+    the rendering passes out back-to-back with their modeled durations,
+    so the viewer juxtaposes "what the host did" with "what the
+    simulated GPU would have spent".
+    """
+    events: list[dict] = [
+        _thread_name(_HOST_TID, "host (spans, wall-clock)"),
+        _thread_name(_GPU_TID, "simulated GPU (passes, modeled)"),
+    ]
+    gpu_cursor_us = 0.0
+    for root in trace.roots:
+        gpu_cursor_us = _emit_span(root, events, gpu_cursor_us)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: Trace, path) -> pathlib.Path:
+    """Serialize :func:`chrome_trace` to ``path`` as JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(chrome_trace(trace), indent=1))
+    return path
+
+
+def _thread_name(tid: int, name: str) -> dict:
+    return {
+        "ph": "M",
+        "name": "thread_name",
+        "pid": 1,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _emit_span(
+    span: Span, events: list[dict], gpu_cursor_us: float
+) -> float:
+    start_us = span.start_s * 1e6
+    duration_us = max(span.wall_ms * 1e3, 0.0)
+    args = {"passes": span.num_passes, **span.attrs}
+    if span.modeled_ms is not None:
+        args["modeled_ms"] = round(span.modeled_ms, 6)
+    events.append(
+        {
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category,
+            "pid": 1,
+            "tid": _HOST_TID,
+            "ts": start_us,
+            "dur": duration_us,
+            "args": args,
+        }
+    )
+    for event in span.passes:
+        duration = max(event.modeled_ms * 1e3, 0.01)
+        events.append(
+            {
+                "ph": "X",
+                "name": f"pass#{event.index} {event.program}",
+                "cat": "pass",
+                "pid": 1,
+                "tid": _GPU_TID,
+                "ts": gpu_cursor_us,
+                "dur": duration,
+                "args": {
+                    "fragments": event.fragments,
+                    "killed": event.killed,
+                    "alpha_failed": event.alpha_failed,
+                    "stencil_failed": event.stencil_failed,
+                    "depth_bounds_failed": event.depth_bounds_failed,
+                    "depth_failed": event.depth_failed,
+                    "passed": event.passed,
+                    "occlusion_query": event.query_active,
+                    "rects": ["%dx%d" % r for r in event.rects],
+                    "wall_ms": round(event.wall_ms, 6),
+                },
+            }
+        )
+        gpu_cursor_us += duration
+    for child in span.children:
+        gpu_cursor_us = _emit_span(child, events, gpu_cursor_us)
+    return gpu_cursor_us

@@ -1,0 +1,171 @@
+"""Pass-count regression baselines: measured (via the tracer) against
+the paper's pass-count formulas in repro.bench.baselines."""
+
+import pytest
+
+from repro.bench.baselines import (
+    accumulator_passes,
+    expected_pass_count,
+    kth_largest_passes,
+    select_passes,
+)
+from repro.core import GpuEngine
+from repro.core.compare import copy_to_depth
+from repro.core.predicates import And, Between, Comparison, SemiLinear
+from repro.data.selectivity import (
+    range_for_selectivity,
+    threshold_for_selectivity,
+)
+from repro.data.tcpip import ATTRIBUTES, make_tcpip
+from repro.errors import BenchmarkError
+from repro.gpu.types import CompareFunc
+from repro.trace import Tracer
+
+RECORDS = 1500
+BITS = 19  # data_count (the paper's section 5.9 attribute)
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return make_tcpip(RECORDS, seed=2004)
+
+
+def _measure(relation, run):
+    """Pass count of `run(engine)` measured through a fresh tracer."""
+    tracer = Tracer()
+    engine = GpuEngine(relation, tracer=tracer)
+    with tracer.span("workload"):
+        run(engine)
+    return tracer.finish().find("workload").num_passes
+
+
+class TestMeasuredAgainstBaseline:
+    def test_fig2_copy_is_one_pass(self, relation):
+        def run(engine):
+            texture, scale, channel = engine.column_texture(
+                "data_count"
+            )
+            copy_to_depth(
+                engine.device, texture, scale, channel=channel
+            )
+
+        assert _measure(relation, run) == expected_pass_count(
+            "fig2", BITS
+        )
+
+    def test_fig3_single_predicate(self, relation):
+        threshold = threshold_for_selectivity(
+            relation.column("data_count").values, 0.6,
+            CompareFunc.GEQUAL,
+        )
+
+        def run(engine):
+            engine.select(
+                Comparison("data_count", CompareFunc.GEQUAL, threshold)
+            )
+
+        assert _measure(relation, run) == expected_pass_count(
+            "fig3", BITS
+        )
+
+    def test_fig4_range_query(self, relation):
+        low, high = range_for_selectivity(
+            relation.column("data_count").values, 0.6
+        )
+
+        def run(engine):
+            engine.select(Between("data_count", low, high))
+
+        assert _measure(relation, run) == expected_pass_count(
+            "fig4", BITS
+        )
+
+    @pytest.mark.parametrize("clauses", [2, 3, 4])
+    def test_fig5_cnf_three_passes_per_clause(self, relation, clauses):
+        terms = [
+            Comparison(
+                name,
+                CompareFunc.GEQUAL,
+                threshold_for_selectivity(
+                    relation.column(name).values, 0.6,
+                    CompareFunc.GEQUAL,
+                ),
+            )
+            for name in ATTRIBUTES[:clauses]
+        ]
+
+        def run(engine):
+            engine.select(And(*terms))
+
+        assert _measure(relation, run) == expected_pass_count(
+            "fig5", BITS, num_clauses=clauses
+        )
+
+    def test_fig6_semilinear_single_pass(self, relation):
+        predicate = SemiLinear(
+            ATTRIBUTES, [1.0, -1.0, 0.5, 2.0], CompareFunc.GEQUAL, 0.0
+        )
+
+        def run(engine):
+            engine.select(predicate)
+
+        assert _measure(relation, run) == expected_pass_count(
+            "fig6", BITS
+        )
+
+    @pytest.mark.parametrize("k", [1, 100, RECORDS])
+    def test_fig7_kth_largest_constant_in_k(self, relation, k):
+        def run(engine):
+            engine.kth_largest("data_count", k)
+
+        assert _measure(relation, run) == expected_pass_count(
+            "fig7", BITS
+        )
+
+    def test_fig8_median(self, relation):
+        def run(engine):
+            engine.median("data_count")
+
+        assert _measure(relation, run) == expected_pass_count(
+            "fig8", BITS
+        )
+
+    def test_fig9_selection_plus_masked_kth(self, relation):
+        threshold = threshold_for_selectivity(
+            relation.column("data_count").values, 0.8,
+            CompareFunc.GEQUAL,
+        )
+
+        def run(engine):
+            engine.median(
+                "data_count",
+                Comparison("data_count", CompareFunc.GEQUAL, threshold),
+            )
+
+        assert _measure(relation, run) == expected_pass_count(
+            "fig9", BITS
+        )
+
+    def test_fig10_accumulator_one_pass_per_bit(self, relation):
+        def run(engine):
+            engine.sum("data_count")
+
+        assert _measure(relation, run) == expected_pass_count(
+            "fig10", BITS
+        )
+
+
+class TestFormulas:
+    def test_helpers(self):
+        assert select_passes(1) == 2
+        assert select_passes(4) == 12
+        assert kth_largest_passes(19) == 20
+        assert accumulator_passes(19) == 19
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(BenchmarkError):
+            expected_pass_count("fig99", 19)
+
+    def test_zero_clauses_rejected(self):
+        with pytest.raises(BenchmarkError):
+            select_passes(0)

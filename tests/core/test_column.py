@@ -25,9 +25,20 @@ class TestIntegerColumn:
         with pytest.raises(DataError):
             Column.integer("a", [1024], bits=10)
 
-    def test_negative_rejected(self):
-        with pytest.raises(DataError):
-            Column.integer("a", [-1])
+    def test_negative_bias_encoded(self):
+        column = Column.integer("a", [-5, 0, 10])
+        assert column.bias == 5
+        assert column.lo == -5.0
+        # Stored domain is non-negative: value + bias.
+        assert column.stored_values().min() == 0.0
+        assert column.from_stored(0) == -5
+        # The bias does not distribute over SUM.
+        assert column.sum_from_stored(15 + 3 * 5, 3) == 15
+
+    def test_nonnegative_columns_keep_zero_bias(self):
+        column = Column.integer("a", [0, 7])
+        assert column.bias == 0
+        assert column.stored_values() is column.values
 
     def test_fractional_rejected(self):
         with pytest.raises(DataError):

@@ -1,0 +1,105 @@
+"""Differential testing: randomized relations and predicates through
+both engines, asserting identical counts, record ids, and aggregates.
+
+Each case builds a random relation (mixed widths, signed and unsigned
+integer columns), draws a random predicate over it, and checks that
+GpuEngine and CpuEngine agree exactly — the cross-engine contract the
+benchmark harness relies on (`_check` in repro.bench.figures).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, CpuEngine, GpuEngine, Relation
+from repro.core.predicates import And, Between, Comparison, Not, Or
+from repro.gpu.types import CompareFunc
+
+NUM_CASES = 50
+
+_COMPARE_OPS = (
+    CompareFunc.LESS,
+    CompareFunc.LEQUAL,
+    CompareFunc.GREATER,
+    CompareFunc.GEQUAL,
+    CompareFunc.EQUAL,
+    CompareFunc.NOTEQUAL,
+)
+
+
+def _random_relation(rng: np.random.Generator) -> Relation:
+    n = int(rng.integers(50, 400))
+    columns = []
+    for index in range(int(rng.integers(1, 4))):
+        bits = int(rng.integers(4, 13))
+        if rng.random() < 0.4:
+            # Signed column exercising the bias encoding.
+            span = 1 << bits
+            lo = -int(rng.integers(1, span // 2))
+            values = rng.integers(lo, lo + span, n)
+        else:
+            values = rng.integers(0, 1 << bits, n)
+        columns.append(Column.integer(f"c{index}", values))
+    return Relation("random", columns)
+
+
+def _random_simple(rng, relation: Relation):
+    column = relation.column(
+        str(rng.choice(relation.column_names))
+    )
+    lo, hi = int(column.values.min()), int(column.values.max())
+    if rng.random() < 0.5:
+        op = _COMPARE_OPS[int(rng.integers(len(_COMPARE_OPS)))]
+        constant = int(rng.integers(lo, hi + 1))
+        return Comparison(column.name, op, constant)
+    a, b = sorted(
+        int(rng.integers(lo, hi + 1)) for _ in range(2)
+    )
+    return Between(column.name, a, b)
+
+
+def _random_predicate(rng, relation: Relation, depth: int = 0):
+    roll = rng.random()
+    if depth >= 2 or roll < 0.5:
+        return _random_simple(rng, relation)
+    if roll < 0.65:
+        return Not(_random_predicate(rng, relation, depth + 1))
+    children = [
+        _random_predicate(rng, relation, depth + 1)
+        for _ in range(int(rng.integers(2, 4)))
+    ]
+    combiner = And if roll < 0.85 else Or
+    return combiner(*children)
+
+
+@pytest.mark.parametrize("seed", range(NUM_CASES))
+def test_engines_agree_on_random_workload(seed):
+    rng = np.random.default_rng(77_000 + seed)
+    relation = _random_relation(rng)
+    gpu = GpuEngine(relation)
+    cpu = CpuEngine(relation)
+    predicate = _random_predicate(rng, relation)
+
+    gpu_selection = gpu.select(predicate).materialize()
+    cpu_selection = cpu.select(predicate)
+    assert gpu_selection.count == cpu_selection.count
+    assert np.array_equal(
+        gpu_selection.record_ids(), cpu_selection.record_ids()
+    )
+
+    column = relation.column_names[0]
+    assert gpu.sum(column, predicate).value == \
+        cpu.sum(column, predicate).value
+    valid = gpu_selection.count
+    if valid > 0:
+        assert gpu.minimum(column, predicate).value == \
+            cpu.minimum(column, predicate).value
+        assert gpu.maximum(column, predicate).value == \
+            cpu.maximum(column, predicate).value
+        assert gpu.median(column, predicate).value == \
+            cpu.median(column, predicate).value
+        assert gpu.average(column, predicate).value == pytest.approx(
+            cpu.average(column, predicate).value
+        )
+        k = int(rng.integers(1, valid + 1))
+        assert gpu.kth_largest(column, k, predicate).value == \
+            cpu.kth_largest(column, k, predicate).value

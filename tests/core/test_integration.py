@@ -110,7 +110,9 @@ class TestSelectionParity:
             Comparison("b", CompareFunc.LESS, 2048),
             Comparison("a", CompareFunc.GEQUAL, 64),
         )
-        left = gpu.select(first)
+        # The second select overwrites the stencil mask, so the first
+        # selection must be materialized while it is still live.
+        left = gpu.select(first).materialize()
         right = gpu.select(second)
         assert left.count == right.count
         assert np.array_equal(left.record_ids(), right.record_ids())

@@ -1,0 +1,79 @@
+"""Unified k-range validation across engines and order statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, CpuEngine, GpuEngine, Relation
+from repro.core.predicates import Comparison
+from repro.errors import QueryError
+from repro.gpu.types import CompareFunc
+
+N = 10
+
+
+@pytest.fixture()
+def relation():
+    return Relation("t", [Column.integer("a", np.arange(N), bits=4)])
+
+
+@pytest.fixture(params=["gpu", "cpu"])
+def engine(request, relation):
+    if request.param == "gpu":
+        return GpuEngine(relation)
+    return CpuEngine(relation)
+
+
+OPS = ("kth_largest", "kth_smallest", "top_k")
+
+
+@pytest.mark.parametrize("op", OPS)
+class TestKValidation:
+    def test_k_zero_rejected(self, engine, op):
+        with pytest.raises(QueryError, match=r"k=0 outside \[1, "):
+            getattr(engine, op)("a", 0)
+
+    def test_negative_k_rejected(self, engine, op):
+        with pytest.raises(QueryError, match=r"k=-3 outside"):
+            getattr(engine, op)("a", -3)
+
+    def test_k_above_record_count_rejected(self, engine, op):
+        with pytest.raises(
+            QueryError,
+            match=rf"k={N + 1} outside \[1, {N}\] valid records",
+        ):
+            getattr(engine, op)("a", N + 1)
+
+    def test_k_above_predicate_reduced_count_rejected(self, engine, op):
+        # a >= 6 leaves 4 valid records; k=5 exceeds the selection even
+        # though it is within the full relation.
+        predicate = Comparison("a", CompareFunc.GEQUAL, 6)
+        with pytest.raises(
+            QueryError,
+            match=r"k=5 outside \[1, 4\] valid records",
+        ):
+            getattr(engine, op)("a", 5, predicate)
+
+    def test_k_at_bounds_accepted(self, engine, op):
+        getattr(engine, op)("a", 1)
+        getattr(engine, op)("a", N)
+
+    def test_k_at_reduced_bound_accepted(self, engine, op):
+        predicate = Comparison("a", CompareFunc.GEQUAL, 6)
+        getattr(engine, op)("a", 4, predicate)
+
+
+class TestValuesAgree:
+    def test_kth_largest_and_smallest_are_consistent(self, relation):
+        gpu = GpuEngine(relation)
+        cpu = CpuEngine(relation)
+        for k in (1, 3, N):
+            assert (
+                gpu.kth_largest("a", k).value
+                == cpu.kth_largest("a", k).value
+            )
+            assert (
+                gpu.kth_smallest("a", k).value
+                == cpu.kth_smallest("a", k).value
+            )
+        assert gpu.kth_smallest("a", 1).value == 0
+        assert gpu.kth_largest("a", 1).value == N - 1

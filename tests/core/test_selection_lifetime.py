@@ -1,0 +1,97 @@
+"""Selection lifetime: the stale-stencil regression and its fixes."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, GpuEngine, Relation
+from repro.core.predicates import Comparison
+from repro.errors import QueryError, StaleSelectionError
+from repro.gpu.types import CompareFunc
+
+
+def _engine():
+    relation = Relation(
+        "t", [Column.integer("a", np.arange(10), bits=4)]
+    )
+    return GpuEngine(relation)
+
+
+class TestStaleSelection:
+    def test_issue_repro_raises_instead_of_wrong_ids(self):
+        """The exact reported bug: s1 silently answered the *second*
+        query's ids ([8, 9] instead of [0, 1, 2])."""
+        eng = _engine()
+        s1 = eng.select(Comparison("a", CompareFunc.LESS, 3))
+        eng.select(Comparison("a", CompareFunc.GEQUAL, 8))
+        with pytest.raises(StaleSelectionError):
+            s1.record_ids()
+
+    def test_records_also_raises_when_stale(self):
+        eng = _engine()
+        s1 = eng.select(Comparison("a", CompareFunc.LESS, 3))
+        eng.select(Comparison("a", CompareFunc.GEQUAL, 8))
+        with pytest.raises(StaleSelectionError):
+            s1.records()
+
+    def test_stale_error_is_a_query_error(self):
+        assert issubclass(StaleSelectionError, QueryError)
+
+    def test_live_selection_reads_correct_ids(self):
+        eng = _engine()
+        s1 = eng.select(Comparison("a", CompareFunc.LESS, 3))
+        assert np.array_equal(s1.record_ids(), [0, 1, 2])
+        assert not s1.is_stale
+
+    def test_aggregate_with_predicate_also_invalidates(self):
+        eng = _engine()
+        s1 = eng.select(Comparison("a", CompareFunc.LESS, 3))
+        eng.median("a", Comparison("a", CompareFunc.GEQUAL, 2))
+        assert s1.is_stale
+        with pytest.raises(StaleSelectionError):
+            s1.record_ids()
+
+    def test_count_is_still_available_when_stale(self):
+        """The count was read back at selection time; only the mask
+        lives in the (overwritten) stencil buffer."""
+        eng = _engine()
+        s1 = eng.select(Comparison("a", CompareFunc.LESS, 3))
+        eng.select(Comparison("a", CompareFunc.GEQUAL, 8))
+        assert s1.count == 3
+        assert s1.selectivity == pytest.approx(0.3)
+
+
+class TestMaterialize:
+    def test_materialized_ids_survive_later_queries(self):
+        eng = _engine()
+        s1 = eng.select(Comparison("a", CompareFunc.LESS, 3))
+        s1.materialize()
+        s2 = eng.select(Comparison("a", CompareFunc.GEQUAL, 8))
+        assert np.array_equal(s1.record_ids(), [0, 1, 2])
+        assert np.array_equal(s2.record_ids(), [8, 9])
+        assert not s1.is_stale
+
+    def test_materialize_returns_self_and_is_idempotent(self):
+        eng = _engine()
+        s1 = eng.select(Comparison("a", CompareFunc.LESS, 3))
+        assert s1.materialize() is s1
+        first = s1.record_ids()
+        s1.materialize()
+        assert s1.record_ids() is first
+
+    def test_materialize_after_staleness_raises(self):
+        eng = _engine()
+        s1 = eng.select(Comparison("a", CompareFunc.LESS, 3))
+        eng.select(Comparison("a", CompareFunc.GEQUAL, 8))
+        with pytest.raises(StaleSelectionError):
+            s1.materialize()
+
+    def test_materialized_records_builds_relation(self):
+        eng = _engine()
+        s1 = eng.select(Comparison("a", CompareFunc.LESS, 3))
+        s1.materialize()
+        eng.select(Comparison("a", CompareFunc.GEQUAL, 8))
+        taken = s1.records()
+        assert taken.num_records == 3
+        assert np.array_equal(
+            taken.column("a").values.astype(int), [0, 1, 2]
+        )

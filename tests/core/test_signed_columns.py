@@ -1,0 +1,101 @@
+"""Signed integer columns via offset (bias) encoding, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, CpuEngine, GpuEngine, Relation
+from repro.core.predicates import Between, Comparison
+from repro.gpu.types import CompareFunc
+
+VALUES = np.array([-40, -7, -1, 0, 3, 12, 12, 55, -40, 20])
+
+
+@pytest.fixture()
+def relation():
+    return Relation("t", [Column.integer("temp", VALUES)])
+
+
+@pytest.fixture()
+def gpu(relation):
+    return GpuEngine(relation)
+
+
+@pytest.fixture()
+def cpu(relation):
+    return CpuEngine(relation)
+
+
+class TestSignedAggregates:
+    def test_min_max(self, gpu, cpu):
+        for engine in (gpu, cpu):
+            assert engine.minimum("temp").value == -40
+            assert engine.maximum("temp").value == 55
+
+    def test_sum_unbiases_per_record(self, gpu, cpu):
+        expected = int(VALUES.sum())
+        assert gpu.sum("temp").value == expected
+        assert cpu.sum("temp").value == expected
+
+    def test_average(self, gpu, cpu):
+        expected = VALUES.sum() / VALUES.size
+        assert gpu.average("temp").value == pytest.approx(expected)
+        assert cpu.average("temp").value == pytest.approx(expected)
+
+    def test_median(self, gpu, cpu):
+        k = (VALUES.size + 1) // 2
+        expected = int(np.sort(VALUES)[::-1][k - 1])
+        assert gpu.median("temp").value == expected
+        assert cpu.median("temp").value == expected
+
+    def test_kth_largest_over_negatives(self, gpu, cpu):
+        ordered = np.sort(VALUES)[::-1]
+        for k in (1, 4, VALUES.size):
+            expected = int(ordered[k - 1])
+            assert gpu.kth_largest("temp", k).value == expected
+            assert cpu.kth_largest("temp", k).value == expected
+
+
+class TestSignedSelections:
+    def test_comparison_against_negative_constant(self, gpu, cpu):
+        predicate = Comparison("temp", CompareFunc.LESS, 0)
+        expected = np.flatnonzero(VALUES < 0)
+        assert np.array_equal(gpu.select(predicate).record_ids(),
+                              expected)
+        assert np.array_equal(cpu.select(predicate).record_ids(),
+                              expected)
+
+    def test_between_straddling_zero(self, gpu, cpu):
+        predicate = Between("temp", -5, 10)
+        expected = np.flatnonzero((VALUES >= -5) & (VALUES <= 10))
+        assert np.array_equal(gpu.select(predicate).record_ids(),
+                              expected)
+        assert np.array_equal(cpu.select(predicate).record_ids(),
+                              expected)
+
+    def test_masked_aggregate_over_negatives(self, gpu, cpu):
+        predicate = Comparison("temp", CompareFunc.LESS, 0)
+        mask = VALUES < 0
+        expected_sum = int(VALUES[mask].sum())
+        assert gpu.sum("temp", predicate).value == expected_sum
+        assert cpu.sum("temp", predicate).value == expected_sum
+        assert gpu.minimum("temp", predicate).value == -40
+        assert gpu.maximum("temp", predicate).value == -1
+
+    def test_histogram_edges_cover_negative_domain(self, gpu, cpu):
+        gpu_edges, gpu_counts = gpu.histogram("temp", buckets=4).value
+        cpu_edges, cpu_counts = cpu.histogram("temp", buckets=4).value
+        assert np.array_equal(gpu_edges, cpu_edges)
+        assert np.array_equal(gpu_counts, cpu_counts)
+        assert gpu_edges[0] == -40
+        assert int(gpu_counts.sum()) == VALUES.size
+
+
+class TestBiasEncoding:
+    def test_roundtrip_through_storage(self):
+        column = Column.integer("temp", VALUES)
+        restored = column.from_stored(column.stored_values())
+        assert np.array_equal(restored, VALUES.astype(np.float32))
+
+    def test_depth_span_stays_power_of_two(self):
+        column = Column.integer("temp", VALUES)
+        assert column.hi - column.lo == float(1 << column.bits)

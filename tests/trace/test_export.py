@@ -1,0 +1,144 @@
+"""Trace exporters: text pass tree and Chrome-trace JSON, plus the
+acceptance workload — tracing a CNF-selection + median SQL query."""
+
+import json
+
+import numpy as np
+
+from repro.core import Column, GpuEngine, Relation
+from repro.core.predicates import Comparison
+from repro.gpu.types import CompareFunc
+from repro.sql import Database
+from repro.trace import (
+    Tracer,
+    chrome_trace,
+    render_text,
+    write_chrome_trace,
+)
+
+
+def _relation(n=500):
+    generator = np.random.default_rng(3)
+    return Relation(
+        "t",
+        [
+            Column.integer("a", generator.integers(0, 1 << 10, n), bits=10),
+            Column.integer("b", generator.integers(0, 1 << 8, n), bits=8),
+        ],
+    )
+
+
+def _traced_select():
+    tracer = Tracer()
+    engine = GpuEngine(_relation(), tracer=tracer)
+    engine.select(Comparison("a", CompareFunc.GEQUAL, 100))
+    engine.median("a")
+    return tracer.finish()
+
+
+class TestRenderText:
+    def test_tree_shows_spans_and_passes(self):
+        text = render_text(_traced_select())
+        assert "select" in text
+        assert "median" in text
+        assert "copy-to-depth" in text
+        assert "pass#" in text
+
+    def test_show_passes_false_collapses_to_spans(self):
+        text = render_text(_traced_select(), show_passes=False)
+        assert "select" in text
+        assert "pass#" not in text
+
+
+class TestChromeTrace:
+    def test_valid_json_with_required_fields(self, tmp_path):
+        trace = _traced_select()
+        payload = chrome_trace(trace)
+        encoded = json.dumps(payload)
+        decoded = json.loads(encoded)
+        events = decoded["traceEvents"]
+        assert events, "expected at least one event"
+        for event in events:
+            assert event["ph"] in ("X", "M")
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert "ts" in event and "pid" in event and "tid" in event
+
+        path = tmp_path / "trace.json"
+        write_chrome_trace(trace, path)
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_gpu_track_has_one_slice_per_pass(self):
+        trace = _traced_select()
+        events = chrome_trace(trace)["traceEvents"]
+        gpu_slices = [
+            e for e in events if e["ph"] == "X" and e["tid"] == 2
+        ]
+        assert len(gpu_slices) == trace.num_passes
+
+
+class TestDatabaseQueryTrace:
+    """The acceptance workload: CNF selection + median through SQL."""
+
+    SQL = (
+        "SELECT MEDIAN(data_count) FROM tcpip "
+        "WHERE data_count >= 1000 AND data_loss < 800"
+    )
+
+    def _db(self, small_relation):
+        db = Database()
+        db.register(small_relation)
+        return db
+
+    def test_trace_attached_and_pass_tree_matches_paper(
+        self, small_relation
+    ):
+        db = self._db(small_relation)
+        result = db.query(self.SQL, device="gpu", trace=True)
+        assert result.trace is not None
+        query = result.trace.find("query")
+        assert query.attrs["sql"] == self.SQL
+
+        # The executor's empty-selection probe runs the CNF selection
+        # once (3 passes per clause), then MEDIAN re-runs it and does
+        # the KthLargest bit search: copy + one pass per bit.
+        bits = small_relation.column("data_count").bits
+        select_span = result.trace.find("select")
+        assert select_span.num_passes == 3 * 2  # two CNF clauses
+        median_span = result.trace.find("median")
+        assert median_span.num_passes == 3 * 2 + 1 + bits
+
+        # KthLargest's bit-binary-search: the final `bits` passes each
+        # ran under an occlusion query (the selection's count pass uses
+        # one too, so filter to the bit-search phase).
+        kth_passes = median_span.passes[-bits:]
+        assert all(p.query_active for p in kth_passes)
+        assert median_span.passes[-(bits + 1)].program.startswith(
+            "copy-to-depth"
+        )
+
+    def test_chrome_export_of_query_trace_is_valid(self, small_relation):
+        db = self._db(small_relation)
+        result = db.query(self.SQL, device="gpu", trace=True)
+        payload = json.loads(json.dumps(chrome_trace(result.trace)))
+        assert payload["traceEvents"]
+
+    def test_untraced_query_has_no_trace(self, small_relation):
+        db = self._db(small_relation)
+        result = db.query(self.SQL, device="gpu")
+        assert result.trace is None
+
+    def test_tracer_is_detached_after_query(self, small_relation):
+        db = self._db(small_relation)
+        db.query(self.SQL, device="gpu", trace=True)
+        assert db.gpu_engine("tcpip").tracer is None
+        first = db.query(self.SQL, device="gpu", trace=True)
+        second = db.query(self.SQL, device="gpu", trace=True)
+        assert first.trace.num_passes == second.trace.num_passes
+
+    def test_cpu_query_traces_op_spans(self, small_relation):
+        db = self._db(small_relation)
+        result = db.query(self.SQL, device="cpu", trace=True)
+        median = result.trace.find("median")
+        assert median.num_passes == 0  # the CPU issues no passes
+        assert median.modeled_ms is not None and median.modeled_ms > 0

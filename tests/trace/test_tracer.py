@@ -1,0 +1,146 @@
+"""Tracer spans, pass events, and the null fast-path."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, GpuEngine, Relation
+from repro.core.predicates import And, Comparison
+from repro.gpu.types import CompareFunc
+from repro.trace import (
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+def _relation(n=500):
+    generator = np.random.default_rng(11)
+    return Relation(
+        "t",
+        [
+            Column.integer("a", generator.integers(0, 1 << 10, n), bits=10),
+            Column.integer("b", generator.integers(0, 1 << 8, n), bits=8),
+        ],
+    )
+
+
+class TestSpans:
+    def test_engine_ops_become_spans(self):
+        tracer = Tracer()
+        engine = GpuEngine(_relation(), tracer=tracer)
+        engine.select(Comparison("a", CompareFunc.GEQUAL, 100))
+        engine.median("a")
+        trace = tracer.finish()
+        names = [root.name for root in trace.roots]
+        assert names == ["select", "median"]
+
+    def test_span_carries_passes_and_modeled_cost(self):
+        tracer = Tracer()
+        engine = GpuEngine(_relation(), tracer=tracer)
+        engine.select(Comparison("a", CompareFunc.GEQUAL, 100))
+        span = tracer.finish().find("select")
+        # A simple comparison: copy-to-depth + one comparison quad.
+        assert span.num_passes == 2
+        assert span.passes[0].program.startswith("copy-to-depth")
+        assert span.modeled_ms is not None and span.modeled_ms > 0
+        assert all(p.modeled_ms > 0 for p in span.passes)
+
+    def test_pass_events_record_stage_kills(self):
+        tracer = Tracer()
+        engine = GpuEngine(_relation(), tracer=tracer)
+        result = engine.select(Comparison("a", CompareFunc.LESS, 200))
+        span = tracer.finish().find("select")
+        compare = span.passes[-1]
+        assert compare.fragments >= engine.relation.num_records
+        # Fragments that failed the depth test did not pass.
+        assert compare.passed + compare.depth_failed == compare.fragments
+        assert compare.passed >= result.count
+
+    def test_kth_largest_uses_occlusion_query_passes(self):
+        tracer = Tracer()
+        engine = GpuEngine(_relation(), tracer=tracer)
+        engine.kth_largest("a", 5)
+        span = tracer.finish().find("kth_largest")
+        bits = 10
+        assert span.num_passes == 1 + bits
+        query_passes = [p for p in span.passes if p.query_active]
+        assert len(query_passes) == bits
+
+    def test_nested_cnf_selection_counts_three_passes_per_clause(self):
+        tracer = Tracer()
+        engine = GpuEngine(_relation(), tracer=tracer)
+        engine.select(And(
+            Comparison("a", CompareFunc.GEQUAL, 100),
+            Comparison("b", CompareFunc.LESS, 200),
+        ))
+        span = tracer.finish().find("select")
+        assert span.num_passes == 6
+
+    def test_trace_find_raises_on_unknown_name(self):
+        tracer = Tracer()
+        trace = tracer.finish()
+        with pytest.raises(KeyError):
+            trace.find("nothing")
+
+    def test_exception_inside_op_does_not_poison_next_span(self):
+        tracer = Tracer()
+        engine = GpuEngine(_relation(), tracer=tracer)
+        with pytest.raises(Exception):
+            engine.median("a", Comparison("a", CompareFunc.LESS, 0))
+        engine.select(Comparison("a", CompareFunc.GEQUAL, 100))
+        trace = tracer.finish()
+        assert [root.name for root in trace.roots] == [
+            "median", "select"
+        ]
+        assert all(root.end_s is not None for root in trace.roots)
+
+
+class TestNullFastPath:
+    def test_engine_without_tracer_records_nothing(self):
+        engine = GpuEngine(_relation())
+        assert engine.tracer is None
+        engine.select(Comparison("a", CompareFunc.GEQUAL, 100))
+
+    def test_results_identical_with_and_without_tracing(self):
+        predicate = Comparison("a", CompareFunc.GEQUAL, 300)
+        plain = GpuEngine(_relation())
+        traced = GpuEngine(_relation(), tracer=Tracer())
+        assert plain.select(predicate).count == \
+            traced.select(predicate).count
+        assert plain.median("a").value == traced.median("a").value
+        assert (
+            plain.select(predicate).compute.num_passes
+            == traced.select(predicate).compute.num_passes
+        )
+
+
+class TestGlobalTracer:
+    def test_use_tracer_scopes_installation(self):
+        tracer = Tracer()
+        assert current_tracer() is None
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            engine = GpuEngine(_relation())
+            assert engine.tracer is tracer
+        assert current_tracer() is None
+
+    def test_set_tracer_restores(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            assert current_tracer() is tracer
+        finally:
+            set_tracer(None)
+        assert current_tracer() is None
+
+    def test_device_passes_outside_spans_land_in_device_root(self):
+        tracer = Tracer()
+        engine = GpuEngine(_relation(), tracer=tracer)
+        from repro.core.compare import copy_to_depth
+
+        texture, scale, channel = engine.column_texture("a")
+        copy_to_depth(engine.device, texture, scale, channel=channel)
+        trace = tracer.finish()
+        device_root = trace.find("(device)")
+        assert device_root.num_passes == 1
