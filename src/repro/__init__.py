@@ -18,6 +18,8 @@ Layering:
 * :mod:`repro.streams` — continuous queries over streams (section 7).
 * :mod:`repro.olap` — data-cube roll-up / drill-down (section 7).
 * :mod:`repro.data` — synthetic TCP/IP and census workload generators.
+* :mod:`repro.faults` — fault injection into the simulated substrate
+  plus the retry/fallback executor that keeps queries answering.
 * :mod:`repro.bench`— the harness that regenerates every figure.
 """
 
@@ -31,6 +33,15 @@ from .core import (
     Relation,
     col,
 )
+from .faults import (
+    FaultPlan,
+    FaultRule,
+    FaultStats,
+    ResilientExecutor,
+    RetryPolicy,
+    use_executor,
+    use_faults,
+)
 from .olap import DataCube
 from .sql import Database
 from .streams import ContinuousQuery, StreamEngine
@@ -41,10 +52,17 @@ __all__ = [
     "CpuEngine",
     "DataCube",
     "Database",
+    "FaultPlan",
+    "FaultRule",
+    "FaultStats",
     "GpuEngine",
     "Relation",
+    "ResilientExecutor",
+    "RetryPolicy",
     "StreamEngine",
     "__version__",
     "col",
     "errors",
+    "use_executor",
+    "use_faults",
 ]

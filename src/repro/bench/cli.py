@@ -70,6 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
             "per experiment into DIR"
         ),
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        help=(
+            "after the clean run, re-run each experiment under the "
+            "fault schedule in PLAN.json (see docs/FAULTS.md) with a "
+            "resilient executor attached, and report the degraded "
+            "numbers and fault/retry/fallback counts alongside the "
+            "clean ones"
+        ),
+    )
     return parser
 
 
@@ -98,8 +109,51 @@ def main(argv: list[str] | None = None) -> int:
             _write_trace(args.trace, eid, tracer)
         if not args.markdown:
             print(f"  (harness wall-clock: {elapsed:.1f} s)")
+        if args.faults:
+            _run_faulted(eid, args, renderer, elapsed)
         print()
     return 0
+
+
+def _run_faulted(eid: str, args, renderer, clean_elapsed: float) -> None:
+    """Re-run one experiment under the ``--faults`` schedule and print
+    the degraded numbers next to the clean ones.
+
+    Each experiment gets a fresh copy of the plan (schedules restart),
+    sharing one resilient executor so the printed stats tell the whole
+    fault/retry/fallback story.  A run the executor cannot save is
+    reported, not fatal — the remaining experiments still run.
+    """
+    from ..errors import ReproError
+    from ..faults import (
+        FaultPlan,
+        ResilientExecutor,
+        use_executor,
+        use_faults,
+    )
+
+    plan = FaultPlan.load(args.faults)
+    executor = ResilientExecutor(stats=plan.stats)
+    print(f"  -- under faults ({args.faults}) --")
+    started = time.perf_counter()
+    try:
+        with use_faults(plan), use_executor(executor):
+            degraded = run_experiment(eid, scale=args.scale)
+    except ReproError as error:
+        elapsed = time.perf_counter() - started
+        print(
+            f"  {eid} did not survive the schedule: "
+            f"{type(error).__name__}: {error}"
+        )
+    else:
+        elapsed = time.perf_counter() - started
+        print(renderer(degraded))
+    print(f"  (faults: {plan.stats.summary()})")
+    print(
+        f"  (degraded wall-clock: {elapsed:.1f} s vs "
+        f"{clean_elapsed:.1f} s clean; simulated backoff: "
+        f"{executor.clock.slept_s:.2f} s)"
+    )
 
 
 def _write_csv(directory: str, result) -> None:

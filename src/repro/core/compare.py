@@ -18,6 +18,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from ..errors import QueryError
+from ..faults import SITE_DEPTH_COPY, maybe_inject
 from ..gpu.pipeline import Device
 from ..gpu.programs import copy_to_depth_program
 from ..gpu.texture import Texture
@@ -41,6 +42,7 @@ def copy_to_depth(
     device with no program bound, depth writes off, and the depth test
     enabled (ready for comparison quads).
     """
+    maybe_inject(SITE_DEPTH_COPY, tracer=device.tracer)
     state = device.state
     # Restore in place: callers (e.g. EvalCNF's clause loop) hold live
     # references to the stencil-state object, so it must not be replaced.

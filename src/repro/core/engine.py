@@ -18,10 +18,12 @@ the simulated GeForce-FX timings the benchmark harness reports.
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 
 from ..errors import QueryError, StaleSelectionError
+from ..faults import current_executor
 from ..gpu.cost import GpuCostModel, GpuTime
 from ..gpu.counters import PipelineStats
 from ..gpu.memory import VideoMemory
@@ -34,6 +36,39 @@ from .relation import Relation
 from .select import SelectionOutcome, execute_selection
 
 _COPY_PREFIX = "copy-to-depth"
+
+
+def _resilient(method):
+    """Route an engine operation through the attached
+    :class:`~repro.faults.ResilientExecutor` (transient GPU faults are
+    retried; each attempt re-runs the operation from scratch).
+
+    Operations delegating to other operations (``count`` -> ``select``)
+    retry only at the outermost call, so the attempt budget is the
+    policy's, not its square.
+    """
+    name = method.__name__
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        executor = self.executor
+        if executor is None or self._in_resilient_op:
+            return method(self, *args, **kwargs)
+
+        def attempt():
+            # A fault can interrupt a pass mid-query; every attempt
+            # starts from clean device state or the re-render would
+            # trip over the dangling occlusion query.
+            self.device.abort_query()
+            return method(self, *args, **kwargs)
+
+        self._in_resilient_op = True
+        try:
+            return executor.run(attempt, op=name, tracer=self.tracer)
+        finally:
+            self._in_resilient_op = False
+
+    return wrapper
 
 
 def split_copy_stats(
@@ -153,7 +188,17 @@ class Selection(GpuOpResult):
                 f"!= {self.generation}); call materialize() while the "
                 "selection is live, or re-run select()"
             )
-        stencil = device.read_stencil()
+        executor = self.engine.executor
+        if executor is None:
+            stencil = device.read_stencil()
+        else:
+            # The mask is intact in the stencil buffer; a corrupted
+            # transfer is recovered by simply reading again.
+            stencil = executor.run(
+                device.read_stencil,
+                op="read_ids",
+                tracer=device.tracer,
+            )
         ids = np.flatnonzero(stencil == self.valid_stencil)
         return ids[ids < self.total_records]
 
@@ -174,10 +219,20 @@ class GpuEngine:
         video_memory: VideoMemory | None = None,
         layout: str = "planar",
         tracer=None,
+        executor=None,
     ):
         """``video_memory`` overrides the default 256 MB pool — pass a
         smaller :class:`~repro.gpu.memory.VideoMemory` to exercise the
         out-of-core texture swapping of paper section 6.1.
+
+        ``executor`` attaches a
+        :class:`~repro.faults.ResilientExecutor`: every engine operation
+        retries transient GPU faults (device lost, occlusion timeout,
+        readback corruption, memory pressure) with capped exponential
+        backoff before letting the error escape.  Defaults to the
+        process-wide executor installed by
+        :func:`repro.faults.use_executor` (usually ``None`` — faults
+        propagate immediately).
 
         ``tracer`` attaches a :class:`~repro.trace.Tracer`: every engine
         operation becomes a span and every rendering pass a
@@ -210,6 +265,10 @@ class GpuEngine:
             tracer=tracer if tracer is not None else current_tracer(),
         )
         self.cost_model = cost_model or GpuCostModel()
+        self.executor = (
+            executor if executor is not None else current_executor()
+        )
+        self._in_resilient_op = False
         self._op_span = None
         self._column_textures: dict[str, Texture] = {}
         self._stored_textures: dict[str, Texture] = {}
@@ -385,6 +444,7 @@ class GpuEngine:
 
     # -- queries ----------------------------------------------------------------------
 
+    @_resilient
     def select(self, predicate: Predicate) -> Selection:
         """Evaluate a WHERE clause; leaves the selection mask in the
         stencil buffer and returns count + statistics."""
@@ -403,6 +463,7 @@ class GpuEngine:
             generation=self.device.stencil_generation,
         )
 
+    @_resilient
     def count(self, predicate: Predicate | None = None) -> GpuOpResult:
         """COUNT(*) [WHERE predicate]."""
         if predicate is not None:
@@ -443,6 +504,7 @@ class GpuEngine:
         )
         return outcome.valid_stencil, outcome.count
 
+    @_resilient
     def kth_largest(
         self,
         column_name: str,
@@ -462,6 +524,7 @@ class GpuEngine:
         )
         return self._finish(column.from_stored(value))
 
+    @_resilient
     def kth_smallest(
         self,
         column_name: str,
@@ -483,6 +546,7 @@ class GpuEngine:
     def maximum(self, column_name, predicate=None) -> GpuOpResult:
         return self.kth_largest(column_name, 1, predicate)
 
+    @_resilient
     def minimum(self, column_name, predicate=None) -> GpuOpResult:
         column = self._integer_column(column_name)
         texture, scale, channel = self.column_texture(column_name)
@@ -496,6 +560,7 @@ class GpuEngine:
         )
         return self._finish(column.from_stored(value))
 
+    @_resilient
     def median(self, column_name, predicate=None) -> GpuOpResult:
         """The ceil(n/2)-th largest value (figures 8 and 9)."""
         column = self._integer_column(column_name)
@@ -510,6 +575,7 @@ class GpuEngine:
         )
         return self._finish(column.from_stored(value))
 
+    @_resilient
     def sum(self, column_name, predicate=None) -> GpuOpResult:
         """Routine 4.6 (exact integer / fixed-point SUM)."""
         column = self._integer_column(column_name)
@@ -522,6 +588,7 @@ class GpuEngine:
         )
         return self._finish(column.sum_from_stored(value, valid_count))
 
+    @_resilient
     def average(self, column_name, predicate=None) -> GpuOpResult:
         column = self._integer_column(column_name)
         texture, channel = self.stored_texture(column_name)
@@ -537,6 +604,7 @@ class GpuEngine:
             column.sum_from_stored(total, valid_count) / valid_count
         )
 
+    @_resilient
     def top_k(
         self,
         column_name: str,
@@ -591,6 +659,7 @@ class GpuEngine:
             TopK(threshold=threshold_value, record_ids=ids)
         )
 
+    @_resilient
     def quantiles(
         self,
         column_name: str,
@@ -633,6 +702,7 @@ class GpuEngine:
             [column.from_stored(value) for value in values]
         )
 
+    @_resilient
     def selectivities(
         self, predicates: list[Predicate]
     ) -> GpuOpResult:
@@ -704,6 +774,7 @@ class GpuEngine:
                 depth_holds = None
         return self._finish(counts)
 
+    @_resilient
     def histogram(
         self, column_name: str, buckets: int = 32
     ) -> GpuOpResult:

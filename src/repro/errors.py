@@ -53,6 +53,39 @@ class VideoMemoryError(GpuError):
     """Video memory exhaustion or invalid allocation."""
 
 
+class DeviceLostError(GpuError):
+    """The device was lost mid-operation (driver reset, bus hiccup).
+
+    A *transient* fault: the operation can be retried from scratch —
+    every engine operation re-renders its passes, so nothing is lost
+    beyond the work of the failed attempt.
+    """
+
+
+class OcclusionTimeoutError(OcclusionQueryError):
+    """An occlusion-query result never arrived (timeout / lost query).
+
+    Transient: re-running the operation re-issues the query.
+    """
+
+
+class ReadbackError(GpuError):
+    """A buffer readback returned corrupt data (detected by the
+    transfer checksum).  Transient: the buffer itself is intact, so the
+    readback can simply be retried."""
+
+
+class DepthPrecisionError(GpuError):
+    """The depth buffer cannot hold the precision an attribute copy
+    needs (the paper's section 6.1 precision limitation).  *Persistent*
+    for the operation: retrying will not grow the depth buffer — fall
+    back to the CPU engine instead."""
+
+
+class FaultConfigError(ReproError):
+    """Invalid fault-injection plan (unknown kind, bad parameters)."""
+
+
 class DataError(ReproError):
     """Invalid column/relation data (out-of-range values, shape mismatch)."""
 

@@ -1,0 +1,360 @@
+"""Deterministic fault schedules over the substrate's choke points.
+
+The simulated GPU has exactly the failure surfaces the paper worries
+about (sections 5-6): limited video memory, occlusion queries that can
+stall or get lost, a single depth buffer with finite precision, and
+readbacks over the bus.  A :class:`FaultPlan` injects typed, simulated
+faults at those points on a *seedable, deterministic* schedule, so
+resilience behavior is reproducible test-by-test and run-by-run.
+
+Fault kinds map one-to-one onto injection sites:
+
+====================  ==========================  =========================
+kind                  site (choke point)          raised error
+====================  ==========================  =========================
+``memory``            ``memory.ensure_resident``  ``VideoMemoryError``
+``occlusion``         ``occlusion.result``        ``OcclusionTimeoutError``
+``device_lost``       ``pipeline.pass``           ``DeviceLostError``
+``depth_precision``   ``depth.copy``              ``DepthPrecisionError``
+``readback``          ``readback.stencil``        ``ReadbackError``
+====================  ==========================  =========================
+
+A plan is installed process-wide with :func:`repro.faults.use_faults`;
+the substrate calls :func:`repro.faults.maybe_inject` at each choke
+point (a no-op when no plan is active).  Every injection is counted in
+the plan's :class:`FaultStats` and, when a tracer is attached, recorded
+as a ``fault`` event on the innermost open span.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import pathlib
+import random
+from collections import Counter
+
+from ..errors import (
+    DepthPrecisionError,
+    DeviceLostError,
+    FaultConfigError,
+    OcclusionTimeoutError,
+    ReadbackError,
+    ReproError,
+    VideoMemoryError,
+)
+
+#: Injection sites (the substrate's real choke points).
+SITE_MEMORY = "memory.ensure_resident"
+SITE_OCCLUSION = "occlusion.result"
+SITE_PASS = "pipeline.pass"
+SITE_DEPTH_COPY = "depth.copy"
+SITE_READBACK = "readback.stencil"
+
+
+class FaultKind(str, enum.Enum):
+    """Typed, simulated GPU fault categories."""
+
+    MEMORY = "memory"
+    OCCLUSION = "occlusion"
+    DEVICE_LOST = "device_lost"
+    DEPTH_PRECISION = "depth_precision"
+    READBACK = "readback"
+
+    @property
+    def site(self) -> str:
+        return _KIND_SITE[self]
+
+
+_KIND_SITE = {
+    FaultKind.MEMORY: SITE_MEMORY,
+    FaultKind.OCCLUSION: SITE_OCCLUSION,
+    FaultKind.DEVICE_LOST: SITE_PASS,
+    FaultKind.DEPTH_PRECISION: SITE_DEPTH_COPY,
+    FaultKind.READBACK: SITE_READBACK,
+}
+
+_KIND_ERROR: dict[FaultKind, tuple[type[ReproError], str]] = {
+    FaultKind.MEMORY: (
+        VideoMemoryError,
+        "injected fault: video memory allocation failed",
+    ),
+    FaultKind.OCCLUSION: (
+        OcclusionTimeoutError,
+        "injected fault: occlusion query result timed out",
+    ),
+    FaultKind.DEVICE_LOST: (
+        DeviceLostError,
+        "injected fault: device lost during rendering pass",
+    ),
+    FaultKind.DEPTH_PRECISION: (
+        DepthPrecisionError,
+        "injected fault: depth buffer degraded below the precision "
+        "the attribute copy needs",
+    ),
+    FaultKind.READBACK: (
+        ReadbackError,
+        "injected fault: readback checksum mismatch (corrupt transfer)",
+    ),
+}
+
+
+class FaultStats:
+    """Counters aggregating injections, retries, and fallbacks.
+
+    One stats object can be shared between a :class:`FaultPlan` (which
+    records injections) and a
+    :class:`~repro.faults.resilience.ResilientExecutor` (which records
+    retries, fallbacks, and give-ups), so one place tells the whole
+    story of a faulted run.
+    """
+
+    def __init__(self):
+        #: Injections by fault kind value.
+        self.injected: Counter[str] = Counter()
+        #: Injections by site.
+        self.injected_by_site: Counter[str] = Counter()
+        #: Retries by operation name.
+        self.retries: Counter[str] = Counter()
+        #: CPU fallbacks by operation name.
+        self.fallbacks: Counter[str] = Counter()
+        #: Operations that exhausted their retry budget, by name.
+        self.gave_up: Counter[str] = Counter()
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    @property
+    def total_fallbacks(self) -> int:
+        return sum(self.fallbacks.values())
+
+    def record_injection(self, kind: FaultKind, site: str) -> None:
+        self.injected[kind.value] += 1
+        self.injected_by_site[site] += 1
+
+    def record_retry(self, op: str) -> None:
+        self.retries[op] += 1
+
+    def record_fallback(self, op: str) -> None:
+        self.fallbacks[op] += 1
+
+    def record_give_up(self, op: str) -> None:
+        self.gave_up[op] += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "injected": dict(self.injected),
+            "injected_by_site": dict(self.injected_by_site),
+            "retries": dict(self.retries),
+            "fallbacks": dict(self.fallbacks),
+            "gave_up": dict(self.gave_up),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.total_injected} faults injected "
+            f"({dict(self.injected)}), "
+            f"{self.total_retries} retries, "
+            f"{self.total_fallbacks} fallbacks, "
+            f"{sum(self.gave_up.values())} gave up"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultStats({self.summary()})"
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """One line of a fault schedule.
+
+    ``probability`` draws per eligible call from the rule's own seeded
+    stream; ``start_after`` skips the first N calls at the site (arm the
+    fault mid-query); ``max_fires=None`` makes the fault *persistent*
+    (fires forever — retries cannot outlast it), a small integer makes
+    it *transient* (a retry eventually succeeds).
+    """
+
+    kind: FaultKind
+    probability: float = 1.0
+    start_after: int = 0
+    max_fires: int | None = 1
+
+    def __post_init__(self):
+        if not isinstance(self.kind, FaultKind):
+            object.__setattr__(self, "kind", _parse_kind(self.kind))
+        if not 0.0 < self.probability <= 1.0:
+            raise FaultConfigError(
+                f"rule probability must lie in (0, 1], got "
+                f"{self.probability}"
+            )
+        if self.start_after < 0:
+            raise FaultConfigError(
+                f"start_after must be >= 0, got {self.start_after}"
+            )
+        if self.max_fires is not None and self.max_fires < 1:
+            raise FaultConfigError(
+                f"max_fires must be >= 1 or None, got {self.max_fires}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "probability": self.probability,
+            "start_after": self.start_after,
+            "max_fires": self.max_fires,
+        }
+
+
+def _parse_kind(value) -> FaultKind:
+    try:
+        return FaultKind(value)
+    except ValueError:
+        raise FaultConfigError(
+            f"unknown fault kind {value!r}; supported: "
+            f"{[kind.value for kind in FaultKind]}"
+        ) from None
+
+
+class _RuleState:
+    """Per-rule bookkeeping: calls seen, fires done, private rng."""
+
+    __slots__ = ("rule", "calls", "fires", "rng")
+
+    def __init__(self, rule: FaultRule, seed: int, index: int):
+        self.rule = rule
+        self.calls = 0
+        self.fires = 0
+        # Each rule draws from its own stream so adding a rule never
+        # shifts another rule's schedule.
+        self.rng = random.Random(
+            f"{seed}:{index}:{rule.kind.value}"
+        )
+
+
+class FaultPlan:
+    """A deterministic, seedable schedule of simulated GPU faults."""
+
+    def __init__(
+        self,
+        rules: list[FaultRule],
+        seed: int = 0,
+        stats: FaultStats | None = None,
+    ):
+        self.rules = [
+            rule if isinstance(rule, FaultRule) else FaultRule(**rule)
+            for rule in rules
+        ]
+        self.seed = seed
+        self.stats = stats if stats is not None else FaultStats()
+        self._by_site: dict[str, list[_RuleState]] = {}
+        for index, rule in enumerate(self.rules):
+            state = _RuleState(rule, seed, index)
+            self._by_site.setdefault(rule.kind.site, []).append(state)
+
+    # -- injection -----------------------------------------------------------
+
+    def fire(self, site: str, tracer=None) -> None:
+        """Raise the scheduled fault for one call at ``site`` (if any).
+
+        Called by the substrate's choke points; a site with no armed
+        rule returns immediately.
+        """
+        states = self._by_site.get(site)
+        if not states:
+            return
+        for state in states:
+            state.calls += 1
+            rule = state.rule
+            if state.calls <= rule.start_after:
+                continue
+            if rule.max_fires is not None and state.fires >= rule.max_fires:
+                continue
+            if (
+                rule.probability < 1.0
+                and state.rng.random() >= rule.probability
+            ):
+                continue
+            state.fires += 1
+            error_type, message = _KIND_ERROR[rule.kind]
+            self.stats.record_injection(rule.kind, site)
+            if tracer is not None:
+                tracer.record_event(
+                    "fault",
+                    kind=rule.kind.value,
+                    site=site,
+                    error=error_type.__name__,
+                )
+            raise error_type(message)
+
+    def fired(self, kind: FaultKind | str) -> int:
+        """Total fires so far for one fault kind."""
+        kind = _parse_kind(kind)
+        return sum(
+            state.fires
+            for states in self._by_site.values()
+            for state in states
+            if state.rule.kind is kind
+        )
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    def dump(self, path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=1) + "\n")
+        return path
+
+    @classmethod
+    def from_dict(
+        cls, data: dict, stats: FaultStats | None = None
+    ) -> "FaultPlan":
+        if not isinstance(data, dict) or "rules" not in data:
+            raise FaultConfigError(
+                "fault plan must be an object with a 'rules' list"
+            )
+        rules = []
+        for entry in data["rules"]:
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise FaultConfigError(
+                    f"fault rule must be an object with a 'kind', "
+                    f"got {entry!r}"
+                )
+            known = {"kind", "probability", "start_after", "max_fires"}
+            unknown = set(entry) - known
+            if unknown:
+                raise FaultConfigError(
+                    f"unknown fault rule fields {sorted(unknown)}; "
+                    f"supported: {sorted(known)}"
+                )
+            rules.append(FaultRule(**entry))
+        return cls(rules, seed=int(data.get("seed", 0)), stats=stats)
+
+    @classmethod
+    def load(
+        cls, path, stats: FaultStats | None = None
+    ) -> "FaultPlan":
+        """Read a plan from a JSON file (the ``repro-bench --faults``
+        format)."""
+        text = pathlib.Path(path).read_text()
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise FaultConfigError(
+                f"fault plan {path} is not valid JSON: {error}"
+            ) from error
+        return cls.from_dict(data, stats=stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = [rule.kind.value for rule in self.rules]
+        return f"FaultPlan(seed={self.seed}, kinds={kinds})"

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from ..errors import VideoMemoryError
+from ..faults import SITE_MEMORY, maybe_inject
 from .texture import Texture
 
 #: Default pool size: 256 MB, as on the paper's GeForce FX 5900 Ultra.
@@ -59,6 +60,7 @@ class VideoMemory:
         Raises :class:`VideoMemoryError` if the texture alone exceeds the
         pool or if every other resident texture is pinned.
         """
+        maybe_inject(SITE_MEMORY)
         if texture.id in self._resident:
             self._resident.move_to_end(texture.id)
             return 0
@@ -69,7 +71,7 @@ class VideoMemory:
                 f"{self.capacity_bytes}"
             )
         while self.used_bytes + size > self.capacity_bytes:
-            self._evict_one()
+            self._evict_one(size)
         self._resident[texture.id] = size
         self.total_uploaded += size
         return size
@@ -93,12 +95,27 @@ class VideoMemory:
             )
         self._resident.pop(texture.id, None)
 
-    def _evict_one(self) -> None:
+    def _evict_one(self, requested_bytes: int) -> None:
+        """Evict the least-recently-used unpinned texture.
+
+        With every resident texture pinned there is nothing to evict:
+        raise a diagnostic :class:`VideoMemoryError` carrying the full
+        allocation picture instead of looping forever or surfacing a
+        bare ``KeyError`` from the LRU bookkeeping.
+        """
         for texture_id in self._resident:
             if texture_id not in self._pinned:
                 del self._resident[texture_id]
                 self.evictions += 1
                 return
+        pinned_bytes = sum(
+            self._resident[texture_id]
+            for texture_id in self._pinned
+            if texture_id in self._resident
+        )
         raise VideoMemoryError(
-            "video memory full and every resident texture is pinned"
+            f"cannot make room for {requested_bytes} bytes: capacity "
+            f"{self.capacity_bytes} bytes, {self.used_bytes} in use with "
+            f"{pinned_bytes} bytes across {len(self._pinned)} pinned "
+            f"textures and nothing evictable"
         )

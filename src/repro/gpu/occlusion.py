@@ -15,6 +15,7 @@ via the ``synchronous`` flag recorded at retrieval time.
 from __future__ import annotations
 
 from ..errors import OcclusionQueryError
+from ..faults import SITE_OCCLUSION, maybe_inject
 
 
 class OcclusionQuery:
@@ -57,6 +58,7 @@ class OcclusionQuery:
             raise OcclusionQueryError(
                 "query result requested before end_query()"
             )
+        maybe_inject(SITE_OCCLUSION, tracer=self._device.tracer)
         if not self._retrieved:
             self._retrieved = True
             self._device.stats.occlusion_results += 1 if synchronous else 0

@@ -29,6 +29,7 @@ import time
 import numpy as np
 
 from ..errors import GpuError, OcclusionQueryError, RenderStateError
+from ..faults import SITE_PASS, SITE_READBACK, maybe_inject
 from .assembler import FragmentProgram
 from .counters import PassStats, PipelineStats
 from .framebuffer import FrameBuffer, depth_to_code
@@ -132,6 +133,7 @@ class Device:
     # -- readbacks (bus traffic back to the CPU) -------------------------------
 
     def read_stencil(self) -> np.ndarray:
+        maybe_inject(SITE_READBACK, tracer=self.tracer)
         self.stats.bytes_read_back += self.framebuffer.stencil.values.nbytes
         return self.framebuffer.stencil.values.copy()
 
@@ -209,6 +211,16 @@ class Device:
         query._end()
         return query
 
+    def abort_query(self) -> None:
+        """Discard any in-flight occlusion query without reading it.
+
+        The recovery path after a mid-pass fault: the host gives up on
+        the interrupted query so the retried operation can begin a
+        fresh one (a lost query's count is meaningless anyway)."""
+        if self._active_query is not None and self._active_query.active:
+            self._active_query._end()
+        self._active_query = None
+
     # -- drawing ----------------------------------------------------------------
 
     def render_quad(
@@ -225,6 +237,7 @@ class Device:
         (realized as at most two rects — hardware cannot rasterize
         arbitrary pixel sets).
         """
+        maybe_inject(SITE_PASS, tracer=self.tracer)
         if rect is not None and count is not None:
             raise GpuError("pass either rect or count, not both")
         if not 0.0 <= depth <= 1.0:

@@ -24,7 +24,8 @@ from ..core.cpu_engine import CpuEngine
 from ..core.engine import GpuEngine
 from ..core.relation import Relation
 from ..cpu.cost import CpuCostModel
-from ..errors import SqlPlanError
+from ..errors import GpuError, QueryError, SqlPlanError
+from ..faults import ResilientExecutor, current_executor
 from ..gpu.cost import GpuCostModel
 from ..trace import Trace, Tracer
 from .ast import (
@@ -48,6 +49,12 @@ class QueryResult:
     plan: QueryPlan
     #: Per-pass execution trace, when the query ran with ``trace=True``.
     trace: Trace | None = None
+    #: True when the GPU path failed for good and the answer came from
+    #: the CPU engine instead (``device`` reflects the engine that
+    #: actually produced the rows).
+    fallback: bool = False
+    #: The persistent GPU error that forced the fallback, as text.
+    fallback_error: str | None = None
 
     @property
     def scalar(self):
@@ -79,9 +86,23 @@ class Database:
         self,
         gpu_cost: GpuCostModel | None = None,
         cpu_cost: CpuCostModel | None = None,
+        executor: ResilientExecutor | None = None,
     ):
+        """``executor`` attaches a
+        :class:`~repro.faults.ResilientExecutor` shared by every engine
+        this database builds: engine operations retry transient GPU
+        faults, and a query whose GPU path fails for good degrades to
+        the CPU engine with ``QueryResult.fallback`` set (unless the
+        caller forced ``device="gpu"``).  Defaults to the process-wide
+        executor from :func:`repro.faults.use_executor`, usually
+        ``None`` — GPU failures then surface as
+        :class:`~repro.errors.QueryError`.
+        """
         self.gpu_cost = gpu_cost or GpuCostModel()
         self.cpu_cost = cpu_cost or CpuCostModel()
+        self.executor = (
+            executor if executor is not None else current_executor()
+        )
         self.planner = Planner(self.gpu_cost, self.cpu_cost)
         self._relations: dict[str, Relation] = {}
         self._gpu_engines: dict[str, GpuEngine] = {}
@@ -111,6 +132,7 @@ class Database:
                 self.relation(name),
                 self.gpu_cost,
                 tracer=self._query_tracer,
+                executor=self.executor,
             )
             self._gpu_engines[name] = engine
         return engine
@@ -134,10 +156,17 @@ class Database:
         right = None
         if statement.join is not None:
             right = self.relation(statement.join.right_table)
+        try:
+            choice = DeviceChoice(device)
+        except ValueError:
+            raise SqlPlanError(
+                f"unknown device {device!r}; supported: "
+                f"{[d.value for d in DeviceChoice]}"
+            ) from None
         return self.planner.plan(
             statement,
             relation,
-            DeviceChoice(device),
+            choice,
             right_relation=right,
         )
 
@@ -155,10 +184,10 @@ class Database:
         plan = self.plan(sql, device=device)
         chosen = plan.chosen_device
         if not trace:
-            rows, columns = self._execute(plan, chosen)
-            return QueryResult(
-                columns=columns, rows=rows, device=chosen, plan=plan
+            rows, columns, fell_back = self._execute(
+                plan, chosen, requested=device
             )
+            return self._result(plan, chosen, rows, columns, fell_back)
         tracer = Tracer(cost_model=self.gpu_cost)
         # Attach the tracer to every cached engine (engines built while
         # it is installed pick it up through the cache accessors), and
@@ -177,7 +206,9 @@ class Database:
             "query", category="query", sql=sql, device=chosen.value
         )
         try:
-            rows, columns = self._execute(plan, chosen)
+            rows, columns, fell_back = self._execute(
+                plan, chosen, requested=device
+            )
         finally:
             tracer.end(span)
             self._query_tracer = None
@@ -191,20 +222,82 @@ class Database:
             ):
                 if id(engine) not in restored:
                     engine.tracer = None  # built during this query
+        return self._result(
+            plan, chosen, rows, columns, fell_back,
+            trace=tracer.finish(),
+        )
+
+    def _result(
+        self, plan, chosen, rows, columns, fell_back, trace=None
+    ) -> QueryResult:
+        if fell_back is not None:
+            return QueryResult(
+                columns=columns,
+                rows=rows,
+                device=DeviceChoice.CPU,
+                plan=plan,
+                trace=trace,
+                fallback=True,
+                fallback_error=(
+                    f"{type(fell_back).__name__}: {fell_back}"
+                ),
+            )
         return QueryResult(
             columns=columns,
             rows=rows,
             device=chosen,
             plan=plan,
-            trace=tracer.finish(),
+            trace=trace,
         )
 
-    def _execute(self, plan: QueryPlan, chosen: DeviceChoice):
-        if plan.statement.join is not None:
-            return self._execute_join(plan.statement, chosen)
-        if chosen is DeviceChoice.GPU:
-            return self._execute_gpu(plan.statement)
-        return self._execute_cpu(plan.statement)
+    def _execute(
+        self,
+        plan: QueryPlan,
+        chosen: DeviceChoice,
+        requested: str = "auto",
+    ):
+        """Run the plan; returns ``(rows, columns, fallback_error)``.
+
+        The substrate's typed :class:`~repro.errors.GpuError` never
+        leaks raw to the caller: with a
+        :class:`~repro.faults.ResilientExecutor` attached (and the
+        device not forced to ``"gpu"``), a persistent GPU failure
+        degrades to the CPU engine and the error is reported through
+        ``QueryResult.fallback``; otherwise it is wrapped in a
+        :class:`~repro.errors.QueryError` with the original as
+        ``__cause__``.
+        """
+        statement = plan.statement
+        try:
+            if statement.join is not None:
+                rows, columns = self._execute_join(statement, chosen)
+            elif chosen is DeviceChoice.GPU:
+                rows, columns = self._execute_gpu(statement)
+            else:
+                rows, columns = self._execute_cpu(statement)
+            return rows, columns, None
+        except GpuError as error:
+            if chosen is not DeviceChoice.GPU:
+                raise  # CPU paths never touch the substrate
+            if self.executor is None or requested == "gpu":
+                raise QueryError(
+                    f"GPU execution failed: {error}"
+                ) from error
+            self.executor.stats.record_fallback("query")
+            if self._query_tracer is not None:
+                self._query_tracer.record_event(
+                    "fallback",
+                    op="query",
+                    error=type(error).__name__,
+                    detail=str(error),
+                )
+            if statement.join is not None:
+                rows, columns = self._execute_join(
+                    statement, DeviceChoice.CPU
+                )
+            else:
+                rows, columns = self._execute_cpu(statement)
+            return rows, columns, error
 
     # -- execution ------------------------------------------------------------------
 

@@ -32,7 +32,8 @@ from .core.engine import split_copy_stats
 from .core.predicates import Predicate
 from .core.relation import Relation
 from .core.select import execute_selection
-from .errors import DataError, QueryError
+from .errors import DataError, GpuError, QueryError
+from .faults import current_executor
 from .gpu.cost import GpuCostModel, GpuTime
 from .gpu.pipeline import Device
 from .gpu.texture import Texture, texture_shape_for
@@ -103,6 +104,10 @@ class StreamTick:
     results: dict
     #: Simulated GPU cost of the upload + re-evaluation.
     gpu_time: GpuTime
+    #: Query name -> error text, for queries whose GPU evaluation
+    #: failed this tick and whose result was recomputed host-side (only
+    #: populated when the engine has a ResilientExecutor).
+    degraded: dict = dataclasses.field(default_factory=dict)
 
     @property
     def gpu_ms(self) -> float:
@@ -117,7 +122,16 @@ class StreamEngine:
         schema: list[StreamColumn] | list[tuple[str, int]],
         capacity: int,
         cost_model: GpuCostModel | None = None,
+        executor=None,
     ):
+        """``executor`` attaches a
+        :class:`~repro.faults.ResilientExecutor`: batch uploads and
+        per-query evaluations retry transient GPU faults, and a query
+        whose GPU evaluation still fails is recomputed host-side from
+        the window — the tick degrades *per query*
+        (:attr:`StreamTick.degraded`) instead of dying.  Defaults to
+        the process-wide executor (usually ``None``).
+        """
         if capacity < 1:
             raise DataError(
                 f"window capacity must be positive, got {capacity}"
@@ -140,6 +154,9 @@ class StreamEngine:
         self.shape = texture_shape_for(capacity)
         self.device = Device(*self.shape)
         self.cost_model = cost_model or GpuCostModel()
+        self.executor = (
+            executor if executor is not None else current_executor()
+        )
         self.total_appended = 0
         self._queries: dict[str, ContinuousQuery] = {}
         self._textures: dict[str, Texture] = {}
@@ -220,9 +237,19 @@ class StreamEngine:
         size = arrays[self.column_names[0]].shape[0]
         self.device.stats.reset()
         if size:
-            self._write_ring(arrays, size)
+            # Ring writes are idempotent (total_appended advances only
+            # afterwards), so a transient upload fault simply re-writes
+            # the same slots.
+            if self.executor is None:
+                self._write_ring(arrays, size)
+            else:
+                self.executor.run(
+                    lambda: self._write_ring(arrays, size),
+                    op="stream_append",
+                    tracer=self.device.tracer,
+                )
             self.total_appended += size
-        results = self._evaluate()
+        results, degraded = self._evaluate()
         window = self.device.stats.snapshot()
         copy, compute = split_copy_stats(window)
         gpu_time = self.cost_model.time(copy) + self.cost_model.time(
@@ -233,6 +260,7 @@ class StreamEngine:
             total_appended=self.total_appended,
             results=results,
             gpu_time=gpu_time,
+            degraded=degraded,
         )
 
     def _validate_batch(self, batch) -> dict[str, np.ndarray]:
@@ -310,14 +338,42 @@ class StreamEngine:
         texture.count = self.window_size
         return texture
 
-    def _evaluate(self) -> dict:
+    def _evaluate(self) -> tuple[dict, dict]:
         results: dict = {}
+        degraded: dict = {}
         if self.window_size == 0:
-            return {name: None for name in self._queries}
+            return {name: None for name in self._queries}, degraded
         relation = self.window_relation()
         for name, query in self._queries.items():
-            results[name] = self._evaluate_one(query, relation)
-        return results
+            if self.executor is None:
+                results[name] = self._evaluate_one(query, relation)
+                continue
+            def attempt(q=query):
+                # Start every attempt from clean device state — a
+                # fault can leave a dangling occlusion query behind.
+                self.device.abort_query()
+                return self._evaluate_one(q, relation)
+
+            try:
+                results[name] = self.executor.run(
+                    attempt,
+                    op=f"stream:{name}",
+                    tracer=self.device.tracer,
+                )
+            except GpuError as error:
+                # Degrade this query alone: recompute host-side from
+                # the window copy; the other queries proceed on GPU.
+                self.executor.stats.record_fallback(f"stream:{name}")
+                if self.device.tracer is not None:
+                    self.device.tracer.record_event(
+                        "fallback",
+                        op=f"stream:{name}",
+                        error=type(error).__name__,
+                        detail=str(error),
+                    )
+                results[name] = self._evaluate_one_cpu(query, relation)
+                degraded[name] = f"{type(error).__name__}: {error}"
+        return results, degraded
 
     def _evaluate_one(self, query: ContinuousQuery, relation: Relation):
         device = self.device
@@ -373,3 +429,54 @@ class StreamEngine:
             device, texture, meta.bits, query.k, scale,
             channel=channel, valid_stencil=valid,
         )
+
+    def _evaluate_one_cpu(
+        self, query: ContinuousQuery, relation: Relation
+    ):
+        """Host-side recomputation of one query from the window copy.
+
+        Window columns are unsigned integers (stored == value), so the
+        GPU conventions reduce to plain numpy: the k-th largest is
+        ``partition(values, n - k)[n - k]`` and the median is the
+        ceil(n/2)-th largest — identical to what the rendering passes
+        converge to.
+        """
+        window = self.window_size
+        if query.predicate is not None:
+            mask = query.predicate.mask(relation)
+            valid_count = int(mask.sum())
+        else:
+            mask = None
+            valid_count = window
+
+        if query.kind == "count":
+            return valid_count
+        if query.kind == "selectivity":
+            return valid_count / window
+        if valid_count == 0:
+            return None
+
+        values = np.asarray(
+            relation.column(query.column).values, dtype=np.int64
+        )
+        if mask is not None:
+            values = values[mask]
+
+        def kth_largest(k: int) -> int:
+            index = values.size - k
+            return int(np.partition(values, index)[index])
+
+        if query.kind == "sum":
+            return int(values.sum())
+        if query.kind == "average":
+            return int(values.sum()) / valid_count
+        if query.kind == "maximum":
+            return int(values.max())
+        if query.kind == "minimum":
+            return int(values.min())
+        if query.kind == "median":
+            return kth_largest((valid_count + 1) // 2)
+        # kth_largest
+        if query.k > valid_count:
+            return None
+        return kth_largest(query.k)

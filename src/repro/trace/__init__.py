@@ -26,12 +26,13 @@ from __future__ import annotations
 import contextlib
 
 from .export import chrome_trace, render_text, write_chrome_trace
-from .tracer import PassEvent, Span, Trace, Tracer
+from .tracer import PassEvent, Span, Trace, TraceEvent, Tracer
 
 __all__ = [
     "PassEvent",
     "Span",
     "Trace",
+    "TraceEvent",
     "Tracer",
     "chrome_trace",
     "current_tracer",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import pathlib
 
-from .tracer import PassEvent, Span, Trace
+from .tracer import PassEvent, Span, Trace, TraceEvent
 
 #: Chrome-trace track ids.
 _HOST_TID = 1
@@ -45,11 +45,21 @@ def _render_span(
         f"passes={span.num_passes}{modeled} "
         f"wall={span.wall_ms:.3f}ms{attrs}"
     )
+    for event in span.events:
+        lines.append(_render_event(event, depth + 1))
     if show_passes:
         for event in span.passes:
             lines.append(_render_pass(event, depth + 1))
     for child in span.children:
         _render_span(child, depth + 1, lines, show_passes)
+
+
+def _render_event(event: TraceEvent, depth: int) -> str:
+    indent = "  " * depth
+    attrs = "".join(
+        f" {key}={value}" for key, value in sorted(event.attrs.items())
+    )
+    return f"{indent}! {event.name} [{event.category}]{attrs}"
 
 
 def _render_pass(event: PassEvent, depth: int) -> str:
@@ -130,6 +140,19 @@ def _emit_span(
             "args": args,
         }
     )
+    for event in span.events:
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": event.name,
+                "cat": event.category,
+                "pid": 1,
+                "tid": _HOST_TID,
+                "ts": event.t_s * 1e6,
+                "args": dict(event.attrs),
+            }
+        )
     for event in span.passes:
         duration = max(event.modeled_ms * 1e3, 0.01)
         events.append(

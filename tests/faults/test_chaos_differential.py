@@ -1,0 +1,294 @@
+"""Chaos differential testing: randomized fault schedules over the
+randomized GPU-vs-CPU workload.
+
+The invariant under any schedule: a query either matches the CPU
+ground truth exactly or raises a typed :class:`~repro.errors.ReproError`
+— never a silent wrong answer.  (Injected corruption is *detected*
+corruption: a readback fault is a checksum mismatch, a depth fault is a
+precision alarm, so the substrate can always tell the host.)
+
+``REPRO_CHAOS_PROFILE`` narrows the schedule generator to one fault
+kind (``memory`` / ``occlusion`` / ``device_lost`` / ``depth_precision``
+/ ``readback``) — the CI chaos matrix runs one job per kind plus the
+default ``mixed`` sweep.
+"""
+
+import os
+import random
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import CpuEngine, GpuEngine
+from repro.errors import (
+    DepthPrecisionError,
+    DeviceLostError,
+    ReproError,
+)
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    ResilientExecutor,
+    RetryPolicy,
+    use_faults,
+)
+from repro.sql import Database
+from repro.sql.planner import DeviceChoice
+from tests.core.test_differential import (
+    _random_predicate,
+    _random_relation,
+)
+
+pytestmark = pytest.mark.chaos
+
+NUM_SCHEDULES = 30
+
+_PROFILE = os.environ.get("REPRO_CHAOS_PROFILE", "mixed")
+if _PROFILE == "mixed":
+    PROFILE_KINDS = list(FaultKind)
+else:
+    PROFILE_KINDS = [FaultKind(_PROFILE)]
+
+#: Injections observed across the schedule sweep, by fault kind value
+#: (the coverage test at the bottom asserts every profiled kind fired).
+_INJECTED_TOTALS: Counter = Counter()
+_SCHEDULES_RAN: set = set()
+
+
+def _random_plan(seed: int) -> FaultPlan:
+    """1-3 random rules over the profiled kinds: mixed probabilities,
+    arming delays, and transient/persistent lifetimes."""
+    rng = random.Random(f"chaos-schedule:{seed}")
+    rules = []
+    for _ in range(rng.randint(1, 3)):
+        rules.append(
+            FaultRule(
+                kind=rng.choice(PROFILE_KINDS),
+                probability=rng.choice((0.05, 0.15, 0.3, 1.0)),
+                start_after=rng.choice((0, 0, 3, 25)),
+                max_fires=rng.choice((1, 2, 5, None)),
+            )
+        )
+    return FaultPlan(rules, seed=seed)
+
+
+def _ground_truth(cpu: CpuEngine, relation, predicate):
+    selection = cpu.select(predicate)
+    column = relation.column_names[0]
+    truth = {
+        "count": selection.count,
+        "ids": selection.record_ids(),
+        "sum": cpu.sum(column, predicate).value,
+    }
+    if selection.count > 0:
+        truth["minimum"] = cpu.minimum(column, predicate).value
+        truth["maximum"] = cpu.maximum(column, predicate).value
+        truth["median"] = cpu.median(column, predicate).value
+    return column, truth
+
+
+def _check(expected, fn, equal=lambda a, b: a == b):
+    """The chaos invariant for one operation: correct or typed."""
+    try:
+        value = fn()
+    except ReproError:
+        return  # a typed, diagnosable failure is acceptable
+    assert equal(value, expected), "silent wrong answer under faults"
+
+
+@pytest.mark.parametrize("seed", range(NUM_SCHEDULES))
+def test_faulted_gpu_matches_cpu_or_raises_typed(seed):
+    rng = np.random.default_rng(88_000 + seed)
+    relation = _random_relation(rng)
+    predicate = _random_predicate(rng, relation)
+    cpu = CpuEngine(relation)
+    column, truth = _ground_truth(cpu, relation, predicate)
+
+    plan = _random_plan(seed)
+    executor = ResilientExecutor(stats=plan.stats)
+    gpu = GpuEngine(relation, executor=executor)
+    with use_faults(plan):
+        _check(truth["count"], lambda: gpu.count(predicate).value)
+        _check(
+            truth["ids"],
+            lambda: gpu.select(predicate).materialize().record_ids(),
+            equal=np.array_equal,
+        )
+        _check(truth["sum"], lambda: gpu.sum(column, predicate).value)
+        if truth["count"] > 0:
+            _check(
+                truth["minimum"],
+                lambda: gpu.minimum(column, predicate).value,
+            )
+            _check(
+                truth["maximum"],
+                lambda: gpu.maximum(column, predicate).value,
+            )
+            _check(
+                truth["median"],
+                lambda: gpu.median(column, predicate).value,
+            )
+
+    _INJECTED_TOTALS.update(plan.stats.injected)
+    _SCHEDULES_RAN.add(seed)
+
+
+def test_chaos_sweep_exercised_every_profiled_kind():
+    """Aggregate coverage: over the whole schedule sweep, every fault
+    kind in the active profile was actually injected at least once."""
+    if len(_SCHEDULES_RAN) < NUM_SCHEDULES:
+        pytest.skip("needs the full schedule sweep in this run")
+    for kind in PROFILE_KINDS:
+        assert _INJECTED_TOTALS[kind.value] > 0, (
+            f"no schedule injected {kind.value!r}; "
+            f"got {dict(_INJECTED_TOTALS)}"
+        )
+
+
+# -- deterministic per-kind schedules -----------------------------------------
+
+_TRANSIENT_KINDS = [
+    FaultKind.MEMORY,
+    FaultKind.OCCLUSION,
+    FaultKind.DEVICE_LOST,
+    FaultKind.READBACK,
+]
+
+
+@pytest.mark.parametrize(
+    "kind", _TRANSIENT_KINDS, ids=[k.value for k in _TRANSIENT_KINDS]
+)
+def test_single_transient_fault_is_retried_through(kind):
+    """One injected transient fault per kind: the retry absorbs it and
+    the answer still matches the CPU exactly."""
+    rng = np.random.default_rng(4242)
+    relation = _random_relation(rng)
+    predicate = _random_predicate(rng, relation)
+    cpu = CpuEngine(relation)
+
+    plan = FaultPlan([FaultRule(kind, max_fires=1)], seed=9)
+    executor = ResilientExecutor(stats=plan.stats)
+    gpu = GpuEngine(relation, executor=executor)
+    with use_faults(plan):
+        if kind is FaultKind.READBACK:
+            assert np.array_equal(
+                gpu.select(predicate).materialize().record_ids(),
+                cpu.select(predicate).record_ids(),
+            )
+        else:
+            assert gpu.count(predicate).value == \
+                cpu.select(predicate).count
+    assert plan.fired(kind) == 1
+    assert plan.stats.total_retries == 1
+    assert plan.stats.gave_up == Counter()
+
+
+def test_depth_precision_fault_is_persistent():
+    """Depth degradation is not retryable: the engine op fails
+    immediately (no retries) with the typed persistent error."""
+    rng = np.random.default_rng(4243)
+    relation = _random_relation(rng)
+    column = relation.column_names[0]
+
+    plan = FaultPlan(
+        [FaultRule(FaultKind.DEPTH_PRECISION, max_fires=None)]
+    )
+    executor = ResilientExecutor(stats=plan.stats)
+    gpu = GpuEngine(relation, executor=executor)
+    with use_faults(plan):
+        with pytest.raises(DepthPrecisionError):
+            gpu.median(column)
+    assert plan.stats.total_retries == 0
+    assert plan.stats.total_injected == 1
+
+
+def test_persistent_transient_fault_exhausts_the_retry_budget():
+    rng = np.random.default_rng(4244)
+    relation = _random_relation(rng)
+    predicate = _random_predicate(rng, relation)
+
+    plan = FaultPlan(
+        [FaultRule(FaultKind.DEVICE_LOST, max_fires=None)]
+    )
+    executor = ResilientExecutor(
+        policy=RetryPolicy(max_attempts=3), stats=plan.stats
+    )
+    gpu = GpuEngine(relation, executor=executor)
+    with use_faults(plan):
+        with pytest.raises(DeviceLostError):
+            gpu.count(predicate)
+    assert plan.stats.retries["count"] == 2
+    assert plan.stats.gave_up["count"] == 1
+
+
+# -- full stack: Database falls back to the CPU engine ------------------------
+
+
+def _large_database(n=100_000):
+    """Big enough that the planner genuinely picks the GPU on auto."""
+    from repro.core import Column, Relation
+
+    generator = np.random.default_rng(7)
+    relation = Relation(
+        "t",
+        [
+            Column.integer(
+                "a", generator.integers(0, 1 << 12, n), bits=12
+            ),
+            Column.integer(
+                "b", generator.integers(0, 1 << 8, n), bits=8
+            ),
+        ],
+    )
+    db = Database()
+    db.register(relation)
+    return db
+
+
+def test_database_degrades_to_cpu_with_visible_trace():
+    sql = "SELECT COUNT(*) FROM t WHERE a > 100"
+    clean = _large_database()
+    assert clean.plan(sql).chosen_device is DeviceChoice.GPU
+    expected = clean.query(sql, device="cpu")
+
+    plan = FaultPlan(
+        [FaultRule(FaultKind.DEVICE_LOST, max_fires=None)]
+    )
+    db = _large_database()
+    db.executor = ResilientExecutor(stats=plan.stats)
+    with use_faults(plan):
+        result = db.query(sql, trace=True)
+
+    assert result.fallback
+    assert result.device is DeviceChoice.CPU
+    assert "DeviceLostError" in result.fallback_error
+    assert result.rows == expected.rows
+    # The whole story is on the trace: injections, retries, the final
+    # give-up, and the query-level fallback.
+    names = Counter(e.name for e in result.trace.all_events())
+    assert names["fault"] >= 3
+    assert names["retry"] >= 2
+    assert names["gave-up"] >= 1
+    assert names["fallback"] >= 1
+    assert plan.stats.total_fallbacks >= 1
+
+
+def test_database_retries_transient_fault_without_fallback():
+    sql = "SELECT COUNT(*) FROM t WHERE a > 100"
+    clean = _large_database()
+    expected = clean.query(sql)
+
+    plan = FaultPlan(
+        [FaultRule(FaultKind.DEVICE_LOST, max_fires=1)]
+    )
+    db = _large_database()
+    db.executor = ResilientExecutor(stats=plan.stats)
+    with use_faults(plan):
+        result = db.query(sql)
+
+    assert not result.fallback
+    assert result.device is DeviceChoice.GPU
+    assert result.rows == expected.rows
+    assert plan.stats.total_retries == 1

@@ -1,0 +1,224 @@
+"""FaultPlan: deterministic schedules, serialization, stats."""
+
+import pytest
+
+from repro.errors import (
+    DepthPrecisionError,
+    DeviceLostError,
+    FaultConfigError,
+    OcclusionTimeoutError,
+    ReadbackError,
+    VideoMemoryError,
+)
+from repro.faults import (
+    SITE_DEPTH_COPY,
+    SITE_MEMORY,
+    SITE_OCCLUSION,
+    SITE_PASS,
+    SITE_READBACK,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    FaultStats,
+    active_plan,
+    maybe_inject,
+    use_faults,
+)
+from repro.trace import Tracer
+
+_KIND_EXPECTATIONS = [
+    (FaultKind.MEMORY, SITE_MEMORY, VideoMemoryError),
+    (FaultKind.OCCLUSION, SITE_OCCLUSION, OcclusionTimeoutError),
+    (FaultKind.DEVICE_LOST, SITE_PASS, DeviceLostError),
+    (FaultKind.DEPTH_PRECISION, SITE_DEPTH_COPY, DepthPrecisionError),
+    (FaultKind.READBACK, SITE_READBACK, ReadbackError),
+]
+
+
+def _fire_pattern(plan: FaultPlan, site: str, calls: int) -> list[bool]:
+    pattern = []
+    for _ in range(calls):
+        try:
+            plan.fire(site)
+            pattern.append(False)
+        except Exception:
+            pattern.append(True)
+    return pattern
+
+
+class TestScheduling:
+    @pytest.mark.parametrize(
+        "kind,site,error", _KIND_EXPECTATIONS,
+        ids=[kind.value for kind, _s, _e in _KIND_EXPECTATIONS],
+    )
+    def test_kind_maps_to_site_and_error(self, kind, site, error):
+        assert kind.site == site
+        plan = FaultPlan([FaultRule(kind)])
+        for other_kind, other_site, _err in _KIND_EXPECTATIONS:
+            if other_site != site:
+                plan.fire(other_site)  # no rule armed there
+        with pytest.raises(error, match="injected fault"):
+            plan.fire(site)
+
+    def test_start_after_arms_late(self):
+        plan = FaultPlan(
+            [FaultRule(FaultKind.DEVICE_LOST, start_after=3)]
+        )
+        assert _fire_pattern(plan, SITE_PASS, 6) == [
+            False, False, False, True, False, False,
+        ]
+
+    def test_max_fires_bounds_transient_faults(self):
+        plan = FaultPlan(
+            [FaultRule(FaultKind.OCCLUSION, max_fires=2)]
+        )
+        pattern = _fire_pattern(plan, SITE_OCCLUSION, 10)
+        assert pattern == [True, True] + [False] * 8
+        assert plan.fired(FaultKind.OCCLUSION) == 2
+        assert plan.fired("occlusion") == 2
+
+    def test_max_fires_none_is_persistent(self):
+        plan = FaultPlan(
+            [FaultRule(FaultKind.MEMORY, max_fires=None)]
+        )
+        assert all(_fire_pattern(plan, SITE_MEMORY, 20))
+
+    def test_probabilistic_schedule_is_deterministic(self):
+        def run(seed):
+            plan = FaultPlan(
+                [
+                    FaultRule(
+                        FaultKind.READBACK,
+                        probability=0.3,
+                        max_fires=None,
+                    )
+                ],
+                seed=seed,
+            )
+            return _fire_pattern(plan, SITE_READBACK, 200)
+
+        first = run(11)
+        assert first == run(11)  # same seed, same schedule
+        assert first != run(12)  # different seed, different draws
+        assert 20 < sum(first) < 120  # roughly the asked-for rate
+
+    def test_rules_draw_from_independent_streams(self):
+        """Adding a rule must not shift another rule's schedule."""
+        lone = FaultPlan(
+            [FaultRule(FaultKind.READBACK, probability=0.3,
+                       max_fires=None)],
+            seed=5,
+        )
+        paired = FaultPlan(
+            [
+                FaultRule(FaultKind.READBACK, probability=0.3,
+                          max_fires=None),
+                FaultRule(FaultKind.MEMORY, probability=0.5,
+                          max_fires=None),
+            ],
+            seed=5,
+        )
+        assert _fire_pattern(lone, SITE_READBACK, 100) == \
+            _fire_pattern(paired, SITE_READBACK, 100)
+
+    def test_stats_count_injections(self):
+        plan = FaultPlan(
+            [FaultRule(FaultKind.DEVICE_LOST, max_fires=3)]
+        )
+        _fire_pattern(plan, SITE_PASS, 10)
+        assert plan.stats.total_injected == 3
+        assert plan.stats.injected["device_lost"] == 3
+        assert plan.stats.injected_by_site[SITE_PASS] == 3
+        assert "3 faults injected" in plan.stats.summary()
+
+    def test_shared_stats_object(self):
+        stats = FaultStats()
+        plan = FaultPlan(
+            [FaultRule(FaultKind.MEMORY)], stats=stats
+        )
+        with pytest.raises(VideoMemoryError):
+            plan.fire(SITE_MEMORY)
+        assert stats.total_injected == 1
+
+    def test_injection_traced_on_open_span(self):
+        tracer = Tracer()
+        span = tracer.begin("op")
+        plan = FaultPlan([FaultRule(FaultKind.OCCLUSION)])
+        with pytest.raises(OcclusionTimeoutError):
+            plan.fire(SITE_OCCLUSION, tracer=tracer)
+        tracer.end(span)
+        events = list(tracer.finish().all_events())
+        assert len(events) == 1
+        assert events[0].name == "fault"
+        assert events[0].attrs["kind"] == "occlusion"
+        assert events[0].attrs["site"] == SITE_OCCLUSION
+        assert events[0].attrs["error"] == "OcclusionTimeoutError"
+
+
+class TestProcessWideHooks:
+    def test_maybe_inject_is_noop_without_plan(self):
+        assert active_plan() is None
+        maybe_inject(SITE_PASS)  # does not raise
+
+    def test_use_faults_installs_and_restores(self):
+        plan = FaultPlan([FaultRule(FaultKind.DEVICE_LOST)])
+        with use_faults(plan) as installed:
+            assert installed is plan
+            assert active_plan() is plan
+            with pytest.raises(DeviceLostError):
+                maybe_inject(SITE_PASS)
+        assert active_plan() is None
+
+
+class TestValidation:
+    def test_rule_rejects_bad_probability(self):
+        for probability in (0.0, -0.5, 1.5):
+            with pytest.raises(FaultConfigError, match="probability"):
+                FaultRule(
+                    FaultKind.MEMORY, probability=probability
+                )
+
+    def test_rule_rejects_bad_counters(self):
+        with pytest.raises(FaultConfigError, match="start_after"):
+            FaultRule(FaultKind.MEMORY, start_after=-1)
+        with pytest.raises(FaultConfigError, match="max_fires"):
+            FaultRule(FaultKind.MEMORY, max_fires=0)
+
+    def test_rule_parses_kind_strings(self):
+        rule = FaultRule("readback")
+        assert rule.kind is FaultKind.READBACK
+        with pytest.raises(FaultConfigError, match="unknown fault"):
+            FaultRule("cosmic_ray")
+
+
+class TestSerialization:
+    def test_round_trip_preserves_schedule(self, tmp_path):
+        plan = FaultPlan(
+            [
+                FaultRule(FaultKind.READBACK, probability=0.25,
+                          start_after=2, max_fires=None),
+                FaultRule(FaultKind.MEMORY, max_fires=4),
+            ],
+            seed=42,
+        )
+        path = plan.dump(tmp_path / "plan.json")
+        loaded = FaultPlan.load(path)
+        assert loaded.to_dict() == plan.to_dict()
+        assert _fire_pattern(loaded, SITE_READBACK, 100) == \
+            _fire_pattern(plan, SITE_READBACK, 100)
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{nope")
+        with pytest.raises(FaultConfigError, match="not valid JSON"):
+            FaultPlan.load(path)
+
+    def test_from_dict_rejects_malformed_plans(self):
+        with pytest.raises(FaultConfigError, match="rules"):
+            FaultPlan.from_dict({"seed": 1})
+        with pytest.raises(FaultConfigError, match="kind"):
+            FaultPlan.from_dict({"rules": [{"probability": 0.5}]})
+        with pytest.raises(FaultConfigError, match="unknown fault rule"):
+            FaultPlan.from_dict(
+                {"rules": [{"kind": "memory", "severity": 9}]}
+            )

@@ -92,6 +92,24 @@ class TestPinning:
         with pytest.raises(VideoMemoryError, match="pinned"):
             memory.ensure_resident(_texture(7))
 
+    def test_all_pinned_error_carries_diagnostics(self):
+        """The everything-pinned error names the numbers needed to act
+        on it: requested bytes, capacity, and the pinned footprint."""
+        a = _texture(7)
+        b = _texture(7)
+        memory = VideoMemory(capacity_bytes=a.nbytes + b.nbytes)
+        memory.ensure_resident(a)
+        memory.pin(a)
+        memory.ensure_resident(b)
+        memory.pin(b)
+        incoming = _texture(7)
+        with pytest.raises(VideoMemoryError) as excinfo:
+            memory.ensure_resident(incoming)
+        message = str(excinfo.value)
+        assert f"make room for {incoming.nbytes} bytes" in message
+        assert f"capacity {memory.capacity_bytes} bytes" in message
+        assert f"{a.nbytes + b.nbytes} bytes across 2 pinned" in message
+
     def test_evict_pinned_rejected(self):
         a = _texture(7)
         memory = VideoMemory(capacity_bytes=1000)

@@ -1,0 +1,130 @@
+"""The public API's error contract: Database.query raises only typed
+:class:`~repro.errors.ReproError` subclasses, and a GPU substrate
+failure is either degraded to the CPU (with a ResilientExecutor) or
+wrapped in a :class:`~repro.errors.QueryError` with the original fault
+as ``__cause__`` — never a raw GpuError, never a bare exception."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, Relation
+from repro.errors import (
+    DeviceLostError,
+    GpuError,
+    QueryError,
+    ReproError,
+    SqlPlanError,
+)
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    ResilientExecutor,
+    use_faults,
+)
+from repro.sql import Database
+
+
+def _database(n=2000):
+    generator = np.random.default_rng(7)
+    db = Database()
+    db.register(
+        Relation(
+            "t",
+            [
+                Column.integer(
+                    "a", generator.integers(0, 1 << 12, n), bits=12
+                ),
+                Column.integer(
+                    "b", generator.integers(0, 1 << 8, n), bits=8
+                ),
+            ],
+        )
+    )
+    return db
+
+
+_DEVICE_LOST_FOREVER = [
+    FaultRule(FaultKind.DEVICE_LOST, max_fires=None)
+]
+
+
+class TestGpuErrorWrapping:
+    def test_forced_gpu_wraps_with_cause(self):
+        db = _database()
+        plan = FaultPlan(_DEVICE_LOST_FOREVER)
+        with use_faults(plan):
+            with pytest.raises(QueryError) as excinfo:
+                db.query(
+                    "SELECT COUNT(*) FROM t WHERE a > 10",
+                    device="gpu",
+                )
+        assert "GPU execution failed" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, DeviceLostError)
+
+    def test_forced_gpu_never_falls_back_even_with_executor(self):
+        db = _database()
+        db.executor = ResilientExecutor()
+        plan = FaultPlan(_DEVICE_LOST_FOREVER)
+        with use_faults(plan):
+            with pytest.raises(QueryError) as excinfo:
+                db.query(
+                    "SELECT MEDIAN(a) FROM t WHERE b < 100",
+                    device="gpu",
+                )
+        assert isinstance(excinfo.value.__cause__, DeviceLostError)
+
+    def test_auto_with_executor_degrades_instead_of_raising(self):
+        # Large enough that auto placement genuinely picks the GPU.
+        db = _database(n=100_000)
+        db.executor = ResilientExecutor()
+        sql = "SELECT COUNT(*) FROM t WHERE a > 10"
+        expected = db.query(sql, device="cpu")
+        plan = FaultPlan(_DEVICE_LOST_FOREVER)
+        with use_faults(plan):
+            result = db.query(sql)
+        assert result.fallback
+        assert "DeviceLostError" in result.fallback_error
+        assert result.rows == expected.rows
+
+    def test_cpu_queries_ignore_gpu_faults(self):
+        db = _database()
+        plan = FaultPlan(_DEVICE_LOST_FOREVER)
+        with use_faults(plan):
+            result = db.query(
+                "SELECT SUM(a) FROM t WHERE b < 100", device="cpu"
+            )
+        assert not result.fallback
+        assert len(result.rows) == 1
+
+
+class TestPublicApiRaisesOnlyReproErrors:
+    """Every failure mode a caller can trigger through Database.query
+    surfaces as a ReproError subclass (and GPU faults never leak raw)."""
+
+    @pytest.mark.parametrize(
+        "sql,device",
+        [
+            ("SELECT COUNT(* FROM t", "auto"),  # parse error
+            ("SELECT COUNT(*) FROM missing", "auto"),  # unknown table
+            ("SELECT MAX(zz) FROM t", "auto"),  # unknown column
+            ("SELECT COUNT(*) FROM t", "warp-drive"),  # bad device
+            ("SELECT COUNT(*) FROM t WHERE a > 10", "gpu"),  # faulted
+        ],
+    )
+    def test_query_failures_are_typed(self, sql, device):
+        db = _database()
+        plan = FaultPlan(_DEVICE_LOST_FOREVER)
+        with use_faults(plan):
+            with pytest.raises(ReproError) as excinfo:
+                db.query(sql, device=device)
+        # The raw substrate error never escapes unwrapped.
+        assert not isinstance(excinfo.value, GpuError)
+
+    def test_scalar_shape_errors_are_typed(self):
+        db = _database()
+        result = db.query("SELECT a, b FROM t WHERE a < 2")
+        with pytest.raises(SqlPlanError):
+            result.scalar
+        with pytest.raises(SqlPlanError):
+            result.column("nope")

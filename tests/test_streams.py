@@ -6,7 +6,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import col
-from repro.errors import DataError, QueryError
+from repro.errors import DataError, DeviceLostError, QueryError
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    ResilientExecutor,
+    use_faults,
+)
 from repro.streams import ContinuousQuery, StreamEngine
 
 
@@ -255,3 +262,147 @@ class TestCostAccounting:
         engine = _engine()
         with pytest.raises(QueryError):
             engine.window_relation()
+
+
+class TestErrorPaths:
+    def test_register_against_unknown_column(self):
+        engine = _engine()
+        with pytest.raises(QueryError, match="unknown column"):
+            engine.register(
+                ContinuousQuery("q", "median", column="dropped")
+            )
+        with pytest.raises(QueryError, match="unknown predicate"):
+            engine.register(
+                ContinuousQuery(
+                    "q", "count", predicate=col("dropped") > 1
+                )
+            )
+        assert engine.queries == []  # nothing half-registered
+
+    def test_unregister_unknown_query_is_a_noop(self):
+        engine = _engine()
+        engine.register(ContinuousQuery("keep", "count"))
+        engine.unregister("never-registered")
+        assert engine.queries == ["keep"]
+
+    def test_fault_without_executor_propagates(self, monkeypatch):
+        engine = _engine()
+        engine.register(ContinuousQuery("med", "median", column="v"))
+
+        def boom(*_args, **_kwargs):
+            raise DeviceLostError("median pass lost")
+
+        monkeypatch.setattr("repro.core.aggregates.median", boom)
+        with pytest.raises(DeviceLostError):
+            engine.append(
+                {
+                    "v": np.arange(20) % 256,
+                    "g": np.zeros(20, dtype=np.int64),
+                }
+            )
+
+
+class TestResilience:
+    def _resilient_engine(self, capacity=100):
+        executor = ResilientExecutor()
+        engine = StreamEngine(
+            [("v", 8), ("g", 3)], capacity=capacity, executor=executor
+        )
+        return engine, executor
+
+    def test_one_query_degrades_while_others_proceed(
+        self, monkeypatch
+    ):
+        engine, executor = self._resilient_engine()
+        engine.register(ContinuousQuery("n", "count"))
+        engine.register(
+            ContinuousQuery("hot", "count", predicate=col("v") >= 200)
+        )
+        engine.register(ContinuousQuery("med", "median", column="v"))
+
+        def boom(*_args, **_kwargs):
+            raise DeviceLostError("median pass lost")
+
+        monkeypatch.setattr("repro.core.aggregates.median", boom)
+        values = (np.arange(50) * 7) % 256
+        tick = engine.append(
+            {"v": values, "g": np.zeros(50, dtype=np.int64)}
+        )
+
+        assert list(tick.degraded) == ["med"]
+        assert "DeviceLostError" in tick.degraded["med"]
+        # The degraded query still answers — host-side, exactly.
+        descending = np.sort(values)[::-1]
+        assert tick.results["med"] == int(
+            descending[(values.size + 1) // 2 - 1]
+        )
+        # The healthy queries ran on the GPU, untouched.
+        assert tick.results["n"] == 50
+        assert tick.results["hot"] == int((values >= 200).sum())
+        assert executor.stats.fallbacks["stream:med"] == 1
+        assert executor.stats.gave_up["stream:med"] == 1
+
+    def test_fault_plan_degrades_predicated_queries(self):
+        engine, executor = self._resilient_engine()
+        engine.register(ContinuousQuery("n", "count"))
+        engine.register(
+            ContinuousQuery("hot", "count", predicate=col("v") >= 100)
+        )
+        plan = FaultPlan(
+            [FaultRule(FaultKind.OCCLUSION, max_fires=None)],
+            stats=executor.stats,
+        )
+        values = (np.arange(60) * 3) % 256
+        with use_faults(plan):
+            tick = engine.append(
+                {"v": values, "g": np.zeros(60, dtype=np.int64)}
+            )
+        # The predicate-free count never touches the substrate; the
+        # predicated one loses every occlusion result and degrades.
+        assert "hot" in tick.degraded
+        assert "n" not in tick.degraded
+        assert tick.results["n"] == 60
+        assert tick.results["hot"] == int((values >= 100).sum())
+
+    def test_append_retries_transient_upload_fault(self):
+        engine, executor = self._resilient_engine()
+        engine.register(ContinuousQuery("s", "sum", column="v"))
+        plan = FaultPlan(
+            [FaultRule(FaultKind.MEMORY, max_fires=1)],
+            stats=executor.stats,
+        )
+        values = np.arange(30) % 256
+        with use_faults(plan):
+            tick = engine.append(
+                {"v": values, "g": np.zeros(30, dtype=np.int64)}
+            )
+        assert plan.fired(FaultKind.MEMORY) == 1
+        assert executor.stats.retries["stream_append"] == 1
+        assert tick.degraded == {}
+        assert tick.results["s"] == int(values.sum())
+
+    def test_degradation_keeps_tracking_across_ticks(self):
+        """After a degraded tick the engine recovers: the next clean
+        tick runs fully on the GPU again."""
+        engine, executor = self._resilient_engine(capacity=40)
+        engine.register(
+            ContinuousQuery("hot", "count", predicate=col("v") >= 50)
+        )
+        plan = FaultPlan(
+            [FaultRule(FaultKind.OCCLUSION, max_fires=None)],
+            stats=executor.stats,
+        )
+        first = np.arange(20) % 256
+        with use_faults(plan):
+            degraded_tick = engine.append(
+                {"v": first, "g": np.zeros(20, dtype=np.int64)}
+            )
+        assert "hot" in degraded_tick.degraded
+
+        second = (np.arange(20) + 100) % 256
+        clean_tick = engine.append(
+            {"v": second, "g": np.zeros(20, dtype=np.int64)}
+        )
+        window = np.concatenate([first, second])[-40:]
+        assert clean_tick.degraded == {}
+        assert clean_tick.results["hot"] == int((window >= 50).sum())

@@ -77,6 +77,32 @@ class TestChromeTrace:
         assert len(gpu_slices) == trace.num_passes
 
 
+def _traced_fault():
+    tracer = Tracer()
+    with tracer.span("count"):
+        tracer.record_event(
+            "retry", op="count", attempt=1, error="DeviceLostError"
+        )
+    return tracer.finish()
+
+
+class TestPointEvents:
+    """Fault/retry/fallback point events ride along in both exporters."""
+
+    def test_render_text_marks_events(self):
+        text = render_text(_traced_fault())
+        assert "! retry [fault]" in text
+        assert "error=DeviceLostError" in text
+
+    def test_chrome_trace_emits_instant_events(self):
+        events = chrome_trace(_traced_fault())["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "retry"
+        assert instants[0]["cat"] == "fault"
+        assert instants[0]["args"]["error"] == "DeviceLostError"
+
+
 class TestDatabaseQueryTrace:
     """The acceptance workload: CNF selection + median through SQL."""
 
