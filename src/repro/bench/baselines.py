@@ -49,6 +49,39 @@ def accumulator_passes(bits: int) -> int:
     return bits
 
 
+def selectivities_passes(num_predicates: int, fused: bool = True) -> int:
+    """Passes for a batched selectivity sweep of ``num_predicates``
+    simple predicates over one attribute.
+
+    Unfused, every predicate pays its own copy + test quad.  The fused
+    plan shares a single copy-to-depth across the batch (the plan
+    compiler's figure-5 fusion), so a regression that re-introduces
+    per-predicate copies fails this pin loudly.
+    """
+    if num_predicates < 1:
+        raise BenchmarkError(
+            f"a sweep needs at least one predicate, got {num_predicates}"
+        )
+    if fused:
+        return COPY_PASSES + num_predicates
+    return num_predicates * (COPY_PASSES + 1)
+
+
+def histogram_passes(buckets: int, fused: bool = True) -> int:
+    """Passes for a ``buckets``-bucket histogram over one attribute.
+
+    Unfused, each bucket is an independent range selection (copy +
+    depth-bounds quad).  Fused, all buckets share one copy.
+    """
+    if buckets < 1:
+        raise BenchmarkError(
+            f"a histogram needs at least one bucket, got {buckets}"
+        )
+    if fused:
+        return COPY_PASSES + buckets
+    return buckets * (COPY_PASSES + 1)
+
+
 #: experiment id -> expected passes of the figure's core GPU operation,
 #: as a function of (bits, cnf clause count k).
 _FORMULAS = {
@@ -66,8 +99,12 @@ _FORMULAS = {
     "fig7": lambda bits, k: kth_largest_passes(bits),
     # Median is KthLargest at k = ceil(n/2).
     "fig8": lambda bits, k: kth_largest_passes(bits),
-    # Selection (copy + test) then masked KthLargest (copy + b).
-    "fig9": lambda bits, k: select_passes(1) + kth_largest_passes(bits),
+    # Selection (copy + test) then masked KthLargest over the *same*
+    # attribute: the plan cache proves the selection's depth copy is
+    # still live, so KthLargest skips its own copy (b passes, not 1+b).
+    "fig9": lambda bits, k: (
+        select_passes(1) + kth_largest_passes(bits) - COPY_PASSES
+    ),
     # Accumulator: one TestBit pass per bit.
     "fig10": lambda bits, k: accumulator_passes(bits),
 }

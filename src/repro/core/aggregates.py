@@ -71,6 +71,7 @@ def kth_largest(
     scale: float,
     channel: int = 0,
     valid_stencil: int | None = None,
+    skip_copy: bool = False,
 ) -> int:
     """Routine 4.5: the k-th largest value of a ``bits``-bit integer
     attribute, via ``bits`` counting passes (MSB first).
@@ -79,11 +80,14 @@ def kth_largest(
     The attribute is copied to the depth buffer once; each pass renders
     one comparison quad at the tentative value and retrieves its
     occlusion count synchronously (the next bit depends on it).
+    ``skip_copy=True`` asserts the attribute already sits in the depth
+    buffer (the engine's plan cache proved it) and elides the copy.
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
     device.state.color_mask = (False, False, False, False)
-    copy_to_depth(device, texture, scale, channel=channel)
+    if not skip_copy:
+        copy_to_depth(device, texture, scale, channel=channel)
     _configure_valid_stencil(device, valid_stencil)
 
     denominator = float(1 << bits)
@@ -111,6 +115,7 @@ def kth_largest_multi(
     scale: float,
     channel: int = 0,
     valid_stencil: int | None = None,
+    skip_copy: bool = False,
 ) -> list[int]:
     """Routine 4.5 for several k at once, sharing one depth copy.
 
@@ -123,7 +128,8 @@ def kth_largest_multi(
     if any(k < 1 for k in ks):
         raise QueryError(f"every k must be >= 1, got {ks}")
     device.state.color_mask = (False, False, False, False)
-    copy_to_depth(device, texture, scale, channel=channel)
+    if not skip_copy:
+        copy_to_depth(device, texture, scale, channel=channel)
     _configure_valid_stencil(device, valid_stencil)
 
     denominator = float(1 << bits)
@@ -155,6 +161,7 @@ def kth_smallest(
     valid_count: int,
     channel: int = 0,
     valid_stencil: int | None = None,
+    skip_copy: bool = False,
 ) -> int:
     """The k-th smallest value: the (n - k + 1)-th largest, which is
     duplicate-safe (the paper inverts the comparison; complementing k is
@@ -171,29 +178,35 @@ def kth_smallest(
         scale,
         channel=channel,
         valid_stencil=valid_stencil,
+        skip_copy=skip_copy,
     )
 
 
-def maximum(device, texture, bits, scale, channel=0, valid_stencil=None):
+def maximum(
+    device, texture, bits, scale, channel=0, valid_stencil=None,
+    skip_copy=False,
+):
     """MAX = the 1st largest (section 4.3.2)."""
     return kth_largest(
         device, texture, bits, 1, scale,
-        channel=channel, valid_stencil=valid_stencil,
+        channel=channel, valid_stencil=valid_stencil, skip_copy=skip_copy,
     )
 
 
 def minimum(
-    device, texture, bits, scale, valid_count, channel=0, valid_stencil=None
+    device, texture, bits, scale, valid_count, channel=0, valid_stencil=None,
+    skip_copy=False,
 ):
     """MIN = the ``valid_count``-th largest."""
     return kth_largest(
         device, texture, bits, valid_count, scale,
-        channel=channel, valid_stencil=valid_stencil,
+        channel=channel, valid_stencil=valid_stencil, skip_copy=skip_copy,
     )
 
 
 def median(
-    device, texture, bits, scale, valid_count, channel=0, valid_stencil=None
+    device, texture, bits, scale, valid_count, channel=0, valid_stencil=None,
+    skip_copy=False,
 ):
     """The ceil(n/2)-th largest value (the paper's median convention for
     figures 8 and 9)."""
@@ -202,7 +215,7 @@ def median(
     k = (valid_count + 1) // 2
     return kth_largest(
         device, texture, bits, k, scale,
-        channel=channel, valid_stencil=valid_stencil,
+        channel=channel, valid_stencil=valid_stencil, skip_copy=skip_copy,
     )
 
 

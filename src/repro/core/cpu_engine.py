@@ -72,6 +72,25 @@ class CpuOpResult:
     def modeled_ms(self) -> float:
         return self.modeled_s * 1e3
 
+    # -- unified result accessors (shared with GpuOpResult/QueryResult) --
+
+    @property
+    def time_ms(self) -> float:
+        """Simulated dual-Xeon milliseconds (alias of ``modeled_ms``)."""
+        return self.modeled_ms
+
+    @property
+    def pass_count(self) -> int:
+        """The CPU issues no rendering passes."""
+        return 0
+
+    @property
+    def stats(self):
+        """An empty pipeline-statistics window (no GPU work)."""
+        from ..gpu.counters import PipelineStats
+
+        return PipelineStats()
+
 
 @dataclasses.dataclass
 class CpuSelection(CpuOpResult):

@@ -22,16 +22,28 @@ import functools
 
 import numpy as np
 
-from ..errors import QueryError, StaleSelectionError
+from ..errors import GpuError, QueryError, StaleSelectionError
 from ..faults import current_executor
 from ..gpu.cost import GpuCostModel, GpuTime
 from ..gpu.counters import PipelineStats
 from ..gpu.memory import VideoMemory
 from ..gpu.pipeline import Device
 from ..gpu.texture import Texture, texture_shape_for
+from ..plan.cache import PlanCache
+from ..plan.passes import predicate_key
 from ..trace import current_tracer
 from . import aggregates
-from .predicates import Predicate
+from .compare import copy_to_depth
+from .polynomial import Polynomial
+from .predicates import (
+    And,
+    Between,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    SemiLinear,
+)
 from .relation import Relation
 from .select import SelectionOutcome, execute_selection
 
@@ -51,20 +63,42 @@ def _resilient(method):
 
     @functools.wraps(method)
     def wrapper(self, *args, **kwargs):
-        executor = self.executor
-        if executor is None or self._in_resilient_op:
+        if self._in_resilient_op:
             return method(self, *args, **kwargs)
+        # The unified aggregate() entry point dispatches on its first
+        # argument; retries should be attributed to the actual
+        # operation ("count", "median", ...), not the dispatcher.
+        if name == "aggregate":
+            op_name = kwargs.get("op", args[0] if args else name)
+        else:
+            op_name = name
+        executor = self.executor
+        if executor is None:
+            try:
+                return method(self, *args, **kwargs)
+            except GpuError:
+                # A fault may have interrupted a pass mid-write; none of
+                # the cached depth/stencil outcomes can be trusted.
+                self.plan.invalidate()
+                raise
 
         def attempt():
             # A fault can interrupt a pass mid-query; every attempt
             # starts from clean device state or the re-render would
             # trip over the dangling occlusion query.
             self.device.abort_query()
-            return method(self, *args, **kwargs)
+            try:
+                return method(self, *args, **kwargs)
+            except GpuError:
+                # Retries must start cold: a half-written buffer whose
+                # generation did not advance would otherwise satisfy a
+                # cache lookup on the next attempt.
+                self.plan.invalidate()
+                raise
 
         self._in_resilient_op = True
         try:
-            return executor.run(attempt, op=name, tracer=self.tracer)
+            return executor.run(attempt, op=op_name, tracer=self.tracer)
         finally:
             self._in_resilient_op = False
 
@@ -109,6 +143,9 @@ class GpuOpResult:
     value: object
     copy: PipelineStats
     compute: PipelineStats
+    #: Cost model of the engine that produced this result; prices the
+    #: unified accessors below (``None`` falls back to model defaults).
+    model: GpuCostModel | None = None
 
     def copy_time(self, model: GpuCostModel) -> GpuTime:
         return model.time(self.copy)
@@ -118,6 +155,31 @@ class GpuOpResult:
 
     def total_time(self, model: GpuCostModel) -> GpuTime:
         return self.copy_time(model) + self.compute_time(model)
+
+    # -- unified result accessors (shared with CpuOpResult/QueryResult) --
+
+    @property
+    def time_ms(self) -> float:
+        """Simulated GeForce-FX milliseconds, copy + compute phases."""
+        return self.total_time(self.model or GpuCostModel()).total_ms
+
+    @property
+    def pass_count(self) -> int:
+        """Rendering passes issued across both phases."""
+        return self.copy.num_passes + self.compute.num_passes
+
+    @property
+    def stats(self) -> PipelineStats:
+        """Merged pipeline statistics (copy + compute phases)."""
+        merged = PipelineStats()
+        for window in (self.copy, self.compute):
+            for p in window.passes:
+                merged.record_pass(p)
+            merged.bytes_uploaded += window.bytes_uploaded
+            merged.bytes_read_back += window.bytes_read_back
+            merged.occlusion_results += window.occlusion_results
+            merged.clears += window.clears
+        return merged
 
 
 @dataclasses.dataclass
@@ -220,6 +282,7 @@ class GpuEngine:
         layout: str = "planar",
         tracer=None,
         executor=None,
+        fusion: bool = True,
     ):
         """``video_memory`` overrides the default 256 MB pool — pass a
         smaller :class:`~repro.gpu.memory.VideoMemory` to exercise the
@@ -251,6 +314,14 @@ class GpuEngine:
 
         Results are identical; the layouts trade texture count against
         channel addressing.
+
+        ``fusion`` enables the pass-fusion plan caches
+        (:mod:`repro.plan`): redundant copy-to-depth passes are elided
+        when the depth buffer provably still holds the attribute, and
+        repeated WHERE clauses reuse the live stencil mask.
+        ``fusion=False`` is the honest unfused baseline: every
+        operation re-renders all its passes and harvests every
+        occlusion count synchronously.
         """
         if layout not in ("planar", "packed"):
             raise QueryError(
@@ -270,6 +341,10 @@ class GpuEngine:
         )
         self._in_resilient_op = False
         self._op_span = None
+        self.fusion = fusion
+        # The cache must resolve the tracer lazily: engines swap tracers
+        # mid-life (Database re-targets per query).
+        self.plan = PlanCache(tracer_source=lambda: self.device.tracer)
         self._column_textures: dict[str, Texture] = {}
         self._stored_textures: dict[str, Texture] = {}
         self._packed_textures: dict[tuple[str, ...], Texture] = {}
@@ -406,6 +481,91 @@ class GpuEngine:
         self.device.bind_texture(0, texture)
         self.device.stats.bytes_uploaded = before
 
+    # -- plan cache ----------------------------------------------------------------
+
+    def ensure_depth(self, name: str) -> tuple[Texture, float, int]:
+        """Route ``name``'s values into the depth buffer, skipping the
+        copy pass when the plan cache proves they are already there
+        (same texture contents, no depth write since the last copy).
+
+        With ``fusion=False`` the copy is unconditional — the honest
+        unfused baseline.  Returns ``(texture, depth_scale, channel)``
+        exactly like :meth:`column_texture`.
+        """
+        texture, scale, channel = self.column_texture(name)
+        if self._depth_ready(name, texture):
+            return texture, scale, channel
+        copy_to_depth(self.device, texture, scale, channel=channel)
+        self.plan.depth.note(self.device, name, texture)
+        return texture, scale, channel
+
+    def _depth_ready(self, name: str, texture: Texture) -> bool:
+        """True when the plan cache proves the depth buffer already
+        holds ``name`` (the caller elides its copy-to-depth; otherwise
+        it must ``plan.depth.note`` after copying)."""
+        if not self.fusion:
+            return False
+        if self.plan.depth.lookup(self.device, name, texture):
+            self.plan.depth_hit(name)
+            return True
+        self.plan.depth_miss(name)
+        return False
+
+    def _predicate_fingerprint(
+        self, predicate: Predicate
+    ) -> tuple[tuple[int, int], ...]:
+        """(texture id, texture generation) for every texture the
+        predicate reads — the content half of a stencil-cache key."""
+        pairs: list[tuple[int, int]] = []
+
+        def visit(p: Predicate) -> None:
+            if isinstance(p, (Comparison, Between)):
+                texture, _scale, _channel = self.column_texture(p.column)
+                pairs.append((texture.id, texture.generation))
+            elif isinstance(p, (SemiLinear, Polynomial)):
+                texture = self.packed_texture(tuple(p.columns))
+                pairs.append((texture.id, texture.generation))
+            elif isinstance(p, Not):
+                visit(p.child)
+            elif isinstance(p, (And, Or)):
+                for child in p.children:
+                    visit(child)
+            else:
+                raise QueryError(
+                    f"cannot fingerprint {type(p).__name__} predicate"
+                )
+
+        visit(predicate)
+        unique: list[tuple[int, int]] = []
+        for pair in pairs:
+            if pair not in unique:
+                unique.append(pair)
+        return tuple(unique)
+
+    def invalidate_plan_cache(self) -> None:
+        """Drop every cached depth/stencil outcome.
+
+        Benchmarks call this between iterations to measure cold-cache
+        behavior; it is also invoked automatically whenever a resilient
+        attempt fails with a GPU fault.
+        """
+        self.plan.invalidate()
+
+    def _trace_schedule(self, schedule) -> None:
+        """Attach a compiled schedule's fusion facts to the op span."""
+        tracer = self.device.tracer
+        if tracer is not None:
+            tracer.record_event(
+                "schedule",
+                category="plan",
+                op=schedule.op,
+                passes=schedule.render_passes,
+                copies=schedule.copy_passes,
+                stalls=schedule.stalls,
+                fused_copies=schedule.fused_copies,
+                fused_stalls=schedule.fused_stalls,
+            )
+
     # -- measurement helpers -------------------------------------------------------
 
     def _begin(self, op: str | None = None, **attrs) -> None:
@@ -432,7 +592,9 @@ class GpuEngine:
     def _finish(self, value) -> GpuOpResult:
         copy, compute = split_copy_stats(self.device.stats.snapshot())
         self.device.stats.reset()
-        result = GpuOpResult(value=value, copy=copy, compute=compute)
+        result = GpuOpResult(
+            value=value, copy=copy, compute=compute, model=self.cost_model
+        )
         tracer = self.device.tracer
         if tracer is not None and self._op_span is not None:
             tracer.end(
@@ -452,27 +614,31 @@ class GpuEngine:
         outcome: SelectionOutcome = execute_selection(
             self.device, self.relation, self, predicate
         )
+        if self.fusion:
+            # select() always executes (callers rely on a fresh mask);
+            # later aggregates with the same WHERE hit this entry.
+            self.plan.stencil.note(
+                self.device,
+                predicate_key(predicate),
+                self._predicate_fingerprint(predicate),
+                outcome.count,
+                outcome.valid_stencil,
+            )
         result = self._finish(outcome.count)
         return Selection(
             value=outcome.count,
             copy=result.copy,
             compute=result.compute,
+            model=self.cost_model,
             valid_stencil=outcome.valid_stencil,
             total_records=self.relation.num_records,
             engine=self,
             generation=self.device.stencil_generation,
         )
 
-    @_resilient
     def count(self, predicate: Predicate | None = None) -> GpuOpResult:
         """COUNT(*) [WHERE predicate]."""
-        if predicate is not None:
-            return self.select(predicate)
-        self._begin("count")
-        value = aggregates.count_valid(
-            self.device, self.relation.num_records
-        )
-        return self._finish(value)
+        return self.aggregate("count", predicate=predicate)
 
     def selectivity(self, predicate: Predicate) -> float:
         return self.select(predicate).selectivity
@@ -495,136 +661,205 @@ class GpuEngine:
 
         The selection's passes land in the current stats window, so the
         caller's result includes the selection cost — matching the
-        paper's figure 9 protocol.
+        paper's figure 9 protocol.  When the plan cache proves the
+        predicate's mask is still live in the stencil buffer (same
+        stencil generation, same source textures), the selection is
+        skipped outright and its cached count reused.
         """
         if predicate is None:
             return None, self.relation.num_records
+        key = fingerprint = None
+        if self.fusion:
+            key = predicate_key(predicate)
+            fingerprint = self._predicate_fingerprint(predicate)
+            cached = self.plan.stencil.lookup(
+                self.device, key, fingerprint
+            )
+            if cached is not None:
+                count, valid_stencil = cached
+                self.plan.stencil_hit(predicate, count)
+                return valid_stencil, count
+            self.plan.stencil_miss(predicate)
         outcome = execute_selection(
             self.device, self.relation, self, predicate
         )
+        if self.fusion:
+            self.plan.stencil.note(
+                self.device,
+                key,
+                fingerprint,
+                outcome.count,
+                outcome.valid_stencil,
+            )
         return outcome.valid_stencil, outcome.count
 
+    #: Ops :meth:`aggregate` accepts; the named methods are thin
+    #: wrappers over :meth:`aggregate`.
+    AGGREGATE_OPS = (
+        "count",
+        "sum",
+        "average",
+        "minimum",
+        "maximum",
+        "median",
+        "kth_largest",
+        "kth_smallest",
+        "quantiles",
+        "top_k",
+    )
+
     @_resilient
-    def kth_largest(
+    def aggregate(
         self,
-        column_name: str,
-        k: int,
+        op: str,
+        column_name: str | None = None,
         predicate: Predicate | None = None,
+        *,
+        k: int | None = None,
+        fractions: list[float] | None = None,
     ) -> GpuOpResult:
-        """Routine 4.5 over the whole column or a selection."""
-        column = self._integer_column(column_name)
-        self._validate_k(k, self.relation.num_records)
-        texture, scale, channel = self.column_texture(column_name)
-        self._begin("kth_largest", column=column_name, k=k)
-        valid, valid_count = self._selection_stencil(predicate)
-        self._validate_k(k, valid_count)
-        value = aggregates.kth_largest(
-            self.device, texture, column.bits, k, scale,
-            channel=channel, valid_stencil=valid,
-        )
-        return self._finish(column.from_stored(value))
+        """Single entry point for every aggregate operation.
 
-    @_resilient
-    def kth_smallest(
-        self,
-        column_name: str,
-        k: int,
-        predicate: Predicate | None = None,
-    ) -> GpuOpResult:
-        column = self._integer_column(column_name)
-        self._validate_k(k, self.relation.num_records)
-        texture, scale, channel = self.column_texture(column_name)
-        self._begin("kth_smallest", column=column_name, k=k)
-        valid, valid_count = self._selection_stencil(predicate)
-        self._validate_k(k, valid_count)
-        value = aggregates.kth_smallest(
-            self.device, texture, column.bits, k, scale, valid_count,
-            channel=channel, valid_stencil=valid,
-        )
-        return self._finish(column.from_stored(value))
+        ``op`` is one of :data:`AGGREGATE_OPS`.  ``k`` applies to
+        ``kth_largest`` / ``kth_smallest`` / ``top_k``; ``fractions``
+        to ``quantiles``.  ``maximum`` is canonicalized to
+        ``kth_largest`` with ``k=1`` (section 4.3.2), matching the span
+        name the trace always used.
 
-    def maximum(self, column_name, predicate=None) -> GpuOpResult:
-        return self.kth_largest(column_name, 1, predicate)
-
-    @_resilient
-    def minimum(self, column_name, predicate=None) -> GpuOpResult:
-        column = self._integer_column(column_name)
-        texture, scale, channel = self.column_texture(column_name)
-        self._begin("minimum", column=column_name)
-        valid, valid_count = self._selection_stencil(predicate)
-        if valid_count == 0:
-            raise QueryError("MIN of an empty selection")
-        value = aggregates.minimum(
-            self.device, texture, column.bits, scale, valid_count,
-            channel=channel, valid_stencil=valid,
-        )
-        return self._finish(column.from_stored(value))
-
-    @_resilient
-    def median(self, column_name, predicate=None) -> GpuOpResult:
-        """The ceil(n/2)-th largest value (figures 8 and 9)."""
-        column = self._integer_column(column_name)
-        texture, scale, channel = self.column_texture(column_name)
-        self._begin("median", column=column_name)
-        valid, valid_count = self._selection_stencil(predicate)
-        if valid_count == 0:
-            raise QueryError("median of an empty selection")
-        value = aggregates.median(
-            self.device, texture, column.bits, scale, valid_count,
-            channel=channel, valid_stencil=valid,
-        )
-        return self._finish(column.from_stored(value))
-
-    @_resilient
-    def sum(self, column_name, predicate=None) -> GpuOpResult:
-        """Routine 4.6 (exact integer / fixed-point SUM)."""
-        column = self._integer_column(column_name)
-        texture, channel = self.stored_texture(column_name)
-        self._begin("sum", column=column_name)
-        valid, valid_count = self._selection_stencil(predicate)
-        value = aggregates.accumulate(
-            self.device, texture, column.bits,
-            channel=channel, valid_stencil=valid,
-        )
-        return self._finish(column.sum_from_stored(value, valid_count))
-
-    @_resilient
-    def average(self, column_name, predicate=None) -> GpuOpResult:
-        column = self._integer_column(column_name)
-        texture, channel = self.stored_texture(column_name)
-        self._begin("average", column=column_name)
-        valid, valid_count = self._selection_stencil(predicate)
-        if valid_count == 0:
-            raise QueryError("AVG of an empty selection")
-        total = aggregates.accumulate(
-            self.device, texture, column.bits,
-            channel=channel, valid_stencil=valid,
-        )
-        return self._finish(
-            column.sum_from_stored(total, valid_count) / valid_count
-        )
-
-    @_resilient
-    def top_k(
-        self,
-        column_name: str,
-        k: int,
-        predicate: Predicate | None = None,
-    ) -> GpuOpResult:
-        """Record ids of the k largest values (ties included).
-
-        Runs ``KthLargest`` for the threshold, then one more comparison
-        pass that bumps matching records' stencil values, and reads the
-        mask back.  With duplicate values at the threshold the result
-        may contain more than ``k`` ids — the standard top-k-with-ties
-        semantics.  ``value`` is a ``TopK`` with ``threshold`` and
-        ``record_ids``.
+        The shared plumbing lives here: selection reuse through the
+        stencil cache, copy-to-depth elision through the depth cache,
+        one stats window and one trace span per operation.  The named
+        methods (``sum``, ``median``, ...) simply forward.
         """
+        if op == "maximum":
+            op, k = "kth_largest", (1 if k is None else k)
+        if op not in self.AGGREGATE_OPS:
+            raise QueryError(
+                f"unknown aggregate op {op!r}; expected one of "
+                f"{', '.join(self.AGGREGATE_OPS)}"
+            )
+
+        if op == "count":
+            if predicate is not None:
+                return self.select(predicate)
+            self._begin("count")
+            value = aggregates.count_valid(
+                self.device, self.relation.num_records
+            )
+            return self._finish(value)
+
+        if column_name is None:
+            raise QueryError(f"aggregate {op!r} needs a column")
+        column = self._integer_column(column_name)
+
+        if op in ("sum", "average"):
+            texture, channel = self.stored_texture(column_name)
+            self._begin(op, column=column_name)
+            valid, valid_count = self._selection_stencil(predicate)
+            if op == "average" and valid_count == 0:
+                raise QueryError("AVG of an empty selection")
+            total = aggregates.accumulate(
+                self.device, texture, column.bits,
+                channel=channel, valid_stencil=valid,
+            )
+            value = column.sum_from_stored(total, valid_count)
+            if op == "average":
+                value = value / valid_count
+            return self._finish(value)
+
+        if op == "quantiles":
+            import math
+
+            texture, scale, channel = self.column_texture(column_name)
+            if not fractions:
+                raise QueryError(
+                    "quantiles() needs at least one fraction"
+                )
+            if any(not 0.0 <= q <= 1.0 for q in fractions):
+                raise QueryError(
+                    f"fractions must lie in [0, 1], got {fractions}"
+                )
+            self._begin(
+                "quantiles", column=column_name,
+                fractions=list(fractions),
+            )
+            valid, valid_count = self._selection_stencil(predicate)
+            if valid_count == 0:
+                raise QueryError("quantiles of an empty selection")
+            ks = [
+                min(
+                    max(math.ceil((1.0 - q) * valid_count), 1),
+                    valid_count,
+                )
+                for q in fractions
+            ]
+            skip = self._depth_ready(column_name, texture)
+            values = aggregates.kth_largest_multi(
+                self.device, texture, column.bits, ks, scale,
+                channel=channel, valid_stencil=valid, skip_copy=skip,
+            )
+            if not skip:
+                self.plan.depth.note(self.device, column_name, texture)
+            return self._finish(
+                [column.from_stored(value) for value in values]
+            )
+
+        if op == "top_k":
+            return self._top_k(column_name, column, predicate, k)
+
+        # Bit-search order statistics: kth_largest / kth_smallest /
+        # minimum / median all binary-search the depth buffer.
+        if op in ("kth_largest", "kth_smallest"):
+            if k is None:
+                raise QueryError(f"aggregate {op!r} needs k")
+            self._validate_k(k, self.relation.num_records)
+        texture, scale, channel = self.column_texture(column_name)
+        attrs = {"column": column_name}
+        if op in ("kth_largest", "kth_smallest"):
+            attrs["k"] = k
+        self._begin(op, **attrs)
+        valid, valid_count = self._selection_stencil(predicate)
+        if op in ("kth_largest", "kth_smallest"):
+            self._validate_k(k, valid_count)
+        elif valid_count == 0:
+            raise QueryError(
+                "MIN of an empty selection" if op == "minimum"
+                else "median of an empty selection"
+            )
+        skip = self._depth_ready(column_name, texture)
+        if op == "kth_largest":
+            value = aggregates.kth_largest(
+                self.device, texture, column.bits, k, scale,
+                channel=channel, valid_stencil=valid, skip_copy=skip,
+            )
+        elif op == "kth_smallest":
+            value = aggregates.kth_smallest(
+                self.device, texture, column.bits, k, scale,
+                valid_count,
+                channel=channel, valid_stencil=valid, skip_copy=skip,
+            )
+        elif op == "minimum":
+            value = aggregates.minimum(
+                self.device, texture, column.bits, scale, valid_count,
+                channel=channel, valid_stencil=valid, skip_copy=skip,
+            )
+        else:
+            value = aggregates.median(
+                self.device, texture, column.bits, scale, valid_count,
+                channel=channel, valid_stencil=valid, skip_copy=skip,
+            )
+        if not skip:
+            self.plan.depth.note(self.device, column_name, texture)
+        return self._finish(column.from_stored(value))
+
+    def _top_k(self, column_name, column, predicate, k):
+        """Body of ``aggregate("top_k", ...)`` — the one aggregate with
+        its own stencil-marking epilogue."""
         from ..gpu.types import CompareFunc, StencilOp
-        from . import aggregates
         from .compare import compare_pass
 
-        column = self._integer_column(column_name)
+        if k is None:
+            raise QueryError("aggregate 'top_k' needs k")
         self._validate_k(k, self.relation.num_records)
         texture, scale, channel = self.column_texture(column_name)
         self._begin("top_k", column=column_name, k=k)
@@ -633,10 +868,13 @@ class GpuEngine:
         if valid is None:
             self.device.clear_stencil(1)
             valid = 1
+        skip = self._depth_ready(column_name, texture)
         threshold = aggregates.kth_largest(
             self.device, texture, column.bits, k, scale,
-            channel=channel, valid_stencil=valid,
+            channel=channel, valid_stencil=valid, skip_copy=skip,
         )
+        if not skip:
+            self.plan.depth.note(self.device, column_name, texture)
         threshold_value = column.from_stored(threshold)
         # Mark records (valid AND value >= threshold): valid -> valid+1.
         stencil = self.device.state.stencil
@@ -659,7 +897,61 @@ class GpuEngine:
             TopK(threshold=threshold_value, record_ids=ids)
         )
 
-    @_resilient
+    def kth_largest(
+        self,
+        column_name: str,
+        k: int,
+        predicate: Predicate | None = None,
+    ) -> GpuOpResult:
+        """Routine 4.5 over the whole column or a selection."""
+        return self.aggregate(
+            "kth_largest", column_name, predicate, k=k
+        )
+
+    def kth_smallest(
+        self,
+        column_name: str,
+        k: int,
+        predicate: Predicate | None = None,
+    ) -> GpuOpResult:
+        return self.aggregate(
+            "kth_smallest", column_name, predicate, k=k
+        )
+
+    def maximum(self, column_name, predicate=None) -> GpuOpResult:
+        return self.aggregate("kth_largest", column_name, predicate, k=1)
+
+    def minimum(self, column_name, predicate=None) -> GpuOpResult:
+        return self.aggregate("minimum", column_name, predicate)
+
+    def median(self, column_name, predicate=None) -> GpuOpResult:
+        """The ceil(n/2)-th largest value (figures 8 and 9)."""
+        return self.aggregate("median", column_name, predicate)
+
+    def sum(self, column_name, predicate=None) -> GpuOpResult:
+        """Routine 4.6 (exact integer / fixed-point SUM)."""
+        return self.aggregate("sum", column_name, predicate)
+
+    def average(self, column_name, predicate=None) -> GpuOpResult:
+        return self.aggregate("average", column_name, predicate)
+
+    def top_k(
+        self,
+        column_name: str,
+        k: int,
+        predicate: Predicate | None = None,
+    ) -> GpuOpResult:
+        """Record ids of the k largest values (ties included).
+
+        Runs ``KthLargest`` for the threshold, then one more comparison
+        pass that bumps matching records' stencil values, and reads the
+        mask back.  With duplicate values at the threshold the result
+        may contain more than ``k`` ids — the standard top-k-with-ties
+        semantics.  ``value`` is a ``TopK`` with ``threshold`` and
+        ``record_ids``.
+        """
+        return self.aggregate("top_k", column_name, predicate, k=k)
+
     def quantiles(
         self,
         column_name: str,
@@ -674,32 +966,8 @@ class GpuEngine:
         ``bits`` comparison passes.  ``value`` is the list of quantile
         values aligned with ``fractions``.
         """
-        import math
-
-        column = self._integer_column(column_name)
-        texture, scale, channel = self.column_texture(column_name)
-        if not fractions:
-            raise QueryError("quantiles() needs at least one fraction")
-        if any(not 0.0 <= q <= 1.0 for q in fractions):
-            raise QueryError(
-                f"fractions must lie in [0, 1], got {fractions}"
-            )
-        self._begin(
-            "quantiles", column=column_name, fractions=list(fractions)
-        )
-        valid, valid_count = self._selection_stencil(predicate)
-        if valid_count == 0:
-            raise QueryError("quantiles of an empty selection")
-        ks = [
-            min(max(math.ceil((1.0 - q) * valid_count), 1), valid_count)
-            for q in fractions
-        ]
-        values = aggregates.kth_largest_multi(
-            self.device, texture, column.bits, ks, scale,
-            channel=channel, valid_stencil=valid,
-        )
-        return self._finish(
-            [column.from_stored(value) for value in values]
+        return self.aggregate(
+            "quantiles", column_name, predicate, fractions=fractions
         )
 
     @_resilient
@@ -713,105 +981,59 @@ class GpuEngine:
         This is the section 5.11 workload — a join optimizer probing
         many candidate predicates — where the per-attribute copy would
         otherwise dominate.  Returns ``value`` as a list of counts
-        aligned with ``predicates``.  Only the *last* predicate's mask
-        survives in the stencil buffer.
+        aligned with ``predicates``.
+
+        Execution is schedule-driven: the plan compiler lowers the
+        sweep (sharing one copy-to-depth per attribute run and — with
+        fusion — harvesting all occlusion counts with a single batched
+        stall) and the runner executes it.
         """
-        from .compare import compare_pass, copy_to_depth
-        from .predicates import Between, Comparison
-        from .range_query import range_pass
+        # Runtime import: repro.plan.compiler reaches back into
+        # repro.core at import time.
+        from ..plan import compiler, runner
 
         if not predicates:
             raise QueryError(
                 "selectivities() needs at least one predicate"
             )
         self._begin("selectivities", num_predicates=len(predicates))
-        counts: list[int] = []
-        depth_holds: str | None = None
-        self.device.state.color_mask = (False, False, False, False)
-        self.device.state.stencil.enabled = False
-        for predicate in predicates:
-            if isinstance(predicate, (Comparison, Between)):
-                column = self.relation.column(predicate.column)
-                texture, scale, channel = self.column_texture(
-                    predicate.column
-                )
-                if depth_holds != predicate.column:
-                    copy_to_depth(
-                        self.device, texture, scale, channel=channel
-                    )
-                    depth_holds = predicate.column
-                query = self.device.begin_query()
-                if isinstance(predicate, Comparison):
-                    compare_pass(
-                        self.device,
-                        predicate.op,
-                        column.normalize(
-                            column.clamp_to_domain(predicate.value)
-                        ),
-                        texture.count,
-                    )
-                else:
-                    range_pass(
-                        self.device,
-                        column.normalize(
-                            column.clamp_to_domain(predicate.low)
-                        ),
-                        column.normalize(
-                            column.clamp_to_domain(predicate.high)
-                        ),
-                        texture.count,
-                    )
-                self.device.end_query()
-                counts.append(query.result(synchronous=True))
-            else:
-                # General predicates run the full selection machinery
-                # (which owns the stencil buffer and depth state).
-                outcome = execute_selection(
-                    self.device, self.relation, self, predicate
-                )
-                counts.append(outcome.count)
-                self.device.state.stencil.enabled = False
-                depth_holds = None
+        schedule = compiler.lower_selectivities(
+            self.relation, predicates, fuse=self.fusion
+        )
+        self._trace_schedule(schedule)
+        counts = runner.run_selectivities(
+            self, predicates, fuse=self.fusion
+        )
         return self._finish(counts)
 
     @_resilient
     def histogram(
         self, column_name: str, buckets: int = 32
     ) -> GpuOpResult:
-        """Bucketed value counts via one depth-bounds range pass plus an
-        occlusion query per bucket — GPU-side selectivity estimation
-        (the primitive behind the paper's section 5.11 and the join
-        extension).  ``value`` is ``(edges, counts)``."""
-        from .predicates import Between
+        """Bucketed value counts via one depth copy plus one counted
+        depth-bounds range pass per bucket — GPU-side selectivity
+        estimation (the primitive behind the paper's section 5.11 and
+        the join extension).  ``value`` is ``(edges, counts)``.
+
+        With fusion the buckets share the single copy and all counts
+        are harvested with one batched stall; the stencil buffer is
+        left untouched (an earlier selection's mask survives).
+        ``fusion=False`` re-runs the full range selection per bucket.
+        """
+        from ..plan import compiler, runner
 
         column = self._integer_column(column_name)
         if buckets < 1:
             raise QueryError(f"need at least one bucket, got {buckets}")
-        # Bucket the value domain [lo, lo + 2**bits): for bias-encoded
-        # signed columns lo = -bias, so edges land on actual values.
-        lo = int(column.lo) if column.is_integer else 0
-        top = lo + (1 << column.bits)
-        edges = np.unique(
-            np.floor(np.linspace(lo, top, buckets + 1)).astype(
-                np.int64
-            )
-        )
-        if edges[-1] != top:
-            edges[-1] = top
+        edges = compiler.histogram_edges(column, buckets)
         self._begin("histogram", column=column_name, buckets=buckets)
-        counts = np.zeros(edges.size - 1, dtype=np.int64)
-        for index in range(edges.size - 1):
-            outcome = execute_selection(
-                self.device,
-                self.relation,
-                self,
-                Between(
-                    column_name,
-                    int(edges[index]),
-                    int(edges[index + 1] - 1),
-                ),
-            )
-            counts[index] = outcome.count
+        schedule = compiler.lower_histogram(
+            self.relation, column_name, buckets, fuse=self.fusion
+        )
+        self._trace_schedule(schedule)
+        counts = runner.run_histogram(
+            self, column_name, edges, fuse=self.fusion
+        )
         return self._finish((edges, counts))
 
     # -- cost shortcuts ------------------------------------------------------------------

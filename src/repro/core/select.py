@@ -43,13 +43,36 @@ from .semilinear import semilinear_pass
 
 
 class TextureProvider(Protocol):
-    """What the selection executor needs from the engine."""
+    """What the selection executor needs from the engine.
+
+    Providers may additionally expose
+    ``ensure_depth(name) -> (texture, depth_scale, channel)`` — a
+    cache-aware copy-to-depth that skips the pass when the provider can
+    prove the attribute already sits in the depth buffer
+    (:meth:`repro.core.engine.GpuEngine.ensure_depth`).  Selection falls
+    back to an unconditional copy for minimal providers (e.g. the
+    streaming engine).
+    """
 
     def column_texture(self, name: str) -> tuple[Texture, float, int]:
         """Return ``(texture, depth_scale, channel)`` for a column."""
 
     def packed_texture(self, names: tuple[str, ...]) -> Texture:
         """Return a texture with the named columns in its channels."""
+
+
+def _route_to_depth(
+    device: Device, provider: TextureProvider, name: str
+) -> Texture:
+    """Put ``name``'s values into the depth buffer via the provider's
+    ``ensure_depth`` when it has one, else an unconditional copy."""
+    ensure = getattr(provider, "ensure_depth", None)
+    if ensure is not None:
+        texture, _scale, _channel = ensure(name)
+        return texture
+    texture, scale, channel = provider.column_texture(name)
+    copy_to_depth(device, texture, scale, channel=channel)
+    return texture
 
 
 @dataclasses.dataclass
@@ -129,10 +152,9 @@ def _select_comparison(
     predicate: Comparison,
 ) -> int:
     column = relation.column(predicate.column)
-    texture, scale, channel = provider.column_texture(predicate.column)
     depth = column.normalize(column.clamp_to_domain(predicate.value))
     setup_selection_stencil(device)
-    copy_to_depth(device, texture, scale, channel=channel)
+    texture = _route_to_depth(device, provider, predicate.column)
     query = device.begin_query()
     compare_pass(device, predicate.op, depth, texture.count)
     device.end_query()
@@ -146,12 +168,21 @@ def _select_between(
     predicate: Between,
 ) -> int:
     column = relation.column(predicate.column)
-    texture, scale, channel = provider.column_texture(predicate.column)
     low = column.normalize(column.clamp_to_domain(predicate.low))
     high = column.normalize(column.clamp_to_domain(predicate.high))
-    return range_select(
-        device, texture, low, high, scale, channel=channel
-    )
+    if getattr(provider, "ensure_depth", None) is None:
+        texture, scale, channel = provider.column_texture(
+            predicate.column
+        )
+        return range_select(
+            device, texture, low, high, scale, channel=channel
+        )
+    setup_selection_stencil(device)
+    texture = _route_to_depth(device, provider, predicate.column)
+    query = device.begin_query()
+    range_pass(device, low, high, texture.count)
+    device.end_query()
+    return query.result(synchronous=True)
 
 
 def _select_semilinear(
@@ -218,6 +249,12 @@ class _SimpleExecutor:
         )
 
     def _ensure_in_depth(self, device: Device, name: str):
+        ensure = getattr(self.provider, "ensure_depth", None)
+        if ensure is not None:
+            # The provider's plan cache subsumes (and outlives) the
+            # per-operation sharing below.
+            texture, _scale, _channel = ensure(name)
+            return texture
         texture, scale, channel = self.provider.column_texture(name)
         if self._depth_holds != name:
             copy_to_depth(device, texture, scale, channel=channel)

@@ -157,3 +157,30 @@ class GpuCostModel:
             fragments * per_fragment / self.fragments_per_second
             + self.pass_overhead_s
         )
+
+    #: Instruction length of the CopyToDepth fragment program (TEX,
+    #: MUL, MOV into o[DEPR] — section 5.4).
+    COPY_PROGRAM_LENGTH = 3
+
+    def copy_pass_time_s(self, fragments: int) -> float:
+        """Analytic time for one copy-to-depth pass: the 3-instruction
+        copy program plus the slow program-writes-depth path the paper
+        isolates in figure 2."""
+        clocks = fragments * (
+            self.COPY_PROGRAM_LENGTH + self.depth_write_penalty_clocks
+        )
+        return clocks / self.fragments_per_second + self.pass_overhead_s
+
+    def schedule_time_s(self, schedule, fragments: int) -> float:
+        """First-order analytic price of a compiled
+        :class:`~repro.plan.passes.PassSchedule` over ``fragments``
+        fragments per pass: copies pay the slow depth path, other
+        rendering passes price as plain quads, harvests as occlusion
+        stalls.  Duck-typed so the plan layer need not be imported."""
+        copies = schedule.copy_passes
+        quads = schedule.render_passes - copies
+        return (
+            copies * self.copy_pass_time_s(fragments)
+            + quads * self.quad_pass_time_s(fragments)
+            + schedule.stalls * self.occlusion_sync_latency_s
+        )

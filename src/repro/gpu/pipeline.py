@@ -65,6 +65,11 @@ class Device:
         #: mask — e.g. :class:`repro.core.engine.Selection` — snapshot it
         #: to detect that a later pass overwrote their mask.
         self.stencil_generation = 0
+        #: Monotonic counter bumped on every depth-buffer mutation (clears
+        #: and depth writes landed by a pass).  The depth-contents cache in
+        #: :mod:`repro.plan` snapshots it to know whether the depth buffer
+        #: still holds a previously copied column.
+        self.depth_generation = 0
         self._textures: dict[int, Texture] = {}
         self._program: FragmentProgram | None = None
         self._parameters = np.zeros((NUM_PARAMETERS, 4), dtype=np.float32)
@@ -119,6 +124,7 @@ class Device:
     def clear(self, color=(0, 0, 0, 0), depth: float = 1.0, stencil: int = 0):
         self.framebuffer.clear(color=color, depth=depth, stencil=stencil)
         self.stencil_generation += 1
+        self.depth_generation += 1
         self.stats.clears += 1
 
     def clear_stencil(self, value: int) -> None:
@@ -128,6 +134,7 @@ class Device:
 
     def clear_depth(self, depth: float = 1.0) -> None:
         self.framebuffer.depth.clear(depth)
+        self.depth_generation += 1
         self.stats.clears += 1
 
     # -- readbacks (bus traffic back to the CPU) -------------------------------
@@ -392,6 +399,8 @@ class Device:
                 writers = np.flatnonzero(alive)
                 fb.depth.write_codes(indices[writers], frag_codes[writers])
                 stats.depth_writes += writers.size
+                if writers.size:
+                    self.depth_generation += 1
         if state.stencil.enabled:
             self._apply_stencil_op(state.stencil.zpass, indices, alive, stats)
 

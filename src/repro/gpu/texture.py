@@ -117,6 +117,11 @@ class Texture:
         self.data = data
         self.format = fmt
         self.count = count
+        #: Monotonic counter bumped on every texel mutation
+        #: (:meth:`write_texels`).  Consumers that cache results derived
+        #: from this texture's contents — e.g. the depth/stencil caches in
+        #: :mod:`repro.plan` — snapshot it to detect streaming updates.
+        self.generation = 0
 
     # -- construction helpers ------------------------------------------------
 
@@ -268,6 +273,7 @@ class Texture:
             )
         flat = self.data.reshape(self.num_texels, self.channels)
         flat[start:end] = values
+        self.generation += 1
         return values.shape[0] * self.channels * _BYTES_PER_CHANNEL
 
     # -- validation ----------------------------------------------------------

@@ -1,0 +1,57 @@
+"""Pass-level plan compiler, result caches and fused runner.
+
+This package sits between the engine/SQL layers and the simulated
+device:
+
+* :mod:`repro.plan.passes`   — the typed :class:`PassSchedule` IR;
+* :mod:`repro.plan.compiler` — lowering of engine operations and SQL
+  statements into (fused or unfused) schedules;
+* :mod:`repro.plan.cache`    — generation-keyed depth/stencil result
+  caches;
+* :mod:`repro.plan.runner`   — fused execution of the counting sweeps.
+"""
+
+from .cache import CacheStats, DepthCache, PlanCache, StencilCache
+from .compiler import (
+    histogram_edges,
+    lower_aggregate,
+    lower_histogram,
+    lower_select,
+    lower_selectivities,
+    lower_statement,
+)
+from .passes import (
+    CompareQuadPass,
+    CopyDepthPass,
+    OcclusionCountPass,
+    PassNode,
+    PassSchedule,
+    StencilCNFPass,
+    predicate_columns,
+    predicate_key,
+)
+from .runner import harvest, run_histogram, run_selectivities
+
+__all__ = [
+    "CacheStats",
+    "CompareQuadPass",
+    "CopyDepthPass",
+    "DepthCache",
+    "OcclusionCountPass",
+    "PassNode",
+    "PassSchedule",
+    "PlanCache",
+    "StencilCache",
+    "StencilCNFPass",
+    "harvest",
+    "histogram_edges",
+    "lower_aggregate",
+    "lower_histogram",
+    "lower_select",
+    "lower_selectivities",
+    "lower_statement",
+    "predicate_columns",
+    "predicate_key",
+    "run_histogram",
+    "run_selectivities",
+]

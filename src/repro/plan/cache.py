@@ -1,0 +1,179 @@
+"""Result caches keyed by the substrate's generation counters.
+
+The device holds exactly one depth buffer and one stencil buffer, so
+each cache is a *single slot* describing what that buffer currently
+holds; an entry is valid only while every generation counter it recorded
+still matches the live substrate:
+
+* :class:`DepthCache` — which column's values sit in the depth buffer.
+  Invalidated by ``Device.depth_generation`` (any depth clear or depth
+  write) and by ``Texture.generation`` (streaming texel updates).
+* :class:`StencilCache` — which predicate's selection mask sits in the
+  stencil buffer, with its match count.  Invalidated by
+  ``Device.stencil_generation`` (the PR-1 staleness machinery) and by
+  the generation of every texture the predicate read.
+
+Because validity is derived from the same monotonic counters that the
+substrate bumps on *every* mutation, a stale entry cannot be served: a
+fault-interrupted pass that half-wrote a buffer bumped its generation.
+:meth:`PlanCache.invalidate` additionally drops everything outright —
+the engine calls it whenever a ``ResilientExecutor`` attempt fails
+(including ``DeviceLostError``), so retries always start cold.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..gpu.pipeline import Device
+from ..gpu.texture import Texture
+
+#: ``(texture_id, texture_generation)`` pairs: the content fingerprint
+#: of every texture a cached result was derived from.
+Fingerprint = tuple[tuple[int, int], ...]
+
+
+@dataclasses.dataclass
+class _DepthSlot:
+    column: str
+    texture_id: int
+    texture_generation: int
+    depth_generation: int
+
+
+@dataclasses.dataclass
+class _StencilSlot:
+    key: tuple
+    count: int
+    valid_stencil: int
+    stencil_generation: int
+    fingerprint: Fingerprint
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters for one engine's plan cache."""
+
+    depth_hits: int = 0
+    depth_misses: int = 0
+    stencil_hits: int = 0
+    stencil_misses: int = 0
+    invalidations: int = 0
+
+
+class DepthCache:
+    """Single-slot cache: the column currently in the depth buffer."""
+
+    def __init__(self):
+        self._slot: _DepthSlot | None = None
+
+    def lookup(self, device: Device, column: str, texture: Texture) -> bool:
+        """True when the depth buffer still holds ``column``'s values."""
+        slot = self._slot
+        return (
+            slot is not None
+            and slot.column == column
+            and slot.texture_id == texture.id
+            and slot.texture_generation == texture.generation
+            and slot.depth_generation == device.depth_generation
+        )
+
+    def note(self, device: Device, column: str, texture: Texture) -> None:
+        """Record that a copy-to-depth just landed ``column``."""
+        self._slot = _DepthSlot(
+            column=column,
+            texture_id=texture.id,
+            texture_generation=texture.generation,
+            depth_generation=device.depth_generation,
+        )
+
+    def invalidate(self) -> None:
+        self._slot = None
+
+    @property
+    def holds(self) -> str | None:
+        """The cached column name (validity not checked) — debug aid."""
+        return self._slot.column if self._slot is not None else None
+
+
+class StencilCache:
+    """Single-slot cache: the selection mask currently in the stencil
+    buffer, keyed by the predicate's structural key."""
+
+    def __init__(self):
+        self._slot: _StencilSlot | None = None
+
+    def lookup(
+        self, device: Device, key: tuple, fingerprint: Fingerprint
+    ) -> tuple[int, int] | None:
+        """``(count, valid_stencil)`` when the mask for ``key`` is still
+        live in the stencil buffer, else ``None``."""
+        slot = self._slot
+        if (
+            slot is not None
+            and slot.key == key
+            and slot.stencil_generation == device.stencil_generation
+            and slot.fingerprint == fingerprint
+        ):
+            return slot.count, slot.valid_stencil
+        return None
+
+    def note(
+        self,
+        device: Device,
+        key: tuple,
+        fingerprint: Fingerprint,
+        count: int,
+        valid_stencil: int,
+    ) -> None:
+        self._slot = _StencilSlot(
+            key=key,
+            count=count,
+            valid_stencil=valid_stencil,
+            stencil_generation=device.stencil_generation,
+            fingerprint=fingerprint,
+        )
+
+    def invalidate(self) -> None:
+        self._slot = None
+
+
+class PlanCache:
+    """One engine's caches plus hit/miss accounting and trace events."""
+
+    def __init__(self, tracer_source=None):
+        self.depth = DepthCache()
+        self.stencil = StencilCache()
+        self.stats = CacheStats()
+        #: Zero-argument callable returning the live tracer (engines
+        #: swap tracers mid-life, so the cache must not capture one).
+        self._tracer_source = tracer_source
+
+    def _record_event(self, name: str, **attrs) -> None:
+        tracer = (
+            self._tracer_source() if self._tracer_source is not None else None
+        )
+        if tracer is not None:
+            tracer.record_event(name, category="cache", **attrs)
+
+    def depth_hit(self, column: str) -> None:
+        self.stats.depth_hits += 1
+        self._record_event("depth-cache hit", column=column)
+
+    def depth_miss(self, column: str) -> None:
+        self.stats.depth_misses += 1
+
+    def stencil_hit(self, predicate, count: int) -> None:
+        self.stats.stencil_hits += 1
+        self._record_event(
+            "stencil-cache hit", predicate=str(predicate), count=count
+        )
+
+    def stencil_miss(self, predicate) -> None:
+        self.stats.stencil_misses += 1
+
+    def invalidate(self) -> None:
+        """Drop every cached outcome (retry / device-lost recovery)."""
+        self.depth.invalidate()
+        self.stencil.invalidate()
+        self.stats.invalidations += 1

@@ -1,0 +1,254 @@
+"""Typed pass schedules: the plan compiler's intermediate representation.
+
+Every engine operation in the paper decomposes into the same three pass
+kinds — copy-to-depth, comparison quads, and occlusion-counted stencil
+passes — plus the occlusion-result harvest that is not a rendering pass
+at all but the pipeline stall the cost model charges.  A
+:class:`PassSchedule` makes that decomposition explicit *before* any
+device call, so redundant passes can be fused away (one copy-to-depth
+per column shared across CNF clauses, range endpoints and multi-query
+batches) and the result rendered to users via
+:meth:`PassSchedule.render_text` / ``Database.explain``.
+
+Node kinds:
+
+* :class:`CopyDepthPass`      — route one attribute into the depth buffer
+  (routine 4.1 line 1; the overhead the paper isolates in figures 3-5);
+* :class:`CompareQuadPass`    — one screen quad evaluating a simple
+  predicate against the depth buffer (comparison, depth-bounds range,
+  semi-linear or polynomial fragment program);
+* :class:`StencilCNFPass`     — one stencil-only bookkeeping quad of the
+  EvalCNF/EvalDNF machinery (clause cleanup, DNF arm/accept/normalize);
+* :class:`OcclusionCountPass` — the harvest point where occlusion-query
+  results are read back; ``batched`` marks the pipelined retrieval
+  pattern (all queries asynchronous except the last) versus a
+  per-query synchronous stall.
+
+Schedules are *estimates over the fused structure*: the runtime depth /
+stencil caches (:mod:`repro.plan.cache`) can elide further passes when
+earlier operations left reusable state behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.polynomial import Polynomial
+from ..core.predicates import (
+    And,
+    Between,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    SemiLinear,
+)
+from ..errors import QueryError
+
+
+def predicate_key(predicate: Predicate) -> tuple:
+    """A hashable structural key for a predicate.
+
+    Predicates are plain classes without ``__eq__``/``__hash__`` (so
+    selections can hold them without surprising identity semantics);
+    the caches in :mod:`repro.plan.cache` need structural equality
+    instead — two independently constructed ``data_count >= 1000``
+    predicates must share one cache entry.
+    """
+    if isinstance(predicate, Comparison):
+        return ("cmp", predicate.column, predicate.op.value, predicate.value)
+    if isinstance(predicate, Between):
+        return ("between", predicate.column, predicate.low, predicate.high)
+    if isinstance(predicate, SemiLinear):
+        return (
+            "semilinear",
+            predicate.columns,
+            predicate.coefficients,
+            predicate.op.value,
+            predicate.constant,
+        )
+    if isinstance(predicate, Polynomial):
+        return (
+            "poly",
+            predicate.columns,
+            predicate.coefficients,
+            predicate.exponents,
+            predicate.op.value,
+            predicate.constant,
+        )
+    if isinstance(predicate, And):
+        return ("and",) + tuple(
+            predicate_key(child) for child in predicate.children
+        )
+    if isinstance(predicate, Or):
+        return ("or",) + tuple(
+            predicate_key(child) for child in predicate.children
+        )
+    if isinstance(predicate, Not):
+        return ("not", predicate_key(predicate.child))
+    raise QueryError(
+        f"cannot key predicate of type {type(predicate).__name__}"
+    )
+
+
+def predicate_columns(predicate: Predicate) -> tuple[str, ...]:
+    """Column names a predicate reads, in first-reference order."""
+    if isinstance(predicate, (Comparison, Between)):
+        return (predicate.column,)
+    if isinstance(predicate, (SemiLinear, Polynomial)):
+        return tuple(predicate.columns)
+    if isinstance(predicate, Not):
+        return predicate_columns(predicate.child)
+    if isinstance(predicate, (And, Or)):
+        names: list[str] = []
+        for child in predicate.children:
+            for name in predicate_columns(child):
+                if name not in names:
+                    names.append(name)
+        return tuple(names)
+    raise QueryError(
+        f"cannot list columns of type {type(predicate).__name__}"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CopyDepthPass:
+    """One ``CopyToDepth`` rendering pass for ``column``."""
+
+    column: str
+    channel: int = 0
+
+    def describe(self) -> str:
+        return f"copy-to-depth {self.column}"
+
+
+@dataclasses.dataclass(frozen=True)
+class CompareQuadPass:
+    """One predicate-evaluating quad.
+
+    ``kind`` selects the evaluation path: ``"compare"`` (depth test,
+    routine 4.1), ``"range"`` (depth-bounds test, routine 4.4),
+    ``"semilinear"`` (fragment program + KIL, routine 4.2) or
+    ``"polynomial"`` (the section 4.1.2 extension).  ``counted`` marks
+    quads rendered inside an occlusion query.
+    """
+
+    column: str
+    kind: str
+    detail: str = ""
+    counted: bool = False
+
+    def describe(self) -> str:
+        text = f"{self.kind} {self.detail or self.column}"
+        if self.counted:
+            text += "  [counted]"
+        return text
+
+
+@dataclasses.dataclass(frozen=True)
+class StencilCNFPass:
+    """One stencil-only bookkeeping quad of EvalCNF / EvalDNF."""
+
+    label: str
+    clause: int | None = None
+
+    def describe(self) -> str:
+        if self.clause is not None:
+            return f"stencil {self.label} (clause {self.clause})"
+        return f"stencil {self.label}"
+
+
+@dataclasses.dataclass(frozen=True)
+class OcclusionCountPass:
+    """The harvest point: read ``queries`` occlusion results back.
+
+    Not a rendering pass — ``batched=True`` models the paper's
+    section 5.3 pipelined retrieval (one stall for the whole batch),
+    ``batched=False`` one synchronous stall per query.
+    """
+
+    queries: int
+    batched: bool = True
+
+    @property
+    def stalls(self) -> int:
+        if self.queries == 0:
+            return 0
+        return 1 if self.batched else self.queries
+
+    def describe(self) -> str:
+        mode = "batched" if self.batched else "synchronous"
+        noun = "result" if self.queries == 1 else "results"
+        return (
+            f"harvest {self.queries} occlusion {noun} "
+            f"[{mode}, {self.stalls} stall{'s' if self.stalls != 1 else ''}]"
+        )
+
+
+PassNode = CopyDepthPass | CompareQuadPass | StencilCNFPass | OcclusionCountPass
+
+
+@dataclasses.dataclass
+class PassSchedule:
+    """A lowered engine operation: ordered pass nodes plus fusion facts."""
+
+    op: str
+    table: str
+    nodes: list[PassNode]
+    device: str = "gpu"
+    #: Copy-to-depth passes the fusion pass removed relative to the
+    #: unfused lowering of the same operation.
+    fused_copies: int = 0
+    #: Occlusion stalls removed by batched harvesting.
+    fused_stalls: int = 0
+    #: Free-form annotations (predicate text, bucket count, ...).
+    meta: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def copy_passes(self) -> int:
+        return sum(
+            1 for node in self.nodes if isinstance(node, CopyDepthPass)
+        )
+
+    @property
+    def render_passes(self) -> int:
+        """Rendering passes in the schedule (harvests excluded)."""
+        return sum(
+            1
+            for node in self.nodes
+            if not isinstance(node, OcclusionCountPass)
+        )
+
+    @property
+    def stalls(self) -> int:
+        return sum(
+            node.stalls
+            for node in self.nodes
+            if isinstance(node, OcclusionCountPass)
+        )
+
+    def render_text(self) -> str:
+        """Human-readable schedule, mirroring the trace text format."""
+        header = f"schedule {self.op} ON {self.table} [{self.device}]"
+        lines = [header]
+        for key, value in sorted(self.meta.items()):
+            lines.append(f"  # {key}: {value}")
+        for node in self.nodes:
+            lines.append(f"  - {node.describe()}")
+        lines.append(
+            f"  = {self.render_passes} passes "
+            f"({self.copy_passes} copy), {self.stalls} stalls"
+        )
+        if self.fused_copies or self.fused_stalls:
+            lines.append(
+                f"  = fusion saved {self.fused_copies} copy passes, "
+                f"{self.fused_stalls} stalls"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PassSchedule(op={self.op!r}, table={self.table!r}, "
+            f"passes={self.render_passes}, copies={self.copy_passes}, "
+            f"fused_copies={self.fused_copies})"
+        )

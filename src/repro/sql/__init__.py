@@ -14,11 +14,17 @@ from .lexer import Token, TokenType, tokenize
 from .parser import parse
 from .planner import DeviceChoice, Planner, QueryPlan, predicate_columns
 
+#: Preferred spelling for the device argument of
+#: :meth:`Database.query` / :meth:`Database.plan`:
+#: ``Device.GPU``, ``Device.CPU``, ``Device.AUTO``.
+Device = DeviceChoice
+
 __all__ = [
     "AggregateFunc",
     "AggregateItem",
     "ColumnItem",
     "Database",
+    "Device",
     "DeviceChoice",
     "Planner",
     "QueryPlan",

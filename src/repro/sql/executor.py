@@ -17,6 +17,7 @@ co-processor split) unless ``device=`` forces one.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 
 import numpy as np
 
@@ -27,6 +28,8 @@ from ..cpu.cost import CpuCostModel
 from ..errors import GpuError, QueryError, SqlPlanError
 from ..faults import ResilientExecutor, current_executor
 from ..gpu.cost import GpuCostModel
+from ..gpu.counters import PipelineStats
+from ..plan import PassSchedule, lower_statement
 from ..trace import Trace, Tracer
 from .ast import (
     AggregateFunc,
@@ -55,6 +58,38 @@ class QueryResult:
     fallback: bool = False
     #: The persistent GPU error that forced the fallback, as text.
     fallback_error: str | None = None
+    #: Per-operation engine results (``GpuOpResult``/``CpuOpResult``)
+    #: collected while the query ran, in execution order.
+    op_results: list = dataclasses.field(
+        default_factory=list, repr=False, compare=False
+    )
+
+    # -- unified cost accessors (shared with GpuOpResult/CpuOpResult) --
+
+    @property
+    def time_ms(self) -> float:
+        """Simulated device milliseconds summed over every engine
+        operation this query issued."""
+        return sum(result.time_ms for result in self.op_results)
+
+    @property
+    def pass_count(self) -> int:
+        """Rendering passes issued across the whole query (0 on CPU)."""
+        return sum(result.pass_count for result in self.op_results)
+
+    @property
+    def stats(self) -> PipelineStats:
+        """Merged pipeline statistics over every engine operation."""
+        merged = PipelineStats()
+        for result in self.op_results:
+            window = result.stats
+            for p in window.passes:
+                merged.record_pass(p)
+            merged.bytes_uploaded += window.bytes_uploaded
+            merged.bytes_read_back += window.bytes_read_back
+            merged.occlusion_results += window.occlusion_results
+            merged.clears += window.clears
+        return merged
 
     @property
     def scalar(self):
@@ -110,6 +145,8 @@ class Database:
         #: Tracer of the in-flight traced query, threaded into engines
         #: built lazily while it runs.
         self._query_tracer: Tracer | None = None
+        #: Engine op results of the in-flight query (``None`` when idle).
+        self._op_log: list | None = None
 
     def register(self, relation: Relation) -> None:
         self._relations[relation.name] = relation
@@ -150,28 +187,68 @@ class Database:
 
     # -- entry points ------------------------------------------------------------
 
-    def plan(self, sql: str, device: str = "auto") -> QueryPlan:
-        statement = parse(sql)
-        relation = self.relation(statement.table)
-        right = None
-        if statement.join is not None:
-            right = self.relation(statement.join.right_table)
+    @staticmethod
+    def _normalize_device(device) -> DeviceChoice:
+        """Accept :class:`DeviceChoice` (preferred) or its string form
+        (deprecated)."""
+        if isinstance(device, DeviceChoice):
+            return device
+        warnings.warn(
+            f"passing device={device!r} as a string is deprecated; "
+            "use repro.sql.Device.GPU / .CPU / .AUTO",
+            DeprecationWarning,
+            stacklevel=3,
+        )
         try:
-            choice = DeviceChoice(device)
+            return DeviceChoice(device)
         except ValueError:
             raise SqlPlanError(
                 f"unknown device {device!r}; supported: "
                 f"{[d.value for d in DeviceChoice]}"
             ) from None
+
+    def plan(
+        self, sql: str, device: str | DeviceChoice = DeviceChoice.AUTO
+    ) -> QueryPlan:
+        statement = parse(sql)
+        relation = self.relation(statement.table)
+        right = None
+        if statement.join is not None:
+            right = self.relation(statement.join.right_table)
         return self.planner.plan(
             statement,
             relation,
-            choice,
+            self._normalize_device(device),
             right_relation=right,
         )
 
+    def explain(
+        self,
+        sql: str,
+        device: str | DeviceChoice = DeviceChoice.AUTO,
+        fuse: bool = True,
+    ) -> PassSchedule:
+        """Compile ``sql`` to the :class:`~repro.plan.PassSchedule` the
+        chosen device would execute, without running it.
+
+        The schedule renders with
+        :meth:`~repro.plan.PassSchedule.render_text`, mirroring the
+        pass tree a traced execution produces.  ``fuse=False`` shows
+        the unfused lowering for comparison.
+        """
+        plan = self.plan(sql, device=device)
+        return lower_statement(
+            plan.statement,
+            plan.relation,
+            fuse=fuse,
+            device=plan.chosen_device.value,
+        )
+
     def query(
-        self, sql: str, device: str = "auto", trace: bool = False
+        self,
+        sql: str,
+        device: str | DeviceChoice = DeviceChoice.AUTO,
+        trace: bool = False,
     ) -> QueryResult:
         """Parse, plan and execute ``sql``.
 
@@ -181,11 +258,12 @@ class Database:
         :func:`repro.trace.render_text` or export it with
         :func:`repro.trace.write_chrome_trace`.
         """
-        plan = self.plan(sql, device=device)
+        requested = self._normalize_device(device)
+        plan = self.plan(sql, device=requested)
         chosen = plan.chosen_device
         if not trace:
             rows, columns, fell_back = self._execute(
-                plan, chosen, requested=device
+                plan, chosen, requested=requested
             )
             return self._result(plan, chosen, rows, columns, fell_back)
         tracer = Tracer(cost_model=self.gpu_cost)
@@ -207,7 +285,7 @@ class Database:
         )
         try:
             rows, columns, fell_back = self._execute(
-                plan, chosen, requested=device
+                plan, chosen, requested=requested
             )
         finally:
             tracer.end(span)
@@ -230,6 +308,8 @@ class Database:
     def _result(
         self, plan, chosen, rows, columns, fell_back, trace=None
     ) -> QueryResult:
+        ops = self._op_log or []
+        self._op_log = None
         if fell_back is not None:
             return QueryResult(
                 columns=columns,
@@ -241,6 +321,7 @@ class Database:
                 fallback_error=(
                     f"{type(fell_back).__name__}: {fell_back}"
                 ),
+                op_results=ops,
             )
         return QueryResult(
             columns=columns,
@@ -248,13 +329,21 @@ class Database:
             device=chosen,
             plan=plan,
             trace=trace,
+            op_results=ops,
         )
+
+    def _note_op(self, result):
+        """Collect an engine op result for the in-flight query's unified
+        cost accessors; returns the result unchanged."""
+        if self._op_log is not None:
+            self._op_log.append(result)
+        return result
 
     def _execute(
         self,
         plan: QueryPlan,
         chosen: DeviceChoice,
-        requested: str = "auto",
+        requested: DeviceChoice = DeviceChoice.AUTO,
     ):
         """Run the plan; returns ``(rows, columns, fallback_error)``.
 
@@ -268,6 +357,7 @@ class Database:
         ``__cause__``.
         """
         statement = plan.statement
+        self._op_log = []
         try:
             if statement.join is not None:
                 rows, columns = self._execute_join(statement, chosen)
@@ -279,7 +369,7 @@ class Database:
         except GpuError as error:
             if chosen is not DeviceChoice.GPU:
                 raise  # CPU paths never touch the substrate
-            if self.executor is None or requested == "gpu":
+            if self.executor is None or requested is DeviceChoice.GPU:
                 raise QueryError(
                     f"GPU execution failed: {error}"
                 ) from error
@@ -376,14 +466,26 @@ class Database:
                 statement, engine, self._gpu_aggregate
             )
         if statement.is_aggregate:
-            empty = (
-                predicate is not None
-                and engine.count(predicate).value == 0
-            )
+            probe_count = None
+            if predicate is not None:
+                probe_count = self._note_op(
+                    engine.count(predicate)
+                ).value
+            empty = probe_count == 0
             row = []
             labels = []
             for item in statement.items:
                 labels.append(item.label)
+                if (
+                    probe_count is not None
+                    and isinstance(item, AggregateItem)
+                    and item.func is AggregateFunc.COUNT
+                ):
+                    # The probe already evaluated this WHERE mask;
+                    # reusing its count here is the executor half of
+                    # the plan compiler's selection-reuse fusion.
+                    row.append(probe_count)
+                    continue
                 row.append(
                     self._aggregate_or_null(
                         engine, item, predicate, empty,
@@ -400,7 +502,7 @@ class Database:
     def _gpu_selected_ids(self, engine: GpuEngine, predicate):
         if predicate is None:
             return np.arange(engine.relation.num_records)
-        return engine.select(predicate).record_ids()
+        return self._note_op(engine.select(predicate)).record_ids()
 
     @staticmethod
     def _aggregate_or_null(engine, item, predicate, empty, aggregate):
@@ -420,16 +522,22 @@ class Database:
             )
         func = item.func
         if func is AggregateFunc.COUNT:
-            return engine.count(predicate).value
+            return self._note_op(engine.count(predicate)).value
         if func is AggregateFunc.SUM:
-            return engine.sum(item.column, predicate).value
+            return self._note_op(engine.sum(item.column, predicate)).value
         if func is AggregateFunc.AVG:
-            return engine.average(item.column, predicate).value
+            return self._note_op(
+                engine.average(item.column, predicate)
+            ).value
         if func is AggregateFunc.MIN:
-            return engine.minimum(item.column, predicate).value
+            return self._note_op(
+                engine.minimum(item.column, predicate)
+            ).value
         if func is AggregateFunc.MAX:
-            return engine.maximum(item.column, predicate).value
-        return engine.median(item.column, predicate).value
+            return self._note_op(
+                engine.maximum(item.column, predicate)
+            ).value
+        return self._note_op(engine.median(item.column, predicate)).value
 
     def _execute_cpu(self, statement: SelectStatement):
         engine = self.cpu_engine(statement.table)
@@ -441,7 +549,7 @@ class Database:
         if statement.is_aggregate:
             empty = (
                 predicate is not None
-                and engine.count(predicate).value == 0
+                and self._note_op(engine.count(predicate)).value == 0
             )
             row = []
             labels = []
@@ -457,7 +565,7 @@ class Database:
         if predicate is None:
             ids = np.arange(engine.relation.num_records)
         else:
-            ids = engine.select(predicate).record_ids()
+            ids = self._note_op(engine.select(predicate)).record_ids()
         return self._project(engine.relation, ids, statement.items)
 
     def _cpu_aggregate(self, engine: CpuEngine, item, predicate):
@@ -468,16 +576,22 @@ class Database:
             )
         func = item.func
         if func is AggregateFunc.COUNT:
-            return engine.count(predicate).value
+            return self._note_op(engine.count(predicate)).value
         if func is AggregateFunc.SUM:
-            return engine.sum(item.column, predicate).value
+            return self._note_op(engine.sum(item.column, predicate)).value
         if func is AggregateFunc.AVG:
-            return engine.average(item.column, predicate).value
+            return self._note_op(
+                engine.average(item.column, predicate)
+            ).value
         if func is AggregateFunc.MIN:
-            return engine.minimum(item.column, predicate).value
+            return self._note_op(
+                engine.minimum(item.column, predicate)
+            ).value
         if func is AggregateFunc.MAX:
-            return engine.maximum(item.column, predicate).value
-        return engine.median(item.column, predicate).value
+            return self._note_op(
+                engine.maximum(item.column, predicate)
+            ).value
+        return self._note_op(engine.median(item.column, predicate)).value
 
     def _execute_grouped(self, statement: SelectStatement, engine,
                          aggregate):
@@ -503,7 +617,7 @@ class Database:
                 predicate = And(statement.where, group_predicate)
             else:
                 predicate = group_predicate
-            if engine.count(predicate).value == 0:
+            if self._note_op(engine.count(predicate)).value == 0:
                 continue  # the WHERE clause emptied this group
             row = [int(key)]
             for item in statement.items:

@@ -6,8 +6,10 @@ import pytest
 from repro.bench.baselines import (
     accumulator_passes,
     expected_pass_count,
+    histogram_passes,
     kth_largest_passes,
     select_passes,
+    selectivities_passes,
 )
 from repro.core import GpuEngine
 from repro.core.compare import copy_to_depth
@@ -155,12 +157,79 @@ class TestMeasuredAgainstBaseline:
         )
 
 
+class TestFusedSweepBaselines:
+    """The plan compiler's fusion wins, pinned as measured pass counts.
+
+    These are the regression pins for the historical bug where
+    ``selectivities`` and ``histogram`` re-ran copy-to-depth for every
+    predicate on the same column.
+    """
+
+    N_PREDICATES = 8
+    BUCKETS = 10
+
+    def _thresholds(self, relation):
+        values = relation.column("data_count").values
+        return [
+            threshold_for_selectivity(
+                values, s / (self.N_PREDICATES + 1), CompareFunc.GEQUAL
+            )
+            for s in range(1, self.N_PREDICATES + 1)
+        ]
+
+    def test_selectivities_share_one_copy(self, relation):
+        predicates = [
+            Comparison("data_count", CompareFunc.GEQUAL, t)
+            for t in self._thresholds(relation)
+        ]
+
+        def run(engine):
+            engine.selectivities(predicates)
+
+        assert _measure(relation, run) == selectivities_passes(
+            self.N_PREDICATES, fused=True
+        )
+
+    def test_selectivities_unfused_pays_per_predicate_copies(
+        self, relation
+    ):
+        predicates = [
+            Comparison("data_count", CompareFunc.GEQUAL, t)
+            for t in self._thresholds(relation)
+        ]
+        tracer = Tracer()
+        engine = GpuEngine(relation, tracer=tracer, fusion=False)
+        with tracer.span("workload"):
+            engine.selectivities(predicates)
+        measured = tracer.finish().find("workload").num_passes
+        assert measured == selectivities_passes(
+            self.N_PREDICATES, fused=False
+        )
+
+    def test_histogram_shares_one_copy(self, relation):
+        def run(engine):
+            engine.histogram("data_count", self.BUCKETS)
+
+        assert _measure(relation, run) == histogram_passes(
+            self.BUCKETS, fused=True
+        )
+
+    def test_fusion_saves_at_least_thirty_percent_of_copies(self):
+        fused_copies = 1
+        unfused_copies = self.N_PREDICATES
+        assert fused_copies <= 0.7 * unfused_copies
+
+
 class TestFormulas:
     def test_helpers(self):
         assert select_passes(1) == 2
         assert select_passes(4) == 12
         assert kth_largest_passes(19) == 20
         assert accumulator_passes(19) == 19
+        assert selectivities_passes(8, fused=True) == 9
+        assert selectivities_passes(8, fused=False) == 16
+        assert histogram_passes(10, fused=True) == 11
+        assert histogram_passes(10, fused=False) == 20
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(BenchmarkError):

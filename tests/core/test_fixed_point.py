@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core import Column, CpuEngine, GpuEngine, Relation, col
 from repro.errors import DataError, QueryError
+from repro.sql import Device
 
 
 def _price_relation(seed=6, records=600, fraction_bits=2):
@@ -172,11 +173,11 @@ class TestQueries:
         db.register(relation)
         gpu_row = db.query(
             "SELECT SUM(price), MEDIAN(price) FROM sales",
-            device="gpu",
+            device=Device.GPU,
         ).rows[0]
         cpu_row = db.query(
             "SELECT SUM(price), MEDIAN(price) FROM sales",
-            device="cpu",
+            device=Device.CPU,
         ).rows[0]
         assert gpu_row == cpu_row
 

@@ -19,6 +19,7 @@ from repro.data.distributions import (
 from repro.data.tcpip import ATTRIBUTES, DATA_COUNT_BITS
 from repro.errors import DataError
 from repro.gpu.types import CompareFunc
+from repro.sql import Device
 
 
 class TestTcpip:
@@ -238,7 +239,7 @@ class TestRetail:
             "SELECT COUNT(*) FROM orders JOIN customers "
             "ON orders.customer_id = customers.id"
         )
-        gpu = db.query(sql, device="gpu").scalar
-        cpu = db.query(sql, device="cpu").scalar
+        gpu = db.query(sql, device=Device.GPU).scalar
+        cpu = db.query(sql, device=Device.CPU).scalar
         live = orders.column("customer_id").values < 150
         assert gpu == cpu == int(live.sum())

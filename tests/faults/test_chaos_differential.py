@@ -34,7 +34,7 @@ from repro.faults import (
     RetryPolicy,
     use_faults,
 )
-from repro.sql import Database
+from repro.sql import Database, Device
 from repro.sql.planner import DeviceChoice
 from tests.core.test_differential import (
     _random_predicate,
@@ -251,7 +251,7 @@ def test_database_degrades_to_cpu_with_visible_trace():
     sql = "SELECT COUNT(*) FROM t WHERE a > 100"
     clean = _large_database()
     assert clean.plan(sql).chosen_device is DeviceChoice.GPU
-    expected = clean.query(sql, device="cpu")
+    expected = clean.query(sql, device=Device.CPU)
 
     plan = FaultPlan(
         [FaultRule(FaultKind.DEVICE_LOST, max_fires=None)]

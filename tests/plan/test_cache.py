@@ -1,0 +1,146 @@
+"""Generation-keyed cache semantics: depth and stencil slots go stale
+exactly when the substrate's counters say the buffers changed."""
+
+from repro.core import GpuEngine
+from repro.core.predicates import Comparison
+from repro.gpu.types import CompareFunc
+from repro.plan import PlanCache, predicate_key
+
+
+def _predicate(value=1000):
+    return Comparison("data_count", CompareFunc.GEQUAL, value)
+
+
+class TestDepthCache:
+    def test_hit_after_note_while_depth_undisturbed(self, small_relation):
+        engine = GpuEngine(small_relation)
+        texture, _scale, _channel = engine.column_texture("data_count")
+        cache = PlanCache()
+        cache.depth.note(engine.device, "data_count", texture)
+        assert cache.depth.lookup(engine.device, "data_count", texture)
+        assert cache.depth.holds == "data_count"
+
+    def test_miss_for_other_column(self, small_relation):
+        engine = GpuEngine(small_relation)
+        texture, _s, _c = engine.column_texture("data_count")
+        other, _s, _c = engine.column_texture("data_loss")
+        cache = PlanCache()
+        cache.depth.note(engine.device, "data_count", texture)
+        assert not cache.depth.lookup(engine.device, "data_loss", other)
+
+    def test_depth_clear_invalidates(self, small_relation):
+        engine = GpuEngine(small_relation)
+        texture, _s, _c = engine.column_texture("data_count")
+        cache = PlanCache()
+        cache.depth.note(engine.device, "data_count", texture)
+        engine.device.clear_depth()
+        assert not cache.depth.lookup(engine.device, "data_count", texture)
+
+    def test_depth_write_invalidates(self, small_relation):
+        engine = GpuEngine(small_relation)
+        texture, scale, channel = engine.column_texture("data_count")
+        other, other_scale, other_channel = engine.column_texture(
+            "data_loss"
+        )
+        cache = PlanCache()
+        cache.depth.note(engine.device, "data_count", texture)
+        from repro.core.compare import copy_to_depth
+
+        copy_to_depth(
+            engine.device, other, other_scale, channel=other_channel
+        )
+        assert not cache.depth.lookup(engine.device, "data_count", texture)
+
+    def test_texture_mutation_invalidates(self, small_relation):
+        engine = GpuEngine(small_relation)
+        texture, _s, _c = engine.column_texture("data_count")
+        cache = PlanCache()
+        cache.depth.note(engine.device, "data_count", texture)
+        # A streaming texel update bumps the texture generation.
+        texture.write_texels(0, texture.data.reshape(-1, texture.channels)[:1])
+        assert not cache.depth.lookup(engine.device, "data_count", texture)
+
+
+class TestStencilCache:
+    def test_hit_while_stencil_generation_matches(self, small_relation):
+        engine = GpuEngine(small_relation)
+        texture, _s, _c = engine.column_texture("data_count")
+        cache = PlanCache()
+        key = predicate_key(_predicate())
+        fingerprint = ((texture.id, texture.generation),)
+        cache.stencil.note(engine.device, key, fingerprint, 42, 1)
+        assert cache.stencil.lookup(engine.device, key, fingerprint) == (
+            42, 1,
+        )
+
+    def test_structural_key_matches_fresh_predicate(self, small_relation):
+        """Two independently built `data_count >= 1000` predicates share
+        the slot — the property the SQL layer relies on."""
+        engine = GpuEngine(small_relation)
+        texture, _s, _c = engine.column_texture("data_count")
+        cache = PlanCache()
+        fingerprint = ((texture.id, texture.generation),)
+        cache.stencil.note(
+            engine.device, predicate_key(_predicate()), fingerprint, 7, 1
+        )
+        assert cache.stencil.lookup(
+            engine.device, predicate_key(_predicate()), fingerprint
+        ) == (7, 1)
+
+    def test_stencil_clear_invalidates(self, small_relation):
+        engine = GpuEngine(small_relation)
+        texture, _s, _c = engine.column_texture("data_count")
+        cache = PlanCache()
+        key = predicate_key(_predicate())
+        fingerprint = ((texture.id, texture.generation),)
+        cache.stencil.note(engine.device, key, fingerprint, 42, 1)
+        engine.device.clear_stencil(0)
+        assert cache.stencil.lookup(engine.device, key, fingerprint) is None
+
+    def test_fingerprint_mismatch_misses(self, small_relation):
+        engine = GpuEngine(small_relation)
+        texture, _s, _c = engine.column_texture("data_count")
+        cache = PlanCache()
+        key = predicate_key(_predicate())
+        cache.stencil.note(
+            engine.device, key, ((texture.id, texture.generation),), 42, 1
+        )
+        stale = ((texture.id, texture.generation + 1),)
+        assert cache.stencil.lookup(engine.device, key, stale) is None
+
+
+class TestPlanCacheAccounting:
+    def test_invalidate_drops_both_slots_and_counts(self, small_relation):
+        engine = GpuEngine(small_relation)
+        texture, _s, _c = engine.column_texture("data_count")
+        cache = PlanCache()
+        cache.depth.note(engine.device, "data_count", texture)
+        cache.stencil.note(
+            engine.device, predicate_key(_predicate()),
+            ((texture.id, texture.generation),), 42, 1,
+        )
+        cache.invalidate()
+        assert cache.depth.holds is None
+        assert cache.stencil.lookup(
+            engine.device, predicate_key(_predicate()),
+            ((texture.id, texture.generation),),
+        ) is None
+        assert cache.stats.invalidations == 1
+
+    def test_engine_counts_hits_and_misses(self, small_relation):
+        engine = GpuEngine(small_relation)
+        engine.select(_predicate())
+        stats = engine.plan.stats
+        assert stats.depth_misses >= 1
+        # The masked aggregate reuses both the stencil mask (same
+        # predicate) and the depth copy (same column).
+        engine.median("data_count", _predicate())
+        assert engine.plan.stats.stencil_hits >= 1
+        assert engine.plan.stats.depth_hits >= 1
+
+    def test_unfused_engine_never_caches(self, small_relation):
+        engine = GpuEngine(small_relation, fusion=False)
+        engine.select(_predicate())
+        engine.median("data_count", _predicate())
+        assert engine.plan.stats.depth_hits == 0
+        assert engine.plan.stats.stencil_hits == 0

@@ -1,0 +1,124 @@
+"""The unified result/explain API: Database.explain, the Device enum,
+and the cost accessors shared by GpuOpResult / CpuOpResult / QueryResult."""
+
+import pytest
+
+from repro.core import CpuEngine, GpuEngine
+from repro.errors import SqlPlanError
+from repro.gpu.counters import PipelineStats
+from repro.plan import PassSchedule
+from repro.sql import Database, Device, DeviceChoice
+
+
+SQL = (
+    "SELECT COUNT(*), MEDIAN(data_count) FROM tcpip "
+    "WHERE data_count >= 1000 AND data_count < 400000"
+)
+
+
+@pytest.fixture()
+def db(small_relation):
+    database = Database()
+    database.register(small_relation)
+    return database
+
+
+class TestDeviceEnum:
+    def test_device_is_devicechoice(self):
+        assert Device is DeviceChoice
+
+    def test_enum_accepted_without_warning(self, db, recwarn):
+        db.query(SQL, device=Device.GPU)
+        db.plan(SQL, device=Device.AUTO)
+        deprecations = [
+            w for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert not deprecations
+
+    def test_string_form_warns_but_works(self, db):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            result = db.query(SQL, device="gpu")
+        assert result.device is Device.GPU
+
+    def test_unknown_string_still_typed_error(self, db):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SqlPlanError):
+                db.query(SQL, device="warp-drive")
+
+    def test_result_device_field_is_enum(self, db):
+        assert db.query(SQL, device=Device.CPU).device is Device.CPU
+
+
+class TestExplain:
+    def test_explain_returns_a_fused_schedule(self, db):
+        schedule = db.explain(SQL, device=Device.GPU)
+        assert isinstance(schedule, PassSchedule)
+        assert schedule.device == "gpu"
+        # Same-column CNF plus a same-column aggregate: everything
+        # rides a single copy-to-depth.
+        assert schedule.copy_passes == 1
+        assert schedule.fused_copies >= 2
+
+    def test_explain_renders_text(self, db):
+        text = db.explain(SQL, device=Device.GPU).render_text()
+        assert "schedule query ON tcpip [gpu]" in text
+        assert "copy-to-depth data_count" in text
+        assert "fusion saved" in text
+
+    def test_explain_does_not_execute(self, db, small_relation):
+        db.explain(SQL, device=Device.GPU)
+        engine = db.gpu_engine(small_relation.name)
+        assert engine.plan.stats.depth_misses == 0
+
+    def test_unfused_explain_shows_the_baseline(self, db):
+        fused = db.explain(SQL, device=Device.GPU)
+        unfused = db.explain(SQL, device=Device.GPU, fuse=False)
+        assert unfused.copy_passes > fused.copy_passes
+        assert fused.copy_passes <= 0.7 * unfused.copy_passes
+
+    def test_explain_respects_auto_choice(self, db):
+        schedule = db.explain(SQL)  # AUTO resolves via the cost model
+        assert schedule.device in ("gpu", "cpu")
+
+
+class TestUnifiedAccessors:
+    def test_gpu_op_result_accessors(self, small_relation):
+        result = GpuEngine(small_relation).median("data_count")
+        assert result.pass_count > 0
+        assert result.time_ms > 0
+        assert isinstance(result.stats, PipelineStats)
+        assert result.stats.num_passes == result.pass_count
+
+    def test_cpu_op_result_accessors(self, small_relation):
+        result = CpuEngine(small_relation).median("data_count")
+        assert result.pass_count == 0
+        assert result.time_ms == result.modeled_ms
+        assert result.stats.num_passes == 0
+
+    def test_query_result_gpu_accessors(self, db):
+        result = db.query(SQL, device=Device.GPU)
+        assert result.pass_count > 0
+        assert result.time_ms > 0
+        assert result.stats.num_passes == result.pass_count
+        assert result.op_results  # the probe + median at minimum
+
+    def test_query_result_cpu_accessors(self, db):
+        result = db.query(SQL, device=Device.CPU)
+        assert result.pass_count == 0
+        assert result.time_ms > 0
+        assert result.stats.num_passes == 0
+
+    def test_count_items_reuse_the_probe(self, db, small_relation):
+        """COUNT(*) with a WHERE must not re-run the selection: the
+        executor reuses the probe's count (the fused lowering)."""
+        result = db.query(SQL, device=Device.GPU)
+        ops = [
+            span
+            for r in result.op_results
+            for span in [r]
+        ]
+        # Exactly one probe count; MEDIAN rides the stencil cache.
+        assert len(ops) == 2
+        expected = db.query(SQL, device=Device.CPU)
+        assert result.rows == expected.rows

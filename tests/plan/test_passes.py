@@ -1,0 +1,119 @@
+"""The pass-schedule IR: node descriptions, schedule accounting,
+predicate keys, and text rendering."""
+
+import pytest
+
+from repro.core.predicates import And, Between, Comparison, Not, Or
+from repro.errors import QueryError
+from repro.gpu.types import CompareFunc
+from repro.plan import (
+    CompareQuadPass,
+    CopyDepthPass,
+    OcclusionCountPass,
+    PassSchedule,
+    StencilCNFPass,
+    predicate_columns,
+    predicate_key,
+)
+
+
+class TestPredicateKey:
+    def test_structurally_equal_predicates_share_a_key(self):
+        a = Comparison("data_count", CompareFunc.GEQUAL, 1000)
+        b = Comparison("data_count", CompareFunc.GEQUAL, 1000)
+        assert a is not b
+        assert predicate_key(a) == predicate_key(b)
+
+    def test_different_constants_get_different_keys(self):
+        a = Comparison("data_count", CompareFunc.GEQUAL, 1000)
+        b = Comparison("data_count", CompareFunc.GEQUAL, 1001)
+        assert predicate_key(a) != predicate_key(b)
+
+    def test_compound_keys_recurse(self):
+        left = And(
+            Comparison("a", CompareFunc.LESS, 5),
+            Between("b", 1, 9),
+        )
+        right = And(
+            Comparison("a", CompareFunc.LESS, 5),
+            Between("b", 1, 9),
+        )
+        assert predicate_key(left) == predicate_key(right)
+        assert predicate_key(Not(left)) != predicate_key(left)
+        assert predicate_key(
+            Or(Comparison("a", CompareFunc.LESS, 5), Between("b", 1, 9))
+        ) != predicate_key(left)
+
+    def test_keys_are_hashable(self):
+        key = predicate_key(
+            And(Comparison("a", CompareFunc.LESS, 5), Between("b", 1, 9))
+        )
+        assert {key: 1}[key] == 1
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(QueryError):
+            predicate_key("not a predicate")
+
+
+class TestPredicateColumns:
+    def test_first_reference_order_without_duplicates(self):
+        predicate = And(
+            Comparison("b", CompareFunc.LESS, 5),
+            Between("a", 1, 9),
+            Comparison("b", CompareFunc.GREATER, 1),
+        )
+        assert predicate_columns(predicate) == ("b", "a")
+
+
+class TestOcclusionCountPass:
+    def test_batched_harvest_pays_one_stall(self):
+        assert OcclusionCountPass(queries=8, batched=True).stalls == 1
+
+    def test_synchronous_harvest_pays_one_stall_per_query(self):
+        assert OcclusionCountPass(queries=8, batched=False).stalls == 8
+
+    def test_empty_harvest_is_free(self):
+        assert OcclusionCountPass(queries=0).stalls == 0
+
+
+def _schedule():
+    return PassSchedule(
+        op="select",
+        table="tcpip",
+        nodes=[
+            CopyDepthPass(column="data_count"),
+            CompareQuadPass(
+                column="data_count", kind="compare",
+                detail="data_count >= 1000", counted=True,
+            ),
+            StencilCNFPass(label="cnf-cleanup", clause=1),
+            OcclusionCountPass(queries=1, batched=False),
+        ],
+        fused_copies=1,
+        meta={"predicate": "data_count >= 1000"},
+    )
+
+
+class TestPassSchedule:
+    def test_pass_accounting(self):
+        schedule = _schedule()
+        assert schedule.copy_passes == 1
+        assert schedule.render_passes == 3  # harvest is not a pass
+        assert schedule.stalls == 1
+
+    def test_render_text_mirrors_trace_shape(self):
+        text = _schedule().render_text()
+        assert "schedule select ON tcpip [gpu]" in text
+        assert "copy-to-depth data_count" in text
+        assert "[counted]" in text
+        assert "stencil cnf-cleanup (clause 1)" in text
+        assert "harvest 1 occlusion result" in text
+        assert "3 passes (1 copy), 1 stalls" in text
+        assert "fusion saved 1 copy passes" in text
+
+    def test_render_text_without_fusion_facts_omits_the_line(self):
+        schedule = PassSchedule(
+            op="count", table="t",
+            nodes=[OcclusionCountPass(queries=1, batched=False)],
+        )
+        assert "fusion saved" not in schedule.render_text()

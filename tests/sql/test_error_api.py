@@ -22,7 +22,7 @@ from repro.faults import (
     ResilientExecutor,
     use_faults,
 )
-from repro.sql import Database
+from repro.sql import Database, Device
 
 
 def _database(n=2000):
@@ -57,7 +57,7 @@ class TestGpuErrorWrapping:
             with pytest.raises(QueryError) as excinfo:
                 db.query(
                     "SELECT COUNT(*) FROM t WHERE a > 10",
-                    device="gpu",
+                    device=Device.GPU,
                 )
         assert "GPU execution failed" in str(excinfo.value)
         assert isinstance(excinfo.value.__cause__, DeviceLostError)
@@ -70,7 +70,7 @@ class TestGpuErrorWrapping:
             with pytest.raises(QueryError) as excinfo:
                 db.query(
                     "SELECT MEDIAN(a) FROM t WHERE b < 100",
-                    device="gpu",
+                    device=Device.GPU,
                 )
         assert isinstance(excinfo.value.__cause__, DeviceLostError)
 
@@ -79,7 +79,7 @@ class TestGpuErrorWrapping:
         db = _database(n=100_000)
         db.executor = ResilientExecutor()
         sql = "SELECT COUNT(*) FROM t WHERE a > 10"
-        expected = db.query(sql, device="cpu")
+        expected = db.query(sql, device=Device.CPU)
         plan = FaultPlan(_DEVICE_LOST_FOREVER)
         with use_faults(plan):
             result = db.query(sql)
@@ -92,7 +92,7 @@ class TestGpuErrorWrapping:
         plan = FaultPlan(_DEVICE_LOST_FOREVER)
         with use_faults(plan):
             result = db.query(
-                "SELECT SUM(a) FROM t WHERE b < 100", device="cpu"
+                "SELECT SUM(a) FROM t WHERE b < 100", device=Device.CPU
             )
         assert not result.fallback
         assert len(result.rows) == 1

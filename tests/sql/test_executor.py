@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import Column, Relation
 from repro.errors import SqlPlanError
-from repro.sql import Database
+from repro.sql import Database, Device
 
 
 @pytest.fixture(scope="module")
@@ -30,7 +30,7 @@ class TestQueries:
         expected = int(
             np.count_nonzero(relation.column("a").values >= 2048)
         )
-        for device in ("gpu", "cpu", "auto"):
+        for device in (Device.GPU, Device.CPU, Device.AUTO):
             result = database.query(
                 "SELECT COUNT(*) FROM t WHERE a >= 2048",
                 device=device,
@@ -41,7 +41,7 @@ class TestQueries:
         result = database.query(
             "SELECT COUNT(*), MIN(b), MAX(b), SUM(b) FROM t "
             "WHERE a BETWEEN 1000 AND 3000",
-            device="gpu",
+            device=Device.GPU,
         )
         relation = database.relation("t")
         a = relation.column("a").values
@@ -67,14 +67,14 @@ class TestQueries:
             "SELECT COUNT(*), SUM(b), AVG(b), MIN(b), MAX(b), "
             "MEDIAN(b) FROM t WHERE a >= 1024 AND b < 200"
         )
-        gpu = database.query(sql, device="gpu")
-        cpu = database.query(sql, device="cpu")
+        gpu = database.query(sql, device=Device.GPU)
+        cpu = database.query(sql, device=Device.CPU)
         for left, right in zip(gpu.rows[0], cpu.rows[0]):
             assert left == pytest.approx(right)
 
     def test_projection_rows(self, database):
         result = database.query(
-            "SELECT a, b FROM t WHERE a >= 4000", device="gpu"
+            "SELECT a, b FROM t WHERE a >= 4000", device=Device.GPU
         )
         relation = database.relation("t")
         mask = relation.column("a").values >= 4000
@@ -85,17 +85,17 @@ class TestQueries:
 
     def test_star_projection(self, database):
         result = database.query(
-            "SELECT * FROM t WHERE a = 0", device="cpu"
+            "SELECT * FROM t WHERE a = 0", device=Device.CPU
         )
         assert result.columns == ["a", "b"]
 
     def test_projection_without_where(self, database):
-        result = database.query("SELECT b FROM t", device="cpu")
+        result = database.query("SELECT b FROM t", device=Device.CPU)
         assert len(result) == 3000
 
     def test_alias_in_result_columns(self, database):
         result = database.query(
-            "SELECT COUNT(*) AS n FROM t", device="cpu"
+            "SELECT COUNT(*) AS n FROM t", device=Device.CPU
         )
         assert result.columns == ["n"]
         assert result.scalar == 3000
@@ -106,7 +106,7 @@ class TestQueries:
         b = relation.column("b").values
         expected = int(np.count_nonzero(a > b))
         result = database.query(
-            "SELECT COUNT(*) FROM t WHERE a > b", device="gpu"
+            "SELECT COUNT(*) FROM t WHERE a > b", device=Device.GPU
         )
         assert result.scalar == expected
 
@@ -118,19 +118,19 @@ class TestErrors:
 
     def test_mixed_aggregate_and_column_rejected(self, database):
         with pytest.raises(SqlPlanError, match="mixing aggregates"):
-            database.query("SELECT COUNT(*), a FROM t", device="cpu")
+            database.query("SELECT COUNT(*), a FROM t", device=Device.CPU)
         with pytest.raises(SqlPlanError, match="mixing aggregates"):
-            database.query("SELECT COUNT(*), a FROM t", device="gpu")
+            database.query("SELECT COUNT(*), a FROM t", device=Device.GPU)
 
     def test_scalar_on_multi_column_result(self, database):
         result = database.query(
-            "SELECT COUNT(*), SUM(b) FROM t", device="cpu"
+            "SELECT COUNT(*), SUM(b) FROM t", device=Device.CPU
         )
         with pytest.raises(SqlPlanError, match="scalar"):
             result.scalar
 
     def test_missing_result_column(self, database):
-        result = database.query("SELECT COUNT(*) FROM t", device="cpu")
+        result = database.query("SELECT COUNT(*) FROM t", device=Device.CPU)
         with pytest.raises(SqlPlanError, match="no result column"):
             result.column("zzz")
 
@@ -141,21 +141,21 @@ class TestErrors:
         )
         database.register(relation)
         assert database.query(
-            "SELECT COUNT(*) FROM tmp", device="cpu"
+            "SELECT COUNT(*) FROM tmp", device=Device.CPU
         ).scalar == 3
         replacement = Relation(
             "tmp", [Column.integer("x", [1, 2, 3, 4])]
         )
         database.register(replacement)
         assert database.query(
-            "SELECT COUNT(*) FROM tmp", device="cpu"
+            "SELECT COUNT(*) FROM tmp", device=Device.CPU
         ).scalar == 4
 
 
 class TestPlanSurface:
     def test_plan_exposed_on_result(self, database):
         result = database.query(
-            "SELECT COUNT(*) FROM t WHERE a > 100", device="auto"
+            "SELECT COUNT(*) FROM t WHERE a > 100", device=Device.AUTO
         )
         assert result.plan.estimated_gpu_s > 0
         assert result.plan.estimated_cpu_s > 0

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.core import Column, Relation
 from repro.errors import SqlError
-from repro.sql import Database
+from repro.sql import Database, Device
 from repro.sql.lexer import tokenize
 from repro.sql.parser import parse
 
@@ -96,14 +96,14 @@ class TestFuzz:
     def test_where_clauses_parse_and_agree(self, database, condition):
         sql = f"SELECT COUNT(*) FROM t WHERE {condition}"
         try:
-            gpu = database.query(sql, device="gpu").scalar
+            gpu = database.query(sql, device=Device.GPU).scalar
         except SqlError:
             # Structurally valid but semantically rejected (e.g. CNF
             # blowup) — must be rejected identically on both devices.
             with pytest.raises(SqlError):
-                database.query(sql, device="cpu")
+                database.query(sql, device=Device.CPU)
             return
-        cpu = database.query(sql, device="cpu").scalar
+        cpu = database.query(sql, device=Device.CPU).scalar
         assert gpu == cpu
         assert 0 <= gpu <= 800
 
@@ -112,12 +112,12 @@ class TestFuzz:
     def test_aggregate_lists_agree(self, database, items, condition):
         sql = f"SELECT {items} FROM t WHERE {condition}"
         try:
-            gpu = database.query(sql, device="gpu")
+            gpu = database.query(sql, device=Device.GPU)
         except SqlError:
             with pytest.raises(SqlError):
-                database.query(sql, device="cpu")
+                database.query(sql, device=Device.CPU)
             return
-        cpu = database.query(sql, device="cpu")
+        cpu = database.query(sql, device=Device.CPU)
         assert gpu.columns == cpu.columns
         for left, right in zip(gpu.rows[0], cpu.rows[0]):
             assert left == pytest.approx(right)
@@ -130,12 +130,12 @@ class TestFuzz:
             "GROUP BY g"
         )
         try:
-            gpu = database.query(sql, device="gpu")
+            gpu = database.query(sql, device=Device.GPU)
         except SqlError:
             with pytest.raises(SqlError):
-                database.query(sql, device="cpu")
+                database.query(sql, device=Device.CPU)
             return
-        cpu = database.query(sql, device="cpu")
+        cpu = database.query(sql, device=Device.CPU)
         assert gpu.rows == cpu.rows
 
     @given(condition=conditions())
@@ -157,7 +157,7 @@ class TestFuzz:
         """Arbitrary token soup either parses or raises SqlError —
         nothing else escapes."""
         try:
-            database.query(text, device="cpu")
+            database.query(text, device=Device.CPU)
         except SqlError:
             pass
 

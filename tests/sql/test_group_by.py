@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import Column, Relation
 from repro.errors import SqlPlanError, SqlSyntaxError
-from repro.sql import Database
+from repro.sql import Database, Device
 from repro.sql.parser import parse
 
 
@@ -84,8 +84,8 @@ class TestValidation:
 class TestExecution:
     def test_devices_agree(self, database):
         sql = "SELECT COUNT(*), SUM(a), MIN(a), MAX(a) FROM t GROUP BY g"
-        gpu = database.query(sql, device="gpu")
-        cpu = database.query(sql, device="cpu")
+        gpu = database.query(sql, device=Device.GPU)
+        cpu = database.query(sql, device=Device.CPU)
         assert gpu.columns == cpu.columns == [
             "g",
             "COUNT(*)",
@@ -100,7 +100,7 @@ class TestExecution:
         groups = relation.column("g").values.astype(np.int64)
         values = relation.column("a").values.astype(np.int64)
         result = database.query(
-            "SELECT COUNT(*), SUM(a) FROM t GROUP BY g", device="gpu"
+            "SELECT COUNT(*), SUM(a) FROM t GROUP BY g", device=Device.GPU
         )
         assert len(result) == np.unique(groups).size
         for key, count, total in result.rows:
@@ -114,7 +114,7 @@ class TestExecution:
         values = relation.column("a").values.astype(np.int64)
         result = database.query(
             "SELECT COUNT(*) FROM t WHERE a >= 900 GROUP BY g",
-            device="gpu",
+            device=Device.GPU,
         )
         for key, count in result.rows:
             assert count == int(
@@ -133,13 +133,13 @@ class TestExecution:
         db.register(relation)
         result = db.query(
             "SELECT COUNT(*) FROM s WHERE a >= 50 GROUP BY g",
-            device="gpu",
+            device=Device.GPU,
         )
         assert result.rows == [(1, 2)]
 
     def test_group_keys_sorted(self, database):
         result = database.query(
-            "SELECT COUNT(*) FROM t GROUP BY g", device="gpu"
+            "SELECT COUNT(*) FROM t GROUP BY g", device=Device.GPU
         )
         keys = [row[0] for row in result.rows]
         assert keys == sorted(keys)
@@ -149,7 +149,7 @@ class TestExecution:
         groups = relation.column("g").values.astype(np.int64)
         values = relation.column("a").values.astype(np.int64)
         result = database.query(
-            "SELECT MEDIAN(a) FROM t GROUP BY g", device="gpu"
+            "SELECT MEDIAN(a) FROM t GROUP BY g", device=Device.GPU
         )
         for key, med in result.rows:
             selected = np.sort(values[groups == key])[::-1]

@@ -6,7 +6,7 @@ import pytest
 from repro.core import Column, Relation
 from repro.errors import SqlPlanError, SqlSyntaxError
 from repro.ext import nested_loop_join
-from repro.sql import Database
+from repro.sql import Database, Device
 from repro.sql.parser import parse
 
 
@@ -122,7 +122,7 @@ class TestExecution:
 
     def test_count_matches_nested_loop(self, database):
         expected = self._expected_pairs(database).shape[0]
-        for device in ("gpu", "cpu", "auto"):
+        for device in (Device.GPU, Device.CPU, Device.AUTO):
             assert (
                 database.query(self.SQL, device=device).scalar
                 == expected
@@ -133,8 +133,8 @@ class TestExecution:
             "SELECT orders.amount, customers.tier FROM orders "
             "JOIN customers ON orders.cid = customers.id"
         )
-        gpu = database.query(sql, device="gpu")
-        cpu = database.query(sql, device="cpu")
+        gpu = database.query(sql, device=Device.GPU)
+        cpu = database.query(sql, device=Device.CPU)
         assert gpu.columns == cpu.columns
         assert gpu.rows == cpu.rows
         assert len(gpu) == self._expected_pairs(database).shape[0]
@@ -144,7 +144,7 @@ class TestExecution:
             "SELECT orders.cid, customers.id FROM orders "
             "JOIN customers ON orders.cid = customers.id"
         )
-        result = database.query(sql, device="gpu")
+        result = database.query(sql, device=Device.GPU)
         for left_value, right_value in result.rows:
             assert left_value == right_value
 
@@ -153,7 +153,7 @@ class TestExecution:
             "SELECT * FROM orders JOIN customers "
             "ON orders.cid = customers.id"
         )
-        result = database.query(sql, device="cpu")
+        result = database.query(sql, device=Device.CPU)
         assert result.columns == [
             "orders.cid",
             "orders.amount",
@@ -174,7 +174,7 @@ class TestExecution:
         assert (
             db.query(
                 "SELECT COUNT(*) FROM l JOIN r ON l.a = r.b",
-                device="gpu",
+                device=Device.GPU,
             ).scalar
             == 0
         )

@@ -22,6 +22,7 @@ from repro.core.predicates import And, Comparison, Or
 from repro.gpu.types import CompareFunc
 from repro.olap import DataCube
 from repro.streams import ContinuousQuery, StreamEngine
+from repro.sql import Device
 
 
 @pytest.fixture(scope="module")
@@ -171,8 +172,8 @@ class TestComposition:
         db = Database()
         db.register(relation)
         sql = "SELECT SUM(price), MAX(price) FROM mix GROUP BY g"
-        gpu_rows = db.query(sql, device="gpu").rows
-        cpu_rows = db.query(sql, device="cpu").rows
+        gpu_rows = db.query(sql, device=Device.GPU).rows
+        cpu_rows = db.query(sql, device=Device.CPU).rows
         assert gpu_rows == cpu_rows
         groups = relation.column("g").values.astype(np.int64)
         stored = np.round(

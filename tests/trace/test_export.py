@@ -8,7 +8,7 @@ import numpy as np
 from repro.core import Column, GpuEngine, Relation
 from repro.core.predicates import Comparison
 from repro.gpu.types import CompareFunc
-from repro.sql import Database
+from repro.sql import Database, Device
 from repro.trace import (
     Tracer,
     chrome_trace,
@@ -59,7 +59,7 @@ class TestChromeTrace:
         events = decoded["traceEvents"]
         assert events, "expected at least one event"
         for event in events:
-            assert event["ph"] in ("X", "M")
+            assert event["ph"] in ("X", "M", "i")
             if event["ph"] == "X":
                 assert event["dur"] >= 0
                 assert "ts" in event and "pid" in event and "tid" in event
@@ -120,19 +120,20 @@ class TestDatabaseQueryTrace:
         self, small_relation
     ):
         db = self._db(small_relation)
-        result = db.query(self.SQL, device="gpu", trace=True)
+        result = db.query(self.SQL, device=Device.GPU, trace=True)
         assert result.trace is not None
         query = result.trace.find("query")
         assert query.attrs["sql"] == self.SQL
 
         # The executor's empty-selection probe runs the CNF selection
-        # once (3 passes per clause), then MEDIAN re-runs it and does
-        # the KthLargest bit search: copy + one pass per bit.
+        # once (3 passes per clause); MEDIAN then hits the stencil
+        # result cache (the mask is untouched since the probe), so it
+        # pays only the KthLargest bit search: copy + one pass per bit.
         bits = small_relation.column("data_count").bits
         select_span = result.trace.find("select")
         assert select_span.num_passes == 3 * 2  # two CNF clauses
         median_span = result.trace.find("median")
-        assert median_span.num_passes == 3 * 2 + 1 + bits
+        assert median_span.num_passes == 1 + bits
 
         # KthLargest's bit-binary-search: the final `bits` passes each
         # ran under an occlusion query (the selection's count pass uses
@@ -145,26 +146,26 @@ class TestDatabaseQueryTrace:
 
     def test_chrome_export_of_query_trace_is_valid(self, small_relation):
         db = self._db(small_relation)
-        result = db.query(self.SQL, device="gpu", trace=True)
+        result = db.query(self.SQL, device=Device.GPU, trace=True)
         payload = json.loads(json.dumps(chrome_trace(result.trace)))
         assert payload["traceEvents"]
 
     def test_untraced_query_has_no_trace(self, small_relation):
         db = self._db(small_relation)
-        result = db.query(self.SQL, device="gpu")
+        result = db.query(self.SQL, device=Device.GPU)
         assert result.trace is None
 
     def test_tracer_is_detached_after_query(self, small_relation):
         db = self._db(small_relation)
-        db.query(self.SQL, device="gpu", trace=True)
+        db.query(self.SQL, device=Device.GPU, trace=True)
         assert db.gpu_engine("tcpip").tracer is None
-        first = db.query(self.SQL, device="gpu", trace=True)
-        second = db.query(self.SQL, device="gpu", trace=True)
+        first = db.query(self.SQL, device=Device.GPU, trace=True)
+        second = db.query(self.SQL, device=Device.GPU, trace=True)
         assert first.trace.num_passes == second.trace.num_passes
 
     def test_cpu_query_traces_op_spans(self, small_relation):
         db = self._db(small_relation)
-        result = db.query(self.SQL, device="cpu", trace=True)
+        result = db.query(self.SQL, device=Device.CPU, trace=True)
         median = result.trace.find("median")
         assert median.num_passes == 0  # the CPU issues no passes
         assert median.modeled_ms is not None and median.modeled_ms > 0
