@@ -20,8 +20,16 @@ figures:
 figures-paper:
 	python -m repro.bench --scale paper --markdown
 
+# repro-lint (pure stdlib) always runs; ruff/mypy run when installed.
 lint:
 	python -m compileall -q src tests benchmarks examples
+	PYTHONPATH=src python -m repro.analysis.cli src/repro
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else echo "ruff not installed; skipping"; fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		PYTHONPATH=src mypy -p repro.analysis -p repro.plan; \
+	else echo "mypy not installed; skipping"; fi
 
 # Trace the figure-9 workload (selection + masked median) per pass;
 # writes traces/fig9.txt (pass tree) and traces/fig9.json (load in

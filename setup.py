@@ -7,6 +7,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-bench = repro.bench.cli:main",
+            "repro-lint = repro.analysis.cli:main",
         ],
     }
 )

@@ -1,0 +1,55 @@
+"""Static analysis: schedule verification and the ``repro-lint`` rules.
+
+Two complementary correctness tools live here, both producing typed,
+span-carrying diagnostics (:mod:`repro.analysis.diagnostics`):
+
+* **Schedule verifier** (:func:`verify_schedule`) — abstractly
+  interprets a compiled :class:`~repro.plan.PassSchedule` over symbolic
+  depth / stencil / occlusion-query state and rejects hazards before
+  any device call: stale depth reuse, EvalCNF {0,1,2} stencil-protocol
+  violations, comparisons against depth never populated by a copy,
+  occlusion queries leaked or double-harvested, and cache keys that do
+  not cover every texture generation the schedule reads.  Wired into
+  ``GpuEngine(debug=True)`` and ``Database.explain(sql, verify=True)``.
+
+* **Codebase linter** (:func:`lint_paths`, the ``repro-lint`` CLI) —
+  AST rules over the repository catching our recurring bug shapes: raw
+  :class:`~repro.gpu.pipeline.Device` calls from layers that must route
+  through :class:`~repro.faults.ResilientExecutor`-wrapped engines,
+  stencil readbacks without a ``stencil_generation`` staleness check,
+  bare ``except`` clauses that would swallow
+  :class:`~repro.errors.GpuError`, float equality on fixed-point /
+  bias-encoded values, and the deprecated string device form.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    Severity,
+    Span,
+    VerificationReport,
+)
+from .interpreter import assert_verified, verify_schedule
+from .lint import (
+    LINT_RULES,
+    LintFinding,
+    LintRule,
+    lint_paths,
+    lint_source,
+)
+from .rules import HAZARD_RULES, Rule
+
+__all__ = [
+    "Diagnostic",
+    "HAZARD_RULES",
+    "LINT_RULES",
+    "LintFinding",
+    "LintRule",
+    "Rule",
+    "Severity",
+    "Span",
+    "VerificationReport",
+    "assert_verified",
+    "lint_paths",
+    "lint_source",
+    "verify_schedule",
+]

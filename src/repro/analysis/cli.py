@@ -1,0 +1,56 @@
+"""The ``repro-lint`` command-line gate.
+
+Runs the :mod:`repro.analysis.lint` rules over the given paths
+(default: ``src/repro``) and exits non-zero on any finding, so CI can
+use it as a blocking job with no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .lint import LINT_RULES, lint_paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Lint the repro codebase for its recurring bug shapes "
+            "(raw device calls, unchecked stencil reads, swallowed "
+            "GpuError, float equality on encoded values, string "
+            "device forms)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        for rule in LINT_RULES:
+            print(f"{rule.code} {rule.name}: {rule.summary}")
+        return 0
+    findings = lint_paths(options.paths)
+    for finding in findings:
+        print(finding.render_text())
+    if findings:
+        print(
+            f"repro-lint: {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''}"
+        )
+        return 1
+    print("repro-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

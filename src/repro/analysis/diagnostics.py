@@ -1,0 +1,113 @@
+"""Typed, span-carrying diagnostics for the schedule verifier.
+
+Every hazard the verifier rejects is reported as a :class:`Diagnostic`
+carrying the rule that fired, a severity, and the :class:`Span` of pass
+indices it anchors to — so ``render_text()`` output lines up with
+:meth:`repro.plan.PassSchedule.render_text`, whose ``- `` node lines
+are exactly the indices the spans cite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..errors import PlanVerificationError
+from ..plan.passes import PassSchedule
+
+
+class Severity(enum.Enum):
+    """How bad a finding is: errors fail verification, warnings do not."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """An inclusive range of node indices into ``PassSchedule.nodes``.
+
+    ``start == end`` pins a single pass; ``Span.at_end(n)`` marks a
+    hazard detected after the final pass (e.g. a leaked query).
+    """
+
+    start: int
+    end: int
+
+    @classmethod
+    def at(cls, index: int) -> "Span":
+        return cls(start=index, end=index)
+
+    @classmethod
+    def at_end(cls, num_nodes: int) -> "Span":
+        index = max(num_nodes - 1, 0)
+        return cls(start=index, end=index)
+
+    def render(self) -> str:
+        if self.start == self.end:
+            return f"pass {self.start}"
+        return f"passes {self.start}-{self.end}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding: a typed rule violation at a span."""
+
+    code: str
+    name: str
+    severity: Severity
+    message: str
+    span: Span
+
+    def render_text(self) -> str:
+        return (
+            f"{self.code} {self.name} [{self.severity.value}] "
+            f"at {self.span.render()}: {self.message}"
+        )
+
+
+@dataclasses.dataclass
+class VerificationReport:
+    """Every diagnostic one schedule produced, plus the verdict."""
+
+    schedule: PassSchedule
+    diagnostics: list[Diagnostic]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity diagnostic fired."""
+        return not any(
+            d.severity is Severity.ERROR for d in self.diagnostics
+        )
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity is Severity.ERROR
+        ]
+
+    def render_text(self) -> str:
+        """Human-readable report mirroring the schedule text format."""
+        verdict = "ok" if self.ok else "REJECTED"
+        header = (
+            f"verify {self.schedule.op} ON {self.schedule.table} "
+            f"[{verdict}]"
+        )
+        lines = [header]
+        if not self.diagnostics:
+            lines.append("  (no hazards)")
+        for diagnostic in self.diagnostics:
+            lines.append(f"  ! {diagnostic.render_text()}")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`~repro.errors.PlanVerificationError` when any
+        error-severity hazard fired."""
+        if self.ok:
+            return
+        raise PlanVerificationError(
+            f"schedule {self.schedule.op!r} ON "
+            f"{self.schedule.table!r} failed verification:\n"
+            + self.render_text(),
+            report=self,
+        )

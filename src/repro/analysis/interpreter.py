@@ -1,0 +1,288 @@
+"""The abstract schedule interpreter: verify before the device runs.
+
+:func:`verify_schedule` walks a compiled
+:class:`~repro.plan.PassSchedule` node by node, updating the symbolic
+:class:`~repro.analysis.state.AbstractState` and firing the hazard
+rules of :mod:`repro.analysis.rules` whenever a transition would be
+unsound on real hardware.  The interpretation is conservative: it never
+executes a pass, so a clean report means the schedule cannot corrupt
+results through the invariants modeled here — stale depth, the EvalCNF
+stencil protocol, occlusion-query balance, and cache-key coverage.
+"""
+
+from __future__ import annotations
+
+from ..plan.passes import (
+    CompareQuadPass,
+    CopyDepthPass,
+    OcclusionCountPass,
+    PassNode,
+    PassSchedule,
+    StencilCNFPass,
+)
+from .diagnostics import (
+    Diagnostic,
+    Severity,
+    Span,
+    VerificationReport,
+)
+from .rules import (
+    CNF_PROTOCOL,
+    DOUBLE_HARVEST,
+    MISSING_COPY,
+    OCCLUSION_LEAK,
+    STALE_DEPTH,
+    UNDER_KEYED_CACHE,
+)
+from .state import AbstractState
+
+
+def verify_schedule(schedule: PassSchedule) -> VerificationReport:
+    """Abstractly interpret ``schedule`` and report every hazard."""
+    state = AbstractState()
+    diagnostics: list[Diagnostic] = []
+    for index, node in enumerate(schedule.nodes):
+        _step(node, index, state, diagnostics)
+    _finish(schedule, state, diagnostics)
+    return VerificationReport(
+        schedule=schedule, diagnostics=diagnostics
+    )
+
+
+def assert_verified(schedule: PassSchedule) -> VerificationReport:
+    """Verify ``schedule``; raise
+    :class:`~repro.errors.PlanVerificationError` on any hazard."""
+    report = verify_schedule(schedule)
+    report.raise_if_failed()
+    return report
+
+
+# -- transfer functions ------------------------------------------------------
+
+
+def _step(
+    node: PassNode,
+    index: int,
+    state: AbstractState,
+    diagnostics: list[Diagnostic],
+) -> None:
+    for resource in node.reads():
+        if resource.startswith("texture:"):
+            state.columns_read.add(resource.split(":", 1)[1])
+    if isinstance(node, CopyDepthPass):
+        state.note_copy(node.column)
+    elif isinstance(node, CompareQuadPass):
+        _step_quad(node, index, state, diagnostics)
+    elif isinstance(node, StencilCNFPass):
+        _step_stencil(node, index, state, diagnostics)
+    elif isinstance(node, OcclusionCountPass):
+        _step_harvest(node, index, state, diagnostics)
+
+
+def _step_quad(
+    node: CompareQuadPass,
+    index: int,
+    state: AbstractState,
+    diagnostics: list[Diagnostic],
+) -> None:
+    if node.reads_depth:
+        if state.depth_holds is None:
+            diagnostics.append(MISSING_COPY.diagnostic(
+                Span.at(index),
+                f"{node.kind} quad on {node.column!r} tests the depth "
+                "buffer, but no copy-to-depth pass ever populated it",
+            ))
+        elif state.depth_holds != node.column:
+            diagnostics.append(STALE_DEPTH.diagnostic(
+                Span.at(index),
+                f"{node.kind} quad on {node.column!r} tests the depth "
+                f"buffer while it holds {state.depth_holds!r}",
+            ))
+    if node.counted:
+        state.begin_query(index)
+
+
+def _step_stencil(
+    node: StencilCNFPass,
+    index: int,
+    state: AbstractState,
+    diagnostics: list[Diagnostic],
+) -> None:
+    label = node.label
+    if label == "cnf-cleanup":
+        _step_cnf_cleanup(node, index, state, diagnostics)
+    elif label == "dnf-arm":
+        _step_dnf_arm(node, index, state, diagnostics)
+    elif label == "dnf-invalidate":
+        if state.dnf_armed != node.clause or state.dnf_accepted:
+            diagnostics.append(CNF_PROTOCOL.diagnostic(
+                Span.at(index),
+                f"dnf-invalidate for clause {node.clause} while "
+                f"clause {state.dnf_armed} is armed",
+            ))
+    elif label == "dnf-accept":
+        _step_dnf_accept(node, index, state, diagnostics)
+    elif label == "dnf-normalize":
+        _step_dnf_normalize(index, state, diagnostics)
+    else:
+        diagnostics.append(CNF_PROTOCOL.diagnostic(
+            Span.at(index),
+            f"unknown stencil bookkeeping label {label!r}",
+            severity=Severity.WARNING,
+        ))
+    if node.counted:
+        state.begin_query(index)
+
+
+def _step_cnf_cleanup(
+    node: StencilCNFPass,
+    index: int,
+    state: AbstractState,
+    diagnostics: list[Diagnostic],
+) -> None:
+    clause = node.clause
+    if clause == 1:
+        # A fresh EvalCNF run: the stencil was just cleared to 1.
+        state.cnf_clause = 1
+        return
+    expected = (state.cnf_clause or 0) + 1
+    if clause != expected:
+        valid = state.expected_cnf_valid()
+        diagnostics.append(CNF_PROTOCOL.diagnostic(
+            Span.at(index),
+            f"cnf-cleanup for clause {clause} after clause "
+            f"{state.cnf_clause}; the {{0,1,2}} ping-pong expects "
+            f"clause {expected} (valid stencil value {valid})",
+        ))
+        state.cnf_clause = clause if clause is not None else None
+        return
+    state.cnf_clause = clause
+
+
+def _step_dnf_arm(
+    node: StencilCNFPass,
+    index: int,
+    state: AbstractState,
+    diagnostics: list[Diagnostic],
+) -> None:
+    clause = node.clause
+    if state.dnf_armed is not None and not state.dnf_accepted:
+        diagnostics.append(CNF_PROTOCOL.diagnostic(
+            Span.at(index),
+            f"dnf-arm for clause {clause} while clause "
+            f"{state.dnf_armed} was never accepted",
+        ))
+    if clause == 1:
+        state.dnf_last_clause = 0
+        state.dnf_normalizes = 0
+    elif clause != state.dnf_last_clause + 1:
+        diagnostics.append(CNF_PROTOCOL.diagnostic(
+            Span.at(index),
+            f"dnf-arm for clause {clause} after clause "
+            f"{state.dnf_last_clause}",
+        ))
+    state.dnf_armed = clause
+    state.dnf_accepted = False
+
+
+def _step_dnf_accept(
+    node: StencilCNFPass,
+    index: int,
+    state: AbstractState,
+    diagnostics: list[Diagnostic],
+) -> None:
+    if state.dnf_armed != node.clause:
+        diagnostics.append(CNF_PROTOCOL.diagnostic(
+            Span.at(index),
+            f"dnf-accept for clause {node.clause} while clause "
+            f"{state.dnf_armed} is armed",
+        ))
+    elif state.dnf_accepted:
+        diagnostics.append(CNF_PROTOCOL.diagnostic(
+            Span.at(index),
+            f"clause {node.clause} accepted twice: the accept-bit "
+            "INVERT would un-accept already-counted records",
+        ))
+    state.dnf_accepted = True
+    if node.clause is not None:
+        state.dnf_last_clause = node.clause
+
+
+def _step_dnf_normalize(
+    index: int,
+    state: AbstractState,
+    diagnostics: list[Diagnostic],
+) -> None:
+    if state.dnf_armed is not None and not state.dnf_accepted:
+        diagnostics.append(CNF_PROTOCOL.diagnostic(
+            Span.at(index),
+            f"dnf-normalize while clause {state.dnf_armed} was "
+            "never accepted",
+        ))
+    state.dnf_normalizes += 1
+    if state.dnf_normalizes > 2:
+        diagnostics.append(CNF_PROTOCOL.diagnostic(
+            Span.at(index),
+            "more than the protocol's two normalization passes",
+        ))
+    if state.dnf_normalizes >= 2:
+        # The run is fully normalized; a later dnf-arm starts fresh.
+        state.dnf_armed = None
+        state.dnf_accepted = False
+
+
+def _step_harvest(
+    node: OcclusionCountPass,
+    index: int,
+    state: AbstractState,
+    diagnostics: list[Diagnostic],
+) -> None:
+    pending = len(state.pending_queries)
+    if node.queries > pending:
+        diagnostics.append(DOUBLE_HARVEST.diagnostic(
+            Span.at(index),
+            f"harvest of {node.queries} occlusion "
+            f"result{'s' if node.queries != 1 else ''} with only "
+            f"{pending} quer{'ies' if pending != 1 else 'y'} begun",
+        ))
+    taken = min(node.queries, pending)
+    del state.pending_queries[:taken]
+    state.harvested += node.queries
+
+
+def _finish(
+    schedule: PassSchedule,
+    state: AbstractState,
+    diagnostics: list[Diagnostic],
+) -> None:
+    if state.pending_queries:
+        leaked = ", ".join(str(i) for i in state.pending_queries)
+        diagnostics.append(OCCLUSION_LEAK.diagnostic(
+            Span.at_end(len(schedule.nodes)),
+            f"{len(state.pending_queries)} occlusion "
+            f"quer{'ies' if len(state.pending_queries) != 1 else 'y'} "
+            f"begun at pass{'es' if len(state.pending_queries) != 1 else ''} "
+            f"{leaked} never harvested",
+        ))
+    if state.dnf_armed is not None and not state.dnf_accepted:
+        diagnostics.append(CNF_PROTOCOL.diagnostic(
+            Span.at_end(len(schedule.nodes)),
+            f"schedule ends with DNF clause {state.dnf_armed} armed "
+            "but never accepted",
+        ))
+    if state.dnf_normalizes == 1:
+        diagnostics.append(CNF_PROTOCOL.diagnostic(
+            Span.at_end(len(schedule.nodes)),
+            "schedule ends after one dnf-normalize pass; the "
+            "protocol requires two",
+        ))
+    if schedule.cache_key is not None:
+        missing = sorted(state.columns_read - set(schedule.cache_key))
+        if missing:
+            diagnostics.append(UNDER_KEYED_CACHE.diagnostic(
+                Span.at_end(len(schedule.nodes)),
+                "cache key "
+                f"{tuple(schedule.cache_key)!r} does not cover read "
+                f"column{'s' if len(missing) != 1 else ''} "
+                + ", ".join(repr(name) for name in missing),
+            ))

@@ -1,0 +1,333 @@
+"""``repro-lint``: AST rules over the codebase's recurring bug shapes.
+
+Each rule encodes a defect class this repository has actually shipped
+(or nearly shipped) and that generic linters do not know about — raw
+device calls that bypass the resilient-retry layer, stencil readbacks
+without a staleness check, exception handlers that would swallow
+injected :class:`~repro.errors.GpuError` faults, float equality on the
+substrate's fixed-point encodings, and the deprecated string device
+form.  Pure stdlib (:mod:`ast`), so the gate runs anywhere the tests
+run.
+
+Findings on a line ending with ``# repro-lint: disable=<name>[,...]``
+are suppressed for the named rules on that line; when the marker sits
+on a comment-only line, it covers the following line instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import re
+
+
+@dataclasses.dataclass(frozen=True)
+class LintRule:
+    """One lint rule: a code, a slug usable in suppressions, a summary."""
+
+    code: str
+    name: str
+    summary: str
+
+
+RAW_DEVICE = LintRule(
+    "L201",
+    "raw-device",
+    "a layer above the engines constructs a Device or issues mutating "
+    "device calls, bypassing ResilientExecutor retry/fallback",
+)
+
+UNCHECKED_STENCIL_READ = LintRule(
+    "L202",
+    "unchecked-stencil-read",
+    "a function reads the stencil buffer back without consulting "
+    "stencil_generation, so it can consume a stale selection mask",
+)
+
+BARE_EXCEPT = LintRule(
+    "L203",
+    "bare-except",
+    "a bare or blanket except swallows GpuError, hiding injected "
+    "faults from the resilience layer",
+)
+
+FLOAT_EQ = LintRule(
+    "L204",
+    "float-eq",
+    "float equality comparison; fixed-point and bias-encoded values "
+    "must compare via integers or tolerances",
+)
+
+STRING_DEVICE = LintRule(
+    "L205",
+    "string-device",
+    "device= passed as a string literal; use the repro.sql.Device "
+    "enum (the string form is deprecated)",
+)
+
+#: Every rule ``repro-lint`` can fire, in code order.
+LINT_RULES: tuple[LintRule, ...] = (
+    RAW_DEVICE,
+    UNCHECKED_STENCIL_READ,
+    BARE_EXCEPT,
+    FLOAT_EQ,
+    STRING_DEVICE,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: LintRule
+    message: str
+
+    def render_text(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule.code} {self.rule.name}: {self.message}"
+        )
+
+
+#: Layers (directories or modules directly under ``repro``) that must
+#: reach the device through an engine + ResilientExecutor, never raw.
+_ENGINE_ONLY_LAYERS = {
+    "sql", "bench", "data", "cpu", "trace", "analysis", "olap.py",
+}
+
+#: Device methods that mutate pipeline state or issue work; reading
+#: ``.device.stats`` / ``.device.tracer`` from reporting layers is fine.
+_MUTATING_DEVICE_METHODS = {
+    "render_quad",
+    "render_textured_quad",
+    "clear",
+    "clear_stencil",
+    "clear_depth",
+    "begin_query",
+    "end_query",
+    "abort_query",
+    "read_stencil",
+    "upload_texels",
+    "copy_color_to_texture",
+    "bind_texture",
+}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)"
+)
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule names disabled on that line.
+
+    A marker on a comment-only line suppresses the *next* line, so the
+    justification can sit above the code it excuses.
+    """
+    table: dict[int, set[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        names = {
+            name.strip()
+            for name in match.group(1).split(",")
+            if name.strip()
+        }
+        target = number
+        if line.lstrip().startswith("#"):
+            target = number + 1
+        table.setdefault(target, set()).update(names)
+    return table
+
+
+def _repro_layer(path: str) -> str | None:
+    """The component directly under the ``repro`` package this file
+    belongs to (``"sql"``, ``"olap.py"``, ...), or ``None`` when the
+    file is not inside the package."""
+    parts = pathlib.PurePath(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro" and index + 1 < len(parts):
+            return parts[index + 1]
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, engine_only: bool):
+        self.path = path
+        self.engine_only = engine_only
+        self.findings: list[LintFinding] = []
+        #: Stack of per-function [saw_read_stencil_node, saw_generation]
+        self._functions: list[list] = []
+
+    def _flag(
+        self, node: ast.AST, rule: LintRule, message: str
+    ) -> None:
+        self.findings.append(LintFinding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        ))
+
+    # -- L202: per-function stencil read bookkeeping -------------------
+
+    def _visit_function(self, node) -> None:
+        self._functions.append([None, False])
+        self.generic_visit(node)
+        read_node, checked = self._functions.pop()
+        if read_node is not None and not checked:
+            self._flag(
+                read_node,
+                UNCHECKED_STENCIL_READ,
+                f"{node.name}() calls read_stencil() without checking "
+                "stencil_generation for staleness",
+            )
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "stencil_generation" and self._functions:
+            self._functions[-1][1] = True
+        self.generic_visit(node)
+
+    # -- calls: L201 instantiation/mutation, L202 reads, L205 kwargs ---
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "read_stencil" and self._functions:
+                if self._functions[-1][0] is None:
+                    self._functions[-1][0] = node
+            if self.engine_only:
+                self._check_raw_device_call(node, func)
+        if (
+            self.engine_only
+            and isinstance(func, ast.Name)
+            and func.id == "Device"
+        ):
+            self._flag(
+                node,
+                RAW_DEVICE,
+                "Device() constructed outside the engine layer; route "
+                "through GpuEngine so ResilientExecutor applies",
+            )
+        for keyword in node.keywords:
+            if keyword.arg == "device" and isinstance(
+                keyword.value, ast.Constant
+            ) and isinstance(keyword.value.value, str):
+                self._flag(
+                    keyword.value,
+                    STRING_DEVICE,
+                    f"device={keyword.value.value!r}; pass "
+                    "Device.GPU / Device.CPU / Device.AUTO instead",
+                )
+        self.generic_visit(node)
+
+    def _check_raw_device_call(
+        self, node: ast.Call, func: ast.Attribute
+    ) -> None:
+        if func.attr not in _MUTATING_DEVICE_METHODS:
+            return
+        target = func.value
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "device"
+        ) or (
+            isinstance(target, ast.Name) and target.id == "device"
+        ):
+            self._flag(
+                node,
+                RAW_DEVICE,
+                f"raw device call .{func.attr}() outside the engine "
+                "layer bypasses ResilientExecutor retry/fallback",
+            )
+
+    # -- L203: blanket exception handlers ------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._flag(
+                node,
+                BARE_EXCEPT,
+                "bare except swallows GpuError (and KeyboardInterrupt)",
+            )
+        elif (
+            isinstance(node.type, ast.Name)
+            and node.type.id in ("Exception", "BaseException")
+            and not any(
+                isinstance(child, ast.Raise)
+                for child in ast.walk(node)
+            )
+        ):
+            self._flag(
+                node,
+                BARE_EXCEPT,
+                f"except {node.type.id} without re-raise swallows "
+                "GpuError, hiding injected faults",
+            )
+        self.generic_visit(node)
+
+    # -- L204: float equality ------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op in node.ops:
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if any(
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                for operand in operands
+            ):
+                self._flag(
+                    node,
+                    FLOAT_EQ,
+                    "float equality on encoded values; compare the "
+                    "integer encoding or use a tolerance",
+                )
+                break
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: str = "<string>"
+) -> list[LintFinding]:
+    """Lint one module's source text."""
+    layer = _repro_layer(path)
+    tree = ast.parse(source, filename=path)
+    visitor = _Visitor(
+        path, engine_only=layer in _ENGINE_ONLY_LAYERS
+    )
+    visitor.visit(tree)
+    disabled = _suppressions(source)
+    return sorted(
+        (
+            finding
+            for finding in visitor.findings
+            if finding.rule.name not in disabled.get(finding.line, ())
+        ),
+        key=lambda finding: (finding.line, finding.col),
+    )
+
+
+def lint_paths(paths: list[str]) -> list[LintFinding]:
+    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    findings: list[LintFinding] = []
+    for file in files:
+        findings.extend(
+            lint_source(file.read_text(), path=str(file))
+        )
+    return findings

@@ -1,0 +1,102 @@
+"""The hazard catalog: every invariant the schedule verifier enforces.
+
+Each :class:`Rule` names one way a compiled
+:class:`~repro.plan.PassSchedule` can violate the substrate's unwritten
+contracts (the invariants the paper's routines rely on but the hardware
+never checks).  The abstract interpreter
+(:mod:`repro.analysis.interpreter`) fires these rules; the catalog also
+feeds ``docs/ANALYSIS.md`` and the diagnostics' typed codes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .diagnostics import Diagnostic, Severity, Span
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One verifier hazard class."""
+
+    code: str
+    name: str
+    summary: str
+
+    def diagnostic(
+        self,
+        span: Span,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> Diagnostic:
+        return Diagnostic(
+            code=self.code,
+            name=self.name,
+            severity=severity,
+            message=message,
+            span=span,
+        )
+
+
+#: Routine 4.1 / figure 3-5 invariant: a depth-testing quad is only
+#: meaningful while the depth buffer holds its *own* attribute's values.
+STALE_DEPTH = Rule(
+    "H101",
+    "stale-depth",
+    "a compare/range quad reads the depth buffer while it holds a "
+    "different attribute's values",
+)
+
+#: The depth buffer starts undefined: a compare/range quad before any
+#: CopyDepthPass tests garbage.
+MISSING_COPY = Rule(
+    "H102",
+    "missing-copy",
+    "a compare/range quad reads depth never populated by a "
+    "copy-to-depth pass",
+)
+
+#: The EvalCNF {0,1,2} protocol (routine 4.3): clause cleanups must
+#: ping-pong in order, and DNF arm/invalidate/accept/normalize passes
+#: must follow the two-bit-plane discipline.
+CNF_PROTOCOL = Rule(
+    "H103",
+    "cnf-protocol",
+    "a stencil bookkeeping pass violates the EvalCNF/EvalDNF "
+    "three-value {0,1,2} stencil protocol",
+)
+
+#: Every begun occlusion query must be harvested exactly once; a leaked
+#: query wedges the device (queries do not nest) and loses its count.
+OCCLUSION_LEAK = Rule(
+    "H104",
+    "occlusion-leak",
+    "occlusion queries are begun but never harvested",
+)
+
+#: Harvesting more results than queries begun means some count is read
+#: twice (or a query that never ran is waited on forever).
+DOUBLE_HARVEST = Rule(
+    "H105",
+    "double-harvest",
+    "a harvest retrieves more occlusion results than queries begun",
+)
+
+#: A cached result keyed on fewer texture generations than the
+#: schedule reads survives a texel update it should not.
+UNDER_KEYED_CACHE = Rule(
+    "H106",
+    "under-keyed-cache",
+    "the schedule's cache key does not cover every texture "
+    "generation it reads",
+)
+
+#: Everything the verifier can fire, in code order.
+HAZARD_RULES: tuple[Rule, ...] = (
+    STALE_DEPTH,
+    MISSING_COPY,
+    CNF_PROTOCOL,
+    OCCLUSION_LEAK,
+    DOUBLE_HARVEST,
+    UNDER_KEYED_CACHE,
+)

@@ -1,0 +1,62 @@
+"""Symbolic device state for the abstract schedule interpreter.
+
+:class:`AbstractState` carries what the verifier can prove about the
+simulated device at each point of a schedule — which column's values
+the depth buffer holds, how far the EvalCNF / EvalDNF stencil protocol
+has advanced, and which occlusion queries are pending — without ever
+touching the device.  Pass nodes only *append* facts through the
+interpreter's transfer functions; the state never consults buffers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..gpu.state import CNF_STENCIL_VALUES, cnf_valid_stencil
+
+#: Re-exported so diagnostics can cite the protocol alphabet.
+CNF_PROTOCOL_VALUES = CNF_STENCIL_VALUES
+
+
+@dataclasses.dataclass
+class AbstractState:
+    """What is provable about the device mid-schedule."""
+
+    #: Column whose values the depth buffer is proven to hold
+    #: (``None`` = undefined / never populated).
+    depth_holds: str | None = None
+    #: Node indices of occlusion queries begun (counted passes) and not
+    #: yet harvested, in begin order.
+    pending_queries: list[int] = dataclasses.field(default_factory=list)
+    #: Total occlusion results harvested so far.
+    harvested: int = 0
+    #: Last EvalCNF clause whose cleanup pass ran (``None`` outside a
+    #: CNF run); cleanups must arrive 1, 2, 3, ... for the {0,1,2}
+    #: ping-pong to stay sound.
+    cnf_clause: int | None = None
+    #: DNF clause currently armed in the two-bit working plane
+    #: (``None`` when no clause is in flight).
+    dnf_armed: int | None = None
+    #: Whether the armed DNF clause has run its accept pass.
+    dnf_accepted: bool = False
+    #: Highest DNF clause accepted so far in the current run.
+    dnf_last_clause: int = 0
+    #: Trailing dnf-normalize passes seen (the protocol ends a DNF run
+    #: with exactly two).
+    dnf_normalizes: int = 0
+    #: Every column the schedule has read so far (copies and direct
+    #: texture fetches) — checked against the declared cache key.
+    columns_read: set[str] = dataclasses.field(default_factory=set)
+
+    def note_copy(self, column: str) -> None:
+        self.depth_holds = column
+        self.columns_read.add(column)
+
+    def begin_query(self, node_index: int) -> None:
+        self.pending_queries.append(node_index)
+
+    def expected_cnf_valid(self) -> int:
+        """The stencil value the *next* CNF clause treats as "valid so
+        far" — exposed so protocol diagnostics can cite it."""
+        next_clause = (self.cnf_clause or 0) + 1
+        return cnf_valid_stencil(next_clause)

@@ -291,6 +291,8 @@ def ablation_earlyz(scale: Scale) -> ExperimentResult:
     device.state.depth.enabled = True
     device.state.depth.func = CompareFunc.LEQUAL
     device.state.depth.write = False
+    # Deliberate raw pass: this ablation measures the device, not the
+    # engine path.  # repro-lint: disable=raw-device
     device.render_textured_quad(texture, depth=column.normalize(threshold))
     device.set_program(None)
     window = device.stats.snapshot()

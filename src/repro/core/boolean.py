@@ -23,6 +23,10 @@ from __future__ import annotations
 from typing import Callable
 
 from ..gpu.pipeline import Device
+from ..gpu.state import (
+    CNF_STENCIL_VALID_ODD,
+    cnf_valid_stencil,
+)
 from ..gpu.types import STENCIL_MAX, CompareFunc, StencilOp
 from .predicates import Predicate
 
@@ -46,16 +50,16 @@ def eval_cnf(
     records satisfying the CNF and 0 elsewhere.
     """
     device.state.color_mask = (False, False, False, False)
-    device.clear_stencil(1)
+    device.clear_stencil(CNF_STENCIL_VALID_ODD)
     if not clauses:
         # Empty conjunction: everything matches; stencil already 1.
-        return 1, count
+        return CNF_STENCIL_VALID_ODD, count
 
     matched = 0
     last = len(clauses)
     for clause_index, clause in enumerate(clauses, start=1):
         odd = bool(clause_index % 2)
-        valid = 1 if odd else 2
+        valid = cnf_valid_stencil(clause_index)
         grow = StencilOp.INCR if odd else StencilOp.DECR
 
         stencil = device.state.stencil
@@ -81,7 +85,8 @@ def eval_cnf(
         device.state.depth_bounds.enabled = False
         device.render_quad(0.0, count=count)
 
-    final_valid = 2 if last % 2 else 1
+    # The survivors carry the value the last clause grew them to.
+    final_valid = cnf_valid_stencil(last + 1)
     return final_valid, matched
 
 
@@ -134,7 +139,7 @@ def eval_dnf(
         # conjunction is a CNF whose clauses are singletons.
         for index, predicate in enumerate(conjunction, start=1):
             odd = bool(index % 2)
-            valid = 1 if odd else 2
+            valid = cnf_valid_stencil(index)
             stencil.func = CompareFunc.EQUAL
             stencil.mask = _DNF_WORK_MASK
             stencil.write_mask = _DNF_WORK_MASK
@@ -154,7 +159,7 @@ def eval_dnf(
         # comparison spans all three bits, so already-accepted records
         # are not re-counted).  INVERT through the accept-bit write
         # mask flips exactly that bit from 0 to 1.
-        final_valid = 2 if len(conjunction) % 2 else 1
+        final_valid = cnf_valid_stencil(len(conjunction) + 1)
         stencil.func = CompareFunc.EQUAL
         stencil.mask = _DNF_WORK_MASK | _DNF_ACCEPT_BIT
         stencil.write_mask = _DNF_ACCEPT_BIT

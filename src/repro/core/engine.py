@@ -283,6 +283,7 @@ class GpuEngine:
         tracer=None,
         executor=None,
         fusion: bool = True,
+        debug: bool = False,
     ):
         """``video_memory`` overrides the default 256 MB pool — pass a
         smaller :class:`~repro.gpu.memory.VideoMemory` to exercise the
@@ -322,6 +323,13 @@ class GpuEngine:
         ``fusion=False`` is the honest unfused baseline: every
         operation re-renders all its passes and harvests every
         occlusion count synchronously.
+
+        ``debug`` runs the static schedule verifier
+        (:mod:`repro.analysis`) over every operation's compiled
+        :class:`~repro.plan.PassSchedule` before any pass executes,
+        raising :class:`~repro.errors.PlanVerificationError` on
+        hazards (stale depth, stencil-protocol violations, occlusion
+        query imbalance, under-keyed caches).
         """
         if layout not in ("planar", "packed"):
             raise QueryError(
@@ -342,6 +350,10 @@ class GpuEngine:
         self._in_resilient_op = False
         self._op_span = None
         self.fusion = fusion
+        self.debug = debug
+        #: Schedules statically verified so far (debug mode only);
+        #: fault-retried operations verify again on every attempt.
+        self.debug_verifications = 0
         # The cache must resolve the tracer lazily: engines swap tracers
         # mid-life (Database re-targets per query).
         self.plan = PlanCache(tracer_source=lambda: self.device.tracer)
@@ -566,6 +578,20 @@ class GpuEngine:
                 fused_stalls=schedule.fused_stalls,
             )
 
+    def _verify_schedule(self, schedule) -> None:
+        """Debug mode: statically verify a compiled schedule before any
+        of its passes touch the device.  Raises
+        :class:`~repro.errors.PlanVerificationError` on hazards; no-op
+        unless the engine was built with ``debug=True``."""
+        if not self.debug:
+            return
+        # Runtime import: repro.analysis imports repro.plan, which
+        # reaches back into repro.core at import time.
+        from ..analysis import assert_verified
+
+        assert_verified(schedule)
+        self.debug_verifications += 1
+
     # -- measurement helpers -------------------------------------------------------
 
     def _begin(self, op: str | None = None, **attrs) -> None:
@@ -610,6 +636,12 @@ class GpuEngine:
     def select(self, predicate: Predicate) -> Selection:
         """Evaluate a WHERE clause; leaves the selection mask in the
         stencil buffer and returns count + statistics."""
+        if self.debug:
+            from ..plan import compiler
+
+            self._verify_schedule(compiler.lower_select(
+                self.relation, predicate, fuse=self.fusion
+            ))
         self._begin("select", predicate=str(predicate))
         outcome: SelectionOutcome = execute_selection(
             self.device, self.relation, self, predicate
@@ -741,7 +773,14 @@ class GpuEngine:
 
         if op == "count":
             if predicate is not None:
+                # select() performs its own debug verification.
                 return self.select(predicate)
+            if self.debug:
+                from ..plan import compiler
+
+                self._verify_schedule(compiler.lower_aggregate(
+                    self.relation, "count", None, fuse=self.fusion
+                ))
             self._begin("count")
             value = aggregates.count_valid(
                 self.device, self.relation.num_records
@@ -751,6 +790,19 @@ class GpuEngine:
         if column_name is None:
             raise QueryError(f"aggregate {op!r} needs a column")
         column = self._integer_column(column_name)
+        if self.debug:
+            from ..plan import compiler
+
+            try:
+                schedule = compiler.lower_aggregate(
+                    self.relation, op, column_name,
+                    predicate=predicate, fractions=fractions,
+                    fuse=self.fusion,
+                )
+            except QueryError:
+                schedule = None  # top_k has no pass-level lowering
+            if schedule is not None:
+                self._verify_schedule(schedule)
 
         if op in ("sum", "average"):
             texture, channel = self.stored_texture(column_name)
@@ -890,6 +942,8 @@ class GpuEngine:
             column.normalize(threshold_value),
             texture.count,
         )
+        # The mask was written by compare_pass above in this same
+        # operation — it cannot be stale.  # repro-lint: disable=unchecked-stencil-read
         mask = self.device.read_stencil()
         ids = np.flatnonzero(mask == valid + 1)
         ids = ids[ids < self.relation.num_records]
@@ -1000,6 +1054,7 @@ class GpuEngine:
         schedule = compiler.lower_selectivities(
             self.relation, predicates, fuse=self.fusion
         )
+        self._verify_schedule(schedule)
         self._trace_schedule(schedule)
         counts = runner.run_selectivities(
             self, predicates, fuse=self.fusion
@@ -1030,6 +1085,7 @@ class GpuEngine:
         schedule = compiler.lower_histogram(
             self.relation, column_name, buckets, fuse=self.fusion
         )
+        self._verify_schedule(schedule)
         self._trace_schedule(schedule)
         counts = runner.run_histogram(
             self, column_name, edges, fuse=self.fusion

@@ -59,6 +59,8 @@ def semilinear_pass(
                 f"texture has {texture.channels} channels but "
                 f"{coefficients.size} coefficients were given"
             )
+        # Exact-zero sentinel on a user-supplied coefficient, not an
+        # encoded value.  # repro-lint: disable=float-eq
         if padded[3] != 0.0 and texture.channels < 4:
             raise QueryError(
                 "alpha-channel coefficient requires a 4-channel texture"

@@ -104,6 +104,22 @@ class StaleSelectionError(QueryError):
     """
 
 
+class PlanVerificationError(QueryError):
+    """A compiled :class:`~repro.plan.PassSchedule` failed static
+    verification (:mod:`repro.analysis`): the schedule would read stale
+    depth state, violate the EvalCNF stencil protocol, leak or
+    double-harvest an occlusion query, or serve a cached result whose
+    key does not cover everything it read.
+
+    Carries the full :class:`~repro.analysis.VerificationReport` as
+    ``report`` when raised by the verifier entry points.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class SqlError(ReproError):
     """Base class for SQL front-end errors."""
 

@@ -14,8 +14,23 @@ via the ``synchronous`` flag recorded at retrieval time.
 
 from __future__ import annotations
 
+import enum
+
 from ..errors import OcclusionQueryError
 from ..faults import SITE_OCCLUSION, maybe_inject
+
+
+class QueryLifecycle(enum.Enum):
+    """The begin / end / harvest protocol every occlusion query must
+    follow (exposed for the static schedule verifier in
+    :mod:`repro.analysis`): a query is counted while ``ACTIVE``, must
+    be ``ENDED`` before its result is requested, and is ``RETRIEVED``
+    exactly once — a schedule that harvests a query it never began, or
+    leaks an ended query without harvesting it, is malformed."""
+
+    ACTIVE = "active"
+    ENDED = "ended"
+    RETRIEVED = "retrieved"
 
 
 class OcclusionQuery:
@@ -35,6 +50,15 @@ class OcclusionQuery:
     @property
     def active(self) -> bool:
         return self._active
+
+    @property
+    def lifecycle(self) -> QueryLifecycle:
+        """Where this query sits in the begin/end/harvest protocol."""
+        if self._active:
+            return QueryLifecycle.ACTIVE
+        if self._retrieved:
+            return QueryLifecycle.RETRIEVED
+        return QueryLifecycle.ENDED
 
     def _add(self, samples: int) -> None:
         if not self._active:

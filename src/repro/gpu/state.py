@@ -18,6 +18,29 @@ import dataclasses
 from ..errors import RenderStateError
 from .types import STENCIL_MAX, CompareFunc, StencilOp
 
+#: The EvalCNF three-value stencil protocol (routine 4.3): records are
+#: permanently invalidated at 0, and the "valid so far" marker
+#: ping-pongs between 1 (odd clauses) and 2 (even clauses).  Exposed
+#: here so the evaluator (:mod:`repro.core.boolean`) and the static
+#: schedule verifier (:mod:`repro.analysis`) share one definition.
+CNF_STENCIL_INVALID = 0
+CNF_STENCIL_VALID_ODD = 1
+CNF_STENCIL_VALID_EVEN = 2
+#: The full protocol alphabet, in invalid/odd/even order.
+CNF_STENCIL_VALUES = (
+    CNF_STENCIL_INVALID,
+    CNF_STENCIL_VALID_ODD,
+    CNF_STENCIL_VALID_EVEN,
+)
+
+
+def cnf_valid_stencil(clause_index: int) -> int:
+    """The "valid so far" stencil value while evaluating 1-based CNF
+    clause ``clause_index`` (odd clauses grow 1 -> 2, even 2 -> 1)."""
+    if clause_index % 2:
+        return CNF_STENCIL_VALID_ODD
+    return CNF_STENCIL_VALID_EVEN
+
 
 @dataclasses.dataclass
 class AlphaTestState:

@@ -70,6 +70,14 @@ def _describe(predicate: Predicate) -> str:
     return repr(predicate)
 
 
+def _keyed(schedule: PassSchedule) -> PassSchedule:
+    """Stamp the schedule's cache key: the runtime plan caches key any
+    reuse of its results on the texture generation of every column it
+    reads, so the declared key is exactly that column set."""
+    schedule.cache_key = tuple(sorted(schedule.columns_read()))
+    return schedule
+
+
 def _simple_nodes(
     predicate: Predicate,
     tracker: _FusionTracker,
@@ -144,7 +152,10 @@ def _selection_nodes(
         return nodes
 
     # DNF: arm the working plane, run the conjunction, accept, then two
-    # normalization passes (see repro.core.boolean.eval_dnf).
+    # normalization passes (see repro.core.boolean.eval_dnf).  The
+    # accept pass itself runs inside an occlusion query — it counts the
+    # newly-satisfying records while flipping their accept bit — so it
+    # is the counted pass the per-clause harvest retrieves.
     for index, conjunction in enumerate(clauses, start=1):
         nodes.append(StencilCNFPass(label="dnf-arm", clause=index))
         for simple in conjunction:
@@ -152,7 +163,9 @@ def _selection_nodes(
             nodes.append(
                 StencilCNFPass(label="dnf-invalidate", clause=index)
             )
-        nodes.append(StencilCNFPass(label="dnf-accept", clause=index))
+        nodes.append(
+            StencilCNFPass(label="dnf-accept", clause=index, counted=True)
+        )
         nodes.append(OcclusionCountPass(queries=1, batched=False))
     nodes.append(StencilCNFPass(label="dnf-normalize"))
     nodes.append(StencilCNFPass(label="dnf-normalize"))
@@ -165,13 +178,13 @@ def lower_select(
     """Lower ``GpuEngine.select(predicate)``."""
     tracker = _FusionTracker(fuse)
     nodes = _selection_nodes(predicate, tracker)
-    return PassSchedule(
+    return _keyed(PassSchedule(
         op="select",
         table=relation.name,
         nodes=nodes,
         fused_copies=tracker.copies_saved,
         meta={"predicate": _describe(predicate)},
-    )
+    ))
 
 
 def lower_selectivities(
@@ -210,14 +223,14 @@ def lower_selectivities(
     if batch:
         nodes.append(OcclusionCountPass(queries=batch))
         stalls_saved += batch - 1
-    return PassSchedule(
+    return _keyed(PassSchedule(
         op="selectivities",
         table=relation.name,
         nodes=nodes,
         fused_copies=tracker.copies_saved,
         fused_stalls=stalls_saved if fuse else 0,
         meta={"predicates": len(predicates)},
-    )
+    ))
 
 
 def histogram_edges(column, buckets: int) -> np.ndarray:
@@ -284,14 +297,14 @@ def lower_histogram(
             nodes.append(OcclusionCountPass(queries=1, batched=False))
         fused_copies = 0
         fused_stalls = 0
-    return PassSchedule(
+    return _keyed(PassSchedule(
         op="histogram",
         table=relation.name,
         nodes=nodes,
         fused_copies=fused_copies,
         fused_stalls=fused_stalls,
         meta={"column": column_name, "buckets": num},
-    )
+    ))
 
 
 #: Aggregate ops that binary-search the value bit by bit (synchronous
@@ -327,9 +340,11 @@ def lower_aggregate(
         nodes.extend(_selection_nodes(predicate, tracker))
     if op == "count":
         if predicate is None:
+            # The count-all quad passes every fragment unconditionally;
+            # it never consults the depth buffer.
             nodes.append(CompareQuadPass(
                 column="*", kind="compare", detail="count",
-                counted=True,
+                counted=True, depth_free=True,
             ))
             nodes.append(OcclusionCountPass(queries=1, batched=False))
     elif op in _BIT_SEARCH_OPS:
@@ -347,7 +362,7 @@ def lower_aggregate(
         for bit in range(bits):
             nodes.append(CompareQuadPass(
                 column=column_name, kind="compare",
-                detail=f"TestBit {bit}", counted=True,
+                detail=f"TestBit {bit}", counted=True, depth_free=True,
             ))
         nodes.append(OcclusionCountPass(queries=bits, batched=fuse))
         if fuse and bits > 1:
@@ -366,7 +381,7 @@ def lower_aggregate(
         )
     else:
         raise QueryError(f"cannot lower aggregate op {op!r}")
-    return PassSchedule(
+    return _keyed(PassSchedule(
         op=op,
         table=relation.name,
         nodes=nodes,
@@ -381,7 +396,7 @@ def lower_aggregate(
                 predicate is not None and fuse and selection_cached
             ),
         },
-    )
+    ))
 
 
 def lower_statement(
@@ -448,7 +463,7 @@ def lower_statement(
     else:
         if predicate is not None:
             nodes.extend(_selection_nodes(predicate, tracker))
-    return PassSchedule(
+    return _keyed(PassSchedule(
         op="query",
         table=statement.table,
         nodes=nodes,
@@ -461,4 +476,4 @@ def lower_statement(
                 _describe(predicate) if predicate is not None else None
             ),
         },
-    )
+    ))

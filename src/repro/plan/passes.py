@@ -111,6 +111,17 @@ def predicate_columns(predicate: Predicate) -> tuple[str, ...]:
     )
 
 
+#: Abstract resource names used by the per-pass read/write declarations
+#: (consumed by the static verifier in :mod:`repro.analysis`).
+DEPTH = "depth"
+STENCIL = "stencil"
+
+
+def texture_resource(column: str) -> str:
+    """The abstract resource name for one attribute texture."""
+    return f"texture:{column}"
+
+
 @dataclasses.dataclass(frozen=True)
 class CopyDepthPass:
     """One ``CopyToDepth`` rendering pass for ``column``."""
@@ -120,6 +131,12 @@ class CopyDepthPass:
 
     def describe(self) -> str:
         return f"copy-to-depth {self.column}"
+
+    def reads(self) -> frozenset[str]:
+        return frozenset({texture_resource(self.column)})
+
+    def writes(self) -> frozenset[str]:
+        return frozenset({DEPTH})
 
 
 @dataclasses.dataclass(frozen=True)
@@ -131,12 +148,24 @@ class CompareQuadPass:
     ``"semilinear"`` (fragment program + KIL, routine 4.2) or
     ``"polynomial"`` (the section 4.1.2 extension).  ``counted`` marks
     quads rendered inside an occlusion query.
+
+    ``depth_free`` marks compare-kind quads that never consult the
+    depth buffer — the Accumulator's alpha-test ``TestBit`` passes and
+    the stencil-only COUNT(*) quad — so the verifier does not demand a
+    preceding copy-to-depth for them.
     """
 
     column: str
     kind: str
     detail: str = ""
     counted: bool = False
+    depth_free: bool = False
+
+    @property
+    def reads_depth(self) -> bool:
+        """True when this quad tests against the depth buffer and
+        therefore depends on a live copy of its attribute there."""
+        return self.kind in ("compare", "range") and not self.depth_free
 
     def describe(self) -> str:
         text = f"{self.kind} {self.detail or self.column}"
@@ -144,18 +173,48 @@ class CompareQuadPass:
             text += "  [counted]"
         return text
 
+    def reads(self) -> frozenset[str]:
+        resources = {STENCIL}
+        if self.reads_depth:
+            resources.add(DEPTH)
+        elif self.column != "*":
+            resources.update(
+                texture_resource(name)
+                for name in self.column.split(",")
+            )
+        return frozenset(resources)
+
+    def writes(self) -> frozenset[str]:
+        return frozenset({STENCIL})
+
 
 @dataclasses.dataclass(frozen=True)
 class StencilCNFPass:
-    """One stencil-only bookkeeping quad of EvalCNF / EvalDNF."""
+    """One stencil-only bookkeeping quad of EvalCNF / EvalDNF.
+
+    ``counted`` marks bookkeeping quads rendered inside an occlusion
+    query: the DNF accept pass counts newly-satisfying records while it
+    flips their accept bit (see :func:`repro.core.boolean.eval_dnf`).
+    """
 
     label: str
     clause: int | None = None
+    counted: bool = False
 
     def describe(self) -> str:
         if self.clause is not None:
-            return f"stencil {self.label} (clause {self.clause})"
-        return f"stencil {self.label}"
+            text = f"stencil {self.label} (clause {self.clause})"
+        else:
+            text = f"stencil {self.label}"
+        if self.counted:
+            text += "  [counted]"
+        return text
+
+    def reads(self) -> frozenset[str]:
+        return frozenset({STENCIL})
+
+    def writes(self) -> frozenset[str]:
+        return frozenset({STENCIL})
 
 
 @dataclasses.dataclass(frozen=True)
@@ -184,6 +243,12 @@ class OcclusionCountPass:
             f"[{mode}, {self.stalls} stall{'s' if self.stalls != 1 else ''}]"
         )
 
+    def reads(self) -> frozenset[str]:
+        return frozenset()
+
+    def writes(self) -> frozenset[str]:
+        return frozenset()
+
 
 PassNode = CopyDepthPass | CompareQuadPass | StencilCNFPass | OcclusionCountPass
 
@@ -203,6 +268,12 @@ class PassSchedule:
     fused_stalls: int = 0
     #: Free-form annotations (predicate text, bucket count, ...).
     meta: dict = dataclasses.field(default_factory=dict)
+    #: Columns whose texture generations key any cached reuse of this
+    #: schedule's results (the content half of the plan-cache keys).
+    #: ``None`` means the schedule is never served from a cache; when
+    #: set, the verifier checks it covers every column the schedule
+    #: reads — an under-keyed cache would survive a texel update.
+    cache_key: tuple[str, ...] | None = None
 
     @property
     def copy_passes(self) -> int:
@@ -226,6 +297,16 @@ class PassSchedule:
             for node in self.nodes
             if isinstance(node, OcclusionCountPass)
         )
+
+    def columns_read(self) -> frozenset[str]:
+        """Every column whose attribute texture the schedule reads —
+        directly (program fetches) or through a copy-to-depth."""
+        names: set[str] = set()
+        for node in self.nodes:
+            for resource in node.reads():
+                if resource.startswith("texture:"):
+                    names.add(resource.split(":", 1)[1])
+        return frozenset(names)
 
     def render_text(self) -> str:
         """Human-readable schedule, mirroring the trace text format."""

@@ -227,6 +227,7 @@ class Database:
         sql: str,
         device: str | DeviceChoice = DeviceChoice.AUTO,
         fuse: bool = True,
+        verify: bool = False,
     ) -> PassSchedule:
         """Compile ``sql`` to the :class:`~repro.plan.PassSchedule` the
         chosen device would execute, without running it.
@@ -235,14 +236,24 @@ class Database:
         :meth:`~repro.plan.PassSchedule.render_text`, mirroring the
         pass tree a traced execution produces.  ``fuse=False`` shows
         the unfused lowering for comparison.
+
+        ``verify=True`` additionally runs the static schedule verifier
+        (:mod:`repro.analysis`) over the compiled schedule, raising
+        :class:`~repro.errors.PlanVerificationError` — whose ``report``
+        attribute carries the typed diagnostics — if it hides a hazard.
         """
         plan = self.plan(sql, device=device)
-        return lower_statement(
+        schedule = lower_statement(
             plan.statement,
             plan.relation,
             fuse=fuse,
             device=plan.chosen_device.value,
         )
+        if verify:
+            from ..analysis import assert_verified
+
+            assert_verified(schedule)
+        return schedule
 
     def query(
         self,

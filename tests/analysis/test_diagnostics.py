@@ -1,0 +1,119 @@
+"""Pinned diagnostic rendering: the verifier's text output is API.
+
+These formats sit alongside ``PassSchedule.render_text()`` (pinned in
+tests/plan/test_passes.py) — tooling and CI logs parse both.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    Severity,
+    Span,
+    VerificationReport,
+    verify_schedule,
+)
+from repro.analysis.rules import HAZARD_RULES, STALE_DEPTH
+from repro.errors import PlanVerificationError, QueryError
+from repro.plan.passes import CompareQuadPass, CopyDepthPass, PassSchedule
+
+
+def _schedule(nodes, cache_key=None):
+    return PassSchedule(
+        op="select", table="t", nodes=nodes, cache_key=cache_key
+    )
+
+
+class TestSpan:
+    def test_single_pass_render(self):
+        assert Span.at(3).render() == "pass 3"
+
+    def test_range_render(self):
+        assert Span(start=1, end=4).render() == "passes 1-4"
+
+    def test_at_end_anchors_to_last_pass(self):
+        assert Span.at_end(5) == Span(start=4, end=4)
+        assert Span.at_end(0) == Span(start=0, end=0)
+
+
+class TestDiagnosticRenderText:
+    def test_pinned_format(self):
+        diagnostic = STALE_DEPTH.diagnostic(
+            Span.at(2), "quad on 'b' while depth holds 'a'"
+        )
+        assert diagnostic.render_text() == (
+            "H101 stale-depth [error] at pass 2: "
+            "quad on 'b' while depth holds 'a'"
+        )
+
+    def test_warning_severity_renders(self):
+        diagnostic = Diagnostic(
+            code="H103",
+            name="cnf-protocol",
+            severity=Severity.WARNING,
+            message="unknown stencil bookkeeping label 'x'",
+            span=Span.at(0),
+        )
+        assert "[warning]" in diagnostic.render_text()
+
+
+class TestVerificationReport:
+    def test_clean_report_pinned(self):
+        report = verify_schedule(
+            _schedule([
+                CopyDepthPass(column="a"),
+                CompareQuadPass(column="a", kind="compare"),
+            ])
+        )
+        assert report.ok
+        assert report.render_text() == (
+            "verify select ON t [ok]\n  (no hazards)"
+        )
+
+    def test_rejected_report_lists_findings(self):
+        report = verify_schedule(
+            _schedule([CompareQuadPass(column="a", kind="compare")])
+        )
+        assert not report.ok
+        text = report.render_text()
+        assert text.startswith("verify select ON t [REJECTED]")
+        assert "\n  ! H102 missing-copy [error] at pass 0:" in text
+
+    def test_warnings_do_not_fail_verification(self):
+        report = VerificationReport(
+            schedule=_schedule([]),
+            diagnostics=[
+                Diagnostic(
+                    code="H103",
+                    name="cnf-protocol",
+                    severity=Severity.WARNING,
+                    message="benign",
+                    span=Span.at(0),
+                )
+            ],
+        )
+        assert report.ok
+        assert report.errors == []
+        report.raise_if_failed()  # must not raise
+
+    def test_raise_carries_report_and_is_a_query_error(self):
+        report = verify_schedule(
+            _schedule([CompareQuadPass(column="a", kind="compare")])
+        )
+        with pytest.raises(PlanVerificationError) as excinfo:
+            report.raise_if_failed()
+        assert excinfo.value.report is report
+        assert isinstance(excinfo.value, QueryError)
+        assert "H102" in str(excinfo.value)
+
+
+class TestRuleCatalog:
+    def test_codes_are_unique_and_ordered(self):
+        codes = [rule.code for rule in HAZARD_RULES]
+        assert codes == sorted(set(codes))
+        assert len(codes) >= 6
+
+    def test_names_are_slugs(self):
+        for rule in HAZARD_RULES:
+            assert rule.name == rule.name.lower()
+            assert " " not in rule.name

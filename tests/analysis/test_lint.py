@@ -1,0 +1,208 @@
+"""repro-lint: each rule fires on its bug shape, suppressions work,
+and the shipped source tree is clean (the CI gate's contract)."""
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import LINT_RULES, lint_paths, lint_source
+from repro.analysis.cli import main
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _codes(source, path="src/repro/core/x.py"):
+    return [
+        finding.rule.code
+        for finding in lint_source(textwrap.dedent(source), path=path)
+    ]
+
+
+class TestRawDevice:
+    BAD = """
+        from repro.gpu.pipeline import Device
+
+        def probe():
+            device = Device(4, 4)
+            device.clear_stencil(0)
+    """
+
+    def test_flags_in_engine_only_layers(self):
+        codes = _codes(self.BAD, path="src/repro/sql/helper.py")
+        assert codes.count("L201") == 2
+
+    def test_device_attribute_calls_flagged(self):
+        source = """
+            def probe(engine):
+                engine.device.render_quad(0.5)
+        """
+        assert "L201" in _codes(source, path="src/repro/bench/x.py")
+
+    def test_substrate_layers_may_touch_the_device(self):
+        assert _codes(self.BAD, path="src/repro/gpu/helper.py") == []
+        assert _codes(self.BAD, path="src/repro/core/helper.py") == []
+
+    def test_stats_reads_are_fine(self):
+        source = """
+            def snapshot(engine):
+                engine.device.stats.reset()
+                return engine.device.stats.snapshot()
+        """
+        assert _codes(source, path="src/repro/bench/x.py") == []
+
+
+class TestUncheckedStencilRead:
+    def test_flags_unchecked_read(self):
+        source = """
+            def ids(engine):
+                return engine.device.read_stencil().nonzero()
+        """
+        assert "L202" in _codes(source)
+
+    def test_generation_check_in_same_function_passes(self):
+        source = """
+            def ids(engine, generation):
+                if engine.device.stencil_generation != generation:
+                    raise ValueError("stale")
+                return engine.device.read_stencil().nonzero()
+        """
+        assert _codes(source) == []
+
+    def test_defining_read_stencil_is_not_a_read(self):
+        source = """
+            class Device:
+                def read_stencil(self):
+                    return self.state.stencil.copy()
+        """
+        assert _codes(source) == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        source = """
+            def run(op):
+                try:
+                    return op()
+                except:
+                    return None
+        """
+        assert "L203" in _codes(source)
+
+    def test_blanket_exception_without_reraise_flagged(self):
+        source = """
+            def run(op):
+                try:
+                    return op()
+                except Exception:
+                    return None
+        """
+        assert "L203" in _codes(source)
+
+    def test_blanket_exception_with_reraise_passes(self):
+        source = """
+            def run(op):
+                try:
+                    return op()
+                except Exception:
+                    cleanup()
+                    raise
+        """
+        assert _codes(source) == []
+
+    def test_typed_except_passes(self):
+        source = """
+            def run(op):
+                try:
+                    return op()
+                except ValueError:
+                    return None
+        """
+        assert _codes(source) == []
+
+
+class TestFloatEq:
+    def test_float_equality_flagged(self):
+        assert "L204" in _codes("ok = value == 0.5\n")
+        assert "L204" in _codes("ok = value != 1.0\n")
+
+    def test_integer_equality_passes(self):
+        assert _codes("ok = value == 1\n") == []
+
+    def test_float_ordering_passes(self):
+        assert _codes("ok = value < 0.5\n") == []
+
+
+class TestStringDevice:
+    def test_string_device_kwarg_flagged(self):
+        assert "L205" in _codes('db.query(sql, device="gpu")\n')
+
+    def test_enum_device_kwarg_passes(self):
+        assert _codes("db.query(sql, device=Device.GPU)\n") == []
+
+    def test_unrelated_string_kwargs_pass(self):
+        assert _codes('db.query(sql, mode="fast")\n') == []
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        source = 'ok = v == 0.5  # repro-lint: disable=float-eq\n'
+        assert _codes(source) == []
+
+    def test_comment_above_suppression(self):
+        source = (
+            "# exact sentinel.  # repro-lint: disable=float-eq\n"
+            "ok = v == 0.5\n"
+        )
+        assert _codes(source) == []
+
+    def test_suppression_is_rule_specific(self):
+        source = 'ok = v == 0.5  # repro-lint: disable=bare-except\n'
+        assert "L204" in _codes(source)
+
+    def test_multiple_rules_one_marker(self):
+        source = (
+            'db.query(s, device="gpu") == 0.5'
+            "  # repro-lint: disable=float-eq,string-device\n"
+        )
+        assert _codes(source) == []
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_lints_clean(self):
+        findings = lint_paths([str(REPO / "src" / "repro")])
+        assert findings == [], "\n".join(
+            finding.render_text() for finding in findings
+        )
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main([str(REPO / "src" / "repro" / "analysis")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("ok = value == 0.5\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "L204" in out
+        assert "1 finding" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in LINT_RULES:
+            assert rule.code in out
+
+
+class TestRuleCatalog:
+    def test_codes_unique(self):
+        codes = [rule.code for rule in LINT_RULES]
+        assert len(codes) == len(set(codes))
+        assert len(codes) == 5
+
+    @pytest.mark.parametrize("rule", LINT_RULES, ids=lambda r: r.code)
+    def test_slugs_are_suppression_safe(self, rule):
+        assert rule.name == rule.name.lower()
+        assert " " not in rule.name

@@ -1,0 +1,135 @@
+"""Property test: every hazard-introducing mutation of a valid
+schedule is flagged.
+
+Random valid schedules come from the same generator as the
+differential matrix; mutations target the verifier's invariants
+directly — dropping a load-bearing copy, reordering it after its quad,
+dropping or duplicating a harvest, duplicating a DNF accept, dropping
+a CNF cleanup — so every mutant is guaranteed to be unsound, and the
+verifier must say so.
+"""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import verify_schedule
+from repro.plan import lower_select, lower_selectivities
+from repro.plan.passes import (
+    CompareQuadPass,
+    CopyDepthPass,
+    OcclusionCountPass,
+    StencilCNFPass,
+)
+from tests.core.test_differential import (
+    _random_predicate,
+    _random_relation,
+)
+
+
+def _mutants(schedule):
+    """All targeted mutants of ``schedule``, each provably hazardous."""
+    nodes = schedule.nodes
+    mutants = []
+
+    def mutant(name, new_nodes):
+        mutants.append((
+            name, dataclasses.replace(schedule, nodes=list(new_nodes))
+        ))
+
+    depth = None
+    for index, node in enumerate(nodes):
+        if isinstance(node, CopyDepthPass):
+            if depth != node.column:
+                # Load-bearing copy: the quad behind it would read
+                # stale (or never-populated) depth without it.
+                mutant("drop-copy", nodes[:index] + nodes[index + 1:])
+                following = (
+                    nodes[index + 1] if index + 1 < len(nodes) else None
+                )
+                if (
+                    isinstance(following, CompareQuadPass)
+                    and following.reads_depth
+                    and following.column == node.column
+                ):
+                    swapped = list(nodes)
+                    swapped[index], swapped[index + 1] = (
+                        swapped[index + 1], swapped[index]
+                    )
+                    mutant("reorder-copy-after-quad", swapped)
+            depth = node.column
+        elif isinstance(node, OcclusionCountPass):
+            mutant("drop-harvest", nodes[:index] + nodes[index + 1:])
+            mutant(
+                "duplicate-harvest",
+                nodes[:index + 1] + [node] + nodes[index + 1:],
+            )
+        elif (
+            isinstance(node, StencilCNFPass)
+            and node.label == "dnf-accept"
+        ):
+            mutant(
+                "duplicate-accept",
+                nodes[:index + 1] + [node] + nodes[index + 1:],
+            )
+
+    cleanups = [
+        index for index, node in enumerate(nodes)
+        if isinstance(node, StencilCNFPass)
+        and node.label == "cnf-cleanup"
+    ]
+    # Dropping a cleanup is only guaranteed-flagged when a later
+    # cleanup of the *same* run (clause > 1) would notice the gap; the
+    # last cleanup of a run has no successor, and a following run
+    # starts fresh at clause 1.
+    for position, index in enumerate(cleanups[:-1]):
+        successor = nodes[cleanups[position + 1]]
+        if successor.clause is not None and successor.clause > 1:
+            mutant(
+                "drop-cnf-cleanup", nodes[:index] + nodes[index + 1:]
+            )
+    return mutants
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=49),
+    fuse=st.booleans(),
+)
+def test_every_targeted_mutation_is_flagged(seed, fuse):
+    rng = np.random.default_rng(77_000 + seed)
+    relation = _random_relation(rng)
+    predicate = _random_predicate(rng, relation)
+    schedule = lower_select(relation, predicate, fuse=fuse)
+
+    base = verify_schedule(schedule)
+    assert base.ok, base.render_text()
+
+    mutants = _mutants(schedule)
+    assert mutants, "every selection schedule has at least a harvest"
+    for name, mutant in mutants:
+        report = verify_schedule(mutant)
+        assert not report.ok, (
+            f"mutation {name!r} (seed={seed}, fuse={fuse}) passed "
+            f"verification:\n{mutant.render_text()}"
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=19),
+    fuse=st.booleans(),
+)
+def test_batched_sweep_mutations_are_flagged(seed, fuse):
+    rng = np.random.default_rng(13_000 + seed)
+    relation = _random_relation(rng)
+    predicates = [
+        _random_predicate(rng, relation)
+        for _ in range(int(rng.integers(2, 5)))
+    ]
+    schedule = lower_selectivities(relation, predicates, fuse=fuse)
+    assert verify_schedule(schedule).ok
+    for name, mutant in _mutants(schedule):
+        assert not verify_schedule(mutant).ok, name

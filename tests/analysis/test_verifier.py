@@ -1,0 +1,328 @@
+"""The schedule verifier: accepts every compiled lowering, rejects
+hand-built hazards of every class, and is wired into the engine's debug
+mode and ``Database.explain(verify=True)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import assert_verified, verify_schedule
+from repro.core import Column, CpuEngine, GpuEngine, Relation
+from repro.core.predicates import And, Between, Comparison, Not, Or
+from repro.errors import PlanVerificationError
+from repro.gpu.types import CompareFunc
+from repro.plan import (
+    lower_aggregate,
+    lower_histogram,
+    lower_select,
+    lower_selectivities,
+    lower_statement,
+)
+from repro.plan.passes import (
+    CompareQuadPass,
+    CopyDepthPass,
+    OcclusionCountPass,
+    PassSchedule,
+    StencilCNFPass,
+)
+from repro.sql import Database, Device
+from repro.sql.parser import parse
+from tests.core.test_differential import (
+    NUM_CASES,
+    _random_predicate,
+    _random_relation,
+)
+
+
+def _codes(schedule):
+    return {d.code for d in verify_schedule(schedule).errors}
+
+
+def _schedule(nodes, cache_key=None):
+    return PassSchedule(
+        op="select", table="t", nodes=nodes, cache_key=cache_key
+    )
+
+
+# -- the full differential matrix verifies clean ------------------------------
+
+
+@pytest.mark.parametrize("fuse", [True, False], ids=["fused", "unfused"])
+@pytest.mark.parametrize("seed", range(NUM_CASES))
+def test_matrix_selection_schedules_verify_clean(seed, fuse):
+    """Every randomized differential case compiles to a hazard-free
+    schedule, fused and unfused alike."""
+    rng = np.random.default_rng(77_000 + seed)
+    relation = _random_relation(rng)
+    predicate = _random_predicate(rng, relation)
+    report = verify_schedule(
+        lower_select(relation, predicate, fuse=fuse)
+    )
+    assert report.ok, report.render_text()
+    column = relation.column_names[0]
+    for op in ("sum", "minimum", "median"):
+        report = verify_schedule(lower_aggregate(
+            relation, op, column, predicate=predicate, fuse=fuse
+        ))
+        assert report.ok, report.render_text()
+
+
+@pytest.mark.parametrize("fuse", [True, False], ids=["fused", "unfused"])
+def test_batched_lowerings_verify_clean(fuse):
+    rng = np.random.default_rng(5)
+    relation = _random_relation(rng)
+    predicates = [
+        _random_predicate(rng, relation) for _ in range(4)
+    ]
+    assert verify_schedule(
+        lower_selectivities(relation, predicates, fuse=fuse)
+    ).ok
+    assert verify_schedule(
+        lower_histogram(
+            relation, relation.column_names[0], 8, fuse=fuse
+        )
+    ).ok
+
+
+@pytest.mark.parametrize("fuse", [True, False], ids=["fused", "unfused"])
+@pytest.mark.parametrize("sql", [
+    "SELECT COUNT(*) FROM t",
+    "SELECT COUNT(*), MAX(a), SUM(a) FROM t WHERE a > 10 AND b < 200",
+    "SELECT AVG(b) FROM t WHERE a > 10 OR b < 5",
+    "SELECT a, b FROM t WHERE NOT (a > 10 AND b < 200)",
+])
+def test_statement_lowerings_verify_clean(sql, fuse):
+    generator = np.random.default_rng(7)
+    relation = Relation("t", [
+        Column.integer("a", generator.integers(0, 1 << 12, 500), bits=12),
+        Column.integer("b", generator.integers(0, 1 << 8, 500), bits=8),
+    ])
+    report = verify_schedule(
+        lower_statement(parse(sql), relation, fuse=fuse)
+    )
+    assert report.ok, report.render_text()
+
+
+# -- every hazard class is rejected -------------------------------------------
+
+
+class TestHazardClasses:
+    def test_h101_stale_depth(self):
+        codes = _codes(_schedule([
+            CopyDepthPass(column="a"),
+            CompareQuadPass(column="b", kind="compare"),
+        ]))
+        assert "H101" in codes
+
+    def test_h102_missing_copy(self):
+        codes = _codes(_schedule([
+            CompareQuadPass(column="a", kind="range"),
+        ]))
+        assert "H102" in codes
+
+    def test_h103_cnf_protocol_out_of_order_cleanup(self):
+        codes = _codes(_schedule([
+            StencilCNFPass(label="cnf-cleanup", clause=1),
+            StencilCNFPass(label="cnf-cleanup", clause=3),
+        ]))
+        assert "H103" in codes
+
+    def test_h103_dnf_double_accept(self):
+        codes = _codes(_schedule([
+            StencilCNFPass(label="dnf-arm", clause=1),
+            StencilCNFPass(label="dnf-accept", clause=1, counted=True),
+            StencilCNFPass(label="dnf-accept", clause=1, counted=True),
+            OcclusionCountPass(queries=2, batched=False),
+        ]))
+        assert "H103" in codes
+
+    def test_h104_occlusion_leak(self):
+        codes = _codes(_schedule([
+            CopyDepthPass(column="a"),
+            CompareQuadPass(column="a", kind="compare", counted=True),
+        ]))
+        assert "H104" in codes
+
+    def test_h105_double_harvest(self):
+        codes = _codes(_schedule([
+            CopyDepthPass(column="a"),
+            CompareQuadPass(column="a", kind="compare", counted=True),
+            OcclusionCountPass(queries=2, batched=False),
+        ]))
+        assert "H105" in codes
+
+    def test_h106_under_keyed_cache(self):
+        codes = _codes(_schedule(
+            [
+                CopyDepthPass(column="a"),
+                CompareQuadPass(column="a", kind="compare"),
+            ],
+            cache_key=(),
+        ))
+        assert "H106" in codes
+
+    def test_unkeyed_schedule_skips_cache_check(self):
+        assert verify_schedule(_schedule([
+            CopyDepthPass(column="a"),
+            CompareQuadPass(column="a", kind="compare"),
+        ])).ok
+
+    def test_empty_schedule_is_clean(self):
+        assert verify_schedule(_schedule([])).ok
+
+    def test_at_least_five_hazard_classes_reject(self):
+        """The acceptance floor: >= 5 distinct hazard classes fire."""
+        hazards = [
+            _schedule([CopyDepthPass(column="a"),
+                       CompareQuadPass(column="b", kind="compare")]),
+            _schedule([CompareQuadPass(column="a", kind="compare")]),
+            _schedule([StencilCNFPass(label="cnf-cleanup", clause=2)]),
+            _schedule([CompareQuadPass(column="a", kind="semilinear",
+                                       counted=True)]),
+            _schedule([OcclusionCountPass(queries=1, batched=False)]),
+            _schedule([CopyDepthPass(column="a")], cache_key=()),
+        ]
+        fired = set()
+        for schedule in hazards:
+            fired |= _codes(schedule)
+        assert len(fired) >= 5
+
+
+# -- satellite: the dnf-accept query-balance regression -----------------------
+
+
+class TestDnfAcceptRegression:
+    """The verifier surfaced a real compiler hazard: the DNF accept
+    pass runs inside an occlusion query at runtime (it counts records
+    while flipping their accept bit), but the lowered IR modeled it as
+    uncounted — so each clause's harvest retrieved a query that was
+    never begun."""
+
+    @staticmethod
+    def _dnf_schedule():
+        relation = Relation("t", [
+            Column.integer("a", np.arange(64), bits=6),
+            Column.integer("b", np.arange(64), bits=6),
+        ])
+        # Two 3-literal conjunctions: the CNF conversion explodes to
+        # nine clauses, so the cost chooser picks DNF.
+        predicate = Or(
+            And(Comparison("a", CompareFunc.GREATER, 1),
+                Comparison("a", CompareFunc.LESS, 50),
+                Comparison("b", CompareFunc.GREATER, 2)),
+            And(Comparison("b", CompareFunc.LESS, 60),
+                Comparison("a", CompareFunc.GREATER, 8),
+                Comparison("b", CompareFunc.GREATER, 1)),
+        )
+        return lower_select(relation, predicate)
+
+    def test_lowered_dnf_accept_is_counted(self):
+        schedule = self._dnf_schedule()
+        accepts = [
+            node for node in schedule.nodes
+            if isinstance(node, StencilCNFPass)
+            and node.label == "dnf-accept"
+        ]
+        assert accepts, "predicate did not lower to DNF"
+        assert all(node.counted for node in accepts)
+        assert verify_schedule(schedule).ok
+
+    def test_uncounted_accept_is_rejected(self):
+        """The pre-fix IR shape: harvest with no query begun."""
+        import dataclasses
+
+        schedule = self._dnf_schedule()
+        broken = dataclasses.replace(schedule, nodes=[
+            dataclasses.replace(node, counted=False)
+            if isinstance(node, StencilCNFPass)
+            and node.label == "dnf-accept"
+            else node
+            for node in schedule.nodes
+        ])
+        codes = _codes(broken)
+        assert "H105" in codes
+
+
+# -- wiring: engine debug mode and explain(verify=True) -----------------------
+
+
+def _relation(n=300):
+    generator = np.random.default_rng(11)
+    return Relation("t", [
+        Column.integer("a", generator.integers(0, 1 << 10, n), bits=10),
+        Column.integer("b", generator.integers(0, 1 << 6, n), bits=6),
+    ])
+
+
+class TestEngineDebugMode:
+    def test_debug_engine_verifies_every_operation(self):
+        relation = _relation()
+        gpu = GpuEngine(relation, debug=True)
+        cpu = CpuEngine(relation)
+        predicate = And(
+            Comparison("a", CompareFunc.GREATER, 100),
+            Between("b", 5, 40),
+        )
+        assert gpu.select(predicate).count == \
+            cpu.select(predicate).count
+        gpu.count()
+        gpu.sum("a", predicate)
+        gpu.median("a")
+        gpu.histogram("b", 8)
+        gpu.selectivities([
+            Comparison("a", CompareFunc.LESS, 500),
+            Between("a", 100, 900),
+        ])
+        assert gpu.debug_verifications >= 6
+
+    def test_debug_defaults_off(self):
+        relation = _relation()
+        gpu = GpuEngine(relation)
+        gpu.count(Comparison("a", CompareFunc.GREATER, 100))
+        assert not gpu.debug
+        assert gpu.debug_verifications == 0
+
+    def test_debug_results_match_non_debug(self):
+        relation = _relation()
+        predicate = Not(Comparison("a", CompareFunc.LESS, 700))
+        plain = GpuEngine(relation)
+        debug = GpuEngine(relation, debug=True)
+        assert plain.select(predicate).value == \
+            debug.select(predicate).value
+        assert plain.median("a", predicate).value == \
+            debug.median("a", predicate).value
+
+    def test_top_k_has_no_lowering_but_still_runs(self):
+        relation = _relation()
+        gpu = GpuEngine(relation, debug=True)
+        result = gpu.top_k("a", 5)
+        assert len(result.value.record_ids) >= 5
+
+
+class TestExplainVerify:
+    def _database(self):
+        db = Database()
+        db.register(_relation())
+        return db
+
+    def test_explain_verify_accepts_real_statements(self):
+        db = self._database()
+        schedule = db.explain(
+            "SELECT COUNT(*), MAX(a) FROM t WHERE a > 10 AND b < 50",
+            device=Device.GPU,
+            verify=True,
+        )
+        assert schedule.render_passes > 0
+
+    def test_explain_verify_defaults_off(self):
+        db = self._database()
+        schedule = db.explain("SELECT COUNT(*) FROM t")
+        assert isinstance(schedule, PassSchedule)
+
+    def test_assert_verified_raises_on_hazard(self):
+        with pytest.raises(PlanVerificationError) as excinfo:
+            assert_verified(_schedule([
+                CompareQuadPass(column="a", kind="compare"),
+            ]))
+        assert excinfo.value.report is not None
+        assert excinfo.value.report.errors

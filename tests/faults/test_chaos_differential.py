@@ -185,6 +185,28 @@ def test_single_transient_fault_is_retried_through(kind):
     assert plan.stats.gave_up == Counter()
 
 
+def test_debug_verification_reruns_after_fault_retry():
+    """Debug-mode static verification is per-attempt: a fault-forced
+    retry invalidates the attempt's plan state, recompiles, and the
+    recompiled schedule is verified again before the passes re-run."""
+    rng = np.random.default_rng(4245)
+    relation = _random_relation(rng)
+    predicate = _random_predicate(rng, relation)
+    cpu = CpuEngine(relation)
+
+    plan = FaultPlan(
+        [FaultRule(FaultKind.DEVICE_LOST, max_fires=1)], seed=9
+    )
+    executor = ResilientExecutor(stats=plan.stats)
+    gpu = GpuEngine(relation, executor=executor, debug=True)
+    with use_faults(plan):
+        count = gpu.count(predicate).value
+    assert plan.stats.total_retries == 1
+    # One verification per attempt: the fault burned the first.
+    assert gpu.debug_verifications == 2
+    assert count == cpu.select(predicate).count
+
+
 def test_depth_precision_fault_is_persistent():
     """Depth degradation is not retryable: the engine op fails
     immediately (no retries) with the typed persistent error."""

@@ -143,7 +143,11 @@ class TestArithmetic:
             data,
             np.asarray(coefficients, dtype=np.float32),
         )
-        assert np.allclose(out.color[:, 0], expected, rtol=1e-5)
+        # atol floor: cancellation (terms up to ~200 summing near 0)
+        # makes a pure relative bound unattainable in float32.
+        assert np.allclose(
+            out.color[:, 0], expected, rtol=1e-5, atol=1e-3
+        )
 
 
 class TestOperandBehavior:

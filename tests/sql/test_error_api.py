@@ -105,11 +105,11 @@ class TestPublicApiRaisesOnlyReproErrors:
     @pytest.mark.parametrize(
         "sql,device",
         [
-            ("SELECT COUNT(* FROM t", "auto"),  # parse error
-            ("SELECT COUNT(*) FROM missing", "auto"),  # unknown table
-            ("SELECT MAX(zz) FROM t", "auto"),  # unknown column
+            ("SELECT COUNT(* FROM t", Device.AUTO),  # parse error
+            ("SELECT COUNT(*) FROM missing", Device.AUTO),  # unknown table
+            ("SELECT MAX(zz) FROM t", Device.AUTO),  # unknown column
             ("SELECT COUNT(*) FROM t", "warp-drive"),  # bad device
-            ("SELECT COUNT(*) FROM t WHERE a > 10", "gpu"),  # faulted
+            ("SELECT COUNT(*) FROM t WHERE a > 10", Device.GPU),  # faulted
         ],
     )
     def test_query_failures_are_typed(self, sql, device):
