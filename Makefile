@@ -1,6 +1,7 @@
 # Convenience targets; everything works without make too.
 
-.PHONY: install test bench figures figures-paper smoke lint trace-demo
+.PHONY: install test bench figures figures-paper smoke lint trace-demo \
+	chaos-concurrent bench-gate
 
 install:
 	python setup.py develop
@@ -30,6 +31,19 @@ lint:
 	@if command -v mypy >/dev/null 2>&1; then \
 		PYTHONPATH=src mypy -p repro.analysis -p repro.plan; \
 	else echo "mypy not installed; skipping"; fi
+
+# Concurrent-session chaos (REPRO_CHAOS_SESSIONS sweeps the session
+# count; CI runs 2/4/8).
+chaos-concurrent:
+	PYTHONPATH=src REPRO_CHAOS_SESSIONS=$${REPRO_CHAOS_SESSIONS:-4} \
+		python -m pytest -q -m chaos tests/service/test_chaos.py
+
+# Regenerate the benchmark snapshot and gate it against the committed
+# BENCH_<n>.json trajectory (see src/repro/bench/compare.py).
+bench-gate:
+	PYTHONPATH=src python -m repro.bench --snapshot /tmp/BENCH_current.json
+	PYTHONPATH=src python -m repro.bench.compare /tmp/BENCH_current.json \
+		--against BENCH_7.json
 
 # Trace the figure-9 workload (selection + masked median) per pass;
 # writes traces/fig9.txt (pass tree) and traces/fig9.json (load in

@@ -19,9 +19,23 @@ span-carrying diagnostics (:mod:`repro.analysis.diagnostics`):
   stencil readbacks without a ``stencil_generation`` staleness check,
   bare ``except`` clauses that would swallow
   :class:`~repro.errors.GpuError`, float equality on fixed-point /
-  bias-encoded values, and the deprecated string device form.
+  bias-encoded values, the removed string device form, and direct
+  stencil/depth writes outside the context scheduler's layers.
+
+* **Interleaving verifier** (:func:`verify_interleaving`) — walks an
+  interleaved multi-session execution (one step per atomic op) and
+  fires H107 ``context-aliasing`` wherever a foreign op clobbers
+  stencil/depth state another session still depends on; under
+  ``virtualized=True`` (the :mod:`repro.gpu.context` scheduler) the
+  same walk proves every interleaving clean — the static half of the
+  query service's isolation guarantee.
 """
 
+from .concurrency import (
+    InterleavedOp,
+    InterleavingReport,
+    verify_interleaving,
+)
 from .diagnostics import (
     Diagnostic,
     Severity,
@@ -41,6 +55,8 @@ from .rules import HAZARD_RULES, Rule
 __all__ = [
     "Diagnostic",
     "HAZARD_RULES",
+    "InterleavedOp",
+    "InterleavingReport",
     "LINT_RULES",
     "LintFinding",
     "LintRule",
@@ -51,5 +67,6 @@ __all__ = [
     "assert_verified",
     "lint_paths",
     "lint_source",
+    "verify_interleaving",
     "verify_schedule",
 ]

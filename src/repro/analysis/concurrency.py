@@ -1,0 +1,199 @@
+"""Interleaving verifier: can concurrent sessions alias device state?
+
+One physical device, many sessions: every engine op compiles to a
+:class:`~repro.plan.PassSchedule` that runs *atomically* (the query
+service serializes execution), but between ops the scheduler may hand
+the device to another session.  Two pieces of state outlive an op and
+make that dangerous on a raw device:
+
+* **stencil** — a selection's mask stays in the stencil buffer until
+  :class:`~repro.core.engine.Selection` reads the ids back, which can be
+  arbitrarily later; it is live from the op that wrote it to the end of
+  the interleaving;
+* **depth** — the depth cache lets a session's *next* op elide its
+  copy-to-depth because the buffer still holds the column, so depth is
+  live from one of a session's ops to that session's next op.
+
+:func:`verify_interleaving` walks an interleaved execution (a sequence
+of ``(session, schedule)`` steps, one per atomic op, in device order)
+and fires :data:`~repro.analysis.rules.CONTEXT_ALIASING` (H107)
+wherever a foreign op writes a buffer inside another session's liveness
+window.  Under the virtual-context scheduler
+(:mod:`repro.gpu.context`, ``virtualized=True``) every switch
+checkpoints the outgoing session's stencil/depth and restores the
+incoming one's, so foreign writes land in a different context's state
+*by construction*: the same walk proves the report clean for every
+possible interleaving, which is the static half of the tentpole's
+isolation guarantee (the generation counters are the runtime half).
+
+Occlusion queries need no cross-op reasoning here: they cannot span a
+schedule boundary (H104/H105 reject leaks within one schedule, and
+schedules are the atomic unit of interleaving).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from ..errors import PlanVerificationError
+from ..plan.passes import DEPTH, STENCIL, PassSchedule
+from .diagnostics import Diagnostic, Span
+from .rules import CONTEXT_ALIASING
+
+#: The two framebuffer resources that carry state across op boundaries.
+_BUFFERS: frozenset[str] = frozenset({DEPTH, STENCIL})
+
+
+@dataclasses.dataclass(frozen=True)
+class InterleavedOp:
+    """One atomic step of an interleaved execution."""
+
+    #: Session that issued the op.
+    session: str
+    #: The op's compiled schedule.
+    schedule: PassSchedule
+
+    def describe(self) -> str:
+        return (
+            f"{self.session}:{self.schedule.op} ON {self.schedule.table}"
+        )
+
+
+@dataclasses.dataclass
+class InterleavingReport:
+    """Verdict for one interleaved execution.
+
+    Diagnostics' spans index into :attr:`ops` (the step that performed
+    the foreign write), not into any single schedule's nodes.
+    """
+
+    ops: list[InterleavedOp]
+    #: True when the execution runs under the context scheduler
+    #: (checkpoint/restore on every switch).
+    virtualized: bool
+    diagnostics: list[Diagnostic]
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return list(self.diagnostics)
+
+    def render_text(self) -> str:
+        mode = "virtualized" if self.virtualized else "raw device"
+        verdict = "ok" if self.ok else "REJECTED"
+        lines = [
+            f"interleaving of {len(self.ops)} ops [{mode}] [{verdict}]"
+        ]
+        for index, op in enumerate(self.ops):
+            lines.append(f"  {index}: {op.describe()}")
+        if not self.diagnostics:
+            lines.append("  (no aliasing)")
+        for diagnostic in self.diagnostics:
+            lines.append(f"  ! {diagnostic.render_text()}")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if self.ok:
+            return
+        raise PlanVerificationError(
+            f"interleaving of {len(self.ops)} ops aliases device "
+            "state:\n" + self.render_text(),
+            report=self,
+        )
+
+
+def _writes_buffer(schedule: PassSchedule, buffer: str) -> bool:
+    return any(buffer in node.writes() for node in schedule.nodes)
+
+
+def _liveness_end(
+    ops: Sequence[InterleavedOp], start: int, buffer: str
+) -> int:
+    """Exclusive end of ``buffer``'s liveness window opened at ``start``.
+
+    Depth is live until the owning session's next op (depth-cache
+    reuse); stencil is live to the end of the interleaving (selection
+    masks are read back after the ops finish).
+    """
+    if buffer == STENCIL:
+        return len(ops)
+    session = ops[start].session
+    for index in range(start + 1, len(ops)):
+        if ops[index].session == session:
+            return index
+    return len(ops)
+
+
+def verify_interleaving(
+    steps: Sequence[tuple[str, PassSchedule]],
+    virtualized: bool = False,
+) -> InterleavingReport:
+    """Check one interleaved execution for cross-session aliasing.
+
+    ``steps`` lists the atomic ops in the order the device ran them,
+    each tagged with its session.  ``virtualized=True`` models the
+    context scheduler: every foreign write is checkpoint-isolated, so
+    the report is provably clean; ``False`` models raw device sharing
+    and fires H107 for every clobbered liveness window (first foreign
+    writer per window).
+    """
+    ops = [
+        InterleavedOp(session=session, schedule=schedule)
+        for session, schedule in steps
+    ]
+    diagnostics: list[Diagnostic] = []
+    if not virtualized:
+        for start, op in enumerate(ops):
+            written = {
+                buffer
+                for buffer in _BUFFERS
+                if _writes_buffer(op.schedule, buffer)
+            }
+            windows = {
+                buffer: _liveness_end(ops, start, buffer)
+                for buffer in written
+            }
+            #: Buffers op ``start`` left live and nobody clobbered yet.
+            live = set(written)
+            #: clobbering op index -> buffers it overwrote.
+            clobbered: dict[int, list[str]] = {}
+            for index in range(start + 1, len(ops)):
+                live = {
+                    buffer for buffer in live if windows[buffer] > index
+                }
+                if not live:
+                    break
+                other = ops[index]
+                if other.session == op.session:
+                    # A session may overwrite its own state.
+                    live -= {
+                        buffer
+                        for buffer in live
+                        if _writes_buffer(other.schedule, buffer)
+                    }
+                    continue
+                hit = sorted(
+                    buffer
+                    for buffer in live
+                    if _writes_buffer(other.schedule, buffer)
+                )
+                if hit:
+                    clobbered[index] = hit
+                    live -= set(hit)
+            for index, buffers in sorted(clobbered.items()):
+                other = ops[index]
+                diagnostics.append(CONTEXT_ALIASING.diagnostic(
+                    Span.at(index),
+                    f"op {index} ({other.describe()}) writes "
+                    f"{' and '.join(buffers)} while op {start} "
+                    f"({op.describe()}) still depends on it; run the "
+                    "sessions under the context scheduler (virtual "
+                    "contexts) or drop the carried state",
+                ))
+    return InterleavingReport(
+        ops=ops, virtualized=virtualized, diagnostics=diagnostics
+    )

@@ -63,7 +63,15 @@ STRING_DEVICE = LintRule(
     "L205",
     "string-device",
     "device= passed as a string literal; use the repro.sql.Device "
-    "enum (the string form is deprecated)",
+    "enum (the string form has been removed and raises SqlPlanError)",
+)
+
+UNSCHEDULED_STENCIL_WRITE = LintRule(
+    "L206",
+    "unscheduled-stencil-write",
+    "a layer outside repro.gpu / repro.core writes device stencil or "
+    "depth state directly, bypassing the context scheduler's "
+    "checkpoint/restore isolation",
 )
 
 #: Every rule ``repro-lint`` can fire, in code order.
@@ -73,6 +81,7 @@ LINT_RULES: tuple[LintRule, ...] = (
     BARE_EXCEPT,
     FLOAT_EQ,
     STRING_DEVICE,
+    UNSCHEDULED_STENCIL_WRITE,
 )
 
 
@@ -97,6 +106,22 @@ class LintFinding:
 #: reach the device through an engine + ResilientExecutor, never raw.
 _ENGINE_ONLY_LAYERS = {
     "sql", "bench", "data", "cpu", "trace", "analysis", "olap.py",
+}
+
+#: The only layers allowed to mutate device stencil/depth state
+#: directly: the substrate itself and the engines the
+#: ContextScheduler multiplexes.  Everything else (service, faults,
+#: plan, streams, ...) must go through an engine so switches
+#: checkpoint/restore correctly.
+_SCHEDULER_LAYERS = {"gpu", "core"}
+
+#: Device methods that write stencil or depth buffer state (the state
+#: virtual contexts checkpoint and restore on every switch).
+_STENCIL_WRITE_METHODS = {
+    "clear",
+    "clear_stencil",
+    "clear_depth",
+    "render_quad",
 }
 
 #: Device methods that mutate pipeline state or issue work; reading
@@ -155,10 +180,24 @@ def _repro_layer(path: str) -> str | None:
     return None
 
 
+def _device_receiver(target: ast.expr) -> bool:
+    """True when ``target`` looks like a device handle (``device`` or
+    ``<expr>.device``)."""
+    return (
+        isinstance(target, ast.Attribute) and target.attr == "device"
+    ) or (
+        isinstance(target, ast.Name) and target.id == "device"
+    )
+
+
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, engine_only: bool):
+    def __init__(
+        self, path: str, engine_only: bool, scheduler_guard: bool = False
+    ):
         self.path = path
         self.engine_only = engine_only
+        #: True when this layer may not write stencil/depth state (L206).
+        self.scheduler_guard = scheduler_guard
         self.findings: list[LintFinding] = []
         #: Stack of per-function [saw_read_stencil_node, saw_generation]
         self._functions: list[list] = []
@@ -206,6 +245,18 @@ class _Visitor(ast.NodeVisitor):
                     self._functions[-1][0] = node
             if self.engine_only:
                 self._check_raw_device_call(node, func)
+            if (
+                self.scheduler_guard
+                and func.attr in _STENCIL_WRITE_METHODS
+                and _device_receiver(func.value)
+            ):
+                self._flag(
+                    node,
+                    UNSCHEDULED_STENCIL_WRITE,
+                    f"direct stencil/depth write .{func.attr}() outside "
+                    "repro.gpu / repro.core bypasses the context "
+                    "scheduler; route through a GpuEngine",
+                )
         if (
             self.engine_only
             and isinstance(func, ast.Name)
@@ -234,19 +285,34 @@ class _Visitor(ast.NodeVisitor):
     ) -> None:
         if func.attr not in _MUTATING_DEVICE_METHODS:
             return
-        target = func.value
-        if (
-            isinstance(target, ast.Attribute)
-            and target.attr == "device"
-        ) or (
-            isinstance(target, ast.Name) and target.id == "device"
-        ):
+        if _device_receiver(func.value):
             self._flag(
                 node,
                 RAW_DEVICE,
                 f"raw device call .{func.attr}() outside the engine "
                 "layer bypasses ResilientExecutor retry/fallback",
             )
+
+    # -- L206: generation counters belong to the scheduler -------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.scheduler_guard:
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in (
+                        "stencil_generation", "depth_generation"
+                    )
+                    and _device_receiver(target.value)
+                ):
+                    self._flag(
+                        node,
+                        UNSCHEDULED_STENCIL_WRITE,
+                        f"assignment to device.{target.attr} outside "
+                        "repro.gpu / repro.core; only the context "
+                        "scheduler may set generation counters",
+                    )
+        self.generic_visit(node)
 
     # -- L203: blanket exception handlers ------------------------------
 
@@ -302,7 +368,11 @@ def lint_source(
     layer = _repro_layer(path)
     tree = ast.parse(source, filename=path)
     visitor = _Visitor(
-        path, engine_only=layer in _ENGINE_ONLY_LAYERS
+        path,
+        engine_only=layer in _ENGINE_ONLY_LAYERS,
+        scheduler_guard=(
+            layer is not None and layer not in _SCHEDULER_LAYERS
+        ),
     )
     visitor.visit(tree)
     disabled = _suppressions(source)

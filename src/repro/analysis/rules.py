@@ -91,6 +91,20 @@ UNDER_KEYED_CACHE = Rule(
     "generation it reads",
 )
 
+#: Concurrency invariant (the virtual-context tentpole): when two
+#: sessions interleave operations on one physical device *without*
+#: checkpoint/restore contexts, a foreign op can overwrite stencil or
+#: depth state a session still depends on — a stale selection at best,
+#: a silently wrong answer at worst.  Fired by
+#: :func:`repro.analysis.verify_interleaving`; never fires when the
+#: interleaving runs under the context scheduler (``virtualized=True``).
+CONTEXT_ALIASING = Rule(
+    "H107",
+    "context-aliasing",
+    "an interleaved op from another session overwrites stencil/depth "
+    "state this session still depends on (unvirtualized device sharing)",
+)
+
 #: Everything the verifier can fire, in code order.
 HAZARD_RULES: tuple[Rule, ...] = (
     STALE_DEPTH,
@@ -99,4 +113,5 @@ HAZARD_RULES: tuple[Rule, ...] = (
     OCCLUSION_LEAK,
     DOUBLE_HARVEST,
     UNDER_KEYED_CACHE,
+    CONTEXT_ALIASING,
 )

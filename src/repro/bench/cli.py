@@ -71,6 +71,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--snapshot",
+        metavar="BENCH_N.json",
+        help=(
+            "write the committed perf snapshot (figure timings, cache "
+            "hit rates, service throughput clean + under faults) to "
+            "this path and exit; runs at smoke scale unless --scale "
+            "paper is given; gate it with python -m repro.bench.compare"
+        ),
+    )
+    parser.add_argument(
         "--faults",
         metavar="PLAN.json",
         help=(
@@ -90,6 +100,24 @@ def main(argv: list[str] | None = None) -> int:
         for eid in experiment_ids():
             experiment = REGISTRY[eid]
             print(f"{eid:20s} {experiment.title}")
+        return 0
+    if args.snapshot:
+        from .snapshot import write_snapshot
+
+        scale = "smoke" if args.scale == "quick" else args.scale
+        snapshot = write_snapshot(args.snapshot, scale_name=scale)
+        clean = snapshot["service"]["clean"]
+        faulted = snapshot["service"]["faulted"]
+        print(
+            f"wrote {args.snapshot} [scale={snapshot['scale']}]: "
+            f"{len(snapshot['figures'])} figures, "
+            f"depth hit rate "
+            f"{snapshot['cache']['depth_hit_rate']:.2f}, "
+            f"{clean['modeled_queries_per_s']} q/s clean vs "
+            f"{faulted['modeled_queries_per_s']} q/s under faults "
+            f"({faulted['degraded']} degraded, "
+            f"{faulted['failed']} failed)"
+        )
         return 0
     targets = args.experiments or experiment_ids()
     renderer = render_markdown if args.markdown else render_table

@@ -1,0 +1,171 @@
+"""Bench regression gate: diff two committed ``BENCH_<n>.json`` files.
+
+``python -m repro.bench.compare BENCH_7.json`` locates the previous
+committed snapshot (the highest-numbered ``BENCH_<m>.json`` with
+``m < n`` in the same directory), compares the *deterministic* metrics,
+and exits non-zero on a regression:
+
+* figure modeled milliseconds may not grow more than ``--tolerance``
+  (default 25%) on any series point;
+* cache hit rates may not drop by more than the tolerance;
+* modeled service throughput (clean and faulted) may not drop by more
+  than the tolerance.
+
+``wall_s`` keys and fault counters are informational and never gate.
+When no previous snapshot exists (this PR seeds the trajectory) the
+gate prints that and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+_SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def find_previous(path: pathlib.Path) -> pathlib.Path | None:
+    """The highest-numbered sibling ``BENCH_<m>.json`` with m below
+    ``path``'s number, or ``None``."""
+    match = _SNAPSHOT_RE.match(path.name)
+    if not match:
+        return None
+    number = int(match.group(1))
+    best: tuple[int, pathlib.Path] | None = None
+    for sibling in path.parent.glob("BENCH_*.json"):
+        other = _SNAPSHOT_RE.match(sibling.name)
+        if not other:
+            continue
+        m = int(other.group(1))
+        if m < number and (best is None or m > best[0]):
+            best = (m, sibling)
+    return best[1] if best else None
+
+
+def _figure_regressions(
+    current: dict, previous: dict, tolerance: float
+) -> list[str]:
+    problems = []
+    for eid, section in previous.get("figures", {}).items():
+        now = current.get("figures", {}).get(eid)
+        if now is None:
+            problems.append(f"figures.{eid}: missing from current")
+            continue
+        old_series = {s["name"]: s for s in section.get("series", [])}
+        new_series = {s["name"]: s for s in now.get("series", [])}
+        for name, old in old_series.items():
+            new = new_series.get(name)
+            if new is None or new.get("x") != old.get("x"):
+                # Shape changed (new sweep); not a regression.
+                continue
+            for x, old_ms, new_ms in zip(
+                old["x"], old["y_ms"], new["y_ms"]
+            ):
+                if old_ms > 0 and new_ms > old_ms * (1 + tolerance):
+                    problems.append(
+                        f"figures.{eid}.{name}[x={x}]: "
+                        f"{old_ms:.3f} ms -> {new_ms:.3f} ms "
+                        f"(+{(new_ms / old_ms - 1) * 100:.0f}%)"
+                    )
+    return problems
+
+
+def _rate_regressions(
+    current: dict, previous: dict, tolerance: float
+) -> list[str]:
+    problems = []
+    old_cache = previous.get("cache", {})
+    new_cache = current.get("cache", {})
+    for key in ("depth_hit_rate", "stencil_hit_rate"):
+        old = old_cache.get(key)
+        new = new_cache.get(key)
+        if old is None or new is None:
+            continue
+        if new < old - tolerance:
+            problems.append(
+                f"cache.{key}: {old:.3f} -> {new:.3f}"
+            )
+    for mode in ("clean", "faulted"):
+        old = (
+            previous.get("service", {})
+            .get(mode, {})
+            .get("modeled_queries_per_s")
+        )
+        new = (
+            current.get("service", {})
+            .get(mode, {})
+            .get("modeled_queries_per_s")
+        )
+        if not old or new is None:
+            continue
+        if new < old * (1 - tolerance):
+            problems.append(
+                f"service.{mode}.modeled_queries_per_s: "
+                f"{old} -> {new}"
+            )
+    return problems
+
+
+def compare_snapshots(
+    current: dict, previous: dict, tolerance: float = 0.25
+) -> list[str]:
+    """All regressions of ``current`` against ``previous`` (empty =
+    gate passes)."""
+    return _figure_regressions(
+        current, previous, tolerance
+    ) + _rate_regressions(current, previous, tolerance)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Gate a BENCH_<n>.json against its predecessor.",
+    )
+    parser.add_argument("snapshot", help="current BENCH_<n>.json")
+    parser.add_argument(
+        "--against",
+        help="explicit previous snapshot (default: auto-detect)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    path = pathlib.Path(args.snapshot)
+    current = json.loads(path.read_text())
+    previous_path = (
+        pathlib.Path(args.against) if args.against
+        else find_previous(path)
+    )
+    if previous_path is None:
+        print(
+            f"{path.name}: no previous snapshot found; "
+            "seeding the trajectory (gate passes)"
+        )
+        return 0
+    previous = json.loads(previous_path.read_text())
+    problems = compare_snapshots(
+        current, previous, tolerance=args.tolerance
+    )
+    if problems:
+        print(
+            f"{path.name} regressed against {previous_path.name} "
+            f"(tolerance {args.tolerance:.0%}):"
+        )
+        for problem in problems:
+            print(f"  ! {problem}")
+        return 1
+    print(
+        f"{path.name}: no regressions against {previous_path.name} "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

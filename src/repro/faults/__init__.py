@@ -13,7 +13,13 @@ and precision/readback failure surfaces it explicitly flags (sections
   transient faults plus graceful degradation hooks the engines use to
   fall back to the CPU instead of crashing the query;
 * :class:`FaultStats` — one counter object aggregating injections,
-  retries, fallbacks, and give-ups.
+  retries, fallbacks, give-ups, and circuit-breaker activity;
+* :class:`Deadline` / :func:`use_deadline` — per-query budgets on an
+  injectable clock, enforced cooperatively between rendering passes
+  (:class:`~repro.errors.QueryTimeoutError`);
+* :class:`CircuitBreaker` — trips open after K consecutive unretryable
+  GPU failures, routes traffic to the CPU engine, and half-open-probes
+  its way back (the :mod:`repro.service` GPU-path guard).
 
 Quick start::
 
@@ -38,6 +44,16 @@ from __future__ import annotations
 
 import contextlib
 
+from .breaker import BreakerState, CircuitBreaker
+from .deadline import (
+    Deadline,
+    ManualClock,
+    MonotonicClock,
+    check_deadline,
+    current_deadline,
+    set_deadline,
+    use_deadline,
+)
 from .plan import (
     SITE_DEPTH_COPY,
     SITE_MEMORY,
@@ -64,19 +80,28 @@ __all__ = [
     "SITE_PASS",
     "SITE_READBACK",
     "TRANSIENT_FAULTS",
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
     "FaultKind",
     "FaultPlan",
     "FaultRule",
     "FaultStats",
+    "ManualClock",
+    "MonotonicClock",
     "ResilientExecutor",
     "RetryPolicy",
     "SimClock",
     "WallClock",
     "active_plan",
+    "check_deadline",
+    "current_deadline",
     "current_executor",
     "maybe_inject",
+    "set_deadline",
     "set_executor",
     "set_plan",
+    "use_deadline",
     "use_executor",
     "use_faults",
 ]

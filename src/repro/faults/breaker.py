@@ -1,0 +1,169 @@
+"""Circuit breaker over the GPU execution path.
+
+After ``failure_threshold`` *consecutive* unretryable GPU failures (a
+query that fell back to the CPU, or a forced-GPU query that raised for
+good), the breaker **opens**: the query service stops offering new
+queries to the GPU path at all and routes them straight to the CPU
+engine — no doomed attempts, no retry storms against a sick device.
+
+Once ``cooldown_s`` has elapsed on the injectable clock the breaker
+moves to **half-open** and lets GPU traffic probe the device again;
+``probe_successes`` consecutive successful GPU queries close it, while
+any probe failure re-opens it and restarts the cool-down.
+
+State is observable three ways: the :attr:`state` property, breaker
+counters on the shared :class:`~repro.faults.plan.FaultStats`, and
+``breaker-*`` trace events (category ``"breaker"``) on transition.
+All methods are thread-safe — concurrent sessions share one breaker.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+
+from .deadline import MonotonicClock
+from .plan import FaultStats
+
+
+class BreakerState(enum.Enum):
+    """The classic three circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        probe_successes: int = 2,
+        clock=None,
+        stats: FaultStats | None = None,
+        tracer_source=None,
+    ):
+        """``clock`` needs a ``now() -> float`` method
+        (:class:`~repro.faults.deadline.MonotonicClock` by default;
+        pass :class:`~repro.faults.deadline.ManualClock` in tests).
+        ``stats`` shares the fault counters with a plan/executor;
+        ``tracer_source`` is a zero-argument callable returning the
+        live tracer (or None), resolved lazily like the plan cache's.
+        """
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if probe_successes < 1:
+            raise ValueError(
+                f"probe_successes must be >= 1, got {probe_successes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = float(cooldown_s)
+        self.probe_successes = probe_successes
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.stats = stats if stats is not None else FaultStats()
+        self._tracer_source = tracer_source
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._probes_succeeded = 0
+        self._opened_at_s = 0.0
+
+    # -- observation ----------------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state (performs the timed open -> half-open move)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    # -- routing --------------------------------------------------------------
+
+    def allow_gpu(self) -> bool:
+        """May the next query try the GPU path?
+
+        ``True`` while closed or half-open (half-open traffic *is* the
+        probe); ``False`` while open — the caller should route to the
+        CPU engine, and the refusal is counted as a short-circuit.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.OPEN:
+                self.stats.record_breaker_short_circuit()
+                return False
+            return True
+
+    # -- outcome feedback -----------------------------------------------------
+
+    def record_success(self) -> None:
+        """A GPU-path query completed on the GPU."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.HALF_OPEN:
+                self._probes_succeeded += 1
+                if self._probes_succeeded >= self.probe_successes:
+                    self._transition(BreakerState.CLOSED)
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self, error: BaseException | None = None) -> None:
+        """A GPU-path query failed for good (fallback or raise)."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.HALF_OPEN:
+                # The probe failed; re-open and restart the cool-down.
+                self._transition(BreakerState.OPEN, error=error)
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(BreakerState.OPEN, error=error)
+
+    # -- internals ------------------------------------------------------------
+
+    def _maybe_half_open(self) -> None:
+        """Open -> half-open once the cool-down elapsed (lock held)."""
+        if (
+            self._state is BreakerState.OPEN
+            and self.clock.now() - self._opened_at_s >= self.cooldown_s
+        ):
+            self._transition(BreakerState.HALF_OPEN)
+
+    def _transition(
+        self, state: BreakerState, error: BaseException | None = None
+    ) -> None:
+        previous = self._state
+        self._state = state
+        if state is BreakerState.OPEN:
+            self._opened_at_s = self.clock.now()
+        if state in (BreakerState.CLOSED, BreakerState.HALF_OPEN):
+            self._probes_succeeded = 0
+        if state is BreakerState.CLOSED:
+            self._consecutive_failures = 0
+        self.stats.record_breaker_transition(state.value)
+        tracer = (
+            self._tracer_source()
+            if self._tracer_source is not None
+            else None
+        )
+        if tracer is not None:
+            attrs = {"from": previous.value}
+            if error is not None:
+                attrs["error"] = type(error).__name__
+            tracer.record_event(
+                f"breaker-{state.value.replace('_', '-')}",
+                category="breaker",
+                **attrs,
+            )

@@ -1,0 +1,131 @@
+"""Per-query deadlines with cooperative cancellation between passes.
+
+A :class:`Deadline` is a point on an injectable clock; the substrate
+checks the *installed* deadline at its natural preemption points — the
+start of every rendering pass and every readback — via
+:func:`check_deadline`, raising :class:`~repro.errors.QueryTimeoutError`
+the first time the budget is exhausted.  Checks sit between passes, not
+inside them, so a pass never half-executes: the device is always left at
+a pass boundary with consistent buffers and generation counters.
+
+Deadlines install per-thread (:func:`use_deadline`), because the query
+service executes each query on its caller's thread; a deadline installed
+for one session's query is invisible to every other thread.
+
+Clocks are injectable so tests never sleep: :class:`MonotonicClock`
+wraps ``time.monotonic`` (the default), :class:`ManualClock` advances
+only when told to.  The same clock objects pace the circuit breaker's
+cool-down (:mod:`repro.faults.breaker`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Iterator
+
+from ..errors import QueryTimeoutError
+
+
+class MonotonicClock:
+    """Wall clock: ``now()`` is ``time.monotonic()``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock:
+    """Test clock: time moves only via :meth:`advance`."""
+
+    def __init__(self, start_s: float = 0.0):
+        self.now_s = start_s
+
+    def now(self) -> float:
+        return self.now_s
+
+    def advance(self, seconds: float) -> None:
+        self.now_s += seconds
+
+
+class Deadline:
+    """A budget on an injectable clock, checked between passes.
+
+    ``budget_s`` counts from construction; :meth:`check` raises
+    :class:`~repro.errors.QueryTimeoutError` once the clock passes the
+    expiry point.  ``label`` names the query in the error message.
+    """
+
+    def __init__(self, budget_s: float, clock=None, label: str = "query"):
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.budget_s = float(budget_s)
+        self.label = label
+        self.started_s = self.clock.now()
+        self.expires_s = self.started_s + self.budget_s
+
+    def remaining_s(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self.expires_s - self.clock.now()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining_s() <= 0.0
+
+    def check(self, site: str = "", tracer=None) -> None:
+        """Raise :class:`~repro.errors.QueryTimeoutError` when expired.
+
+        ``site`` names the preemption point (``"pipeline.pass"``,
+        ``"readback.stencil"``, ``"service.queue"``) for the error
+        message and the trace event.
+        """
+        if not self.expired:
+            return
+        if tracer is not None:
+            tracer.record_event(
+                "deadline-exceeded",
+                category="deadline",
+                site=site,
+                budget_s=self.budget_s,
+                label=self.label,
+            )
+        where = f" at {site}" if site else ""
+        raise QueryTimeoutError(
+            f"{self.label} exceeded its {self.budget_s:.3f} s "
+            f"deadline{where} (overran by {-self.remaining_s():.3f} s)"
+        )
+
+
+_LOCAL = threading.local()
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline installed on this thread, or None."""
+    return getattr(_LOCAL, "deadline", None)
+
+
+def set_deadline(deadline: Deadline | None) -> None:
+    """Install (or, with None, remove) this thread's deadline."""
+    _LOCAL.deadline = deadline
+
+
+@contextlib.contextmanager
+def use_deadline(deadline: Deadline) -> Iterator[Deadline]:
+    """Install ``deadline`` on this thread for the duration of the
+    block (the query service wraps each query's execution in one)."""
+    previous = current_deadline()
+    set_deadline(deadline)
+    try:
+        yield deadline
+    finally:
+        set_deadline(previous)
+
+
+def check_deadline(site: str, tracer=None) -> None:
+    """Substrate hook: enforce the installed deadline, if any.
+
+    A no-op (one attribute lookup and a None check) unless
+    :func:`use_deadline` installed one on this thread.
+    """
+    deadline = getattr(_LOCAL, "deadline", None)
+    if deadline is not None:
+        deadline.check(site, tracer=tracer)

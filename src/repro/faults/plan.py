@@ -121,6 +121,12 @@ class FaultStats:
         self.fallbacks: Counter[str] = Counter()
         #: Operations that exhausted their retry budget, by name.
         self.gave_up: Counter[str] = Counter()
+        #: Circuit-breaker transitions by target state
+        #: (``"open"`` / ``"half_open"`` / ``"closed"``).
+        self.breaker_transitions: Counter[str] = Counter()
+        #: Queries routed straight to the CPU because the breaker was
+        #: open (no GPU attempt was made at all).
+        self.breaker_short_circuits = 0
 
     @property
     def total_injected(self) -> int:
@@ -147,6 +153,12 @@ class FaultStats:
     def record_give_up(self, op: str) -> None:
         self.gave_up[op] += 1
 
+    def record_breaker_transition(self, state: str) -> None:
+        self.breaker_transitions[state] += 1
+
+    def record_breaker_short_circuit(self) -> None:
+        self.breaker_short_circuits += 1
+
     def as_dict(self) -> dict:
         return {
             "injected": dict(self.injected),
@@ -154,6 +166,8 @@ class FaultStats:
             "retries": dict(self.retries),
             "fallbacks": dict(self.fallbacks),
             "gave_up": dict(self.gave_up),
+            "breaker_transitions": dict(self.breaker_transitions),
+            "breaker_short_circuits": self.breaker_short_circuits,
         }
 
     def summary(self) -> str:

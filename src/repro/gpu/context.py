@@ -1,0 +1,209 @@
+"""Virtual stencil/depth contexts multiplexed onto one device.
+
+The FX 5900 owns exactly one stencil buffer and one depth buffer, so the
+paper's algorithms assume one query owns the device at a time; a second
+concurrent query scribbling on the stencil buffer silently corrupts the
+first one's selection mask (the hazard ``StaleSelectionError`` merely
+*detects*).  A :class:`ContextScheduler` removes the sharing instead: it
+multiplexes any number of :class:`VirtualContext`\\ s onto the device by
+checkpoint/restore, so each session sees a private stencil/depth pair
+and cross-session corruption is impossible *by construction*.
+
+Two mechanisms make the illusion exact:
+
+* **Checkpoint/restore** — switching away copies the live stencil values
+  and depth codes (plus both generation counters) into the outgoing
+  context; switching back writes them over the device.  The color
+  buffer is deliberately *not* part of a context: no engine operation
+  carries color state across an operation boundary, and the scheduler
+  only ever switches between operations.
+
+* **Generation namespacing** — each context's stencil/depth generation
+  counters live in a disjoint band (``cid * GENERATION_STRIDE``), so a
+  generation snapshot taken under one context can never accidentally
+  equal a value produced under another.  The plan caches and
+  ``Selection`` staleness checks keep comparing raw counters, unchanged
+  — the bands make those comparisons context-correct for free.  The
+  default context is band 0, so a single-context engine behaves
+  bit-for-bit like the pre-virtualization device.
+
+Every context also carries its own plan cache (built by the engine's
+``plan_factory``): a depth/stencil outcome cached under one context
+must not satisfy a lookup under another, even at equal counter values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import QueryError
+
+#: Width of each context's generation band.  A context would need 2**40
+#: buffer mutations to bleed into its neighbor's band — at one mutation
+#: per simulated pass that is centuries of device time.
+GENERATION_STRIDE = 1 << 40
+
+
+@dataclasses.dataclass
+class ContextStats:
+    """Scheduler accounting: how often the multiplexing actually paid."""
+
+    creates: int = 0
+    releases: int = 0
+    #: Context switches performed (activations of a non-active context).
+    switches: int = 0
+    #: Activations that were already-active no-ops (the fast path).
+    fast_activations: int = 0
+
+
+class VirtualContext:
+    """One session's private view of the device's stencil/depth state.
+
+    Created by :meth:`ContextScheduler.create`; holds the checkpointed
+    buffers while inactive (``None`` until first deactivation — a fresh
+    context restores to cleared buffers), the generation counters of
+    its band, and its own plan cache.
+    """
+
+    def __init__(self, cid: int, name: str, plan_cache=None):
+        self.cid = cid
+        self.name = name
+        #: Per-context plan cache (depth/stencil single-slot caches).
+        self.plan = plan_cache
+        #: False after release(); a dead context cannot be activated.
+        self.live = True
+        self._stencil: np.ndarray | None = None
+        self._depth_codes: np.ndarray | None = None
+        self._stencil_generation = cid * GENERATION_STRIDE
+        self._depth_generation = cid * GENERATION_STRIDE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self.live else "released"
+        return f"VirtualContext({self.name!r}, cid={self.cid}, {state})"
+
+
+class ContextScheduler:
+    """Multiplexes virtual contexts onto one :class:`Device`.
+
+    The scheduler is the *only* component that may write the device's
+    stencil/depth buffers outside a rendering pass (the ``repro-lint``
+    L206 rule enforces this); everything above it — engines, the SQL
+    layer, the query service — addresses stencil/depth state through a
+    context handle.
+    """
+
+    def __init__(self, device, plan_factory=None):
+        """``plan_factory`` is a zero-argument callable building a fresh
+        plan cache per context (``None`` leaves ``context.plan`` unset,
+        for scheduler-only uses)."""
+        self.device = device
+        self._plan_factory = plan_factory
+        self.stats = ContextStats()
+        self._next_cid = 0
+        #: The boot context: adopts the device's initial buffers and
+        #: generation band 0, so single-context use is unchanged.
+        self.default = self._new_context("default")
+        self.active = self.default
+
+    def _new_context(self, name: str) -> VirtualContext:
+        cid = self._next_cid
+        self._next_cid += 1
+        plan = (
+            self._plan_factory() if self._plan_factory is not None else None
+        )
+        return VirtualContext(cid, name, plan_cache=plan)
+
+    def create(self, name: str | None = None) -> VirtualContext:
+        """Allocate a fresh context (cleared buffers on first use)."""
+        context = self._new_context(name if name is not None else "")
+        if not context.name:
+            context.name = f"ctx-{context.cid}"
+        self.stats.creates += 1
+        return context
+
+    def activate(self, context: VirtualContext) -> VirtualContext:
+        """Make ``context`` the one the device's buffers belong to.
+
+        Already-active contexts return immediately (the fast path every
+        single-session workload stays on).  Otherwise the active
+        context is checkpointed and ``context`` restored — buffers and
+        generation counters both.
+        """
+        if context is self.active:
+            self.stats.fast_activations += 1
+            return context
+        if not context.live:
+            raise QueryError(
+                f"cannot activate released context {context.name!r}"
+            )
+        self._save(self.active)
+        self._restore(context)
+        previous, self.active = self.active, context
+        self.stats.switches += 1
+        tracer = self.device.tracer
+        if tracer is not None:
+            tracer.record_event(
+                "context-switch",
+                category="context",
+                previous=previous.name,
+                context=context.name,
+            )
+        return context
+
+    def release(self, context: VirtualContext) -> None:
+        """Drop a context's checkpoint and mark it dead.
+
+        A released context that happens to still be active stays on the
+        device (its buffers are garbage to everyone else anyway); the
+        next activation simply skips checkpointing it.
+        """
+        if context is self.default:
+            raise QueryError("the default context cannot be released")
+        context.live = False
+        context._stencil = None
+        context._depth_codes = None
+        if context.plan is not None:
+            context.plan.invalidate()
+        self.stats.releases += 1
+
+    # -- staleness accounting -------------------------------------------------
+
+    def stencil_generation_of(self, context: VirtualContext) -> int:
+        """The stencil generation ``context`` currently observes: the
+        live device counter while active, its checkpointed counter
+        otherwise (no mutation can touch an inactive context)."""
+        if context is self.active:
+            return self.device.stencil_generation
+        return context._stencil_generation
+
+    # -- checkpoint / restore -------------------------------------------------
+
+    def _save(self, context: VirtualContext) -> None:
+        if not context.live:
+            return
+        fb = self.device.framebuffer
+        context._stencil = fb.stencil.values.copy()
+        context._depth_codes = fb.depth.codes.copy()
+        context._stencil_generation = self.device.stencil_generation
+        context._depth_generation = self.device.depth_generation
+
+    def _restore(self, context: VirtualContext) -> None:
+        fb = self.device.framebuffer
+        if context._stencil is None:
+            # First activation: a fresh context starts exactly like a
+            # fresh device (zeroed stencil and depth codes).
+            fb.stencil.values[:] = 0
+            fb.depth.codes[:] = 0
+        else:
+            fb.stencil.values[:] = context._stencil
+            fb.depth.codes[:] = context._depth_codes
+            context._stencil = None
+            context._depth_codes = None
+        self.device.stencil_generation = context._stencil_generation
+        self.device.depth_generation = context._depth_generation
+        # An in-flight occlusion query never survives a switch; the
+        # scheduler only runs between operations, where none is live,
+        # but a faulted operation may have left one dangling.
+        self.device.abort_query()

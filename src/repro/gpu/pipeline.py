@@ -29,7 +29,7 @@ import time
 import numpy as np
 
 from ..errors import GpuError, OcclusionQueryError, RenderStateError
-from ..faults import SITE_PASS, SITE_READBACK, maybe_inject
+from ..faults import SITE_PASS, SITE_READBACK, check_deadline, maybe_inject
 from .assembler import FragmentProgram
 from .counters import PassStats, PipelineStats
 from .framebuffer import FrameBuffer, depth_to_code
@@ -140,6 +140,7 @@ class Device:
     # -- readbacks (bus traffic back to the CPU) -------------------------------
 
     def read_stencil(self) -> np.ndarray:
+        check_deadline(SITE_READBACK, tracer=self.tracer)
         maybe_inject(SITE_READBACK, tracer=self.tracer)
         self.stats.bytes_read_back += self.framebuffer.stencil.values.nbytes
         return self.framebuffer.stencil.values.copy()
@@ -244,6 +245,10 @@ class Device:
         (realized as at most two rects — hardware cannot rasterize
         arbitrary pixel sets).
         """
+        # Cooperative cancellation: the installed per-query deadline is
+        # enforced at pass boundaries, never mid-pass, so an expired
+        # query always leaves consistent buffers behind.
+        check_deadline(SITE_PASS, tracer=self.tracer)
         maybe_inject(SITE_PASS, tracer=self.tracer)
         if rect is not None and count is not None:
             raise GpuError("pass either rect or count, not both")

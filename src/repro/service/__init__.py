@@ -1,0 +1,51 @@
+"""The concurrent query service: sessions over virtualized device state.
+
+:class:`QueryService` fronts a :class:`~repro.sql.Database` with the
+three resilience mechanisms a shared GPU needs to serve concurrent
+traffic (ROADMAP north star; the admission-control shape of service
+tiers over a single accelerator):
+
+* **Sessions + virtual contexts** — each :class:`Session` runs its
+  queries under private per-engine stencil/depth contexts
+  (:mod:`repro.gpu.context`), so two sessions' selections can never
+  corrupt each other; ``StaleSelectionError`` is a scheduler-internal
+  event, never a cross-session one.
+* **Admission control** — at most ``max_in_flight`` queries executing
+  or waiting; beyond that, :class:`~repro.errors.AdmissionRejectedError`
+  immediately (shed load at the door, not mid-query).  Waiting queries
+  drain through a fair priority queue: higher ``priority`` first, FIFO
+  within a priority.
+* **Deadlines** — per-query budgets enforced in the admission queue and
+  cooperatively between rendering passes
+  (:class:`~repro.errors.QueryTimeoutError`).
+* **Circuit breaker** — after K consecutive unretryable GPU failures
+  the GPU path opens and queries route straight to the CPU engine;
+  half-open probes re-close it (:mod:`repro.faults.breaker`).
+
+Quick start::
+
+    from repro.service import QueryService
+    from repro.sql import Database
+
+    db = Database()
+    db.register(relation)
+    service = QueryService(db, max_in_flight=8)
+    with service.session("alice") as alice:
+        result = alice.query(
+            "SELECT COUNT(*) FROM tcpip WHERE data_loss > 100",
+            deadline_s=2.0,
+        )
+        print(result.scalar, result.degraded)
+
+See ``docs/SERVICE.md`` for semantics and knobs.
+"""
+
+from .service import QueryService, ServiceResult, ServiceStats
+from .session import Session
+
+__all__ = [
+    "QueryService",
+    "ServiceResult",
+    "ServiceStats",
+    "Session",
+]

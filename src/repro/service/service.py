@@ -1,0 +1,345 @@
+"""Admission control, fair queueing, deadlines, and breaker routing.
+
+The service serializes device work: the simulated GPU is one physical
+pipeline (and the numpy substrate is not thread-safe), so queries
+execute one at a time while *waiting* concurrently — exactly the
+paper-era reality of one GPU shared by many clients.  Fairness and
+bounded latency come from the admission queue, not from preemption;
+isolation comes from the per-session virtual contexts each query
+activates before touching an engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import threading
+
+from ..errors import (
+    AdmissionRejectedError,
+    GpuError,
+    QueryError,
+    QueryTimeoutError,
+)
+from ..faults import CircuitBreaker, Deadline, MonotonicClock, use_deadline
+from ..sql.planner import DeviceChoice
+from .session import Session
+
+#: Upper bound on one condition wait, so deadline expiry (possibly on a
+#: manual clock advanced by another thread) is re-checked promptly.
+_WAIT_SLICE_S = 0.05
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """Service-level counters (breaker counters live in FaultStats)."""
+
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    timeouts: int = 0
+    failed: int = 0
+    #: Queries answered by the CPU in degraded mode: breaker-open
+    #: routing plus GPU-path fallbacks.
+    degraded: int = 0
+    #: High-water mark of queries in flight (executing + waiting).
+    max_in_flight: int = 0
+
+
+@dataclasses.dataclass
+class ServiceResult:
+    """A query's answer plus its trip through the service."""
+
+    #: The underlying :class:`~repro.sql.QueryResult`.
+    result: object
+    #: Name of the session that issued the query.
+    session: str
+    #: Seconds spent waiting in the admission queue (service clock).
+    queued_s: float
+    #: True when the answer came from the CPU in degraded mode — the
+    #: breaker was open, or the GPU path failed and fell back.
+    degraded: bool
+    #: Breaker state when the query was dispatched (``"closed"`` /
+    #: ``"open"`` / ``"half_open"``).
+    breaker_state: str
+
+    # -- passthroughs to the wrapped QueryResult --
+
+    @property
+    def rows(self):
+        return self.result.rows
+
+    @property
+    def columns(self):
+        return self.result.columns
+
+    @property
+    def scalar(self):
+        return self.result.scalar
+
+    @property
+    def device(self):
+        """The device that actually produced the rows."""
+        return self.result.device
+
+    @property
+    def fallback(self) -> bool:
+        return self.result.fallback
+
+    @property
+    def time_ms(self) -> float:
+        return self.result.time_ms
+
+
+class QueryService:
+    """Session-based concurrent query service over one ``Database``."""
+
+    def __init__(
+        self,
+        db,
+        *,
+        max_in_flight: int = 8,
+        default_deadline_s: float | None = None,
+        breaker: CircuitBreaker | None = None,
+        clock=None,
+        tracer=None,
+    ):
+        """``max_in_flight`` bounds executing + waiting queries; query
+        number ``max_in_flight + 1`` is rejected with
+        :class:`~repro.errors.AdmissionRejectedError`.
+
+        ``default_deadline_s`` applies to queries that pass no
+        ``deadline_s`` of their own (``None`` = no deadline).
+
+        ``breaker`` guards the GPU path; the default breaker shares its
+        :class:`~repro.faults.FaultStats` with the database's resilient
+        executor (when one is attached) so one counter object tells the
+        whole degradation story.
+
+        ``clock`` (a ``now() -> float`` object) paces deadlines and the
+        breaker cool-down; ``tracer`` receives the service's
+        ``admitted`` / ``admission-reject`` / ``breaker-*`` /
+        ``query-done`` events.
+        """
+        if max_in_flight < 1:
+            raise QueryError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        self.db = db
+        self.max_in_flight = max_in_flight
+        self.default_deadline_s = default_deadline_s
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.tracer = tracer
+        self.stats = ServiceStats()
+        if breaker is None:
+            executor = getattr(db, "executor", None)
+            breaker = CircuitBreaker(
+                clock=self.clock,
+                stats=executor.stats if executor is not None else None,
+                tracer_source=lambda: self.tracer,
+            )
+        self.breaker = breaker
+        self._cond = threading.Condition()
+        #: Min-heap of ``(-priority, seq)`` — higher priority first,
+        #: FIFO (by admission sequence) within a priority.
+        self._waiting: list[tuple[int, int]] = []
+        self._running = False
+        self._in_flight = 0
+        self._seq = 0
+        self._sessions = 0
+
+    # -- sessions -------------------------------------------------------------
+
+    def session(
+        self, name: str | None = None, priority: int = 0
+    ) -> Session:
+        """Open a session: a named stream of queries sharing virtual
+        contexts and a queue priority (higher drains first)."""
+        with self._cond:
+            self._sessions += 1
+            if name is None:
+                name = f"session-{self._sessions}"
+        return Session(self, name, priority=priority)
+
+    # -- the query path -------------------------------------------------------
+
+    def execute(
+        self,
+        session: Session,
+        sql: str,
+        device: DeviceChoice = DeviceChoice.AUTO,
+        deadline_s: float | None = None,
+        trace: bool = False,
+    ) -> ServiceResult:
+        """Admit, queue, and run one query for ``session``.
+
+        Raises :class:`~repro.errors.AdmissionRejectedError` when the
+        service is at capacity, :class:`~repro.errors.QueryTimeoutError`
+        when the deadline expires (queued or mid-execution), and lets
+        every other typed error propagate.
+        """
+        budget = (
+            deadline_s if deadline_s is not None
+            else self.default_deadline_s
+        )
+        deadline = (
+            Deadline(budget, clock=self.clock, label=f"query[{session.name}]")
+            if budget is not None else None
+        )
+        queued_at = self.clock.now()
+        entry = self._admit(session)
+        acquired = False
+        try:
+            self._await_turn(entry, deadline)
+            acquired = True
+            queued_s = self.clock.now() - queued_at
+            return self._run(session, sql, device, deadline, trace, queued_s)
+        finally:
+            with self._cond:
+                if acquired:
+                    self._running = False
+                else:
+                    self._waiting.remove(entry)
+                    heapq.heapify(self._waiting)
+                self._in_flight -= 1
+                self._cond.notify_all()
+
+    # -- admission and fair queueing ------------------------------------------
+
+    def _admit(self, session: Session) -> tuple[int, int]:
+        with self._cond:
+            if self._in_flight >= self.max_in_flight:
+                self.stats.rejected += 1
+                self._event(
+                    "admission-reject",
+                    session=session.name,
+                    in_flight=self._in_flight,
+                )
+                raise AdmissionRejectedError(
+                    f"service at capacity: {self._in_flight} queries in "
+                    f"flight (max_in_flight={self.max_in_flight}); "
+                    "retry after load drains"
+                )
+            self._seq += 1
+            entry = (-session.priority, self._seq)
+            heapq.heappush(self._waiting, entry)
+            self._in_flight += 1
+            self.stats.admitted += 1
+            self.stats.max_in_flight = max(
+                self.stats.max_in_flight, self._in_flight
+            )
+            self._event(
+                "admitted",
+                session=session.name,
+                priority=session.priority,
+                in_flight=self._in_flight,
+            )
+            return entry
+
+    def _await_turn(
+        self, entry: tuple[int, int], deadline: Deadline | None
+    ) -> None:
+        """Block until ``entry`` is at the head of the queue and the
+        device is free; honours the deadline while waiting."""
+        with self._cond:
+            while self._running or self._waiting[0] != entry:
+                if deadline is not None and deadline.expired:
+                    self.stats.timeouts += 1
+                    deadline.check("service.queue", tracer=self.tracer)
+                timeout = _WAIT_SLICE_S
+                if deadline is not None:
+                    timeout = min(
+                        max(deadline.remaining_s(), 0.0), _WAIT_SLICE_S
+                    )
+                self._cond.wait(timeout=timeout)
+            heapq.heappop(self._waiting)
+            self._running = True
+
+    # -- execution ------------------------------------------------------------
+
+    def _run(
+        self,
+        session: Session,
+        sql: str,
+        device: DeviceChoice,
+        deadline: Deadline | None,
+        trace: bool,
+        queued_s: float,
+    ) -> ServiceResult:
+        breaker_state = self.breaker.state.value
+        gpu_possible = device is not DeviceChoice.CPU
+        short_circuited = False
+        if gpu_possible and not self.breaker.allow_gpu():
+            # Breaker open: no GPU attempt at all, straight to the CPU.
+            short_circuited = True
+            gpu_possible = False
+            device = DeviceChoice.CPU
+            breaker_state = self.breaker.state.value
+            self._event(
+                "breaker-short-circuit", session=session.name, sql=sql
+            )
+        if gpu_possible:
+            # The planner may route to the GPU: make sure this
+            # session's contexts are the live device state first.
+            self._activate_contexts(session, sql, device)
+        try:
+            if deadline is not None:
+                with use_deadline(deadline):
+                    result = self.db.query(sql, device=device, trace=trace)
+            else:
+                result = self.db.query(sql, device=device, trace=trace)
+        except QueryTimeoutError:
+            self.stats.timeouts += 1
+            self._event(
+                "query-timeout", session=session.name, sql=sql
+            )
+            raise
+        except QueryError as error:
+            self.stats.failed += 1
+            if gpu_possible and isinstance(error.__cause__, GpuError):
+                # Forced-GPU (or executor-less) query that died on a
+                # persistent device fault: breaker-relevant.
+                self.breaker.record_failure(error.__cause__)
+            raise
+        degraded = short_circuited
+        if gpu_possible:
+            if result.fallback:
+                self.breaker.record_failure()
+                degraded = True
+            elif result.device is DeviceChoice.GPU:
+                self.breaker.record_success()
+        if degraded:
+            self.stats.degraded += 1
+        self.stats.completed += 1
+        self._event(
+            "query-done",
+            session=session.name,
+            device=result.device.value,
+            degraded=degraded,
+            queued_s=round(queued_s, 6),
+        )
+        return ServiceResult(
+            result=result,
+            session=session.name,
+            queued_s=queued_s,
+            degraded=degraded,
+            breaker_state=breaker_state,
+        )
+
+    def _activate_contexts(
+        self, session: Session, sql: str, device: DeviceChoice
+    ) -> None:
+        """Swap this session's virtual contexts onto every GPU engine
+        the statement touches (runs under the service's execution
+        slot, so no other query can interleave with the switch)."""
+        plan = self.db.plan(sql, device=device)
+        tables = [plan.statement.table]
+        if plan.statement.join is not None:
+            tables.append(plan.statement.join.right_table)
+        for table in tables:
+            engine = self.db.gpu_engine(table)
+            engine.activate_context(session.context_for(engine))
+
+    def _event(self, name: str, **attrs) -> None:
+        if self.tracer is not None:
+            self.tracer.record_event(name, category="service", **attrs)

@@ -1,0 +1,82 @@
+"""Sessions: named query streams with private device contexts."""
+
+from __future__ import annotations
+
+from ..errors import QueryError
+from ..sql.planner import DeviceChoice
+
+
+class Session:
+    """One client's stream of queries through a
+    :class:`~repro.service.QueryService`.
+
+    The session lazily creates one virtual stencil/depth context per
+    GPU engine it touches; every query activates those contexts before
+    executing, so this session's selections and cached plan outcomes
+    are invisible to — and safe from — every other session.
+
+    Usable as a context manager; :meth:`close` releases the device
+    contexts.  Sessions are *not* re-entrant: issue one query at a time
+    per session (concurrency comes from many sessions).
+    """
+
+    def __init__(self, service, name: str, priority: int = 0):
+        self.service = service
+        self.name = name
+        #: Queue priority: higher values drain first, FIFO within a
+        #: priority level.
+        self.priority = priority
+        self.closed = False
+        #: id(engine) -> (engine, VirtualContext) for every GPU engine
+        #: this session has touched.
+        self._contexts: dict[int, tuple] = {}
+
+    def query(
+        self,
+        sql: str,
+        device: DeviceChoice = DeviceChoice.AUTO,
+        deadline_s: float | None = None,
+        trace: bool = False,
+    ):
+        """Run ``sql`` through the service (admission, queueing,
+        deadline, breaker); returns a
+        :class:`~repro.service.ServiceResult`."""
+        if self.closed:
+            raise QueryError(f"session {self.name!r} is closed")
+        return self.service.execute(
+            self, sql, device=device, deadline_s=deadline_s, trace=trace
+        )
+
+    def context_for(self, engine):
+        """This session's virtual context on ``engine`` (created on
+        first touch)."""
+        key = id(engine)
+        pair = self._contexts.get(key)
+        if pair is None or pair[0] is not engine:
+            context = engine.create_context(f"session:{self.name}")
+            pair = (engine, context)
+            self._contexts[key] = pair
+        return pair[1]
+
+    def close(self) -> None:
+        """Release every device context this session created.  Safe to
+        call twice; queries after close raise
+        :class:`~repro.errors.QueryError`."""
+        if self.closed:
+            return
+        self.closed = True
+        contexts, self._contexts = self._contexts, {}
+        for engine, context in contexts.values():
+            engine.release_context(context)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return (
+            f"Session({self.name!r}, priority={self.priority}, {state})"
+        )

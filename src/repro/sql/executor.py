@@ -17,7 +17,6 @@ co-processor split) unless ``device=`` forces one.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 
 import numpy as np
 
@@ -189,26 +188,26 @@ class Database:
 
     @staticmethod
     def _normalize_device(device) -> DeviceChoice:
-        """Accept :class:`DeviceChoice` (preferred) or its string form
-        (deprecated)."""
+        """Require the :class:`DeviceChoice` enum (``repro.sql.Device``).
+
+        The string form (``"gpu"`` / ``"cpu"`` / ``"auto"``) went
+        through a deprecation cycle and is now rejected outright with a
+        typed error naming the replacement.
+        """
         if isinstance(device, DeviceChoice):
             return device
-        warnings.warn(
-            f"passing device={device!r} as a string is deprecated; "
-            "use repro.sql.Device.GPU / .CPU / .AUTO",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        try:
-            return DeviceChoice(device)
-        except ValueError:
+        if isinstance(device, str):
             raise SqlPlanError(
-                f"unknown device {device!r}; supported: "
-                f"{[d.value for d in DeviceChoice]}"
-            ) from None
+                f"device={device!r}: the string device form has been "
+                "removed; pass repro.sql.Device.GPU / .CPU / .AUTO"
+            )
+        raise SqlPlanError(
+            f"unknown device {device!r}; pass repro.sql.Device.GPU / "
+            ".CPU / .AUTO"
+        )
 
     def plan(
-        self, sql: str, device: str | DeviceChoice = DeviceChoice.AUTO
+        self, sql: str, device: DeviceChoice = DeviceChoice.AUTO
     ) -> QueryPlan:
         statement = parse(sql)
         relation = self.relation(statement.table)
@@ -225,7 +224,7 @@ class Database:
     def explain(
         self,
         sql: str,
-        device: str | DeviceChoice = DeviceChoice.AUTO,
+        device: DeviceChoice = DeviceChoice.AUTO,
         fuse: bool = True,
         verify: bool = False,
     ) -> PassSchedule:
@@ -258,7 +257,7 @@ class Database:
     def query(
         self,
         sql: str,
-        device: str | DeviceChoice = DeviceChoice.AUTO,
+        device: DeviceChoice = DeviceChoice.AUTO,
         trace: bool = False,
     ) -> QueryResult:
         """Parse, plan and execute ``sql``.

@@ -1,0 +1,144 @@
+"""H107 context-aliasing: the interleaving verifier flags raw-device
+session interleavings and proves virtualized ones clean."""
+
+import pytest
+
+from repro.analysis import (
+    InterleavingReport,
+    verify_interleaving,
+)
+from repro.errors import PlanVerificationError
+from repro.plan import PassSchedule
+from repro.plan.passes import (
+    CompareQuadPass,
+    CopyDepthPass,
+    OcclusionCountPass,
+)
+from repro.sql import Database, Device
+
+
+def _selection(table="t", column="a"):
+    """A minimal select: copy-to-depth, counted compare, harvest."""
+    return PassSchedule(
+        op="select",
+        table=table,
+        nodes=[
+            CopyDepthPass(column=column),
+            CompareQuadPass(column=column, kind="compare", counted=True),
+            OcclusionCountPass(queries=1),
+        ],
+    )
+
+
+def _harvest_only(table="t"):
+    """A schedule that touches neither stencil nor depth."""
+    return PassSchedule(
+        op="noop", table=table, nodes=[OcclusionCountPass(queries=0)]
+    )
+
+
+class TestRawDeviceAliasing:
+    def test_foreign_stencil_write_fires_h107(self):
+        report = verify_interleaving([
+            ("alice", _selection()),
+            ("bob", _selection()),
+        ])
+        assert not report.ok
+        assert [d.code for d in report.errors] == ["H107"]
+        # The span cites the clobbering step.
+        assert report.errors[0].span.start == 1
+
+    def test_single_session_never_aliases(self):
+        report = verify_interleaving([
+            ("alice", _selection()),
+            ("alice", _selection(column="b")),
+            ("alice", _selection(column="c")),
+        ])
+        assert report.ok
+
+    def test_state_free_foreign_op_is_harmless(self):
+        report = verify_interleaving([
+            ("alice", _selection()),
+            ("bob", _harvest_only()),
+        ])
+        assert report.ok
+
+    def test_depth_window_closes_at_own_next_op(self):
+        # bob clobbers depth after alice's *last* op: stencil (live to
+        # the end) fires, and exactly once despite two clobbers.
+        report = verify_interleaving([
+            ("alice", _selection()),
+            ("bob", _selection()),
+            ("bob", _selection(column="b")),
+        ])
+        codes = [d.code for d in report.errors]
+        assert codes == ["H107"]
+
+    def test_interleaved_pair_fires_for_both_sessions(self):
+        # a, b, a, b: each session's mask is clobbered by the other.
+        report = verify_interleaving([
+            ("alice", _selection()),
+            ("bob", _selection()),
+            ("alice", _selection(column="b")),
+            ("bob", _selection(column="b")),
+        ])
+        assert len(report.errors) >= 2
+        assert {d.code for d in report.errors} == {"H107"}
+
+    def test_raise_if_failed(self):
+        report = verify_interleaving([
+            ("alice", _selection()),
+            ("bob", _selection()),
+        ])
+        with pytest.raises(PlanVerificationError, match="H107"):
+            report.raise_if_failed()
+
+
+class TestVirtualizedIsolation:
+    def test_virtualized_interleaving_is_provably_clean(self):
+        steps = [
+            ("alice", _selection()),
+            ("bob", _selection()),
+            ("alice", _selection(column="b")),
+            ("bob", _selection(column="b")),
+        ]
+        raw = verify_interleaving(steps)
+        virtual = verify_interleaving(steps, virtualized=True)
+        assert not raw.ok
+        assert virtual.ok
+        assert virtual.diagnostics == []
+
+    def test_report_renders_both_modes(self):
+        steps = [("alice", _selection()), ("bob", _selection())]
+        raw = verify_interleaving(steps).render_text()
+        assert "raw device" in raw and "REJECTED" in raw
+        virtual = verify_interleaving(
+            steps, virtualized=True
+        ).render_text()
+        assert "virtualized" in virtual and "[ok]" in virtual
+        assert "no aliasing" in virtual
+
+
+class TestRealSchedules:
+    """The verifier consumes what Database.explain produces."""
+
+    @pytest.fixture()
+    def db(self, small_relation):
+        database = Database()
+        database.register(small_relation)
+        return database
+
+    def test_explain_output_feeds_the_verifier(self, db):
+        schedule = db.explain(
+            "SELECT COUNT(*) FROM tcpip WHERE data_count >= 1000",
+            device=Device.GPU,
+        )
+        report = verify_interleaving([
+            ("alice", schedule),
+            ("bob", schedule),
+        ])
+        assert isinstance(report, InterleavingReport)
+        assert not report.ok
+        assert verify_interleaving(
+            [("alice", schedule), ("bob", schedule)], virtualized=True
+        ).ok

@@ -144,6 +144,40 @@ class TestStringDevice:
         assert _codes('db.query(sql, mode="fast")\n') == []
 
 
+class TestUnscheduledStencilWrite:
+    BAD = """
+        def reset(engine):
+            engine.device.clear_stencil(0)
+    """
+
+    def test_flags_outside_scheduler_layers(self):
+        for layer in ("service", "faults", "plan", "sql"):
+            codes = _codes(self.BAD, path=f"src/repro/{layer}/x.py")
+            assert "L206" in codes, layer
+
+    def test_gpu_and_core_may_write_stencil(self):
+        assert _codes(self.BAD, path="src/repro/gpu/context.py") == []
+        assert _codes(self.BAD, path="src/repro/core/engine.py") == []
+
+    def test_generation_assignment_flagged(self):
+        source = """
+            def hack(engine, generation):
+                engine.device.stencil_generation = generation
+        """
+        codes = _codes(source, path="src/repro/service/x.py")
+        assert "L206" in codes
+
+    def test_non_repro_files_exempt(self):
+        assert _codes(self.BAD, path="tests/service/helper.py") == []
+
+    def test_non_device_clear_passes(self):
+        source = """
+            def drain(queue):
+                queue.clear()
+        """
+        assert _codes(source, path="src/repro/service/x.py") == []
+
+
 class TestSuppressions:
     def test_same_line_suppression(self):
         source = 'ok = v == 0.5  # repro-lint: disable=float-eq\n'
@@ -200,7 +234,7 @@ class TestRuleCatalog:
     def test_codes_unique(self):
         codes = [rule.code for rule in LINT_RULES]
         assert len(codes) == len(set(codes))
-        assert len(codes) == 5
+        assert len(codes) == 6
 
     @pytest.mark.parametrize("rule", LINT_RULES, ids=lambda r: r.code)
     def test_slugs_are_suppression_safe(self, rule):

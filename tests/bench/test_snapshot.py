@@ -1,0 +1,145 @@
+"""The committed perf snapshot (BENCH_<n>.json) and its regression gate."""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.compare import (
+    compare_snapshots,
+    find_previous,
+    main as compare_main,
+)
+from repro.bench.snapshot import (
+    SNAPSHOT_FIGURES,
+    SNAPSHOT_VERSION,
+    build_snapshot,
+    write_snapshot,
+)
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return build_snapshot("smoke")
+
+
+class TestSnapshotShape:
+    def test_figures_cache_service_sections(self, snapshot):
+        assert snapshot["version"] == SNAPSHOT_VERSION
+        assert set(snapshot["figures"]) == set(SNAPSHOT_FIGURES)
+        for section in snapshot["figures"].values():
+            assert section["series"], section["title"]
+        cache = snapshot["cache"]
+        assert 0.0 <= cache["depth_hit_rate"] <= 1.0
+        assert cache["depth_hits"] + cache["depth_misses"] > 0
+
+    def test_service_sections_report_throughput(self, snapshot):
+        clean = snapshot["service"]["clean"]
+        faulted = snapshot["service"]["faulted"]
+        assert clean["queries"] > 0
+        assert clean["failed"] == 0
+        assert clean["modeled_queries_per_s"] > 0
+        # The faulted run must show degradation: failures, degraded
+        # (breaker short-circuit) traffic, and breaker transitions.
+        assert faulted["failed"] + faulted["degraded"] > 0
+        assert faulted["faults"]["breaker_transitions"]
+
+    def test_snapshot_is_deterministic_modulo_wall_clock(self, snapshot):
+        again = build_snapshot("smoke")
+        def strip(data):
+            data = copy.deepcopy(data)
+            for mode in data["service"].values():
+                mode.pop("wall_s", None)
+            return data
+        assert strip(snapshot) == strip(again)
+
+    def test_write_snapshot_round_trips(self, snapshot, tmp_path):
+        path = tmp_path / "BENCH_9.json"
+        written = write_snapshot(str(path), "smoke")
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(written)
+        )
+
+
+class TestCommittedSnapshot:
+    def test_bench_7_is_committed_and_current_shape(self):
+        path = REPO / "BENCH_7.json"
+        data = json.loads(path.read_text())
+        assert data["version"] == SNAPSHOT_VERSION
+        assert set(data["figures"]) == set(SNAPSHOT_FIGURES)
+        assert data["service"]["faulted"]["faults"][
+            "breaker_transitions"
+        ]
+
+
+class TestCompareGate:
+    def test_identical_snapshots_pass(self, snapshot):
+        assert compare_snapshots(snapshot, snapshot) == []
+
+    def test_slower_figures_fail(self, snapshot):
+        slow = copy.deepcopy(snapshot)
+        eid = SNAPSHOT_FIGURES[0]
+        series = slow["figures"][eid]["series"][0]
+        series["y_ms"] = [y * 2 for y in series["y_ms"]]
+        problems = compare_snapshots(slow, snapshot)
+        assert problems and eid in problems[0]
+        # The regression is directional: the *previous* being slower
+        # is an improvement, not a failure.
+        assert compare_snapshots(snapshot, slow) == []
+
+    def test_throughput_drop_fails(self, snapshot):
+        slow = copy.deepcopy(snapshot)
+        slow["service"]["clean"]["modeled_queries_per_s"] = 0.01
+        problems = compare_snapshots(slow, snapshot)
+        assert any("clean" in p for p in problems)
+
+    def test_hit_rate_drop_fails(self, snapshot):
+        worse = copy.deepcopy(snapshot)
+        worse["cache"]["depth_hit_rate"] = 0.0
+        better = copy.deepcopy(snapshot)
+        better["cache"]["depth_hit_rate"] = 1.0
+        assert compare_snapshots(worse, better)
+
+    def test_changed_sweep_shape_is_not_a_regression(self, snapshot):
+        changed = copy.deepcopy(snapshot)
+        eid = SNAPSHOT_FIGURES[0]
+        series = changed["figures"][eid]["series"][0]
+        series["x"] = [x + 1 for x in series["x"]]
+        series["y_ms"] = [y * 100 for y in series["y_ms"]]
+        assert compare_snapshots(changed, snapshot) == []
+
+
+class TestPreviousDiscovery:
+    def test_finds_highest_lower_number(self, tmp_path):
+        for n in (3, 5, 7):
+            (tmp_path / f"BENCH_{n}.json").write_text("{}")
+        assert find_previous(
+            tmp_path / "BENCH_7.json"
+        ) == tmp_path / "BENCH_5.json"
+
+    def test_no_previous_returns_none(self, tmp_path):
+        (tmp_path / "BENCH_7.json").write_text("{}")
+        assert find_previous(tmp_path / "BENCH_7.json") is None
+
+    def test_cli_seeds_trajectory_with_exit_zero(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "BENCH_7.json"
+        path.write_text("{}")
+        assert compare_main([str(path)]) == 0
+        assert "seeding" in capsys.readouterr().out
+
+    def test_cli_flags_regression(self, tmp_path, snapshot):
+        previous = copy.deepcopy(snapshot)
+        current = copy.deepcopy(snapshot)
+        eid = SNAPSHOT_FIGURES[0]
+        series = current["figures"][eid]["series"][0]
+        series["y_ms"] = [y * 3 for y in series["y_ms"]]
+        (tmp_path / "BENCH_6.json").write_text(json.dumps(previous))
+        seven = tmp_path / "BENCH_7.json"
+        seven.write_text(json.dumps(current))
+        assert compare_main([str(seven)]) == 1
+        assert compare_main([str(seven), "--tolerance", "9.0"]) == 0

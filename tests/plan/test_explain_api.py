@@ -36,15 +36,21 @@ class TestDeviceEnum:
         ]
         assert not deprecations
 
-    def test_string_form_warns_but_works(self, db):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            result = db.query(SQL, device="gpu")
-        assert result.device is Device.GPU
+    def test_string_form_removed(self, db):
+        """The deprecated string device form is gone: strings raise a
+        typed plan error that names the enum to use instead."""
+        with pytest.raises(SqlPlanError, match="removed"):
+            db.query(SQL, device="gpu")
+        with pytest.raises(SqlPlanError, match="Device.GPU"):
+            db.plan(SQL, device="cpu")
+        with pytest.raises(SqlPlanError):
+            db.explain(SQL, device="auto")
 
-    def test_unknown_string_still_typed_error(self, db):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(SqlPlanError):
-                db.query(SQL, device="warp-drive")
+    def test_unknown_device_still_typed_error(self, db):
+        with pytest.raises(SqlPlanError):
+            db.query(SQL, device="warp-drive")
+        with pytest.raises(SqlPlanError):
+            db.query(SQL, device=42)
 
     def test_result_device_field_is_enum(self, db):
         assert db.query(SQL, device=Device.CPU).device is Device.CPU

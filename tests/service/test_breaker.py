@@ -1,0 +1,145 @@
+"""The GPU circuit breaker: closed -> open -> half-open -> closed."""
+
+import pytest
+
+from repro.errors import DepthPrecisionError
+from repro.faults import (
+    BreakerState,
+    CircuitBreaker,
+    FaultStats,
+    ManualClock,
+)
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(
+        failure_threshold=3,
+        cooldown_s=10.0,
+        probe_successes=2,
+        clock=clock,
+    )
+
+
+class TestOpening:
+    def test_opens_after_consecutive_failures(self, breaker):
+        for _ in range(2):
+            breaker.record_failure(DepthPrecisionError("x"))
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow_gpu()
+        breaker.record_failure(DepthPrecisionError("x"))
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow_gpu()
+
+    def test_success_resets_the_consecutive_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_short_circuits_are_counted(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow_gpu()
+        assert not breaker.allow_gpu()
+        assert breaker.stats.breaker_short_circuits == 2
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_successes=0)
+
+
+class TestHalfOpenProbing:
+    def _open(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_cooldown_moves_to_half_open(self, breaker, clock):
+        self._open(breaker)
+        clock.advance(9.9)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow_gpu()  # probes are allowed through
+
+    def test_probe_successes_close(self, breaker, clock):
+        self._open(breaker)
+        clock.advance(11.0)
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_probe_failure_reopens_and_restarts_cooldown(
+        self, breaker, clock
+    ):
+        self._open(breaker)
+        clock.advance(11.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure(DepthPrecisionError("still sick"))
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(9.0)
+        assert breaker.state is BreakerState.OPEN  # cooldown restarted
+        clock.advance(1.5)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestObservability:
+    def test_transitions_recorded_on_shared_stats(self, clock):
+        stats = FaultStats()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            cooldown_s=5.0,
+            probe_successes=1,
+            clock=clock,
+            stats=stats,
+        )
+        breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert dict(stats.breaker_transitions) == {
+            "open": 1,
+            "half_open": 1,
+            "closed": 1,
+        }
+        assert "breaker_transitions" in stats.as_dict()
+
+    def test_trace_events_on_transition(self, clock):
+        from repro.trace import Tracer
+
+        tracer = Tracer()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            cooldown_s=5.0,
+            probe_successes=1,
+            clock=clock,
+            tracer_source=lambda: tracer,
+        )
+        with tracer.span("service", "test"):
+            breaker.record_failure(DepthPrecisionError("x"))
+            clock.advance(6.0)
+            assert breaker.state is BreakerState.HALF_OPEN
+            breaker.record_success()
+        trace = tracer.finish()
+        names = [e.name for e in trace.all_events()]
+        assert "breaker-open" in names
+        assert "breaker-half-open" in names
+        assert "breaker-closed" in names
+        opened = next(
+            e for e in trace.all_events() if e.name == "breaker-open"
+        )
+        assert opened.attrs["error"] == "DepthPrecisionError"

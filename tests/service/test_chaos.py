@@ -1,0 +1,285 @@
+"""Concurrent-session chaos: interleaved sessions under randomized
+fault schedules through the full service stack.
+
+The invariant (stronger than the single-client chaos suite): with N
+sessions racing, every query either returns the CPU-oracle answer or
+raises a *typed* error — never a silent wrong answer, and never a
+:class:`~repro.errors.StaleSelectionError`, because virtual contexts
+make cross-session staleness impossible by construction.
+
+``REPRO_CHAOS_SESSIONS`` sets the session count (default 4); the CI
+concurrent-chaos matrix sweeps it.  ``REPRO_CHAOS_PROFILE`` narrows the
+fault kinds exactly as in ``tests/faults/test_chaos_differential.py``.
+"""
+
+import os
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import CpuEngine, GpuEngine
+from repro.errors import ReproError, StaleSelectionError
+from repro.faults import (
+    CircuitBreaker,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    ManualClock,
+    ResilientExecutor,
+    use_faults,
+)
+from repro.service import QueryService
+from repro.sql import Database, Device
+from tests.core.test_differential import (
+    _random_predicate,
+    _random_relation,
+)
+
+pytestmark = pytest.mark.chaos
+
+N_SESSIONS = int(os.environ.get("REPRO_CHAOS_SESSIONS", "4"))
+QUERIES_PER_SESSION = 6
+NUM_SCHEDULES = 6
+
+_PROFILE = os.environ.get("REPRO_CHAOS_PROFILE", "mixed")
+if _PROFILE == "mixed":
+    PROFILE_KINDS = list(FaultKind)
+else:
+    PROFILE_KINDS = [FaultKind(_PROFILE)]
+
+_WORKLOAD = (
+    "SELECT COUNT(*) FROM tcpip WHERE data_loss > 100",
+    "SELECT COUNT(*) FROM tcpip WHERE data_loss <= 700",
+    "SELECT SUM(data_count) FROM tcpip WHERE data_loss > 200",
+    "SELECT MIN(data_loss) FROM tcpip WHERE data_count >= 1000",
+    "SELECT MAX(data_count) FROM tcpip WHERE data_loss <= 900",
+    "SELECT MEDIAN(data_count) FROM tcpip",
+)
+
+
+def _random_plan(seed: int) -> FaultPlan:
+    rng = random.Random(f"service-chaos:{seed}")
+    rules = [
+        FaultRule(
+            kind=rng.choice(PROFILE_KINDS),
+            probability=rng.choice((0.05, 0.15, 0.3, 1.0)),
+            start_after=rng.choice((0, 0, 5, 30)),
+            max_fires=rng.choice((1, 3, 8, None)),
+        )
+        for _ in range(rng.randint(1, 3))
+    ]
+    return FaultPlan(rules, seed=seed)
+
+
+def _oracle(small_relation):
+    """Fault-free CPU ground truth for every workload statement."""
+    db = Database()
+    db.register(small_relation)
+    return {
+        sql: db.query(sql, device=Device.CPU).rows for sql in _WORKLOAD
+    }
+
+
+def _session_worker(service, name, seed, outcomes, errors):
+    """One session's query stream; every outcome is recorded for the
+    main thread to judge (asserting in workers loses the failure)."""
+    rng = random.Random(f"{name}:{seed}")
+    try:
+        with service.session(name) as session:
+            for _ in range(QUERIES_PER_SESSION):
+                sql = rng.choice(_WORKLOAD)
+                device = rng.choice((Device.GPU, Device.AUTO))
+                try:
+                    result = session.query(sql, device=device)
+                except ReproError as error:
+                    outcomes.append((sql, None, error))
+                else:
+                    outcomes.append((sql, result.rows, None))
+    except BaseException as error:  # noqa: BLE001 - judged by main thread
+        errors.append(error)
+
+
+def _run_sessions(service, seed):
+    outcomes, errors = [], []
+    threads = [
+        threading.Thread(
+            target=_session_worker,
+            args=(service, f"chaos-{i}", seed + i, outcomes, errors),
+        )
+        for i in range(N_SESSIONS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    assert not any(t.is_alive() for t in threads), "worker hung"
+    return outcomes, errors
+
+
+@pytest.mark.parametrize("seed", range(NUM_SCHEDULES))
+def test_concurrent_sessions_correct_or_typed(small_relation, seed):
+    oracle = _oracle(small_relation)
+    plan = _random_plan(seed)
+    executor = ResilientExecutor(stats=plan.stats)
+    db = Database(executor=executor)
+    db.register(small_relation)
+    # Tight enough that admission pressure is part of the chaos.
+    service = QueryService(db, max_in_flight=max(2, N_SESSIONS - 1))
+
+    with use_faults(plan):
+        outcomes, errors = _run_sessions(service, seed * 1000)
+
+    assert not errors, f"untyped escape from a session: {errors!r}"
+    assert len(outcomes) == N_SESSIONS * QUERIES_PER_SESSION
+    for sql, rows, error in outcomes:
+        if error is not None:
+            # Typed failures are acceptable — but staleness is not:
+            # virtual contexts must make it impossible across sessions.
+            assert isinstance(error, ReproError)
+            assert not isinstance(error, StaleSelectionError), (
+                f"cross-session staleness escaped: {error}"
+            )
+        else:
+            assert rows == oracle[sql], (
+                f"silent wrong answer under faults for {sql!r}: "
+                f"{rows!r} != {oracle[sql]!r}"
+            )
+    assert service.stats.completed + service.stats.failed + \
+        service.stats.timeouts + service.stats.rejected >= len(outcomes)
+
+
+def test_breaker_opens_and_degraded_answers_stay_correct(
+    small_relation,
+):
+    """Deterministic breaker chaos: a persistent depth fault trips the
+    breaker; everything served while it is open must be a correct CPU
+    answer marked degraded, and probes re-close it afterwards."""
+    oracle = _oracle(small_relation)
+    plan = FaultPlan(
+        [FaultRule(FaultKind.DEPTH_PRECISION, max_fires=None)],
+        seed=11,
+    )
+    executor = ResilientExecutor(stats=plan.stats)
+    db = Database(executor=executor)
+    db.register(small_relation)
+    clock = ManualClock()
+    breaker = CircuitBreaker(
+        failure_threshold=2,
+        cooldown_s=3600.0,  # manual clock: stays open for the storm
+        probe_successes=2,
+        clock=clock,
+        stats=plan.stats,
+    )
+    service = QueryService(
+        db, max_in_flight=N_SESSIONS + 1, breaker=breaker
+    )
+
+    outcomes, errors = [], []
+
+    def worker(i):
+        rng = random.Random(f"breaker-chaos:{i}")
+        try:
+            with service.session(f"storm-{i}") as session:
+                for _ in range(QUERIES_PER_SESSION):
+                    sql = rng.choice(_WORKLOAD)
+                    try:
+                        result = session.query(sql, device=Device.GPU)
+                    except ReproError as error:
+                        outcomes.append((sql, None, None, error))
+                    else:
+                        outcomes.append(
+                            (sql, result.rows, result.degraded, None)
+                        )
+        except BaseException as error:  # noqa: BLE001
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,))
+        for i in range(N_SESSIONS)
+    ]
+    with use_faults(plan):
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+    assert not errors, f"untyped escape: {errors!r}"
+
+    degraded = [o for o in outcomes if o[2]]
+    failed = [o for o in outcomes if o[3] is not None]
+    # The persistent fault opened the breaker exactly once, after
+    # which every answer came from the CPU, degraded but correct.
+    assert plan.stats.breaker_transitions["open"] == 1
+    assert plan.stats.breaker_short_circuits >= 1
+    assert degraded, "breaker never routed traffic to the CPU"
+    for sql, rows, _, _ in degraded:
+        assert rows == oracle[sql]
+    assert len(failed) <= breaker.failure_threshold * 2
+    for _, _, _, error in failed:
+        assert not isinstance(error, StaleSelectionError)
+
+    # Recovery: cooldown passes, the fault plan is gone, two probe
+    # queries close the breaker again.
+    clock.advance(3601.0)
+    with service.session("probe") as probe:
+        first = probe.query(_WORKLOAD[0], device=Device.GPU)
+        assert first.breaker_state == "half_open"
+        probe.query(_WORKLOAD[0], device=Device.GPU)
+    assert breaker.state.name == "CLOSED"
+    assert dict(plan.stats.breaker_transitions) == {
+        "open": 1, "half_open": 1, "closed": 1,
+    }
+
+
+def test_interleaved_engine_contexts_never_go_stale():
+    """Below the service: N threads share one GpuEngine (serialized by
+    a lock, as the service does) but hold their Selections *across* the
+    other threads' operations.  Virtual contexts must keep every
+    readback exact — zero StaleSelectionError, zero wrong ids."""
+    rng = np.random.default_rng(55_000)
+    relation = _random_relation(rng)
+    cpu = CpuEngine(relation)
+    gpu = GpuEngine(relation)
+    lock = threading.Lock()
+    barrier = threading.Barrier(N_SESSIONS)
+    failures = []
+    ROUNDS = 4
+
+    def worker(i):
+        thread_rng = np.random.default_rng(66_000 + i)
+        try:
+            with lock:
+                context = gpu.create_context(f"thread-{i}")
+            for _ in range(ROUNDS):
+                predicate = _random_predicate(thread_rng, relation)
+                expected = cpu.select(predicate).record_ids()
+                with lock:
+                    gpu.activate_context(context)
+                    selection = gpu.select(predicate)
+                # Every thread holds its selection while the others
+                # run their own stencil-writing queries.
+                barrier.wait(timeout=60.0)
+                with lock:
+                    ids = selection.record_ids()
+                if not np.array_equal(ids, expected):
+                    failures.append(
+                        f"thread {i}: wrong ids under interleaving"
+                    )
+                barrier.wait(timeout=60.0)
+            with lock:
+                gpu.release_context(context)
+        except BaseException as error:  # noqa: BLE001
+            failures.append(f"thread {i}: {type(error).__name__}: {error}")
+
+    threads = [
+        threading.Thread(target=worker, args=(i,))
+        for i in range(N_SESSIONS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    assert not failures, failures
+    assert gpu.contexts.stats.creates == N_SESSIONS
+    assert gpu.contexts.stats.releases == N_SESSIONS

@@ -1,0 +1,146 @@
+"""Per-query deadlines: the injectable clocks, the thread-local
+install, and cooperative cancellation at pass boundaries."""
+
+import threading
+
+import pytest
+
+from repro.core import GpuEngine
+from repro.core.predicates import Comparison
+from repro.errors import GpuError, QueryTimeoutError, ReproError
+from repro.faults import (
+    Deadline,
+    ManualClock,
+    MonotonicClock,
+    ResilientExecutor,
+    check_deadline,
+    current_deadline,
+    use_deadline,
+)
+from repro.gpu.types import CompareFunc
+
+
+def _pred(value=100):
+    return Comparison("data_loss", CompareFunc.GREATER, value)
+
+
+class TestDeadline:
+    def test_budget_on_manual_clock(self):
+        clock = ManualClock()
+        deadline = Deadline(5.0, clock=clock)
+        assert deadline.remaining_s() == 5.0
+        assert not deadline.expired
+        clock.advance(4.9)
+        deadline.check("anywhere")  # still fine
+        clock.advance(0.2)
+        assert deadline.expired
+        with pytest.raises(QueryTimeoutError, match="deadline"):
+            deadline.check("pipeline.pass")
+
+    def test_timeout_error_names_label_and_site(self):
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock=clock, label="query[alice]")
+        clock.advance(2.0)
+        with pytest.raises(
+            QueryTimeoutError, match=r"query\[alice\].*pipeline.pass"
+        ):
+            deadline.check("pipeline.pass")
+
+    def test_timeout_is_typed_but_not_a_gpu_error(self):
+        """The resilience layer must not retry timeouts and the SQL
+        layer must not degrade them to the CPU: a deadline says
+        nothing about device health."""
+        assert issubclass(QueryTimeoutError, ReproError)
+        assert not issubclass(QueryTimeoutError, GpuError)
+
+    def test_monotonic_clock_is_default(self):
+        deadline = Deadline(3600.0)
+        assert isinstance(deadline.clock, MonotonicClock)
+        assert not deadline.expired
+
+
+class TestThreadLocalInstall:
+    def test_use_deadline_installs_and_restores(self):
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert current_deadline() is None
+        with use_deadline(deadline):
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_check_deadline_is_noop_without_install(self):
+        check_deadline("pipeline.pass")  # must not raise
+
+    def test_install_is_per_thread(self):
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock=clock)
+        seen = {}
+
+        def other():
+            seen["deadline"] = current_deadline()
+
+        with use_deadline(deadline):
+            thread = threading.Thread(target=other)
+            thread.start()
+            thread.join()
+        assert seen["deadline"] is None
+
+
+class TestPassBoundaryCancellation:
+    def test_expired_deadline_cancels_between_passes(
+        self, small_relation
+    ):
+        gpu = GpuEngine(small_relation)
+        clock = ManualClock()
+        deadline = Deadline(0.5, clock=clock)
+        clock.advance(1.0)
+        with use_deadline(deadline):
+            with pytest.raises(QueryTimeoutError):
+                gpu.count(_pred())
+
+    def test_timeout_bypasses_retry_and_leaves_engine_usable(
+        self, small_relation
+    ):
+        """No retry budget is spent on a timeout, the in-flight query
+        is aborted, and the engine serves the next query cleanly."""
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan([])
+        executor = ResilientExecutor(stats=plan.stats)
+        gpu = GpuEngine(small_relation, executor=executor)
+        clock = ManualClock()
+        deadline = Deadline(0.5, clock=clock)
+        clock.advance(1.0)
+        with use_deadline(deadline):
+            with pytest.raises(QueryTimeoutError):
+                gpu.count(_pred())
+        assert plan.stats.total_retries == 0
+        active = gpu.device._active_query
+        assert active is None or not active.active
+        # Fresh query, no deadline: works.
+        assert gpu.count(_pred()).value >= 0
+
+    def test_unexpired_deadline_does_not_perturb_results(
+        self, small_relation
+    ):
+        gpu = GpuEngine(small_relation)
+        baseline = gpu.count(_pred()).value
+        deadline = Deadline(3600.0)
+        with use_deadline(deadline):
+            assert gpu.count(_pred()).value == baseline
+
+    def test_deadline_trace_event_on_cancellation(self, small_relation):
+        from repro.trace import Tracer
+
+        tracer = Tracer()
+        gpu = GpuEngine(small_relation, tracer=tracer)
+        clock = ManualClock()
+        deadline = Deadline(0.1, clock=clock)
+        clock.advance(1.0)
+        with tracer.span("query", "test"):
+            with use_deadline(deadline):
+                with pytest.raises(QueryTimeoutError):
+                    gpu.count(_pred())
+        trace = tracer.finish()
+        names = [e.name for e in trace.all_events()]
+        assert "deadline-exceeded" in names

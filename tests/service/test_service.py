@@ -1,0 +1,331 @@
+"""QueryService: admission control, fair priority queueing, session
+lifecycle, deadlines in the queue, and breaker routing."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    AdmissionRejectedError,
+    QueryError,
+    QueryTimeoutError,
+)
+from repro.faults import (
+    CircuitBreaker,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    ManualClock,
+    ResilientExecutor,
+    use_faults,
+)
+from repro.service import QueryService, ServiceResult
+from repro.sql import Database, Device
+
+
+@pytest.fixture()
+def db(small_relation):
+    database = Database()
+    database.register(small_relation)
+    return database
+
+
+class _StubResult:
+    """Just enough of a QueryResult for the service's bookkeeping."""
+
+    device = Device.CPU
+    fallback = False
+    rows = ((1,),)
+    columns = ("count",)
+    scalar = 1
+    time_ms = 0.1
+
+
+class _StubDb:
+    """Controllable database: queries block until released, and the
+    entry order is recorded — perfect for queue-shape assertions."""
+
+    executor = None
+
+    def __init__(self):
+        self.entered = []
+        self.gate = threading.Event()
+        self.blocking = set()
+
+    def query(self, sql, device=Device.AUTO, trace=False):
+        self.entered.append(sql)
+        if sql in self.blocking:
+            assert self.gate.wait(timeout=10.0), "stub gate never opened"
+        return _StubResult()
+
+
+def _wait_until(predicate, timeout_s=5.0):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never held"
+        time.sleep(0.005)
+
+
+class TestAdmission:
+    def test_over_capacity_is_rejected_typed(self):
+        stub = _StubDb()
+        stub.blocking.add("slow")
+        service = QueryService(stub, max_in_flight=2)
+        session = service.session("s")
+        threads = [
+            threading.Thread(
+                target=lambda: session.query("slow", device=Device.CPU)
+            )
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        _wait_until(lambda: len(stub.entered) >= 1)
+        _wait_until(lambda: service.stats.admitted == 2)
+        with pytest.raises(AdmissionRejectedError, match="capacity"):
+            session.query("rejected", device=Device.CPU)
+        assert service.stats.rejected == 1
+        stub.gate.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        # Load drained: admission works again.
+        session.query("fine", device=Device.CPU)
+        assert service.stats.rejected == 1
+
+    def test_max_in_flight_validation(self, db):
+        with pytest.raises(QueryError):
+            QueryService(db, max_in_flight=0)
+
+
+class TestFairQueue:
+    def test_priority_then_fifo_order(self):
+        stub = _StubDb()
+        stub.blocking.add("hold")
+        service = QueryService(stub, max_in_flight=10)
+        holder = service.session("holder")
+        low_1 = service.session("low-1", priority=0)
+        high = service.session("high", priority=5)
+        low_2 = service.session("low-2", priority=0)
+
+        hold = threading.Thread(
+            target=lambda: holder.query("hold", device=Device.CPU)
+        )
+        hold.start()
+        _wait_until(lambda: "hold" in stub.entered)
+
+        threads = []
+        # Enqueue strictly in this order: low-1, high, low-2.
+        for session, sql in (
+            (low_1, "low-1"), (high, "high"), (low_2, "low-2")
+        ):
+            thread = threading.Thread(
+                target=lambda s=session, q=sql: s.query(
+                    q, device=Device.CPU
+                )
+            )
+            thread.start()
+            threads.append(thread)
+            _wait_until(
+                lambda n=len(threads): service.stats.admitted >= 1 + n
+            )
+        stub.gate.set()
+        hold.join(timeout=10.0)
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert stub.entered == ["hold", "high", "low-1", "low-2"]
+
+    def test_one_query_executes_at_a_time(self):
+        stub = _StubDb()
+        stub.blocking.update({"a", "b"})
+        service = QueryService(stub, max_in_flight=4)
+        session = service.session("s")
+        threads = [
+            threading.Thread(
+                target=lambda q=q: session.query(q, device=Device.CPU)
+            )
+            for q in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        _wait_until(lambda: service.stats.admitted == 2)
+        time.sleep(0.05)
+        # Only one entered the database; the other waits its turn.
+        assert len(stub.entered) == 1
+        stub.gate.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert sorted(stub.entered) == ["a", "b"]
+        assert service.stats.max_in_flight == 2
+
+
+class TestDeadlinesThroughService:
+    def test_expired_deadline_cancels_gpu_execution(self, db):
+        clock = ManualClock()
+        service = QueryService(db, clock=clock)
+        session = service.session("t")
+        clock.advance(0.0)
+        # Budget 0: expires the moment execution reaches a pass.
+        with pytest.raises(QueryTimeoutError):
+            session.query(
+                "SELECT COUNT(*) FROM tcpip WHERE data_loss > 100",
+                device=Device.GPU,
+                deadline_s=0.0,
+            )
+        assert service.stats.timeouts == 1
+
+    def test_default_deadline_applies(self, db):
+        clock = ManualClock()
+        service = QueryService(
+            db, default_deadline_s=0.0, clock=clock
+        )
+        session = service.session("t")
+        with pytest.raises(QueryTimeoutError):
+            session.query(
+                "SELECT MEDIAN(data_count) FROM tcpip",
+                device=Device.GPU,
+            )
+
+    def test_cpu_queries_ignore_pass_deadlines(self, db):
+        """The CPU path has no pass boundaries; a zero budget still
+        completes (the deadline only binds while queued)."""
+        clock = ManualClock()
+        service = QueryService(db, clock=clock)
+        session = service.session("t")
+        result = session.query(
+            "SELECT COUNT(*) FROM tcpip WHERE data_loss > 100",
+            device=Device.CPU,
+            deadline_s=0.0,
+        )
+        assert result.device is Device.CPU
+
+
+class TestBreakerRouting:
+    SQL = "SELECT COUNT(*) FROM tcpip WHERE data_loss > 100"
+
+    def _service(self, small_relation, clock):
+        plan = FaultPlan(
+            [FaultRule(FaultKind.DEPTH_PRECISION, max_fires=None)],
+            seed=3,
+        )
+        executor = ResilientExecutor(stats=plan.stats)
+        database = Database(executor=executor)
+        database.register(small_relation)
+        breaker = CircuitBreaker(
+            failure_threshold=2,
+            cooldown_s=10.0,
+            probe_successes=2,
+            clock=clock,
+            stats=plan.stats,
+        )
+        return plan, QueryService(
+            database, breaker=breaker, clock=clock
+        )
+
+    def test_full_breaker_cycle_through_the_service(
+        self, small_relation
+    ):
+        clock = ManualClock()
+        plan, service = self._service(small_relation, clock)
+        session = service.session("x")
+        # Two forced-GPU failures open the breaker.
+        with use_faults(plan):
+            for _ in range(2):
+                with pytest.raises(QueryError):
+                    session.query(self.SQL, device=Device.GPU)
+        assert service.breaker.state.name == "OPEN"
+        # Open: served by the CPU, marked degraded, no GPU attempt.
+        result = session.query(self.SQL, device=Device.GPU)
+        assert result.device is Device.CPU
+        assert result.degraded
+        assert plan.stats.breaker_short_circuits == 1
+        assert service.stats.degraded == 1
+        # Cooldown elapses; two clean probes re-close.
+        clock.advance(11.0)
+        first = session.query(self.SQL, device=Device.GPU)
+        assert first.breaker_state == "half_open"
+        assert first.device is Device.GPU
+        session.query(self.SQL, device=Device.GPU)
+        assert service.breaker.state.name == "CLOSED"
+        assert dict(plan.stats.breaker_transitions) == {
+            "open": 1, "half_open": 1, "closed": 1,
+        }
+
+    def test_auto_cpu_routing_carries_no_breaker_signal(
+        self, small_relation
+    ):
+        """AUTO picks the CPU outright at this table size: no GPU
+        attempt happened, so the breaker must not move."""
+        clock = ManualClock()
+        plan, service = self._service(small_relation, clock)
+        session = service.session("x")
+        with use_faults(plan):
+            result = session.query(self.SQL)  # AUTO -> CPU at this size
+        # AUTO routed to CPU outright: no GPU attempt, no failure.
+        assert result.device is Device.CPU
+        assert service.breaker.consecutive_failures == 0
+
+
+class TestSessions:
+    def test_close_releases_contexts_and_blocks_queries(self, db):
+        service = QueryService(db)
+        session = service.session("bye")
+        session.query(
+            "SELECT COUNT(*) FROM tcpip WHERE data_loss > 100",
+            device=Device.GPU,
+        )
+        engine = db.gpu_engine("tcpip")
+        assert engine.contexts.stats.creates == 1
+        session.close()
+        assert engine.contexts.stats.releases == 1
+        with pytest.raises(QueryError, match="closed"):
+            session.query("SELECT COUNT(*) FROM tcpip")
+        session.close()  # idempotent
+
+    def test_context_manager_closes(self, db):
+        service = QueryService(db)
+        with service.session() as session:
+            assert session.name.startswith("session-")
+        assert session.closed
+
+    def test_service_result_passthrough(self, db):
+        service = QueryService(db)
+        with service.session("r") as session:
+            result = session.query(
+                "SELECT COUNT(*) FROM tcpip WHERE data_loss > 100",
+                device=Device.CPU,
+            )
+        assert isinstance(result, ServiceResult)
+        assert result.scalar == result.rows[0][0]
+        assert result.columns
+        assert result.time_ms > 0
+        assert result.queued_s >= 0
+        assert not result.degraded
+        assert result.breaker_state == "closed"
+
+    def test_sessions_share_engine_but_not_contexts(self, db):
+        service = QueryService(db)
+        sql = "SELECT COUNT(*) FROM tcpip WHERE data_loss > 100"
+        with service.session("a") as a, service.session("b") as b:
+            a.query(sql, device=Device.GPU)
+            b.query(sql, device=Device.GPU)
+            engine = db.gpu_engine("tcpip")
+            assert engine.contexts.stats.creates == 2
+
+    def test_service_events_on_tracer(self, small_relation):
+        from repro.trace import Tracer
+
+        database = Database()
+        database.register(small_relation)
+        tracer = Tracer()
+        service = QueryService(database, tracer=tracer)
+        with tracer.span("root", "test"):
+            with service.session("traced") as session:
+                session.query(
+                    "SELECT COUNT(*) FROM tcpip WHERE data_loss > 100",
+                    device=Device.CPU,
+                )
+        trace = tracer.finish()
+        names = [e.name for e in trace.all_events()]
+        assert "admitted" in names
+        assert "query-done" in names
