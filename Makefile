@@ -1,13 +1,17 @@
 # Convenience targets; everything works without make too.
 
-.PHONY: install test bench figures figures-paper smoke lint trace-demo \
-	chaos-concurrent bench-gate
+.PHONY: install test test-nojit bench figures figures-paper smoke lint \
+	trace-demo chaos-concurrent bench-gate
 
 install:
 	python setup.py develop
 
 test:
 	pytest tests/
+
+# Full suite on the interpreter backend (the JIT-off CI leg).
+test-nojit:
+	REPRO_JIT=0 pytest tests/
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -43,7 +47,7 @@ chaos-concurrent:
 bench-gate:
 	PYTHONPATH=src python -m repro.bench --snapshot /tmp/BENCH_current.json
 	PYTHONPATH=src python -m repro.bench.compare /tmp/BENCH_current.json \
-		--against BENCH_7.json
+		--against BENCH_8.json
 
 # Trace the figure-9 workload (selection + masked median) per pass;
 # writes traces/fig9.txt (pass tree) and traces/fig9.json (load in

@@ -74,6 +74,14 @@ UNSCHEDULED_STENCIL_WRITE = LintRule(
     "checkpoint/restore isolation",
 )
 
+DIRECT_INTERPRETER = LintRule(
+    "L207",
+    "direct-interpreter",
+    "ProgramInterpreter used outside repro.gpu; fragment programs run "
+    "through the device (which picks the JIT or interpreter backend), "
+    "not by interpreting directly",
+)
+
 #: Every rule ``repro-lint`` can fire, in code order.
 LINT_RULES: tuple[LintRule, ...] = (
     RAW_DEVICE,
@@ -82,6 +90,7 @@ LINT_RULES: tuple[LintRule, ...] = (
     FLOAT_EQ,
     STRING_DEVICE,
     UNSCHEDULED_STENCIL_WRITE,
+    DIRECT_INTERPRETER,
 )
 
 
@@ -192,12 +201,19 @@ def _device_receiver(target: ast.expr) -> bool:
 
 class _Visitor(ast.NodeVisitor):
     def __init__(
-        self, path: str, engine_only: bool, scheduler_guard: bool = False
+        self,
+        path: str,
+        engine_only: bool,
+        scheduler_guard: bool = False,
+        interpreter_guard: bool = False,
     ):
         self.path = path
         self.engine_only = engine_only
         #: True when this layer may not write stencil/depth state (L206).
         self.scheduler_guard = scheduler_guard
+        #: True when this layer may not construct the fragment-program
+        #: interpreter directly (L207).
+        self.interpreter_guard = interpreter_guard
         self.findings: list[LintFinding] = []
         #: Stack of per-function [saw_read_stencil_node, saw_generation]
         self._functions: list[list] = []
@@ -267,6 +283,23 @@ class _Visitor(ast.NodeVisitor):
                 RAW_DEVICE,
                 "Device() constructed outside the engine layer; route "
                 "through GpuEngine so ResilientExecutor applies",
+            )
+        if self.interpreter_guard and (
+            (
+                isinstance(func, ast.Name)
+                and func.id == "ProgramInterpreter"
+            )
+            or (
+                isinstance(func, ast.Attribute)
+                and func.attr == "ProgramInterpreter"
+            )
+        ):
+            self._flag(
+                node,
+                DIRECT_INTERPRETER,
+                "ProgramInterpreter() constructed outside repro.gpu; "
+                "run programs through the device so the JIT / "
+                "interpreter backend selection applies",
             )
         for keyword in node.keywords:
             if keyword.arg == "device" and isinstance(
@@ -373,6 +406,7 @@ def lint_source(
         scheduler_guard=(
             layer is not None and layer not in _SCHEDULER_LAYERS
         ),
+        interpreter_guard=layer is not None and layer != "gpu",
     )
     visitor.visit(tree)
     disabled = _suppressions(source)

@@ -16,6 +16,12 @@ Throughput is reported in *modeled* time (simulated ms per query) so
 the committed numbers do not depend on host speed; wall-clock seconds
 ride along under ``wall_s`` keys for context and are ignored by the
 regression gate (:mod:`repro.bench.compare`).
+
+The **jit** section times the same engine workload with the
+fragment-program JIT on and off.  Modeled milliseconds are identical by
+construction (the cost model charges pre-DCE instruction counts either
+way — see ``docs/JIT.md``); the section exists to record the
+*wall-clock* speedup and the kernel-cache counters, both informational.
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ from .registry import get_scale
 from .runner import run_experiment
 
 #: Snapshot schema version (bump when the layout changes).
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
 
 #: Figures captured in the snapshot: the selection trio the paper
 #: headlines (predicate, range, median-vs-selectivity).
@@ -178,6 +184,71 @@ def _service_throughput(records: int, faults: bool) -> dict:
     return section
 
 
+def _jit_modes(records: int) -> dict:
+    """Wall-clock the same engine workload with the JIT on and off.
+
+    Modeled time must come out identical (cost-model fidelity); the
+    interesting numbers are the wall-clock ratio and the kernel-cache
+    counters.
+    """
+    from ..core import GpuEngine
+    from ..core.predicates import Between, Comparison
+    from ..data import make_tcpip
+    from ..gpu.types import CompareFunc
+
+    # Larger than the figure scale: per-fragment interpreter overhead
+    # is what the JIT removes, so the contrast needs real batches.
+    relation = make_tcpip(max(records * 4, 40_000))
+    predicates = [
+        Comparison("data_loss", CompareFunc.GREATER, 100),
+        Between("data_count", 1000, 400_000),
+        Comparison("data_loss", CompareFunc.LEQUAL, 700),
+    ]
+
+    def sweep(jit: bool) -> tuple[float, float, GpuEngine]:
+        engine = GpuEngine(relation, jit=jit)
+        modeled_ms = 0.0
+        started = time.perf_counter()
+        for _ in range(_WORKLOAD_ROUNDS):
+            for predicate in predicates:
+                modeled_ms += engine.count(predicate).total_time(
+                    engine.cost_model
+                ).total_ms
+            modeled_ms += engine.median("data_count").total_time(
+                engine.cost_model
+            ).total_ms
+            modeled_ms += engine.sum(
+                "data_count", predicates[0]
+            ).total_time(engine.cost_model).total_ms
+            modeled_ms += engine.selectivities(predicates).total_time(
+                engine.cost_model
+            ).total_ms
+        return time.perf_counter() - started, modeled_ms, engine
+
+    on_wall, on_ms, on_engine = sweep(True)
+    off_wall, off_ms, _ = sweep(False)
+    cache = on_engine.device.kernels
+    return {
+        "jit_on": {
+            "wall_s": round(on_wall, 3),
+            "modeled_ms_total": round(on_ms, 4),
+        },
+        "jit_off": {
+            "wall_s": round(off_wall, 3),
+            "modeled_ms_total": round(off_ms, 4),
+        },
+        "modeled_identical": round(on_ms, 4) == round(off_ms, 4),
+        "wall_speedup": round(off_wall / on_wall, 2) if on_wall else 0.0,
+        # program_compiles is deliberately absent: the program cache is
+        # process-wide, so its miss count depends on what ran earlier.
+        "kernel_cache": {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "evictions": cache.evictions,
+        },
+    }
+
+
 def build_snapshot(scale_name: str = "smoke") -> dict:
     """Assemble the full snapshot dictionary (pure data, committed as
     ``BENCH_<n>.json``)."""
@@ -188,6 +259,7 @@ def build_snapshot(scale_name: str = "smoke") -> dict:
         "scale": scale_name,
         "figures": _figures(scale_name),
         "cache": _cache_rates(records),
+        "jit": _jit_modes(records),
         "service": {
             "clean": _service_throughput(records, faults=False),
             "faulted": _service_throughput(records, faults=True),

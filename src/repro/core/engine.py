@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import os
 
 import numpy as np
 
@@ -38,7 +39,6 @@ from ..gpu.texture import Texture, texture_shape_for
 from ..plan.cache import PlanCache
 from ..plan.passes import predicate_key
 from ..trace import current_tracer
-from . import aggregates
 from .compare import copy_to_depth
 from .polynomial import Polynomial
 from .predicates import (
@@ -51,7 +51,7 @@ from .predicates import (
     SemiLinear,
 )
 from .relation import Relation
-from .select import SelectionOutcome, execute_selection
+from .select import execute_selection
 
 _COPY_PREFIX = "copy-to-depth"
 
@@ -76,6 +76,8 @@ def _resilient(method):
         # operation ("count", "median", ...), not the dispatcher.
         if name == "aggregate":
             op_name = kwargs.get("op", args[0] if args else name)
+        elif name == "execute_schedule":
+            op_name = args[0].op if args else name
         else:
             op_name = name
         executor = self.executor
@@ -190,15 +192,7 @@ class GpuOpResult:
     @property
     def stats(self) -> PipelineStats:
         """Merged pipeline statistics (copy + compute phases)."""
-        merged = PipelineStats()
-        for window in (self.copy, self.compute):
-            for p in window.passes:
-                merged.record_pass(p)
-            merged.bytes_uploaded += window.bytes_uploaded
-            merged.bytes_read_back += window.bytes_read_back
-            merged.occlusion_results += window.occlusion_results
-            merged.clears += window.clears
-        return merged
+        return PipelineStats.merged((self.copy, self.compute))
 
 
 @dataclasses.dataclass
@@ -334,6 +328,7 @@ class GpuEngine:
         executor=None,
         fusion: bool = True,
         debug: bool = False,
+        jit: bool | None = None,
     ):
         """``video_memory`` overrides the default 256 MB pool — pass a
         smaller :class:`~repro.gpu.memory.VideoMemory` to exercise the
@@ -380,6 +375,14 @@ class GpuEngine:
         raising :class:`~repro.errors.PlanVerificationError` on
         hazards (stale depth, stencil-protocol violations, occlusion
         query imbalance, under-keyed caches).
+
+        ``jit`` selects the fragment-program backend: ``True`` compiles
+        each program once into a fused numpy kernel
+        (:mod:`repro.gpu.jit`), ``False`` interprets instruction by
+        instruction.  Both produce bit-identical results and identical
+        modeled cost; JIT only changes host wall-clock.  ``None``
+        (default) follows the ``REPRO_JIT`` environment variable —
+        on unless ``REPRO_JIT=0``.
         """
         if layout not in ("planar", "packed"):
             raise QueryError(
@@ -388,10 +391,13 @@ class GpuEngine:
         self.relation = relation
         self.layout = layout
         self.shape = texture_shape_for(relation.num_records)
+        if jit is None:
+            jit = os.environ.get("REPRO_JIT", "1") != "0"
         self.device = Device(
             *self.shape,
             video_memory=video_memory,
             tracer=tracer if tracer is not None else current_tracer(),
+            jit=jit,
         )
         self.cost_model = cost_model or GpuCostModel()
         self.executor = (
@@ -715,41 +721,39 @@ class GpuEngine:
     # -- queries ----------------------------------------------------------------------
 
     @_resilient
+    def execute_schedule(self, schedule, *, jit: bool | None = None):
+        """Run one compiled :class:`~repro.plan.PassSchedule` end to
+        end — the single execution entry point every operation funnels
+        through.
+
+        The named operations (``select``, ``aggregate``, ``histogram``,
+        ...) all lower through :mod:`repro.plan.compiler` and call this
+        method; SQL statements and the query service reach the device
+        the same way.  That makes this the one choke point where the
+        static verifier (debug mode), the tracer span, the resilient
+        fault retry, and deadline cancellation all attach.
+
+        ``jit`` overrides the device's fragment-program backend for
+        this schedule only (``None`` keeps the engine default), which
+        is how the differential tests pin the JIT against the
+        interpreter on identical schedules.
+        """
+        # Runtime import: repro.plan.executor reaches back into
+        # repro.core at import time.
+        from ..plan.executor import ScheduleExecutor
+
+        return ScheduleExecutor(self).execute(schedule, jit=jit)
+
+    @_resilient
     def select(self, predicate: Predicate) -> Selection:
         """Evaluate a WHERE clause; leaves the selection mask in the
         stencil buffer and returns count + statistics."""
-        if self.debug:
-            from ..plan import compiler
+        from ..plan import compiler
 
-            self._verify_schedule(compiler.lower_select(
-                self.relation, predicate, fuse=self.fusion
-            ))
-        self._begin("select", predicate=str(predicate))
-        outcome: SelectionOutcome = execute_selection(
-            self.device, self.relation, self, predicate
+        schedule = compiler.lower_select(
+            self.relation, predicate, fuse=self.fusion
         )
-        if self.fusion:
-            # select() always executes (callers rely on a fresh mask);
-            # later aggregates with the same WHERE hit this entry.
-            self.plan.stencil.note(
-                self.device,
-                predicate_key(predicate),
-                self._predicate_fingerprint(predicate),
-                outcome.count,
-                outcome.valid_stencil,
-            )
-        result = self._finish(outcome.count)
-        return Selection(
-            value=outcome.count,
-            copy=result.copy,
-            compute=result.compute,
-            model=self.cost_model,
-            valid_stencil=outcome.valid_stencil,
-            total_records=self.relation.num_records,
-            engine=self,
-            generation=self.device.stencil_generation,
-            context=self.contexts.active,
-        )
+        return self.execute_schedule(schedule)
 
     def count(self, predicate: Predicate | None = None) -> GpuOpResult:
         """COUNT(*) [WHERE predicate]."""
@@ -841,11 +845,15 @@ class GpuEngine:
         ``kth_largest`` with ``k=1`` (section 4.3.2), matching the span
         name the trace always used.
 
-        The shared plumbing lives here: selection reuse through the
-        stencil cache, copy-to-depth elision through the depth cache,
-        one stats window and one trace span per operation.  The named
-        methods (``sum``, ``median``, ...) simply forward.
+        Validation (op names, column types, ``k`` ranges, fractions)
+        happens here; the execution itself compiles to a
+        :class:`~repro.plan.PassSchedule` and runs through
+        :meth:`execute_schedule`, whose driver owns selection reuse
+        through the stencil cache, copy-to-depth elision through the
+        depth cache, and the stats window / trace span.
         """
+        from ..plan import compiler
+
         if op == "maximum":
             op, k = "kth_largest", (1 if k is None else k)
         if op not in self.AGGREGATE_OPS:
@@ -856,56 +864,20 @@ class GpuEngine:
 
         if op == "count":
             if predicate is not None:
-                # select() performs its own debug verification.
+                # A counted WHERE is exactly a selection.
                 return self.select(predicate)
-            if self.debug:
-                from ..plan import compiler
-
-                self._verify_schedule(compiler.lower_aggregate(
-                    self.relation, "count", None, fuse=self.fusion
-                ))
-            self._begin("count")
-            value = aggregates.count_valid(
-                self.device, self.relation.num_records
-            )
-            return self._finish(value)
+            return self.execute_schedule(compiler.lower_aggregate(
+                self.relation, "count", None, fuse=self.fusion
+            ))
 
         if column_name is None:
             raise QueryError(f"aggregate {op!r} needs a column")
-        column = self._integer_column(column_name)
-        if self.debug:
-            from ..plan import compiler
-
-            try:
-                schedule = compiler.lower_aggregate(
-                    self.relation, op, column_name,
-                    predicate=predicate, fractions=fractions,
-                    fuse=self.fusion,
-                )
-            except QueryError:
-                schedule = None  # top_k has no pass-level lowering
-            if schedule is not None:
-                self._verify_schedule(schedule)
-
-        if op in ("sum", "average"):
-            texture, channel = self.stored_texture(column_name)
-            self._begin(op, column=column_name)
-            valid, valid_count = self._selection_stencil(predicate)
-            if op == "average" and valid_count == 0:
-                raise QueryError("AVG of an empty selection")
-            total = aggregates.accumulate(
-                self.device, texture, column.bits,
-                channel=channel, valid_stencil=valid,
-            )
-            value = column.sum_from_stored(total, valid_count)
-            if op == "average":
-                value = value / valid_count
-            return self._finish(value)
-
+        self._integer_column(column_name)
+        if op in ("kth_largest", "kth_smallest", "top_k"):
+            if k is None:
+                raise QueryError(f"aggregate {op!r} needs k")
+            self._validate_k(k, self.relation.num_records)
         if op == "quantiles":
-            import math
-
-            texture, scale, channel = self.column_texture(column_name)
             if not fractions:
                 raise QueryError(
                     "quantiles() needs at least one fraction"
@@ -914,125 +886,12 @@ class GpuEngine:
                 raise QueryError(
                     f"fractions must lie in [0, 1], got {fractions}"
                 )
-            self._begin(
-                "quantiles", column=column_name,
-                fractions=list(fractions),
-            )
-            valid, valid_count = self._selection_stencil(predicate)
-            if valid_count == 0:
-                raise QueryError("quantiles of an empty selection")
-            ks = [
-                min(
-                    max(math.ceil((1.0 - q) * valid_count), 1),
-                    valid_count,
-                )
-                for q in fractions
-            ]
-            skip = self._depth_ready(column_name, texture)
-            values = aggregates.kth_largest_multi(
-                self.device, texture, column.bits, ks, scale,
-                channel=channel, valid_stencil=valid, skip_copy=skip,
-            )
-            if not skip:
-                self.plan.depth.note(self.device, column_name, texture)
-            return self._finish(
-                [column.from_stored(value) for value in values]
-            )
-
-        if op == "top_k":
-            return self._top_k(column_name, column, predicate, k)
-
-        # Bit-search order statistics: kth_largest / kth_smallest /
-        # minimum / median all binary-search the depth buffer.
-        if op in ("kth_largest", "kth_smallest"):
-            if k is None:
-                raise QueryError(f"aggregate {op!r} needs k")
-            self._validate_k(k, self.relation.num_records)
-        texture, scale, channel = self.column_texture(column_name)
-        attrs = {"column": column_name}
-        if op in ("kth_largest", "kth_smallest"):
-            attrs["k"] = k
-        self._begin(op, **attrs)
-        valid, valid_count = self._selection_stencil(predicate)
-        if op in ("kth_largest", "kth_smallest"):
-            self._validate_k(k, valid_count)
-        elif valid_count == 0:
-            raise QueryError(
-                "MIN of an empty selection" if op == "minimum"
-                else "median of an empty selection"
-            )
-        skip = self._depth_ready(column_name, texture)
-        if op == "kth_largest":
-            value = aggregates.kth_largest(
-                self.device, texture, column.bits, k, scale,
-                channel=channel, valid_stencil=valid, skip_copy=skip,
-            )
-        elif op == "kth_smallest":
-            value = aggregates.kth_smallest(
-                self.device, texture, column.bits, k, scale,
-                valid_count,
-                channel=channel, valid_stencil=valid, skip_copy=skip,
-            )
-        elif op == "minimum":
-            value = aggregates.minimum(
-                self.device, texture, column.bits, scale, valid_count,
-                channel=channel, valid_stencil=valid, skip_copy=skip,
-            )
-        else:
-            value = aggregates.median(
-                self.device, texture, column.bits, scale, valid_count,
-                channel=channel, valid_stencil=valid, skip_copy=skip,
-            )
-        if not skip:
-            self.plan.depth.note(self.device, column_name, texture)
-        return self._finish(column.from_stored(value))
-
-    def _top_k(self, column_name, column, predicate, k):
-        """Body of ``aggregate("top_k", ...)`` — the one aggregate with
-        its own stencil-marking epilogue."""
-        from ..gpu.types import CompareFunc, StencilOp
-        from .compare import compare_pass
-
-        if k is None:
-            raise QueryError("aggregate 'top_k' needs k")
-        self._validate_k(k, self.relation.num_records)
-        texture, scale, channel = self.column_texture(column_name)
-        self._begin("top_k", column=column_name, k=k)
-        valid, valid_count = self._selection_stencil(predicate)
-        self._validate_k(k, valid_count)
-        if valid is None:
-            self.device.clear_stencil(1)
-            valid = 1
-        skip = self._depth_ready(column_name, texture)
-        threshold = aggregates.kth_largest(
-            self.device, texture, column.bits, k, scale,
-            channel=channel, valid_stencil=valid, skip_copy=skip,
+        schedule = compiler.lower_aggregate(
+            self.relation, op, column_name,
+            predicate=predicate, fractions=fractions,
+            fuse=self.fusion, k=k,
         )
-        if not skip:
-            self.plan.depth.note(self.device, column_name, texture)
-        threshold_value = column.from_stored(threshold)
-        # Mark records (valid AND value >= threshold): valid -> valid+1.
-        stencil = self.device.state.stencil
-        stencil.enabled = True
-        stencil.func = CompareFunc.EQUAL
-        stencil.reference = valid
-        stencil.sfail = StencilOp.KEEP
-        stencil.zfail = StencilOp.KEEP
-        stencil.zpass = StencilOp.INCR
-        compare_pass(
-            self.device,
-            CompareFunc.GEQUAL,
-            column.normalize(threshold_value),
-            texture.count,
-        )
-        # The mask was written by compare_pass above in this same
-        # operation — it cannot be stale.  # repro-lint: disable=unchecked-stencil-read
-        mask = self.device.read_stencil()
-        ids = np.flatnonzero(mask == valid + 1)
-        ids = ids[ids < self.relation.num_records]
-        return self._finish(
-            TopK(threshold=threshold_value, record_ids=ids)
-        )
+        return self.execute_schedule(schedule)
 
     def kth_largest(
         self,
@@ -1123,26 +982,20 @@ class GpuEngine:
         Execution is schedule-driven: the plan compiler lowers the
         sweep (sharing one copy-to-depth per attribute run and — with
         fusion — harvesting all occlusion counts with a single batched
-        stall) and the runner executes it.
+        stall) and :meth:`execute_schedule` drives it.
         """
         # Runtime import: repro.plan.compiler reaches back into
         # repro.core at import time.
-        from ..plan import compiler, runner
+        from ..plan import compiler
 
         if not predicates:
             raise QueryError(
                 "selectivities() needs at least one predicate"
             )
-        self._begin("selectivities", num_predicates=len(predicates))
         schedule = compiler.lower_selectivities(
             self.relation, predicates, fuse=self.fusion
         )
-        self._verify_schedule(schedule)
-        self._trace_schedule(schedule)
-        counts = runner.run_selectivities(
-            self, predicates, fuse=self.fusion
-        )
-        return self._finish(counts)
+        return self.execute_schedule(schedule)
 
     @_resilient
     def histogram(
@@ -1158,22 +1011,15 @@ class GpuEngine:
         left untouched (an earlier selection's mask survives).
         ``fusion=False`` re-runs the full range selection per bucket.
         """
-        from ..plan import compiler, runner
+        from ..plan import compiler
 
-        column = self._integer_column(column_name)
+        self._integer_column(column_name)
         if buckets < 1:
             raise QueryError(f"need at least one bucket, got {buckets}")
-        edges = compiler.histogram_edges(column, buckets)
-        self._begin("histogram", column=column_name, buckets=buckets)
         schedule = compiler.lower_histogram(
             self.relation, column_name, buckets, fuse=self.fusion
         )
-        self._verify_schedule(schedule)
-        self._trace_schedule(schedule)
-        counts = runner.run_histogram(
-            self, column_name, edges, fuse=self.fusion
-        )
-        return self._finish((edges, counts))
+        return self.execute_schedule(schedule)
 
     # -- cost shortcuts ------------------------------------------------------------------
 

@@ -1,0 +1,57 @@
+"""The shared cost-accessor protocol every result object satisfies.
+
+Engine operations, whole SQL queries and service round-trips all answer
+the same three questions about what they cost, no matter which layer
+produced them:
+
+* ``time_ms``    — simulated device milliseconds (GeForce-FX modeled
+  time for GPU results, dual-Xeon modeled time for CPU results, the
+  sum over constituent operations for queries);
+* ``pass_count`` — rendering passes issued (0 for CPU results);
+* ``stats``      — the merged :class:`~repro.gpu.counters.PipelineStats`
+  window (empty for CPU results), built with
+  :meth:`PipelineStats.merged <repro.gpu.counters.PipelineStats.merged>`.
+
+:class:`CostedResult` is the structural contract:
+``GpuOpResult`` / ``Selection`` (:mod:`repro.core.engine`),
+``CpuOpResult`` / ``CpuSelection`` (:mod:`repro.core.cpu_engine`),
+``QueryResult`` (:mod:`repro.sql.executor`) and ``ServiceResult``
+(:mod:`repro.service.service`) all satisfy it, so benchmark and
+reporting code can price any of them without isinstance ladders::
+
+    from repro.core.results import CostedResult
+
+    def total_cost(results: list[CostedResult]) -> float:
+        return sum(r.time_ms for r in results)
+
+The protocol is ``runtime_checkable``: ``isinstance(obj, CostedResult)``
+checks the three attributes exist (not their types), which the
+conformance tests pin for every result class.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..gpu.counters import PipelineStats
+
+
+@runtime_checkable
+class CostedResult(Protocol):
+    """Structural type of every result object with unified cost
+    accessors."""
+
+    @property
+    def time_ms(self) -> float:
+        """Simulated device milliseconds."""
+        ...
+
+    @property
+    def pass_count(self) -> int:
+        """Rendering passes issued (0 on CPU)."""
+        ...
+
+    @property
+    def stats(self) -> PipelineStats:
+        """Merged pipeline-statistics window."""
+        ...

@@ -50,6 +50,11 @@ class FragmentBatch:
     #: Interpolated attributes, keyed by :class:`FragmentAttrib`;
     #: each value is ``(count, 4)`` float32.
     attributes: dict
+    #: Hashable identity of the quad geometry that produced this batch
+    #: (rect + screen + texture dims), or ``None`` for hand-built
+    #: batches.  The JIT memoizes geometry-determined texture fetches
+    #: under it; the interpreter ignores it.
+    geometry_token: tuple | None = None
 
     def attribute(self, attrib: FragmentAttrib) -> np.ndarray:
         try:

@@ -34,6 +34,7 @@ from .assembler import FragmentProgram
 from .counters import PassStats, PipelineStats
 from .framebuffer import FrameBuffer, depth_to_code
 from .interpreter import FragmentAttrib, ProgramInterpreter
+from .jit import KernelCache
 from .isa import NUM_PARAMETERS, NUM_TEXTURE_UNITS
 from .memory import VideoMemory
 from .occlusion import OcclusionQuery
@@ -52,6 +53,7 @@ class Device:
         width: int,
         video_memory: VideoMemory | None = None,
         tracer=None,
+        jit: bool = False,
     ):
         self.framebuffer = FrameBuffer(height, width)
         self.state = RenderState()
@@ -70,6 +72,13 @@ class Device:
         #: :mod:`repro.plan` snapshots it to know whether the depth buffer
         #: still holds a previously copied column.
         self.depth_generation = 0
+        #: Execute fragment programs through compiled
+        #: :class:`~repro.gpu.jit.BoundKernel`\ s instead of the
+        #: per-instruction interpreter.  Both backends are
+        #: bit-identical; the JIT is the fast path.
+        self.jit = jit
+        #: Bound-kernel LRU (generation-keyed; see :mod:`repro.gpu.jit`).
+        self.kernels = KernelCache()
         self._textures: dict[int, Texture] = {}
         self._program: FragmentProgram | None = None
         self._parameters = np.zeros((NUM_PARAMETERS, 4), dtype=np.float32)
@@ -322,10 +331,29 @@ class Device:
         )
         stats.fragments += batch.count
 
+        state = self.state
+
         # Stage 1: fragment program (or fixed-function passthrough).
         if self._program is not None:
-            interpreter = ProgramInterpreter(self._textures, self._parameters)
-            result = interpreter.run(self._program, batch)
+            if self.jit:
+                # Whether any downstream stage observes the fragment
+                # color decides which compiled variant runs (color
+                # writes are dead code otherwise).
+                need_color = state.alpha.enabled or any(
+                    state.color_mask
+                )
+                kernel = self.kernels.get_or_bind(
+                    self._program,
+                    need_color,
+                    self._textures,
+                    self._parameters,
+                )
+                result = kernel.run(batch)
+            else:
+                interpreter = ProgramInterpreter(
+                    self._textures, self._parameters
+                )
+                result = interpreter.run(self._program, batch)
             frag_color = result.color
             if result.depth is not None:
                 frag_depth = result.depth
@@ -341,8 +369,6 @@ class Device:
             frag_color = batch.attributes[FragmentAttrib.COL0]
             frag_depth = batch.attributes[FragmentAttrib.WPOS][:, 2]
             alive = np.ones(batch.count, dtype=bool)
-
-        state = self.state
 
         # Stage 2: alpha test.
         if state.alpha.enabled:

@@ -16,6 +16,7 @@ rects (the full rows plus the partial last row) — see
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 
@@ -74,6 +75,41 @@ def rects_for_count(count: int, width: int, height: int) -> list[Rect]:
     return rects
 
 
+@functools.lru_cache(maxsize=8)
+def _geometry(
+    rect: Rect,
+    screen_width: int,
+    screen_height: int,
+    tex_height: int,
+    tex_width: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Geometry-determined arrays for one quad: linear pixel indices,
+    texel-center coordinates and normalized texcoords.  These repeat
+    identically for every pass over the same rect, so they are cached
+    (read-only — consumers must not mutate) and shared; only the
+    per-pass WPOS depth and primary color are built fresh."""
+    xs = np.arange(rect.x0, rect.x1, dtype=np.int64)
+    ys = np.arange(rect.y0, rect.y1, dtype=np.int64)
+    grid_y, grid_x = np.meshgrid(ys, xs, indexing="ij")
+    pixel_x = grid_x.ravel()
+    pixel_y = grid_y.ravel()
+    indices = pixel_y * screen_width + pixel_x
+    count = indices.size
+
+    centers_x = pixel_x.astype(np.float32) + np.float32(0.5)
+    centers_y = pixel_y.astype(np.float32) + np.float32(0.5)
+
+    texcoord = np.empty((count, 4), dtype=np.float32)
+    texcoord[:, 0] = centers_x / np.float32(tex_width)
+    texcoord[:, 1] = centers_y / np.float32(tex_height)
+    texcoord[:, 2] = 0.0
+    texcoord[:, 3] = 1.0
+
+    for array in (indices, centers_x, centers_y, texcoord):
+        array.setflags(write=False)
+    return indices, centers_x, centers_y, texcoord
+
+
 def rasterize_rect(
     rect: Rect,
     screen_width: int,
@@ -98,33 +134,20 @@ def rasterize_rect(
         raise GpuError(
             f"rect {rect} exceeds the {screen_width}x{screen_height} screen"
         )
-    xs = np.arange(rect.x0, rect.x1, dtype=np.int64)
-    ys = np.arange(rect.y0, rect.y1, dtype=np.int64)
-    grid_y, grid_x = np.meshgrid(ys, xs, indexing="ij")
-    pixel_x = grid_x.ravel()
-    pixel_y = grid_y.ravel()
-    indices = pixel_y * screen_width + pixel_x
+    # Texcoords normalized against the texture (defaults to screen) size.
+    if tex_size is None:
+        tex_height, tex_width = screen_height, screen_width
+    else:
+        tex_height, tex_width = tex_size
+    token = (rect, screen_width, screen_height, tex_height, tex_width)
+    indices, centers_x, centers_y, texcoord = _geometry(*token)
     count = indices.size
-
-    centers_x = pixel_x.astype(np.float32) + np.float32(0.5)
-    centers_y = pixel_y.astype(np.float32) + np.float32(0.5)
 
     wpos = np.empty((count, 4), dtype=np.float32)
     wpos[:, 0] = centers_x
     wpos[:, 1] = centers_y
     wpos[:, 2] = np.float32(depth)
     wpos[:, 3] = 1.0
-
-    # Texcoords normalized against the texture (defaults to screen) size.
-    if tex_size is None:
-        tex_height, tex_width = screen_height, screen_width
-    else:
-        tex_height, tex_width = tex_size
-    texcoord = np.empty((count, 4), dtype=np.float32)
-    texcoord[:, 0] = centers_x / np.float32(tex_width)
-    texcoord[:, 1] = centers_y / np.float32(tex_height)
-    texcoord[:, 2] = 0.0
-    texcoord[:, 3] = 1.0
 
     col0 = np.empty((count, 4), dtype=np.float32)
     col0[:] = np.asarray(color, dtype=np.float32)
@@ -137,4 +160,6 @@ def rasterize_rect(
         FragmentAttrib.TEX3: texcoord,
         FragmentAttrib.COL0: col0,
     }
-    return indices, FragmentBatch(count=count, attributes=attributes)
+    return indices, FragmentBatch(
+        count=count, attributes=attributes, geometry_token=token
+    )

@@ -8,7 +8,10 @@ device:
   statements into (fused or unfused) schedules;
 * :mod:`repro.plan.cache`    — generation-keyed depth/stencil result
   caches;
-* :mod:`repro.plan.runner`   — fused execution of the counting sweeps.
+* :mod:`repro.plan.executor` — whole-schedule execution
+  (:class:`ScheduleExecutor`, driven by
+  ``GpuEngine.execute_schedule``);
+* :mod:`repro.plan.runner`   — deprecated shims over the executor.
 """
 
 from .cache import CacheStats, DepthCache, PlanCache, StencilCache
@@ -30,6 +33,7 @@ from .passes import (
     predicate_columns,
     predicate_key,
 )
+from .executor import ScheduleExecutor
 from .runner import harvest, run_histogram, run_selectivities
 
 __all__ = [
@@ -41,6 +45,7 @@ __all__ = [
     "PassNode",
     "PassSchedule",
     "PlanCache",
+    "ScheduleExecutor",
     "StencilCache",
     "StencilCNFPass",
     "harvest",

@@ -184,6 +184,7 @@ def lower_select(
         nodes=nodes,
         fused_copies=tracker.copies_saved,
         meta={"predicate": _describe(predicate)},
+        payload={"predicate": predicate},
     ))
 
 
@@ -230,6 +231,7 @@ def lower_selectivities(
         fused_copies=tracker.copies_saved,
         fused_stalls=stalls_saved if fuse else 0,
         meta={"predicates": len(predicates)},
+        payload={"predicates": list(predicates)},
     ))
 
 
@@ -304,6 +306,11 @@ def lower_histogram(
         fused_copies=fused_copies,
         fused_stalls=fused_stalls,
         meta={"column": column_name, "buckets": num},
+        payload={
+            "column": column_name,
+            "buckets": buckets,
+            "edges": edges,
+        },
     ))
 
 
@@ -323,6 +330,7 @@ def lower_aggregate(
     fuse: bool = True,
     tracker: _FusionTracker | None = None,
     selection_cached: bool = False,
+    k: int | None = None,
 ) -> PassSchedule:
     """Lower one aggregate operation (optionally over a selection).
 
@@ -379,22 +387,47 @@ def lower_aggregate(
         nodes.append(
             OcclusionCountPass(queries=ladder * bits, batched=False)
         )
+    elif op == "top_k":
+        # Threshold search (kth_largest) plus the stencil-marking
+        # epilogue: one uncounted comparison quad that bumps matching
+        # records' stencil values before the mask readback.
+        bits = relation.column(column_name).bits
+        nodes.extend(tracker.copy_nodes(column_name))
+        for _ in range(bits):
+            nodes.append(CompareQuadPass(
+                column=column_name, kind="compare",
+                detail=f"{op} bit search", counted=True,
+            ))
+        nodes.append(OcclusionCountPass(queries=bits, batched=False))
+        nodes.append(CompareQuadPass(
+            column=column_name, kind="compare",
+            detail="top_k mark", counted=False,
+        ))
     else:
         raise QueryError(f"cannot lower aggregate op {op!r}")
+    meta = {
+        "column": column_name or "*",
+        "predicate": (
+            _describe(predicate) if predicate is not None else None
+        ),
+        "selection_cached": bool(
+            predicate is not None and fuse and selection_cached
+        ),
+    }
+    if k is not None:
+        meta["k"] = k
     return _keyed(PassSchedule(
         op=op,
         table=relation.name,
         nodes=nodes,
         fused_copies=tracker.copies_saved - before,
         fused_stalls=fused_stalls,
-        meta={
-            "column": column_name or "*",
-            "predicate": (
-                _describe(predicate) if predicate is not None else None
-            ),
-            "selection_cached": bool(
-                predicate is not None and fuse and selection_cached
-            ),
+        meta=meta,
+        payload={
+            "column": column_name,
+            "predicate": predicate,
+            "fractions": fractions,
+            "k": k,
         },
     ))
 

@@ -274,6 +274,12 @@ class PassSchedule:
     #: set, the verifier checks it covers every column the schedule
     #: reads — an under-keyed cache would survive a texel update.
     cache_key: tuple[str, ...] | None = None
+    #: Execution payload the schedule executor drives from (predicate
+    #: objects, bucket edges, k, fractions — the runtime arguments the
+    #: pass nodes only describe).  ``None`` on purely descriptive
+    #: schedules (e.g. whole-statement explain lowerings), which
+    #: :meth:`GpuEngine.execute_schedule` refuses to run.
+    payload: dict | None = None
 
     @property
     def copy_passes(self) -> int:

@@ -1,161 +1,67 @@
-"""Fused execution of counting sweeps (the schedules the compiler fuses).
+"""Deprecated shims over :class:`repro.plan.executor.ScheduleExecutor`.
 
-The runner executes the batched counting operations —
-``GpuEngine.selectivities`` and ``GpuEngine.histogram`` — with the same
-fusion decisions :mod:`repro.plan.compiler` encodes in their schedules:
+The free functions that used to execute the counting sweeps here moved
+onto the schedule executor when execution was consolidated behind
+``GpuEngine.execute_schedule``:
 
-* copies ride the engine's cache-aware :meth:`GpuEngine.ensure_depth`,
-  so consecutive predicates on one attribute (and warm depth state left
-  by earlier operations) share a single copy-to-depth pass;
-* occlusion counts are harvested in batch — every query is retrieved
-  asynchronously except the last, so the whole sweep pays one pipeline
-  stall instead of one per predicate (paper section 5.3).
+* ``harvest(queries)``                     -> ``ScheduleExecutor.harvest``
+* ``run_selectivities(engine, preds)``     -> ``ScheduleExecutor(engine).run_selectivities``
+* ``run_histogram(engine, column, edges)`` -> ``ScheduleExecutor(engine).run_histogram``
 
-``fuse=False`` runs the honest unfused baseline: the engine's
-``ensure_depth`` copies unconditionally and every count synchronizes
-immediately, reproducing the pass structure of naively re-issuing
-routine 4.1 per predicate.  Both paths return identical counts — the
-differential tests pin this.
+These shims delegate (results are identical) and emit
+:class:`DeprecationWarning`; they will be removed in a future release.
+See ``docs/API.md`` for the migration notes.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from ..core.compare import compare_pass
-from ..core.predicates import Between, Comparison, Predicate
-from ..core.range_query import range_pass
-from ..core.select import execute_selection
+from ..core.predicates import Predicate
+from .executor import ScheduleExecutor
+
+
+def _warn(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.plan.runner.{name}() is deprecated; use {replacement} "
+        "(execution is consolidated behind GpuEngine.execute_schedule)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def harvest(queries) -> list[int]:
-    """Retrieve a batch of occlusion results with one pipeline stall.
-
-    Queries pipeline (paper section 5.3): by the time the final result
-    is waited on synchronously, every earlier one is already available
-    and costs nothing to read.
-    """
-    results = []
-    for index, query in enumerate(queries):
-        synchronous = index == len(queries) - 1
-        results.append(query.result(synchronous=synchronous))
-    return results
-
-
-def _counted_quad(engine, predicate: Predicate):
-    """Render one simple predicate as an occlusion-counted quad against
-    the depth buffer (after routing its attribute there) and return the
-    still-pending query."""
-    device = engine.device
-    column = engine.relation.column(predicate.column)
-    texture, _scale, _channel = engine.ensure_depth(predicate.column)
-    query = device.begin_query()
-    if isinstance(predicate, Comparison):
-        compare_pass(
-            device,
-            predicate.op,
-            column.normalize(column.clamp_to_domain(predicate.value)),
-            texture.count,
-        )
-    else:
-        range_pass(
-            device,
-            column.normalize(column.clamp_to_domain(predicate.low)),
-            column.normalize(column.clamp_to_domain(predicate.high)),
-            texture.count,
-        )
-    device.end_query()
-    return query
+    """Deprecated: use :meth:`ScheduleExecutor.harvest`."""
+    _warn("harvest", "ScheduleExecutor.harvest(queries)")
+    return ScheduleExecutor.harvest(queries)
 
 
 def run_selectivities(
     engine, predicates: list[Predicate], fuse: bool = True
 ) -> list[int]:
-    """Execute the batched selectivity sweep; counts align with
-    ``predicates``.
-
-    Simple predicates render as counted quads with the stencil disabled;
-    general predicates fall back to the full selection machinery (which
-    owns the stencil buffer), flushing any pending batch first so result
-    order is preserved.
-    """
-    device = engine.device
-    device.state.color_mask = (False, False, False, False)
-    device.state.stencil.enabled = False
-    counts: list[int | None] = []
-    pending: list[tuple[int, object]] = []
-
-    def flush() -> None:
-        if not pending:
-            return
-        for (index, _query), value in zip(
-            pending, harvest([query for _i, query in pending])
-        ):
-            counts[index] = value
-        pending.clear()
-
-    for predicate in predicates:
-        if isinstance(predicate, (Comparison, Between)):
-            query = _counted_quad(engine, predicate)
-            counts.append(None)
-            if fuse:
-                pending.append((len(counts) - 1, query))
-            else:
-                counts[-1] = query.result(synchronous=True)
-        else:
-            flush()
-            outcome = execute_selection(
-                device, engine.relation, engine, predicate
-            )
-            counts.append(outcome.count)
-            device.state.stencil.enabled = False
-    flush()
-    return counts
+    """Deprecated: use
+    :meth:`ScheduleExecutor.run_selectivities` (or simply
+    ``engine.selectivities``)."""
+    _warn(
+        "run_selectivities",
+        "ScheduleExecutor(engine).run_selectivities(predicates)",
+    )
+    return ScheduleExecutor(engine).run_selectivities(
+        predicates, fuse=fuse
+    )
 
 
 def run_histogram(
     engine, column_name: str, edges: np.ndarray, fuse: bool = True
 ) -> np.ndarray:
-    """Execute the histogram sweep over precomputed bucket ``edges``.
-
-    Fused: one depth copy, one counted depth-bounds quad per bucket,
-    one batched harvest — and the stencil buffer is left untouched, so
-    an earlier selection's mask survives.  Unfused: each bucket re-runs
-    the full range selection exactly as the pre-fusion engine did.
-    """
-    device = engine.device
-    column = engine.relation.column(column_name)
-    counts = np.zeros(edges.size - 1, dtype=np.int64)
-    if not fuse:
-        for index in range(edges.size - 1):
-            outcome = execute_selection(
-                device,
-                engine.relation,
-                engine,
-                Between(
-                    column_name,
-                    int(edges[index]),
-                    int(edges[index + 1] - 1),
-                ),
-            )
-            counts[index] = outcome.count
-        return counts
-
-    device.state.color_mask = (False, False, False, False)
-    device.state.stencil.enabled = False
-    texture, _scale, _channel = engine.ensure_depth(column_name)
-    queries = []
-    for index in range(edges.size - 1):
-        low = column.normalize(
-            column.clamp_to_domain(int(edges[index]))
-        )
-        high = column.normalize(
-            column.clamp_to_domain(int(edges[index + 1] - 1))
-        )
-        query = device.begin_query()
-        range_pass(device, low, high, texture.count)
-        device.end_query()
-        queries.append(query)
-    for index, value in enumerate(harvest(queries)):
-        counts[index] = value
-    return counts
+    """Deprecated: use :meth:`ScheduleExecutor.run_histogram` (or
+    simply ``engine.histogram``)."""
+    _warn(
+        "run_histogram",
+        "ScheduleExecutor(engine).run_histogram(column_name, edges)",
+    )
+    return ScheduleExecutor(engine).run_histogram(
+        column_name, edges, fuse=fuse
+    )

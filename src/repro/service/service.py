@@ -90,6 +90,16 @@ class ServiceResult:
     def time_ms(self) -> float:
         return self.result.time_ms
 
+    @property
+    def pass_count(self) -> int:
+        """Rendering passes issued by the wrapped query (0 on CPU)."""
+        return self.result.pass_count
+
+    @property
+    def stats(self):
+        """Merged pipeline statistics of the wrapped query."""
+        return self.result.stats
+
 
 class QueryService:
     """Session-based concurrent query service over one ``Database``."""

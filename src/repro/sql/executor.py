@@ -79,16 +79,9 @@ class QueryResult:
     @property
     def stats(self) -> PipelineStats:
         """Merged pipeline statistics over every engine operation."""
-        merged = PipelineStats()
-        for result in self.op_results:
-            window = result.stats
-            for p in window.passes:
-                merged.record_pass(p)
-            merged.bytes_uploaded += window.bytes_uploaded
-            merged.bytes_read_back += window.bytes_read_back
-            merged.occlusion_results += window.occlusion_results
-            merged.clears += window.clears
-        return merged
+        return PipelineStats.merged(
+            result.stats for result in self.op_results
+        )
 
     @property
     def scalar(self):
@@ -227,6 +220,7 @@ class Database:
         device: DeviceChoice = DeviceChoice.AUTO,
         fuse: bool = True,
         verify: bool = False,
+        jit: bool = False,
     ) -> PassSchedule:
         """Compile ``sql`` to the :class:`~repro.plan.PassSchedule` the
         chosen device would execute, without running it.
@@ -240,6 +234,13 @@ class Database:
         (:mod:`repro.analysis`) over the compiled schedule, raising
         :class:`~repro.errors.PlanVerificationError` — whose ``report``
         attribute carries the typed diagnostics — if it hides a hazard.
+
+        ``jit=True`` annotates the schedule (``meta["kernels"]``) with
+        the :mod:`repro.gpu.jit` compiled-kernel summaries of the
+        fragment programs its passes bind — one line per distinct
+        program showing the instruction count surviving dead-code
+        elimination.  Fixed-function passes (plain compare / range
+        quads) bind no program and are not listed.
         """
         plan = self.plan(sql, device=device)
         schedule = lower_statement(
@@ -252,7 +253,38 @@ class Database:
             from ..analysis import assert_verified
 
             assert_verified(schedule)
+        if jit:
+            schedule.meta["kernels"] = self._kernel_summaries(schedule)
         return schedule
+
+    @staticmethod
+    def _kernel_summaries(schedule: PassSchedule) -> list[str]:
+        """Compiled-kernel one-liners for the statically-known fragment
+        programs a schedule's passes bind (copy-to-depth and the
+        Accumulator's alpha-tested TestBit), deduplicated in first-use
+        order."""
+        from ..gpu.jit import kernel_summary
+        from ..gpu.programs import copy_to_depth_program, test_bit_program
+        from ..plan import CompareQuadPass, CopyDepthPass
+
+        summaries: list[str] = []
+        for node in schedule.nodes:
+            if isinstance(node, CopyDepthPass):
+                text = kernel_summary(
+                    copy_to_depth_program(node.channel)
+                )
+            elif isinstance(node, CompareQuadPass) and (
+                node.detail.startswith("TestBit")
+            ):
+                # The alpha test consumes the program's color output.
+                text = kernel_summary(
+                    test_bit_program(), need_color=True
+                )
+            else:
+                continue
+            if text not in summaries:
+                summaries.append(text)
+        return summaries
 
     def query(
         self,

@@ -178,6 +178,34 @@ class TestUnscheduledStencilWrite:
         assert _codes(source, path="src/repro/service/x.py") == []
 
 
+class TestDirectInterpreter:
+    BAD = """
+        def run(program, batch, params):
+            return ProgramInterpreter({}, params).run(program, batch)
+    """
+
+    def test_flags_outside_gpu_layer(self):
+        for layer in ("core", "plan", "sql", "service"):
+            codes = _codes(self.BAD, path=f"src/repro/{layer}/x.py")
+            assert "L207" in codes, layer
+
+    def test_gpu_layer_may_interpret(self):
+        assert _codes(
+            self.BAD, path="src/repro/gpu/pipeline.py"
+        ) == []
+
+    def test_attribute_call_flagged(self):
+        source = """
+        def run(interpreter_mod, program):
+            return interpreter_mod.ProgramInterpreter({}, None)
+        """
+        codes = _codes(source, path="src/repro/core/x.py")
+        assert "L207" in codes
+
+    def test_non_repro_files_exempt(self):
+        assert _codes(self.BAD, path="tests/gpu/helper.py") == []
+
+
 class TestSuppressions:
     def test_same_line_suppression(self):
         source = 'ok = v == 0.5  # repro-lint: disable=float-eq\n'
@@ -234,7 +262,7 @@ class TestRuleCatalog:
     def test_codes_unique(self):
         codes = [rule.code for rule in LINT_RULES]
         assert len(codes) == len(set(codes))
-        assert len(codes) == 6
+        assert len(codes) == 7
 
     @pytest.mark.parametrize("rule", LINT_RULES, ids=lambda r: r.code)
     def test_slugs_are_suppression_safe(self, rule):

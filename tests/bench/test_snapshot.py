@@ -53,8 +53,19 @@ class TestSnapshotShape:
             data = copy.deepcopy(data)
             for mode in data["service"].values():
                 mode.pop("wall_s", None)
+            jit = data["jit"]
+            jit.pop("wall_speedup", None)
+            for mode in (jit["jit_on"], jit["jit_off"]):
+                mode.pop("wall_s", None)
             return data
         assert strip(snapshot) == strip(again)
+
+    def test_jit_section_shows_cost_model_fidelity(self, snapshot):
+        jit = snapshot["jit"]
+        assert jit["modeled_identical"] is True
+        assert jit["jit_on"]["modeled_ms_total"] == \
+            jit["jit_off"]["modeled_ms_total"]
+        assert jit["kernel_cache"]["misses"] > 0
 
     def test_write_snapshot_round_trips(self, snapshot, tmp_path):
         path = tmp_path / "BENCH_9.json"
@@ -65,14 +76,15 @@ class TestSnapshotShape:
 
 
 class TestCommittedSnapshot:
-    def test_bench_7_is_committed_and_current_shape(self):
-        path = REPO / "BENCH_7.json"
+    def test_bench_8_is_committed_and_current_shape(self):
+        path = REPO / "BENCH_8.json"
         data = json.loads(path.read_text())
         assert data["version"] == SNAPSHOT_VERSION
         assert set(data["figures"]) == set(SNAPSHOT_FIGURES)
         assert data["service"]["faulted"]["faults"][
             "breaker_transitions"
         ]
+        assert data["jit"]["modeled_identical"] is True
 
 
 class TestCompareGate:

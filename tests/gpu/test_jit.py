@@ -1,0 +1,369 @@
+"""Fragment-program JIT: compilation, DCE, cache keying, equivalence.
+
+The JIT must be a drop-in for the interpreter: identical outputs,
+identical errors, identical ``instructions_executed`` (DCE changes
+wall-clock only — the simulated hardware has no dead-code eliminator).
+The kernel cache must key on texture generations and parameter bytes so
+a texel upload, parameter change, fault retry or context switch can
+never replay a stale kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GpuEngine
+from repro.core.predicates import Comparison
+from repro.data.tcpip import make_tcpip
+from repro.errors import ProgramExecutionError
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    ResilientExecutor,
+    RetryPolicy,
+    use_faults,
+)
+from repro.gpu.assembler import assemble
+from repro.gpu.interpreter import FragmentBatch, ProgramInterpreter
+from repro.gpu.isa import NUM_PARAMETERS, FragmentAttrib
+from repro.gpu.jit import (
+    BoundKernel,
+    KernelCache,
+    compile_program,
+    kernel_summary,
+)
+from repro.gpu.programs import (
+    copy_to_depth_program,
+    semilinear_program,
+)
+from repro.gpu.programs import test_bit_program as bit_program
+from repro.gpu.texture import Texture
+from repro.gpu.types import CompareFunc
+
+
+def _program(lines):
+    return assemble("\n".join(["!!FP1.0"] + list(lines) + ["END"]))
+
+
+def _batch(count=16, seed=0):
+    rng = np.random.default_rng(seed)
+    attrs = {}
+    for attrib in (
+        FragmentAttrib.WPOS,
+        FragmentAttrib.COL0,
+        FragmentAttrib.TEX0,
+        FragmentAttrib.TEX1,
+    ):
+        attrs[attrib] = rng.uniform(
+            -2.0, 2.0, size=(count, 4)
+        ).astype(np.float32)
+    return FragmentBatch(count=count, attributes=attrs)
+
+
+def _params(seed=1):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(
+        -3.0, 3.0, size=(NUM_PARAMETERS, 4)
+    ).astype(np.float32)
+
+
+def _both(program, batch, textures=None, parameters=None,
+          need_color=True):
+    """Run ``program`` through the interpreter and a fresh bound
+    kernel; return both results."""
+    textures = textures or {}
+    parameters = (
+        parameters if parameters is not None else _params()
+    )
+    interp = ProgramInterpreter(textures, parameters).run(
+        program, batch
+    )
+    kernel = BoundKernel(
+        compile_program(program, need_color), textures, parameters
+    )
+    jit = kernel.run(batch)
+    return interp, jit
+
+
+def _assert_equal_results(interp, jit):
+    assert np.array_equal(interp.color, jit.color, equal_nan=True)
+    if interp.depth is None:
+        assert jit.depth is None
+    else:
+        assert np.array_equal(interp.depth, jit.depth, equal_nan=True)
+    assert np.array_equal(interp.killed, jit.killed)
+    assert interp.instructions_executed == jit.instructions_executed
+
+
+#: One source list per opcode family, exercising swizzles, negation,
+#: masked writes, literals and parameters.
+_OPCODE_PROGRAMS = [
+    ["MOV o[COLR], f[COL0];"],
+    ["MOV R0, -f[COL0].wzyx;", "MOV o[COLR], R0;"],
+    ["ADD o[COLR], f[COL0], f[TEX0];"],
+    ["SUB o[COLR], f[COL0], p[3];"],
+    ["MUL o[COLR], f[COL0], {0.5, -1, 2, 0};"],
+    ["MAD o[COLR], f[COL0], p[1], f[TEX0];"],
+    ["MIN o[COLR], f[COL0], f[TEX0];"],
+    ["MAX o[COLR], f[COL0], f[TEX0];"],
+    ["SLT o[COLR], f[COL0], f[TEX0];"],
+    ["SGE o[COLR], f[COL0], f[TEX0];"],
+    ["ABS o[COLR], f[COL0];"],
+    ["FLR o[COLR], f[COL0];"],
+    ["FRC o[COLR], f[COL0];"],
+    ["RCP o[COLR], f[COL0].x;"],
+    ["EX2 o[COLR], f[COL0].x;"],
+    ["LG2 o[COLR], f[COL0].x;"],
+    ["DP3 o[COLR], f[COL0], f[TEX0];"],
+    ["DP4 o[COLR], f[COL0], f[TEX0];"],
+    ["CMP o[COLR], f[COL0], f[TEX0], p[2];"],
+    ["LRP o[COLR], f[COL0].x, f[TEX0], p[2];"],
+    ["KIL f[COL0];", "MOV o[COLR], f[TEX0];"],
+    ["MOV o[DEPR], f[COL0];"],
+    ["MOV R0, f[COL0];", "MOV R0.xz, f[TEX0];",
+     "MOV o[COLR], R0;"],
+    ["MOV o[COLR].yw, f[COL0];"],
+]
+
+
+class TestOpcodeEquivalence:
+    @pytest.mark.parametrize(
+        "lines", _OPCODE_PROGRAMS,
+        ids=[" ".join(p)[:40] for p in _OPCODE_PROGRAMS],
+    )
+    def test_jit_matches_interpreter(self, lines):
+        interp, jit = _both(_program(lines), _batch())
+        _assert_equal_results(interp, jit)
+
+    def test_tex_fetch_matches(self):
+        texture = Texture.from_values(
+            np.arange(64, dtype=np.float32) / 64.0, shape=(8, 8)
+        )
+        count = 64
+        coords = np.zeros((count, 4), dtype=np.float32)
+        grid = np.arange(count)
+        coords[:, 0] = (grid % 8 + 0.5) / 8.0
+        coords[:, 1] = (grid // 8 + 0.5) / 8.0
+        batch = FragmentBatch(
+            count=count,
+            attributes={
+                FragmentAttrib.TEX0: coords,
+                FragmentAttrib.COL0: np.zeros(
+                    (count, 4), dtype=np.float32
+                ),
+            },
+        )
+        program = _program(
+            ["TEX R0, f[TEX0], TEX0, 2D;", "MOV o[COLR], R0;"]
+        )
+        interp, jit = _both(program, batch, textures={0: texture})
+        _assert_equal_results(interp, jit)
+
+    def test_shipped_programs_match(self):
+        """The programs the engine actually binds, under a real batch."""
+        texture = Texture.from_values(
+            np.linspace(0, 1, 64, dtype=np.float32), shape=(8, 8)
+        )
+        count = 64
+        coords = np.zeros((count, 4), dtype=np.float32)
+        grid = np.arange(count)
+        coords[:, 0] = (grid % 8 + 0.5) / 8.0
+        coords[:, 1] = (grid // 8 + 0.5) / 8.0
+        batch = FragmentBatch(
+            count=count,
+            attributes={
+                FragmentAttrib.TEX0: coords,
+                FragmentAttrib.TEX1: coords,
+                FragmentAttrib.COL0: np.full(
+                    (count, 4), 0.25, dtype=np.float32
+                ),
+                FragmentAttrib.WPOS: np.zeros(
+                    (count, 4), dtype=np.float32
+                ),
+            },
+        )
+        for program in (
+            copy_to_depth_program(),
+            bit_program(),
+            semilinear_program(CompareFunc.GEQUAL),
+        ):
+            interp, jit = _both(
+                program, batch, textures={0: texture, 1: texture}
+            )
+            _assert_equal_results(interp, jit)
+
+
+class TestCompilation:
+    def test_program_cache_reuses_compilations(self):
+        program = _program(["MOV o[COLR], f[COL0];"])
+        first = compile_program(program, True)
+        second = compile_program(program, True)
+        assert first is second
+        # Different color need is a different specialization.
+        assert compile_program(program, False) is not first
+
+    def test_dce_drops_dead_color_write(self):
+        """o[COLR] is dead when the pipeline never looks at color."""
+        program = _program([
+            "MOV o[DEPR], f[TEX0];",
+            "MOV o[COLR], f[COL0];",
+        ])
+        colored = compile_program(program, True)
+        depth_only = compile_program(program, False)
+        assert len(colored.instructions) == colored.num_instructions == 2
+        assert len(depth_only.instructions) == 1
+        # Cost-model fidelity: both charge the full program length.
+        assert depth_only.num_instructions == colored.num_instructions
+
+    def test_dce_drops_unread_temporary(self):
+        program = _program([
+            "MOV R1, f[TEX0];",   # dead: R1 never read
+            "MOV o[COLR], f[COL0];",
+        ])
+        compiled = compile_program(program, True)
+        assert len(compiled.instructions) == 1
+        assert compiled.num_instructions == 2
+        interp, jit = _both(program, _batch())
+        _assert_equal_results(interp, jit)
+
+    def test_kernel_summary_renders(self):
+        text = kernel_summary(copy_to_depth_program())
+        assert "copy-to-depth" in text
+        assert "after DCE" in text
+        assert "depth-only" in text
+
+    def test_uninitialized_read_matches_interpreter_error(self):
+        program = _program(["MOV o[COLR], R3;"])
+        with pytest.raises(ProgramExecutionError) as interp_err:
+            ProgramInterpreter({}, _params()).run(program, _batch())
+        with pytest.raises(ProgramExecutionError) as jit_err:
+            BoundKernel(
+                compile_program(program, True), {}, _params()
+            )
+        assert str(interp_err.value) == str(jit_err.value)
+
+    def test_unbound_texture_matches_interpreter_error(self):
+        program = _program(
+            ["TEX R0, f[TEX0], TEX0, 2D;", "MOV o[COLR], R0;"]
+        )
+        with pytest.raises(ProgramExecutionError) as interp_err:
+            ProgramInterpreter({}, _params()).run(program, _batch())
+        with pytest.raises(ProgramExecutionError) as jit_err:
+            BoundKernel(
+                compile_program(program, True), {}, _params()
+            )
+        assert str(interp_err.value) == str(jit_err.value)
+
+
+class TestKernelCache:
+    def _texture(self):
+        return Texture.from_values(
+            np.linspace(0, 1, 64, dtype=np.float32), shape=(8, 8)
+        )
+
+    def test_hit_on_identical_state(self):
+        cache = KernelCache()
+        program = copy_to_depth_program()
+        texture = self._texture()
+        params = _params()
+        first = cache.get_or_bind(program, False, {0: texture}, params)
+        second = cache.get_or_bind(program, False, {0: texture}, params)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_parameter_change_rebinds(self):
+        cache = KernelCache()
+        program = bit_program()
+        texture = self._texture()
+        params = _params()
+        first = cache.get_or_bind(program, True, {0: texture}, params)
+        changed = params.copy()
+        changed[0] = [1.0, 0.0, 0.0, 0.0]
+        second = cache.get_or_bind(
+            program, True, {0: texture}, changed
+        )
+        assert first is not second
+        assert cache.misses == 2
+
+    def test_texel_upload_rotates_key(self):
+        """satellite 3: a texture-content change (generation bump) must
+        miss the cache — retried faults / context switches can never
+        replay a kernel bound over stale texels."""
+        cache = KernelCache()
+        program = copy_to_depth_program()
+        texture = self._texture()
+        params = _params()
+        before = cache.get_or_bind(
+            program, False, {0: texture}, params
+        )
+        generation = texture.generation
+        texture.write_texels(0, np.array([0.5], dtype=np.float32))
+        assert texture.generation > generation
+        after = cache.get_or_bind(program, False, {0: texture}, params)
+        assert before is not after
+        assert cache.misses == 2
+
+    def test_lru_eviction(self):
+        cache = KernelCache(capacity=2)
+        texture = self._texture()
+        programs = [
+            copy_to_depth_program(),
+            bit_program(),
+            semilinear_program(CompareFunc.GEQUAL),
+        ]
+        for program in programs:
+            cache.get_or_bind(program, True, {0: texture}, _params())
+        assert len(cache) == 2
+        assert cache.evictions == 1
+
+    def test_tex_memo_survives_parameter_rebind(self):
+        """The fetch memo lives on the cache, not the kernel: the bit
+        search rotates a parameter every pass, and the fetches must
+        still be shared across the resulting rebinds."""
+        cache = KernelCache()
+        program = bit_program()
+        texture = self._texture()
+        params = _params()
+        a = cache.get_or_bind(program, True, {0: texture}, params)
+        changed = params.copy()
+        changed[0] = [0.25, 0.0, 0.0, 0.0]
+        b = cache.get_or_bind(program, True, {0: texture}, changed)
+        assert a is not b
+        assert a.tex_memo is b.tex_memo is cache.tex_memo
+
+
+class TestStaleKernelChaos:
+    def test_fault_retry_after_texel_update_sees_new_values(self):
+        """Chaos regression for satellite 3: update texels, then run an
+        op whose first attempts die with injected faults.  The retried
+        attempt must bind a kernel over the *new* texture generation,
+        never replay the pre-update kernel."""
+        relation = make_tcpip(600, seed=9)
+        executor = ResilientExecutor(
+            RetryPolicy(max_attempts=4, base_delay_s=0.0)
+        )
+        engine = GpuEngine(relation, executor=executor, jit=True)
+        baseline = GpuEngine(relation, jit=False)
+        # Warm the kernel cache with the original texture contents.
+        assert engine.median("data_count").value == \
+            baseline.median("data_count").value
+        # Now inject faults; every retry must recompute from current
+        # state and still agree with the interpreter baseline.
+        plan = FaultPlan([
+            FaultRule(
+                kind=FaultKind.DEVICE_LOST,
+                probability=1.0,
+                max_fires=2,
+            ),
+        ])
+        with use_faults(plan):
+            faulted = engine.median("flow_rate").value
+        assert faulted == baseline.median("flow_rate").value
+
+    def test_jit_cache_stats_exposed(self):
+        relation = make_tcpip(400, seed=3)
+        engine = GpuEngine(relation, jit=True)
+        engine.median("data_count")
+        cache = engine.device.kernels
+        assert cache.misses > 0
+        assert cache.hits + cache.misses > 0

@@ -1,0 +1,129 @@
+"""Differential testing: JIT backend vs interpreter backend.
+
+Satellite 4 of the JIT PR: every schedule must produce *identical*
+results — values, record ids, pass counts, instruction counts — whether
+the device runs fragment programs through the interpreter or through
+compiled kernels.  The JIT is a wall-clock optimization only; any
+observable divergence is a bug.
+
+Reuses the randomized relation/predicate generators from the
+engine-vs-engine differential suite with a fresh seed base.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GpuEngine
+from repro.core.predicates import Between, Comparison
+from repro.data.tcpip import make_tcpip
+from repro.gpu.types import CompareFunc
+from tests.core.test_differential import (
+    NUM_CASES,
+    _random_predicate,
+    _random_relation,
+)
+
+#: Fresh seed base so these cases don't shadow the engine-differential
+#: suite's workloads.
+_SEED_BASE = 66_000
+
+
+def _pair(relation, *, fusion=True):
+    """One JIT engine and one interpreter engine over ``relation``."""
+    return (
+        GpuEngine(relation, fusion=fusion, jit=True),
+        GpuEngine(relation, fusion=fusion, jit=False),
+    )
+
+
+def _assert_result_equal(jit_result, interp_result):
+    """Same value AND same cost-model observables."""
+    assert jit_result.value == interp_result.value
+    assert jit_result.pass_count == interp_result.pass_count
+    assert jit_result.stats.total_instructions == \
+        interp_result.stats.total_instructions
+
+
+@pytest.mark.parametrize("seed", range(NUM_CASES))
+def test_jit_matches_interpreter_on_random_workload(seed):
+    rng = np.random.default_rng(_SEED_BASE + seed)
+    relation = _random_relation(rng)
+    predicate = _random_predicate(rng, relation)
+    fusion = bool(rng.random() < 0.5)
+    jit, interp = _pair(relation, fusion=fusion)
+
+    jit_sel = jit.select(predicate).materialize()
+    interp_sel = interp.select(predicate).materialize()
+    assert jit_sel.count == interp_sel.count
+    assert np.array_equal(
+        jit_sel.record_ids(), interp_sel.record_ids()
+    )
+
+    column = relation.column_names[0]
+    _assert_result_equal(
+        jit.sum(column, predicate), interp.sum(column, predicate)
+    )
+    valid = jit_sel.count
+    if valid > 0:
+        _assert_result_equal(
+            jit.median(column, predicate),
+            interp.median(column, predicate),
+        )
+        _assert_result_equal(
+            jit.minimum(column, predicate),
+            interp.minimum(column, predicate),
+        )
+        k = int(rng.integers(1, valid + 1))
+        _assert_result_equal(
+            jit.kth_largest(column, k, predicate),
+            interp.kth_largest(column, k, predicate),
+        )
+
+
+@pytest.mark.parametrize("fusion", [True, False], ids=["fused", "unfused"])
+def test_jit_matches_interpreter_on_figure_workloads(fusion):
+    """The workloads behind the paper figures, both fusion modes."""
+    relation = make_tcpip(1500, seed=11)
+    jit, interp = _pair(relation, fusion=fusion)
+    column = "data_count"
+
+    predicates = [
+        Comparison(column, CompareFunc.LESS, 250_000),
+        Comparison(column, CompareFunc.GEQUAL, 250_000),
+        Between(column, 100_000, 600_000),
+        Comparison("flow_rate", CompareFunc.GREATER, 500),
+    ]
+    jit_sweep = jit.selectivities(predicates)
+    interp_sweep = interp.selectivities(predicates)
+    assert jit_sweep.value == interp_sweep.value
+    assert jit_sweep.pass_count == interp_sweep.pass_count
+
+    jit_hist = jit.histogram(column, buckets=16)
+    interp_hist = interp.histogram(column, buckets=16)
+    assert np.array_equal(jit_hist.value[0], interp_hist.value[0])
+    assert np.array_equal(jit_hist.value[1], interp_hist.value[1])
+    assert jit_hist.pass_count == interp_hist.pass_count
+
+    predicate = predicates[2]
+    _assert_result_equal(
+        jit.quantiles(column, [0.5, 0.9, 0.99], predicate),
+        interp.quantiles(column, [0.5, 0.9, 0.99], predicate),
+    )
+    jit_top = jit.top_k(column, 10, predicate)
+    interp_top = interp.top_k(column, 10, predicate)
+    assert jit_top.value.threshold == interp_top.value.threshold
+    assert np.array_equal(
+        jit_top.value.record_ids, interp_top.value.record_ids
+    )
+    assert jit_top.pass_count == interp_top.pass_count
+
+
+def test_jit_engine_reports_kernel_activity():
+    """A JIT engine actually exercises the kernel cache (guards against
+    the flag silently falling back to the interpreter)."""
+    relation = make_tcpip(500, seed=4)
+    jit, interp = _pair(relation)
+    jit.median("data_count")
+    interp.median("data_count")
+    assert jit.device.kernels.misses > 0
+    assert interp.device.kernels.misses == 0
