@@ -29,6 +29,12 @@ span-carrying diagnostics (:mod:`repro.analysis.diagnostics`):
   ``virtualized=True`` (the :mod:`repro.gpu.context` scheduler) the
   same walk proves every interleaving clean — the static half of the
   query service's isolation guarantee.
+
+* **Shard fan-out verifier** (:func:`verify_shard_fanout`) — checks a
+  shard pool's generation-band layout (host plus one band per shard)
+  and fires H108 ``shard-aliasing`` on any overlap or degenerate band;
+  the static half of :mod:`repro.shard`'s guarantee that per-shard
+  schedules never read another shard's generation band.
 """
 
 from .concurrency import (
@@ -51,6 +57,11 @@ from .lint import (
     lint_source,
 )
 from .rules import HAZARD_RULES, Rule
+from .sharding import (
+    ShardBand,
+    ShardFanoutReport,
+    verify_shard_fanout,
+)
 
 __all__ = [
     "Diagnostic",
@@ -63,10 +74,13 @@ __all__ = [
     "Rule",
     "Severity",
     "Span",
+    "ShardBand",
+    "ShardFanoutReport",
     "VerificationReport",
     "assert_verified",
     "lint_paths",
     "lint_source",
     "verify_interleaving",
     "verify_schedule",
+    "verify_shard_fanout",
 ]

@@ -105,6 +105,20 @@ CONTEXT_ALIASING = Rule(
     "state this session still depends on (unvirtualized device sharing)",
 )
 
+#: Sharding invariant (the multi-device tentpole): every shard device
+#: must own a *disjoint* virtual-context cid band, so no stencil/depth
+#: generation minted on one shard can equal a generation minted on
+#: another shard (or the host).  Overlapping bands would let one
+#: shard's plan-cache entries or selection snapshots validate against
+#: another shard's buffers — a silently wrong combined answer.  Fired
+#: by :func:`repro.analysis.verify_shard_fanout`.
+SHARD_ALIASING = Rule(
+    "H108",
+    "shard-aliasing",
+    "a shard's generation band overlaps another shard's (or the "
+    "host's), so cross-shard stencil/depth generations can alias",
+)
+
 #: Everything the verifier can fire, in code order.
 HAZARD_RULES: tuple[Rule, ...] = (
     STALE_DEPTH,
@@ -114,4 +128,5 @@ HAZARD_RULES: tuple[Rule, ...] = (
     DOUBLE_HARVEST,
     UNDER_KEYED_CACHE,
     CONTEXT_ALIASING,
+    SHARD_ALIASING,
 )

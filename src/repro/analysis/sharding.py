@@ -1,0 +1,138 @@
+"""Shard fan-out verifier: can shard generations ever alias?
+
+The sharded execution layer (:mod:`repro.shard`) runs N per-shard
+engines concurrently and trusts their stencil/depth **generation
+counters** to be mutually incomparable: a plan-cache entry, selection
+snapshot or staleness check minted on one shard must never validate
+against another shard's buffers.  The runtime mechanism is cid banding —
+shard *i*'s :class:`~repro.gpu.context.ContextScheduler` starts at
+``base_cid = (i + 1) * SHARD_CID_STRIDE``, putting all its generations
+in ``[base_cid * GENERATION_STRIDE, (base_cid + span) *
+GENERATION_STRIDE)``.
+
+:func:`verify_shard_fanout` is the static half of that guarantee: given
+the band descriptors of one shard pool (host band included), it fires
+:data:`~repro.analysis.rules.SHARD_ALIASING` (H108) for every pair of
+overlapping bands and for degenerate (empty / negative) bands.
+``GpuEngine(debug=True, shards=N)`` runs it at pool construction, and
+the shard test-suite pins the clean verdict for the shipped layout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from ..errors import PlanVerificationError
+from ..gpu.context import GENERATION_STRIDE
+from .diagnostics import Diagnostic, Span
+from .rules import SHARD_ALIASING
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardBand:
+    """One participant's virtual-context cid range (host or shard)."""
+
+    #: ``"host"`` or ``"shard-<i>"``.
+    owner: str
+    #: First cid this participant's scheduler hands out.
+    base_cid: int
+    #: Number of cids reserved for it (``SHARD_CID_STRIDE``).
+    cid_span: int
+
+    @property
+    def generations(self) -> tuple[int, int]:
+        """The half-open stencil/depth generation interval every
+        counter of this participant stays inside."""
+        return (
+            self.base_cid * GENERATION_STRIDE,
+            (self.base_cid + self.cid_span) * GENERATION_STRIDE,
+        )
+
+    def describe(self) -> str:
+        lo, hi = self.generations
+        return (
+            f"{self.owner}: cids [{self.base_cid}, "
+            f"{self.base_cid + self.cid_span}), generations "
+            f"[{lo}, {hi})"
+        )
+
+
+@dataclasses.dataclass
+class ShardFanoutReport:
+    """Verdict for one shard pool's band layout.
+
+    Diagnostics' spans index into :attr:`bands` (the later of the two
+    overlapping participants).
+    """
+
+    bands: list[ShardBand]
+    diagnostics: list[Diagnostic]
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return list(self.diagnostics)
+
+    def render_text(self) -> str:
+        verdict = "ok" if self.ok else "REJECTED"
+        lines = [
+            f"shard fan-out of {len(self.bands)} bands [{verdict}]"
+        ]
+        for index, band in enumerate(self.bands):
+            lines.append(f"  {index}: {band.describe()}")
+        if not self.diagnostics:
+            lines.append("  (no aliasing)")
+        for diagnostic in self.diagnostics:
+            lines.append(f"  ! {diagnostic.render_text()}")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if self.ok:
+            return
+        raise PlanVerificationError(
+            f"shard fan-out of {len(self.bands)} bands aliases "
+            "generation state:\n" + self.render_text(),
+            report=self,
+        )
+
+
+def verify_shard_fanout(
+    bands: Sequence[ShardBand],
+) -> ShardFanoutReport:
+    """Check one shard pool's generation-band layout for aliasing.
+
+    ``bands`` describes every participant sharing combined results —
+    the host engine plus each shard (``ShardedDevice.bands()`` builds
+    exactly that list).  Fires H108 for degenerate bands and for every
+    overlapping pair; a clean report proves no generation counter of
+    one participant can ever equal another's.
+    """
+    checked = list(bands)
+    diagnostics: list[Diagnostic] = []
+    for index, band in enumerate(checked):
+        if band.base_cid < 0 or band.cid_span <= 0:
+            diagnostics.append(SHARD_ALIASING.diagnostic(
+                Span.at(index),
+                f"band {index} ({band.describe()}) is degenerate; "
+                "every participant needs a non-empty cid range at or "
+                "above 0",
+            ))
+    for index, band in enumerate(checked):
+        lo, hi = band.generations
+        for earlier_index in range(index):
+            earlier = checked[earlier_index]
+            earlier_lo, earlier_hi = earlier.generations
+            if lo < earlier_hi and earlier_lo < hi:
+                diagnostics.append(SHARD_ALIASING.diagnostic(
+                    Span.at(index),
+                    f"band {index} ({band.describe()}) overlaps band "
+                    f"{earlier_index} ({earlier.describe()}); a "
+                    "generation minted on one could validate a "
+                    "snapshot taken on the other — give every shard "
+                    "a disjoint base_cid band",
+                ))
+    return ShardFanoutReport(bands=checked, diagnostics=diagnostics)

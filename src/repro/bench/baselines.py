@@ -44,6 +44,24 @@ def kth_largest_passes(bits: int) -> int:
     return COPY_PASSES + bits
 
 
+def sharded_kth_largest_passes(bits: int, shards: int) -> int:
+    """Total rendering passes across an N-shard pool for one
+    distributed k-th largest search (the sharded figure-7 workload).
+
+    The host broadcasts one stored-domain candidate per round and every
+    shard answers with its own occlusion count, so each shard pays
+    exactly the single-device formula — one copy plus ``bits`` counting
+    passes — and the pool total is ``shards`` times that.  The modeled
+    *critical path* stays at one shard's share (rounds run in
+    parallel); this pins the total work.
+    """
+    if shards < 1:
+        raise BenchmarkError(
+            f"a pool needs at least one shard, got {shards}"
+        )
+    return shards * kth_largest_passes(bits)
+
+
 def accumulator_passes(bits: int) -> int:
     """One TestBit pass per bit; no depth copy (section 4.6)."""
     return bits

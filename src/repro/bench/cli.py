@@ -108,15 +108,22 @@ def main(argv: list[str] | None = None) -> int:
         snapshot = write_snapshot(args.snapshot, scale_name=scale)
         clean = snapshot["service"]["clean"]
         faulted = snapshot["service"]["faulted"]
+        config = snapshot["config"]
+        shard = snapshot["shard"]["counts"]
+        widest = str(max(int(count) for count in shard))
         print(
-            f"wrote {args.snapshot} [scale={snapshot['scale']}]: "
+            f"wrote {args.snapshot} [scale={snapshot['scale']}, "
+            f"shards={config['shards']}, "
+            f"pool={config['pool_threads']} threads]: "
             f"{len(snapshot['figures'])} figures, "
             f"depth hit rate "
             f"{snapshot['cache']['depth_hit_rate']:.2f}, "
             f"{clean['modeled_queries_per_s']} q/s clean vs "
             f"{faulted['modeled_queries_per_s']} q/s under faults "
             f"({faulted['degraded']} degraded, "
-            f"{faulted['failed']} failed)"
+            f"{faulted['failed']} failed); sharded kth-largest "
+            f"{shard[widest]['speedup_vs_single']}x at "
+            f"{widest} shards"
         )
         return 0
     targets = args.experiments or experiment_ids()

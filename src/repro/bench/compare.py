@@ -9,7 +9,10 @@ and exits non-zero on a regression:
   (default 25%) on any series point;
 * cache hit rates may not drop by more than the tolerance;
 * modeled service throughput (clean and faulted) may not drop by more
-  than the tolerance.
+  than the tolerance;
+* sharded modeled kth-largest time (the ``shard`` section, per pool
+  size) may not grow, and degraded-pool throughput may not drop, by
+  more than the tolerance.
 
 ``wall_s`` keys and fault counters are informational and never gate.
 When no previous snapshot exists (this PR seeds the trajectory) the
@@ -109,14 +112,52 @@ def _rate_regressions(
     return problems
 
 
+def _shard_regressions(
+    current: dict, previous: dict, tolerance: float
+) -> list[str]:
+    problems = []
+    old_shard = previous.get("shard", {})
+    new_shard = current.get("shard", {})
+    if not old_shard:
+        return problems
+    if old_shard.get("records") == new_shard.get("records"):
+        for count, old in old_shard.get("counts", {}).items():
+            new = new_shard.get("counts", {}).get(count)
+            if new is None:
+                problems.append(f"shard.counts.{count}: missing")
+                continue
+            old_ms = old.get("modeled_ms", 0.0)
+            new_ms = new.get("modeled_ms", 0.0)
+            if old_ms > 0 and new_ms > old_ms * (1 + tolerance):
+                problems.append(
+                    f"shard.counts.{count}.modeled_ms: "
+                    f"{old_ms} -> {new_ms}"
+                )
+    old_qps = old_shard.get("faulted", {}).get(
+        "modeled_queries_per_s"
+    )
+    new_qps = new_shard.get("faulted", {}).get(
+        "modeled_queries_per_s"
+    )
+    if old_qps and new_qps is not None \
+            and new_qps < old_qps * (1 - tolerance):
+        problems.append(
+            "shard.faulted.modeled_queries_per_s: "
+            f"{old_qps} -> {new_qps}"
+        )
+    return problems
+
+
 def compare_snapshots(
     current: dict, previous: dict, tolerance: float = 0.25
 ) -> list[str]:
     """All regressions of ``current`` against ``previous`` (empty =
     gate passes)."""
-    return _figure_regressions(
-        current, previous, tolerance
-    ) + _rate_regressions(current, previous, tolerance)
+    return (
+        _figure_regressions(current, previous, tolerance)
+        + _rate_regressions(current, previous, tolerance)
+        + _shard_regressions(current, previous, tolerance)
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -22,6 +22,14 @@ fragment-program JIT on and off.  Modeled milliseconds are identical by
 construction (the cost model charges pre-DCE instruction counts either
 way — see ``docs/JIT.md``); the section exists to record the
 *wall-clock* speedup and the kernel-cache counters, both informational.
+
+The **shard** section runs the figure-7 k-th largest workload (median)
+on 1-, 2- and 4-shard pools at a large scale where the per-shard data
+term dominates the per-pass fixed overhead, recording modeled time,
+total pass count, combiner overhead and the speedup over one device —
+plus degraded throughput with one shard of four killed.  The
+``config`` block records the shard count and thread-pool size the
+snapshot itself ran under (``REPRO_SHARDS`` / ``REPRO_SHARD_THREADS``).
 """
 
 from __future__ import annotations
@@ -35,7 +43,7 @@ from .registry import get_scale
 from .runner import run_experiment
 
 #: Snapshot schema version (bump when the layout changes).
-SNAPSHOT_VERSION = 2
+SNAPSHOT_VERSION = 3
 
 #: Figures captured in the snapshot: the selection trio the paper
 #: headlines (predicate, range, median-vs-selectivity).
@@ -52,6 +60,14 @@ _WORKLOAD = (
 
 #: Passes per workload sweep through the service.
 _WORKLOAD_ROUNDS = 3
+
+#: Records for the sharded kth-largest scaling sweep — large enough
+#: that the per-shard data term dominates the per-pass fixed overhead
+#: (at figure scale the modeled speedup would vanish into it).
+_SHARD_RECORDS = 1 << 21
+
+#: Pool sizes swept by the shard section.
+_SHARD_COUNTS = (1, 2, 4)
 
 
 def _figures(scale_name: str) -> dict:
@@ -249,14 +265,95 @@ def _jit_modes(records: int) -> dict:
     }
 
 
+def _shard_scaling() -> dict:
+    """The sharded figure-7 sweep: modeled k-th largest (median) time
+    on 1/2/4-shard pools over one large relation, plus degraded
+    throughput with one shard of four dead.
+
+    Every number here is modeled (simulated ms), so the section is
+    deterministic and gated by :mod:`repro.bench.compare`.
+    """
+    from ..core import GpuEngine
+    from ..data import make_tcpip
+    from ..shard import COMBINE_MS_PER_SHARD, pool_threads
+
+    relation = make_tcpip(_SHARD_RECORDS)
+    column = relation.column("data_count")
+    section: dict = {
+        "records": _SHARD_RECORDS,
+        "bits": column.bits,
+        "combine_ms_per_shard": COMBINE_MS_PER_SHARD,
+        "counts": {},
+    }
+    single_ms = None
+    for shards in _SHARD_COUNTS:
+        engine = GpuEngine(relation, shards=shards)
+        result = engine.median("data_count")
+        entry = {
+            "modeled_ms": round(result.time_ms, 4),
+            "pass_count": result.pass_count,
+            "pool_threads": pool_threads(shards),
+        }
+        if shards == 1:
+            single_ms = result.time_ms
+        else:
+            entry["combiner_ms"] = round(result.combiner_ms, 4)
+        entry["speedup_vs_single"] = round(
+            single_ms / result.time_ms, 2
+        )
+        section["counts"][str(shards)] = entry
+    section["faulted"] = _faulted_shard_throughput()
+    return section
+
+
+def _faulted_shard_throughput() -> dict:
+    """Queries/sec through a 4-shard database with shard 1 killed:
+    every query degrades that shard to a CPU recompute and still
+    answers exactly."""
+    from ..data import make_tcpip
+    from ..service import QueryService
+
+    db = Database(shards=4)
+    db.register(make_tcpip(get_scale("smoke").kth_records))
+    db.gpu_engine("tcpip").sharded.kill(1)
+    modeled_ms = 0.0
+    completed = 0
+    started = time.perf_counter()
+    service = QueryService(db, max_in_flight=8)
+    with service.session("chaos") as session:
+        for _ in range(_WORKLOAD_ROUNDS):
+            for sql in _WORKLOAD:
+                result = session.query(sql, device=Device.GPU)
+                modeled_ms += result.time_ms
+                completed += 1
+    wall_s = time.perf_counter() - started
+    return {
+        "shards": 4,
+        "killed_shard": 1,
+        "queries": completed,
+        "modeled_ms_total": round(modeled_ms, 4),
+        "modeled_queries_per_s": round(
+            completed / (modeled_ms / 1000.0), 2
+        ) if modeled_ms else 0.0,
+        "wall_s": round(wall_s, 3),
+    }
+
+
 def build_snapshot(scale_name: str = "smoke") -> dict:
     """Assemble the full snapshot dictionary (pure data, committed as
     ``BENCH_<n>.json``)."""
+    from ..shard import pool_threads, resolve_shards
+
     scale = get_scale(scale_name)
     records = scale.kth_records
+    shards = resolve_shards(None)
     return {
         "version": SNAPSHOT_VERSION,
         "scale": scale_name,
+        "config": {
+            "shards": shards,
+            "pool_threads": pool_threads(shards),
+        },
         "figures": _figures(scale_name),
         "cache": _cache_rates(records),
         "jit": _jit_modes(records),
@@ -264,6 +361,7 @@ def build_snapshot(scale_name: str = "smoke") -> dict:
             "clean": _service_throughput(records, faults=False),
             "faulted": _service_throughput(records, faults=True),
         },
+        "shard": _shard_scaling(),
     }
 
 

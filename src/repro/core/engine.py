@@ -329,6 +329,8 @@ class GpuEngine:
         fusion: bool = True,
         debug: bool = False,
         jit: bool | None = None,
+        shards: int | None = None,
+        context_band: int = 0,
     ):
         """``video_memory`` overrides the default 256 MB pool — pass a
         smaller :class:`~repro.gpu.memory.VideoMemory` to exercise the
@@ -383,6 +385,16 @@ class GpuEngine:
         modeled cost; JIT only changes host wall-clock.  ``None``
         (default) follows the ``REPRO_JIT`` environment variable —
         on unless ``REPRO_JIT=0``.
+
+        ``shards`` partitions the relation across N simulated devices
+        (:mod:`repro.shard`): every operation fans out as per-shard
+        schedules on a thread pool and merges on the host.  ``None``
+        (default) follows the ``REPRO_SHARDS`` environment variable;
+        the resolved default of 1 is bit-identical to a single device.
+
+        ``context_band`` offsets this engine's virtual-context cids
+        (generation banding); the shard layer uses it to give every
+        shard device a disjoint band.  Leave at 0 everywhere else.
         """
         if layout not in ("planar", "packed"):
             raise QueryError(
@@ -421,7 +433,19 @@ class GpuEngine:
             plan_factory=lambda: PlanCache(
                 tracer_source=lambda: self.device.tracer
             ),
+            base_cid=context_band,
         )
+        # Sharded execution (repro.shard): resolved here so shards=None
+        # follows REPRO_SHARDS; 1 keeps the single-device fast path
+        # (self.sharded stays None and nothing changes).
+        from ..shard.partition import resolve_shards
+
+        num_shards = resolve_shards(shards)
+        self.sharded = None
+        if num_shards > 1:
+            from ..shard.sharded import ShardedDevice
+
+            self.sharded = ShardedDevice(self, num_shards)
         self._column_textures: dict[str, Texture] = {}
         self._stored_textures: dict[str, Texture] = {}
         self._packed_textures: dict[tuple[str, ...], Texture] = {}
@@ -452,17 +476,28 @@ class GpuEngine:
 
     def create_context(self, name: str | None = None) -> VirtualContext:
         """Allocate a private stencil/depth context on this engine's
-        device (see :class:`~repro.gpu.context.ContextScheduler`)."""
-        return self.contexts.create(name)
+        device (see :class:`~repro.gpu.context.ContextScheduler`).  On
+        a sharded engine the context is mirrored onto every shard."""
+        context = self.contexts.create(name)
+        if self.sharded is not None:
+            self.sharded.create_context(context)
+        return context
 
     def activate_context(self, context: VirtualContext) -> VirtualContext:
         """Make ``context`` the device's live stencil/depth state
         (checkpointing the previously active context).  Subsequent
-        operations and selections run under it."""
-        return self.contexts.activate(context)
+        operations and selections run under it.  On a sharded engine
+        the per-shard mirror contexts activate in lockstep."""
+        activated = self.contexts.activate(context)
+        if self.sharded is not None:
+            self.sharded.activate_context(context)
+        return activated
 
     def release_context(self, context: VirtualContext) -> None:
-        """Drop ``context``'s checkpoint; it can no longer be activated."""
+        """Drop ``context``'s checkpoint; it can no longer be
+        activated.  Sharded engines release the mirrors too."""
+        if self.sharded is not None:
+            self.sharded.release_context(context)
         self.contexts.release(context)
 
     # -- TextureProvider protocol ------------------------------------------------
@@ -740,6 +775,10 @@ class GpuEngine:
         """
         # Runtime import: repro.plan.executor reaches back into
         # repro.core at import time.
+        if self.sharded is not None:
+            from ..shard.sharded import ShardedExecutor
+
+            return ShardedExecutor(self).execute(schedule, jit=jit)
         from ..plan.executor import ScheduleExecutor
 
         return ScheduleExecutor(self).execute(schedule, jit=jit)

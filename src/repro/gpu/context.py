@@ -94,18 +94,40 @@ class ContextScheduler:
     context handle.
     """
 
-    def __init__(self, device, plan_factory=None):
+    def __init__(self, device, plan_factory=None, base_cid: int = 0):
         """``plan_factory`` is a zero-argument callable building a fresh
         plan cache per context (``None`` leaves ``context.plan`` unset,
-        for scheduler-only uses)."""
+        for scheduler-only uses).
+
+        ``base_cid`` offsets every cid this scheduler hands out, so the
+        whole scheduler occupies the generation bands starting at
+        ``base_cid * GENERATION_STRIDE``.  The sharded execution layer
+        (:mod:`repro.shard`) gives each shard device a disjoint cid
+        range this way: no generation produced on one shard can ever
+        equal a generation produced on another, which is the runtime
+        half of the H108 shard-aliasing guarantee.  The default of 0 is
+        bit-identical to the pre-banding scheduler.
+        """
+        if base_cid < 0:
+            raise QueryError(
+                f"base_cid must be >= 0, got {base_cid}"
+            )
         self.device = device
         self._plan_factory = plan_factory
         self.stats = ContextStats()
-        self._next_cid = 0
+        self.base_cid = base_cid
+        self._next_cid = base_cid
         #: The boot context: adopts the device's initial buffers and
-        #: generation band 0, so single-context use is unchanged.
+        #: the scheduler's first generation band (band 0 by default, so
+        #: single-context use is unchanged).
         self.default = self._new_context("default")
         self.active = self.default
+        if base_cid:
+            # A banded scheduler's boot context does not start at the
+            # device's native generation 0 — move the live counters
+            # into its band immediately.
+            device.stencil_generation = self.default._stencil_generation
+            device.depth_generation = self.default._depth_generation
 
     def _new_context(self, name: str) -> VirtualContext:
         cid = self._next_cid

@@ -1,4 +1,4 @@
-"""Pass-level plan compiler, result caches and fused runner.
+"""Pass-level plan compiler, result caches and schedule executor.
 
 This package sits between the engine/SQL layers and the simulated
 device:
@@ -10,8 +10,12 @@ device:
   caches;
 * :mod:`repro.plan.executor` — whole-schedule execution
   (:class:`ScheduleExecutor`, driven by
-  ``GpuEngine.execute_schedule``);
-* :mod:`repro.plan.runner`   — deprecated shims over the executor.
+  ``GpuEngine.execute_schedule``).
+
+The deprecated ``repro.plan.runner`` shims were removed once their
+window passed; the former free functions live on as
+:class:`ScheduleExecutor` methods (``harvest`` / ``run_selectivities``
+/ ``run_histogram``).
 """
 
 from .cache import CacheStats, DepthCache, PlanCache, StencilCache
@@ -29,12 +33,12 @@ from .passes import (
     OcclusionCountPass,
     PassNode,
     PassSchedule,
+    ShardFanout,
     StencilCNFPass,
     predicate_columns,
     predicate_key,
 )
 from .executor import ScheduleExecutor
-from .runner import harvest, run_histogram, run_selectivities
 
 __all__ = [
     "CacheStats",
@@ -46,9 +50,9 @@ __all__ = [
     "PassSchedule",
     "PlanCache",
     "ScheduleExecutor",
+    "ShardFanout",
     "StencilCache",
     "StencilCNFPass",
-    "harvest",
     "histogram_edges",
     "lower_aggregate",
     "lower_histogram",
@@ -57,6 +61,4 @@ __all__ = [
     "lower_statement",
     "predicate_columns",
     "predicate_key",
-    "run_histogram",
-    "run_selectivities",
 ]

@@ -18,9 +18,10 @@ deadline hooks all sit at that single choke point:
 * deadlines cancel at pass boundaries inside the driver loop exactly
   as they did across the old per-op methods.
 
-The free functions that used to live in :mod:`repro.plan.runner`
+The free functions that once lived in ``repro.plan.runner``
 (``harvest`` / ``run_selectivities`` / ``run_histogram``) are methods
-here; the runner module keeps deprecated shims for one release.
+here; the shim module has been removed now its deprecation window has
+passed.
 """
 
 from __future__ import annotations

@@ -253,6 +253,44 @@ class OcclusionCountPass:
 PassNode = CopyDepthPass | CompareQuadPass | StencilCNFPass | OcclusionCountPass
 
 
+@dataclasses.dataclass(frozen=True)
+class ShardFanout:
+    """Explain-only annotation: how a sharded engine
+    (``GpuEngine(shards=N)``) fans a schedule out.
+
+    Purely descriptive — every shard executes the same pass sequence
+    over its record slice on its own virtual device, and the host
+    merges the per-shard answers with ``combiner``.  Carried on
+    :attr:`PassSchedule.fanout` so ``Database.explain`` renders the
+    partition alongside the passes.
+    """
+
+    #: Number of shard devices.
+    shards: int
+    #: Worker threads in the pool driving them.
+    threads: int
+    #: Records assigned to each shard, in shard order.
+    shard_records: tuple[int, ...]
+    #: ``(base_cid, cid_span)`` virtual-context band per shard — the
+    #: disjoint generation bands the H108 fan-out verifier checks.
+    bands: tuple[tuple[int, int], ...]
+    #: One-line description of the host-side merge.
+    combiner: str
+
+    def describe_lines(self) -> list[str]:
+        lines = [
+            f"  = fan-out across {self.shards} shards "
+            f"({self.threads} pool threads), combine: {self.combiner}"
+        ]
+        for index, count in enumerate(self.shard_records):
+            base, span = self.bands[index]
+            lines.append(
+                f"    shard-{index}: {count} records, "
+                f"cids [{base}, {base + span})"
+            )
+        return lines
+
+
 @dataclasses.dataclass
 class PassSchedule:
     """A lowered engine operation: ordered pass nodes plus fusion facts."""
@@ -280,6 +318,9 @@ class PassSchedule:
     #: schedules (e.g. whole-statement explain lowerings), which
     #: :meth:`GpuEngine.execute_schedule` refuses to run.
     payload: dict | None = None
+    #: Sharded fan-out annotation (explain-only); ``None`` on the
+    #: single-device path.
+    fanout: ShardFanout | None = None
 
     @property
     def copy_passes(self) -> int:
@@ -331,6 +372,8 @@ class PassSchedule:
                 f"  = fusion saved {self.fused_copies} copy passes, "
                 f"{self.fused_stalls} stalls"
             )
+        if self.fanout is not None:
+            lines.extend(self.fanout.describe_lines())
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,53 @@
+"""Sharded multi-device execution (scale-out past one FX-5900).
+
+The paper assumes the whole relation fits one device's video memory.
+This package removes that assumption: a relation is partitioned across
+N simulated devices (:mod:`repro.shard.partition`), every engine
+operation fans out as per-shard pass schedules run concurrently on a
+thread pool, and the host merges the per-shard answers with typed
+combiners — including the distributed bit-wise binary search for order
+statistics (:mod:`repro.shard.sharded`).
+
+Entry points: ``GpuEngine(..., shards=N)`` / ``Database(..., shards=N)``
+or the ``REPRO_SHARDS`` environment variable; ``shards=1`` (the
+default) is bit-identical to the single-device engine.  See
+``docs/SHARDING.md``.
+"""
+
+from .partition import (
+    SHARDS_ENV,
+    THREADS_ENV,
+    pool_threads,
+    resolve_shards,
+    shard_bounds,
+    slice_relation,
+)
+from .results import (
+    COMBINE_MS_PER_SHARD,
+    ShardedOpResult,
+    ShardedSelection,
+)
+from .sharded import (
+    COMBINERS,
+    SHARD_CID_STRIDE,
+    Shard,
+    ShardedDevice,
+    ShardedExecutor,
+)
+
+__all__ = [
+    "COMBINE_MS_PER_SHARD",
+    "COMBINERS",
+    "SHARD_CID_STRIDE",
+    "SHARDS_ENV",
+    "Shard",
+    "ShardedDevice",
+    "ShardedExecutor",
+    "ShardedOpResult",
+    "ShardedSelection",
+    "THREADS_ENV",
+    "pool_threads",
+    "resolve_shards",
+    "shard_bounds",
+    "slice_relation",
+]

@@ -1,0 +1,119 @@
+"""Row-wise partitioning of one relation across N simulated devices.
+
+A shard is a contiguous run of records ``[start, stop)``; shard *i*'s
+engine sees a sub-relation whose columns are value slices of the parent
+columns with **identical metadata** — bit width, domain, bias encoding
+and fraction bits are copied verbatim rather than re-derived from the
+slice.  That invariant is what makes the host-side combiners exact:
+
+* the stored (GPU-side) representation of a value is the same on every
+  shard, so the distributed bit search can broadcast one stored-domain
+  candidate and sum per-shard occlusion counts;
+* normalization (``value / 2**bits``) and clamping use the parent
+  domain, so per-shard selections answer exactly the parent predicate;
+* histogram edges derive from ``(lo, bits)`` alone and therefore come
+  out identical on every shard.
+
+``Relation.take`` deliberately re-derives metadata (it builds *new*
+relations from selections); :func:`slice_relation` exists because a
+shard must instead be a window onto the parent's representation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..core.column import Column
+from ..core.relation import Relation
+from ..errors import QueryError
+
+#: Environment variable selecting the default shard count for engines
+#: built with ``shards=None`` (mirrors ``REPRO_JIT``).
+SHARDS_ENV = "REPRO_SHARDS"
+
+#: Environment variable capping the shard thread pool (defaults to one
+#: worker thread per shard — each simulated device runs in parallel).
+THREADS_ENV = "REPRO_SHARD_THREADS"
+
+
+def resolve_shards(shards: int | None) -> int:
+    """The effective shard count: an explicit value wins, ``None``
+    follows ``REPRO_SHARDS`` (default 1 — single-device, bit-identical
+    to the unsharded engine)."""
+    if shards is None:
+        raw = os.environ.get(SHARDS_ENV, "").strip()
+        shards = int(raw) if raw else 1
+    shards = int(shards)
+    if shards < 1:
+        raise QueryError(f"shards must be >= 1, got {shards}")
+    return shards
+
+
+def pool_threads(shards: int) -> int:
+    """Worker threads driving ``shards`` devices concurrently: one per
+    shard unless ``REPRO_SHARD_THREADS`` caps the pool."""
+    raw = os.environ.get(THREADS_ENV, "").strip()
+    if not raw:
+        return max(1, int(shards))
+    cap = int(raw)
+    if cap < 1:
+        raise QueryError(
+            f"{THREADS_ENV} must be >= 1, got {cap}"
+        )
+    return max(1, min(int(shards), cap))
+
+
+def shard_bounds(
+    num_records: int, shards: int
+) -> list[tuple[int, int]]:
+    """Contiguous near-equal ``[start, stop)`` ranges, one per shard.
+
+    The first ``num_records % shards`` shards hold one extra record, so
+    sizes differ by at most one — the balanced partition whose slowest
+    shard bounds the modeled parallel time.
+    """
+    if shards < 1:
+        raise QueryError(f"shards must be >= 1, got {shards}")
+    if num_records < shards:
+        raise QueryError(
+            f"cannot split {num_records} records across {shards} "
+            "shards (every shard needs at least one record)"
+        )
+    base, extra = divmod(num_records, shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def slice_relation(
+    relation: Relation, start: int, stop: int
+) -> Relation:
+    """The ``[start, stop)`` record window of ``relation``, with every
+    column's metadata (bits, domain, bias, fraction bits) preserved
+    verbatim — see the module docstring for why ``Relation.take`` is
+    not the right tool here."""
+    if not 0 <= start < stop <= relation.num_records:
+        raise QueryError(
+            f"shard window [{start}, {stop}) outside "
+            f"[0, {relation.num_records})"
+        )
+    columns = []
+    for name in relation.column_names:
+        source = relation.column(name)
+        columns.append(Column(
+            name,
+            np.ascontiguousarray(source.values[start:stop]),
+            is_integer=source.is_integer,
+            bits=source.bits,
+            lo=source.lo,
+            hi=source.hi,
+            fraction_bits=source.fraction_bits,
+            bias=source.bias,
+        ))
+    return Relation(relation.name, columns)

@@ -1,0 +1,129 @@
+"""Fan-out result objects: per-shard results plus the host combiner.
+
+A sharded operation issues the *same* passes as the single-device
+algorithm on every shard, concurrently.  Its cost therefore has two
+faces:
+
+* **work** — the passes issued across all shards (``pass_count``,
+  ``stats`` and the inherited ``copy``/``compute`` windows merge the
+  per-shard windows);
+* **latency** — the modeled parallel time: the slowest shard's
+  ``GpuTime`` (the critical path) plus the host-side combiner cost.
+
+``total_time``/``time_ms`` report latency — that is the number the
+figure workloads and the service throughput care about, and the one
+that shows the near-linear per-shard reduction.  The per-shard results
+stay attached under ``shard_results`` so the work numbers remain
+auditable.
+
+The combiner itself is host arithmetic (summing counts, concatenating
+id arrays); it is priced at a deterministic nominal
+:data:`COMBINE_MS_PER_SHARD` per shard result so committed snapshots do
+not depend on host speed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.engine import GpuOpResult, Selection
+from ..gpu.cost import GpuCostModel, GpuTime, ZERO_TIME
+
+#: Modeled host-side combiner cost per shard result merged (10 us): a
+#: nominal bus/CPU charge keeping snapshot numbers deterministic.
+COMBINE_MS_PER_SHARD = 0.01
+
+
+class _ParallelCost:
+    """Cost-accessor overrides shared by the fan-out result types.
+
+    Expects ``shard_results`` (per-shard ``GpuOpResult``-likes, shard
+    order), ``combiner_ms`` and ``model`` attributes on the host class.
+    """
+
+    def total_time(self, model: GpuCostModel) -> GpuTime:
+        """The modeled parallel critical path: the slowest shard."""
+        times = [
+            result.total_time(model) for result in self.shard_results
+        ]
+        if not times:
+            return ZERO_TIME
+        return max(times, key=lambda time: time.total_ms)
+
+    @property
+    def time_ms(self) -> float:
+        """Critical-path milliseconds plus the host combiner charge."""
+        model = self.model or GpuCostModel()
+        return self.total_time(model).total_ms + self.combiner_ms
+
+
+@dataclasses.dataclass
+class ShardedOpResult(_ParallelCost, GpuOpResult):
+    """One combined answer from N per-shard executions.
+
+    The inherited ``copy``/``compute`` windows hold the *merged*
+    per-shard statistics (total work issued); ``total_time`` /
+    ``time_ms`` report the parallel critical path instead — see the
+    module docstring.
+    """
+
+    #: Per-shard results in shard order (degraded shards contribute an
+    #: empty-stats placeholder — their answer came from the CPU).
+    shard_results: list = dataclasses.field(default_factory=list)
+    #: Human-readable description of the host combiner applied.
+    combiner: str = ""
+    #: Modeled host-side combine cost (``COMBINE_MS_PER_SHARD`` x N).
+    combiner_ms: float = 0.0
+    #: Indices of shards whose GPU path failed for good this operation
+    #: and were recomputed on the CPU (empty on the clean path).
+    degraded_shards: tuple[int, ...] = ()
+
+
+@dataclasses.dataclass
+class ShardedSelection(_ParallelCost, Selection):
+    """A selection fanned out across shards.
+
+    ``value`` is the combined match count.  Record ids are the
+    concatenation of the per-shard ids offset by each shard's start
+    row, read lazily exactly like a single-device
+    :class:`~repro.core.engine.Selection` (each per-shard read
+    re-activates that shard's context).  Staleness is per shard: the
+    selection is stale as soon as *any* shard's mask was overwritten.
+    """
+
+    #: Per-shard :class:`Selection` objects in shard order.
+    shard_results: list = dataclasses.field(default_factory=list)
+    #: Per-shard start rows (added to shard-local record ids).
+    offsets: tuple[int, ...] = ()
+    combiner: str = ""
+    combiner_ms: float = 0.0
+    degraded_shards: tuple[int, ...] = ()
+
+    @property
+    def is_stale(self) -> bool:
+        if self._cached_ids is not None:
+            return False
+        return any(part.is_stale for part in self.shard_results)
+
+    def _gather_ids(self) -> np.ndarray:
+        parts = [
+            np.asarray(part.record_ids(), dtype=np.int64) + offset
+            for part, offset in zip(self.shard_results, self.offsets)
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def materialize(self) -> "ShardedSelection":
+        if self._cached_ids is None:
+            for part in self.shard_results:
+                part.materialize()
+            self._cached_ids = self._gather_ids()
+        return self
+
+    def record_ids(self) -> np.ndarray:
+        if self._cached_ids is not None:
+            return self._cached_ids
+        return self._gather_ids()

@@ -1,0 +1,1059 @@
+"""N simulated devices behind one engine: the fan-out/combine layer.
+
+:class:`ShardedDevice` partitions an engine's relation into contiguous
+row ranges (:func:`~repro.shard.partition.shard_bounds`) and builds one
+fully independent :class:`~repro.core.engine.GpuEngine` per range.  Each
+shard engine owns its own simulated FX-5900 and a **disjoint generation
+band**: its :class:`~repro.gpu.context.ContextScheduler` starts at
+``base_cid = (i + 1) * SHARD_CID_STRIDE``, so no stencil/depth
+generation minted on one shard can ever equal a generation minted on
+another shard (or on the host engine, which keeps band 0).  That is the
+runtime half of the H108 shard-aliasing guarantee
+(:mod:`repro.analysis.sharding` is the static half).
+
+:class:`ShardedExecutor` is the fan-out twin of
+:class:`~repro.plan.executor.ScheduleExecutor`: it takes the *parent*
+engine's compiled :class:`~repro.plan.passes.PassSchedule` and runs the
+operation as N per-shard schedules on a thread pool, then merges on the
+host with the op's typed combiner:
+
+* COUNT / SUM / MIN / MAX / AVG merge trivially (sums, extrema,
+  weighted ``(sum, count)`` pairs);
+* selections, selectivities and histograms concatenate / element-wise
+  sum the per-shard results;
+* k-th largest (and every order statistic built on it) becomes a
+  **distributed bit-wise binary search**: each round broadcasts the
+  candidate prefix ``x + 2**i`` to every shard, renders one
+  occlusion-counted comparison quad per shard, and sums the per-shard
+  counts before deciding the bit (Lemma 1 applies to the summed count).
+  Every shard issues exactly the single-device figure-7 pass sequence —
+  one depth copy plus ``bits`` comparison passes — over ``1/N`` of the
+  records, which is where the near-linear modeled speedup comes from.
+
+Fault semantics: a shard whose GPU path keeps failing (its resilient
+retries exhausted, or the shard was :meth:`~ShardedDevice.kill`\\ ed)
+**degrades to a CPU recompute of that shard only** — the query never
+fails and never mixes in a corrupted partial answer.  Deadlines are
+thread-local, so the dispatching thread's deadline is re-installed
+inside every worker; a :class:`~repro.errors.QueryTimeoutError` is
+never degraded, exactly like the single-device engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..core import aggregates
+from ..core.aggregates import _configure_valid_stencil
+from ..core.compare import compare_pass, copy_to_depth
+from ..core.engine import (
+    GpuOpResult,
+    Selection,
+    TopK,
+    split_copy_stats,
+)
+from ..errors import (
+    DeviceLostError,
+    GpuError,
+    QueryError,
+    QueryTimeoutError,
+)
+from ..faults.deadline import current_deadline, use_deadline
+from ..gpu.counters import PipelineStats
+from ..gpu.types import CompareFunc, StencilOp
+from .partition import pool_threads, shard_bounds, slice_relation
+from .results import (
+    COMBINE_MS_PER_SHARD,
+    ShardedOpResult,
+    ShardedSelection,
+)
+
+#: Context-id stride between shard generation bands.  Shard *i* owns
+#: cids ``[(i + 1) * STRIDE, (i + 2) * STRIDE)`` — a million virtual
+#: contexts per shard before neighboring bands could meet — while the
+#: host engine keeps band 0.
+SHARD_CID_STRIDE = 1 << 20
+
+#: One-line combiner description per schedule op (rendered by
+#: ``Database.explain`` and carried on every fan-out result).
+COMBINERS = {
+    "select": "concatenate per-shard record ids (+ shard start offset)",
+    "count": "sum per-shard counts",
+    "sum": "sum per-shard partial sums",
+    "average": "weighted merge of per-shard (sum, count) pairs",
+    "selectivities": "element-wise sum of per-shard counts",
+    "histogram": "element-wise sum of per-shard bucket counts",
+    "kth_largest": (
+        "distributed bit search: sum per-shard occlusion counts "
+        "per round"
+    ),
+    "kth_smallest": (
+        "distributed bit search: sum per-shard occlusion counts "
+        "per round"
+    ),
+    "minimum": "min over per-shard minima",
+    "maximum": "max over per-shard maxima",
+    "median": (
+        "distributed bit search: sum per-shard occlusion counts "
+        "per round"
+    ),
+    "quantiles": (
+        "distributed bit search: sum per-shard occlusion counts "
+        "per round"
+    ),
+    "top_k": (
+        "distributed threshold search + concatenated per-shard marks"
+    ),
+}
+
+
+@dataclasses.dataclass
+class Shard:
+    """One partition: a row range and the engine that owns it."""
+
+    index: int
+    start: int
+    stop: int
+    engine: object
+    #: Deterministic kill switch (chaos tests, the bench harness):
+    #: while True, every GPU task on this shard raises
+    #: :class:`DeviceLostError` and the shard degrades to the CPU.
+    forced_dead: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"shard-{self.index}"
+
+    @property
+    def num_records(self) -> int:
+        return self.stop - self.start
+
+
+class ShardedDevice:
+    """The shard pool: N per-shard engines plus the thread pool and the
+    context-propagation map that keep them in lockstep with the parent
+    engine."""
+
+    def __init__(self, engine, shards: int):
+        from ..core.engine import GpuEngine
+
+        self.parent = engine
+        relation = engine.relation
+        self.shards: list[Shard] = []
+        for index, (start, stop) in enumerate(
+            shard_bounds(relation.num_records, shards)
+        ):
+            shard_engine = GpuEngine(
+                slice_relation(relation, start, stop),
+                cost_model=engine.cost_model,
+                layout=engine.layout,
+                executor=engine.executor,
+                fusion=engine.fusion,
+                debug=engine.debug,
+                jit=engine.device.jit,
+                shards=1,
+                context_band=(index + 1) * SHARD_CID_STRIDE,
+            )
+            # Shard engines must not trace: the tracer is a stack and
+            # shard work runs on pool threads.  The parent records
+            # per-shard summary events after the join instead.  Set
+            # explicitly — the engine ctor falls back to the
+            # process-wide tracer when given None.
+            shard_engine.tracer = None
+            self.shards.append(
+                Shard(index, start, stop, shard_engine)
+            )
+        self._pool: ThreadPoolExecutor | None = None
+        #: Parent context cid -> per-shard mirror contexts.
+        self._contexts: dict[int, list] = {}
+        if engine.debug:
+            from ..analysis import verify_shard_fanout
+
+            verify_shard_fanout(self.bands()).raise_if_failed()
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    @property
+    def threads(self) -> int:
+        """Worker threads the pool runs (see
+        :func:`~repro.shard.partition.pool_threads`)."""
+        return pool_threads(len(self.shards))
+
+    def bands(self):
+        """The generation-band descriptors the H108 verifier checks
+        (host band 0 plus one band per shard)."""
+        from ..analysis.sharding import ShardBand
+
+        bands = [
+            ShardBand(
+                owner="host",
+                base_cid=self.parent.contexts.base_cid,
+                cid_span=SHARD_CID_STRIDE,
+            )
+        ]
+        for shard in self.shards:
+            bands.append(
+                ShardBand(
+                    owner=shard.name,
+                    base_cid=shard.engine.contexts.base_cid,
+                    cid_span=SHARD_CID_STRIDE,
+                )
+            )
+        return bands
+
+    # -- chaos hooks --------------------------------------------------------
+
+    def kill(self, index: int) -> None:
+        """Mark one shard's device lost (deterministically): its next
+        GPU task raises :class:`DeviceLostError` and the shard serves
+        CPU recomputes until :meth:`revive`."""
+        self.shards[index].forced_dead = True
+
+    def revive(self, index: int) -> None:
+        """Undo :meth:`kill`."""
+        self.shards[index].forced_dead = False
+
+    # -- the pool -----------------------------------------------------------
+
+    def map(self, fn) -> list:
+        """Run ``fn(shard)`` for every shard concurrently; results come
+        back in shard order.
+
+        The calling thread's deadline (thread-local) is re-installed in
+        every worker so cooperative cancellation crosses the pool.  All
+        futures are always joined; the first exception *in shard order*
+        is then re-raised.
+        """
+        deadline = current_deadline()
+
+        def worker(shard: Shard):
+            if deadline is None:
+                return fn(shard)
+            with use_deadline(deadline):
+                return fn(shard)
+
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.threads,
+                thread_name_prefix="repro-shard",
+            )
+        futures = [
+            self._pool.submit(worker, shard) for shard in self.shards
+        ]
+        results: list = []
+        error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            # Every future is joined before the first error (in shard
+            # order) is re-raised below — nothing is swallowed.
+            # repro-lint: disable=bare-except
+            except BaseException as exc:
+                results.append(None)
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return results
+
+    # -- context propagation ------------------------------------------------
+
+    def create_context(self, parent_context) -> None:
+        """Mirror a parent-engine context onto every shard (called by
+        ``GpuEngine.create_context``)."""
+        self._contexts[parent_context.cid] = [
+            shard.engine.create_context(
+                f"{parent_context.name}@{shard.name}"
+            )
+            for shard in self.shards
+        ]
+
+    def _mirrors(self, parent_context) -> list:
+        if (
+            parent_context is None
+            or parent_context is self.parent.contexts.default
+        ):
+            return [shard.engine.contexts.default for shard in self.shards]
+        try:
+            return self._contexts[parent_context.cid]
+        except KeyError:
+            raise QueryError(
+                f"context {parent_context.name!r} was not created "
+                "through this sharded engine"
+            ) from None
+
+    def activate_context(self, parent_context) -> None:
+        for shard, mirror in zip(
+            self.shards, self._mirrors(parent_context)
+        ):
+            shard.engine.activate_context(mirror)
+
+    def release_context(self, parent_context) -> None:
+        for shard, mirror in zip(
+            self.shards, self._mirrors(parent_context)
+        ):
+            shard.engine.release_context(mirror)
+        self._contexts.pop(parent_context.cid, None)
+
+
+@dataclasses.dataclass
+class _ShardState:
+    """Per-shard mutable state for one fanned-out operation."""
+
+    shard: Shard
+    op: str
+    column_name: str | None = None
+    predicate: object = None
+    #: top_k only: write an all-valid mask when there is no WHERE.
+    ensure_mask: bool = False
+    #: True while the shard's GPU holds the prepared selection mask and
+    #: depth copy; cleared by faults so retries rebuild both.
+    prepared: bool = False
+    valid: int | None = None
+    valid_count: int = 0
+    texture: object = None
+    scale: float = 1.0
+    channel: int = 0
+    #: CPU mirror, populated lazily on degradation only.
+    cpu_mask: np.ndarray | None = None
+    cpu_stored: np.ndarray | None = None
+    cpu_values: np.ndarray | None = None
+
+
+class ShardedExecutor:
+    """Runs one parent :class:`PassSchedule` as N per-shard executions
+    plus a host combiner.  Like :class:`ScheduleExecutor` it is
+    stateless between operations — construct one per call."""
+
+    _DRIVERS = {
+        "select": "_run_select",
+        "count": "_run_count",
+        "sum": "_run_sum",
+        "average": "_run_average",
+        "selectivities": "_run_selectivities",
+        "histogram": "_run_histogram",
+        "quantiles": "_run_search",
+        "kth_largest": "_run_search",
+        "kth_smallest": "_run_search",
+        "minimum": "_run_search",
+        "median": "_run_search",
+        "top_k": "_run_top_k",
+    }
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.pool: ShardedDevice = engine.sharded
+        #: shard index -> error string, for shards that fell back to
+        #: the CPU during *this* operation.
+        self._degraded: dict[int, str] = {}
+
+    # -- entry point --------------------------------------------------------
+
+    def execute(self, schedule, *, jit: bool | None = None):
+        name = self._DRIVERS.get(schedule.op)
+        if name is None:
+            raise QueryError(
+                f"no execution driver for schedule op {schedule.op!r}; "
+                "execute_schedule() runs the op-level schedules the "
+                "repro.plan lowerings produce"
+            )
+        if schedule.payload is None:
+            raise QueryError(
+                f"schedule for {schedule.op!r} carries no execution "
+                "payload; recompile it with repro.plan.compiler"
+            )
+        self.engine._verify_schedule(schedule)
+        if jit is None:
+            return self._dispatch(schedule)
+        saved = [s.engine.device.jit for s in self.pool.shards]
+        for shard in self.pool.shards:
+            shard.engine.device.jit = bool(jit)
+        try:
+            return self._dispatch(schedule)
+        finally:
+            for shard, old in zip(self.pool.shards, saved):
+                shard.engine.device.jit = old
+
+    def _dispatch(self, schedule):
+        # One stats window per shard per operation, opened host-side so
+        # a shard that degrades before its first pass reports zero work
+        # instead of a stale window.
+        for shard in self.pool.shards:
+            shard.engine.device.stats.reset()
+        driver = getattr(self, self._DRIVERS[schedule.op])
+        tracer = self.engine.tracer
+        if tracer is None:
+            return driver(schedule)
+        span = tracer.begin(
+            schedule.op,
+            shards=len(self.pool.shards),
+            table=schedule.table,
+        )
+        try:
+            result = driver(schedule)
+        except BaseException:
+            tracer.end(span)
+            raise
+        model = self.engine.cost_model
+        for index, part in enumerate(result.shard_results):
+            tracer.record_event(
+                "shard",
+                category="shard",
+                shard=f"shard-{index}",
+                modeled_ms=part.total_time(model).total_ms,
+                passes=part.pass_count,
+                degraded=index in result.degraded_shards,
+            )
+        for index in result.degraded_shards:
+            tracer.record_event(
+                "shard-degraded",
+                category="shard",
+                shard=f"shard-{index}",
+                error=self._degraded.get(index, ""),
+            )
+        tracer.record_event(
+            "shard-combine",
+            category="shard",
+            combiner=result.combiner,
+            combiner_ms=result.combiner_ms,
+        )
+        tracer.end(span, modeled_ms=result.time_ms)
+        return result
+
+    # -- degradation --------------------------------------------------------
+
+    def _shard_call(self, shard: Shard, gpu_fn, cpu_fn):
+        """Run a shard task on its GPU, degrading that shard — and only
+        that shard — to ``cpu_fn`` when the GPU path fails for good.
+
+        ``gpu_fn`` must already carry its own resilient retries (engine
+        methods do; custom bodies go through :meth:`_resilient`).  A
+        :class:`QueryTimeoutError` always propagates: deadlines cancel
+        the whole query, they do not degrade it.
+        """
+        if shard.index in self._degraded:
+            return cpu_fn(shard)
+        if shard.forced_dead:
+            self._degrade(
+                shard, DeviceLostError(f"{shard.name} device lost")
+            )
+            return cpu_fn(shard)
+        try:
+            return gpu_fn(shard)
+        except GpuError as error:
+            self._degrade(shard, error)
+            return cpu_fn(shard)
+
+    def _degrade(self, shard: Shard, error: Exception) -> None:
+        self._degraded[shard.index] = (
+            f"{type(error).__name__}: {error}"
+        )
+        executor = self.engine.executor
+        if executor is not None:
+            executor.stats.record_fallback(shard.name)
+
+    def _resilient(self, shard: Shard, fn, op: str):
+        """The shard-task twin of ``GpuEngine._resilient``: per-attempt
+        abort of dangling occlusion queries, plan invalidation on
+        faults, resilient-executor retries when one is attached."""
+        engine = shard.engine
+
+        def attempt():
+            engine.device.abort_query()
+            try:
+                return fn()
+            except GpuError:
+                engine.plan.invalidate()
+                raise
+            except QueryTimeoutError:
+                engine.device.abort_query()
+                engine.plan.invalidate()
+                raise
+
+        executor = engine.executor
+        if executor is None:
+            return attempt()
+        return executor.run(
+            attempt, op=f"{shard.name}:{op}", tracer=None
+        )
+
+    def _guarded(self, state: _ShardState, body):
+        """Run ``body()`` against prepared GPU state, re-running
+        :meth:`_prepare_search` first whenever a fault tore the
+        prepared selection mask / depth copy down."""
+
+        def run():
+            if not state.prepared:
+                self._prepare_search(state)
+            try:
+                return body()
+            except GpuError:
+                state.prepared = False
+                raise
+
+        return self._resilient(state.shard, run, state.op)
+
+    # -- CPU mirrors --------------------------------------------------------
+
+    def _cpu_state(self, state: _ShardState) -> _ShardState:
+        """Materialize the shard's stored-domain values and predicate
+        mask on the host (degraded shards only)."""
+        if state.cpu_mask is None:
+            relation = state.shard.engine.relation
+            if state.predicate is None:
+                mask = np.ones(relation.num_records, dtype=bool)
+            else:
+                mask = np.asarray(
+                    state.predicate.mask(relation), dtype=bool
+                )
+            state.cpu_mask = mask
+            if state.column_name is not None:
+                column = relation.column(state.column_name)
+                state.cpu_stored = np.rint(
+                    np.asarray(
+                        column.stored_values(), dtype=np.float64
+                    )
+                ).astype(np.int64)
+            else:
+                state.cpu_stored = np.zeros(
+                    relation.num_records, dtype=np.int64
+                )
+            state.cpu_values = state.cpu_stored[mask]
+            state.valid_count = int(np.count_nonzero(mask))
+        return state
+
+    # -- result assembly ----------------------------------------------------
+
+    def _combined(self, op, value, parts) -> ShardedOpResult:
+        return ShardedOpResult(
+            value=value,
+            copy=PipelineStats.merged([p.copy for p in parts]),
+            compute=PipelineStats.merged([p.compute for p in parts]),
+            model=self.engine.cost_model,
+            shard_results=list(parts),
+            combiner=COMBINERS[op],
+            combiner_ms=COMBINE_MS_PER_SHARD * len(parts),
+            degraded_shards=tuple(sorted(self._degraded)),
+        )
+
+    def _harvest(self, states: list[_ShardState], value_of):
+        """Close every shard's stats window into a per-shard
+        :class:`GpuOpResult` (degraded shards report the GPU work they
+        did manage before falling back)."""
+        parts = []
+        for state in states:
+            copy, compute = split_copy_stats(
+                state.shard.engine.device.stats.snapshot()
+            )
+            state.shard.engine.device.stats.reset()
+            parts.append(
+                GpuOpResult(
+                    value=value_of(state),
+                    copy=copy,
+                    compute=compute,
+                    model=self.engine.cost_model,
+                )
+            )
+        return parts
+
+    # -- trivially-combined ops (per-shard engine methods) ------------------
+
+    def _run_select(self, schedule):
+        predicate = schedule.payload["predicate"]
+
+        def cpu(shard: Shard) -> Selection:
+            relation = shard.engine.relation
+            ids = np.flatnonzero(
+                np.asarray(predicate.mask(relation), dtype=bool)
+            ).astype(np.int64)
+            return Selection(
+                value=int(ids.size),
+                copy=PipelineStats(),
+                compute=PipelineStats(),
+                model=self.engine.cost_model,
+                valid_stencil=1,
+                total_records=relation.num_records,
+                engine=None,
+                _cached_ids=ids,
+            )
+
+        parts = self.pool.map(
+            lambda shard: self._shard_call(
+                shard, lambda s: s.engine.select(predicate), cpu
+            )
+        )
+        return ShardedSelection(
+            value=sum(part.count for part in parts),
+            copy=PipelineStats.merged([p.copy for p in parts]),
+            compute=PipelineStats.merged([p.compute for p in parts]),
+            model=self.engine.cost_model,
+            valid_stencil=1,
+            total_records=self.engine.relation.num_records,
+            engine=self.engine,
+            shard_results=list(parts),
+            offsets=tuple(s.start for s in self.pool.shards),
+            combiner=COMBINERS["select"],
+            combiner_ms=COMBINE_MS_PER_SHARD * len(parts),
+            degraded_shards=tuple(sorted(self._degraded)),
+        )
+
+    def _run_count(self, schedule):
+        def cpu(shard: Shard) -> GpuOpResult:
+            return GpuOpResult(
+                value=shard.num_records,
+                copy=PipelineStats(),
+                compute=PipelineStats(),
+                model=self.engine.cost_model,
+            )
+
+        parts = self.pool.map(
+            lambda shard: self._shard_call(
+                shard, lambda s: s.engine.aggregate("count"), cpu
+            )
+        )
+        return self._combined(
+            "count", sum(int(part.value) for part in parts), parts
+        )
+
+    def _run_sum(self, schedule):
+        column_name = schedule.payload["column"]
+        predicate = schedule.payload.get("predicate")
+
+        def cpu(shard: Shard) -> GpuOpResult:
+            state = self._cpu_state(
+                _ShardState(
+                    shard, "sum",
+                    column_name=column_name, predicate=predicate,
+                )
+            )
+            column = shard.engine.relation.column(column_name)
+            total = int(state.cpu_values.sum()) if state.valid_count else 0
+            return GpuOpResult(
+                value=column.sum_from_stored(total, state.valid_count),
+                copy=PipelineStats(),
+                compute=PipelineStats(),
+                model=self.engine.cost_model,
+            )
+
+        # SUM is linear in the stored encoding: every shard folds its
+        # own bias term, so the partial sums add up exactly.
+        parts = self.pool.map(
+            lambda shard: self._shard_call(
+                shard,
+                lambda s: s.engine.aggregate(
+                    "sum", column_name, predicate=predicate
+                ),
+                cpu,
+            )
+        )
+        return self._combined(
+            "sum", sum(part.value for part in parts), parts
+        )
+
+    def _run_average(self, schedule):
+        column_name = schedule.payload["column"]
+        predicate = schedule.payload.get("predicate")
+        column = self.engine.relation.column(column_name)
+        states = {
+            shard.index: _ShardState(
+                shard, "average",
+                column_name=column_name, predicate=predicate,
+            )
+            for shard in self.pool.shards
+        }
+
+        def gpu_body(state: _ShardState):
+            # The single-device sum/average driver minus the division:
+            # selection passes plus the bit-sliced Accumulator, with an
+            # empty shard legitimately contributing (0, 0).
+            engine = state.shard.engine
+            texture, channel = engine.stored_texture(state.column_name)
+            valid, valid_count = engine._selection_stencil(
+                state.predicate
+            )
+            total = aggregates.accumulate(
+                engine.device, texture,
+                engine.relation.column(state.column_name).bits,
+                channel=channel, valid_stencil=valid,
+            )
+            return int(total), int(valid_count)
+
+        def gpu(shard: Shard):
+            state = states[shard.index]
+            return self._resilient(
+                shard, lambda: gpu_body(state), "average"
+            )
+
+        def cpu(shard: Shard):
+            state = self._cpu_state(states[shard.index])
+            total = (
+                int(state.cpu_values.sum()) if state.valid_count else 0
+            )
+            return total, state.valid_count
+
+        partials = self.pool.map(
+            lambda shard: self._shard_call(shard, gpu, cpu)
+        )
+        total = sum(part[0] for part in partials)
+        count = sum(part[1] for part in partials)
+        if count == 0:
+            raise QueryError("AVG of an empty selection")
+        value = column.sum_from_stored(total, count) / count
+        parts = self._harvest(
+            list(states.values()),
+            lambda state: partials[state.shard.index],
+        )
+        return self._combined("average", value, parts)
+
+    def _run_selectivities(self, schedule):
+        predicates = schedule.payload["predicates"]
+
+        def cpu(shard: Shard) -> GpuOpResult:
+            relation = shard.engine.relation
+            counts = [
+                int(np.count_nonzero(p.mask(relation)))
+                for p in predicates
+            ]
+            return GpuOpResult(
+                value=counts,
+                copy=PipelineStats(),
+                compute=PipelineStats(),
+                model=self.engine.cost_model,
+            )
+
+        parts = self.pool.map(
+            lambda shard: self._shard_call(
+                shard, lambda s: s.engine.selectivities(predicates), cpu
+            )
+        )
+        combined = [
+            sum(int(part.value[i]) for part in parts)
+            for i in range(len(predicates))
+        ]
+        return self._combined("selectivities", combined, parts)
+
+    def _run_histogram(self, schedule):
+        column_name = schedule.payload["column"]
+        buckets = schedule.payload["buckets"]
+        edges = schedule.payload["edges"]
+
+        def cpu(shard: Shard) -> GpuOpResult:
+            # The depth-bounds semantics of the fused sweep: bucket i
+            # counts values in [edges[i], edges[i+1] - 1], domains
+            # clamped exactly as column.clamp_to_domain does.
+            column = shard.engine.relation.column(column_name)
+            values = np.asarray(
+                shard.engine.relation.column(column_name).values
+            )
+            counts = np.zeros(edges.size - 1, dtype=np.int64)
+            for i in range(edges.size - 1):
+                low = column.clamp_to_domain(int(edges[i]))
+                high = column.clamp_to_domain(int(edges[i + 1] - 1))
+                counts[i] = int(
+                    np.count_nonzero((values >= low) & (values <= high))
+                )
+            return GpuOpResult(
+                value=(edges, counts),
+                copy=PipelineStats(),
+                compute=PipelineStats(),
+                model=self.engine.cost_model,
+            )
+
+        parts = self.pool.map(
+            lambda shard: self._shard_call(
+                shard,
+                lambda s: s.engine.histogram(column_name, buckets),
+                cpu,
+            )
+        )
+        combined = np.zeros(edges.size - 1, dtype=np.int64)
+        for part in parts:
+            combined += np.asarray(part.value[1], dtype=np.int64)
+        return self._combined("histogram", (edges, combined), parts)
+
+    # -- the distributed bit search -----------------------------------------
+
+    def _prepare_search(self, state: _ShardState) -> None:
+        """Per-shard GPU prep for order statistics: selection mask,
+        color writes off, the attribute copied to the depth buffer
+        (through the shard's fusion cache) and the valid-stencil test
+        armed.  Idempotent — faults re-run it from scratch."""
+        engine = state.shard.engine
+        device = engine.device
+        state.valid, state.valid_count = engine._selection_stencil(
+            state.predicate
+        )
+        if state.ensure_mask and state.valid is None:
+            # top_k with no WHERE: the mark phase needs a real mask, so
+            # write an all-valid one, exactly like the single-device
+            # driver.  This layer is the shards' scheduler: writes land
+            # on the shard's private device between operations.
+            # repro-lint: disable=unscheduled-stencil-write
+            device.clear_stencil(1)
+            state.valid = 1
+        device.state.color_mask = (False, False, False, False)
+        texture, scale, channel = engine.column_texture(
+            state.column_name
+        )
+        state.texture, state.scale, state.channel = (
+            texture, scale, channel,
+        )
+        if not engine._depth_ready(state.column_name, texture):
+            copy_to_depth(device, texture, scale, channel=channel)
+            engine.plan.depth.note(device, state.column_name, texture)
+        _configure_valid_stencil(device, state.valid)
+        state.prepared = True
+
+    def _prepare_all(self, states: dict[int, _ShardState]) -> int:
+        """Fan the search prep out to every shard; returns the combined
+        valid-record count (degraded shards count on the CPU)."""
+        self.pool.map(
+            lambda shard: self._shard_call(
+                shard,
+                lambda s: self._guarded(
+                    states[s.index], lambda: None
+                ),
+                lambda s: self._cpu_state(states[s.index]),
+            )
+        )
+        return sum(state.valid_count for state in states.values())
+
+    def _count_round(
+        self, states: dict[int, _ShardState], tentative: int,
+        denominator: float,
+    ) -> int:
+        """One distributed round: broadcast the candidate value, render
+        one occlusion-counted ``GEQUAL`` quad per shard, sum counts."""
+
+        def body(state: _ShardState) -> int:
+            device = state.shard.engine.device
+            query = device.begin_query()
+            compare_pass(
+                device, CompareFunc.GEQUAL,
+                tentative / denominator, state.texture.count,
+            )
+            device.end_query()
+            return int(query.result(synchronous=True))
+
+        def cpu(shard: Shard) -> int:
+            state = self._cpu_state(states[shard.index])
+            return int(
+                np.count_nonzero(state.cpu_values >= tentative)
+            )
+
+        counts = self.pool.map(
+            lambda shard: self._shard_call(
+                shard,
+                lambda s: self._guarded(
+                    states[s.index],
+                    lambda: body(states[s.index]),
+                ),
+                cpu,
+            )
+        )
+        return sum(counts)
+
+    def _distributed_kth(
+        self, states: dict[int, _ShardState], bits: int, k: int,
+    ) -> int:
+        """Figure-7 bit-wise binary search, distributed: every shard
+        renders the same ``bits`` comparison passes as the single
+        device would, over its slice; Lemma 1 is applied to the summed
+        occlusion count each round."""
+        denominator = float(1 << bits)
+        x = 0
+        for i in range(bits - 1, -1, -1):
+            tentative = x + (1 << i)
+            count = self._count_round(states, tentative, denominator)
+            if count > k - 1:
+                x = tentative
+        return x
+
+    def _run_search(self, schedule):
+        import math
+
+        op = schedule.op
+        column_name = schedule.payload["column"]
+        predicate = schedule.payload.get("predicate")
+        k = schedule.payload.get("k")
+        fractions = schedule.payload.get("fractions")
+        engine = self.engine
+        column = engine.relation.column(column_name)
+        states = {
+            shard.index: _ShardState(
+                shard, op,
+                column_name=column_name, predicate=predicate,
+            )
+            for shard in self.pool.shards
+        }
+        total_valid = self._prepare_all(states)
+        if op in ("kth_largest", "kth_smallest"):
+            engine._validate_k(k, total_valid)
+        elif total_valid == 0:
+            if op == "minimum":
+                raise QueryError("MIN of an empty selection")
+            if op == "median":
+                raise QueryError("median of an empty selection")
+            raise QueryError("quantiles of an empty selection")
+
+        extreme = None
+        if op == "minimum" or (op == "kth_smallest" and k == 1):
+            extreme = "min"
+        elif op == "kth_largest" and k == 1:
+            extreme = "max"
+        if extreme is not None:
+            value = self._extreme(states, column.bits, extreme)
+            label = "minimum" if extreme == "min" else "maximum"
+            parts = self._harvest(
+                list(states.values()), lambda s: s.valid_count
+            )
+            result = self._combined(op, column.from_stored(value), parts)
+            result = dataclasses.replace(
+                result, combiner=COMBINERS[label]
+            )
+            return result
+
+        if op == "quantiles":
+            ks = [
+                min(
+                    max(math.ceil((1.0 - q) * total_valid), 1),
+                    total_valid,
+                )
+                for q in fractions
+            ]
+            values = [
+                self._distributed_kth(states, column.bits, target)
+                for target in ks
+            ]
+            value = [column.from_stored(v) for v in values]
+        else:
+            if op == "kth_largest":
+                target = k
+            elif op == "kth_smallest":
+                target = total_valid - k + 1
+            else:  # median
+                target = (total_valid + 1) // 2
+            value = column.from_stored(
+                self._distributed_kth(states, column.bits, target)
+            )
+        parts = self._harvest(
+            list(states.values()), lambda s: s.valid_count
+        )
+        return self._combined(op, value, parts)
+
+    def _extreme(
+        self, states: dict[int, _ShardState], bits: int, mode: str,
+    ) -> int:
+        """MIN/MAX merge trivially: each shard runs its *local* figure-7
+        search (same pass count) and the host keeps the extremum.
+        Shards whose selection is empty sit the search out."""
+
+        def body(state: _ShardState) -> int | None:
+            if state.valid_count == 0:
+                return None
+            engine = state.shard.engine
+            local_k = 1 if mode == "max" else state.valid_count
+            return aggregates.kth_largest(
+                engine.device, state.texture, bits, local_k,
+                state.scale, channel=state.channel,
+                valid_stencil=state.valid, skip_copy=True,
+            )
+
+        def cpu(shard: Shard) -> int | None:
+            state = self._cpu_state(states[shard.index])
+            if state.valid_count == 0:
+                return None
+            if mode == "max":
+                return int(state.cpu_values.max())
+            return int(state.cpu_values.min())
+
+        extrema = self.pool.map(
+            lambda shard: self._shard_call(
+                shard,
+                lambda s: self._guarded(
+                    states[s.index],
+                    lambda: body(states[s.index]),
+                ),
+                cpu,
+            )
+        )
+        found = [value for value in extrema if value is not None]
+        return max(found) if mode == "max" else min(found)
+
+    # -- top-k ---------------------------------------------------------------
+
+    def _run_top_k(self, schedule):
+        column_name = schedule.payload["column"]
+        predicate = schedule.payload.get("predicate")
+        k = schedule.payload["k"]
+        engine = self.engine
+        column = engine.relation.column(column_name)
+        states = {
+            shard.index: _ShardState(
+                shard, "top_k",
+                column_name=column_name, predicate=predicate,
+                ensure_mask=True,
+            )
+            for shard in self.pool.shards
+        }
+        total_valid = self._prepare_all(states)
+        engine._validate_k(k, total_valid)
+        threshold = self._distributed_kth(states, column.bits, k)
+        threshold_value = column.from_stored(threshold)
+
+        def mark(state: _ShardState) -> np.ndarray:
+            # The INCR pass consumes the prepared mask: if anything
+            # after it faults, the retry must rebuild the mask first or
+            # surviving records would be bumped twice.
+            state.prepared = False
+            device = state.shard.engine.device
+            stencil = device.state.stencil
+            stencil.enabled = True
+            stencil.func = CompareFunc.EQUAL
+            stencil.reference = state.valid
+            stencil.sfail = StencilOp.KEEP
+            stencil.zfail = StencilOp.KEEP
+            stencil.zpass = StencilOp.INCR
+            compare_pass(
+                device, CompareFunc.GEQUAL,
+                column.normalize(threshold_value),
+                state.texture.count,
+            )
+            # Written by the compare_pass directly above — it cannot be
+            # stale.  # repro-lint: disable=unchecked-stencil-read
+            mask = device.read_stencil()
+            ids = np.flatnonzero(mask == state.valid + 1)
+            return ids[ids < state.shard.num_records]
+
+        def cpu(shard: Shard) -> np.ndarray:
+            state = self._cpu_state(states[shard.index])
+            hits = state.cpu_mask & (state.cpu_stored >= threshold)
+            return np.flatnonzero(hits)
+
+        id_parts = self.pool.map(
+            lambda shard: self._shard_call(
+                shard,
+                lambda s: self._guarded(
+                    states[s.index], lambda: mark(states[s.index])
+                ),
+                cpu,
+            )
+        )
+        ids = np.concatenate(
+            [
+                np.asarray(part, dtype=np.int64) + shard.start
+                for part, shard in zip(id_parts, self.pool.shards)
+            ]
+        )
+        parts = self._harvest(
+            list(states.values()), lambda s: s.valid_count
+        )
+        return self._combined(
+            "top_k",
+            TopK(threshold=threshold_value, record_ids=ids),
+            parts,
+        )

@@ -114,6 +114,7 @@ class Database:
         gpu_cost: GpuCostModel | None = None,
         cpu_cost: CpuCostModel | None = None,
         executor: ResilientExecutor | None = None,
+        shards: int | None = None,
     ):
         """``executor`` attaches a
         :class:`~repro.faults.ResilientExecutor` shared by every engine
@@ -124,9 +125,19 @@ class Database:
         executor from :func:`repro.faults.use_executor`, usually
         ``None`` — GPU failures then surface as
         :class:`~repro.errors.QueryError`.
+
+        ``shards`` partitions every GPU engine this database builds
+        across that many simulated devices (:mod:`repro.shard`):
+        per-shard schedules run concurrently and the host combines the
+        answers.  ``None`` follows ``REPRO_SHARDS``; the default of 1
+        is the single-device engine, bit-identical to ``shards=None``
+        with the variable unset.  ``explain`` renders the fan-out.
         """
+        from ..shard import resolve_shards
+
         self.gpu_cost = gpu_cost or GpuCostModel()
         self.cpu_cost = cpu_cost or CpuCostModel()
+        self.shards = resolve_shards(shards)
         self.executor = (
             executor if executor is not None else current_executor()
         )
@@ -162,6 +173,7 @@ class Database:
                 self.gpu_cost,
                 tracer=self._query_tracer,
                 executor=self.executor,
+                shards=self.shards,
             )
             self._gpu_engines[name] = engine
         return engine
@@ -255,7 +267,61 @@ class Database:
             assert_verified(schedule)
         if jit:
             schedule.meta["kernels"] = self._kernel_summaries(schedule)
+        if self.shards > 1 and schedule.device == "gpu":
+            schedule.fanout = self._shard_fanout(
+                schedule, plan.relation, plan.statement
+            )
         return schedule
+
+    def _shard_fanout(
+        self, schedule: PassSchedule, relation: Relation, statement
+    ):
+        """The :class:`~repro.plan.ShardFanout` annotation describing
+        how this database's shard pool would execute ``schedule``: the
+        balanced record partition, each shard's virtual-context cid
+        band, and the host-side combiner for the schedule's op."""
+        from ..plan import ShardFanout
+        from ..shard import (
+            COMBINERS,
+            SHARD_CID_STRIDE,
+            pool_threads,
+            shard_bounds,
+        )
+
+        combiner = COMBINERS.get(schedule.op)
+        if combiner is None:
+            # Whole-statement schedules carry op="query"; name the
+            # combiner of each aggregate item (projections concatenate).
+            labels: list[str] = []
+            for item in getattr(statement, "items", ()):
+                func = getattr(item, "func", None)
+                if func is None:
+                    continue
+                key = {
+                    "COUNT": "count",
+                    "SUM": "sum",
+                    "AVG": "average",
+                    "MIN": "minimum",
+                    "MAX": "maximum",
+                    "MEDIAN": "median",
+                }.get(func.value)
+                label = COMBINERS.get(key or "", None)
+                if label and label not in labels:
+                    labels.append(label)
+            combiner = (
+                "; ".join(labels) if labels else COMBINERS["select"]
+            )
+        bounds = shard_bounds(relation.num_records, self.shards)
+        return ShardFanout(
+            shards=self.shards,
+            threads=pool_threads(self.shards),
+            shard_records=tuple(stop - start for start, stop in bounds),
+            bands=tuple(
+                ((index + 1) * SHARD_CID_STRIDE, SHARD_CID_STRIDE)
+                for index in range(self.shards)
+            ),
+            combiner=combiner,
+        )
 
     @staticmethod
     def _kernel_summaries(schedule: PassSchedule) -> list[str]:

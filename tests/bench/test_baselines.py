@@ -10,6 +10,7 @@ from repro.bench.baselines import (
     kth_largest_passes,
     select_passes,
     selectivities_passes,
+    sharded_kth_largest_passes,
 )
 from repro.core import GpuEngine
 from repro.core.compare import copy_to_depth
@@ -220,12 +221,35 @@ class TestFusedSweepBaselines:
         assert fused_copies <= 0.7 * unfused_copies
 
 
+class TestShardedKthLargest:
+    """The distributed bit search pays the single-device figure-7
+    formula on every shard: total work is N times, the critical path
+    one share."""
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_measured_total_matches_formula(self, relation, shards):
+        engine = GpuEngine(relation, shards=shards)
+        result = engine.median("data_count")
+        assert result.pass_count == sharded_kth_largest_passes(
+            BITS, shards
+        )
+
+    def test_single_shard_formula_degenerates_to_fig7(self):
+        assert sharded_kth_largest_passes(BITS, 1) \
+            == kth_largest_passes(BITS)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(BenchmarkError):
+            sharded_kth_largest_passes(BITS, 0)
+
+
 class TestFormulas:
     def test_helpers(self):
         assert select_passes(1) == 2
         assert select_passes(4) == 12
         assert kth_largest_passes(19) == 20
         assert accumulator_passes(19) == 19
+        assert sharded_kth_largest_passes(19, 4) == 80
         assert selectivities_passes(8, fused=True) == 9
         assert selectivities_passes(8, fused=False) == 16
         assert histogram_passes(10, fused=True) == 11

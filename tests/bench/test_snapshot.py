@@ -57,6 +57,7 @@ class TestSnapshotShape:
             jit.pop("wall_speedup", None)
             for mode in (jit["jit_on"], jit["jit_off"]):
                 mode.pop("wall_s", None)
+            data["shard"]["faulted"].pop("wall_s", None)
             return data
         assert strip(snapshot) == strip(again)
 
@@ -75,9 +76,39 @@ class TestSnapshotShape:
         )
 
 
+class TestShardSection:
+    def test_config_records_the_snapshot_environment(self, snapshot):
+        config = snapshot["config"]
+        assert config["shards"] >= 1
+        assert 1 <= config["pool_threads"] <= config["shards"]
+
+    def test_pool_sweep_reports_per_count_times(self, snapshot):
+        shard = snapshot["shard"]
+        assert set(shard["counts"]) == {"1", "2", "4"}
+        single = shard["counts"]["1"]
+        assert single["speedup_vs_single"] == 1.0
+        for count in ("2", "4"):
+            entry = shard["counts"][count]
+            assert entry["modeled_ms"] < single["modeled_ms"]
+            assert entry["pass_count"] == \
+                int(count) * single["pass_count"]
+            assert entry["combiner_ms"] > 0
+
+    def test_four_shards_are_near_linear(self, snapshot):
+        counts = snapshot["shard"]["counts"]
+        assert counts["2"]["speedup_vs_single"] >= 1.6
+        assert counts["4"]["speedup_vs_single"] >= 2.5
+
+    def test_faulted_pool_still_serves(self, snapshot):
+        faulted = snapshot["shard"]["faulted"]
+        assert faulted["killed_shard"] == 1
+        assert faulted["queries"] > 0
+        assert faulted["modeled_queries_per_s"] > 0
+
+
 class TestCommittedSnapshot:
-    def test_bench_8_is_committed_and_current_shape(self):
-        path = REPO / "BENCH_8.json"
+    def test_bench_9_is_committed_and_current_shape(self):
+        path = REPO / "BENCH_9.json"
         data = json.loads(path.read_text())
         assert data["version"] == SNAPSHOT_VERSION
         assert set(data["figures"]) == set(SNAPSHOT_FIGURES)
@@ -85,6 +116,8 @@ class TestCommittedSnapshot:
             "breaker_transitions"
         ]
         assert data["jit"]["modeled_identical"] is True
+        assert set(data["shard"]["counts"]) == {"1", "2", "4"}
+        assert data["shard"]["counts"]["4"]["speedup_vs_single"] >= 2.5
 
 
 class TestCompareGate:
@@ -107,6 +140,20 @@ class TestCompareGate:
         slow["service"]["clean"]["modeled_queries_per_s"] = 0.01
         problems = compare_snapshots(slow, snapshot)
         assert any("clean" in p for p in problems)
+
+    def test_slower_shard_pool_fails(self, snapshot):
+        slow = copy.deepcopy(snapshot)
+        entry = slow["shard"]["counts"]["4"]
+        entry["modeled_ms"] = entry["modeled_ms"] * 2
+        problems = compare_snapshots(slow, snapshot)
+        assert any("shard.counts.4" in p for p in problems)
+        assert compare_snapshots(snapshot, slow) == []
+
+    def test_degraded_pool_throughput_drop_fails(self, snapshot):
+        slow = copy.deepcopy(snapshot)
+        slow["shard"]["faulted"]["modeled_queries_per_s"] = 0.01
+        problems = compare_snapshots(slow, snapshot)
+        assert any("shard.faulted" in p for p in problems)
 
     def test_hit_rate_drop_fails(self, snapshot):
         worse = copy.deepcopy(snapshot)

@@ -3,9 +3,8 @@
 Every named engine op, every SQL statement, and every service query
 must funnel through one entry point so the verifier, tracer, fault
 retries, deadlines and the JIT toggle all hook a single place.  These
-tests pin that contract, the executor's refusal modes, the deprecated
-``repro.plan.runner`` shims, and deadline/breaker behaviour exercised
-*through* the choke point.
+tests pin that contract, the executor's refusal modes, and
+deadline/breaker behaviour exercised *through* the choke point.
 """
 
 import dataclasses
@@ -28,7 +27,7 @@ from repro.faults import (
     use_faults,
 )
 from repro.gpu.types import CompareFunc
-from repro.plan import ScheduleExecutor, compiler, runner
+from repro.plan import ScheduleExecutor, compiler
 from repro.service import QueryService
 from repro.sql import Database, Device
 
@@ -141,36 +140,17 @@ class TestJitOverride:
         assert GpuEngine(small_relation).device.jit is True
 
 
-class TestRunnerShims:
-    def test_run_selectivities_warns_and_matches(self, small_relation):
-        engine = GpuEngine(small_relation)
-        predicates = [_pred(), _pred(500)]
-        expected = ScheduleExecutor(engine).run_selectivities(
-            predicates
-        )
-        with pytest.deprecated_call():
-            assert runner.run_selectivities(
-                engine, predicates
-            ) == expected
+class TestRunnerModuleRemoved:
+    def test_shim_module_is_gone(self):
+        with pytest.raises(ImportError):
+            from repro.plan import runner  # noqa: F401
 
-    def test_run_histogram_warns_and_matches(self, small_relation):
-        engine = GpuEngine(small_relation)
-        column = small_relation.column("data_count")
-        edges = np.linspace(
-            int(column.values.min()),
-            int(column.values.max()) + 1,
-            9,
-        )
-        expected = ScheduleExecutor(engine).run_histogram(
-            "data_count", edges
-        )
-        with pytest.deprecated_call():
-            shimmed = runner.run_histogram(engine, "data_count", edges)
-        assert np.array_equal(shimmed, expected)
+    def test_public_surface_dropped_shim_names(self):
+        import repro.plan as plan
 
-    def test_harvest_warns(self, small_relation):
-        with pytest.deprecated_call():
-            assert runner.harvest([]) == []
+        for name in ("harvest", "run_selectivities", "run_histogram"):
+            assert name not in plan.__all__
+            assert not hasattr(plan, name)
 
 
 class TestDeadlineThroughExecuteSchedule:

@@ -1,0 +1,115 @@
+"""Chaos: killed shards degrade to per-shard CPU recompute, answers
+stay exact, and deadlines still cancel the whole query."""
+
+import numpy as np
+import pytest
+
+from repro.core import GpuEngine
+from repro.core.predicates import Comparison
+from repro.errors import QueryTimeoutError
+from repro.faults import (
+    Deadline,
+    ManualClock,
+    ResilientExecutor,
+    use_deadline,
+)
+from repro.gpu.types import CompareFunc
+
+
+def _pred(value=300):
+    return Comparison("data_loss", CompareFunc.GREATER, value)
+
+
+@pytest.fixture()
+def chaos_engine(small_relation):
+    """A fresh 4-shard engine per test: kills are sticky per pool."""
+    return GpuEngine(
+        small_relation, shards=4, executor=ResilientExecutor()
+    )
+
+
+class TestKilledShard:
+    def test_answers_survive_a_dead_shard(
+        self, chaos_engine, small_relation
+    ):
+        chaos_engine.sharded.kill(1)
+        predicate = _pred()
+        mask = predicate.mask(small_relation)
+        flow = small_relation.column("flow_rate").values.astype(
+            np.int64
+        )
+
+        count = chaos_engine.count(predicate)
+        assert count.value == int(mask.sum())
+        assert count.degraded_shards == (1,)
+
+        total = chaos_engine.sum("flow_rate", predicate)
+        assert total.value == int(flow[mask].sum())
+        assert total.degraded_shards == (1,)
+
+        ids = chaos_engine.select(predicate).record_ids()
+        assert np.array_equal(ids, np.flatnonzero(mask))
+
+        median = chaos_engine.median("flow_rate")
+        order = np.sort(flow)[::-1]
+        k = (len(flow) + 1) // 2
+        assert median.value == int(order[k - 1])
+        assert median.degraded_shards == (1,)
+
+    def test_only_the_dead_shard_degrades(self, chaos_engine):
+        chaos_engine.sharded.kill(2)
+        result = chaos_engine.count(_pred())
+        assert result.degraded_shards == (2,)
+        # The three live shards did real GPU passes.
+        live = [
+            part
+            for index, part in enumerate(result.shard_results)
+            if index != 2
+        ]
+        assert all(part.pass_count > 0 for part in live)
+
+    def test_fallback_recorded_per_shard(self, chaos_engine):
+        chaos_engine.sharded.kill(3)
+        chaos_engine.count(_pred())
+        stats = chaos_engine.executor.stats
+        assert stats.fallbacks["shard-3"] >= 1
+
+    def test_every_op_degrades_while_killed(self, chaos_engine):
+        chaos_engine.sharded.kill(0)
+        assert chaos_engine.count(_pred()).degraded_shards == (0,)
+        assert chaos_engine.median(
+            "flow_rate"
+        ).degraded_shards == (0,)
+
+    def test_revive_restores_the_clean_path(self, chaos_engine):
+        chaos_engine.sharded.kill(0)
+        assert chaos_engine.count(_pred()).degraded_shards == (0,)
+        chaos_engine.sharded.revive(0)
+        result = chaos_engine.count(_pred())
+        assert result.degraded_shards == ()
+        assert all(
+            part.pass_count > 0 for part in result.shard_results
+        )
+
+    def test_all_shards_dead_still_answers(
+        self, chaos_engine, small_relation
+    ):
+        for index in range(4):
+            chaos_engine.sharded.kill(index)
+        predicate = _pred()
+        result = chaos_engine.count(predicate)
+        assert result.value == int(predicate.mask(small_relation).sum())
+        assert result.degraded_shards == (0, 1, 2, 3)
+
+
+class TestDeadlines:
+    def test_timeout_cancels_instead_of_degrading(self, chaos_engine):
+        clock = ManualClock()
+        deadline = Deadline(0.5, clock=clock, label="chaos")
+        clock.advance(1.0)
+        with use_deadline(deadline):
+            with pytest.raises(QueryTimeoutError):
+                chaos_engine.median("flow_rate")
+        # No shard was written off as broken by the timeout.
+        result = chaos_engine.median("flow_rate")
+        assert result.degraded_shards == ()

@@ -1,0 +1,167 @@
+"""Sharded execution through the public layers: explain fan-out,
+``Database(shards=)``, service sessions, selections and tracing."""
+
+import numpy as np
+import pytest
+
+from repro.core import GpuEngine
+from repro.core.predicates import Comparison
+from repro.errors import QueryError, StaleSelectionError
+from repro.gpu.types import CompareFunc
+from repro.service import QueryService
+from repro.shard import COMBINERS, ShardedSelection
+from repro.sql import Database, Device
+from repro.trace import Tracer
+
+
+def _pred(value=300):
+    return Comparison("data_loss", CompareFunc.GREATER, value)
+
+
+@pytest.fixture()
+def db(small_relation):
+    database = Database(shards=3)
+    database.register(small_relation)
+    return database
+
+
+class TestExplainFanout:
+    def test_gpu_explain_renders_the_partition(self, db):
+        schedule = db.explain(
+            "SELECT COUNT(*) FROM tcpip WHERE data_loss > 300",
+            device=Device.GPU,
+        )
+        text = schedule.render_text()
+        assert "fan-out across 3 shards" in text
+        assert COMBINERS["count"] in text
+        assert text.count("records, cids [") == 3
+        records = schedule.fanout.shard_records
+        assert sum(records) == 2000
+        assert max(records) - min(records) <= 1
+
+    def test_combiner_follows_the_statement(self, db):
+        median = db.explain(
+            "SELECT MEDIAN(flow_rate) FROM tcpip", device=Device.GPU
+        )
+        assert median.fanout.combiner == COMBINERS["median"]
+        select = db.explain(
+            "SELECT data_count FROM tcpip WHERE data_loss > 900",
+            device=Device.GPU,
+        )
+        assert select.fanout.combiner == COMBINERS["select"]
+
+    def test_cpu_explain_has_no_fanout(self, db):
+        schedule = db.explain(
+            "SELECT COUNT(*) FROM tcpip", device=Device.CPU
+        )
+        assert schedule.fanout is None
+
+    def test_single_device_database_has_no_fanout(self, small_relation):
+        database = Database(shards=1)
+        database.register(small_relation)
+        schedule = database.explain(
+            "SELECT COUNT(*) FROM tcpip", device=Device.GPU
+        )
+        assert schedule.fanout is None
+
+
+class TestDatabase:
+    def test_query_parity_with_single_device(self, db, small_relation):
+        single = Database(shards=1)
+        single.register(small_relation)
+        for sql in (
+            "SELECT COUNT(*) FROM tcpip WHERE data_loss > 300",
+            "SELECT SUM(data_count), AVG(flow_rate) FROM tcpip",
+            "SELECT MEDIAN(flow_rate) FROM tcpip",
+            "SELECT MAX(retransmissions) FROM tcpip "
+            "WHERE data_loss > 300",
+        ):
+            assert db.query(sql, device=Device.GPU).rows == \
+                single.query(sql, device=Device.GPU).rows
+
+    def test_shards_flag_reaches_the_engines(self, db):
+        engine = db.gpu_engine("tcpip")
+        assert engine.sharded is not None
+        assert len(engine.sharded) == 3
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(QueryError, match="shards must be >= 1"):
+            Database(shards=0)
+
+
+class TestService:
+    def test_sessions_share_the_sharded_pool(self, db, small_relation):
+        service = QueryService(db)
+        predicate_sql = (
+            "SELECT COUNT(*) FROM tcpip WHERE data_loss > 300"
+        )
+        mask = _pred().mask(small_relation)
+        with service.session("alpha") as alpha, \
+                service.session("beta") as beta:
+            first = alpha.query(predicate_sql, device=Device.GPU)
+            second = beta.query(
+                "SELECT MEDIAN(flow_rate) FROM tcpip",
+                device=Device.GPU,
+            )
+            third = alpha.query(predicate_sql, device=Device.GPU)
+        assert first.result.rows == [(int(mask.sum()),)]
+        assert first.result.rows == third.result.rows
+        assert second.result.rows
+
+
+class TestShardedSelection:
+    def test_selection_type_and_offsets(self, engines):
+        selection = engines[4].select(_pred())
+        assert isinstance(selection, ShardedSelection)
+        assert len(selection.offsets) == 4
+        assert selection.offsets[0] == 0
+
+    def test_goes_stale_with_its_shards(self, small_relation):
+        engine = GpuEngine(small_relation, shards=2)
+        selection = engine.select(_pred())
+        ids = selection.record_ids()
+        # A later selection overwrites every shard's stencil mask.
+        engine.select(_pred(700))
+        assert selection.is_stale
+        with pytest.raises(StaleSelectionError):
+            selection.record_ids()
+        assert np.array_equal(
+            ids, np.flatnonzero(_pred().mask(small_relation))
+        )
+
+    def test_materialize_survives_overwrite(self, small_relation):
+        engine = GpuEngine(small_relation, shards=2)
+        selection = engine.select(_pred()).materialize()
+        engine.select(_pred(700))
+        assert np.array_equal(
+            selection.record_ids(),
+            np.flatnonzero(_pred().mask(small_relation)),
+        )
+
+
+class TestTracing:
+    def test_per_shard_spans_and_combine_event(self, small_relation):
+        tracer = Tracer()
+        engine = GpuEngine(small_relation, shards=3, tracer=tracer)
+        engine.median("flow_rate")
+        trace = tracer.finish()
+        events = [
+            event for event in trace.all_events()
+            if event.category == "shard"
+        ]
+        names = [event.name for event in events]
+        assert names.count("shard") == 3
+        assert "shard-combine" in names
+
+    def test_degraded_shard_is_traced(self, small_relation):
+        tracer = Tracer()
+        engine = GpuEngine(small_relation, shards=3, tracer=tracer)
+        engine.sharded.kill(1)
+        engine.count(_pred())
+        trace = tracer.finish()
+        degraded = [
+            event for event in trace.all_events()
+            if event.name == "shard-degraded"
+        ]
+        assert len(degraded) == 1
+        assert degraded[0].attrs["shard"] == "shard-1"

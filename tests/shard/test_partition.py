@@ -1,0 +1,118 @@
+"""Partitioning primitives: shard counts, bounds, and metadata-exact
+relation slices."""
+
+import numpy as np
+import pytest
+
+from repro.core import GpuEngine
+from repro.errors import QueryError
+from repro.shard import (
+    SHARD_CID_STRIDE,
+    SHARDS_ENV,
+    THREADS_ENV,
+    pool_threads,
+    resolve_shards,
+    shard_bounds,
+    slice_relation,
+)
+
+
+class TestResolveShards:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "8")
+        assert resolve_shards(3) == 3
+
+    def test_none_follows_env(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        assert resolve_shards(None) == 4
+
+    def test_default_is_single_device(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        assert resolve_shards(None) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(QueryError, match="shards must be >= 1"):
+            resolve_shards(0)
+
+    def test_env_resolves_into_engine(self, small_relation, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "2")
+        engine = GpuEngine(small_relation)
+        assert engine.sharded is not None
+        assert len(engine.sharded) == 2
+
+    def test_shards_one_is_the_single_device_path(self, small_relation):
+        assert GpuEngine(small_relation, shards=1).sharded is None
+
+
+class TestPoolThreads:
+    def test_one_thread_per_shard_by_default(self, monkeypatch):
+        monkeypatch.delenv(THREADS_ENV, raising=False)
+        assert pool_threads(4) == 4
+
+    def test_env_caps_the_pool(self, monkeypatch):
+        monkeypatch.setenv(THREADS_ENV, "2")
+        assert pool_threads(8) == 2
+        # Never more threads than shards.
+        assert pool_threads(1) == 1
+
+    def test_rejects_nonpositive_cap(self, monkeypatch):
+        monkeypatch.setenv(THREADS_ENV, "0")
+        with pytest.raises(QueryError):
+            pool_threads(4)
+
+
+class TestShardBounds:
+    def test_balanced_within_one_record(self):
+        bounds = shard_bounds(2001, 4)
+        sizes = [stop - start for start, stop in bounds]
+        assert sum(sizes) == 2001
+        assert max(sizes) - min(sizes) <= 1
+        # Contiguous cover of [0, n).
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 2001
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+
+    def test_refuses_empty_shards(self):
+        with pytest.raises(QueryError, match="cannot split"):
+            shard_bounds(3, 4)
+
+
+class TestSliceRelation:
+    def test_preserves_column_metadata_verbatim(self, small_relation):
+        part = slice_relation(small_relation, 500, 1500)
+        assert part.num_records == 1000
+        for name in small_relation.column_names:
+            source = small_relation.column(name)
+            sliced = part.column(name)
+            assert sliced.bits == source.bits
+            assert sliced.lo == source.lo
+            assert sliced.hi == source.hi
+            assert sliced.bias == source.bias
+            assert sliced.fraction_bits == source.fraction_bits
+            assert np.array_equal(
+                sliced.values, source.values[500:1500]
+            )
+
+    def test_rejects_bad_windows(self, small_relation):
+        for start, stop in [(-1, 10), (10, 10), (0, 99999)]:
+            with pytest.raises(QueryError, match="shard window"):
+                slice_relation(small_relation, start, stop)
+
+
+class TestBanding:
+    def test_every_shard_gets_a_disjoint_band(self, engines):
+        bands = engines[4].sharded.bands()
+        # Host band plus one band per shard.
+        assert [band.owner for band in bands] == [
+            "host", "shard-0", "shard-1", "shard-2", "shard-3"
+        ]
+        intervals = sorted(band.generations for band in bands)
+        for (_, hi), (lo, _) in zip(intervals, intervals[1:]):
+            assert hi <= lo
+
+    def test_shard_base_cids_skip_the_host_band(self, engines):
+        pool = engines[2].sharded
+        for shard in pool.shards:
+            expected = (shard.index + 1) * SHARD_CID_STRIDE
+            assert shard.engine.contexts.base_cid == expected
