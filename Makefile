@@ -1,7 +1,7 @@
 # Convenience targets; everything works without make too.
 
 .PHONY: install test test-nojit bench figures figures-paper smoke lint \
-	trace-demo chaos-concurrent bench-gate
+	trace-demo chaos-concurrent bench-gate sanitize
 
 install:
 	python setup.py develop
@@ -28,13 +28,23 @@ figures-paper:
 # repro-lint (pure stdlib) always runs; ruff/mypy run when installed.
 lint:
 	python -m compileall -q src tests benchmarks examples
-	PYTHONPATH=src python -m repro.analysis.cli src/repro
+	PYTHONPATH=src python -m repro.analysis.cli src/repro \
+		--baseline lint-baseline.json
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests; \
 	else echo "ruff not installed; skipping"; fi
 	@if command -v mypy >/dev/null 2>&1; then \
-		PYTHONPATH=src mypy -p repro.analysis -p repro.plan; \
+		PYTHONPATH=src mypy -p repro.analysis -p repro.plan \
+			-p repro.shard -p repro.service -m repro.sanitize; \
 	else echo "mypy not installed; skipping"; fi
+
+# The dynamic race sanitizer over the concurrent layers: every test in
+# the shard and service suites (chaos included) runs with the process
+# recorder armed and fails on any H109 it produced (see
+# docs/SANITIZER.md and the autouse gate in tests/conftest.py).
+sanitize:
+	PYTHONPATH=src REPRO_SAN=1 python -m pytest -q \
+		tests/shard tests/service tests/analysis
 
 # Concurrent-session chaos (REPRO_CHAOS_SESSIONS sweeps the session
 # count; CI runs 2/4/8).
@@ -47,7 +57,7 @@ chaos-concurrent:
 bench-gate:
 	PYTHONPATH=src python -m repro.bench --snapshot /tmp/BENCH_current.json
 	PYTHONPATH=src python -m repro.bench.compare /tmp/BENCH_current.json \
-		--against BENCH_9.json
+		--against BENCH_10.json
 
 # Trace the figure-9 workload (selection + masked median) per pass;
 # writes traces/fig9.txt (pass tree) and traces/fig9.json (load in

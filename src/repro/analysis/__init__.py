@@ -35,6 +35,15 @@ span-carrying diagnostics (:mod:`repro.analysis.diagnostics`):
   and fires H108 ``shard-aliasing`` on any overlap or degenerate band;
   the static half of :mod:`repro.shard`'s guarantee that per-shard
   schedules never read another shard's generation band.
+
+* **Concurrency sanitizer** (:mod:`repro.analysis.race`) — a dynamic
+  vector-clock race detector over the :mod:`repro.sanitize` hook
+  stream (H109 ``device-race``: unordered write-write / read-write
+  pairs on shared device, tracer, cache, or counter state) plus a
+  symbolic order-sensitivity check over the shard combiner table
+  (H110 ``order-sensitive-combiner``).  Armed by ``REPRO_SAN=1``,
+  ``GpuEngine(sanitize=True)``, or a scoped :func:`use_sanitizer`
+  window.
 """
 
 from .concurrency import (
@@ -48,6 +57,7 @@ from .diagnostics import (
     Span,
     VerificationReport,
 )
+from .events import AccessEvent, AccessKind, RacePair, RaceRecorder
 from .interpreter import assert_verified, verify_schedule
 from .lint import (
     LINT_RULES,
@@ -55,6 +65,16 @@ from .lint import (
     LintRule,
     lint_paths,
     lint_source,
+)
+from .race import (
+    CombinerReport,
+    RaceReport,
+    assert_race_free,
+    current_recorder,
+    ensure_installed,
+    race_report,
+    use_sanitizer,
+    verify_combiners,
 )
 from .rules import HAZARD_RULES, Rule
 from .sharding import (
@@ -64,6 +84,9 @@ from .sharding import (
 )
 
 __all__ = [
+    "AccessEvent",
+    "AccessKind",
+    "CombinerReport",
     "Diagnostic",
     "HAZARD_RULES",
     "InterleavedOp",
@@ -71,15 +94,24 @@ __all__ = [
     "LINT_RULES",
     "LintFinding",
     "LintRule",
+    "RacePair",
+    "RaceRecorder",
+    "RaceReport",
     "Rule",
     "Severity",
     "Span",
     "ShardBand",
     "ShardFanoutReport",
     "VerificationReport",
+    "assert_race_free",
     "assert_verified",
+    "current_recorder",
+    "ensure_installed",
     "lint_paths",
     "lint_source",
+    "race_report",
+    "use_sanitizer",
+    "verify_combiners",
     "verify_interleaving",
     "verify_schedule",
     "verify_shard_fanout",

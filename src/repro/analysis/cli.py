@@ -3,14 +3,84 @@
 Runs the :mod:`repro.analysis.lint` rules over the given paths
 (default: ``src/repro``) and exits non-zero on any finding, so CI can
 use it as a blocking job with no third-party dependencies.
+
+``--format json`` emits machine-readable findings; ``--baseline FILE``
+filters out known findings recorded with ``--write-baseline FILE``, so
+the gate can be adopted on a codebase with pre-existing debt and still
+block every *new* finding.
 """
 
 from __future__ import annotations
 
 import argparse
+import collections
+import json
+import pathlib
 import sys
 
-from .lint import LINT_RULES, lint_paths
+from .lint import LINT_RULES, LintFinding, lint_paths
+
+#: Baseline file schema version (bumped on fingerprint changes).
+BASELINE_VERSION = 1
+
+
+def _fingerprint(finding: LintFinding) -> dict:
+    """The location-insensitive identity of a finding.
+
+    Line and column are deliberately excluded: edits above a known
+    finding must not resurrect it, and duplicated identical findings
+    in one file collapse to one baseline entry.
+    """
+    return {
+        "path": finding.path,
+        "code": finding.rule.code,
+        "message": finding.message,
+    }
+
+
+def _finding_json(finding: LintFinding) -> dict:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "code": finding.rule.code,
+        "name": finding.rule.name,
+        "message": finding.message,
+    }
+
+
+def _load_baseline(path: str) -> list[dict]:
+    raw = json.loads(pathlib.Path(path).read_text())
+    if raw.get("version") != BASELINE_VERSION:
+        raise SystemExit(
+            f"repro-lint: baseline {path} has version "
+            f"{raw.get('version')!r}, expected {BASELINE_VERSION}; "
+            "regenerate with --write-baseline"
+        )
+    return raw.get("findings", [])
+
+
+def _apply_baseline(
+    findings: list[LintFinding], baseline: list[dict]
+) -> tuple[list[LintFinding], int]:
+    """Split findings into (new, suppressed-count) against a baseline.
+
+    Fingerprints carry multiplicity: a baseline recording one L204 in
+    a file excuses exactly one — a second identical finding added
+    later is new and still fails the gate.
+    """
+    known = collections.Counter(
+        (entry["path"], entry["code"], entry["message"])
+        for entry in baseline
+    )
+    fresh: list[LintFinding] = []
+    for finding in findings:
+        key = (finding.path, finding.rule.code, finding.message)
+        if known.get(key, 0) > 0:
+            known[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh, len(findings) - len(fresh)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -20,7 +90,7 @@ def main(argv: list[str] | None = None) -> int:
             "Lint the repro codebase for its recurring bug shapes "
             "(raw device calls, unchecked stencil reads, swallowed "
             "GpuError, float equality on encoded values, string "
-            "device forms)."
+            "device forms, unlocked pool captures, off-shard state)."
         ),
     )
     parser.add_argument(
@@ -34,21 +104,73 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "suppress findings recorded in FILE (see --write-baseline); "
+            "only new findings fail the gate"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record all current findings to FILE and exit 0",
+    )
     options = parser.parse_args(argv)
     if options.list_rules:
         for rule in LINT_RULES:
             print(f"{rule.code} {rule.name}: {rule.summary}")
         return 0
     findings = lint_paths(options.paths)
+    if options.write_baseline:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [_fingerprint(f) for f in findings],
+        }
+        pathlib.Path(options.write_baseline).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        print(
+            f"repro-lint: wrote baseline with {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} to "
+            f"{options.write_baseline}"
+        )
+        return 0
+    suppressed = 0
+    if options.baseline:
+        findings, suppressed = _apply_baseline(
+            findings, _load_baseline(options.baseline)
+        )
+    if options.format == "json":
+        print(json.dumps(
+            {
+                "findings": [_finding_json(f) for f in findings],
+                "count": len(findings),
+                "suppressed": suppressed,
+            },
+            indent=2,
+        ))
+        return 1 if findings else 0
     for finding in findings:
         print(finding.render_text())
     if findings:
         print(
             f"repro-lint: {len(findings)} finding"
             f"{'s' if len(findings) != 1 else ''}"
+            + (f" ({suppressed} baselined)" if suppressed else "")
         )
         return 1
-    print("repro-lint: clean")
+    message = "repro-lint: clean"
+    if suppressed:
+        message += f" ({suppressed} baselined)"
+    print(message)
     return 0
 
 

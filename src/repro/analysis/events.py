@@ -1,0 +1,332 @@
+"""Typed access events and the vector-clock race recorder.
+
+The dynamic half of :mod:`repro.analysis.race`: while a
+:class:`RaceRecorder` is installed in :mod:`repro.sanitize`, every
+stencil/depth/texture/occlusion/cache/stats access the substrate
+performs becomes an :class:`AccessEvent` (object identity, field,
+read/write kind, thread, vector-clock snapshot), and every
+synchronization operation — thread-pool submit/join, lock
+acquire/release, context checkpoint hand-off — becomes a
+happens-before edge between thread clocks.
+
+Detection is FastTrack-shaped: per ``(object, field)`` the recorder
+keeps the last write's epoch (``(thread, clock[thread])``) and a read
+map, and checks each incoming access against them.  Two accesses race
+when they come from different threads, at least one is a write, and
+neither epoch is covered by the other thread's clock — exactly the
+"unordered write-write or read-write pair" the H109 rule names.  The
+recorder only *collects*; :func:`repro.analysis.race.RaceReport`
+renders the findings with the verifier's span-carrying
+:class:`~repro.analysis.diagnostics.Diagnostic` machinery.
+
+The recorder's own mutex protects recorder state only — it is
+deliberately **not** a happens-before source for the monitored
+program, or instrumenting an access would serialize (and so hide) the
+very races being hunted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import threading
+from collections import Counter
+
+
+class AccessKind(enum.Enum):
+    """What an access did to the shared object."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessEvent:
+    """One shared-state access, as seen by the sanitizer."""
+
+    #: Recorder-lifetime sequence number (the span index H109 cites).
+    index: int
+    #: ``id()`` of the accessed object.
+    obj_id: int
+    #: Type name of the accessed object (``"Device"``, ``"Tracer"``...).
+    obj_type: str
+    #: Which piece of state was touched (``"stencil"``, ``"spans"``...).
+    field: str
+    kind: AccessKind
+    #: ``threading.get_ident()`` of the accessing thread.
+    thread_id: int
+    #: Thread name at access time (pool threads carry their prefix).
+    thread_name: str
+    #: The accessing thread's epoch: its own vector-clock component at
+    #: access time.  Access A happens-before a later event E iff
+    #: ``E.clock[A.thread_id] >= A.epoch``.
+    epoch: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.obj_type}.{self.field}"
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind.value} of {self.label} "
+            f"(obj 0x{self.obj_id:x}) by {self.thread_name!r}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RacePair:
+    """Two unordered accesses to the same state, one a write."""
+
+    earlier: AccessEvent
+    later: AccessEvent
+
+    def describe(self) -> str:
+        return (
+            f"{self.later.describe()} is unordered with earlier "
+            f"{self.earlier.describe()}; no submit/join, lock, or "
+            "checkpoint edge orders them"
+        )
+
+
+class VectorClock:
+    """A mutable thread-id -> logical-time map."""
+
+    __slots__ = ("times",)
+
+    def __init__(self, times: dict[int, int] | None = None):
+        self.times: dict[int, int] = dict(times) if times else {}
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.times)
+
+    def get(self, tid: int) -> int:
+        return self.times.get(tid, 0)
+
+    def tick(self, tid: int) -> None:
+        self.times[tid] = self.times.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum (the acquire/join half of an edge)."""
+        for tid, time in other.times.items():
+            if time > self.times.get(tid, 0):
+                self.times[tid] = time
+
+    def covers(self, tid: int, epoch: int) -> bool:
+        """True when an access at ``(tid, epoch)`` happens-before the
+        point this clock describes."""
+        return self.times.get(tid, 0) >= epoch
+
+
+class _FieldState:
+    """FastTrack-style per-(object, field) detector state."""
+
+    __slots__ = ("last_write", "reads")
+
+    def __init__(self) -> None:
+        #: The most recent write, or ``None``.
+        self.last_write: AccessEvent | None = None
+        #: Per-thread most recent read since the last write.
+        self.reads: dict[int, AccessEvent] = {}
+
+
+class RaceRecorder:
+    """Collects access events, maintains happens-before, finds races.
+
+    Install with :func:`repro.analysis.race.use_sanitizer` (or let
+    ``REPRO_SAN=1`` / ``GpuEngine(sanitize=True)`` install one
+    process-wide); read the verdict with
+    :meth:`repro.analysis.race.RaceReport` via ``race.report()``.
+
+    ``max_events`` bounds the retained event list (detection state is
+    exact regardless); when the cap trips, older events are no longer
+    available for rendering but races are still counted and the
+    involved events are always retained.
+    """
+
+    def __init__(self, max_events: int = 200_000):
+        self._mu = threading.Lock()
+        self.max_events = max_events
+        #: Every recorded access, in global order (capped).
+        self.events: list[AccessEvent] = []
+        #: Unordered pairs found so far, in detection order.
+        self.races: list[RacePair] = []
+        #: Access counts by ``TypeName.field`` (cheap observability;
+        #: also the denominator for overhead accounting).
+        self.access_counts: Counter[str] = Counter()
+        #: Synchronization edges recorded, by kind.
+        self.sync_counts: Counter[str] = Counter()
+        #: Events dropped once ``max_events`` tripped.
+        self.dropped_events = 0
+        self._next_index = 0
+        self._clocks: dict[int, VectorClock] = {}
+        #: Lock token -> last published clock (release edges).
+        self._published: dict[int, VectorClock] = {}
+        #: Fork token -> clock (pending task begins / ended tasks).
+        self._fork_clocks: dict[int, VectorClock] = {}
+        self._end_clocks: dict[int, VectorClock] = {}
+        self._next_token = 0
+        self._objects: dict[tuple[int, str], _FieldState] = {}
+
+    # -- clock plumbing (call with self._mu held) ---------------------------
+
+    def _clock(self, tid: int) -> VectorClock:
+        clock = self._clocks.get(tid)
+        if clock is None:
+            clock = VectorClock()
+            clock.tick(tid)
+            self._clocks[tid] = clock
+        return clock
+
+    def _publish(self, table: dict[int, VectorClock], token: int) -> None:
+        tid = threading.get_ident()
+        clock = self._clock(tid)
+        existing = table.get(token)
+        if existing is None:
+            table[token] = clock.copy()
+        else:
+            existing.join(clock)
+        # Later accesses by this thread must not be covered by the
+        # snapshot just published.
+        clock.tick(tid)
+
+    def _join_from(
+        self, table: dict[int, VectorClock], token: int
+    ) -> None:
+        published = table.get(token)
+        if published is not None:
+            self._clock(threading.get_ident()).join(published)
+
+    # -- the recorder protocol (see repro.sanitize) --------------------------
+
+    def note(
+        self, obj_id: int, obj_type: str, field: str, kind: str
+    ) -> None:
+        """Record one access and check it against the field's state."""
+        thread = threading.current_thread()
+        tid = thread.ident or 0
+        with self._mu:
+            clock = self._clock(tid)
+            event = AccessEvent(
+                index=self._next_index,
+                obj_id=obj_id,
+                obj_type=obj_type,
+                field=field,
+                kind=AccessKind(kind),
+                thread_id=tid,
+                thread_name=thread.name,
+                epoch=clock.get(tid),
+            )
+            self._next_index += 1
+            if len(self.events) < self.max_events:
+                self.events.append(event)
+            else:
+                self.dropped_events += 1
+            self.access_counts[event.label] += 1
+            self._check(event, clock)
+
+    def acquire(self, token: int) -> None:
+        with self._mu:
+            self.sync_counts["acquire"] += 1
+            self._join_from(self._published, token)
+
+    def release(self, token: int) -> None:
+        with self._mu:
+            self.sync_counts["release"] += 1
+            self._publish(self._published, token)
+
+    def sync(self, token: int) -> None:
+        """Acquire-then-release: the checkpoint hand-off edge."""
+        with self._mu:
+            self.sync_counts["sync"] += 1
+            self._join_from(self._published, token)
+            self._publish(self._published, token)
+
+    def fork(self) -> int:
+        with self._mu:
+            self.sync_counts["fork"] += 1
+            token = self._next_token
+            self._next_token += 1
+            self._publish(self._fork_clocks, token)
+            return token
+
+    def task_begin(self, token: int) -> None:
+        with self._mu:
+            self.sync_counts["task_begin"] += 1
+            self._join_from(self._fork_clocks, token)
+
+    def task_end(self, token: int) -> None:
+        with self._mu:
+            self.sync_counts["task_end"] += 1
+            self._publish(self._end_clocks, token)
+
+    def task_join(self, token: int) -> None:
+        with self._mu:
+            self.sync_counts["task_join"] += 1
+            self._join_from(self._end_clocks, token)
+
+    # -- detection ----------------------------------------------------------
+
+    def _retain(self, event: AccessEvent) -> None:
+        """Make sure a race participant is renderable even past the
+        event cap."""
+        if self.events and self.events[-1].index >= event.index:
+            return
+        self.events.append(event)
+
+    def _check(self, event: AccessEvent, clock: VectorClock) -> None:
+        key = (event.obj_id, event.field)
+        state = self._objects.get(key)
+        if state is None:
+            state = _FieldState()
+            self._objects[key] = state
+        write = state.last_write
+        if event.kind is AccessKind.WRITE:
+            if (
+                write is not None
+                and write.thread_id != event.thread_id
+                and not clock.covers(write.thread_id, write.epoch)
+            ):
+                self._record_race(write, event)
+            for read in state.reads.values():
+                if read.thread_id != event.thread_id and not clock.covers(
+                    read.thread_id, read.epoch
+                ):
+                    self._record_race(read, event)
+            state.last_write = event
+            state.reads.clear()
+        else:
+            if (
+                write is not None
+                and write.thread_id != event.thread_id
+                and not clock.covers(write.thread_id, write.epoch)
+            ):
+                self._record_race(write, event)
+            state.reads[event.thread_id] = event
+
+    def _record_race(
+        self, earlier: AccessEvent, later: AccessEvent
+    ) -> None:
+        self._retain(earlier)
+        self.races.append(RacePair(earlier=earlier, later=later))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def num_events(self) -> int:
+        """Accesses recorded (dropped ones included)."""
+        return self._next_index
+
+    @property
+    def num_hooks(self) -> int:
+        """Total hook invocations: accesses plus sync edges."""
+        return self._next_index + sum(self.sync_counts.values())
+
+    def reset(self) -> None:
+        """Drop events, races and detection state; clocks survive so
+        cross-reset happens-before stays sound for live threads."""
+        with self._mu:
+            self.events = []
+            self.races = []
+            self.access_counts = Counter()
+            self.dropped_events = 0
+            self._objects = {}

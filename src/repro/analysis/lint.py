@@ -82,6 +82,22 @@ DIRECT_INTERPRETER = LintRule(
     "not by interpreting directly",
 )
 
+UNLOCKED_POOL_CAPTURE = LintRule(
+    "L208",
+    "unlocked-pool-capture",
+    "a callable submitted to a thread pool mutates captured engine/"
+    "device/tracer state without holding a lock; pool threads race on "
+    "the shared object",
+)
+
+OFF_SHARD_ENGINE = LintRule(
+    "L209",
+    "off-shard-engine",
+    "a pool-submitted callable reaches into the shard table or the "
+    "parent engine instead of using its own shard argument; per-shard "
+    "state is only safe on its owning worker thread",
+)
+
 #: Every rule ``repro-lint`` can fire, in code order.
 LINT_RULES: tuple[LintRule, ...] = (
     RAW_DEVICE,
@@ -91,6 +107,8 @@ LINT_RULES: tuple[LintRule, ...] = (
     STRING_DEVICE,
     UNSCHEDULED_STENCIL_WRITE,
     DIRECT_INTERPRETER,
+    UNLOCKED_POOL_CAPTURE,
+    OFF_SHARD_ENGINE,
 )
 
 
@@ -150,6 +168,28 @@ _MUTATING_DEVICE_METHODS = {
     "bind_texture",
 }
 
+#: Attribute names that mark a chain as shared concurrency-sensitive
+#: state (the objects the dynamic sanitizer tracks): mutating one of
+#: these from a pool thread without a lock is the L208 shape.
+_SHARED_STATE_ATTRS = {
+    "tracer", "stats", "events", "spans", "counters",
+    "device", "engine", "_degraded",
+}
+
+#: Container methods that mutate their receiver in place.
+_MUTATING_CONTAINER_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear",
+}
+
+#: Names that identify a lock held by a ``with`` block (substring
+#: match on the last attribute / name of the context expression).
+_LOCK_NAME_HINTS = ("lock", "mutex", "cond", "_mu")
+
+#: Names under which the shard table travels (indexing it from a pool
+#: worker is the L209 shape).
+_SHARD_TABLE_NAMES = {"shards", "_shards"}
+
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)"
 )
@@ -199,6 +239,63 @@ def _device_receiver(target: ast.expr) -> bool:
     )
 
 
+def _chain_parts(expr: ast.expr) -> tuple[str | None, list[str]]:
+    """Decompose an attribute chain into ``(root name, attribute
+    names)``; the root is ``None`` when the chain is anchored on a
+    call, subscript, or other non-name expression."""
+    attrs: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        attrs.append(node.attr)
+        node = node.value
+    attrs.reverse()
+    if isinstance(node, ast.Name):
+        return node.id, attrs
+    return None, attrs
+
+
+def _is_lock_context(expr: ast.expr) -> bool:
+    """True when a ``with`` context expression names a lock: its
+    terminal name contains ``lock`` / ``mutex`` / ``cond`` / ``_mu``
+    (``self._lock``, ``tracker.mutex``, ``cond`` ...), possibly behind
+    a call like ``lock.acquire_timeout(...)``."""
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    if isinstance(expr, ast.Attribute):
+        terminal = expr.attr
+    elif isinstance(expr, ast.Name):
+        terminal = expr.id
+    else:
+        return False
+    lowered = terminal.lower()
+    return any(hint in lowered for hint in _LOCK_NAME_HINTS)
+
+
+def _callable_locals(fn: ast.AST) -> set[str]:
+    """Parameter and locally-bound names of a function or lambda —
+    everything *not* in this set that the body touches is captured
+    from the enclosing (submitting) scope."""
+    names: set[str] = set()
+    args = fn.args
+    for arg in (
+        *args.posonlyargs, *args.args, *args.kwonlyargs,
+    ):
+        names.add(arg.arg)
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fn:
+                names.add(node.name)
+    return names
+
+
 class _Visitor(ast.NodeVisitor):
     def __init__(
         self,
@@ -206,6 +303,7 @@ class _Visitor(ast.NodeVisitor):
         engine_only: bool,
         scheduler_guard: bool = False,
         interpreter_guard: bool = False,
+        local_defs: dict[str, ast.AST] | None = None,
     ):
         self.path = path
         self.engine_only = engine_only
@@ -214,6 +312,9 @@ class _Visitor(ast.NodeVisitor):
         #: True when this layer may not construct the fragment-program
         #: interpreter directly (L207).
         self.interpreter_guard = interpreter_guard
+        #: Function definitions in this module by name, for resolving
+        #: ``pool.submit(worker)`` to the callable's body (L208/L209).
+        self.local_defs = local_defs if local_defs is not None else {}
         self.findings: list[LintFinding] = []
         #: Stack of per-function [saw_read_stencil_node, saw_generation]
         self._functions: list[list] = []
@@ -311,7 +412,178 @@ class _Visitor(ast.NodeVisitor):
                     f"device={keyword.value.value!r}; pass "
                     "Device.GPU / Device.CPU / Device.AUTO instead",
                 )
+        self._check_pool_submit(node)
         self.generic_visit(node)
+
+    # -- L208/L209: callables handed to a thread pool ------------------
+
+    def _check_pool_submit(self, node: ast.Call) -> None:
+        """On ``<pool>.submit(fn, ...)``, scan ``fn``'s body for
+        unlocked mutation of captured shared state (L208) and
+        off-shard access (L209)."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "submit"):
+            return
+        receiver = func.value
+        terminal = (
+            receiver.attr if isinstance(receiver, ast.Attribute)
+            else receiver.id if isinstance(receiver, ast.Name)
+            else ""
+        ).lower()
+        if "pool" not in terminal and "executor" not in terminal:
+            return
+        if not node.args:
+            return
+        target = node.args[0]
+        fn: ast.AST | None = None
+        bound = False
+        if isinstance(target, ast.Lambda):
+            fn = target
+        elif isinstance(target, ast.Name):
+            fn = self.local_defs.get(target.id)
+        elif isinstance(target, ast.Attribute):
+            # submit(self._worker, ...): a bound method whose receiver
+            # is the shared instance, not a per-task argument.
+            fn = self.local_defs.get(target.attr)
+            bound = True
+        if fn is None:
+            return
+        label = getattr(fn, "name", "<lambda>")
+        local = _callable_locals(fn)
+        if bound and fn.args.args:
+            local.discard(fn.args.args[0].arg)
+        if isinstance(fn, ast.Lambda):
+            self._check_pool_expr(fn.body, label, local, locked=False)
+        else:
+            self._walk_pool_body(fn.body, label, local, locked=False)
+
+    def _walk_pool_body(
+        self, stmts, label: str, local: set[str], locked: bool
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                held = locked or any(
+                    _is_lock_context(item.context_expr)
+                    for item in stmt.items
+                )
+                self._walk_pool_body(stmt.body, label, local, held)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            self._check_pool_stmt(stmt, label, local, locked)
+            for field, value in ast.iter_fields(stmt):
+                if not (isinstance(value, list) and value):
+                    continue
+                if isinstance(value[0], ast.stmt):
+                    self._walk_pool_body(value, label, local, locked)
+                elif isinstance(value[0], ast.ExceptHandler):
+                    for handler in value:
+                        self._walk_pool_body(
+                            handler.body, label, local, locked
+                        )
+
+    def _check_pool_stmt(
+        self, stmt, label: str, local: set[str], locked: bool
+    ) -> None:
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    target = target.value
+                if isinstance(target, ast.Attribute):
+                    self._check_pool_store(target, label, local, locked)
+        # Direct child expressions only — nested statement blocks are
+        # walked by _walk_pool_body, so headers (If.test, For.iter)
+        # get checked here without double-visiting bodies.
+        for _, value in ast.iter_fields(stmt):
+            if isinstance(value, ast.expr):
+                self._check_pool_expr(value, label, local, locked)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.expr):
+                        self._check_pool_expr(item, label, local, locked)
+
+    def _check_pool_expr(
+        self, expr: ast.expr, label: str, local: set[str], locked: bool
+    ) -> None:
+        for node in ast.walk(expr):
+            if (
+                not locked
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_CONTAINER_METHODS
+            ):
+                root, attrs = _chain_parts(node.func.value)
+                if self._captured_shared(root, attrs, local):
+                    self._flag(
+                        node,
+                        UNLOCKED_POOL_CAPTURE,
+                        f"{label}() runs on a pool thread and calls "
+                        f".{node.func.attr}() on captured shared state "
+                        "without holding a lock",
+                    )
+            if isinstance(node, ast.expr):
+                self._check_off_shard(node, label, local)
+
+    def _check_pool_store(
+        self, target: ast.Attribute, label: str, local: set[str],
+        locked: bool,
+    ) -> None:
+        if locked:
+            return
+        root, attrs = _chain_parts(target)
+        if self._captured_shared(root, attrs, local):
+            self._flag(
+                target,
+                UNLOCKED_POOL_CAPTURE,
+                f"{label}() runs on a pool thread and writes "
+                f"{'.'.join([root, *attrs])} — captured shared state — "
+                "without holding a lock",
+            )
+
+    @staticmethod
+    def _captured_shared(
+        root: str | None, attrs: list[str], local: set[str]
+    ) -> bool:
+        """A chain is a shared-state hazard when it is rooted at a
+        *captured* name (not a parameter or local of the submitted
+        callable) and mentions a concurrency-sensitive attribute."""
+        if root is None or root in local:
+            return False
+        sensitive = root in _SHARED_STATE_ATTRS or bool(
+            set(attrs) & _SHARED_STATE_ATTRS
+        )
+        return sensitive
+
+    def _check_off_shard(
+        self, node: ast.expr, label: str, local: set[str]
+    ) -> None:
+        if isinstance(node, ast.Subscript):
+            value = node.value
+            terminal = (
+                value.attr if isinstance(value, ast.Attribute)
+                else value.id if isinstance(value, ast.Name)
+                else ""
+            )
+            if terminal in _SHARD_TABLE_NAMES:
+                self._flag(
+                    node,
+                    OFF_SHARD_ENGINE,
+                    f"{label}() indexes the shard table from a pool "
+                    "thread; a worker must only touch the shard it "
+                    "was given",
+                )
+        elif isinstance(node, ast.Attribute) and node.attr == "parent":
+            self._flag(
+                node,
+                OFF_SHARD_ENGINE,
+                f"{label}() reaches the parent engine via .parent "
+                "from a pool thread; per-shard work must stay on "
+                "its own shard's state",
+            )
 
     def _check_raw_device_call(
         self, node: ast.Call, func: ast.Attribute
@@ -400,6 +672,12 @@ def lint_source(
     """Lint one module's source text."""
     layer = _repro_layer(path)
     tree = ast.parse(source, filename=path)
+    local_defs: dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # First definition wins on name collisions; good enough
+            # for resolving pool.submit(worker) to its body.
+            local_defs.setdefault(node.name, node)
     visitor = _Visitor(
         path,
         engine_only=layer in _ENGINE_ONLY_LAYERS,
@@ -407,6 +685,7 @@ def lint_source(
             layer is not None and layer not in _SCHEDULER_LAYERS
         ),
         interpreter_guard=layer is not None and layer != "gpu",
+        local_defs=local_defs,
     )
     visitor.visit(tree)
     disabled = _suppressions(source)

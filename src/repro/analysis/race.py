@@ -1,0 +1,365 @@
+"""The concurrency sanitizer: H109 ``device-race`` and H110
+``order-sensitive-combiner``.
+
+Two halves, matching the two ways a concurrent answer can silently go
+wrong:
+
+* **Dynamic** — :func:`use_sanitizer` installs a
+  :class:`~repro.analysis.events.RaceRecorder` into the
+  :mod:`repro.sanitize` hook slot; the instrumented substrate then
+  reports every shared-state access and synchronization edge, and
+  :func:`race_report` turns any unordered write-write / read-write
+  pair into an H109 :class:`~repro.analysis.diagnostics.Diagnostic`
+  whose span cites the two event indices.  ``REPRO_SAN=1`` (or
+  ``GpuEngine(sanitize=True)``) arms a process-wide recorder via
+  :func:`ensure_installed`.
+
+* **Static-ish** — :func:`verify_combiners` checks a shard combiner
+  table (:data:`repro.shard.combiners.COMBINER_SPECS`, passed in so
+  this layer never imports :mod:`repro.shard`) symbolically: a
+  combiner declared order-insensitive must be commutative and
+  associative on its sample inputs, otherwise the combined answer
+  would depend on pool-completion timing — H110.
+
+Suppression: scope the recorder with :func:`use_sanitizer` around the
+code under test, or call ``recorder.reset()`` to discard a noisy
+window; there is no per-site suppression because a true H109 is always
+a bug (the instrumented fields are all cross-thread state).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import itertools
+import math
+import os
+import typing
+from collections.abc import Iterator, Sequence
+
+from .. import sanitize
+from ..errors import DataRaceError
+from .diagnostics import Diagnostic, Severity, Span
+from .events import RacePair, RaceRecorder
+from .rules import DEVICE_RACE, ORDER_SENSITIVE_COMBINER
+
+
+class CombinerLike(typing.Protocol):
+    """What :func:`verify_combiners` needs from a combiner spec."""
+
+    op: str
+    ordered: bool
+    samples: tuple[typing.Any, ...]
+
+    def combine(self, left: typing.Any, right: typing.Any) -> typing.Any:
+        ...
+
+
+# -- process-wide recorder management ---------------------------------------
+
+#: The recorder :func:`ensure_installed` created, if any.
+_global_recorder: RaceRecorder | None = None
+
+
+def current_recorder() -> RaceRecorder | None:
+    """The :class:`RaceRecorder` currently receiving hook events, or
+    ``None`` when the sanitizer is off (or a foreign recorder is
+    installed)."""
+    recorder = sanitize.active()
+    if isinstance(recorder, RaceRecorder):
+        return recorder
+    return None
+
+
+def sanitizer_requested() -> bool:
+    """True when the ``REPRO_SAN`` environment variable asks for the
+    sanitizer (``1``/``true``/``yes``/``on``, case-insensitive)."""
+    return os.environ.get("REPRO_SAN", "").strip().lower() in {
+        "1",
+        "true",
+        "yes",
+        "on",
+    }
+
+
+def ensure_installed(force: bool = False) -> RaceRecorder | None:
+    """Arm the process-wide sanitizer if asked for.
+
+    Installs (once) a shared :class:`RaceRecorder` when ``force`` is
+    true or ``REPRO_SAN`` requests it, and returns the recorder now
+    receiving events — ``None`` when the sanitizer stays off.  An
+    already-installed recorder (global or :func:`use_sanitizer`-scoped)
+    is left in place.
+    """
+    global _global_recorder
+    existing = current_recorder()
+    if existing is not None:
+        return existing
+    if not (force or sanitizer_requested()):
+        return None
+    if _global_recorder is None:
+        _global_recorder = RaceRecorder()
+    sanitize.install(_global_recorder)
+    return _global_recorder
+
+
+@contextlib.contextmanager
+def use_sanitizer(
+    recorder: RaceRecorder | None = None,
+) -> Iterator[RaceRecorder]:
+    """Install a recorder for the duration of a ``with`` block.
+
+    Yields the (fresh, unless provided) :class:`RaceRecorder`; on exit
+    the previously-installed recorder — usually none — is restored, so
+    scoped sanitizer windows nest and never leak into later code.
+    """
+    if recorder is None:
+        recorder = RaceRecorder()
+    previous = sanitize.install(recorder)
+    try:
+        yield recorder
+    finally:
+        sanitize.uninstall(previous)
+
+
+# -- H109: the dynamic race report ------------------------------------------
+
+
+@dataclasses.dataclass
+class RaceReport:
+    """Every race one sanitized window observed, plus the verdict.
+
+    ``diagnostics`` is deduplicated per distinct shape — one H109 per
+    ``(state label, earlier kind, later kind)`` with an occurrence
+    count — while ``races`` keeps every raw pair for forensics.
+    """
+
+    races: list[RacePair]
+    diagnostics: list[Diagnostic]
+    num_events: int
+    access_counts: dict[str, int]
+    sync_counts: dict[str, int]
+
+    @property
+    def ok(self) -> bool:
+        """True when no race was observed."""
+        return not self.diagnostics
+
+    def render_text(self) -> str:
+        verdict = "ok" if self.ok else "RACY"
+        lines = [
+            f"sanitize [{verdict}] {self.num_events} accesses, "
+            f"{sum(self.sync_counts.values())} sync edges, "
+            f"{len(self.races)} unordered pairs"
+        ]
+        if not self.diagnostics:
+            lines.append("  (no races)")
+        for diagnostic in self.diagnostics:
+            lines.append(f"  ! {diagnostic.render_text()}")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`~repro.errors.DataRaceError` when any race
+        was observed."""
+        if self.ok:
+            return
+        raise DataRaceError(
+            "sanitizer observed data races:\n" + self.render_text(),
+            report=self,
+        )
+
+
+def race_report(recorder: RaceRecorder | None = None) -> RaceReport:
+    """Build the H109 report from ``recorder`` (default: the installed
+    one; an empty clean report when the sanitizer is off)."""
+    if recorder is None:
+        recorder = current_recorder()
+    if recorder is None:
+        return RaceReport(
+            races=[],
+            diagnostics=[],
+            num_events=0,
+            access_counts={},
+            sync_counts={},
+        )
+    races = list(recorder.races)
+    grouped: dict[tuple[str, str, str], list[RacePair]] = {}
+    for pair in races:
+        key = (
+            pair.later.label,
+            pair.earlier.kind.value,
+            pair.later.kind.value,
+        )
+        grouped.setdefault(key, []).append(pair)
+    diagnostics = []
+    for pairs in grouped.values():
+        first = pairs[0]
+        extra = (
+            f" ({len(pairs)} occurrences)" if len(pairs) > 1 else ""
+        )
+        diagnostics.append(
+            DEVICE_RACE.diagnostic(
+                Span(start=first.earlier.index, end=first.later.index),
+                first.describe() + extra,
+            )
+        )
+    diagnostics.sort(key=lambda d: (d.span.start, d.span.end))
+    return RaceReport(
+        races=races,
+        diagnostics=diagnostics,
+        num_events=recorder.num_events,
+        access_counts=dict(recorder.access_counts),
+        sync_counts=dict(recorder.sync_counts),
+    )
+
+
+def assert_race_free(recorder: RaceRecorder | None = None) -> RaceReport:
+    """Build the report and raise on any race; returns the (clean)
+    report otherwise."""
+    report = race_report(recorder)
+    report.raise_if_failed()
+    return report
+
+
+# -- H110: symbolic combiner-table verification -----------------------------
+
+
+def _values_equal(left: typing.Any, right: typing.Any) -> bool:
+    """Structural equality that tolerates float round-off (permuting a
+    float sum may shuffle the last ulp; that is not order-sensitivity)."""
+    if isinstance(left, float) or isinstance(right, float):
+        try:
+            return math.isclose(
+                float(left), float(right), rel_tol=1e-9, abs_tol=1e-12
+            )
+        except (TypeError, ValueError):
+            return False
+    if isinstance(left, dict) and isinstance(right, dict):
+        return left.keys() == right.keys() and all(
+            _values_equal(left[key], right[key]) for key in left
+        )
+    if isinstance(left, (list, tuple)) and isinstance(
+        right, (list, tuple)
+    ):
+        return len(left) == len(right) and all(
+            _values_equal(a, b) for a, b in zip(left, right)
+        )
+    result = left == right
+    # Array-valued results compare elementwise; collapse to a verdict.
+    if hasattr(result, "all"):
+        return bool(result.all())
+    return bool(result)
+
+
+def _fold(
+    spec: CombinerLike, values: Sequence[typing.Any]
+) -> typing.Any:
+    accumulator = values[0]
+    for value in values[1:]:
+        accumulator = spec.combine(accumulator, value)
+    return accumulator
+
+
+@dataclasses.dataclass
+class CombinerReport:
+    """The H110 verdict over one combiner table."""
+
+    specs: tuple[CombinerLike, ...]
+    diagnostics: list[Diagnostic]
+
+    @property
+    def ok(self) -> bool:
+        return not any(
+            d.severity is Severity.ERROR for d in self.diagnostics
+        )
+
+    def render_text(self) -> str:
+        verdict = "ok" if self.ok else "REJECTED"
+        ops = ", ".join(spec.op for spec in self.specs)
+        lines = [f"verify combiners [{verdict}] {{{ops}}}"]
+        if not self.diagnostics:
+            lines.append("  (no hazards)")
+        for diagnostic in self.diagnostics:
+            lines.append(f"  ! {diagnostic.render_text()}")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if self.ok:
+            return
+        raise DataRaceError(
+            "combiner table failed verification:\n"
+            + self.render_text(),
+            report=self,
+        )
+
+
+def verify_combiners(
+    specs: Sequence[CombinerLike],
+) -> CombinerReport:
+    """Check a combiner table for order-sensitivity (hazard H110).
+
+    A spec with ``ordered=True`` is exempt: the shard layer folds it in
+    shard order (futures are joined in submission order), so the result
+    is deterministic by construction.  Every other spec must be
+    **commutative** (``combine(a, b) == combine(b, a)`` for all sample
+    pairs) and **associative** (both bracketings of every sample triple
+    agree) — the conditions under which a fold in pool-completion order
+    equals the fold in shard order.  The diagnostic's span is the
+    spec's index into the table.
+    """
+    diagnostics: list[Diagnostic] = []
+    for index, spec in enumerate(specs):
+        if spec.ordered:
+            continue
+        samples = list(spec.samples)
+        if len(samples) < 3:
+            diagnostics.append(
+                ORDER_SENSITIVE_COMBINER.diagnostic(
+                    Span.at(index),
+                    f"combiner {spec.op!r} declares itself "
+                    "order-insensitive but ships fewer than 3 sample "
+                    "inputs, so commutativity/associativity cannot be "
+                    "checked",
+                )
+            )
+            continue
+        failure = _order_sensitivity(spec, samples)
+        if failure is not None:
+            diagnostics.append(
+                ORDER_SENSITIVE_COMBINER.diagnostic(
+                    Span.at(index), f"combiner {spec.op!r} {failure}"
+                )
+            )
+    return CombinerReport(specs=tuple(specs), diagnostics=diagnostics)
+
+
+def _order_sensitivity(
+    spec: CombinerLike, samples: list[typing.Any]
+) -> str | None:
+    """The first commutativity/associativity violation, or ``None``."""
+    for left, right in itertools.combinations(samples, 2):
+        if not _values_equal(
+            spec.combine(left, right), spec.combine(right, left)
+        ):
+            return (
+                "is not commutative: combine(a, b) != combine(b, a) "
+                f"for samples a={left!r}, b={right!r}"
+            )
+    for a, b, c in itertools.combinations(samples, 3):
+        if not _values_equal(
+            spec.combine(spec.combine(a, b), c),
+            spec.combine(a, spec.combine(b, c)),
+        ):
+            return (
+                "is not associative: (a+b)+c != a+(b+c) for samples "
+                f"a={a!r}, b={b!r}, c={c!r}"
+            )
+    for ordering in itertools.permutations(samples[:4]):
+        if not _values_equal(
+            _fold(spec, list(ordering)), _fold(spec, samples[:4])
+        ):
+            return (
+                "produces order-dependent folds: permuting "
+                f"{samples[:4]!r} changes the combined result"
+            )
+    return None

@@ -119,6 +119,37 @@ SHARD_ALIASING = Rule(
     "host's), so cross-shard stencil/depth generations can alias",
 )
 
+#: Dynamic-sanitizer invariant (the race tentpole): every pair of
+#: accesses to one piece of shared substrate state (stencil/depth
+#: buffers, textures, occlusion queries, plan caches, tracer spans,
+#: fault/service counters) where at least one is a write must be
+#: ordered by a happens-before edge — thread-pool submit/join, lock
+#: acquire/release, or a context checkpoint hand-off.  An unordered
+#: write-write or read-write pair is a plain Python data race: the
+#: losing access silently corrupts counts, traces, or buffer
+#: generations.  Fired by :func:`repro.analysis.race.race_report` from
+#: events a :class:`~repro.analysis.events.RaceRecorder` collected.
+DEVICE_RACE = Rule(
+    "H109",
+    "device-race",
+    "two threads access the same device/tracer/stats state without a "
+    "happens-before edge and at least one access is a write",
+)
+
+#: Sharded-combine invariant: shard results are folded by the host
+#: combiners in :data:`repro.shard.combiners.COMBINER_SPECS`.  A
+#: combiner declared order-insensitive may be folded in pool-completion
+#: order, so it must be commutative and associative; one that is
+#: actually order-sensitive (checked symbolically on the spec's sample
+#: inputs) would make the combined answer depend on thread timing.
+#: Fired by :func:`repro.analysis.race.verify_combiners`.
+ORDER_SENSITIVE_COMBINER = Rule(
+    "H110",
+    "order-sensitive-combiner",
+    "a shard combiner declared order-insensitive produces different "
+    "results under permuted or re-associated shard orders",
+)
+
 #: Everything the verifier can fire, in code order.
 HAZARD_RULES: tuple[Rule, ...] = (
     STALE_DEPTH,
@@ -129,4 +160,6 @@ HAZARD_RULES: tuple[Rule, ...] = (
     UNDER_KEYED_CACHE,
     CONTEXT_ALIASING,
     SHARD_ALIASING,
+    DEVICE_RACE,
+    ORDER_SENSITIVE_COMBINER,
 )

@@ -30,6 +30,13 @@ total pass count, combiner overhead and the speedup over one device —
 plus degraded throughput with one shard of four killed.  The
 ``config`` block records the shard count and thread-pool size the
 snapshot itself ran under (``REPRO_SHARDS`` / ``REPRO_SHARD_THREADS``).
+
+The **sanitizer** section records the concurrency sanitizer's cost
+(``docs/SANITIZER.md``): how many hooks a sharded workload fires, the
+measured per-call cost of a *disarmed* hook (the ``None`` check every
+benchmark pays), the resulting disarmed overhead as a fraction of the
+workload's wall time — budgeted at 2% and asserted by the snapshot
+shape tests — and the armed (recording) wall-clock ratio for context.
 """
 
 from __future__ import annotations
@@ -43,7 +50,7 @@ from .registry import get_scale
 from .runner import run_experiment
 
 #: Snapshot schema version (bump when the layout changes).
-SNAPSHOT_VERSION = 3
+SNAPSHOT_VERSION = 4
 
 #: Figures captured in the snapshot: the selection trio the paper
 #: headlines (predicate, range, median-vs-selectivity).
@@ -339,6 +346,68 @@ def _faulted_shard_throughput() -> dict:
     }
 
 
+def _sanitizer_overhead(records: int) -> dict:
+    """The sanitizer seam's cost, disarmed and armed.
+
+    Disarmed is the number the 2% budget guards: while no recorder is
+    installed every hook in :mod:`repro.sanitize` is one module-global
+    ``None`` check, so the workload's disarmed overhead is estimated as
+    (hooks the armed run fired) x (measured disarmed per-call cost)
+    over the disarmed run's wall time.  The armed ratio (full event
+    recording and clock joins) rides along informationally; like every
+    wall-clock number it never gates.
+    """
+    from .. import sanitize
+    from ..analysis import RaceRecorder, use_sanitizer
+    from ..core import GpuEngine
+    from ..core.predicates import Comparison
+    from ..data import make_tcpip
+    from ..gpu.types import CompareFunc
+
+    relation = make_tcpip(records)
+    predicate = Comparison("data_loss", CompareFunc.GREATER, 100)
+
+    def sweep(engine: GpuEngine) -> float:
+        started = time.perf_counter()
+        for _ in range(_WORKLOAD_ROUNDS):
+            engine.count(predicate)
+            engine.median("data_count")
+            engine.sum("data_count", predicate)
+        return time.perf_counter() - started
+
+    # Two shards so the fork/join and lock hooks fire, not just the
+    # device-buffer notes.
+    off_wall = sweep(GpuEngine(relation, shards=2))
+    recorder = RaceRecorder()
+    with use_sanitizer(recorder):
+        on_wall = sweep(GpuEngine(relation, shards=2))
+    hooks = recorder.num_hooks
+
+    # Unit cost of one disarmed hook, measured directly.
+    probe = object()
+    calls = 200_000
+    note = sanitize.note
+    started = time.perf_counter()
+    for _ in range(calls):
+        note(probe, "field", sanitize.READ)
+    per_call_s = (time.perf_counter() - started) / calls
+
+    off_ratio = (hooks * per_call_s / off_wall) if off_wall else 0.0
+    return {
+        "hooks_fired": hooks,
+        "events": recorder.num_events,
+        "races": len(recorder.races),
+        "disarmed_hook_wall_ns": round(per_call_s * 1e9, 1),
+        "disarmed_overhead_wall_ratio": round(off_ratio, 5),
+        "disarmed_budget_ratio": 0.02,
+        "within_budget": off_ratio < 0.02,
+        "armed_wall_ratio": round(on_wall / off_wall, 2)
+        if off_wall else 0.0,
+        "wall_s_disarmed": round(off_wall, 3),
+        "wall_s_armed": round(on_wall, 3),
+    }
+
+
 def build_snapshot(scale_name: str = "smoke") -> dict:
     """Assemble the full snapshot dictionary (pure data, committed as
     ``BENCH_<n>.json``)."""
@@ -362,6 +431,7 @@ def build_snapshot(scale_name: str = "smoke") -> dict:
             "faulted": _service_throughput(records, faults=True),
         },
         "shard": _shard_scaling(),
+        "sanitizer": _sanitizer_overhead(records),
     }
 
 

@@ -23,6 +23,7 @@ import os
 
 import numpy as np
 
+from ..analysis.race import ensure_installed, sanitizer_requested
 from ..errors import (
     GpuError,
     QueryError,
@@ -331,6 +332,7 @@ class GpuEngine:
         jit: bool | None = None,
         shards: int | None = None,
         context_band: int = 0,
+        sanitize: bool | None = None,
     ):
         """``video_memory`` overrides the default 256 MB pool — pass a
         smaller :class:`~repro.gpu.memory.VideoMemory` to exercise the
@@ -395,6 +397,14 @@ class GpuEngine:
         ``context_band`` offsets this engine's virtual-context cids
         (generation banding); the shard layer uses it to give every
         shard device a disjoint band.  Leave at 0 everywhere else.
+
+        ``sanitize`` turns on the concurrency sanitizer
+        (:mod:`repro.analysis.race`): every buffer/cache/stats access
+        becomes a recorded event and unordered cross-thread access
+        pairs surface as H109 ``device-race`` diagnostics via
+        :func:`repro.analysis.race.race_report`.  ``None`` (default)
+        follows the ``REPRO_SAN`` environment variable; off costs one
+        predicate check per hook.
         """
         if layout not in ("planar", "packed"):
             raise QueryError(
@@ -402,6 +412,8 @@ class GpuEngine:
             )
         self.relation = relation
         self.layout = layout
+        if sanitize or (sanitize is None and sanitizer_requested()):
+            ensure_installed(force=bool(sanitize))
         self.shape = texture_shape_for(relation.num_records)
         if jit is None:
             jit = os.environ.get("REPRO_JIT", "1") != "0"

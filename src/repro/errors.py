@@ -142,6 +142,20 @@ class PlanVerificationError(QueryError):
         self.report = report
 
 
+class DataRaceError(ReproError):
+    """The concurrency sanitizer observed a data race (hazard H109) or
+    an order-sensitive shard combiner (hazard H110).
+
+    Raised by :meth:`repro.analysis.race.RaceReport.raise_if_failed`
+    and :meth:`repro.analysis.race.CombinerReport.raise_if_failed`;
+    carries the offending report as ``report``.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class SqlError(ReproError):
     """Base class for SQL front-end errors."""
 

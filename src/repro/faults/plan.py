@@ -35,6 +35,7 @@ import pathlib
 import random
 from collections import Counter
 
+from .. import sanitize
 from ..errors import (
     DepthPrecisionError,
     DeviceLostError,
@@ -108,6 +109,12 @@ class FaultStats:
     :class:`~repro.faults.resilience.ResilientExecutor` (which records
     retries, fallbacks, and give-ups), so one place tells the whole
     story of a faulted run.
+
+    Recording is thread-safe: the sharded executor's pool workers all
+    record retries and fallbacks into the parent engine's one stats
+    object, so every counter bump happens under a
+    :class:`repro.sanitize.TrackedLock` (a plain ``Counter[x] += 1``
+    is read-modify-write — two unsynchronized bumps can lose one).
     """
 
     def __init__(self):
@@ -127,6 +134,12 @@ class FaultStats:
         #: Queries routed straight to the CPU because the breaker was
         #: open (no GPU attempt was made at all).
         self.breaker_short_circuits = 0
+        self._lock = sanitize.TrackedLock()
+
+    def _bump(self, counter: Counter, key: str) -> None:
+        with self._lock:
+            sanitize.note(self, "counters", sanitize.WRITE)
+            counter[key] += 1
 
     @property
     def total_injected(self) -> int:
@@ -141,23 +154,25 @@ class FaultStats:
         return sum(self.fallbacks.values())
 
     def record_injection(self, kind: FaultKind, site: str) -> None:
-        self.injected[kind.value] += 1
-        self.injected_by_site[site] += 1
+        self._bump(self.injected, kind.value)
+        self._bump(self.injected_by_site, site)
 
     def record_retry(self, op: str) -> None:
-        self.retries[op] += 1
+        self._bump(self.retries, op)
 
     def record_fallback(self, op: str) -> None:
-        self.fallbacks[op] += 1
+        self._bump(self.fallbacks, op)
 
     def record_give_up(self, op: str) -> None:
-        self.gave_up[op] += 1
+        self._bump(self.gave_up, op)
 
     def record_breaker_transition(self, state: str) -> None:
-        self.breaker_transitions[state] += 1
+        self._bump(self.breaker_transitions, state)
 
     def record_breaker_short_circuit(self) -> None:
-        self.breaker_short_circuits += 1
+        with self._lock:
+            sanitize.note(self, "counters", sanitize.WRITE)
+            self.breaker_short_circuits += 1
 
     def as_dict(self) -> dict:
         return {

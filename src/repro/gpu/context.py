@@ -38,6 +38,7 @@ import dataclasses
 
 import numpy as np
 
+from .. import sanitize
 from ..errors import QueryError
 
 #: Width of each context's generation band.  A context would need 2**40
@@ -160,10 +161,19 @@ class ContextScheduler:
             raise QueryError(
                 f"cannot activate released context {context.name!r}"
             )
+        # Checkpoint hand-off: joining the previous switcher's history
+        # here (and publishing ours after the restore, below) is the
+        # happens-before edge the sanitizer sees between sessions that
+        # alternate on one device through the scheduler.
+        if sanitize.enabled():
+            sanitize.acquire(self)
+            sanitize.note(self.device, "stencil", sanitize.WRITE)
+            sanitize.note(self.device, "depth", sanitize.WRITE)
         self._save(self.active)
         self._restore(context)
         previous, self.active = self.active, context
         self.stats.switches += 1
+        sanitize.release(self)
         tracer = self.device.tracer
         if tracer is not None:
             tracer.record_event(

@@ -35,6 +35,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from .. import sanitize
 from ..errors import ProgramExecutionError
 from .assembler import FragmentProgram
 from .interpreter import FragmentBatch, ProgramResult
@@ -148,8 +149,20 @@ class CompiledProgram:
 
 
 #: Program-level compile cache (resource-independent, process-wide).
+#: Shared by every device — shard pool workers compile concurrently —
+#: so all access goes through ``_PROGRAM_LOCK``.
 _PROGRAM_CACHE: dict[tuple[str, bool], CompiledProgram] = {}
 _PROGRAM_CACHE_CAP = 128
+_PROGRAM_LOCK = sanitize.TrackedLock()
+
+
+def program_cached(
+    program: FragmentProgram, need_color: bool
+) -> bool:
+    """True when ``compile_program`` would hit the process-wide cache."""
+    with _PROGRAM_LOCK:
+        sanitize.note(_PROGRAM_CACHE, "entries", sanitize.READ)
+        return (program.source, need_color) in _PROGRAM_CACHE
 
 
 def compile_program(
@@ -157,12 +170,15 @@ def compile_program(
 ) -> CompiledProgram:
     """Compile (or fetch the cached compilation of) one program."""
     key = (program.source, need_color)
-    compiled = _PROGRAM_CACHE.get(key)
-    if compiled is None:
-        if len(_PROGRAM_CACHE) >= _PROGRAM_CACHE_CAP:
-            _PROGRAM_CACHE.clear()
-        compiled = CompiledProgram(program, need_color)
-        _PROGRAM_CACHE[key] = compiled
+    with _PROGRAM_LOCK:
+        sanitize.note(_PROGRAM_CACHE, "entries", sanitize.READ)
+        compiled = _PROGRAM_CACHE.get(key)
+        if compiled is None:
+            sanitize.note(_PROGRAM_CACHE, "entries", sanitize.WRITE)
+            if len(_PROGRAM_CACHE) >= _PROGRAM_CACHE_CAP:
+                _PROGRAM_CACHE.clear()
+            compiled = CompiledProgram(program, need_color)
+            _PROGRAM_CACHE[key] = compiled
     return compiled
 
 
@@ -624,7 +640,7 @@ class KernelCache:
         textures: dict[int, Texture],
         parameters: np.ndarray,
     ) -> BoundKernel:
-        if (program.source, need_color) not in _PROGRAM_CACHE:
+        if not program_cached(program, need_color):
             self.program_compiles += 1
         key = self.key_for(program, need_color, textures, parameters)
         kernel = self._kernels.get(key)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 
+from .. import sanitize
 from ..errors import OcclusionQueryError
 from ..faults import SITE_OCCLUSION, maybe_inject
 
@@ -82,6 +83,7 @@ class OcclusionQuery:
             raise OcclusionQueryError(
                 "query result requested before end_query()"
             )
+        sanitize.note(self._device, "query", sanitize.READ)
         maybe_inject(SITE_OCCLUSION, tracer=self._device.tracer)
         if not self._retrieved:
             self._retrieved = True

@@ -28,6 +28,7 @@ import time
 
 import numpy as np
 
+from .. import sanitize
 from ..errors import GpuError, OcclusionQueryError, RenderStateError
 from ..faults import SITE_PASS, SITE_READBACK, check_deadline, maybe_inject
 from .assembler import FragmentProgram
@@ -131,17 +132,23 @@ class Device:
     # -- framebuffer operations ----------------------------------------------
 
     def clear(self, color=(0, 0, 0, 0), depth: float = 1.0, stencil: int = 0):
+        if sanitize.enabled():
+            sanitize.note(self, "stencil", sanitize.WRITE)
+            sanitize.note(self, "depth", sanitize.WRITE)
+            sanitize.note(self, "color", sanitize.WRITE)
         self.framebuffer.clear(color=color, depth=depth, stencil=stencil)
         self.stencil_generation += 1
         self.depth_generation += 1
         self.stats.clears += 1
 
     def clear_stencil(self, value: int) -> None:
+        sanitize.note(self, "stencil", sanitize.WRITE)
         self.framebuffer.stencil.clear(value)
         self.stencil_generation += 1
         self.stats.clears += 1
 
     def clear_depth(self, depth: float = 1.0) -> None:
+        sanitize.note(self, "depth", sanitize.WRITE)
         self.framebuffer.depth.clear(depth)
         self.depth_generation += 1
         self.stats.clears += 1
@@ -149,16 +156,19 @@ class Device:
     # -- readbacks (bus traffic back to the CPU) -------------------------------
 
     def read_stencil(self) -> np.ndarray:
+        sanitize.note(self, "stencil", sanitize.READ)
         check_deadline(SITE_READBACK, tracer=self.tracer)
         maybe_inject(SITE_READBACK, tracer=self.tracer)
         self.stats.bytes_read_back += self.framebuffer.stencil.values.nbytes
         return self.framebuffer.stencil.values.copy()
 
     def read_depth(self) -> np.ndarray:
+        sanitize.note(self, "depth", sanitize.READ)
         self.stats.bytes_read_back += self.framebuffer.depth.codes.nbytes
         return self.framebuffer.depth.as_depths()
 
     def read_color(self) -> np.ndarray:
+        sanitize.note(self, "color", sanitize.READ)
         self.stats.bytes_read_back += self.framebuffer.color.data.nbytes
         return self.framebuffer.color.data.copy()
 
@@ -172,6 +182,7 @@ class Device:
         to a window costs bandwidth proportional to the batch, not the
         window (paper section 7's continuous-query direction).
         """
+        sanitize.note(texture, "texels", sanitize.WRITE)
         uploaded = self.memory.ensure_resident(texture)
         self.stats.bytes_uploaded += uploaded
         self.stats.bytes_uploaded += texture.write_texels(start, values)
@@ -190,6 +201,9 @@ class Device:
                 f"texture {texture.shape} does not match the framebuffer "
                 f"{(fb.height, fb.width)} for a color copy"
             )
+        if sanitize.enabled():
+            sanitize.note(self, "color", sanitize.READ)
+            sanitize.note(texture, "texels", sanitize.WRITE)
         channels = texture.channels
         texture.data[:] = fb.color.data[:, :channels].reshape(
             fb.height, fb.width, channels
@@ -213,6 +227,7 @@ class Device:
     # -- occlusion queries -----------------------------------------------------
 
     def begin_query(self) -> OcclusionQuery:
+        sanitize.note(self, "query", sanitize.WRITE)
         if self._active_query is not None and self._active_query.active:
             raise OcclusionQueryError(
                 "an occlusion query is already active (queries do not nest)"
@@ -222,6 +237,7 @@ class Device:
         return query
 
     def end_query(self) -> OcclusionQuery:
+        sanitize.note(self, "query", sanitize.WRITE)
         if self._active_query is None or not self._active_query.active:
             raise OcclusionQueryError("end_query() without an active query")
         query = self._active_query
@@ -234,6 +250,7 @@ class Device:
         The recovery path after a mid-pass fault: the host gives up on
         the interrupted query so the retried operation can begin a
         fresh one (a lost query's count is meaningless anyway)."""
+        sanitize.note(self, "query", sanitize.WRITE)
         if self._active_query is not None and self._active_query.active:
             self._active_query._end()
         self._active_query = None
@@ -274,6 +291,8 @@ class Device:
             rects = [full_screen(fb.height, fb.width)]
         # The (up to two) rects covering a record range are drawn in one
         # pass: same state, back-to-back draw calls, one pipeline drain.
+        if sanitize.enabled():
+            self._note_pass_accesses()
         stats = PassStats(index=self._pass_counter, fragments=0)
         self._pass_counter += 1
         stats.query_active = (
@@ -318,6 +337,32 @@ class Device:
             )
         count = bound.count if cover_valid_only else bound.num_texels
         self.render_quad(depth, color=color, count=count)
+
+    def _note_pass_accesses(self) -> None:
+        """Report this pass's buffer traffic to the armed sanitizer.
+
+        One note per buffer per *pass* (not per fragment): the event
+        granularity a race needs — two unsynchronized passes, or a
+        pass against a concurrent readback, collide on the buffer
+        regardless of which fragments touched it.  Only reached when
+        :func:`repro.sanitize.enabled` is true.
+        """
+        state = self.state
+        if state.stencil.enabled:
+            # The test reads; sfail/zfail/zpass ops may write.
+            sanitize.note(self, "stencil", sanitize.WRITE)
+        if state.depth.enabled or state.depth_bounds.enabled:
+            kind = (
+                sanitize.WRITE
+                if state.depth.enabled and state.depth.write
+                else sanitize.READ
+            )
+            sanitize.note(self, "depth", kind)
+        if any(state.color_mask):
+            sanitize.note(self, "color", sanitize.WRITE)
+        if self._active_query is not None and self._active_query.active:
+            sanitize.note(self, "query", sanitize.WRITE)
+        sanitize.note(self, "stats", sanitize.WRITE)
 
     # -- the per-fragment pipeline ------------------------------------------------
 

@@ -1,0 +1,190 @@
+"""The concurrency-sanitizer hook shim: zero cost until armed.
+
+The dynamic race sanitizer (:mod:`repro.analysis.race`) needs to see
+every shared-state access the substrate performs — stencil/depth buffer
+mutations, texture uploads, occlusion-query traffic, plan-cache
+lookups, tracer emission, fault/service counters — plus the
+synchronization events that order them (thread-pool submit/join, lock
+acquire/release, context checkpoint/restore).  Those call sites live in
+:mod:`repro.gpu`, :mod:`repro.trace`, :mod:`repro.shard` and
+:mod:`repro.service`, layers that must not import the analysis package
+(and must not pay for instrumentation nobody asked for).
+
+This module is the seam between them: a process-wide *recorder slot*
+plus free functions the substrate calls unconditionally.  While no
+recorder is installed (the default, and the only mode benchmarks run
+in) every hook is a single ``None`` check — no allocation, no locking,
+no branching beyond the guard.  :func:`repro.analysis.race.use_sanitizer`
+installs a :class:`~repro.analysis.events.RaceRecorder` here, at which
+point the same calls become typed access/synchronization events.
+
+The recorder protocol (duck-typed; see
+:class:`repro.analysis.events.RaceRecorder` for the real thing):
+
+``note(obj_id, label, field, kind)``
+    one shared-state access (``kind`` is ``"read"`` or ``"write"``);
+``acquire(token)`` / ``release(token)``
+    lock-shaped happens-before edges (release publishes, a later
+    acquire of the same token joins);
+``fork() -> token`` / ``task_begin(token)`` / ``task_end(token)`` /
+``task_join(token)``
+    thread-pool submit/join edges;
+``sync(token)``
+    a combined acquire+release on ``token`` (checkpoint hand-offs).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+#: Access kinds (plain strings so hook call sites stay allocation-free).
+READ = "read"
+WRITE = "write"
+
+#: The installed recorder, or ``None`` (the zero-cost default).
+_recorder: Any = None
+
+
+def install(recorder: Any) -> Any:
+    """Install ``recorder`` process-wide; returns the previous one."""
+    global _recorder
+    previous = _recorder
+    _recorder = recorder
+    return previous
+
+
+def uninstall(previous: Any = None) -> None:
+    """Remove the installed recorder (restoring ``previous``)."""
+    global _recorder
+    _recorder = previous
+
+
+def active() -> Any:
+    """The installed recorder, or ``None`` when the sanitizer is off."""
+    return _recorder
+
+
+def enabled() -> bool:
+    return _recorder is not None
+
+
+# -- access hooks -----------------------------------------------------------
+
+
+def note(obj: Any, field: str, kind: str) -> None:
+    """Record one access to ``obj.field`` (``kind`` = READ/WRITE).
+
+    Identity is ``id(obj)``; call sites must only pass objects that
+    live at least as long as the operation being sanitized (devices,
+    tracers, caches, stats — never per-pass temporaries), so ids cannot
+    be recycled mid-window.
+    """
+    recorder = _recorder
+    if recorder is not None:
+        recorder.note(
+            id(obj), type(obj).__name__, field, kind
+        )
+
+
+# -- synchronization hooks --------------------------------------------------
+
+
+def acquire(token: Any) -> None:
+    """A lock-acquire edge on ``token`` (joins the last release)."""
+    recorder = _recorder
+    if recorder is not None:
+        recorder.acquire(id(token))
+
+
+def release(token: Any) -> None:
+    """A lock-release edge on ``token`` (publishes this thread)."""
+    recorder = _recorder
+    if recorder is not None:
+        recorder.release(id(token))
+
+
+def sync(token: Any) -> None:
+    """A combined acquire+release on ``token`` — the checkpoint/restore
+    hand-off shape (whoever switches next inherits the switcher's
+    history)."""
+    recorder = _recorder
+    if recorder is not None:
+        recorder.sync(id(token))
+
+
+def fork() -> Any:
+    """Called in the submitting thread, immediately before handing a
+    task to a pool.  Returns an opaque token to thread through
+    :func:`task_begin` / :func:`task_end` / :func:`task_join` (or
+    ``None`` while the sanitizer is off)."""
+    recorder = _recorder
+    if recorder is not None:
+        return recorder.fork()
+    return None
+
+
+def task_begin(token: Any) -> None:
+    """Called first thing inside the pooled task."""
+    recorder = _recorder
+    if recorder is not None and token is not None:
+        recorder.task_begin(token)
+
+
+def task_end(token: Any) -> None:
+    """Called last thing inside the pooled task (a ``finally``)."""
+    recorder = _recorder
+    if recorder is not None and token is not None:
+        recorder.task_end(token)
+
+
+def task_join(token: Any) -> None:
+    """Called in the joining thread after ``future.result()``."""
+    recorder = _recorder
+    if recorder is not None and token is not None:
+        recorder.task_join(token)
+
+
+# -- a lock whose edges the sanitizer sees ----------------------------------
+
+# Method-scope aliases: inside TrackedLock the method names shadow the
+# module-level hook functions.
+_note_acquire = acquire
+_note_release = release
+
+
+class TrackedLock:
+    """A mutex that reports its acquire/release edges to the sanitizer.
+
+    Drop-in for :class:`threading.Lock` in the ``with``-statement shape
+    (and duck-compatible enough for :class:`threading.Condition`).  The
+    happens-before notes bracket the critical section from the inside:
+    ``acquire`` is noted after the real acquire succeeds, ``release``
+    immediately before the real release, so every access between them
+    is ordered by the edge.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            _note_acquire(self)
+        return got
+
+    def release(self) -> None:
+        _note_release(self)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()

@@ -14,7 +14,9 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import threading
+from typing import Any
 
+from .. import sanitize
 from ..errors import (
     AdmissionRejectedError,
     GpuError,
@@ -32,7 +34,15 @@ _WAIT_SLICE_S = 0.05
 
 @dataclasses.dataclass
 class ServiceStats:
-    """Service-level counters (breaker counters live in FaultStats)."""
+    """Service-level counters (breaker counters live in FaultStats).
+
+    Bumped from every client thread — admission under the service
+    condition, completion/timeout/failure bookkeeping outside it — so
+    every mutation goes through :meth:`bump` /
+    :meth:`note_in_flight`, which hold the stats' own
+    :class:`repro.sanitize.TrackedLock` (``+= 1`` on a shared int is a
+    read-modify-write race without it).
+    """
 
     admitted: int = 0
     rejected: int = 0
@@ -44,6 +54,22 @@ class ServiceStats:
     degraded: int = 0
     #: High-water mark of queries in flight (executing + waiting).
     max_in_flight: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = sanitize.TrackedLock()
+
+    def bump(self, field: str, amount: int = 1) -> None:
+        """Atomically add ``amount`` to one counter field."""
+        with self._lock:
+            sanitize.note(self, "counters", sanitize.WRITE)
+            setattr(self, field, getattr(self, field) + amount)
+
+    def note_in_flight(self, in_flight: int) -> None:
+        """Raise the in-flight high-water mark to ``in_flight``."""
+        with self._lock:
+            sanitize.note(self, "counters", sanitize.WRITE)
+            if in_flight > self.max_in_flight:
+                self.max_in_flight = in_flight
 
 
 @dataclasses.dataclass
@@ -66,19 +92,19 @@ class ServiceResult:
     # -- passthroughs to the wrapped QueryResult --
 
     @property
-    def rows(self):
+    def rows(self) -> Any:
         return self.result.rows
 
     @property
-    def columns(self):
+    def columns(self) -> Any:
         return self.result.columns
 
     @property
-    def scalar(self):
+    def scalar(self) -> Any:
         return self.result.scalar
 
     @property
-    def device(self):
+    def device(self) -> Any:
         """The device that actually produced the rows."""
         return self.result.device
 
@@ -96,7 +122,7 @@ class ServiceResult:
         return self.result.pass_count
 
     @property
-    def stats(self):
+    def stats(self) -> Any:
         """Merged pipeline statistics of the wrapped query."""
         return self.result.stats
 
@@ -106,14 +132,14 @@ class QueryService:
 
     def __init__(
         self,
-        db,
+        db: Any,
         *,
         max_in_flight: int = 8,
         default_deadline_s: float | None = None,
         breaker: CircuitBreaker | None = None,
-        clock=None,
-        tracer=None,
-    ):
+        clock: Any = None,
+        tracer: Any = None,
+    ) -> None:
         """``max_in_flight`` bounds executing + waiting queries; query
         number ``max_in_flight + 1`` is rejected with
         :class:`~repro.errors.AdmissionRejectedError`.
@@ -149,7 +175,9 @@ class QueryService:
                 tracer_source=lambda: self.tracer,
             )
         self.breaker = breaker
-        self._cond = threading.Condition()
+        # The condition's mutex is a TrackedLock so the sanitizer sees
+        # the running-slot hand-off edges between client threads.
+        self._cond = threading.Condition(sanitize.TrackedLock())
         #: Min-heap of ``(-priority, seq)`` — higher priority first,
         #: FIFO (by admission sequence) within a priority.
         self._waiting: list[tuple[int, int]] = []
@@ -219,7 +247,7 @@ class QueryService:
     def _admit(self, session: Session) -> tuple[int, int]:
         with self._cond:
             if self._in_flight >= self.max_in_flight:
-                self.stats.rejected += 1
+                self.stats.bump("rejected")
                 self._event(
                     "admission-reject",
                     session=session.name,
@@ -234,10 +262,8 @@ class QueryService:
             entry = (-session.priority, self._seq)
             heapq.heappush(self._waiting, entry)
             self._in_flight += 1
-            self.stats.admitted += 1
-            self.stats.max_in_flight = max(
-                self.stats.max_in_flight, self._in_flight
-            )
+            self.stats.bump("admitted")
+            self.stats.note_in_flight(self._in_flight)
             self._event(
                 "admitted",
                 session=session.name,
@@ -254,7 +280,7 @@ class QueryService:
         with self._cond:
             while self._running or self._waiting[0] != entry:
                 if deadline is not None and deadline.expired:
-                    self.stats.timeouts += 1
+                    self.stats.bump("timeouts")
                     deadline.check("service.queue", tracer=self.tracer)
                 timeout = _WAIT_SLICE_S
                 if deadline is not None:
@@ -299,13 +325,13 @@ class QueryService:
             else:
                 result = self.db.query(sql, device=device, trace=trace)
         except QueryTimeoutError:
-            self.stats.timeouts += 1
+            self.stats.bump("timeouts")
             self._event(
                 "query-timeout", session=session.name, sql=sql
             )
             raise
         except QueryError as error:
-            self.stats.failed += 1
+            self.stats.bump("failed")
             if gpu_possible and isinstance(error.__cause__, GpuError):
                 # Forced-GPU (or executor-less) query that died on a
                 # persistent device fault: breaker-relevant.
@@ -319,8 +345,8 @@ class QueryService:
             elif result.device is DeviceChoice.GPU:
                 self.breaker.record_success()
         if degraded:
-            self.stats.degraded += 1
-        self.stats.completed += 1
+            self.stats.bump("degraded")
+        self.stats.bump("completed")
         self._event(
             "query-done",
             session=session.name,
@@ -350,6 +376,6 @@ class QueryService:
             engine = self.db.gpu_engine(table)
             engine.activate_context(session.context_for(engine))
 
-    def _event(self, name: str, **attrs) -> None:
+    def _event(self, name: str, **attrs: Any) -> None:
         if self.tracer is not None:
             self.tracer.record_event(name, category="service", **attrs)

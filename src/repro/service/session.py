@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..errors import QueryError
 from ..sql.planner import DeviceChoice
 
@@ -20,7 +22,9 @@ class Session:
     per session (concurrency comes from many sessions).
     """
 
-    def __init__(self, service, name: str, priority: int = 0):
+    def __init__(
+        self, service: Any, name: str, priority: int = 0
+    ) -> None:
         self.service = service
         self.name = name
         #: Queue priority: higher values drain first, FIFO within a
@@ -37,7 +41,7 @@ class Session:
         device: DeviceChoice = DeviceChoice.AUTO,
         deadline_s: float | None = None,
         trace: bool = False,
-    ):
+    ) -> Any:
         """Run ``sql`` through the service (admission, queueing,
         deadline, breaker); returns a
         :class:`~repro.service.ServiceResult`."""
@@ -47,7 +51,7 @@ class Session:
             self, sql, device=device, deadline_s=deadline_s, trace=trace
         )
 
-    def context_for(self, engine):
+    def context_for(self, engine: Any) -> Any:
         """This session's virtual context on ``engine`` (created on
         first touch)."""
         key = id(engine)
@@ -72,7 +76,7 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

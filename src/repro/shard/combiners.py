@@ -1,0 +1,196 @@
+"""The typed shard-combiner table: every host-side merge, declared.
+
+:class:`ShardedExecutor` merges per-shard partial results with the
+binary :meth:`CombinerSpec.combine` declared here (via :func:`fold`),
+so the table *is* the code path — not documentation that can drift.
+That makes hazard H110 (:func:`repro.analysis.race.verify_combiners`)
+meaningful: a spec with ``ordered=False`` may in principle be folded
+in pool-completion order, so the checker proves it commutative and
+associative on the spec's ``samples``; a spec with ``ordered=True``
+(concatenations, whose result deliberately follows shard order) is
+exempt because :meth:`~repro.shard.sharded.ShardedDevice.map` joins
+futures in shard order, making the fold order deterministic by
+construction.
+
+``samples`` are representative per-shard partial values (at least
+three, four for the permutation sweep) in the exact shape the
+executor folds: ints for counts, ``(sum, count)`` pairs for AVG,
+per-predicate count lists for selectivities, bucket-count arrays for
+histograms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+
+def _elementwise_sum(
+    left: typing.Sequence[int], right: typing.Sequence[int]
+) -> list[int]:
+    return [int(a) + int(b) for a, b in zip(left, right)]
+
+
+def _bucket_sum(left: typing.Any, right: typing.Any) -> np.ndarray:
+    return np.asarray(left, dtype=np.int64) + np.asarray(
+        right, dtype=np.int64
+    )
+
+
+def _pair_sum(
+    left: tuple[int, int], right: tuple[int, int]
+) -> tuple[int, int]:
+    return (left[0] + right[0], left[1] + right[1])
+
+
+def _concat(left: typing.Any, right: typing.Any) -> list:
+    return list(left) + list(right)
+
+
+@dataclasses.dataclass(frozen=True)
+class CombinerSpec:
+    """One host-side merge: how two shards' partials become one."""
+
+    #: The schedule op this combiner merges (``COMBINERS`` key).
+    op: str
+    #: One-line description (rendered by ``Database.explain`` and
+    #: carried on every fan-out result).
+    description: str
+    #: True when the fold deliberately depends on shard order
+    #: (concatenations); such specs are exempt from the H110
+    #: commutativity/associativity check but *must* be folded in shard
+    #: order — which ``ShardedDevice.map`` guarantees.
+    ordered: bool
+    #: Representative per-shard partials for the symbolic check.
+    samples: tuple[typing.Any, ...]
+    combine_fn: typing.Callable[[typing.Any, typing.Any], typing.Any]
+
+    def combine(self, left: typing.Any, right: typing.Any) -> typing.Any:
+        return self.combine_fn(left, right)
+
+    def fold(self, values: typing.Sequence[typing.Any]) -> typing.Any:
+        """Left fold of ``combine`` over per-shard values (shard
+        order — the order :meth:`ShardedDevice.map` returns)."""
+        if not values:
+            raise ValueError(f"combiner {self.op!r} folded no values")
+        accumulator = values[0]
+        for value in values[1:]:
+            accumulator = self.combine_fn(accumulator, value)
+        return accumulator
+
+
+_SEARCH_DESCRIPTION = (
+    "distributed bit search: sum per-shard occlusion counts per round"
+)
+
+#: Every combiner the sharded executor can apply, in op order.
+COMBINER_SPECS: tuple[CombinerSpec, ...] = (
+    CombinerSpec(
+        op="select",
+        description=(
+            "concatenate per-shard record ids (+ shard start offset)"
+        ),
+        ordered=True,
+        samples=([0, 3], [1], [2, 5]),
+        combine_fn=_concat,
+    ),
+    CombinerSpec(
+        op="count",
+        description="sum per-shard counts",
+        ordered=False,
+        samples=(0, 1, 5, 7),
+        combine_fn=lambda a, b: int(a) + int(b),
+    ),
+    CombinerSpec(
+        op="sum",
+        description="sum per-shard partial sums",
+        ordered=False,
+        samples=(0, -3, 5.5, 7),
+        combine_fn=lambda a, b: a + b,
+    ),
+    CombinerSpec(
+        op="average",
+        description="weighted merge of per-shard (sum, count) pairs",
+        ordered=False,
+        samples=((0, 0), (10, 2), (7, 1), (3, 3)),
+        combine_fn=_pair_sum,
+    ),
+    CombinerSpec(
+        op="selectivities",
+        description="element-wise sum of per-shard counts",
+        ordered=False,
+        samples=([0, 1], [2, 3], [5, 0], [1, 1]),
+        combine_fn=_elementwise_sum,
+    ),
+    CombinerSpec(
+        op="histogram",
+        description="element-wise sum of per-shard bucket counts",
+        ordered=False,
+        samples=((0, 1, 2), (3, 0, 1), (2, 2, 2), (1, 0, 0)),
+        combine_fn=_bucket_sum,
+    ),
+    CombinerSpec(
+        op="kth_largest",
+        description=_SEARCH_DESCRIPTION,
+        ordered=False,
+        samples=(0, 1, 5, 7),
+        combine_fn=lambda a, b: int(a) + int(b),
+    ),
+    CombinerSpec(
+        op="kth_smallest",
+        description=_SEARCH_DESCRIPTION,
+        ordered=False,
+        samples=(0, 1, 5, 7),
+        combine_fn=lambda a, b: int(a) + int(b),
+    ),
+    CombinerSpec(
+        op="median",
+        description=_SEARCH_DESCRIPTION,
+        ordered=False,
+        samples=(0, 1, 5, 7),
+        combine_fn=lambda a, b: int(a) + int(b),
+    ),
+    CombinerSpec(
+        op="quantiles",
+        description=_SEARCH_DESCRIPTION,
+        ordered=False,
+        samples=(0, 1, 5, 7),
+        combine_fn=lambda a, b: int(a) + int(b),
+    ),
+    CombinerSpec(
+        op="minimum",
+        description="min over per-shard minima",
+        ordered=False,
+        samples=(5, 1, 9, 3),
+        combine_fn=min,
+    ),
+    CombinerSpec(
+        op="maximum",
+        description="max over per-shard maxima",
+        ordered=False,
+        samples=(5, 1, 9, 3),
+        combine_fn=max,
+    ),
+    CombinerSpec(
+        op="top_k",
+        description=(
+            "distributed threshold search + concatenated per-shard "
+            "marks"
+        ),
+        ordered=True,
+        samples=([0, 3], [1], [2, 5]),
+        combine_fn=_concat,
+    ),
+)
+
+#: op -> spec, for the executor's fold sites.
+SPEC_BY_OP: dict[str, CombinerSpec] = {
+    spec.op: spec for spec in COMBINER_SPECS
+}
+
+
+def fold(op: str, values: typing.Sequence[typing.Any]) -> typing.Any:
+    """Fold per-shard partials with the declared combiner for ``op``."""
+    return SPEC_BY_OP[op].fold(values)

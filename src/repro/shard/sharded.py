@@ -43,9 +43,11 @@ from __future__ import annotations
 
 import dataclasses
 from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
 
 import numpy as np
 
+from .. import sanitize
 from ..core import aggregates
 from ..core.aggregates import _configure_valid_stencil
 from ..core.compare import compare_pass, copy_to_depth
@@ -64,11 +66,18 @@ from ..errors import (
 from ..faults.deadline import current_deadline, use_deadline
 from ..gpu.counters import PipelineStats
 from ..gpu.types import CompareFunc, StencilOp
+from .combiners import COMBINER_SPECS, fold
 from .partition import pool_threads, shard_bounds, slice_relation
 from .results import (
     COMBINE_MS_PER_SHARD,
     ShardedOpResult,
     ShardedSelection,
+)
+
+#: The distributed bit-search ops: their declared combiner is the
+#: per-round occlusion-count sum applied in :meth:`_count_round`.
+_SEARCH_OPS = frozenset(
+    {"kth_largest", "kth_smallest", "median", "quantiles"}
 )
 
 #: Context-id stride between shard generation bands.  Shard *i* owns
@@ -79,35 +88,11 @@ SHARD_CID_STRIDE = 1 << 20
 
 #: One-line combiner description per schedule op (rendered by
 #: ``Database.explain`` and carried on every fan-out result).
-COMBINERS = {
-    "select": "concatenate per-shard record ids (+ shard start offset)",
-    "count": "sum per-shard counts",
-    "sum": "sum per-shard partial sums",
-    "average": "weighted merge of per-shard (sum, count) pairs",
-    "selectivities": "element-wise sum of per-shard counts",
-    "histogram": "element-wise sum of per-shard bucket counts",
-    "kth_largest": (
-        "distributed bit search: sum per-shard occlusion counts "
-        "per round"
-    ),
-    "kth_smallest": (
-        "distributed bit search: sum per-shard occlusion counts "
-        "per round"
-    ),
-    "minimum": "min over per-shard minima",
-    "maximum": "max over per-shard maxima",
-    "median": (
-        "distributed bit search: sum per-shard occlusion counts "
-        "per round"
-    ),
-    "quantiles": (
-        "distributed bit search: sum per-shard occlusion counts "
-        "per round"
-    ),
-    "top_k": (
-        "distributed threshold search + concatenated per-shard marks"
-    ),
-}
+#: Derived from the typed combiner table (:mod:`repro.shard.combiners`)
+#: so the rendered description can never drift from the fold the
+#: executor actually applies — and so hazard H110 checks the real
+#: merge, not a doc string.
+COMBINERS = {spec.op: spec.description for spec in COMBINER_SPECS}
 
 
 @dataclasses.dataclass
@@ -137,7 +122,7 @@ class ShardedDevice:
     context-propagation map that keep them in lockstep with the parent
     engine."""
 
-    def __init__(self, engine, shards: int):
+    def __init__(self, engine: Any, shards: int) -> None:
         from ..core.engine import GpuEngine
 
         self.parent = engine
@@ -183,7 +168,7 @@ class ShardedDevice:
         :func:`~repro.shard.partition.pool_threads`)."""
         return pool_threads(len(self.shards))
 
-    def bands(self):
+    def bands(self) -> list:
         """The generation-band descriptors the H108 verifier checks
         (host band 0 plus one band per shard)."""
         from ..analysis.sharding import ShardBand
@@ -219,7 +204,7 @@ class ShardedDevice:
 
     # -- the pool -----------------------------------------------------------
 
-    def map(self, fn) -> list:
+    def map(self, fn: Callable[[Shard], Any]) -> list:
         """Run ``fn(shard)`` for every shard concurrently; results come
         back in shard order.
 
@@ -230,23 +215,34 @@ class ShardedDevice:
         """
         deadline = current_deadline()
 
-        def worker(shard: Shard):
-            if deadline is None:
-                return fn(shard)
-            with use_deadline(deadline):
-                return fn(shard)
+        def worker(shard: Shard, token: Any) -> Any:
+            # Submit→begin and end→join are the pool's happens-before
+            # edges: everything the submitter did is visible to the
+            # worker, everything the worker did is visible after the
+            # host joins its future.
+            sanitize.task_begin(token)
+            try:
+                if deadline is None:
+                    return fn(shard)
+                with use_deadline(deadline):
+                    return fn(shard)
+            finally:
+                sanitize.task_end(token)
 
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.threads,
                 thread_name_prefix="repro-shard",
             )
-        futures = [
-            self._pool.submit(worker, shard) for shard in self.shards
-        ]
+        futures = []
+        for shard in self.shards:
+            token = sanitize.fork()
+            futures.append(
+                (self._pool.submit(worker, shard, token), token)
+            )
         results: list = []
         error: BaseException | None = None
-        for future in futures:
+        for future, token in futures:
             try:
                 results.append(future.result())
             # Every future is joined before the first error (in shard
@@ -256,13 +252,16 @@ class ShardedDevice:
                 results.append(None)
                 if error is None:
                     error = exc
+            # The worker ran (successfully or not) — either way its
+            # writes are ordered before everything after this join.
+            sanitize.task_join(token)
         if error is not None:
             raise error
         return results
 
     # -- context propagation ------------------------------------------------
 
-    def create_context(self, parent_context) -> None:
+    def create_context(self, parent_context: Any) -> None:
         """Mirror a parent-engine context onto every shard (called by
         ``GpuEngine.create_context``)."""
         self._contexts[parent_context.cid] = [
@@ -272,7 +271,7 @@ class ShardedDevice:
             for shard in self.shards
         ]
 
-    def _mirrors(self, parent_context) -> list:
+    def _mirrors(self, parent_context: Any) -> list:
         if (
             parent_context is None
             or parent_context is self.parent.contexts.default
@@ -286,13 +285,13 @@ class ShardedDevice:
                 "through this sharded engine"
             ) from None
 
-    def activate_context(self, parent_context) -> None:
+    def activate_context(self, parent_context: Any) -> None:
         for shard, mirror in zip(
             self.shards, self._mirrors(parent_context)
         ):
             shard.engine.activate_context(mirror)
 
-    def release_context(self, parent_context) -> None:
+    def release_context(self, parent_context: Any) -> None:
         for shard, mirror in zip(
             self.shards, self._mirrors(parent_context)
         ):
@@ -344,16 +343,19 @@ class ShardedExecutor:
         "top_k": "_run_top_k",
     }
 
-    def __init__(self, engine):
+    def __init__(self, engine: Any) -> None:
         self.engine = engine
         self.pool: ShardedDevice = engine.sharded
         #: shard index -> error string, for shards that fell back to
-        #: the CPU during *this* operation.
+        #: the CPU during *this* operation.  Written by pool workers
+        #: (concurrently) and read both by workers and, post-join, by
+        #: the host — hence the lock.
         self._degraded: dict[int, str] = {}
+        self._degraded_lock = sanitize.TrackedLock()
 
     # -- entry point --------------------------------------------------------
 
-    def execute(self, schedule, *, jit: bool | None = None):
+    def execute(self, schedule: Any, *, jit: bool | None = None) -> Any:
         name = self._DRIVERS.get(schedule.op)
         if name is None:
             raise QueryError(
@@ -378,7 +380,7 @@ class ShardedExecutor:
             for shard, old in zip(self.pool.shards, saved):
                 shard.engine.device.jit = old
 
-    def _dispatch(self, schedule):
+    def _dispatch(self, schedule: Any) -> Any:
         # One stats window per shard per operation, opened host-side so
         # a shard that degrades before its first pass reports zero work
         # instead of a stale window.
@@ -399,6 +401,7 @@ class ShardedExecutor:
             tracer.end(span)
             raise
         model = self.engine.cost_model
+        degraded = self._degraded_snapshot()
         for index, part in enumerate(result.shard_results):
             tracer.record_event(
                 "shard",
@@ -413,7 +416,7 @@ class ShardedExecutor:
                 "shard-degraded",
                 category="shard",
                 shard=f"shard-{index}",
-                error=self._degraded.get(index, ""),
+                error=degraded.get(index, ""),
             )
         tracer.record_event(
             "shard-combine",
@@ -426,7 +429,9 @@ class ShardedExecutor:
 
     # -- degradation --------------------------------------------------------
 
-    def _shard_call(self, shard: Shard, gpu_fn, cpu_fn):
+    def _shard_call(
+        self, shard: Shard, gpu_fn: Callable, cpu_fn: Callable
+    ) -> Any:
         """Run a shard task on its GPU, degrading that shard — and only
         that shard — to ``cpu_fn`` when the GPU path fails for good.
 
@@ -435,7 +440,7 @@ class ShardedExecutor:
         :class:`QueryTimeoutError` always propagates: deadlines cancel
         the whole query, they do not degrade it.
         """
-        if shard.index in self._degraded:
+        if self._is_degraded(shard):
             return cpu_fn(shard)
         if shard.forced_dead:
             self._degrade(
@@ -448,21 +453,35 @@ class ShardedExecutor:
             self._degrade(shard, error)
             return cpu_fn(shard)
 
+    def _is_degraded(self, shard: Shard) -> bool:
+        with self._degraded_lock:
+            sanitize.note(self, "_degraded", sanitize.READ)
+            return shard.index in self._degraded
+
+    def _degraded_snapshot(self) -> dict[int, str]:
+        with self._degraded_lock:
+            sanitize.note(self, "_degraded", sanitize.READ)
+            return dict(self._degraded)
+
     def _degrade(self, shard: Shard, error: Exception) -> None:
-        self._degraded[shard.index] = (
-            f"{type(error).__name__}: {error}"
-        )
+        with self._degraded_lock:
+            sanitize.note(self, "_degraded", sanitize.WRITE)
+            self._degraded[shard.index] = (
+                f"{type(error).__name__}: {error}"
+            )
         executor = self.engine.executor
         if executor is not None:
             executor.stats.record_fallback(shard.name)
 
-    def _resilient(self, shard: Shard, fn, op: str):
+    def _resilient(
+        self, shard: Shard, fn: Callable, op: str
+    ) -> Any:
         """The shard-task twin of ``GpuEngine._resilient``: per-attempt
         abort of dangling occlusion queries, plan invalidation on
         faults, resilient-executor retries when one is attached."""
         engine = shard.engine
 
-        def attempt():
+        def attempt() -> Any:
             engine.device.abort_query()
             try:
                 return fn()
@@ -481,12 +500,12 @@ class ShardedExecutor:
             attempt, op=f"{shard.name}:{op}", tracer=None
         )
 
-    def _guarded(self, state: _ShardState, body):
+    def _guarded(self, state: _ShardState, body: Callable) -> Any:
         """Run ``body()`` against prepared GPU state, re-running
         :meth:`_prepare_search` first whenever a fault tore the
         prepared selection mask / depth copy down."""
 
-        def run():
+        def run() -> Any:
             if not state.prepared:
                 self._prepare_search(state)
             try:
@@ -528,7 +547,9 @@ class ShardedExecutor:
 
     # -- result assembly ----------------------------------------------------
 
-    def _combined(self, op, value, parts) -> ShardedOpResult:
+    def _combined(
+        self, op: str, value: Any, parts: Any
+    ) -> ShardedOpResult:
         return ShardedOpResult(
             value=value,
             copy=PipelineStats.merged([p.copy for p in parts]),
@@ -537,10 +558,12 @@ class ShardedExecutor:
             shard_results=list(parts),
             combiner=COMBINERS[op],
             combiner_ms=COMBINE_MS_PER_SHARD * len(parts),
-            degraded_shards=tuple(sorted(self._degraded)),
+            degraded_shards=tuple(sorted(self._degraded_snapshot())),
         )
 
-    def _harvest(self, states: list[_ShardState], value_of):
+    def _harvest(
+        self, states: list[_ShardState], value_of: Callable
+    ) -> list:
         """Close every shard's stats window into a per-shard
         :class:`GpuOpResult` (degraded shards report the GPU work they
         did manage before falling back)."""
@@ -562,7 +585,7 @@ class ShardedExecutor:
 
     # -- trivially-combined ops (per-shard engine methods) ------------------
 
-    def _run_select(self, schedule):
+    def _run_select(self, schedule: Any) -> Any:
         predicate = schedule.payload["predicate"]
 
         def cpu(shard: Shard) -> Selection:
@@ -598,10 +621,10 @@ class ShardedExecutor:
             offsets=tuple(s.start for s in self.pool.shards),
             combiner=COMBINERS["select"],
             combiner_ms=COMBINE_MS_PER_SHARD * len(parts),
-            degraded_shards=tuple(sorted(self._degraded)),
+            degraded_shards=tuple(sorted(self._degraded_snapshot())),
         )
 
-    def _run_count(self, schedule):
+    def _run_count(self, schedule: Any) -> Any:
         def cpu(shard: Shard) -> GpuOpResult:
             return GpuOpResult(
                 value=shard.num_records,
@@ -616,10 +639,11 @@ class ShardedExecutor:
             )
         )
         return self._combined(
-            "count", sum(int(part.value) for part in parts), parts
+            "count", fold("count", [int(part.value) for part in parts]),
+            parts,
         )
 
-    def _run_sum(self, schedule):
+    def _run_sum(self, schedule: Any) -> Any:
         column_name = schedule.payload["column"]
         predicate = schedule.payload.get("predicate")
 
@@ -651,10 +675,10 @@ class ShardedExecutor:
             )
         )
         return self._combined(
-            "sum", sum(part.value for part in parts), parts
+            "sum", fold("sum", [part.value for part in parts]), parts
         )
 
-    def _run_average(self, schedule):
+    def _run_average(self, schedule: Any) -> Any:
         column_name = schedule.payload["column"]
         predicate = schedule.payload.get("predicate")
         column = self.engine.relation.column(column_name)
@@ -666,7 +690,7 @@ class ShardedExecutor:
             for shard in self.pool.shards
         }
 
-        def gpu_body(state: _ShardState):
+        def gpu_body(state: _ShardState) -> Any:
             # The single-device sum/average driver minus the division:
             # selection passes plus the bit-sliced Accumulator, with an
             # empty shard legitimately contributing (0, 0).
@@ -682,13 +706,13 @@ class ShardedExecutor:
             )
             return int(total), int(valid_count)
 
-        def gpu(shard: Shard):
+        def gpu(shard: Shard) -> Any:
             state = states[shard.index]
             return self._resilient(
                 shard, lambda: gpu_body(state), "average"
             )
 
-        def cpu(shard: Shard):
+        def cpu(shard: Shard) -> Any:
             state = self._cpu_state(states[shard.index])
             total = (
                 int(state.cpu_values.sum()) if state.valid_count else 0
@@ -698,8 +722,9 @@ class ShardedExecutor:
         partials = self.pool.map(
             lambda shard: self._shard_call(shard, gpu, cpu)
         )
-        total = sum(part[0] for part in partials)
-        count = sum(part[1] for part in partials)
+        total, count = fold(
+            "average", [tuple(part) for part in partials]
+        )
         if count == 0:
             raise QueryError("AVG of an empty selection")
         value = column.sum_from_stored(total, count) / count
@@ -709,7 +734,7 @@ class ShardedExecutor:
         )
         return self._combined("average", value, parts)
 
-    def _run_selectivities(self, schedule):
+    def _run_selectivities(self, schedule: Any) -> Any:
         predicates = schedule.payload["predicates"]
 
         def cpu(shard: Shard) -> GpuOpResult:
@@ -730,13 +755,13 @@ class ShardedExecutor:
                 shard, lambda s: s.engine.selectivities(predicates), cpu
             )
         )
-        combined = [
-            sum(int(part.value[i]) for part in parts)
-            for i in range(len(predicates))
-        ]
+        combined = fold(
+            "selectivities",
+            [[int(count) for count in part.value] for part in parts],
+        )
         return self._combined("selectivities", combined, parts)
 
-    def _run_histogram(self, schedule):
+    def _run_histogram(self, schedule: Any) -> Any:
         column_name = schedule.payload["column"]
         buckets = schedule.payload["buckets"]
         edges = schedule.payload["edges"]
@@ -770,9 +795,9 @@ class ShardedExecutor:
                 cpu,
             )
         )
-        combined = np.zeros(edges.size - 1, dtype=np.int64)
-        for part in parts:
-            combined += np.asarray(part.value[1], dtype=np.int64)
+        combined = fold(
+            "histogram", [part.value[1] for part in parts]
+        )
         return self._combined("histogram", (edges, combined), parts)
 
     # -- the distributed bit search -----------------------------------------
@@ -855,7 +880,11 @@ class ShardedExecutor:
                 cpu,
             )
         )
-        return sum(counts)
+        # The search ops declare this per-round count sum as their
+        # combiner; top_k's threshold search reuses the count fold (its
+        # declared combiner is the final ordered concatenation).
+        op = next(iter(states.values())).op
+        return fold(op if op in _SEARCH_OPS else "count", counts)
 
     def _distributed_kth(
         self, states: dict[int, _ShardState], bits: int, k: int,
@@ -873,7 +902,7 @@ class ShardedExecutor:
                 x = tentative
         return x
 
-    def _run_search(self, schedule):
+    def _run_search(self, schedule: Any) -> Any:
         import math
 
         op = schedule.op
@@ -982,11 +1011,11 @@ class ShardedExecutor:
             )
         )
         found = [value for value in extrema if value is not None]
-        return max(found) if mode == "max" else min(found)
+        return fold("maximum" if mode == "max" else "minimum", found)
 
     # -- top-k ---------------------------------------------------------------
 
-    def _run_top_k(self, schedule):
+    def _run_top_k(self, schedule: Any) -> Any:
         column_name = schedule.payload["column"]
         predicate = schedule.payload.get("predicate")
         k = schedule.payload["k"]

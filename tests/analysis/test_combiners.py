@@ -1,0 +1,144 @@
+"""H110 order-sensitive-combiner: the declared shard-combiner table is
+provably order-insensitive, and broken combiners are rejected."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import verify_combiners
+from repro.errors import DataRaceError
+from repro.shard.combiners import (
+    COMBINER_SPECS,
+    SPEC_BY_OP,
+    CombinerSpec,
+    fold,
+)
+
+
+def _spec(op="test", ordered=False, samples=(1, 2, 3, 4), combine=None):
+    return CombinerSpec(
+        op=op,
+        description="test combiner",
+        ordered=ordered,
+        samples=tuple(samples),
+        combine_fn=combine if combine is not None else (lambda a, b: a + b),
+    )
+
+
+class TestShippedTable:
+    def test_shipped_combiners_verify_clean(self):
+        report = verify_combiners(COMBINER_SPECS)
+        assert report.ok, report.render_text()
+        report.raise_if_failed()
+
+    def test_every_op_has_a_spec(self):
+        from repro.shard.sharded import COMBINERS
+
+        assert set(COMBINERS) == set(SPEC_BY_OP)
+
+    def test_unordered_specs_ship_enough_samples(self):
+        for spec in COMBINER_SPECS:
+            if not spec.ordered:
+                assert len(spec.samples) >= 3, spec.op
+
+    def test_ordered_specs_are_the_concatenations(self):
+        ordered = {spec.op for spec in COMBINER_SPECS if spec.ordered}
+        assert ordered == {"select", "top_k"}
+
+
+class TestFold:
+    def test_count_fold_sums(self):
+        assert fold("count", [3, 4, 5]) == 12
+
+    def test_average_fold_sums_pairs(self):
+        assert fold("average", [(10, 2), (5, 1), (0, 0)]) == (15, 3)
+
+    def test_histogram_fold_adds_buckets(self):
+        merged = fold("histogram", [np.array([1, 0, 2]), [0, 3, 1]])
+        assert merged.tolist() == [1, 3, 3]
+
+    def test_selectivities_fold_elementwise(self):
+        assert fold("selectivities", [[1, 2], [3, 4], [5, 6]]) == [9, 12]
+
+    def test_extremes(self):
+        assert fold("maximum", [3, 9, 1]) == 9
+        assert fold("minimum", [3, 9, 1]) == 1
+
+    def test_select_concatenates_in_shard_order(self):
+        assert fold("select", [[1, 2], [], [3]]) == [1, 2, 3]
+
+    def test_empty_fold_raises(self):
+        with pytest.raises(ValueError):
+            fold("count", [])
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            fold("no-such-op", [1, 2])
+
+
+class TestH110Detection:
+    def test_subtraction_mutant_not_commutative(self):
+        report = verify_combiners([_spec(combine=lambda a, b: a - b)])
+        assert not report.ok
+        (diagnostic,) = report.diagnostics
+        assert diagnostic.code == "H110"
+        assert "not commutative" in diagnostic.message
+        with pytest.raises(DataRaceError):
+            report.raise_if_failed()
+
+    def test_commutative_but_not_associative_mutant(self):
+        # a*b+1 is symmetric in its arguments but changes with
+        # bracketing: the associativity sweep must catch it.
+        report = verify_combiners(
+            [_spec(combine=lambda a, b: a * b + 1)]
+        )
+        assert not report.ok
+        assert "not associative" in report.diagnostics[0].message
+
+    def test_too_few_samples_flagged(self):
+        report = verify_combiners([_spec(samples=(1, 2))])
+        assert not report.ok
+        assert "fewer than 3 sample" in report.diagnostics[0].message
+
+    def test_ordered_spec_exempt(self):
+        # Concatenation is order-dependent by design; ordered=True
+        # documents the shard-order fold and skips the check.
+        report = verify_combiners(
+            [_spec(ordered=True, combine=lambda a, b: list(a) + list(b),
+                   samples=([1], [2], [3]))]
+        )
+        assert report.ok
+
+    def test_span_points_at_the_broken_spec(self):
+        good = _spec(op="good")
+        bad = _spec(op="bad", combine=lambda a, b: a - b)
+        report = verify_combiners([good, bad])
+        (diagnostic,) = report.diagnostics
+        assert diagnostic.span.start == 1
+
+    def test_float_tolerance_not_bitwise(self):
+        # Averaging merges via sums; a combiner whose two orders agree
+        # to rounding error only must still verify clean.
+        report = verify_combiners(
+            [_spec(samples=(0.1, 0.2, 0.3, 0.7),
+                   combine=lambda a, b: a + b)]
+        )
+        assert report.ok, report.render_text()
+
+    def test_render_text_names_rejected_ops(self):
+        report = verify_combiners([_spec(op="boom",
+                                         combine=lambda a, b: a - b)])
+        text = report.render_text()
+        assert "REJECTED" in text
+        assert "boom" in text
+
+
+class TestSpecTable:
+    def test_specs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            COMBINER_SPECS[0].op = "other"
+
+    def test_average_samples_are_pairs(self):
+        for sample in SPEC_BY_OP["average"].samples:
+            assert len(sample) == 2

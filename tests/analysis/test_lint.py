@@ -1,6 +1,7 @@
 """repro-lint: each rule fires on its bug shape, suppressions work,
 and the shipped source tree is clean (the CI gate's contract)."""
 
+import json
 import pathlib
 import textwrap
 
@@ -230,6 +231,140 @@ class TestSuppressions:
         assert _codes(source) == []
 
 
+class TestUnlockedPoolCapture:
+    def test_flags_unlocked_attribute_store(self):
+        source = """
+            def launch(self, shard):
+                def worker(shard):
+                    self.stats.completed += 1
+                    return shard.run()
+                return self._pool.submit(worker, shard)
+        """
+        assert _codes(source, path="src/repro/shard/x.py") == ["L208"]
+
+    def test_flags_unlocked_container_mutation(self):
+        source = """
+            def launch(self, shard):
+                def worker(shard):
+                    self.tracer.events.append("begin")
+                    return shard.run()
+                return self._pool.submit(worker, shard)
+        """
+        assert _codes(source, path="src/repro/shard/x.py") == ["L208"]
+
+    def test_lock_held_passes(self):
+        source = """
+            def launch(self, shard):
+                def worker(shard):
+                    with self._lock:
+                        self.stats.completed += 1
+                    return shard.run()
+                return self._pool.submit(worker, shard)
+        """
+        assert _codes(source, path="src/repro/shard/x.py") == []
+
+    def test_own_parameter_state_passes(self):
+        source = """
+            def launch(self):
+                def worker(shard, token):
+                    shard.stats.completed += 1
+                    return shard.engine.count()
+                return self._pool.submit(worker, self.shard, 1)
+        """
+        assert _codes(source, path="src/repro/shard/x.py") == []
+
+    def test_insensitive_capture_passes(self):
+        source = """
+            def launch(self, shard):
+                def worker(shard):
+                    self.widget.total = 3
+                    return shard.run()
+                return self._pool.submit(worker, shard)
+        """
+        assert _codes(source, path="src/repro/shard/x.py") == []
+
+    def test_lambda_bodies_are_scanned(self):
+        source = """
+            def launch(self, tracer):
+                return self._pool.submit(
+                    lambda: tracer.spans.append("x")
+                )
+        """
+        codes = _codes(source, path="src/repro/shard/x.py")
+        assert "L208" in codes
+
+    def test_non_pool_submit_ignored(self):
+        source = """
+            def launch(self, form):
+                def worker():
+                    self.stats.completed += 1
+                return form.submit(worker)
+        """
+        assert _codes(source, path="src/repro/shard/x.py") == []
+
+    def test_method_reference_resolved(self):
+        source = """
+            class Runner:
+                def _worker(self, shard):
+                    self.engine.stats.merges += 1
+
+                def launch(self, shard):
+                    return self._pool.submit(self._worker, shard)
+        """
+        assert _codes(source, path="src/repro/shard/x.py") == ["L208"]
+
+
+class TestOffShardEngine:
+    def test_flags_shard_table_index(self):
+        source = """
+            def launch(self):
+                def worker(index):
+                    return self._shards[index + 1].engine.count()
+                return self._pool.submit(worker, 0)
+        """
+        assert _codes(source, path="src/repro/shard/x.py") == ["L209"]
+
+    def test_flags_parent_chain(self):
+        source = """
+            def launch(self, shard):
+                def worker(shard):
+                    return shard.parent.contexts.activate(None)
+                return self._pool.submit(worker, shard)
+        """
+        assert _codes(source, path="src/repro/shard/x.py") == ["L209"]
+
+    def test_flags_in_branch_headers(self):
+        source = """
+            def launch(self):
+                def worker(i):
+                    if self._shards[0].degraded:
+                        return None
+                    return i
+                return self._pool.submit(worker, 1)
+        """
+        assert _codes(source, path="src/repro/shard/x.py") == ["L209"]
+
+    def test_own_shard_argument_passes(self):
+        source = """
+            def launch(self, fn):
+                def worker(shard, token):
+                    begin(token)
+                    try:
+                        return fn(shard)
+                    finally:
+                        end(token)
+                return self._pool.submit(worker, self.first, 1)
+        """
+        assert _codes(source, path="src/repro/shard/x.py") == []
+
+    def test_host_side_shard_index_passes(self):
+        source = """
+            def report(self):
+                return self._shards[0].engine.relation.num_records
+        """
+        assert _codes(source, path="src/repro/shard/x.py") == []
+
+
 class TestShippedTreeIsClean:
     def test_src_repro_lints_clean(self):
         findings = lint_paths([str(REPO / "src" / "repro")])
@@ -258,11 +393,83 @@ class TestCli:
             assert rule.code in out
 
 
+class TestCliJson:
+    def test_clean_tree_json(self, capsys):
+        assert main(
+            ["--format", "json", str(REPO / "src" / "repro" / "analysis")]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"findings": [], "count": 0, "suppressed": 0}
+
+    def test_findings_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("ok = value == 0.5\n")
+        assert main(["--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        (finding,) = payload["findings"]
+        assert finding["code"] == "L204"
+        assert finding["name"] == "float-eq"
+        assert finding["line"] == 1
+        assert finding["path"] == str(bad)
+
+
+class TestCliBaseline:
+    def test_baseline_suppresses_known_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("ok = value == 0.5\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["--write-baseline", str(baseline), str(bad)]
+        ) == 0
+        assert "1 finding" in capsys.readouterr().out
+        assert main(["--baseline", str(baseline), str(bad)]) == 0
+        assert "clean (1 baselined)" in capsys.readouterr().out
+
+    def test_new_findings_still_fail(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("ok = value == 0.5\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["--write-baseline", str(baseline), str(bad)]
+        ) == 0
+        capsys.readouterr()
+        bad.write_text("ok = value == 0.5\nworse = other == 1.25\n")
+        assert main(["--baseline", str(baseline), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "1 finding (1 baselined)" in out
+
+    def test_baseline_survives_line_drift(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("ok = value == 0.5\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["--write-baseline", str(baseline), str(bad)]
+        ) == 0
+        capsys.readouterr()
+        # The same finding moves down two lines: still baselined.
+        bad.write_text("\n\nok = value == 0.5\n")
+        assert main(["--baseline", str(baseline), str(bad)]) == 0
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(SystemExit):
+            main(["--baseline", str(baseline), str(tmp_path)])
+
+    def test_shipped_baseline_is_current(self, capsys):
+        """The committed lint-baseline.json matches a clean tree."""
+        shipped = REPO / "lint-baseline.json"
+        payload = json.loads(shipped.read_text())
+        assert payload["version"] == 1
+        assert payload["findings"] == []
+
+
 class TestRuleCatalog:
     def test_codes_unique(self):
         codes = [rule.code for rule in LINT_RULES]
         assert len(codes) == len(set(codes))
-        assert len(codes) == 7
+        assert len(codes) == 9
 
     @pytest.mark.parametrize("rule", LINT_RULES, ids=lambda r: r.code)
     def test_slugs_are_suppression_safe(self, rule):

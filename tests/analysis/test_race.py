@@ -1,0 +1,393 @@
+"""The dynamic concurrency sanitizer: vector clocks, the FastTrack-style
+recorder, the H109 report machinery, and the ``repro.sanitize`` shim."""
+
+import threading
+
+import pytest
+
+from repro import sanitize
+from repro.analysis import (
+    AccessKind,
+    RaceRecorder,
+    assert_race_free,
+    current_recorder,
+    race_report,
+    use_sanitizer,
+)
+from repro.analysis.events import VectorClock
+from repro.errors import DataRaceError
+
+
+#: Threads parked by :func:`_run_thread` until test teardown.
+_threads: list[threading.Thread] = []
+_release = threading.Event()
+
+
+@pytest.fixture(autouse=True)
+def _thread_guard():
+    """Park every helper thread until the test ends.
+
+    A finished thread's ident can be reused by the next thread the OS
+    starts; the recorder keys clocks by ident, so reuse would make two
+    logical threads look sequential and hide races.  Keeping the
+    threads alive until teardown guarantees distinct idents."""
+    global _release
+    _release = threading.Event()
+    _threads.clear()
+    yield
+    _release.set()
+    for thread in _threads:
+        thread.join()
+
+
+def _run_thread(fn, *args):
+    """Run ``fn`` to completion on a fresh thread, then park it.
+
+    The completion wait is deliberately *not* an edge the recorder
+    knows about: unless the code under test records fork / task /
+    lock edges itself, sequential threads look concurrent to the
+    detector — exactly the FastTrack semantics."""
+    done = threading.Event()
+    release = _release
+
+    def body():
+        try:
+            fn(*args)
+        finally:
+            done.set()
+        release.wait()
+
+    thread = threading.Thread(target=body, daemon=True)
+    thread.start()
+    _threads.append(thread)
+    done.wait()
+
+
+class _Obj:
+    """A bare object to hang tracked fields on."""
+
+
+class TestVectorClock:
+    def test_fresh_clock_covers_nothing(self):
+        clock = VectorClock()
+        assert not clock.covers(1, 1)
+        assert clock.covers(1, 0)
+
+    def test_tick_and_covers(self):
+        clock = VectorClock()
+        clock.tick(7)
+        assert clock.get(7) == 1
+        assert clock.covers(7, 1)
+        assert not clock.covers(7, 2)
+
+    def test_join_takes_componentwise_max(self):
+        left = VectorClock({1: 3, 2: 1})
+        right = VectorClock({2: 5, 3: 2})
+        left.join(right)
+        assert left.get(1) == 3
+        assert left.get(2) == 5
+        assert left.get(3) == 2
+
+    def test_copy_is_independent(self):
+        clock = VectorClock({1: 1})
+        other = clock.copy()
+        other.tick(1)
+        assert clock.get(1) == 1
+        assert other.get(1) == 2
+
+
+class TestRecorderRaces:
+    def test_unordered_writes_race(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+        with use_sanitizer(recorder):
+            _run_thread(sanitize.note, obj, "spans", sanitize.WRITE)
+            _run_thread(sanitize.note, obj, "spans", sanitize.WRITE)
+        assert len(recorder.races) == 1
+        race = recorder.races[0]
+        assert race.earlier.kind is AccessKind.WRITE
+        assert race.later.kind is AccessKind.WRITE
+        assert race.earlier.thread_id != race.later.thread_id
+
+    def test_unordered_read_write_races(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+        with use_sanitizer(recorder):
+            _run_thread(sanitize.note, obj, "stencil", sanitize.READ)
+            _run_thread(sanitize.note, obj, "stencil", sanitize.WRITE)
+        assert len(recorder.races) == 1
+        assert recorder.races[0].earlier.kind is AccessKind.READ
+
+    def test_concurrent_reads_do_not_race(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+        with use_sanitizer(recorder):
+            _run_thread(sanitize.note, obj, "depth", sanitize.READ)
+            _run_thread(sanitize.note, obj, "depth", sanitize.READ)
+        assert recorder.races == []
+
+    def test_same_thread_sequencing_is_ordered(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+        with use_sanitizer(recorder):
+            sanitize.note(obj, "color", sanitize.WRITE)
+            sanitize.note(obj, "color", sanitize.WRITE)
+            sanitize.note(obj, "color", sanitize.READ)
+        assert recorder.races == []
+
+    def test_distinct_fields_are_independent(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+        with use_sanitizer(recorder):
+            _run_thread(sanitize.note, obj, "stencil", sanitize.WRITE)
+            _run_thread(sanitize.note, obj, "depth", sanitize.WRITE)
+        assert recorder.races == []
+
+    def test_distinct_objects_are_independent(self):
+        recorder = RaceRecorder()
+        left, right = _Obj(), _Obj()
+        with use_sanitizer(recorder):
+            _run_thread(sanitize.note, left, "spans", sanitize.WRITE)
+            _run_thread(sanitize.note, right, "spans", sanitize.WRITE)
+        assert recorder.races == []
+
+
+class TestHappensBefore:
+    def test_lock_brackets_order_accesses(self):
+        recorder = RaceRecorder()
+        obj, lock = _Obj(), _Obj()
+
+        def locked_write():
+            sanitize.acquire(lock)
+            sanitize.note(obj, "counters", sanitize.WRITE)
+            sanitize.release(lock)
+
+        with use_sanitizer(recorder):
+            _run_thread(locked_write)
+            _run_thread(locked_write)
+        assert recorder.races == []
+
+    def test_lock_on_different_token_does_not_order(self):
+        recorder = RaceRecorder()
+        obj, left, right = _Obj(), _Obj(), _Obj()
+
+        def locked_write(token):
+            sanitize.acquire(token)
+            sanitize.note(obj, "counters", sanitize.WRITE)
+            sanitize.release(token)
+
+        with use_sanitizer(recorder):
+            _run_thread(locked_write, left)
+            _run_thread(locked_write, right)
+        assert len(recorder.races) == 1
+
+    def test_fork_and_join_order_task_accesses(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+
+        def task(token):
+            sanitize.task_begin(token)
+            sanitize.note(obj, "spans", sanitize.WRITE)
+            sanitize.task_end(token)
+
+        with use_sanitizer(recorder):
+            token = sanitize.fork()
+            _run_thread(task, token)
+            sanitize.task_join(token)
+            # The joiner now sees the task's write as ordered.
+            sanitize.note(obj, "spans", sanitize.WRITE)
+        assert recorder.races == []
+
+    def test_parallel_tasks_still_race_with_each_other(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+
+        def task(token):
+            sanitize.task_begin(token)
+            sanitize.note(obj, "spans", sanitize.WRITE)
+            sanitize.task_end(token)
+
+        with use_sanitizer(recorder):
+            first, second = sanitize.fork(), sanitize.fork()
+            _run_thread(task, first)
+            _run_thread(task, second)
+            sanitize.task_join(first)
+            sanitize.task_join(second)
+        # Fork edges order each task after the *submitter*, not after
+        # each other: the two writes remain unordered.
+        assert len(recorder.races) == 1
+
+    def test_sync_token_hands_off_history(self):
+        recorder = RaceRecorder()
+        obj, channel = _Obj(), _Obj()
+
+        def hand_off():
+            # Checkpoint shape: mutate, then publish on the channel.
+            sanitize.sync(channel)
+            sanitize.note(obj, "texels", sanitize.WRITE)
+            sanitize.sync(channel)
+
+        with use_sanitizer(recorder):
+            _run_thread(hand_off)
+            _run_thread(hand_off)
+        assert recorder.races == []
+
+    def test_tracked_lock_records_edges(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+        lock = sanitize.TrackedLock()
+
+        def locked_write():
+            with lock:
+                sanitize.note(obj, "counters", sanitize.WRITE)
+
+        with use_sanitizer(recorder):
+            _run_thread(locked_write)
+            _run_thread(locked_write)
+        assert recorder.races == []
+        assert not lock.locked()
+
+
+class TestRecorderBookkeeping:
+    def test_event_cap_drops_and_counts(self):
+        recorder = RaceRecorder(max_events=4)
+        obj = _Obj()
+        with use_sanitizer(recorder):
+            for _ in range(10):
+                sanitize.note(obj, "stats", sanitize.WRITE)
+        # The retained list is capped; the access count is exact.
+        assert len(recorder.events) == 4
+        assert recorder.dropped_events == 6
+        assert recorder.num_events == 10
+        assert recorder.num_hooks == 10
+
+    def test_detection_survives_the_event_cap(self):
+        recorder = RaceRecorder(max_events=1)
+        obj = _Obj()
+        with use_sanitizer(recorder):
+            _run_thread(sanitize.note, obj, "stats", sanitize.WRITE)
+            _run_thread(sanitize.note, obj, "stats", sanitize.WRITE)
+        assert len(recorder.races) == 1
+
+    def test_reset_clears_events_keeps_clocks(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+        with use_sanitizer(recorder):
+            sanitize.note(obj, "stats", sanitize.WRITE)
+            recorder.reset()
+            assert recorder.events == []
+            assert recorder.access_counts == {}
+            sanitize.note(obj, "stats", sanitize.WRITE)
+        assert recorder.races == []
+
+    def test_access_counts_by_label(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+        with use_sanitizer(recorder):
+            sanitize.note(obj, "stencil", sanitize.WRITE)
+            sanitize.note(obj, "stencil", sanitize.READ)
+            sanitize.note(obj, "depth", sanitize.READ)
+        assert recorder.access_counts["_Obj.stencil"] == 2
+        assert recorder.access_counts["_Obj.depth"] == 1
+
+
+class TestRaceReport:
+    def test_clean_report(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+        with use_sanitizer(recorder):
+            sanitize.note(obj, "spans", sanitize.WRITE)
+            report = race_report()
+        assert report.ok
+        assert report.num_events == 1
+        assert "ok" in report.render_text()
+        report.raise_if_failed()
+
+    def test_racy_report_carries_h109(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+        with use_sanitizer(recorder):
+            _run_thread(sanitize.note, obj, "spans", sanitize.WRITE)
+            _run_thread(sanitize.note, obj, "spans", sanitize.WRITE)
+            report = race_report()
+        assert not report.ok
+        (diagnostic,) = report.diagnostics
+        assert diagnostic.code == "H109"
+        assert "_Obj.spans" in diagnostic.message
+        with pytest.raises(DataRaceError) as excinfo:
+            report.raise_if_failed()
+        assert excinfo.value.report is report
+
+    def test_duplicate_pairs_collapse_with_count(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+        with use_sanitizer(recorder):
+            for _ in range(3):
+                _run_thread(sanitize.note, obj, "spans", sanitize.WRITE)
+            report = race_report()
+        # Three unordered writers produce multiple pairs but one
+        # deduplicated H109 with an occurrence count.
+        assert len(report.diagnostics) == 1
+        assert "occurrences" in report.diagnostics[0].message
+
+    def test_assert_race_free_raises_on_race(self):
+        recorder = RaceRecorder()
+        obj = _Obj()
+        with use_sanitizer(recorder):
+            _run_thread(sanitize.note, obj, "spans", sanitize.WRITE)
+            _run_thread(sanitize.note, obj, "spans", sanitize.WRITE)
+            with pytest.raises(DataRaceError):
+                assert_race_free()
+
+    def test_report_without_recorder_is_clean(self):
+        previous = sanitize.active()
+        sanitize.uninstall()
+        try:
+            report = race_report()
+            assert report.ok
+            assert report.num_events == 0
+        finally:
+            if previous is not None:
+                sanitize.install(previous)
+
+
+class TestShim:
+    def test_hooks_are_noops_when_off(self):
+        previous = sanitize.active()
+        sanitize.uninstall()
+        try:
+            assert not sanitize.enabled()
+            obj = _Obj()
+            sanitize.note(obj, "spans", sanitize.WRITE)
+            sanitize.acquire(obj)
+            sanitize.release(obj)
+            sanitize.sync(obj)
+            assert sanitize.fork() is None
+            sanitize.task_begin(None)
+            sanitize.task_end(None)
+            sanitize.task_join(None)
+        finally:
+            if previous is not None:
+                sanitize.install(previous)
+
+    def test_use_sanitizer_installs_and_restores(self):
+        recorder = RaceRecorder()
+        before = current_recorder()
+        with use_sanitizer(recorder):
+            assert current_recorder() is recorder
+        assert current_recorder() is before
+
+    def test_tracked_lock_works_without_recorder(self):
+        previous = sanitize.active()
+        sanitize.uninstall()
+        try:
+            lock = sanitize.TrackedLock()
+            with lock:
+                assert lock.locked()
+            assert not lock.locked()
+            condition = threading.Condition(sanitize.TrackedLock())
+            with condition:
+                condition.notify_all()
+        finally:
+            if previous is not None:
+                sanitize.install(previous)

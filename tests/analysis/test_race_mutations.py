@@ -1,0 +1,251 @@
+"""The sanitizer mutation suite: re-introduce each concurrency bug the
+sharded/concurrent engine has (or nearly had) and prove the sanitizer
+or a static rule catches it, then prove the shipped fix is clean.
+
+Every mutant runs under a *scoped* recorder (``use_sanitizer``) so a
+process-wide ``REPRO_SAN=1`` recorder never sees the intentional
+races."""
+
+import threading
+
+import pytest
+
+from repro import sanitize
+from repro.analysis import (
+    RaceRecorder,
+    race_report,
+    use_sanitizer,
+    verify_combiners,
+)
+from repro.analysis.lint import lint_source
+from repro.shard.combiners import CombinerSpec
+from repro.trace import Tracer
+
+#: Threads parked by :func:`_run_threads` until test teardown: a
+#: finished thread's ident can be reused, which would collapse two
+#: logical threads into one clock and hide the mutant's race.
+_threads: list[threading.Thread] = []
+_release = threading.Event()
+
+
+@pytest.fixture(autouse=True)
+def _thread_guard():
+    global _release
+    _release = threading.Event()
+    _threads.clear()
+    yield
+    _release.set()
+    for thread in _threads:
+        thread.join()
+
+
+def _run_threads(*fns):
+    """Run every callable on its own thread, wait for all of them to
+    finish, then park the threads until teardown.
+
+    The recorder never sees the completion waits, so any ordering
+    between the threads' accesses must come from edges the code under
+    test records itself."""
+    release = _release
+    dones = []
+    for fn in fns:
+        done = threading.Event()
+
+        def body(fn=fn, done=done):
+            try:
+                fn()
+            finally:
+                done.set()
+            release.wait()
+
+        thread = threading.Thread(target=body, daemon=True)
+        thread.start()
+        _threads.append(thread)
+        dones.append(done)
+    for done in dones:
+        done.wait()
+
+
+class TestUnlockedTracerMutant:
+    """The satellite fix: Tracer span emission is lock-guarded.
+
+    The mutant re-creates the pre-fix shape — pool threads appending
+    to a plain list with no lock edges — and must be caught."""
+
+    def test_prefix_tracer_races(self):
+        recorder = RaceRecorder()
+        tracer = Tracer()
+        # The mutation: replace the TrackedLock with an untracked
+        # plain lock, exactly the pre-fix emission path (mutual
+        # exclusion the recorder cannot see is still a data race in
+        # the happens-before model, and was one bug away from a torn
+        # list append without any lock at all).
+        tracer._lock = threading.Lock()
+
+        def emit():
+            tracer.record_event("probe", category="test")
+
+        with use_sanitizer(recorder):
+            _run_threads(emit, emit)
+            report = race_report()
+        assert not report.ok
+        (diagnostic,) = report.diagnostics
+        assert diagnostic.code == "H109"
+        assert "Tracer.spans" in diagnostic.message
+
+    def test_shipped_tracer_is_clean(self):
+        recorder = RaceRecorder()
+        tracer = Tracer()
+
+        def emit():
+            tracer.record_event("probe", category="test")
+
+        with use_sanitizer(recorder):
+            _run_threads(emit, emit)
+            report = race_report()
+        assert report.ok, report.render_text()
+
+    def test_shipped_tracer_spans_survive_concurrent_emission(self):
+        tracer = Tracer()
+        _run_threads(*[
+            lambda: tracer.record_event("probe", category="test")
+            for _ in range(8)
+        ])
+        events = [
+            event
+            for root in tracer.roots
+            for event in root.all_events()
+            if event.name == "probe"
+        ]
+        assert len(events) == 8
+
+
+class TestDroppedForkEdgeMutant:
+    """Deleting the submit-side fork edge (or the join) must surface
+    the fan-out writes as unordered."""
+
+    def _worker(self, stats, token):
+        if token is not None:
+            sanitize.task_begin(token)
+        sanitize.note(stats, "counters", sanitize.WRITE)
+        if token is not None:
+            sanitize.task_end(token)
+
+    def test_fanout_without_fork_edges_races(self):
+        recorder = RaceRecorder()
+        stats = object()
+        with use_sanitizer(recorder):
+            _run_threads(
+                lambda: self._worker(stats, None),
+                lambda: self._worker(stats, None),
+            )
+            # Host-side harvest read, unordered without task_join.
+            sanitize.note(stats, "counters", sanitize.READ)
+            report = race_report()
+        assert not report.ok
+
+    def test_fanout_with_fork_edges_is_clean_to_the_host(self):
+        recorder = RaceRecorder()
+        stats = object()
+        with use_sanitizer(recorder):
+            # Round-trip dispatch: each fork is taken after the prior
+            # task was joined, so the join edge carries the first
+            # task's write into the second task's clock.
+            for _ in range(2):
+                token = sanitize.fork()
+                _run_threads(lambda: self._worker(stats, token))
+                sanitize.task_join(token)
+            sanitize.note(stats, "counters", sanitize.READ)
+            report = race_report()
+        assert report.ok, report.render_text()
+
+
+class TestUnlockedStatsMutant:
+    """ServiceStats/FaultStats counters: ``+= 1`` without the stats
+    lock is the exact read-modify-write shape the fix removed."""
+
+    def test_unlocked_counter_bump_races(self):
+        recorder = RaceRecorder()
+        stats = object()
+
+        def bump():
+            # Pre-fix shape: bare increment, no lock edges.
+            sanitize.note(stats, "counters", sanitize.WRITE)
+
+        with use_sanitizer(recorder):
+            _run_threads(bump, bump)
+            report = race_report()
+        assert not report.ok
+
+    def test_shipped_service_stats_are_clean(self):
+        from repro.service.service import ServiceStats
+
+        recorder = RaceRecorder()
+        stats = ServiceStats()
+        with use_sanitizer(recorder):
+            _run_threads(
+                lambda: stats.bump("admitted"),
+                lambda: stats.bump("completed"),
+                lambda: stats.note_in_flight(3),
+            )
+            report = race_report()
+        assert report.ok, report.render_text()
+        assert stats.admitted == 1
+        assert stats.max_in_flight == 3
+
+    def test_shipped_fault_stats_are_clean(self):
+        from repro.faults.plan import FaultStats
+
+        recorder = RaceRecorder()
+        stats = FaultStats()
+        with use_sanitizer(recorder):
+            _run_threads(
+                lambda: stats.record_retry("gpu-lost"),
+                lambda: stats.record_fallback("gpu-lost"),
+            )
+            report = race_report()
+        assert report.ok, report.render_text()
+
+
+class TestCombinerMutant:
+    def test_subtraction_combiner_rejected(self):
+        mutant = CombinerSpec(
+            op="count",
+            description="mutant: subtract instead of add",
+            ordered=False,
+            samples=(0, 1, 5, 7),
+            combine_fn=lambda a, b: a - b,
+        )
+        report = verify_combiners([mutant])
+        assert not report.ok
+        assert report.diagnostics[0].code == "H110"
+
+
+class TestLintMutants:
+    """Removing the lock from the shipped worker shape flips the
+    static verdict from clean to L208."""
+
+    FIXED = """
+        def launch(self, shard):
+            def worker(shard):
+                with self._degraded_lock:
+                    self.stats.merges += 1
+                return shard.run()
+            return self._pool.submit(worker, shard)
+    """
+
+    MUTANT = """
+        def launch(self, shard):
+            def worker(shard):
+                self.stats.merges += 1
+                return shard.run()
+            return self._pool.submit(worker, shard)
+    """
+
+    def test_lock_removal_detected(self):
+        import textwrap
+
+        path = "src/repro/shard/x.py"
+        assert lint_source(textwrap.dedent(self.FIXED), path) == []
+        findings = lint_source(textwrap.dedent(self.MUTANT), path)
+        assert [f.rule.code for f in findings] == ["L208"]

@@ -58,6 +58,15 @@ class TestSnapshotShape:
             for mode in (jit["jit_on"], jit["jit_off"]):
                 mode.pop("wall_s", None)
             data["shard"]["faulted"].pop("wall_s", None)
+            sanitizer = data["sanitizer"]
+            for key in (
+                "disarmed_hook_wall_ns",
+                "disarmed_overhead_wall_ratio",
+                "armed_wall_ratio",
+                "wall_s_disarmed",
+                "wall_s_armed",
+            ):
+                sanitizer.pop(key, None)
             return data
         assert strip(snapshot) == strip(again)
 
@@ -106,9 +115,25 @@ class TestShardSection:
         assert faulted["modeled_queries_per_s"] > 0
 
 
+class TestSanitizerSection:
+    def test_hooks_fire_and_the_tree_is_race_free(self, snapshot):
+        sanitizer = snapshot["sanitizer"]
+        assert sanitizer["hooks_fired"] > 0
+        assert sanitizer["events"] > 0
+        assert sanitizer["races"] == 0
+
+    def test_disarmed_overhead_is_within_the_2pct_budget(
+        self, snapshot
+    ):
+        sanitizer = snapshot["sanitizer"]
+        assert sanitizer["disarmed_budget_ratio"] == 0.02
+        assert sanitizer["disarmed_overhead_wall_ratio"] < 0.02
+        assert sanitizer["within_budget"] is True
+
+
 class TestCommittedSnapshot:
-    def test_bench_9_is_committed_and_current_shape(self):
-        path = REPO / "BENCH_9.json"
+    def test_bench_10_is_committed_and_current_shape(self):
+        path = REPO / "BENCH_10.json"
         data = json.loads(path.read_text())
         assert data["version"] == SNAPSHOT_VERSION
         assert set(data["figures"]) == set(SNAPSHOT_FIGURES)
@@ -118,6 +143,9 @@ class TestCommittedSnapshot:
         assert data["jit"]["modeled_identical"] is True
         assert set(data["shard"]["counts"]) == {"1", "2", "4"}
         assert data["shard"]["counts"]["4"]["speedup_vs_single"] >= 2.5
+        # The sanitizer budget is part of the committed record.
+        assert data["sanitizer"]["within_budget"] is True
+        assert data["sanitizer"]["races"] == 0
 
 
 class TestCompareGate:

@@ -1,9 +1,38 @@
 """Shared fixtures: small deterministic relations and engines."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import Column, CpuEngine, GpuEngine, Relation
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_gate():
+    """The ``REPRO_SAN=1`` CI leg: every test runs under the process
+    sanitizer and fails on any H109 it produced.
+
+    Tests that *inject* races (the mutation suite) use a scoped
+    ``use_sanitizer`` recorder, so their intentional hazards never
+    reach the process recorder this gate reads."""
+    if os.environ.get("REPRO_SAN", "").lower() not in (
+        "1", "true", "yes", "on"
+    ):
+        yield
+        return
+    from repro.analysis import race
+
+    recorder = race.ensure_installed()
+    recorder.reset()
+    yield
+    report = race.race_report(recorder)
+    recorder.reset()
+    if not report.ok:
+        pytest.fail(
+            "sanitizer gate: this test produced data races\n"
+            + report.render_text()
+        )
 
 
 @pytest.fixture(scope="session")

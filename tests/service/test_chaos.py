@@ -19,6 +19,7 @@ import threading
 import numpy as np
 import pytest
 
+from repro import sanitize
 from repro.core import CpuEngine, GpuEngine
 from repro.errors import ReproError, StaleSelectionError
 from repro.faults import (
@@ -241,7 +242,10 @@ def test_interleaved_engine_contexts_never_go_stale():
     relation = _random_relation(rng)
     cpu = CpuEngine(relation)
     gpu = GpuEngine(relation)
-    lock = threading.Lock()
+    # TrackedLock, not threading.Lock: this lock plays the service's
+    # execution slot, and the sanitizer must see its ordering edges
+    # just as it sees the real service's (REPRO_SAN=1 leg).
+    lock = sanitize.TrackedLock()
     barrier = threading.Barrier(N_SESSIONS)
     failures = []
     ROUNDS = 4
